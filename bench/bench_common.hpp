@@ -1,0 +1,150 @@
+// Shared experimental context for the per-figure bench binaries: the
+// reference device (DESIGN.md §6), the Table-I data sets, the
+// characterised error models at the 310 MHz target and the fitted area
+// model. Everything is deterministic; the heavyweight pieces are built
+// lazily and cached per process.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "area/area_model.hpp"
+#include "charlib/sweep.hpp"
+#include "common/table.hpp"
+#include "core/algorithm1.hpp"
+#include "core/circuit_eval.hpp"
+#include "core/settings.hpp"
+#include "core/synthetic.hpp"
+#include "fabric/calibration.hpp"
+
+namespace oclp::bench {
+
+/// Seeds shared by all benches so figures are cross-consistent.
+inline constexpr std::uint64_t kTrainSeed = 42;
+inline constexpr std::uint64_t kTestSeed = 4242;
+inline constexpr std::uint64_t kCharStreamSeed = 2014;
+inline constexpr std::uint64_t kAreaSeed = 6;
+inline constexpr std::uint64_t kActualParSeed = 0xB0A2D;
+
+/// Result of an optimisation-framework run plus what is needed to evaluate
+/// the designs on hardware.
+struct FrameworkRun {
+  std::vector<LinearProjectionDesign> designs;
+  std::vector<double> data_mean;
+};
+
+struct Context {
+  CaseStudySettings table1 = paper_table1_settings();
+  Device device{reference_device_config(), kReferenceDieSeed};
+  Matrix x_train;
+  Matrix x_test;
+
+  Context() {
+    device.set_temperature(kCharacterisationTempC);
+    SyntheticDataConfig dc;
+    dc.dims_p = table1.dims_p;
+    dc.latent_k = table1.dims_k;
+    dc.cases = table1.training_cases;
+    dc.seed = kTrainSeed;
+    x_train = make_synthetic_dataset(dc);
+    dc.cases = table1.test_cases;
+    dc.seed = kTestSeed;
+    x_test = make_synthetic_dataset(dc);
+  }
+
+  static Context& get() {
+    static Context ctx;
+    return ctx;
+  }
+
+  /// Characterisation locations (the paper places the test circuit at
+  /// several spots; slow corners make the model conservative).
+  std::vector<Placement> char_locations() const {
+    return {reference_location_1(), reference_location_2()};
+  }
+
+  /// E(m, f) for every word-length in the Table-I sweep, characterised at
+  /// the target clock only (the paper's own runtime example uses #Freqs=1).
+  const std::map<int, ErrorModel>& error_models_at_target() {
+    if (models_.empty()) {
+      SweepSettings ss;
+      ss.freqs_mhz = {table1.clock_mhz};
+      ss.locations = char_locations();
+      ss.samples_per_point = 800;
+      ss.stream_seed = kCharStreamSeed;
+      for (int wl = table1.wl_min; wl <= table1.wl_max; ++wl)
+        models_.emplace(wl, characterise_multiplier(
+                                device, wl, table1.input_wordlength, ss));
+    }
+    return models_;
+  }
+
+  const AreaModel& area_model() {
+    if (!area_fitted_) {
+      area_ = AreaModel::fit(collect_area_samples(
+          table1.wl_min, table1.wl_max, table1.input_wordlength, 20, kAreaSeed));
+      area_fitted_ = true;
+    }
+    return area_;
+  }
+
+  /// Run Algorithm 1 with full Table-I settings for one β. Each (β, seed)
+  /// pair is an independent sampling process.
+  FrameworkRun run_framework(double beta, std::uint64_t seed = 7) {
+    seed = hash_mix(seed, static_cast<std::uint64_t>(beta * 1024.0));
+    OptimisationSettings os;
+    os.dims_k = static_cast<int>(table1.dims_k);
+    os.wl_min = table1.wl_min;
+    os.wl_max = table1.wl_max;
+    os.beta = beta;
+    os.target_freq_mhz = table1.clock_mhz;
+    os.q = table1.q;
+    os.input_wordlength = table1.input_wordlength;
+    os.gibbs.burn_in = table1.burn_in;
+    os.gibbs.samples = table1.projection_samples;
+    os.gibbs.seed = seed;
+    OptimisationFramework of(os, x_train, error_models_at_target(), area_model());
+    FrameworkRun run;
+    run.designs = of.run();
+    run.data_mean = of.data_mean();
+    return run;
+  }
+
+  /// Hardware MSE of a design on the Table-I test set in the simulated or
+  /// actual domain. The actual domain averages over `par_runs` independent
+  /// placement-and-routing runs, so one lucky (or unlucky) placement does
+  /// not masquerade as the design's behaviour on the device.
+  double hardware_mse(const LinearProjectionDesign& design,
+                      const std::vector<double>& mu, bool actual,
+                      std::uint64_t seed = kActualParSeed, int par_runs = 5) {
+    if (!actual) {
+      const CircuitPlan plan = simulated_plan(design, reference_location_1());
+      return evaluate_hardware_mse(design, x_test, mu, device, plan,
+                                   table1.input_wordlength,
+                                   &error_models_at_target(), seed + 1);
+    }
+    double sum = 0.0;
+    for (int r = 0; r < par_runs; ++r) {
+      const CircuitPlan plan = actual_plan(design, device, hash_mix(seed, r));
+      sum += evaluate_hardware_mse(design, x_test, mu, device, plan,
+                                   table1.input_wordlength,
+                                   &error_models_at_target(),
+                                   hash_mix(seed, r, 2));
+    }
+    return sum / par_runs;
+  }
+
+ private:
+  std::map<int, ErrorModel> models_;
+  AreaModel area_ = AreaModel::fit({AreaSample{1, 1.0}});
+  bool area_fitted_ = false;
+};
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::cout << "==============================================================\n"
+            << experiment << "\n" << claim << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace oclp::bench

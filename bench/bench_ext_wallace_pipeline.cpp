@@ -1,0 +1,94 @@
+// Extension — the complete framework on a different arithmetic operator
+// (paper Sec. III: "the proposed framework can be utilised for other
+// arithmetic components"). Wallace-tree multipliers are characterised,
+// prior-formed, optimised and evaluated exactly like the paper's array
+// multipliers, at a proportionally higher target (1.85× the Wallace
+// design's own tool Fmax).
+// Expected shape: the same qualitative result at the higher clock — OF
+// designs behave as predicted while the quantised-KLT baseline degrades.
+#include "bench_common.hpp"
+#include "core/baseline.hpp"
+#include "fabric/timing_annotation.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+int main() {
+  print_header("Extension — full pipeline on Wallace-tree multipliers",
+               "Expected shape: same OF-vs-KLT story as Figure 11, shifted "
+               "to the Wallace design's higher clock.");
+  Context& ctx = Context::get();
+  const auto& t1 = ctx.table1;
+
+  const double tool = tool_fmax_mhz(
+      make_multiplier_arch(MultArch::Wallace, 9, t1.input_wordlength),
+      ctx.device.config());
+  // A first finding of this extension: at 1.85× its own tool Fmax the
+  // Wallace tree is still mostly error-free (the log-depth reduction
+  // shrinks the datapath's exposure), so the knee sits higher than the
+  // array multiplier's — the target here is 2.1× to land in the same
+  // error-prone regime the paper studies.
+  const double target = std::floor(tool * 2.1);
+  std::cout << "Wallace 9x9 tool Fmax " << tool << " MHz -> target "
+            << target << " MHz (2.1x; 1.85x is still error-free for this "
+            << "architecture)\n";
+
+  SweepSettings ss;
+  ss.freqs_mhz = {target};
+  ss.locations = {reference_location_1(), reference_location_2()};
+  ss.samples_per_point = 500;
+  ss.arch = MultArch::Wallace;
+  std::map<int, ErrorModel> models;
+  for (int wl = t1.wl_min; wl <= t1.wl_max; ++wl)
+    models.emplace(wl, characterise_multiplier(ctx.device, wl,
+                                               t1.input_wordlength, ss));
+
+  const AreaModel area = AreaModel::fit(
+      collect_area_samples(t1.wl_min, t1.wl_max, t1.input_wordlength, 20,
+                           kAreaSeed, MultArch::Wallace));
+
+  OptimisationSettings os;
+  os.dims_k = static_cast<int>(t1.dims_k);
+  os.wl_min = t1.wl_min;
+  os.wl_max = t1.wl_max;
+  os.beta = 4.0;
+  os.target_freq_mhz = target;
+  os.q = t1.q;
+  os.input_wordlength = t1.input_wordlength;
+  os.arch = MultArch::Wallace;
+  os.gibbs.burn_in = t1.burn_in;
+  os.gibbs.samples = t1.projection_samples;
+  os.gibbs.seed = 0x3a11;
+  OptimisationFramework framework(os, ctx.x_train, models, area);
+  const auto designs = framework.run();
+  const auto mu = framework.data_mean();
+
+  auto actual = [&](const LinearProjectionDesign& d,
+                    const std::vector<double>& mean) {
+    double sum = 0.0;
+    for (int r = 0; r < 5; ++r)
+      sum += evaluate_hardware_mse(d, ctx.x_test, mean, ctx.device,
+                                   actual_plan(d, ctx.device, hash_mix(0x3a, r)),
+                                   t1.input_wordlength, &models,
+                                   hash_mix(0x3a, r, 2));
+    return sum / 5;
+  };
+
+  Table table({"series", "area_les", "predicted_mse", "actual_mse"});
+  for (const auto& d : designs)
+    table.add_row({std::string("OF wallace"), d.area_estimate,
+                   d.predicted_objective(), actual(d, mu)});
+
+  Matrix xc = ctx.x_train;
+  const auto klt_mu = center_rows(xc);
+  for (int wl : {3, 5, 7, 9}) {
+    auto klt = make_klt_design(ctx.x_train, t1.dims_k, wl, target,
+                               t1.input_wordlength, area, &models);
+    klt.arch = MultArch::Wallace;
+    table.add_row({std::string("KLT wallace wl=") + std::to_string(wl),
+                   klt.area_estimate, klt.predicted_objective(),
+                   actual(klt, klt_mu)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 1 reproduction: percentage of erroneous results at the output of
+// a generic multiplier vs clock frequency, with the operating regimes the
+// paper annotates — the conservative tool limit fA, the error-free
+// device-specific region Δf1 (up to fB) and the error-prone region Δf2
+// (up to fC, beyond which results stop being meaningful).
+#include "bench_common.hpp"
+#include "charlib/char_circuit.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "mult/multiplier.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+int main() {
+  print_header("Figure 1 — erroneous results vs clock frequency (8x8 multiplier)",
+               "Expected shape: 0% until well above the tool Fmax, then a "
+               "monotone climb (errors are cumulative with frequency).");
+  Context& ctx = Context::get();
+
+  const Placement loc = reference_location_1();
+  const double tool_fmax = tool_fmax_mhz(make_multiplier(8, 8),
+                                         ctx.device.config());
+
+  std::vector<double> freqs;
+  for (double f = 120.0; f <= 560.0; f += 20.0) freqs.push_back(f);
+  const auto curve = error_rate_curve(ctx.device, 8, 8, loc, freqs, 8000, 99);
+  const auto regimes = find_regimes(curve, 0.5);
+
+  Table table({"freq_mhz", "error_rate_pct", "error_variance", "regime"});
+  for (const auto& pt : curve) {
+    const char* regime = pt.freq_mhz <= tool_fmax             ? "tool-safe"
+                         : pt.freq_mhz <= regimes.error_free_fmax_mhz ? "df1 error-free"
+                         : pt.freq_mhz <= regimes.usable_fmax_mhz     ? "df2 error-prone"
+                                                               : "not meaningful";
+    table.add_row({pt.freq_mhz, 100.0 * pt.error_rate, pt.error_variance,
+                   std::string(regime)});
+  }
+  table.print(std::cout);
+
+  std::cout << "fA (tool Fmax)            = " << tool_fmax << " MHz\n"
+            << "fB (error-free limit)     = " << regimes.error_free_fmax_mhz
+            << " MHz\n"
+            << "fC (meaningful limit)     = " << regimes.usable_fmax_mhz
+            << " MHz\n"
+            << "device headroom fB/fA     = "
+            << regimes.error_free_fmax_mhz / tool_fmax << "x\n";
+  return 0;
+}

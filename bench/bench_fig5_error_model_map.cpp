@@ -1,0 +1,74 @@
+// Figure 5 reproduction: the error-model data structure E(m, f) of an 8×8
+// multiplier — variance of the output error for every multiplicand m at a
+// sweep of clock frequencies. The paper's heat map shows variance growing
+// with frequency and with the multiplicand's population count ("few '1'
+// bits have less over-clocking errors"). Rendered as an ASCII intensity
+// map over multiplicand buckets plus per-popcount statistics.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+int main() {
+  print_header("Figure 5 — error model E(m, f) of an 8x8 multiplier",
+               "Expected shape: darker (higher variance) toward higher "
+               "frequency and higher-popcount multiplicands.");
+  Context& ctx = Context::get();
+
+  SweepSettings ss;
+  for (double f = 280.0; f <= 480.0; f += 25.0) ss.freqs_mhz.push_back(f);
+  ss.locations = {reference_location_1()};
+  ss.samples_per_point = 500;
+  ss.stream_seed = kCharStreamSeed;
+  const auto model = characterise_multiplier(ctx.device, 8, 8, ss);
+
+  // ASCII heat map: 16 multiplicand buckets × frequency grid; intensity is
+  // log10 of the bucket's mean variance.
+  const char shades[] = " .:-=+*#%@";
+  std::cout << "\nIntensity map (rows: multiplicand buckets of 16; cols: MHz):\n";
+  std::cout << "bucket\\f ";
+  for (double f : ss.freqs_mhz) std::cout << static_cast<int>(f) << " ";
+  std::cout << "\n";
+  for (int bucket = 0; bucket < 16; ++bucket) {
+    std::cout << "m" << bucket * 16 << "-" << bucket * 16 + 15 << "\t ";
+    for (double f : ss.freqs_mhz) {
+      double sum = 0.0;
+      for (int m = bucket * 16; m < (bucket + 1) * 16; ++m)
+        sum += model.variance(static_cast<std::uint32_t>(m), f);
+      const double mean = sum / 16.0;
+      const int shade =
+          mean <= 0.0 ? 0
+                      : std::min(9, 1 + static_cast<int>(std::log10(mean + 1.0)));
+      std::cout << " " << shades[shade] << "  ";
+    }
+    std::cout << "\n";
+  }
+
+  Table stats({"freq_mhz", "popcount<=2_mean_var", "popcount>=6_mean_var",
+               "multiplicands_with_errors"});
+  for (double f : ss.freqs_mhz) {
+    double low = 0.0, high = 0.0;
+    int nlow = 0, nhigh = 0, erroneous = 0;
+    for (std::uint32_t m = 0; m < 256; ++m) {
+      const double v = model.variance(m, f);
+      const int pc = __builtin_popcount(m);
+      if (pc <= 2) {
+        low += v;
+        ++nlow;
+      } else if (pc >= 6) {
+        high += v;
+        ++nhigh;
+      }
+      if (v > 0.0) ++erroneous;
+    }
+    stats.add_row({f, low / nlow, high / nhigh, static_cast<long long>(erroneous)});
+  }
+  std::cout << "\n";
+  stats.print(std::cout);
+
+  std::cout << "max variance over the whole map: " << model.max_variance()
+            << " (code units^2)\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 6 reproduction: the data collected to build the area model —
+// logic elements of LUT-based generic multipliers per coefficient
+// word-length, across many placement/synthesis runs. The paper's scatter
+// shows a tight, monotonically growing band per word-length.
+#include "bench_common.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+int main() {
+  print_header("Figure 6 — area samples per multiplier word-length",
+               "Expected shape: LE count grows ~linearly in wl (x9-bit data "
+               "port), small run-to-run spread per word-length.");
+  Context& ctx = Context::get();
+  const auto& t1 = ctx.table1;
+
+  const int runs = 20;
+  const auto samples = collect_area_samples(t1.wl_min, t1.wl_max,
+                                            t1.input_wordlength, runs, kAreaSeed);
+  const auto model = AreaModel::fit(samples);
+
+  Table scatter({"wordlength", "run", "logic_elements"});
+  std::map<int, int> run_counter;
+  for (const auto& s : samples)
+    scatter.add_row({static_cast<long long>(s.wordlength),
+                     static_cast<long long>(run_counter[s.wordlength]++),
+                     s.logic_elements});
+  scatter.print(std::cout);
+
+  Table summary({"wordlength", "mean_les", "stddev", "ci95_half_width"});
+  for (int wl = t1.wl_min; wl <= t1.wl_max; ++wl)
+    summary.add_row({static_cast<long long>(wl), model.estimate(wl),
+                     model.stddev(wl), model.ci95(wl)});
+  std::cout << "\nFitted per-word-length area model:\n";
+  summary.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 7 reproduction: the prior distribution p(λ) over the 8-bit
+// coefficient grid for β ∈ {0.1, 1.0, 4.0} at an over-clocked frequency.
+// Expected shape: β = 0.1 is near-flat; β = 4.0 assigns near-zero mass to
+// coefficients with high over-clocking error variance.
+#include <cmath>
+
+#include "bayes/prior.hpp"
+#include "bench_common.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+int main() {
+  print_header("Figure 7 — prior p(lambda) for beta in {0.1, 1.0, 4.0}",
+               "Expected shape: flat for small beta; error-prone lambda "
+               "values suppressed for beta = 4.");
+  Context& ctx = Context::get();
+
+  // The paper plots the prior of an 8-bit multiplier around 340 MHz.
+  const double freq = 340.0;
+  SweepSettings ss;
+  ss.freqs_mhz = {freq};
+  ss.locations = {reference_location_1()};
+  ss.samples_per_point = 600;
+  ss.stream_seed = kCharStreamSeed;
+  const auto model =
+      characterise_multiplier(ctx.device, 8, ctx.table1.input_wordlength, ss);
+
+  const double betas[] = {0.1, 1.0, 4.0};
+  std::vector<CoeffPrior> priors;
+  for (double beta : betas) priors.push_back(make_prior(model, 8, freq, beta));
+
+  // Down-sample the 511-point grid for display: every 16th value.
+  Table table({"lambda", "p_beta_0.1", "p_beta_1.0", "p_beta_4.0"});
+  for (std::size_t i = 0; i < priors[0].size(); i += 16)
+    table.add_row({priors[0].value(i), priors[0].probability(i),
+                   priors[1].probability(i), priors[2].probability(i)});
+  table.print(std::cout);
+
+  Table summary({"beta", "max_p", "min_p", "flatness_max_over_min",
+                 "mass_on_error_free"});
+  for (std::size_t b = 0; b < 3; ++b) {
+    const auto& prior = priors[b];
+    double max_p = 0.0, min_p = 1.0, clean_mass = 0.0;
+    for (std::size_t i = 0; i < prior.size(); ++i) {
+      max_p = std::max(max_p, prior.probability(i));
+      min_p = std::min(min_p, prior.probability(i));
+      const auto q = quantize_coeff(prior.value(i), 8);
+      if (model.variance(q.magnitude, freq) == 0.0)
+        clean_mass += prior.probability(i);
+    }
+    summary.add_row({betas[b], max_p, min_p,
+                     min_p > 0 ? max_p / min_p : std::numeric_limits<double>::infinity(),
+                     clean_mass});
+  }
+  std::cout << "\n";
+  summary.print(std::cout);
+  std::cout << "uniform mass per grid point would be "
+            << 1.0 / static_cast<double>(priors[0].size()) << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 8 reproduction: maximum clock frequencies vs coefficient
+// word-length for the ℤ⁶→ℤ³ KLT linear projection circuit —
+//   * Tool Fmax: the synthesis tool's conservative report (fA);
+//   * Data-path Fmax: the highest frequency with zero data-path errors on
+//     the placed device (fB), found by a measured frequency sweep;
+//   * FSM Fmax: the supporting-logic limit, above which even the test
+//     harness stops being trustworthy.
+// Expected shape: all three decrease with word-length; the 310 MHz target
+// sits ≈1.85× above Tool Fmax at wl = 9 and crosses the data-path limit of
+// the larger designs ("some KLT-based designs will operate with errors").
+#include "bench_common.hpp"
+#include "charlib/char_circuit.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "mult/multiplier.hpp"
+#include "netlist/sta.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+namespace {
+
+// Measured error-free limit of a wl×9 multiplier at the reference
+// placement: binary search over an error-rate sweep.
+double measured_datapath_fmax(Device& device, int wl, int wl_x) {
+  const Placement loc = reference_location_1();
+  double lo = 150.0, hi = 650.0;
+  for (int iter = 0; iter < 12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const auto curve = error_rate_curve(device, wl, wl_x, loc, {mid}, 2500, 7);
+    if (curve[0].error_rate == 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 8 — max clock frequencies vs word-length (KLT design)",
+               "Expected shape: Tool Fmax < Data-path Fmax < FSM Fmax, all "
+               "decreasing with wl; 310 MHz ~= 1.85x Tool Fmax at wl = 9.");
+  Context& ctx = Context::get();
+  const auto& t1 = ctx.table1;
+
+  CharCircuitConfig cc;
+  CharacterisationCircuit support_probe(cc, ctx.device, reference_location_1());
+  const double fsm_fmax = support_probe.support_fmax_mhz();
+
+  Table table({"wordlength", "tool_fmax_mhz", "datapath_fmax_mhz",
+               "fsm_fmax_mhz", "target_over_tool", "errors_at_310"});
+  double tool_at_9 = 0.0;
+  for (int wl = t1.wl_min; wl <= t1.wl_max; ++wl) {
+    const Netlist mult = make_multiplier(wl, t1.input_wordlength);
+    const double tool = tool_fmax_mhz(mult, ctx.device.config());
+    const double datapath =
+        measured_datapath_fmax(ctx.device, wl, t1.input_wordlength);
+    if (wl == 9) tool_at_9 = tool;
+    table.add_row({static_cast<long long>(wl), tool, datapath, fsm_fmax,
+                   t1.clock_mhz / tool,
+                   std::string(datapath < t1.clock_mhz ? "yes" : "no")});
+  }
+  table.print(std::cout);
+  std::cout << "target clock " << t1.clock_mhz << " MHz = "
+            << t1.clock_mhz / tool_at_9 << "x the tool Fmax of the 9-bit design "
+            << "(paper: 1.85x)\n";
+  return 0;
+}

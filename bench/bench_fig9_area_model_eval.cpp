@@ -1,0 +1,77 @@
+// Figure 9 reproduction: evaluation of the area model against the actual
+// circuit area. For every design the framework generated (plus the KLT
+// family), the model's LE estimate is compared with the "synthesised"
+// area of a fresh placement/synthesis run; the paper's claim is that most
+// points fall inside the 95% confidence interval.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/baseline.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+namespace {
+
+// Ground-truth area of one synthesis run of a whole design: per-multiplier
+// synthesised LEs plus the accumulation adders.
+double synthesise_design_area(const LinearProjectionDesign& design, int wl_x,
+                              std::uint64_t run_seed) {
+  double total = 0.0;
+  std::uint64_t instance = 0;
+  for (const auto& col : design.columns) {
+    const int p = static_cast<int>(col.coeffs.size());
+    for (int i = 0; i < p; ++i)
+      total += synthesised_multiplier_les(col.wordlength, wl_x,
+                                          hash_mix(run_seed, ++instance));
+    const double adder_bits = col.wordlength + wl_x + std::ceil(std::log2(p));
+    total += (p - 1) * adder_bits;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 9 — area model vs actual circuit area",
+               "Expected shape: estimates on the diagonal; ~95% of the "
+               "points inside the 95% confidence band.");
+  Context& ctx = Context::get();
+  const auto& area = ctx.area_model();
+  const int wl_x = ctx.table1.input_wordlength;
+
+  std::vector<LinearProjectionDesign> designs;
+  for (double beta : ctx.table1.betas) {
+    auto run = ctx.run_framework(beta);
+    for (auto& d : run.designs) designs.push_back(std::move(d));
+  }
+  for (auto& d : make_klt_family(ctx.x_train, ctx.table1.dims_k,
+                                 ctx.table1.wl_min, ctx.table1.wl_max,
+                                 ctx.table1.clock_mhz, wl_x, area,
+                                 &ctx.error_models_at_target()))
+    designs.push_back(std::move(d));
+
+  Table table({"design", "estimated_les", "actual_les", "error_pct",
+               "ci95_half_width", "inside_ci"});
+  int inside = 0;
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const auto& d = designs[i];
+    const double actual = synthesise_design_area(d, wl_x, 0x5EED + i);
+    // Per-design CI: independent multiplier draws add in variance.
+    double ci = 0.0;
+    for (const auto& col : d.columns) {
+      const double sd = area.stddev(col.wordlength);
+      ci += static_cast<double>(col.coeffs.size()) * sd * sd;
+    }
+    ci = 1.96 * std::sqrt(ci);
+    const bool ok = std::abs(actual - d.area_estimate) <= ci;
+    inside += ok;
+    table.add_row({d.origin, d.area_estimate, actual,
+                   100.0 * (d.area_estimate - actual) / actual, ci,
+                   std::string(ok ? "yes" : "NO")});
+  }
+  table.print(std::cout);
+  std::cout << inside << "/" << designs.size()
+            << " designs inside the 95% confidence interval\n";
+  return 0;
+}

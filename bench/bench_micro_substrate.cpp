@@ -1,0 +1,103 @@
+// Micro-benchmarks of the substrate hot paths (google-benchmark): gate
+// netlist evaluation, the two-frame over-clocking step, STA, the
+// characterisation stream, and coefficient quantisation. These bound how
+// long a full device characterisation takes (millions of multiplications
+// per E(m, f) table).
+#include <benchmark/benchmark.h>
+
+#include "charlib/char_circuit.hpp"
+#include "charlib/sweep.hpp"
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "fabric/calibration.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "mult/bitcodec.hpp"
+#include "mult/multiplier.hpp"
+#include "netlist/sta.hpp"
+#include "timing/overclock_sim.hpp"
+
+using namespace oclp;
+
+namespace {
+
+void BM_NetlistEvaluate(benchmark::State& state) {
+  const int wl = static_cast<int>(state.range(0));
+  const Netlist nl = make_multiplier(wl, 9);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto bits = to_bits(rng.uniform_u64(1u << wl), wl);
+    append_bits(bits, rng.uniform_u64(512), 9);
+    benchmark::DoNotOptimize(nl.evaluate_outputs(bits));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetlistEvaluate)->Arg(4)->Arg(8)->Arg(9);
+
+void BM_OverclockStep(benchmark::State& state) {
+  const int wl = static_cast<int>(state.range(0));
+  Device device(reference_device_config(), kReferenceDieSeed);
+  Netlist nl = make_multiplier(wl, 9);
+  auto delays = annotate_timing(nl, device, reference_location_1());
+  OverclockSim sim(std::move(nl), std::move(delays));
+  Rng rng(2);
+  auto bits = to_bits(0, wl);
+  append_bits(bits, 0, 9);
+  sim.reset(bits);
+  for (auto _ : state) {
+    bits = to_bits(rng.uniform_u64(1u << wl), wl);
+    append_bits(bits, rng.uniform_u64(512), 9);
+    benchmark::DoNotOptimize(sim.step(bits, 3.2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverclockStep)->Arg(4)->Arg(8)->Arg(9);
+
+void BM_StaticTiming(benchmark::State& state) {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  const Netlist nl = make_multiplier(9, 9);
+  const auto delays = annotate_timing(nl, device, reference_location_1());
+  for (auto _ : state) benchmark::DoNotOptimize(static_timing(nl, delays));
+}
+BENCHMARK(BM_StaticTiming);
+
+void BM_TimingAnnotation(benchmark::State& state) {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  const Netlist nl = make_multiplier(9, 9);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Placement p{10, 10, ++seed};
+    benchmark::DoNotOptimize(annotate_timing(nl, device, p));
+  }
+}
+BENCHMARK(BM_TimingAnnotation);
+
+void BM_CharacterisationStream(benchmark::State& state) {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  CharCircuitConfig cfg;
+  CharacterisationCircuit circuit(cfg, device, reference_location_1());
+  const auto xs = uniform_stream(8, 256, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(circuit.run(222, xs, kFig4ClockMhz));
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_CharacterisationStream);
+
+void BM_QuantizeCoeff(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(quantize_coeff(rng.uniform(-1.0, 1.0), 9));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantizeCoeff);
+
+void BM_DeviceConstruction(benchmark::State& state) {
+  const DeviceConfig cfg = reference_device_config();
+  std::uint64_t seed = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(Device(cfg, ++seed));
+}
+BENCHMARK(BM_DeviceConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

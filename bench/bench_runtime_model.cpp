@@ -1,0 +1,68 @@
+// Section VI-E reproduction (Eqs. 7-8): the run-time of the optimisation
+// framework. We measure our Gibbs sampler per word-length with
+// google-benchmark, then compare the *shape* (exponential growth in wl and
+// the chain-count factor of Eq. 7) against the paper's fitted model.
+// Absolute seconds differ — different machine, different implementation —
+// but R(wl+1)/R(wl) ≈ e^0.6427 ≈ 1.9 is the paper's scaling claim, driven
+// by the 2^wl growth of the coefficient grid.
+#include <benchmark/benchmark.h>
+
+#include "bayes/gibbs.hpp"
+#include "bayes/prior.hpp"
+#include "bench_common.hpp"
+#include "core/runtime_model.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+namespace {
+
+void BM_SampleProjection(benchmark::State& state) {
+  const int wl = static_cast<int>(state.range(0));
+  Context& ctx = Context::get();
+  const auto& models = ctx.error_models_at_target();
+  const auto prior =
+      make_prior(models.at(wl), wl, ctx.table1.clock_mhz, 4.0);
+  Matrix xc = ctx.x_train;
+  center_rows(xc);
+  GibbsSettings gibbs;
+  gibbs.burn_in = 100;  // scaled-down chain: the per-iteration cost is what
+  gibbs.samples = 300;  // grows with wl
+  gibbs.seed = 11;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_projection(xc, prior, gibbs));
+  }
+  state.counters["paper_R_wl_seconds"] = runtime_per_projection_s(wl);
+}
+
+BENCHMARK(BM_SampleProjection)->DenseRange(3, 9)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header("Eqs. 7-8 — optimisation framework run-time model",
+               "Expected shape: per-projection cost grows with word-length "
+               "(the grid doubles per bit); paper model R(wl) ~ exp(0.6427 wl).");
+
+  // Eq. 7 with the paper's example settings.
+  const std::vector<int> wls{3, 4, 5, 6, 7, 8, 9};
+  const double total = runtime_total_s(1, 3, 5, 2, wls);
+  std::cout << "paper model, #Freqs=1 K=3 Q=5 #HP=2 wl=3..9: " << total
+            << " s = " << total / 60.0
+            << " min (paper: 1 h 44 min = 104 min)\n";
+  Table table({"wordlength", "paper_R_wl_s", "growth_vs_prev"});
+  double prev = 0.0;
+  for (int wl : wls) {
+    const double r = runtime_per_projection_s(wl);
+    table.add_row({static_cast<long long>(wl), r, prev > 0 ? r / prev : 0.0});
+    prev = r;
+  }
+  table.print(std::cout);
+  std::cout << "\nMeasured sampler cost per word-length follows below; compare"
+            << "\nthe growth trend with paper_R_wl_seconds.\n\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table I reproduction: the case-study settings every other bench uses,
+// printed and validated so a drifting constant is caught immediately.
+#include "bench_common.hpp"
+#include "common/check.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+int main() {
+  print_header("Table I — settings used in the case study",
+               "The exact configuration shared by the Figure 8-11 benches.");
+  Context& ctx = Context::get();
+  const auto& t1 = ctx.table1;
+
+  Table table({"parameter", "value"});
+  table.add_row({std::string("P"), static_cast<long long>(t1.dims_p)});
+  table.add_row({std::string("K"), static_cast<long long>(t1.dims_k)});
+  table.add_row({std::string("Characterisation cases"),
+                 static_cast<long long>(t1.characterisation_cases)});
+  table.add_row({std::string("OF training cases"),
+                 static_cast<long long>(t1.training_cases)});
+  table.add_row({std::string("Test cases"), static_cast<long long>(t1.test_cases)});
+  std::string betas;
+  for (double b : t1.betas) betas += std::to_string(b).substr(0, 3) + " ";
+  table.add_row({std::string("beta"), betas});
+  table.add_row({std::string("Q"), static_cast<long long>(t1.q)});
+  table.add_row({std::string("Clock frequency (MHz)"), t1.clock_mhz});
+  table.add_row({std::string("Input data word-length"),
+                 static_cast<long long>(t1.input_wordlength)});
+  table.add_row({std::string("lambda word-length"),
+                 std::to_string(t1.wl_min) + " to " + std::to_string(t1.wl_max) +
+                     " bits"});
+  table.add_row({std::string("Burn-in period"),
+                 static_cast<long long>(t1.burn_in)});
+  table.add_row({std::string("Projection vector samples"),
+                 static_cast<long long>(t1.projection_samples)});
+  table.print(std::cout);
+
+  // Validate against the paper's Table I.
+  OCLP_CHECK(t1.dims_p == 6 && t1.dims_k == 3);
+  OCLP_CHECK(t1.characterisation_cases == 4900);
+  OCLP_CHECK(t1.training_cases == 100 && t1.test_cases == 5000);
+  OCLP_CHECK(t1.betas == (std::vector<double>{4.0, 8.0}));
+  OCLP_CHECK(t1.q == 5 && t1.clock_mhz == 310.0);
+  OCLP_CHECK(t1.input_wordlength == 9 && t1.wl_min == 3 && t1.wl_max == 9);
+  OCLP_CHECK(t1.burn_in == 1000 && t1.projection_samples == 3000);
+  std::cout << "all values match the paper's Table I\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Device characterisation workflow — the step a user runs once per board
+// (paper Section III): sweep the LUT multipliers of a *specific* device
+// across clock frequencies and locations, persist the E(m, f) tables to
+// CSV for later optimisation runs, and print a characterisation report
+// (operating regimes, tool-vs-device headroom, location spread).
+//
+// Usage: characterise_device [die_seed] [output_directory]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "charlib/char_circuit.hpp"
+#include "charlib/sweep.hpp"
+#include "common/table.hpp"
+#include "fabric/calibration.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "mult/multiplier.hpp"
+#include "netlist/sta.hpp"
+
+using namespace oclp;
+
+int main(int argc, char** argv) {
+  const std::uint64_t die_seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 0) : kReferenceDieSeed;
+  const std::string out_dir = argc > 2 ? argv[2] : ".";
+
+  Device device(reference_device_config(), die_seed);
+  device.set_temperature(kCharacterisationTempC);
+  std::cout << "characterising die seed " << die_seed
+            << " (inter-die speed factor " << device.inter_die_factor()
+            << ", cooled to " << device.temperature_c() << " C)\n\n";
+
+  // --- operating regimes of the 8x8 reference multiplier ---------------------
+  const double tool = tool_fmax_mhz(make_multiplier(8, 8), device.config());
+  std::vector<double> freqs;
+  for (double f = 0.8 * tool; f <= 3.2 * tool; f += 0.1 * tool)
+    freqs.push_back(f);
+  const auto curve =
+      error_rate_curve(device, 8, 8, reference_location_1(), freqs, 4000, 1);
+  const auto regimes = find_regimes(curve);
+  std::cout << "8x8 multiplier: tool Fmax fA = " << tool << " MHz, error-free "
+            << "to fB = " << regimes.error_free_fmax_mhz << " MHz ("
+            << regimes.error_free_fmax_mhz / tool << "x), usable to fC = "
+            << regimes.usable_fmax_mhz << " MHz\n\n";
+
+  // --- full E(m, f) characterisation per word-length -------------------------
+  SweepSettings sweep;
+  sweep.freqs_mhz = {0.9 * tool, 1.2 * tool, 1.5 * tool, 1.85 * tool, 2.2 * tool};
+  sweep.locations = {reference_location_1(), reference_location_2()};
+  sweep.samples_per_point = 500;
+
+  Table report({"wordlength", "error_free_multiplicands_at_1.85x",
+                "max_variance", "csv_file"});
+  for (int wl = 3; wl <= 9; ++wl) {
+    const auto model = characterise_multiplier(device, wl, 9, sweep);
+    const std::string path = out_dir + "/error_model_wl" + std::to_string(wl) +
+                             "_die" + std::to_string(die_seed) + ".csv";
+    model.save_csv_file(path);
+    long long clean = 0;
+    for (std::uint32_t m = 0; m < model.num_multiplicands(); ++m)
+      if (model.variance(m, 1.85 * tool) == 0.0) ++clean;
+    report.add_row({static_cast<long long>(wl), clean, model.max_variance(),
+                    path});
+  }
+  report.print(std::cout);
+  std::cout << "\nfeed these CSVs to OptimisationFramework (or re-load them "
+            << "with ErrorModel::load_csv_file) to optimise designs for this "
+            << "specific die.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Design-space exploration tool: run the optimisation framework over a
+// grid of (β, target clock) settings and print the resulting Pareto
+// designs — the workflow a designer uses to pick an operating point before
+// committing to a bitstream.
+//
+// Usage: explore_design_space [K] [training_cases]
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "area/area_model.hpp"
+#include "charlib/sweep.hpp"
+#include "common/table.hpp"
+#include "core/algorithm1.hpp"
+#include "core/circuit_eval.hpp"
+#include "core/synthetic.hpp"
+#include "fabric/calibration.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "mult/multiplier.hpp"
+
+using namespace oclp;
+
+int main(int argc, char** argv) {
+  const int k = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::size_t cases = argc > 2 ? std::strtoul(argv[2], nullptr, 0) : 100;
+  OCLP_CHECK(k >= 1 && k <= 6 && cases >= 10);
+
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  const double tool =
+      tool_fmax_mhz(make_multiplier(9, 9), device.config());
+
+  SyntheticDataConfig dc;
+  dc.cases = cases;
+  const Matrix x_train = make_synthetic_dataset(dc);
+  dc.cases = 1000;
+  dc.seed = 77;
+  const Matrix x_test = make_synthetic_dataset(dc);
+
+  const AreaModel area = AreaModel::fit(collect_area_samples(3, 9, 9, 12, 4));
+
+  Table table({"target_mhz", "x_tool", "beta", "area_les", "wordlengths",
+               "predicted_mse", "actual_mse"});
+  for (double ratio : {1.5, 1.85, 2.1}) {
+    const double target = std::floor(tool * ratio);
+    SweepSettings ss;
+    ss.freqs_mhz = {target};
+    ss.locations = {reference_location_1(), reference_location_2()};
+    ss.samples_per_point = 400;
+    std::map<int, ErrorModel> models;
+    for (int wl = 3; wl <= 9; ++wl)
+      models.emplace(wl, characterise_multiplier(device, wl, 9, ss));
+
+    for (double beta : {2.0, 4.0}) {
+      OptimisationSettings os;
+      os.dims_k = k;
+      os.beta = beta;
+      os.target_freq_mhz = target;
+      os.gibbs.burn_in = 300;
+      os.gibbs.samples = 800;
+      os.gibbs.seed = hash_mix(static_cast<std::uint64_t>(target),
+                               static_cast<std::uint64_t>(beta * 64));
+      OptimisationFramework framework(os, x_train, models, area);
+      const auto designs = framework.run();
+      for (const auto& d : designs) {
+        std::string wls;
+        for (const auto& col : d.columns)
+          wls += std::to_string(col.wordlength) + " ";
+        const double actual = evaluate_hardware_mse(
+            d, x_test, framework.data_mean(), device,
+            actual_plan(d, device, 11), 9, &models, 12);
+        table.add_row({target, ratio, beta, d.area_estimate, wls,
+                       d.predicted_objective(), actual});
+      }
+    }
+  }
+  std::cout << "Design-space exploration: Z^6 -> Z^" << k << ", "
+            << cases << " training cases, tool Fmax " << tool << " MHz\n\n";
+  table.print(std::cout);
+  std::cout << "\npick the row meeting your throughput and error budget; the\n"
+            << "area column is what the bitstream will cost.\n";
+  return 0;
+}

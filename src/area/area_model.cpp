@@ -1,0 +1,72 @@
+#include "area/area_model.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "mult/multiplier.hpp"
+
+namespace oclp {
+
+double synthesised_multiplier_les(int wl, int wl_x, std::uint64_t run_seed,
+                                  MultArch arch) {
+  OCLP_CHECK(wl >= 1 && wl_x >= 1);
+  const auto base =
+      static_cast<double>(make_multiplier_arch(arch, wl, wl_x).logic_elements());
+  // Placement-dependent optimisation: packing/duplication decisions move
+  // the count a few percent between runs, never below ~90% of nominal.
+  Rng rng(hash_mix(run_seed, static_cast<std::uint64_t>(wl) << 8 | wl_x, 0xa12eaULL));
+  const double factor = std::exp(rng.normal(0.0, 0.03));
+  return std::max(1.0, std::round(base * factor));
+}
+
+std::vector<AreaSample> collect_area_samples(int wl_min, int wl_max, int wl_x,
+                                             int runs, std::uint64_t seed,
+                                             MultArch arch) {
+  OCLP_CHECK(wl_min >= 1 && wl_min <= wl_max && runs >= 1);
+  std::vector<AreaSample> samples;
+  samples.reserve(static_cast<std::size_t>(wl_max - wl_min + 1) * runs);
+  for (int wl = wl_min; wl <= wl_max; ++wl)
+    for (int r = 0; r < runs; ++r)
+      samples.push_back(AreaSample{
+          wl, synthesised_multiplier_les(wl, wl_x, hash_mix(seed, r, wl), arch)});
+  return samples;
+}
+
+AreaModel AreaModel::fit(const std::vector<AreaSample>& samples) {
+  OCLP_CHECK(!samples.empty());
+  std::map<int, RunningStats> acc;
+  for (const auto& s : samples) acc[s.wordlength].add(s.logic_elements);
+  AreaModel model;
+  for (const auto& [wl, st] : acc) {
+    Entry e;
+    e.mean = st.mean();
+    e.stddev = std::sqrt(st.sample_variance());
+    e.count = static_cast<int>(st.count());
+    model.table_[wl] = e;
+  }
+  return model;
+}
+
+double AreaModel::estimate(int wordlength) const {
+  const auto it = table_.find(wordlength);
+  OCLP_CHECK_MSG(it != table_.end(), "no area data for word-length " << wordlength);
+  return it->second.mean;
+}
+
+double AreaModel::stddev(int wordlength) const {
+  const auto it = table_.find(wordlength);
+  OCLP_CHECK_MSG(it != table_.end(), "no area data for word-length " << wordlength);
+  return it->second.stddev;
+}
+
+double AreaModel::column_estimate(int wordlength, int dims_p, int wl_x) const {
+  OCLP_CHECK(dims_p >= 1);
+  const double mults = dims_p * estimate(wordlength);
+  // Accumulation: (P-1) adders over the product width plus carry headroom.
+  const double adder_bits = wordlength + wl_x + std::ceil(std::log2(dims_p));
+  const double adders = (dims_p - 1) * adder_bits;
+  return mults + adders;
+}
+
+}  // namespace oclp

@@ -1,0 +1,70 @@
+// Area model of paper Section V-B2 / Figures 6 and 9.
+//
+// The framework must estimate the logic elements (LEs) of a candidate
+// design without synthesising it. The paper extracts LE counts from the
+// synthesis tool for every supported word-length over many placement and
+// synthesis runs (the counts vary a little run-to-run because the
+// optimiser's decisions depend on placement), then uses the per-word-length
+// statistics during design-space exploration.
+//
+// Here the "synthesis tool" ground truth is the multiplier netlist's LE
+// count perturbed by a small lognormal synthesis-optimisation factor per
+// run — the same spread visible in the paper's Figure 6 scatter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mult/multiplier.hpp"
+
+namespace oclp {
+
+/// One synthesis observation: a wl-bit multiplier cost `logic_elements` LEs.
+struct AreaSample {
+  int wordlength = 0;
+  double logic_elements = 0.0;
+};
+
+/// Synthesis ground truth: LE count of one placement/synthesis run of a
+/// wl × wl_x multiplier (deterministic in `run_seed`).
+double synthesised_multiplier_les(int wl, int wl_x, std::uint64_t run_seed,
+                                  MultArch arch = MultArch::Array);
+
+/// Collect `runs` synthesis observations for every word-length in
+/// [wl_min, wl_max] (the Figure-6 data set).
+std::vector<AreaSample> collect_area_samples(int wl_min, int wl_max, int wl_x,
+                                             int runs, std::uint64_t seed,
+                                             MultArch arch = MultArch::Array);
+
+/// Per-word-length statistics fitted from observations. Estimation is a
+/// table lookup — exact because the set of word-lengths is finite (paper's
+/// own argument) — with a 95% confidence interval from the run-to-run
+/// spread.
+class AreaModel {
+ public:
+  static AreaModel fit(const std::vector<AreaSample>& samples);
+
+  bool covers(int wordlength) const { return table_.count(wordlength) != 0; }
+  /// Expected LEs of one wl-bit multiplier.
+  double estimate(int wordlength) const;
+  /// Run-to-run standard deviation at this word-length.
+  double stddev(int wordlength) const;
+  /// Half-width of the 95% confidence interval for a single new run.
+  double ci95(int wordlength) const { return 1.96 * stddev(wordlength); }
+
+  /// LE estimate for one Linear Projection column: P multipliers plus the
+  /// accumulation adders ((P-1) adders of the product width + headroom).
+  double column_estimate(int wordlength, int dims_p, int wl_x) const;
+
+ private:
+  struct Entry {
+    double mean = 0.0;
+    double stddev = 0.0;
+    int count = 0;
+  };
+  std::map<int, Entry> table_;
+};
+
+}  // namespace oclp

@@ -1,0 +1,159 @@
+#include "bayes/gibbs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/decompositions.hpp"
+
+namespace oclp {
+
+namespace {
+/// Dominant eigenvalue of the (uncentered) second-moment matrix of x —
+/// the natural scale of the strongest remaining mode of variation.
+double dominant_eigenvalue(const Matrix& x) {
+  const std::size_t n = x.cols();
+  Matrix s = x * x.transposed();
+  s *= 1.0 / static_cast<double>(n);
+  const EigenSym eig = jacobi_eigen_sym(s);
+  return eig.values.front();
+}
+}  // namespace
+
+GibbsResult sample_projection(const Matrix& x, const CoeffPrior& prior,
+                              const GibbsSettings& settings) {
+  const std::size_t p = x.rows();
+  const std::size_t n = x.cols();
+  OCLP_CHECK(p >= 1 && n >= 2);
+  OCLP_CHECK(prior.size() >= 2);
+  OCLP_CHECK(settings.burn_in >= 0 && settings.samples >= 1);
+
+  Rng rng(settings.seed);
+  double fvar_prior = settings.factor_variance;
+  if (fvar_prior <= 0.0) fvar_prior = std::max(dominant_eigenvalue(x), 1e-9);
+  const auto& grid = prior.values();
+  std::vector<double> log_prior(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    log_prior[i] = std::log(std::max(prior.probability(i), 1e-300));
+
+  // --- state ---------------------------------------------------------------
+  std::vector<double> lambda(p);
+  // Start from the data's dominant direction snapped to the grid, so short
+  // chains (tests) land in the right mode quickly; the chain remains free
+  // to leave it.
+  {
+    std::vector<double> v(p, 0.0);
+    for (std::size_t r = 0; r < p; ++r) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) s += x(r, i) * x(r, i);
+      v[r] = std::sqrt(s / static_cast<double>(n));
+    }
+    const double nv = norm(v);
+    for (std::size_t r = 0; r < p; ++r) {
+      const double init = nv > 0.0 ? v[r] / nv : 0.0;
+      lambda[r] = prior.value(prior.nearest_index(init));
+    }
+  }
+  std::vector<double> psi(p, 0.01);
+  std::vector<double> f(n, 0.0);
+
+  // --- accumulators ----------------------------------------------------------
+  std::vector<double> lambda_acc(p, 0.0);
+  std::vector<double> psi_acc(p, 0.0);
+  // Per-entry visit counts over the grid (marginal posterior histograms).
+  std::vector<std::vector<std::uint32_t>> visits(p,
+      std::vector<std::uint32_t>(grid.size(), 0));
+  std::vector<std::size_t> last_index(p, 0);
+  double loglik_acc = 0.0;
+
+  std::vector<double> weights(grid.size());
+  const int total = settings.burn_in + settings.samples;
+  for (int iter = 0; iter < total; ++iter) {
+    // -- f_i | λ, Ψ ---------------------------------------------------------
+    double prec = 1.0 / fvar_prior;  // factor prior f ~ N(0, v)
+    for (std::size_t r = 0; r < p; ++r) prec += lambda[r] * lambda[r] / psi[r];
+    const double fvar = 1.0 / prec;
+    const double fsd = std::sqrt(fvar);
+    for (std::size_t i = 0; i < n; ++i) {
+      double num = 0.0;
+      for (std::size_t r = 0; r < p; ++r) num += lambda[r] * x(r, i) / psi[r];
+      f[i] = rng.normal(num * fvar, fsd);
+    }
+
+    double sum_ff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum_ff += f[i] * f[i];
+
+    // -- Ψ_p | λ, F ----------------------------------------------------------
+    for (std::size_t r = 0; r < p; ++r) {
+      double ss = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double res = x(r, i) - lambda[r] * f[i];
+        ss += res * res;
+      }
+      psi[r] = rng.inverse_gamma(settings.psi_shape + 0.5 * static_cast<double>(n),
+                                 settings.psi_scale + 0.5 * ss);
+      psi[r] = std::max(psi[r], 1e-12);
+    }
+
+    // -- λ_p | F, Ψ_p over the grid -------------------------------------------
+    for (std::size_t r = 0; r < p; ++r) {
+      double sum_xf = 0.0;
+      for (std::size_t i = 0; i < n; ++i) sum_xf += x(r, i) * f[i];
+      double mu = 0.0, inv_two_var = 0.0;
+      if (sum_ff > 1e-12) {
+        mu = sum_xf / sum_ff;
+        inv_two_var = sum_ff / (2.0 * psi[r]);
+      }
+      double wmax = -1e300;
+      for (std::size_t g = 0; g < grid.size(); ++g) {
+        const double d = grid[g] - mu;
+        const double lw = log_prior[g] - d * d * inv_two_var;
+        weights[g] = lw;
+        wmax = std::max(wmax, lw);
+      }
+      for (auto& w : weights) w = std::exp(w - wmax);
+      const std::size_t g = rng.categorical(weights);
+      last_index[r] = g;
+      lambda[r] = grid[g];
+    }
+
+    if (iter >= settings.burn_in) {
+      for (std::size_t r = 0; r < p; ++r) {
+        lambda_acc[r] += lambda[r];
+        psi_acc[r] += psi[r];
+        ++visits[r][last_index[r]];
+      }
+      // Log joint (up to constants) as a mixing diagnostic.
+      double ll = 0.0;
+      for (std::size_t r = 0; r < p; ++r) {
+        double ss = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double res = x(r, i) - lambda[r] * f[i];
+          ss += res * res;
+        }
+        ll += -0.5 * ss / psi[r] -
+              0.5 * static_cast<double>(n) * std::log(psi[r]);
+        ll += log_prior[prior.nearest_index(lambda[r])];
+      }
+      loglik_acc += ll;
+    }
+  }
+
+  GibbsResult result;
+  result.lambda_mean.resize(p);
+  result.lambda.resize(p);
+  result.psi.resize(p);
+  const double inv_s = 1.0 / static_cast<double>(settings.samples);
+  for (std::size_t r = 0; r < p; ++r) {
+    result.lambda_mean[r] = lambda_acc[r] * inv_s;
+    std::size_t mode = 0;
+    for (std::size_t g = 1; g < grid.size(); ++g)
+      if (visits[r][g] > visits[r][mode]) mode = g;
+    result.lambda[r] = grid[mode];
+    result.psi[r] = psi_acc[r] * inv_s;
+  }
+  result.avg_log_likelihood = loglik_acc * inv_s;
+  return result;
+}
+
+}  // namespace oclp

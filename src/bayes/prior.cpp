@@ -1,0 +1,67 @@
+#include "bayes/prior.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fixed_point.hpp"
+
+namespace oclp {
+
+std::size_t CoeffPrior::nearest_index(double x) const {
+  OCLP_CHECK(!values_.empty());
+  const auto it = std::lower_bound(values_.begin(), values_.end(), x);
+  if (it == values_.begin()) return 0;
+  if (it == values_.end()) return values_.size() - 1;
+  const auto hi = static_cast<std::size_t>(it - values_.begin());
+  const auto lo = hi - 1;
+  return (x - values_[lo] <= values_[hi] - x) ? lo : hi;
+}
+
+CoeffPrior CoeffPrior::grid_prior(int wordlength, double freq_mhz, double beta) {
+  OCLP_CHECK(wordlength >= 1 && wordlength <= 16);
+  OCLP_CHECK(beta >= 0.0);
+  CoeffPrior prior;
+  prior.wl_ = wordlength;
+  prior.freq_mhz_ = freq_mhz;
+  prior.beta_ = beta;
+  prior.values_ = coeff_grid(wordlength);
+  prior.probs_.assign(prior.values_.size(), 1.0);
+  return prior;
+}
+
+namespace {
+
+void normalise(std::vector<double>& probs) {
+  double total = 0.0;
+  for (double p : probs) total += p;
+  OCLP_CHECK_MSG(total > 0.0, "prior collapsed to zero mass");
+  for (double& p : probs) p /= total;
+}
+
+}  // namespace
+
+CoeffPrior make_prior(const ErrorModel& model, int wordlength, double freq_mhz,
+                      double beta) {
+  OCLP_CHECK_MSG(model.wordlength() == wordlength,
+                 "error model word-length " << model.wordlength()
+                                            << " != prior word-length " << wordlength);
+  CoeffPrior prior = CoeffPrior::grid_prior(wordlength, freq_mhz, beta);
+  for (std::size_t i = 0; i < prior.values_.size(); ++i) {
+    const auto q = quantize_coeff(prior.values_[i], wordlength);
+    const double e = model.variance(q.magnitude, freq_mhz);
+    // g(E) = (1 + E)^(-β), computed in log space: β·ln(1+E) can exceed 700
+    // for raw code-unit variances, which would underflow pow().
+    const double logg = -beta * std::log1p(e);
+    prior.probs_[i] = std::exp(std::max(logg, -745.0));
+  }
+  normalise(prior.probs_);
+  return prior;
+}
+
+CoeffPrior make_flat_prior(int wordlength, double freq_mhz) {
+  CoeffPrior prior = CoeffPrior::grid_prior(wordlength, freq_mhz, 0.0);
+  normalise(prior.probs_);
+  return prior;
+}
+
+}  // namespace oclp

@@ -1,0 +1,68 @@
+// Prior distribution formation (paper Section V-B3, Eq. 6, Figure 7).
+//
+// The prior over a coefficient λ of the Λ matrix carries the hardware
+// knowledge into the Bayesian estimation: coefficients whose magnitude
+// code produces large over-clocking error variance at the target frequency
+// get low probability,
+//
+//   p(λ) = g(E(λ, f)) = c_E · (1 + E(λ, f))^(-β),
+//
+// with E in raw product-code units as characterised, c_E normalising the
+// grid to a probability mass function, and β scaling how strongly the
+// hardware evidence shapes the posterior (β→0 recovers a flat prior; the
+// data-description part of the prior is deliberately uninformative).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "charlib/error_model.hpp"
+
+namespace oclp {
+
+/// Discrete prior over the sign-magnitude coefficient grid of a given
+/// word-length: value(i) = sign·m/2^wl for m ∈ [0, 2^wl), covering
+/// (-1, 1). Negative and positive codes of equal magnitude share E (the
+/// multiplier datapath sees the magnitude).
+class CoeffPrior {
+ public:
+  CoeffPrior() = default;
+
+  int wordlength() const { return wl_; }
+  double freq_mhz() const { return freq_mhz_; }
+  double beta() const { return beta_; }
+  std::size_t size() const { return values_.size(); }
+  const std::vector<double>& values() const { return values_; }
+  const std::vector<double>& probabilities() const { return probs_; }
+
+  /// Probability of grid index i.
+  double probability(std::size_t i) const { return probs_.at(i); }
+  /// Grid value of index i.
+  double value(std::size_t i) const { return values_.at(i); }
+  /// Index of the grid value nearest to x.
+  std::size_t nearest_index(double x) const;
+
+  friend CoeffPrior make_prior(const ErrorModel& model, int wordlength,
+                               double freq_mhz, double beta);
+  friend CoeffPrior make_flat_prior(int wordlength, double freq_mhz);
+
+ private:
+  static CoeffPrior grid_prior(int wordlength, double freq_mhz, double beta);
+
+  int wl_ = 0;
+  double freq_mhz_ = 0.0;
+  double beta_ = 1.0;
+  std::vector<double> values_;  ///< ascending coefficient grid
+  std::vector<double> probs_;   ///< normalised prior mass per grid point
+};
+
+/// Build the Eq.-6 prior from a characterised error model. The model's
+/// multiplicand word-length must equal `wordlength`.
+CoeffPrior make_prior(const ErrorModel& model, int wordlength, double freq_mhz,
+                      double beta);
+
+/// Flat prior over the same grid (β = 0 limit; used by the KLT-style
+/// baseline when evaluated through the Bayesian machinery).
+CoeffPrior make_flat_prior(int wordlength, double freq_mhz);
+
+}  // namespace oclp

@@ -1,0 +1,157 @@
+#include "charlib/char_circuit.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "fabric/timing_annotation.hpp"
+#include "mult/bitcodec.hpp"
+#include "netlist/sta.hpp"
+
+namespace oclp {
+
+namespace {
+
+// Balanced AND over a bit range with memoised subranges — the carry cone of
+// a fast (carry-select-like) BRAM address counter has logarithmic depth.
+std::int32_t range_and(NetlistBuilder& nb, const std::vector<std::int32_t>& bits,
+                       std::size_t lo, std::size_t hi,
+                       std::map<std::pair<std::size_t, std::size_t>, std::int32_t>& memo) {
+  OCLP_CHECK(lo < hi);
+  if (hi - lo == 1) return bits[lo];
+  const auto key = std::make_pair(lo, hi);
+  if (auto it = memo.find(key); it != memo.end()) return it->second;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const auto net = nb.and_(range_and(nb, bits, lo, mid, memo),
+                           range_and(nb, bits, mid, hi, memo));
+  memo.emplace(key, net);
+  return net;
+}
+
+}  // namespace
+
+Netlist make_support_logic(std::size_t bram_depth) {
+  OCLP_CHECK(bram_depth >= 2);
+  int addr_bits = 1;
+  while ((std::size_t{1} << addr_bits) < bram_depth) ++addr_bits;
+
+  NetlistBuilder nb;
+  const auto addr = nb.add_inputs(static_cast<std::size_t>(addr_bits));
+  const auto state = nb.add_inputs(2);  // FSM state register (LOAD/RUN/DRAIN)
+  const auto run_en = nb.add_input();
+
+  // Incrementer: next[i] = addr[i] XOR AND(addr[0..i-1]); log-depth carries.
+  std::map<std::pair<std::size_t, std::size_t>, std::int32_t> memo;
+  std::vector<std::int32_t> next(addr_bits);
+  next[0] = nb.not_(addr[0]);
+  for (int i = 1; i < addr_bits; ++i) {
+    const auto carry = range_and(nb, addr, 0, static_cast<std::size_t>(i), memo);
+    next[i] = nb.xor_(addr[i], carry);
+  }
+  // FSM next-state cone: advance on terminal count while running.
+  const auto all_ones = range_and(nb, addr, 0, static_cast<std::size_t>(addr_bits), memo);
+  const auto advance = nb.and_(all_ones, run_en);
+  const auto next_s0 = nb.xor_(state[0], advance);
+  const auto next_s1 = nb.xor_(state[1], nb.and_(state[0], advance));
+  for (int i = 0; i < addr_bits; ++i) nb.mark_output(next[i]);
+  nb.mark_output(next_s0);
+  nb.mark_output(next_s1);
+  return nb.build();
+}
+
+std::vector<double> bit_error_profile(const CharTrace& trace, int product_bits) {
+  OCLP_CHECK(product_bits >= 1 && product_bits <= 63);
+  OCLP_CHECK(trace.observed.size() == trace.expected.size());
+  std::vector<double> profile(product_bits, 0.0);
+  if (trace.observed.empty()) return profile;
+  for (std::size_t i = 0; i < trace.observed.size(); ++i) {
+    const std::uint64_t flips = trace.observed[i] ^ trace.expected[i];
+    for (int b = 0; b < product_bits; ++b)
+      if ((flips >> b) & 1) profile[b] += 1.0;
+  }
+  for (double& p : profile) p /= static_cast<double>(trace.observed.size());
+  return profile;
+}
+
+CharacterisationCircuit::CharacterisationCircuit(const CharCircuitConfig& cfg,
+                                                 const Device& device,
+                                                 const Placement& placement)
+    : cfg_(cfg),
+      device_(&device),
+      placement_(placement),
+      sim_(make_multiplier_arch(cfg.arch, cfg.wl_m, cfg.wl_x),
+           annotate_timing(make_multiplier_arch(cfg.arch, cfg.wl_m, cfg.wl_x),
+                           device, placement)) {
+  OCLP_CHECK(cfg.wl_m >= 1 && cfg.wl_x >= 1 && cfg.bram_depth >= 2);
+
+  dut_tool_fmax_mhz_ = tool_fmax_mhz(sim_.netlist(), device.config());
+  dut_device_fmax_mhz_ =
+      fmax_mhz(device_critical_path_ns(sim_.netlist(), device, placement));
+
+  // The supporting modules live next to the DUT; their placement is part of
+  // the same P&R run.
+  const Netlist support = make_support_logic(cfg.bram_depth);
+  Placement support_place = placement;
+  support_place.x += 2;
+  support_place.route_seed = hash_mix(placement.route_seed, 0xf5afULL);
+  support_fmax_mhz_ =
+      fmax_mhz(device_critical_path_ns(support, device, support_place));
+}
+
+CharTrace CharacterisationCircuit::run(std::uint32_t m,
+                                       const std::vector<std::uint32_t>& xs,
+                                       double freq_mhz, std::uint64_t jitter_seed) {
+  OCLP_CHECK_MSG(m < (1u << cfg_.wl_m), "multiplicand " << m << " exceeds "
+                                            << cfg_.wl_m << " bits");
+  // The framework must only measure DUT errors: the DUT clock has to stay
+  // below the supporting-logic limit, and the FSM domain below both.
+  OCLP_CHECK_MSG(freq_mhz < support_fmax_mhz_,
+                 "mult_clk " << freq_mhz << " MHz exceeds supporting-logic Fmax "
+                             << support_fmax_mhz_ << " MHz");
+  OCLP_CHECK_MSG(cfg_.fsm_clock_mhz < support_fmax_mhz_,
+                 "fsm_clk exceeds supporting-logic Fmax");
+
+  ClockGen clock(freq_mhz, cfg_.with_jitter ? device_->config().jitter_sigma_ns : 0.0,
+                 hash_mix(jitter_seed, m, static_cast<std::uint64_t>(freq_mhz * 1e3)));
+
+  CharTrace trace;
+  trace.observed.reserve(xs.size());
+  trace.expected.reserve(xs.size());
+  trace.error.reserve(xs.size());
+
+  std::vector<std::uint8_t> in;
+  in.reserve(static_cast<std::size_t>(cfg_.wl_m + cfg_.wl_x));
+  auto encode = [&](std::uint32_t x) {
+    in.clear();
+    append_bits(in, m, cfg_.wl_m);
+    append_bits(in, x, cfg_.wl_x);
+  };
+
+  encode(0);
+  sim_.reset(in);
+
+  std::size_t processed = 0;
+  while (processed < xs.size()) {
+    const std::size_t batch = std::min(cfg_.bram_depth, xs.size() - processed);
+    // FSM bookkeeping: LOAD fills the input BRAM, RUN streams it through
+    // the DUT, DRAIN empties the output BRAM — all in the fsm_clk domain.
+    trace.fsm_cycles += 2 * batch + 4;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::uint32_t x = xs[processed + i];
+      OCLP_DCHECK(x < (1u << cfg_.wl_x));
+      encode(x);
+      const auto out = sim_.step(in, clock.next_period_ns());
+      const std::uint64_t obs = from_bits(out);
+      const std::uint64_t exp =
+          static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(x);
+      trace.observed.push_back(obs);
+      trace.expected.push_back(exp);
+      trace.error.push_back(static_cast<std::int64_t>(obs) -
+                            static_cast<std::int64_t>(exp));
+      if (obs != exp) ++trace.erroneous;
+    }
+    processed += batch;
+  }
+  return trace;
+}
+
+}  // namespace oclp

@@ -1,0 +1,82 @@
+// The multiplier characterisation circuit of paper Figure 3.
+//
+// Structure: an "input stream" BRAM feeds the multiplier under test, whose
+// outputs land in an "output stream" BRAM; a PLL generates the swept
+// mult_clk for the DUT and a slow fsm_clk for the FSM/BRAM interface; the
+// host loads stimuli and retrieves results (JTAG in the paper). The
+// supporting modules are engineered so their critical path stays far above
+// the DUT's error region — the model verifies that invariant instead of
+// assuming it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/clock.hpp"
+#include "fabric/device.hpp"
+#include "mult/multiplier.hpp"
+#include "timing/overclock_sim.hpp"
+
+namespace oclp {
+
+struct CharCircuitConfig {
+  int wl_m = 8;   ///< constant-operand (multiplicand) port width
+  int wl_x = 8;   ///< streamed-operand port width
+  MultArch arch = MultArch::Array;  ///< design-under-test architecture
+  double fsm_clock_mhz = 50.0;   ///< supporting-domain clock
+  std::size_t bram_depth = 8192; ///< stream BRAM words per batch
+  bool with_jitter = true;       ///< model PLL cycle-to-cycle jitter
+};
+
+/// One characterisation batch result. error[i] = observed[i] - expected[i]
+/// in raw product-code units (as plotted in the paper's Figure 4).
+struct CharTrace {
+  std::vector<std::uint64_t> observed;
+  std::vector<std::uint64_t> expected;
+  std::vector<std::int64_t> error;
+  std::size_t erroneous = 0;     ///< count of error[i] != 0
+  std::size_t fsm_cycles = 0;    ///< supporting-domain cycles consumed
+};
+
+class CharacterisationCircuit {
+ public:
+  CharacterisationCircuit(const CharCircuitConfig& cfg, const Device& device,
+                          const Placement& placement);
+
+  const CharCircuitConfig& config() const { return cfg_; }
+  const Netlist& dut() const { return sim_.netlist(); }
+
+  /// Conservative Fmax of the DUT as the synthesis tool reports (fA).
+  double dut_tool_fmax_mhz() const { return dut_tool_fmax_mhz_; }
+  /// Device-view zero-slack Fmax of the DUT at this placement (no margin).
+  double dut_device_fmax_mhz() const { return dut_device_fmax_mhz_; }
+  /// Device-view Fmax of the supporting FSM/BRAM logic.
+  double support_fmax_mhz() const { return support_fmax_mhz_; }
+
+  /// Stream `xs` through the DUT with the multiplicand fixed to `m`,
+  /// clocked at `freq_mhz`. Throws if the supporting logic could not keep
+  /// up (the framework must never inject errors of its own).
+  CharTrace run(std::uint32_t m, const std::vector<std::uint32_t>& xs,
+                double freq_mhz, std::uint64_t jitter_seed = 1);
+
+ private:
+  CharCircuitConfig cfg_;
+  const Device* device_;
+  Placement placement_;
+  OverclockSim sim_;
+  double dut_tool_fmax_mhz_ = 0.0;
+  double dut_device_fmax_mhz_ = 0.0;
+  double support_fmax_mhz_ = 0.0;
+};
+
+/// The supporting-logic netlist (BRAM address counter + FSM next-state
+/// cone). Exposed so tests can confirm it is much shallower than any DUT.
+Netlist make_support_logic(std::size_t bram_depth);
+
+/// Per-product-bit error rates of a trace: fraction of samples where bit k
+/// of the observed product differs from the expected one. The paper's
+/// Figure-4 commentary ("the MSbs exhibit the longest paths") is this
+/// profile: the top bits dominate under over-clocking.
+std::vector<double> bit_error_profile(const CharTrace& trace, int product_bits);
+
+}  // namespace oclp

@@ -1,0 +1,141 @@
+#include "charlib/error_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace oclp {
+
+ErrorModel::ErrorModel(int wl_m, int wl_x, std::vector<double> freqs_mhz)
+    : wl_m_(wl_m), wl_x_(wl_x), freqs_(std::move(freqs_mhz)) {
+  OCLP_CHECK(wl_m >= 1 && wl_m <= 16 && wl_x >= 1 && wl_x <= 16);
+  OCLP_CHECK_MSG(!freqs_.empty(), "error model needs at least one frequency");
+  OCLP_CHECK_MSG(std::is_sorted(freqs_.begin(), freqs_.end()),
+                 "frequency grid must be ascending");
+  const std::size_t n = num_multiplicands() * freqs_.size();
+  var_.assign(n, 0.0);
+  mean_.assign(n, 0.0);
+  rate_.assign(n, 0.0);
+}
+
+void ErrorModel::set(std::uint32_t m, std::size_t freq_index, double variance,
+                     double mean_error, double error_rate) {
+  OCLP_CHECK(variance >= 0.0 && error_rate >= 0.0 && error_rate <= 1.0);
+  const auto i = index(m, freq_index);
+  var_[i] = variance;
+  mean_[i] = mean_error;
+  rate_[i] = error_rate;
+}
+
+void ErrorModel::locate(double freq_mhz, std::size_t& i0, std::size_t& i1,
+                        double& t) const {
+  OCLP_CHECK(!freqs_.empty());
+  if (freq_mhz <= freqs_.front()) {
+    i0 = i1 = 0;
+    t = 0.0;
+    return;
+  }
+  if (freq_mhz >= freqs_.back()) {
+    i0 = i1 = freqs_.size() - 1;
+    t = 0.0;
+    return;
+  }
+  const auto it = std::upper_bound(freqs_.begin(), freqs_.end(), freq_mhz);
+  i1 = static_cast<std::size_t>(it - freqs_.begin());
+  i0 = i1 - 1;
+  t = (freq_mhz - freqs_[i0]) / (freqs_[i1] - freqs_[i0]);
+}
+
+double ErrorModel::variance(std::uint32_t m, double freq_mhz) const {
+  std::size_t i0, i1;
+  double t;
+  locate(freq_mhz, i0, i1, t);
+  return (1.0 - t) * var_[index(m, i0)] + t * var_[index(m, i1)];
+}
+
+double ErrorModel::mean_error(std::uint32_t m, double freq_mhz) const {
+  std::size_t i0, i1;
+  double t;
+  locate(freq_mhz, i0, i1, t);
+  return (1.0 - t) * mean_[index(m, i0)] + t * mean_[index(m, i1)];
+}
+
+double ErrorModel::error_rate(std::uint32_t m, double freq_mhz) const {
+  std::size_t i0, i1;
+  double t;
+  locate(freq_mhz, i0, i1, t);
+  return (1.0 - t) * rate_[index(m, i0)] + t * rate_[index(m, i1)];
+}
+
+double ErrorModel::variance_value_units(std::uint32_t m, double freq_mhz) const {
+  const double scale = std::ldexp(1.0, wl_m_ + wl_x_);  // 2^(wl_m + wl_x)
+  return variance(m, freq_mhz) / (scale * scale);
+}
+
+double ErrorModel::max_variance() const {
+  return var_.empty() ? 0.0 : *std::max_element(var_.begin(), var_.end());
+}
+
+void ErrorModel::save_csv(std::ostream& os) const {
+  os << "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n";
+  os.precision(17);
+  for (std::uint32_t m = 0; m < num_multiplicands(); ++m)
+    for (std::size_t fi = 0; fi < freqs_.size(); ++fi)
+      os << wl_m_ << ',' << wl_x_ << ',' << m << ',' << freqs_[fi] << ','
+         << var_[index(m, fi)] << ',' << mean_[index(m, fi)] << ','
+         << rate_[index(m, fi)] << '\n';
+}
+
+void ErrorModel::save_csv_file(const std::string& path) const {
+  std::ofstream os(path);
+  OCLP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  save_csv(os);
+}
+
+ErrorModel ErrorModel::load_csv(std::istream& is) {
+  std::string line;
+  OCLP_CHECK_MSG(std::getline(is, line), "empty error-model stream");
+
+  struct Row {
+    int wl_m, wl_x;
+    std::uint32_t m;
+    double freq, var, mean, rate;
+  };
+  std::vector<Row> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    Row r{};
+    char comma;
+    std::istringstream ls(line);
+    ls >> r.wl_m >> comma >> r.wl_x >> comma >> r.m >> comma >> r.freq >>
+        comma >> r.var >> comma >> r.mean >> comma >> r.rate;
+    OCLP_CHECK_MSG(!ls.fail(), "malformed error-model row: " << line);
+    rows.push_back(r);
+  }
+  OCLP_CHECK(!rows.empty());
+
+  std::vector<double> freqs;
+  for (const auto& r : rows)
+    if (std::find(freqs.begin(), freqs.end(), r.freq) == freqs.end())
+      freqs.push_back(r.freq);
+  std::sort(freqs.begin(), freqs.end());
+
+  ErrorModel model(rows.front().wl_m, rows.front().wl_x, freqs);
+  for (const auto& r : rows) {
+    OCLP_CHECK_MSG(r.wl_m == model.wl_m_ && r.wl_x == model.wl_x_,
+                   "mixed word-lengths in one error-model file");
+    const auto it = std::lower_bound(freqs.begin(), freqs.end(), r.freq);
+    model.set(r.m, static_cast<std::size_t>(it - freqs.begin()), r.var, r.mean,
+              r.rate);
+  }
+  return model;
+}
+
+ErrorModel ErrorModel::load_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  OCLP_CHECK_MSG(is.good(), "cannot open " << path);
+  return load_csv(is);
+}
+
+}  // namespace oclp

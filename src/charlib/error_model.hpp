@@ -1,0 +1,72 @@
+// E(m, f): the over-clocking error model of paper Section V-B1.
+//
+// For a multiplier of word-length wl, E holds — per multiplicand code m and
+// per characterised clock frequency f — the variance, mean and rate of the
+// error observed at the multiplier output when a representative data
+// stream is multiplied by the constant m at frequency f. Variances are in
+// raw product-code units (code = m·x); value-domain helpers convert to the
+// normalised coefficient×data domain the objective function works in.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+class ErrorModel {
+ public:
+  ErrorModel() = default;
+  /// wl_m: multiplicand port width; wl_x: streamed-data port width.
+  ErrorModel(int wl_m, int wl_x, std::vector<double> freqs_mhz);
+
+  int wordlength() const { return wl_m_; }
+  int data_wordlength() const { return wl_x_; }
+  const std::vector<double>& freqs_mhz() const { return freqs_; }
+  std::size_t num_multiplicands() const { return std::size_t{1} << wl_m_; }
+  bool empty() const { return freqs_.empty(); }
+
+  void set(std::uint32_t m, std::size_t freq_index, double variance,
+           double mean_error, double error_rate);
+
+  /// Variance of the output error (code² units) at multiplicand m and
+  /// frequency f, linearly interpolated between characterised frequencies
+  /// and clamped at the grid edges.
+  double variance(std::uint32_t m, double freq_mhz) const;
+  /// Mean error (code units) — the constant the circuit subtracts so ε has
+  /// zero mean (paper Sec. V-A).
+  double mean_error(std::uint32_t m, double freq_mhz) const;
+  /// Fraction of erroneous outputs.
+  double error_rate(std::uint32_t m, double freq_mhz) const;
+
+  /// Variance converted to the value domain where coefficient = m/2^wl and
+  /// data = x/2^wl_x, i.e. divided by (2^wl · 2^wl_x)².
+  double variance_value_units(std::uint32_t m, double freq_mhz) const;
+
+  /// Largest variance anywhere in the table (prior normalisation aid).
+  double max_variance() const;
+
+  /// CSV persistence (header row then wl,m,freq,variance,mean,rate rows).
+  void save_csv(std::ostream& os) const;
+  void save_csv_file(const std::string& path) const;
+  static ErrorModel load_csv(std::istream& is);
+  static ErrorModel load_csv_file(const std::string& path);
+
+ private:
+  std::size_t index(std::uint32_t m, std::size_t fi) const {
+    OCLP_DCHECK(m < num_multiplicands() && fi < freqs_.size());
+    return static_cast<std::size_t>(m) * freqs_.size() + fi;
+  }
+  /// Interpolation weights over the frequency grid.
+  void locate(double freq_mhz, std::size_t& i0, std::size_t& i1, double& t) const;
+
+  int wl_m_ = 0;
+  int wl_x_ = 0;
+  std::vector<double> freqs_;
+  std::vector<double> var_, mean_, rate_;
+};
+
+}  // namespace oclp

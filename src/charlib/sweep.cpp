@@ -1,0 +1,124 @@
+#include "charlib/sweep.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "mult/bitcodec.hpp"
+
+namespace oclp {
+
+std::vector<std::uint32_t> uniform_stream(int wl_x, std::size_t n,
+                                          std::uint64_t seed) {
+  Rng rng(hash_mix(seed, 0x57eaULL, wl_x));
+  std::vector<std::uint32_t> xs(n);
+  for (auto& x : xs)
+    x = static_cast<std::uint32_t>(rng.uniform_u64(std::uint64_t{1} << wl_x));
+  return xs;
+}
+
+ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
+                                   const SweepSettings& settings,
+                                   ThreadPool* pool) {
+  OCLP_CHECK(!settings.freqs_mhz.empty());
+  OCLP_CHECK(!settings.locations.empty());
+  OCLP_CHECK(settings.samples_per_point >= 2);
+  std::vector<double> freqs = settings.freqs_mhz;
+  std::sort(freqs.begin(), freqs.end());
+
+  ErrorModel model(wl_m, wl_x, freqs);
+  const std::size_t num_m = model.num_multiplicands();
+  const auto stream =
+      uniform_stream(wl_x, settings.samples_per_point, settings.stream_seed);
+
+  CharCircuitConfig ccfg;
+  ccfg.wl_m = wl_m;
+  ccfg.wl_x = wl_x;
+  ccfg.arch = settings.arch;
+  ccfg.with_jitter = settings.with_jitter;
+  ccfg.fsm_clock_mhz = settings.fsm_clock_mhz;
+  ccfg.bram_depth = settings.bram_depth;
+
+  auto worker = [&](std::size_t mi) {
+    const auto m = static_cast<std::uint32_t>(mi);
+    // Per-(m) circuits: one per location, reused across the frequency grid.
+    for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+      RunningStats err;
+      std::size_t erroneous = 0, total = 0;
+      for (const auto& loc : settings.locations) {
+        CharacterisationCircuit circuit(ccfg, device, loc);
+        const auto trace = circuit.run(
+            m, stream, freqs[fi],
+            hash_mix(settings.stream_seed, mi, fi * 31 + loc.route_seed));
+        for (auto e : trace.error) err.add(static_cast<double>(e));
+        erroneous += trace.erroneous;
+        total += trace.error.size();
+      }
+      model.set(m, fi, err.variance(), err.mean(),
+                total ? static_cast<double>(erroneous) / static_cast<double>(total)
+                      : 0.0);
+    }
+  };
+
+  if (pool == nullptr) pool = &ThreadPool::global();
+  pool->parallel_for(0, num_m, worker);
+  return model;
+}
+
+std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
+                                             int wl_b, const Placement& placement,
+                                             const std::vector<double>& freqs_mhz,
+                                             std::size_t samples,
+                                             std::uint64_t seed, ThreadPool* pool) {
+  OCLP_CHECK(!freqs_mhz.empty() && samples >= 2);
+  std::vector<ErrorRatePoint> curve(freqs_mhz.size());
+
+  CharCircuitConfig ccfg;
+  ccfg.wl_m = wl_a;
+  ccfg.wl_x = wl_b;
+
+  // Both operands random: reuse the characterisation circuit by streaming a
+  // fresh random multiplicand per short burst. Bursts keep the fixed-port
+  // semantics of the circuit while exercising the whole operand space.
+  const std::size_t burst = 16;
+  auto worker = [&](std::size_t fi) {
+    Rng rng(hash_mix(seed, fi, 0xF19uLL));
+    CharacterisationCircuit circuit(ccfg, device, placement);
+    RunningStats err;
+    std::size_t erroneous = 0, total = 0;
+    std::size_t remaining = samples;
+    while (remaining > 0) {
+      const std::size_t n = std::min(burst, remaining);
+      const auto m =
+          static_cast<std::uint32_t>(rng.uniform_u64(std::uint64_t{1} << wl_a));
+      auto xs = uniform_stream(wl_b, n, rng.next());
+      const auto trace = circuit.run(m, xs, freqs_mhz[fi], rng.next());
+      for (auto e : trace.error) err.add(static_cast<double>(e));
+      erroneous += trace.erroneous;
+      total += trace.error.size();
+      remaining -= n;
+    }
+    curve[fi] = ErrorRatePoint{
+        freqs_mhz[fi],
+        total ? static_cast<double>(erroneous) / static_cast<double>(total) : 0.0,
+        err.variance()};
+  };
+
+  if (pool == nullptr) pool = &ThreadPool::global();
+  pool->parallel_for(0, freqs_mhz.size(), worker);
+  return curve;
+}
+
+OperatingRegimes find_regimes(const std::vector<ErrorRatePoint>& curve,
+                              double meaningful_rate) {
+  OperatingRegimes reg;
+  for (const auto& pt : curve) {
+    if (pt.error_rate == 0.0) reg.error_free_fmax_mhz = std::max(reg.error_free_fmax_mhz, pt.freq_mhz);
+    if (pt.error_rate < meaningful_rate)
+      reg.usable_fmax_mhz = std::max(reg.usable_fmax_mhz, pt.freq_mhz);
+  }
+  return reg;
+}
+
+}  // namespace oclp

@@ -1,0 +1,65 @@
+// The automated characterisation process of paper Section III-B/C:
+// enumerate every multiplicand value of the wl-bit port, stimulate the
+// other port with a uniform pseudo-random stream, sweep clock frequencies
+// and placements, and aggregate the observed errors into an ErrorModel.
+// The sweep is embarrassingly parallel over multiplicands and runs on the
+// shared thread pool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "charlib/char_circuit.hpp"
+#include "charlib/error_model.hpp"
+#include "common/thread_pool.hpp"
+#include "fabric/device.hpp"
+
+namespace oclp {
+
+struct SweepSettings {
+  std::vector<double> freqs_mhz;       ///< characterised frequency grid
+  std::vector<Placement> locations;    ///< placements to aggregate over
+  std::size_t samples_per_point = 1000;  ///< stream length per (m, f, loc)
+  std::uint64_t stream_seed = 2014;    ///< seed of the stimulus stream
+  bool with_jitter = true;
+  double fsm_clock_mhz = 50.0;
+  std::size_t bram_depth = 8192;
+  MultArch arch = MultArch::Array;     ///< multiplier architecture under test
+};
+
+/// Characterise a wl_m × wl_x multiplier on `device`: E(m, f) averaged over
+/// the requested locations (each location also re-rolls routing).
+ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
+                                   const SweepSettings& settings,
+                                   ThreadPool* pool = nullptr);
+
+/// Uniform stream of `n` values in [0, 2^wl_x).
+std::vector<std::uint32_t> uniform_stream(int wl_x, std::size_t n,
+                                          std::uint64_t seed);
+
+/// Figure-1 style curve: fraction of erroneous outputs of a multiplier vs
+/// clock frequency, with both operands drawn uniformly per cycle.
+struct ErrorRatePoint {
+  double freq_mhz = 0.0;
+  double error_rate = 0.0;
+  double error_variance = 0.0;
+};
+std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
+                                             int wl_b, const Placement& placement,
+                                             const std::vector<double>& freqs_mhz,
+                                             std::size_t samples,
+                                             std::uint64_t seed = 99,
+                                             ThreadPool* pool = nullptr);
+
+/// Operating-regime summary extracted from an error-rate curve: fB = last
+/// error-free frequency, fC = last frequency whose error rate stays below
+/// `meaningful_rate` (above fC the design "doesn't produce meaningful
+/// results").
+struct OperatingRegimes {
+  double error_free_fmax_mhz = 0.0;  ///< fB
+  double usable_fmax_mhz = 0.0;      ///< fC
+};
+OperatingRegimes find_regimes(const std::vector<ErrorRatePoint>& curve,
+                              double meaningful_rate = 0.5);
+
+}  // namespace oclp

@@ -1,0 +1,49 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// OCLP_CHECK is always on (these guard API misuse, not hot inner loops);
+// OCLP_DCHECK compiles out in release builds and may be used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oclp {
+
+/// Error thrown on violated preconditions anywhere in the library.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "OCLP_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace oclp
+
+#define OCLP_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) ::oclp::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define OCLP_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream oclp_os_;                                       \
+      oclp_os_ << msg;                                                   \
+      ::oclp::detail::check_fail(#expr, __FILE__, __LINE__, oclp_os_.str()); \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define OCLP_DCHECK(expr) ((void)0)
+#else
+#define OCLP_DCHECK(expr) OCLP_CHECK(expr)
+#endif

@@ -1,0 +1,69 @@
+// Sign-magnitude fixed-point quantisation of Linear Projection coefficients.
+//
+// A coefficient λ ∈ (-1, 1) is stored as sign · m / 2^wl with magnitude
+// code m ∈ [0, 2^wl - 1]. The hardware datapath multiplies the unsigned
+// magnitude m by the (unsigned) data word and applies the sign during
+// accumulation, so the over-clocking error model E(m, f) is indexed by the
+// magnitude code exactly as the characterisation framework measures it
+// (paper Sec. III enumerates all multiplicand values of the wl-bit port).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+/// Quantised coefficient: value = sign * magnitude / 2^wordlength.
+struct QuantCoeff {
+  int sign = 1;           ///< +1 or -1 (sign of zero is +1)
+  std::uint32_t magnitude = 0;  ///< unsigned multiplicand code, < 2^wordlength
+  int wordlength = 8;     ///< magnitude bits (the multiplier port width)
+
+  double value() const {
+    return sign * static_cast<double>(magnitude) /
+           static_cast<double>(1u << wordlength);
+  }
+};
+
+/// Quantise x (clamped to the representable range) to wl magnitude bits.
+inline QuantCoeff quantize_coeff(double x, int wl) {
+  OCLP_CHECK(wl >= 1 && wl <= 20);
+  QuantCoeff q;
+  q.wordlength = wl;
+  q.sign = x < 0.0 ? -1 : 1;
+  const double scale = static_cast<double>(1u << wl);
+  const double mag = std::abs(x) * scale;
+  const auto max_code = (1u << wl) - 1;
+  auto code = static_cast<std::uint64_t>(std::llround(mag));
+  if (code > max_code) code = max_code;
+  q.magnitude = static_cast<std::uint32_t>(code);
+  return q;
+}
+
+/// Quantisation step for wl magnitude bits.
+inline double quant_step(int wl) { return 1.0 / static_cast<double>(1u << wl); }
+
+/// All representable coefficient values for wl bits, ascending
+/// (-(2^wl-1)/2^wl ... -1/2^wl, 0, 1/2^wl ... (2^wl-1)/2^wl).
+std::vector<double> inline coeff_grid(int wl) {
+  OCLP_CHECK(wl >= 1 && wl <= 20);
+  const int n = 1 << wl;
+  std::vector<double> grid;
+  grid.reserve(2 * n - 1);
+  for (int m = n - 1; m >= 1; --m) grid.push_back(-static_cast<double>(m) / n);
+  for (int m = 0; m <= n - 1; ++m) grid.push_back(static_cast<double>(m) / n);
+  return grid;
+}
+
+/// Quantise a whole vector; returns codes and writes values if requested.
+inline std::vector<QuantCoeff> quantize_vector(const std::vector<double>& xs, int wl) {
+  std::vector<QuantCoeff> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(quantize_coeff(x, wl));
+  return out;
+}
+
+}  // namespace oclp

@@ -1,0 +1,37 @@
+// Fixed-bin histogram used for the Figure-4 error histograms and the
+// prior-distribution plots.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace oclp {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are clamped to the edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add(const std::vector<double>& xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+  /// Fraction of samples in the bin (0 when empty).
+  double frequency(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin) for bench output.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace oclp

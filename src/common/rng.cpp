@@ -1,0 +1,46 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace oclp {
+
+double Rng::gamma(double shape, double scale) {
+  OCLP_CHECK(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and correct with the standard power-of-uniform trick.
+    const double u = uniform();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v * scale;
+  }
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  OCLP_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    OCLP_DCHECK(w >= 0.0);
+    total += w;
+  }
+  OCLP_CHECK_MSG(total > 0.0, "categorical: all weights are zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric fallout: return the last bin
+}
+
+}  // namespace oclp

@@ -1,0 +1,147 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The whole reproduction is seed-stable: every stochastic component (die
+// variation, routing draws, jitter, input streams, Gibbs sampling) derives
+// its randomness from an explicitly seeded Rng, so experiments are exactly
+// repeatable run-to-run and across machines.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through
+// splitmix64 so that low-entropy user seeds still produce well-mixed state.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing of
+/// (seed, index) pairs, e.g. one independent stream per grid location.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of up to three values; handy to derive independent
+/// seeds for sub-streams (location x/y, net index, cycle counter, ...).
+constexpr std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ULL,
+                                 std::uint64_t c = 0x6a09e667f3bcc909ULL) {
+  std::uint64_t s = a;
+  std::uint64_t h = splitmix64(s);
+  s ^= b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= splitmix64(s);
+  s ^= c + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return splitmix64(s);
+}
+
+/// xoshiro256++ PRNG with a std::uniform_random_bit_generator-compatible
+/// interface plus the handful of distributions the library needs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcd5678ef90ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+    has_cached_normal_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t uniform_u64(std::uint64_t bound) {
+    OCLP_CHECK(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    OCLP_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_u64(span));
+  }
+
+  /// Double in [0, 1) with 53 random bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Marsaglia polar method (caches the spare value).
+  double normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return u * factor;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Gamma(shape, scale) via Marsaglia–Tsang; shape > 0.
+  double gamma(double shape, double scale);
+
+  /// Inverse-gamma(shape, scale): 1/Gamma(shape, 1/scale).
+  double inverse_gamma(double shape, double scale) {
+    return scale / gamma(shape, 1.0);
+  }
+
+  /// Sample an index from unnormalised non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fork an independent generator (for per-task streams).
+  Rng fork() { return Rng(hash_mix(next(), next())); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace oclp

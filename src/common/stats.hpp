@@ -1,0 +1,59 @@
+// Streaming statistics (Welford) and small helpers shared by the
+// characterisation framework (error variance), the area model (fit
+// residuals) and the evaluation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oclp {
+
+/// Numerically-stable single-pass mean/variance/extrema accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n); the error model uses population
+  /// variance because the characterisation enumerates the stream it models.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Sample variance (divide by n-1).
+  double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector (0 for empty).
+double mean_of(const std::vector<double>& xs);
+
+/// Population variance of a vector.
+double variance_of(const std::vector<double>& xs);
+
+/// Mean squared value of a vector.
+double mean_square(const std::vector<double>& xs);
+
+/// Pearson correlation of two equal-length vectors.
+double correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Ordinary least squares y ≈ a + b·x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Residual standard deviation (n-2 denominator).
+  double residual_stddev = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace oclp

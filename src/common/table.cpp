@@ -1,0 +1,91 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  OCLP_CHECK(!columns_.empty());
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  OCLP_CHECK_MSG(cells.size() == columns_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << columns_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string(const Cell& c) {
+  if (std::holds_alternative<std::string>(c)) return std::get<std::string>(c);
+  if (std::holds_alternative<long long>(c))
+    return std::to_string(std::get<long long>(c));
+  std::ostringstream os;
+  os << std::setprecision(6) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(to_string(row[c]));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto line = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      os << "+" << std::string(width[c] + 2, '-');
+    os << "+\n";
+  };
+  line();
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << "| " << std::setw(static_cast<int>(width[c])) << std::left << columns_[c] << " ";
+  os << "|\n";
+  line();
+  for (const auto& r : rendered) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << "| " << std::setw(static_cast<int>(width[c])) << std::left << r[c] << " ";
+    os << "|\n";
+  }
+  line();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::string& s) {
+    if (s.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (char ch : s) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << s;
+    }
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    emit(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      emit(to_string(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace oclp

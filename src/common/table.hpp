@@ -1,0 +1,34 @@
+// Minimal column-aligned table / CSV emitter for bench binaries, so every
+// figure/table reproduction prints a uniform, machine-parsable block.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace oclp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  using Cell = std::variant<std::string, double, long long>;
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return columns_.size(); }
+
+  /// Column-aligned human-readable rendering.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV rendering.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  static std::string to_string(const Cell& c);
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace oclp

@@ -1,0 +1,74 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    OCLP_CHECK_MSG(!stopping_, "submit on a stopped ThreadPool");
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // ~4 chunks per worker balances load without flooding the queue.
+  const std::size_t chunks = std::min(n, size() * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c0 = begin; c0 < end; c0 += chunk) {
+    const std::size_t c1 = std::min(end, c0 + chunk);
+    futures.push_back(submit([c0, c1, &fn] {
+      for (std::size_t i = c0; i < c1; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions propagate via the packaged_task's future
+  }
+}
+
+}  // namespace oclp

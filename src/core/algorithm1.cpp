@@ -1,0 +1,176 @@
+#include "core/algorithm1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bayes/prior.hpp"
+#include "common/rng.hpp"
+#include "core/objective.hpp"
+#include "linalg/decompositions.hpp"
+
+namespace oclp {
+
+namespace {
+constexpr double kRidge = 1e-10;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<CandidateProjection>& cands) {
+  // Sort by area ascending (ties: MSE ascending); sweep keeping strictly
+  // improving MSE — the classic min-min staircase.
+  std::vector<std::size_t> order(cands.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cands[a].area != cands[b].area) return cands[a].area < cands[b].area;
+    return cands[a].mse < cands[b].mse;
+  });
+  std::vector<std::size_t> front;
+  double best_mse = std::numeric_limits<double>::infinity();
+  for (auto i : order) {
+    if (cands[i].mse < best_mse) {
+      front.push_back(i);
+      best_mse = cands[i].mse;
+    }
+  }
+  return front;
+}
+
+std::vector<std::size_t> select_by_bins(const std::vector<CandidateProjection>& cands,
+                                        const std::vector<std::size_t>& pareto,
+                                        int q) {
+  OCLP_CHECK(q >= 1);
+  if (pareto.empty()) return {};
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (auto i : pareto) {
+    lo = std::min(lo, cands[i].mse);
+    hi = std::max(hi, cands[i].mse);
+  }
+  if (!(hi > lo)) {
+    // Degenerate MSE range: a single bin, one survivor.
+    return {pareto.front()};
+  }
+  std::vector<std::size_t> chosen;
+  std::vector<bool> filled(static_cast<std::size_t>(q), false);
+  std::vector<std::size_t> best(static_cast<std::size_t>(q), 0);
+  for (auto i : pareto) {
+    auto bin = static_cast<std::size_t>(
+        std::floor((cands[i].mse - lo) / (hi - lo) * q));
+    if (bin >= static_cast<std::size_t>(q)) bin = static_cast<std::size_t>(q) - 1;
+    if (!filled[bin] || cands[i].mse < cands[best[bin]].mse) {
+      filled[bin] = true;
+      best[bin] = i;
+    }
+  }
+  for (std::size_t b = 0; b < static_cast<std::size_t>(q); ++b)
+    if (filled[b]) chosen.push_back(best[b]);
+  return chosen;
+}
+
+OptimisationFramework::OptimisationFramework(OptimisationSettings settings,
+                                             Matrix x_train,
+                                             std::map<int, ErrorModel> models,
+                                             AreaModel area)
+    : settings_(std::move(settings)),
+      x_centered_(std::move(x_train)),
+      models_(std::move(models)),
+      area_(std::move(area)) {
+  OCLP_CHECK(settings_.dims_k >= 1);
+  OCLP_CHECK(settings_.wl_min >= 1 && settings_.wl_min <= settings_.wl_max);
+  OCLP_CHECK(settings_.beta > 0.0 && settings_.target_freq_mhz > 0.0);
+  OCLP_CHECK(settings_.q >= 1);
+  OCLP_CHECK(x_centered_.rows() >= static_cast<std::size_t>(settings_.dims_k));
+  OCLP_CHECK(x_centered_.cols() >= 2);
+  for (int wl = settings_.wl_min; wl <= settings_.wl_max; ++wl) {
+    OCLP_CHECK_MSG(models_.count(wl) != 0, "missing error model for wl " << wl);
+    OCLP_CHECK_MSG(area_.covers(wl), "area model lacks word-length " << wl);
+  }
+  mu_ = center_rows(x_centered_);
+}
+
+std::vector<LinearProjectionDesign> OptimisationFramework::run(ThreadPool* pool) {
+  if (pool == nullptr) pool = &ThreadPool::global();
+  const auto p = x_centered_.rows();
+  const int num_wl = settings_.wl_max - settings_.wl_min + 1;
+
+  // Parents carried between dimensions; dimension 1 grows from the empty
+  // design.
+  std::vector<LinearProjectionDesign> parents(1);
+  parents[0].target_freq_mhz = settings_.target_freq_mhz;
+  parents[0].arch = settings_.arch;
+
+  for (int d = 0; d < settings_.dims_k; ++d) {
+    const std::size_t jobs = parents.size() * static_cast<std::size_t>(num_wl);
+    std::vector<CandidateProjection> candidates(jobs);
+    // One byte per flag: workers write distinct elements concurrently, and
+    // std::vector<bool>'s bit packing would make that a data race.
+    std::vector<std::uint8_t> valid(jobs, 0);
+
+    pool->parallel_for(0, jobs, [&](std::size_t job) {
+      const std::size_t parent_idx = job / num_wl;
+      const int wl = settings_.wl_min + static_cast<int>(job % num_wl);
+      const LinearProjectionDesign& parent = parents[parent_idx];
+
+      // Residual of the training data under the parent's columns.
+      Matrix residual = x_centered_;
+      if (!parent.columns.empty()) {
+        const Matrix basis = parent.basis();
+        const Matrix f = projection_factors(basis, x_centered_, kRidge);
+        residual -= basis * f;
+      }
+
+      const CoeffPrior prior =
+          make_prior(models_.at(wl), wl, settings_.target_freq_mhz, settings_.beta);
+      GibbsSettings gibbs = settings_.gibbs;
+      gibbs.seed = hash_mix(settings_.gibbs.seed, static_cast<std::uint64_t>(d) << 32 | parent_idx,
+                            static_cast<std::uint64_t>(wl));
+      const GibbsResult sample = sample_projection(residual, prior, gibbs);
+
+      DesignColumn col = make_column(sample.lambda, wl);
+      if (col.is_zero()) return;  // degenerate projection: drop candidate
+
+      CandidateProjection cand;
+      cand.design = parent;
+      cand.design.columns.push_back(std::move(col));
+
+      const Matrix basis = cand.design.basis();
+      const Matrix f = projection_factors(basis, x_centered_, kRidge);
+      cand.mse = (x_centered_ - basis * f).mean_square();
+
+      double area = 0.0;
+      for (const auto& c : cand.design.columns)
+        area += area_.column_estimate(c.wordlength, static_cast<int>(p),
+                                      settings_.input_wordlength);
+      cand.area = area;
+
+      cand.design.training_mse = cand.mse;
+      cand.design.area_estimate = cand.area;
+      candidates[job] = std::move(cand);
+      valid[job] = 1;
+    });
+
+    std::vector<CandidateProjection> live;
+    live.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j)
+      if (valid[j]) live.push_back(std::move(candidates[j]));
+    OCLP_CHECK_MSG(!live.empty(), "every candidate collapsed at dimension " << d);
+
+    const auto front = pareto_front(live);
+    const auto picked = select_by_bins(live, front, settings_.q);
+    parents.clear();
+    for (auto i : picked) parents.push_back(std::move(live[i].design));
+  }
+
+  // Finalise: predicted over-clocking variance, origin tag, area order.
+  for (auto& design : parents) {
+    design.predicted_overclock_var = predicted_overclock_variance(design, models_);
+    design.origin = "OF beta=" + std::to_string(settings_.beta);
+  }
+  std::sort(parents.begin(), parents.end(),
+            [](const LinearProjectionDesign& a, const LinearProjectionDesign& b) {
+              return a.area_estimate < b.area_estimate;
+            });
+  return parents;
+}
+
+}  // namespace oclp

@@ -1,0 +1,82 @@
+// Algorithm 1 of the paper: the Linear Projection design optimisation
+// framework.
+//
+// For each projected dimension d = 1..K, every carried candidate design is
+// extended by one column at every word-length in [wl_min, wl_max]: a prior
+// is formed from the word-length's error model at the target frequency
+// (Eq. 6), a projection vector is Gibbs-sampled from the residual data,
+// the area is estimated from the area model, and the candidate's MSE is
+// recomputed with least-squares factors. The candidates on the
+// area/MSE Pareto front are binned into Q equal-width MSE bins and the
+// least-MSE member of each bin survives to the next dimension. The final Q
+// candidates become the returned designs (Pareto-ordered by area).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "area/area_model.hpp"
+#include "bayes/gibbs.hpp"
+#include "charlib/error_model.hpp"
+#include "common/thread_pool.hpp"
+#include "core/design.hpp"
+#include "linalg/matrix.hpp"
+
+namespace oclp {
+
+struct OptimisationSettings {
+  int dims_k = 3;            ///< K
+  int wl_min = 3;            ///< word-length sweep (paper: 3..9)
+  int wl_max = 9;
+  double beta = 4.0;         ///< prior hyper-parameter
+  double target_freq_mhz = 310.0;
+  int q = 5;                 ///< designs carried between dimensions
+  int input_wordlength = 9;  ///< data word-length (area/adder estimate)
+  /// Multiplier micro-architecture the designs are realised with; the
+  /// supplied error models and area model must have been characterised for
+  /// the same architecture.
+  MultArch arch = MultArch::Array;
+  GibbsSettings gibbs;       ///< burn-in / samples / base seed
+};
+
+/// A candidate on the area/MSE plane (Algorithm 1's Proj tuples).
+struct CandidateProjection {
+  LinearProjectionDesign design;
+  double area = 0.0;
+  double mse = 0.0;  ///< training reconstruction MSE with least-squares F
+};
+
+/// Indices of the Pareto-optimal points (min MSE for a given area).
+std::vector<std::size_t> pareto_front(const std::vector<CandidateProjection>& cands);
+
+/// Q-bin selection over (MSE_min, MSE_max): the least-MSE candidate of each
+/// non-empty bin (Algorithm 1's bin step).
+std::vector<std::size_t> select_by_bins(const std::vector<CandidateProjection>& cands,
+                                        const std::vector<std::size_t>& pareto,
+                                        int q);
+
+class OptimisationFramework {
+ public:
+  /// `x_train` is the raw (uncentered) value-domain training data, P×N;
+  /// `models` maps every word-length in [wl_min, wl_max] to its error
+  /// model; `area` must cover the same word-lengths.
+  OptimisationFramework(OptimisationSettings settings, Matrix x_train,
+                        std::map<int, ErrorModel> models, AreaModel area);
+
+  /// Run Algorithm 1; returns up to Q designs sorted by area. Word-length
+  /// sweeps of all carried candidates run in parallel on `pool`.
+  std::vector<LinearProjectionDesign> run(ThreadPool* pool = nullptr);
+
+  /// Data mean captured at construction (needed to evaluate the designs).
+  const std::vector<double>& data_mean() const { return mu_; }
+
+ private:
+  OptimisationSettings settings_;
+  Matrix x_centered_;
+  std::vector<double> mu_;
+  std::map<int, ErrorModel> models_;
+  AreaModel area_;
+};
+
+}  // namespace oclp

@@ -1,0 +1,57 @@
+#include "core/baseline.hpp"
+
+#include "core/objective.hpp"
+#include "klt/klt.hpp"
+#include "linalg/decompositions.hpp"
+
+namespace oclp {
+
+namespace {
+constexpr double kRidge = 1e-10;
+}
+
+LinearProjectionDesign make_klt_design(const Matrix& x_train, std::size_t k,
+                                       int wordlength, double target_freq_mhz,
+                                       int input_wordlength, const AreaModel& area,
+                                       const std::map<int, ErrorModel>* models) {
+  OCLP_CHECK(k >= 1 && wordlength >= 1);
+  const Matrix basis = klt_basis(x_train, k);
+
+  LinearProjectionDesign design;
+  design.target_freq_mhz = target_freq_mhz;
+  design.origin = "KLT wl=" + std::to_string(wordlength);
+  for (std::size_t c = 0; c < k; ++c)
+    design.columns.push_back(make_column(basis.col(c), wordlength));
+
+  Matrix xc = x_train;
+  center_rows(xc);
+  const Matrix qbasis = design.basis();
+  const Matrix f = projection_factors(qbasis, xc, kRidge);
+  design.training_mse = (xc - qbasis * f).mean_square();
+
+  double total_area = 0.0;
+  for (const auto& col : design.columns)
+    total_area += area.column_estimate(col.wordlength,
+                                       static_cast<int>(x_train.rows()),
+                                       input_wordlength);
+  design.area_estimate = total_area;
+
+  if (models != nullptr)
+    design.predicted_overclock_var = predicted_overclock_variance(design, *models);
+  return design;
+}
+
+std::vector<LinearProjectionDesign> make_klt_family(
+    const Matrix& x_train, std::size_t k, int wl_min, int wl_max,
+    double target_freq_mhz, int input_wordlength, const AreaModel& area,
+    const std::map<int, ErrorModel>* models) {
+  OCLP_CHECK(wl_min >= 1 && wl_min <= wl_max);
+  std::vector<LinearProjectionDesign> family;
+  family.reserve(static_cast<std::size_t>(wl_max - wl_min + 1));
+  for (int wl = wl_min; wl <= wl_max; ++wl)
+    family.push_back(make_klt_design(x_train, k, wl, target_freq_mhz,
+                                     input_wordlength, area, models));
+  return family;
+}
+
+}  // namespace oclp

@@ -1,0 +1,32 @@
+// The reference designs the paper compares against: KLT basis (Section IV)
+// quantised at each word-length and mapped to the same datapath, with no
+// knowledge of over-clocking.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "area/area_model.hpp"
+#include "charlib/error_model.hpp"
+#include "core/design.hpp"
+#include "linalg/matrix.hpp"
+
+namespace oclp {
+
+/// A KLT design for one coefficient word-length: exact PCA basis of the
+/// training data, every column quantised to `wordlength` bits. Area and
+/// training MSE are filled; the predicted over-clocking variance is filled
+/// when `models` is non-null (the "extension of the existing methodology"
+/// used for the KLT predicted curves in Fig. 11).
+LinearProjectionDesign make_klt_design(const Matrix& x_train, std::size_t k,
+                                       int wordlength, double target_freq_mhz,
+                                       int input_wordlength, const AreaModel& area,
+                                       const std::map<int, ErrorModel>* models);
+
+/// KLT designs across a word-length sweep (the baseline family of Fig. 11).
+std::vector<LinearProjectionDesign> make_klt_family(
+    const Matrix& x_train, std::size_t k, int wl_min, int wl_max,
+    double target_freq_mhz, int input_wordlength, const AreaModel& area,
+    const std::map<int, ErrorModel>* models);
+
+}  // namespace oclp

@@ -1,0 +1,187 @@
+#include "core/circuit_eval.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/synthetic.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "linalg/decompositions.hpp"
+#include "mult/bitcodec.hpp"
+#include "mult/multiplier.hpp"
+
+namespace oclp {
+
+namespace {
+constexpr double kRidge = 1e-10;
+}
+
+CircuitPlan simulated_plan(const LinearProjectionDesign& design,
+                           const Placement& characterised_at) {
+  CircuitPlan plan;
+  plan.mult_placements.assign(design.dims_k() * design.dims_p(), characterised_at);
+  return plan;
+}
+
+CircuitPlan actual_plan(const LinearProjectionDesign& design, const Device& device,
+                        std::uint64_t par_seed) {
+  Rng rng(hash_mix(par_seed, design.dims_k(), design.dims_p()));
+  CircuitPlan plan;
+  const std::size_t k = design.dims_k();
+  const std::size_t p = design.dims_p();
+  plan.mult_placements.reserve(k * p);
+  // A real placement run packs the datapath into one contiguous region:
+  // the K×P multiplier array becomes a block of clusters at a random
+  // anchor, so the whole design sometimes straddles the slow corners of
+  // the die — which is exactly the placement variation the paper observes
+  // between compile-and-download cycles.
+  const int col_pitch = 10;  // an 8-wide multiplier cluster plus routing gap
+  const int row_pitch = 4;
+  const int span_x = static_cast<int>(k - 1) * col_pitch + 9;
+  const int span_y = static_cast<int>(p - 1) * row_pitch + 9;
+  const int ax = static_cast<int>(
+      rng.uniform_int(0, std::max(0, device.width() - span_x)));
+  const int ay = static_cast<int>(
+      rng.uniform_int(0, std::max(0, device.height() - span_y)));
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t pp = 0; pp < p; ++pp) {
+      Placement pl;
+      pl.x = std::min(ax + static_cast<int>(kk) * col_pitch, device.width() - 1);
+      pl.y = std::min(ay + static_cast<int>(pp) * row_pitch, device.height() - 1);
+      pl.route_seed = rng.next();
+      plan.mult_placements.push_back(pl);
+    }
+  }
+  return plan;
+}
+
+ProjectionCircuit::ProjectionCircuit(const LinearProjectionDesign& design,
+                                     const Device& device, const CircuitPlan& plan,
+                                     int wl_x,
+                                     const std::map<int, ErrorModel>* models,
+                                     std::uint64_t clock_seed)
+    : design_(design),
+      wl_x_(wl_x),
+      clock_(design.target_freq_mhz,
+             plan.with_jitter ? device.config().jitter_sigma_ns : 0.0,
+             clock_seed) {
+  const std::size_t p = design.dims_p();
+  const std::size_t k = design.dims_k();
+  OCLP_CHECK(p >= 1 && k >= 1 && design.target_freq_mhz > 0.0);
+  OCLP_CHECK_MSG(plan.mult_placements.size() == k * p,
+                 "plan has " << plan.mult_placements.size() << " placements for "
+                             << k * p << " multipliers");
+
+  sims_.reserve(k * p);
+  mean_correction_.assign(k, 0.0);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const DesignColumn& col = design.columns[kk];
+    const double scale =
+        std::ldexp(1.0, col.wordlength + wl_x);  // 2^(wl + wl_x)
+    for (std::size_t pp = 0; pp < p; ++pp) {
+      const auto& place = plan.mult_placements[kk * p + pp];
+      Netlist nl = make_multiplier_arch(design.arch, col.wordlength, wl_x);
+      auto delays = annotate_timing(nl, device, place);
+      sims_.push_back(std::make_unique<OverclockSim>(std::move(nl), std::move(delays)));
+      if (models != nullptr) {
+        const auto it = models->find(col.wordlength);
+        OCLP_CHECK_MSG(it != models->end(),
+                       "no error model for word-length " << col.wordlength);
+        mean_correction_[kk] += col.coeffs[pp].sign *
+                                it->second.mean_error(col.coeffs[pp].magnitude,
+                                                      design.target_freq_mhz) /
+                                scale;
+      }
+    }
+  }
+}
+
+std::vector<double> ProjectionCircuit::project(const std::vector<std::uint32_t>& x_codes) {
+  const std::size_t p = dims_p();
+  const std::size_t k = dims_k();
+  OCLP_CHECK(x_codes.size() == p);
+
+  // All multipliers share the mult_clk domain: one jittered period per edge.
+  const double period = clock_.next_period_ns();
+
+  std::vector<double> y(k, 0.0);
+  std::vector<std::uint8_t> in;
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const DesignColumn& col = design_.columns[kk];
+    const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
+    for (std::size_t pp = 0; pp < p; ++pp) {
+      OverclockSim& sim = *sims_[kk * p + pp];
+      in.clear();
+      append_bits(in, col.coeffs[pp].magnitude, col.wordlength);
+      append_bits(in, x_codes[pp], wl_x_);
+      if (first_sample_) {
+        std::vector<std::uint8_t> init;
+        append_bits(init, col.coeffs[pp].magnitude, col.wordlength);
+        append_bits(init, 0, wl_x_);
+        sim.reset(init);
+      }
+      const auto out = sim.step(in, period);
+      const double product = static_cast<double>(from_bits(out));
+      y[kk] += col.coeffs[pp].sign * product / scale;
+    }
+    y[kk] -= mean_correction_[kk];
+  }
+  first_sample_ = false;
+  return y;
+}
+
+std::vector<double> ProjectionCircuit::project_exact(
+    const std::vector<std::uint32_t>& x_codes) const {
+  const std::size_t p = dims_p();
+  std::vector<double> y(dims_k(), 0.0);
+  for (std::size_t kk = 0; kk < dims_k(); ++kk) {
+    const DesignColumn& col = design_.columns[kk];
+    const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
+    for (std::size_t pp = 0; pp < p; ++pp) {
+      const double product = static_cast<double>(col.coeffs[pp].magnitude) *
+                             static_cast<double>(x_codes[pp]);
+      y[kk] += col.coeffs[pp].sign * product / scale;
+    }
+  }
+  return y;
+}
+
+double evaluate_hardware_mse(const LinearProjectionDesign& design,
+                             const Matrix& x, const std::vector<double>& mu,
+                             const Device& device, const CircuitPlan& plan,
+                             int wl_x, const std::map<int, ErrorModel>* models,
+                             std::uint64_t clock_seed) {
+  OCLP_CHECK(x.rows() == design.dims_p() && mu.size() == design.dims_p());
+  const Matrix basis = design.basis();
+  const Matrix normaliser = projection_normaliser(basis, kRidge);
+  // Design-time constant Λᵀμ, applied after the datapath (error-free).
+  std::vector<double> offset(design.dims_k(), 0.0);
+  for (std::size_t k = 0; k < design.dims_k(); ++k)
+    offset[k] = dot(basis.col(k), mu);
+
+  ProjectionCircuit circuit(design, device, plan, wl_x, models, clock_seed);
+
+  double total_sq = 0.0;
+  std::vector<double> sample(design.dims_p());
+  for (std::size_t i = 0; i < x.cols(); ++i) {
+    for (std::size_t r = 0; r < design.dims_p(); ++r) sample[r] = x(r, i);
+    const auto codes = encode_input(sample, wl_x);
+    auto y = circuit.project(codes);
+    for (std::size_t k = 0; k < y.size(); ++k) y[k] -= offset[k];
+    // f = (ΛᵀΛ)⁻¹ y;  x̂ = μ + Λ f
+    std::vector<double> f(design.dims_k(), 0.0);
+    for (std::size_t r = 0; r < design.dims_k(); ++r)
+      for (std::size_t c = 0; c < design.dims_k(); ++c)
+        f[r] += normaliser(r, c) * y[c];
+    for (std::size_t r = 0; r < design.dims_p(); ++r) {
+      double xhat = mu[r];
+      for (std::size_t c = 0; c < design.dims_k(); ++c)
+        xhat += basis(r, c) * f[c];
+      const double err = sample[r] - xhat;
+      total_sq += err * err;
+    }
+  }
+  return total_sq /
+         (static_cast<double>(x.rows()) * static_cast<double>(x.cols()));
+}
+
+}  // namespace oclp

@@ -1,0 +1,87 @@
+// Hardware realisation of a Linear Projection design and its evaluation in
+// the paper's three domains (Section VI):
+//
+//  * predicted — the error model: training reconstruction MSE plus the
+//    characterised Σ var(ε)/P (objective.hpp);
+//  * simulated — the design's multipliers run through the over-clocking
+//    timing simulation at the *characterised* placement and routing;
+//  * actual   — the same simulation after a fresh placement & routing of
+//    every multiplier across the device ("running on the board"), which is
+//    what introduces the simulated-vs-actual deviations the paper reports.
+//
+// The datapath mirrors Section V: per output dimension k, P LUT-based
+// generic multipliers compute |λ_pk|·x_p; signs and accumulation happen in
+// the (pipelined, timing-safe) adder tree; the circuit subtracts the
+// characterised mean error so ε is zero-mean (Section V-A).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "charlib/error_model.hpp"
+#include "core/design.hpp"
+#include "fabric/clock.hpp"
+#include "fabric/device.hpp"
+#include "timing/overclock_sim.hpp"
+
+namespace oclp {
+
+/// Where each of the design's P×K multipliers lands on the device.
+struct CircuitPlan {
+  std::vector<Placement> mult_placements;  ///< K·P entries, column-major
+  bool with_jitter = true;
+};
+
+/// Simulated domain: every multiplier inherits the characterisation
+/// placement and routing (what the error model was measured on).
+CircuitPlan simulated_plan(const LinearProjectionDesign& design,
+                           const Placement& characterised_at);
+
+/// Actual domain: a fresh placement-and-routing run — multipliers spread
+/// over the die with new routing seeds (deterministic in `par_seed`).
+CircuitPlan actual_plan(const LinearProjectionDesign& design, const Device& device,
+                        std::uint64_t par_seed);
+
+/// The placed datapath. project() streams input samples and returns the
+/// factor vector y (value units) including any over-clocking errors.
+class ProjectionCircuit {
+ public:
+  /// `models` supplies the characterised mean-error constants the circuit
+  /// subtracts; pass nullptr to skip the correction (ablation).
+  ProjectionCircuit(const LinearProjectionDesign& design, const Device& device,
+                    const CircuitPlan& plan, int wl_x,
+                    const std::map<int, ErrorModel>* models,
+                    std::uint64_t clock_seed);
+
+  std::size_t dims_p() const { return design_.dims_p(); }
+  std::size_t dims_k() const { return design_.dims_k(); }
+
+  /// One clocked sample through all K·P multipliers.
+  std::vector<double> project(const std::vector<std::uint32_t>& x_codes);
+
+  /// Error-free reference projection of the same input codes (what the
+  /// circuit would produce with unlimited timing slack).
+  std::vector<double> project_exact(const std::vector<std::uint32_t>& x_codes) const;
+
+ private:
+  LinearProjectionDesign design_;
+  int wl_x_;
+  std::vector<std::unique_ptr<OverclockSim>> sims_;  ///< K·P, column-major
+  std::vector<double> mean_correction_;              ///< per (k): Σ_p sign·mean
+  ClockGen clock_;
+  bool first_sample_ = true;
+};
+
+/// End-to-end hardware evaluation: run `x` (value-domain P×N) through the
+/// placed circuit, reconstruct in the original space, and return the mean
+/// squared reconstruction error per element. `mu` is the design-time data
+/// mean (subtracted from projections as a constant, error-free).
+double evaluate_hardware_mse(const LinearProjectionDesign& design,
+                             const Matrix& x, const std::vector<double>& mu,
+                             const Device& device, const CircuitPlan& plan,
+                             int wl_x, const std::map<int, ErrorModel>* models,
+                             std::uint64_t clock_seed);
+
+}  // namespace oclp

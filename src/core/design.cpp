@@ -1,0 +1,41 @@
+#include "core/design.hpp"
+
+namespace oclp {
+
+std::vector<double> DesignColumn::values() const {
+  std::vector<double> v;
+  v.reserve(coeffs.size());
+  for (const auto& q : coeffs) v.push_back(q.value());
+  return v;
+}
+
+bool DesignColumn::is_zero() const {
+  for (const auto& q : coeffs)
+    if (q.magnitude != 0) return false;
+  return true;
+}
+
+DesignColumn make_column(const std::vector<double>& values, int wordlength) {
+  DesignColumn col;
+  col.wordlength = wordlength;
+  col.coeffs = quantize_vector(values, wordlength);
+  return col;
+}
+
+Matrix LinearProjectionDesign::basis() const {
+  OCLP_CHECK(!columns.empty());
+  Matrix b(dims_p(), dims_k());
+  for (std::size_t k = 0; k < columns.size(); ++k) {
+    OCLP_CHECK_MSG(columns[k].coeffs.size() == dims_p(),
+                   "ragged design: column " << k);
+    b.set_col(k, columns[k].values());
+  }
+  return b;
+}
+
+double LinearProjectionDesign::predicted_objective() const {
+  const double p = static_cast<double>(dims_p());
+  return training_mse + (p > 0 ? predicted_overclock_var / p : 0.0);
+}
+
+}  // namespace oclp

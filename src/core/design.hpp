@@ -1,0 +1,49 @@
+// A Linear Projection design: the quantised Λ matrix plus the hardware
+// metadata the framework attaches to it (per-column word-lengths, target
+// clock, estimated area, predicted error).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "linalg/matrix.hpp"
+#include "mult/multiplier.hpp"
+
+namespace oclp {
+
+/// One column of Λ (one projection vector), quantised to its word-length.
+struct DesignColumn {
+  int wordlength = 8;
+  std::vector<QuantCoeff> coeffs;  ///< P entries
+
+  /// Real values of the quantised coefficients.
+  std::vector<double> values() const;
+  /// True if every coefficient is zero (degenerate column).
+  bool is_zero() const;
+};
+
+/// Build a column by quantising real values to `wordlength` bits.
+DesignColumn make_column(const std::vector<double>& values, int wordlength);
+
+struct LinearProjectionDesign {
+  std::vector<DesignColumn> columns;  ///< K projection vectors
+  MultArch arch = MultArch::Array;    ///< multiplier micro-architecture
+  double target_freq_mhz = 0.0;
+  double area_estimate = 0.0;   ///< LEs (area model)
+  double training_mse = 0.0;    ///< reconstruction MSE on training data
+  double predicted_overclock_var = 0.0;  ///< Σ_k var(ε_k), value units
+  std::string origin;           ///< "OF beta=4.0", "KLT wl=9", ...
+
+  std::size_t dims_p() const { return columns.empty() ? 0 : columns.front().coeffs.size(); }
+  std::size_t dims_k() const { return columns.size(); }
+
+  /// Quantised Λ as a P×K matrix.
+  Matrix basis() const;
+
+  /// Predicted per-element objective T/(P·N) = MSE + Σ_k var(ε_k)/P
+  /// (paper Section V-A with trace normalised per element).
+  double predicted_objective() const;
+};
+
+}  // namespace oclp

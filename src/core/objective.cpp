@@ -1,0 +1,43 @@
+#include "core/objective.hpp"
+
+#include "linalg/decompositions.hpp"
+
+namespace oclp {
+
+double predicted_overclock_variance(const DesignColumn& column,
+                                    const ErrorModel& model, double freq_mhz) {
+  OCLP_CHECK_MSG(model.wordlength() == column.wordlength,
+                 "error model wl " << model.wordlength() << " != column wl "
+                                   << column.wordlength);
+  double var = 0.0;
+  for (const auto& q : column.coeffs)
+    var += model.variance_value_units(q.magnitude, freq_mhz);
+  return var;
+}
+
+double predicted_overclock_variance(const LinearProjectionDesign& design,
+                                    const std::map<int, ErrorModel>& models) {
+  double total = 0.0;
+  for (const auto& col : design.columns) {
+    const auto it = models.find(col.wordlength);
+    OCLP_CHECK_MSG(it != models.end(),
+                   "no error model for word-length " << col.wordlength);
+    total += predicted_overclock_variance(col, it->second, design.target_freq_mhz);
+  }
+  return total;
+}
+
+double training_reconstruction_mse(const Matrix& basis, const Matrix& x_centered) {
+  OCLP_CHECK(basis.rows() == x_centered.rows());
+  const Matrix f = projection_factors(basis, x_centered);
+  return (x_centered - basis * f).mean_square();
+}
+
+double objective_T(const LinearProjectionDesign& design, const Matrix& x_centered,
+                   const std::map<int, ErrorModel>& models) {
+  const double mse = training_reconstruction_mse(design.basis(), x_centered);
+  const double oc = predicted_overclock_variance(design, models);
+  return mse + oc / static_cast<double>(design.dims_p());
+}
+
+}  // namespace oclp

@@ -1,0 +1,39 @@
+// The single objective function T of paper Section V-A:
+//
+//   T = tr{E[(X−ΛF)ᵀ(X−ΛF)]} + Σ_j var(ε_j)
+//
+// normalised per element (divide by P·N) so designs of any data size are
+// comparable: objective = reconstruction MSE + Σ_j var(ε_j)/P. The first
+// term is the dimensionality-reduction error; the second folds in the
+// variance of the over-clocking errors ε at the multiplier outputs, taken
+// from the characterised error model E(m, f) (value units), assuming the
+// per-multiplier errors are uncorrelated and zero-mean (the circuit
+// subtracts the characterised constant).
+#pragma once
+
+#include <map>
+
+#include "charlib/error_model.hpp"
+#include "core/design.hpp"
+#include "linalg/matrix.hpp"
+
+namespace oclp {
+
+/// Predicted var(ε_k) of one design column at `freq_mhz`: the sum over the
+/// column's P multipliers of E(m, f) in value units.
+double predicted_overclock_variance(const DesignColumn& column,
+                                    const ErrorModel& model, double freq_mhz);
+
+/// Σ_k var(ε_k) over all columns; `models` maps word-length → error model.
+double predicted_overclock_variance(const LinearProjectionDesign& design,
+                                    const std::map<int, ErrorModel>& models);
+
+/// Reconstruction MSE of the quantised basis on (centered) training data:
+/// ||X − Λ(ΛᵀΛ)⁻¹ΛᵀX||²/(P·N). `x_centered` must have zero row means.
+double training_reconstruction_mse(const Matrix& basis, const Matrix& x_centered);
+
+/// Full per-element objective T for a design on centered training data.
+double objective_T(const LinearProjectionDesign& design, const Matrix& x_centered,
+                   const std::map<int, ErrorModel>& models);
+
+}  // namespace oclp

@@ -1,0 +1,2 @@
+// Header-only model; this TU anchors the library target.
+#include "core/runtime_model.hpp"

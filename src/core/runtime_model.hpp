@@ -1,0 +1,38 @@
+// The run-time model of paper Section VI-E (Eqs. 7–8), fitted by the
+// authors on an Intel Core-i7:
+//
+//   R(wl)  = 0.4266 · exp(0.6427 · wl)                       [seconds]
+//   Time   = (1 + Q·(K−1)) · Σ_HP Σ_Freqs Σ_wl R(wl)         [seconds]
+//
+// R models the time to Gibbs-sample one projection vector of a given
+// word-length (the grid grows as 2^wl, hence the exponential); the outer
+// factor counts chains: dimension 1 runs once, dimensions 2..K run once
+// per carried design Q. The paper's example — #Freqs=1, K=3, Q=5, #HP=2,
+// wl ∈ [3..9] — evaluates to ≈ 6 400 s ("1 hour and 44 minutes").
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+/// Eq. 8: seconds to sample one projection vector of word-length wl.
+inline double runtime_per_projection_s(int wl) {
+  OCLP_CHECK(wl >= 1);
+  return 0.4266 * std::exp(0.6427 * static_cast<double>(wl));
+}
+
+/// Eq. 7: seconds for a complete optimisation run.
+inline double runtime_total_s(int num_freqs, int k, int q, int num_hyperparams,
+                              const std::vector<int>& wordlengths) {
+  OCLP_CHECK(num_freqs >= 1 && k >= 1 && q >= 1 && num_hyperparams >= 1);
+  OCLP_CHECK(!wordlengths.empty());
+  double per_chain_sum = 0.0;
+  for (int wl : wordlengths) per_chain_sum += runtime_per_projection_s(wl);
+  return (1.0 + static_cast<double>(q) * (k - 1)) * num_hyperparams * num_freqs *
+         per_chain_sum;
+}
+
+}  // namespace oclp

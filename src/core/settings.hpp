@@ -1,0 +1,27 @@
+// Case-study constants (paper Table I) shared by benches and examples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oclp {
+
+struct CaseStudySettings {
+  std::size_t dims_p = 6;              ///< P: original dimensions (ℤ⁶)
+  std::size_t dims_k = 3;              ///< K: projected dimensions (ℤ³)
+  std::size_t characterisation_cases = 4900;
+  std::size_t training_cases = 100;    ///< OF training set
+  std::size_t test_cases = 5000;
+  std::vector<double> betas{4.0, 8.0}; ///< Hyper-parameter values
+  int q = 5;                           ///< designs carried between dimensions
+  double clock_mhz = 310.0;            ///< target clock frequency
+  int input_wordlength = 9;            ///< data word-length
+  int wl_min = 3;                      ///< λ word-length sweep lower bound
+  int wl_max = 9;                      ///< λ word-length sweep upper bound
+  int burn_in = 1000;                  ///< Gibbs burn-in samples
+  int projection_samples = 3000;       ///< Gibbs retained samples
+};
+
+inline CaseStudySettings paper_table1_settings() { return {}; }
+
+}  // namespace oclp

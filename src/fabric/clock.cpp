@@ -1,0 +1,2 @@
+// ClockGen is header-only; this TU anchors the library target.
+#include "fabric/clock.hpp"

@@ -1,0 +1,92 @@
+#include "fabric/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace oclp {
+
+Device::Device(const DeviceConfig& cfg, std::uint64_t die_seed)
+    : cfg_(cfg), die_seed_(die_seed) {
+  OCLP_CHECK(cfg.grid_w > 0 && cfg.grid_h > 0);
+  OCLP_CHECK(cfg.lut_delay_ns > 0 && cfg.route_delay_ns >= 0);
+  OCLP_CHECK(cfg.nominal_voltage > cfg.threshold_voltage);
+  core_voltage_ = cfg.nominal_voltage;
+
+  Rng rng(hash_mix(die_seed, 0x0c1c0e3fULL, 17));
+
+  // Inter-die: lognormal so the factor stays positive.
+  inter_die_ = std::exp(rng.normal(0.0, cfg.inter_die_sigma));
+
+  // Systematic intra-die component: a random linear gradient plus a radial
+  // bowl (centre of the die is typically faster), both scaled by
+  // systematic_amp. The gradient direction is a property of this die.
+  const double gx = rng.normal(0.0, 1.0);
+  const double gy = rng.normal(0.0, 1.0);
+  const double gn = std::max(1e-9, std::hypot(gx, gy));
+  const double dirx = gx / gn, diry = gy / gn;
+  const double bowl = rng.uniform(0.3, 1.0);
+
+  grid_.resize(static_cast<std::size_t>(cfg.grid_w) * cfg.grid_h);
+  for (int y = 0; y < cfg.grid_h; ++y) {
+    for (int x = 0; x < cfg.grid_w; ++x) {
+      const double u = (x + 0.5) / cfg.grid_w - 0.5;   // in [-0.5, 0.5]
+      const double v = (y + 0.5) / cfg.grid_h - 0.5;
+      const double systematic =
+          cfg.systematic_amp * (dirx * u + diry * v) +
+          cfg.systematic_amp * bowl * (u * u + v * v) * 2.0;
+      // Independent random grain per location, deterministic in the seed.
+      std::uint64_t s = hash_mix(die_seed, static_cast<std::uint64_t>(x) << 20 | y, 29);
+      Rng cell_rng(s);
+      const double grain = cell_rng.normal(0.0, cfg.random_sigma);
+      const double factor = 1.0 + systematic + grain;
+      grid_[index(x, y)] = std::max(0.5, factor);
+    }
+  }
+}
+
+double Device::speed_factor(int x, int y) const {
+  return inter_die_ * grid_[index(x, y)];
+}
+
+void Device::set_core_voltage(double volts) {
+  OCLP_CHECK_MSG(volts > cfg_.threshold_voltage + 0.05,
+                 "core voltage " << volts << " V too close to Vt "
+                                 << cfg_.threshold_voltage << " V");
+  core_voltage_ = volts;
+}
+
+double Device::voltage_derate() const {
+  // Alpha-power law: delay ∝ V / (V - Vt)^α, normalised to nominal supply.
+  auto delay_of = [this](double v) {
+    return v / std::pow(v - cfg_.threshold_voltage, cfg_.alpha_power);
+  };
+  return delay_of(core_voltage_) / delay_of(cfg_.nominal_voltage);
+}
+
+double Device::relative_dynamic_power() const {
+  const double r = core_voltage_ / cfg_.nominal_voltage;
+  return r * r;
+}
+
+double Device::environment_derate() const {
+  const double temp = 1.0 + cfg_.temp_coeff_per_c * (temperature_c_ - cfg_.temp_ref_c);
+  const double aging = 1.0 + cfg_.aging_per_year * age_years_;
+  return std::max(0.5, temp) * aging * voltage_derate();
+}
+
+void Device::age(double years) {
+  OCLP_CHECK(years >= 0.0);
+  age_years_ += years;
+}
+
+double Device::min_speed_factor() const {
+  return inter_die_ * *std::min_element(grid_.begin(), grid_.end());
+}
+
+double Device::max_speed_factor() const {
+  return inter_die_ * *std::max_element(grid_.begin(), grid_.end());
+}
+
+}  // namespace oclp

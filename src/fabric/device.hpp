@@ -1,0 +1,132 @@
+// Synthetic FPGA fabric with process variation.
+//
+// The paper's optimisation framework exists because a *specific* fabricated
+// device differs from the family-wide worst-case model the synthesis tool
+// assumes: delay varies inter-die (whole-device speed), intra-die
+// systematically (spatial gradients/bowl from lithography), and intra-die
+// randomly (per-transistor grain). This module models a device as a 2-D
+// grid of logic locations with a multiplicative speed factor per location:
+//
+//   speed(x, y) = inter_die · (1 + systematic(x, y) + random_grain(x, y))
+//
+// A cell placed at (x, y) has delay = base_delay · speed(x, y) · derates.
+// The synthesis-tool view never sees this map; it uses the slow-corner
+// worst case plus guardband (see timing_annotation.hpp), which creates the
+// tool-vs-device gap the framework exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+struct DeviceConfig {
+  // --- geometry -----------------------------------------------------------
+  int grid_w = 60;  ///< logic-array columns
+  int grid_h = 40;  ///< logic-array rows
+
+  // --- process variation --------------------------------------------------
+  double inter_die_sigma = 0.04;  ///< lognormal sigma of whole-die speed
+  double systematic_amp = 0.06;   ///< amplitude of gradient + bowl terms
+  double random_sigma = 0.035;    ///< per-location random grain sigma
+
+  // --- nominal delays (typical silicon, 25 °C) -----------------------------
+  double lut_delay_ns = 0.1113;   ///< LUT cell delay
+  double route_delay_ns = 0.0508; ///< mean local-interconnect delay per net
+  double route_sigma = 0.22;      ///< lognormal sigma of per-net routing
+
+  // --- synthesis-tool (conservative) corner --------------------------------
+  double slow_corner_factor = 1.187;  ///< slow-process/low-V/high-T corner
+  double tool_guardband = 1.10;       ///< additional margin the tool adds
+  double tool_route_pessimism = 1.55; ///< tool's worst-case routing estimate
+
+  // --- clocking -------------------------------------------------------------
+  double jitter_sigma_ns = 0.012;  ///< cycle-to-cycle PLL jitter (1σ)
+
+  // --- environment ----------------------------------------------------------
+  double temp_coeff_per_c = 0.0015;  ///< delay derate per °C above reference
+  double temp_ref_c = 25.0;
+  double aging_per_year = 0.01;  ///< NBTI/HCI slow-down per year of stress
+
+  // --- supply (paper future work: voltage scaling vs error tolerance) -------
+  double nominal_voltage = 1.2;    ///< core supply the timing is specified at
+  double threshold_voltage = 0.5;  ///< transistor Vt for the alpha-power law
+  double alpha_power = 1.3;        ///< velocity-saturation exponent
+};
+
+/// One fabricated device instance: the config plus a sampled variation map.
+class Device {
+ public:
+  /// die_seed identifies the physical die; two devices with equal config
+  /// and seed are the same die (exactly reproducible characterisation).
+  Device(const DeviceConfig& cfg, std::uint64_t die_seed);
+
+  const DeviceConfig& config() const { return cfg_; }
+  std::uint64_t die_seed() const { return die_seed_; }
+  int width() const { return cfg_.grid_w; }
+  int height() const { return cfg_.grid_h; }
+
+  /// Whole-die speed factor (1.0 nominal; < 1 is a fast die).
+  double inter_die_factor() const { return inter_die_; }
+
+  /// Delay multiplier at a grid location (coordinates are clamped to the
+  /// die). Includes inter-die, systematic and random components but not
+  /// temperature or aging.
+  double speed_factor(int x, int y) const;
+
+  /// Ambient/junction temperature; the paper cools the device to 14 °C.
+  double temperature_c() const { return temperature_c_; }
+  void set_temperature(double celsius) { temperature_c_ = celsius; }
+
+  /// Core supply voltage (alpha-power delay law; must stay above Vt).
+  /// Lowering it slows the fabric — the error/power trade-off of the
+  /// paper's future-work section.
+  double core_voltage() const { return core_voltage_; }
+  void set_core_voltage(double volts);
+
+  /// Delay multiplier of the current supply relative to nominal.
+  double voltage_derate() const;
+  /// Dynamic power relative to nominal supply at the same clock (∝ V²).
+  double relative_dynamic_power() const;
+
+  /// Multiplicative derate from temperature, supply and accumulated aging.
+  double environment_derate() const;
+
+  /// Advance device wear; re-characterisation after aging is the paper's
+  /// Section II remark on compensating slow degradation.
+  void age(double years);
+  double age_years() const { return age_years_; }
+
+  /// Fastest/slowest location factors over the die (diagnostics).
+  double min_speed_factor() const;
+  double max_speed_factor() const;
+
+ private:
+  std::size_t index(int x, int y) const {
+    const int cx = x < 0 ? 0 : (x >= cfg_.grid_w ? cfg_.grid_w - 1 : x);
+    const int cy = y < 0 ? 0 : (y >= cfg_.grid_h ? cfg_.grid_h - 1 : y);
+    return static_cast<std::size_t>(cy) * cfg_.grid_w + cx;
+  }
+
+  DeviceConfig cfg_;
+  std::uint64_t die_seed_;
+  double inter_die_ = 1.0;
+  double temperature_c_ = 25.0;
+  double core_voltage_ = 1.2;
+  double age_years_ = 0.0;
+  std::vector<double> grid_;  ///< per-location (1 + systematic + random)
+};
+
+/// A placement decision for a module on the device: an anchor location and
+/// the routing seed (re-running placement & routing draws new net delays —
+/// the paper synthesises multipliers "multiple times at multiple locations"
+/// precisely to capture this).
+struct Placement {
+  int x = 0;
+  int y = 0;
+  std::uint64_t route_seed = 1;
+};
+
+}  // namespace oclp

@@ -1,0 +1,58 @@
+#include "fabric/timing_annotation.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "netlist/sta.hpp"
+
+namespace oclp {
+
+namespace {
+// Cells of one module pack into a square-ish cluster around the anchor,
+// mirroring LAB packing: cell i sits at anchor + (i % span, i / span).
+constexpr int kClusterSpan = 8;
+}  // namespace
+
+std::vector<double> annotate_timing(const Netlist& nl, const Device& device,
+                                    const Placement& placement) {
+  const DeviceConfig& cfg = device.config();
+  const double derate = device.environment_derate();
+  std::vector<double> delay(nl.num_cells(), 0.0);
+  const auto& cells = nl.cells();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cell_is_free(cells[i].type)) continue;  // constants/buffers: no LE
+    const int lx = placement.x + static_cast<int>(i % kClusterSpan);
+    const int ly = placement.y + static_cast<int>(i / kClusterSpan) % device.height();
+    // Routing draw: lognormal multiplier on the nominal local-route delay,
+    // deterministic in (route_seed, cell index) — a new route_seed is a new
+    // placement-and-routing run.
+    Rng net_rng(hash_mix(placement.route_seed, i, 0x9027bd5613aaf21dULL));
+    const double route = cfg.route_delay_ns *
+                         std::exp(net_rng.normal(0.0, cfg.route_sigma));
+    const double speed = device.speed_factor(lx, ly);
+    delay[i] = (cfg.lut_delay_ns + route) * speed * derate;
+  }
+  return delay;
+}
+
+std::vector<double> tool_timing(const Netlist& nl, const DeviceConfig& cfg) {
+  const double per_cell =
+      (cfg.lut_delay_ns + cfg.route_delay_ns * cfg.tool_route_pessimism) *
+      cfg.slow_corner_factor * cfg.tool_guardband;
+  std::vector<double> delay(nl.num_cells(), 0.0);
+  const auto& cells = nl.cells();
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    if (!cell_is_free(cells[i].type)) delay[i] = per_cell;
+  return delay;
+}
+
+double tool_fmax_mhz(const Netlist& nl, const DeviceConfig& cfg) {
+  return fmax_mhz(static_timing(nl, tool_timing(nl, cfg)).critical_path_ns);
+}
+
+double device_critical_path_ns(const Netlist& nl, const Device& device,
+                               const Placement& placement) {
+  return static_timing(nl, annotate_timing(nl, device, placement)).critical_path_ns;
+}
+
+}  // namespace oclp

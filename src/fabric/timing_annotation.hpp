@@ -1,0 +1,37 @@
+// Per-cell delay annotation of a netlist, in two views:
+//
+//  * annotate_timing(): the *device* view. Each cell of the placed module
+//    lands in a small cluster around the placement anchor (like LABs fed by
+//    local interconnect); its delay is the nominal LUT + a per-net routing
+//    draw (seeded by the placement's route_seed, so re-running P&R gives a
+//    different routing), scaled by the location's speed factor and the
+//    environment derate.
+//
+//  * tool_timing(): the *synthesis tool* view. Family-wide worst case —
+//    slow corner, guardband, pessimistic routing — identical for every
+//    cell. STA over these delays yields the conservative fA of Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "netlist/netlist.hpp"
+
+namespace oclp {
+
+/// Device-specific per-cell delays for a module placed at `placement`.
+std::vector<double> annotate_timing(const Netlist& nl, const Device& device,
+                                    const Placement& placement);
+
+/// Conservative per-cell delays as the synthesis tool would assume.
+std::vector<double> tool_timing(const Netlist& nl, const DeviceConfig& cfg);
+
+/// Convenience: tool-reported Fmax (MHz) of a netlist.
+double tool_fmax_mhz(const Netlist& nl, const DeviceConfig& cfg);
+
+/// Convenience: device-view critical path (ns) at a placement.
+double device_critical_path_ns(const Netlist& nl, const Device& device,
+                               const Placement& placement);
+
+}  // namespace oclp

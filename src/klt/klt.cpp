@@ -1,0 +1,80 @@
+#include "klt/klt.hpp"
+
+#include <cmath>
+
+namespace oclp {
+
+Matrix klt_basis(const Matrix& x, std::size_t k) {
+  OCLP_CHECK(k >= 1 && k <= x.rows());
+  const Matrix cov = covariance(x);
+  const EigenSym eig = jacobi_eigen_sym(cov);
+  Matrix basis(x.rows(), k);
+  for (std::size_t c = 0; c < k; ++c) {
+    auto v = eig.vectors.col(c);
+    // Deterministic sign convention: largest-magnitude entry positive.
+    std::size_t arg = 0;
+    for (std::size_t r = 1; r < v.size(); ++r)
+      if (std::abs(v[r]) > std::abs(v[arg])) arg = r;
+    if (v[arg] < 0.0)
+      for (auto& e : v) e = -e;
+    basis.set_col(c, v);
+  }
+  return basis;
+}
+
+Matrix klt_basis_iterative(const Matrix& x, std::size_t k, int iterations,
+                           double tol) {
+  OCLP_CHECK(k >= 1 && k <= x.rows());
+  Matrix xc = x;
+  center_rows(xc);
+  Matrix residual = xc;  // X_j of Eq. 4
+  Matrix basis(x.rows(), k);
+
+  for (std::size_t j = 0; j < k; ++j) {
+    // λ_j = argmax E{(λᵀ X_{j-1})²}  — dominant eigenvector of the residual
+    // second-moment matrix, found by power iteration.
+    const Matrix s = residual * residual.transposed();
+    std::vector<double> v(x.rows(), 0.0);
+    // Deterministic start aligned with the strongest residual row.
+    std::size_t arg = 0;
+    double best = -1.0;
+    for (std::size_t r = 0; r < x.rows(); ++r)
+      if (s(r, r) > best) best = s(r, r), arg = r;
+    v[arg] = 1.0;
+    for (int it = 0; it < iterations; ++it) {
+      const Matrix sv = s * Matrix::column(v);
+      auto next = sv.col(0);
+      const double n = norm(next);
+      if (n == 0.0) break;  // residual exhausted: keep the unit start
+      for (auto& e : next) e /= n;
+      double delta = 0.0;
+      for (std::size_t r = 0; r < next.size(); ++r)
+        delta = std::max(delta, std::abs(std::abs(next[r]) - std::abs(v[r])));
+      v = next;
+      if (delta < tol) break;
+    }
+    // Sign convention as in klt_basis.
+    arg = 0;
+    for (std::size_t r = 1; r < v.size(); ++r)
+      if (std::abs(v[r]) > std::abs(v[arg])) arg = r;
+    if (v[arg] < 0.0)
+      for (auto& e : v) e = -e;
+    basis.set_col(j, v);
+
+    // X_j = X - λ λᵀ X  (Eq. 4, accumulated deflation).
+    const Matrix lam = Matrix::column(v);
+    residual -= lam * (lam.transposed() * residual);
+  }
+  return basis;
+}
+
+double reconstruction_mse(const Matrix& basis, const Matrix& x) {
+  OCLP_CHECK(basis.rows() == x.rows());
+  Matrix xc = x;
+  center_rows(xc);
+  const Matrix f = projection_factors(basis, xc);
+  const Matrix err = xc - basis * f;
+  return err.mean_square();
+}
+
+}  // namespace oclp

@@ -1,0 +1,30 @@
+// The KLT / PCA baseline (paper Section IV).
+//
+// The existing design methodology the framework is compared against:
+// compute the orthogonal basis Λ that minimises the mean squared
+// reconstruction error (Eq. 1–4), quantise its coefficients to the chosen
+// word-length, and map to hardware with no knowledge of over-clocking.
+#pragma once
+
+#include "linalg/decompositions.hpp"
+#include "linalg/matrix.hpp"
+
+namespace oclp {
+
+/// Exact K-dimensional principal subspace of the P×N data matrix `x`
+/// (rows are variables): eigenvectors of the covariance, columns ordered by
+/// decreasing eigenvalue. Data is centered internally.
+Matrix klt_basis(const Matrix& x, std::size_t k);
+
+/// The paper's iterative formulation (Eq. 3–4): power iteration on the
+/// residual with deflation. Converges to klt_basis up to sign; exposed both
+/// to mirror the text and as an independent cross-check in tests.
+Matrix klt_basis_iterative(const Matrix& x, std::size_t k, int iterations = 200,
+                           double tol = 1e-10);
+
+/// Mean squared reconstruction error per element when projecting `x` onto
+/// the (not necessarily orthonormal) basis via least-squares factors:
+/// mse = ||X - Λ(ΛᵀΛ)⁻¹ΛᵀX||²_F / (P·N). Data is centered internally.
+double reconstruction_mse(const Matrix& basis, const Matrix& x);
+
+}  // namespace oclp

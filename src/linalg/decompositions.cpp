@@ -1,0 +1,175 @@
+#include "linalg/decompositions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace oclp {
+
+EigenSym jacobi_eigen_sym(const Matrix& a, double tol, int max_sweeps) {
+  OCLP_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  auto off_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += d(i, j) * d(i, j);
+    return std::sqrt(2.0 * s);
+  };
+  const double scale = std::max(1.0, d.frobenius_norm());
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > tol * scale; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = d(p, p), aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p), dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k), dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d(i, i) > d(j, j); });
+
+  EigenSym out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = d(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+  }
+  return out;
+}
+
+Matrix cholesky(const Matrix& a) {
+  OCLP_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        OCLP_CHECK_MSG(s > 0.0, "cholesky: matrix not positive definite (pivot "
+                                    << i << " = " << s << ")");
+        l(i, i) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+namespace {
+std::vector<double> forward_sub(const Matrix& l, const std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> backward_sub_t(const Matrix& l, const std::vector<double>& y) {
+  // Solves Lᵀ x = y for lower-triangular L.
+  const std::size_t n = l.rows();
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+}  // namespace
+
+std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b) {
+  OCLP_CHECK(a.rows() == b.size());
+  const Matrix l = cholesky(a);
+  return backward_sub_t(l, forward_sub(l, b));
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+  OCLP_CHECK(a.rows() == b.rows());
+  const Matrix l = cholesky(a);
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c)
+    x.set_col(c, backward_sub_t(l, forward_sub(l, b.col(c))));
+  return x;
+}
+
+Matrix inverse_spd(const Matrix& a) {
+  return solve_spd(a, Matrix::identity(a.rows()));
+}
+
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b) {
+  OCLP_CHECK(a.rows() == b.size() && a.rows() >= a.cols());
+  const Matrix at = a.transposed();
+  const Matrix ata = at * a;
+  const Matrix atb = at * Matrix::column(b);
+  return solve_spd(ata, atb.col(0));
+}
+
+Matrix projection_factors(const Matrix& lambda, const Matrix& x, double ridge) {
+  OCLP_CHECK(lambda.rows() == x.rows());
+  const Matrix lt = lambda.transposed();
+  Matrix normal = lt * lambda;
+  for (std::size_t i = 0; i < normal.rows(); ++i) normal(i, i) += ridge;
+  return solve_spd(normal, lt * x);
+}
+
+Matrix projection_normaliser(const Matrix& lambda, double ridge) {
+  const Matrix lt = lambda.transposed();
+  Matrix normal = lt * lambda;
+  for (std::size_t i = 0; i < normal.rows(); ++i) normal(i, i) += ridge;
+  return inverse_spd(normal);
+}
+
+Matrix gram_schmidt(const Matrix& a) {
+  Matrix q = a;
+  for (std::size_t c = 0; c < q.cols(); ++c) {
+    auto v = q.col(c);
+    for (std::size_t p = 0; p < c; ++p) {
+      const auto u = q.col(p);
+      const double proj = dot(u, v);
+      for (std::size_t r = 0; r < v.size(); ++r) v[r] -= proj * u[r];
+    }
+    const double nv = norm(v);
+    if (nv > 1e-12) {
+      for (double& x : v) x /= nv;
+    } else {
+      std::fill(v.begin(), v.end(), 0.0);
+    }
+    q.set_col(c, v);
+  }
+  return q;
+}
+
+}  // namespace oclp

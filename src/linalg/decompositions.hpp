@@ -1,0 +1,56 @@
+// Matrix decompositions for the KLT baseline and the Gibbs sampler:
+// Jacobi symmetric eigensolver (covariance → principal components),
+// Cholesky (SPD solves and multivariate-normal sampling), and small
+// least-squares helpers used by the reconstruction step F = (ΛᵀΛ)⁻¹ΛᵀX.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace oclp {
+
+/// Eigendecomposition of a symmetric matrix, eigenvalues descending.
+struct EigenSym {
+  std::vector<double> values;  ///< descending
+  Matrix vectors;              ///< column k is the eigenvector of values[k]
+};
+
+/// Cyclic Jacobi rotations; `a` must be symmetric. Tolerance is on the
+/// off-diagonal Frobenius norm relative to the matrix norm.
+EigenSym jacobi_eigen_sym(const Matrix& a, double tol = 1e-12,
+                          int max_sweeps = 100);
+
+/// Lower-triangular Cholesky factor of an SPD matrix (throws CheckError if
+/// a pivot is non-positive).
+Matrix cholesky(const Matrix& a);
+
+/// Solve A x = b for SPD A via Cholesky.
+std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b);
+
+/// Solve A X = B for SPD A (column-by-column).
+Matrix solve_spd(const Matrix& a, const Matrix& b);
+
+/// Inverse of an SPD matrix.
+Matrix inverse_spd(const Matrix& a);
+
+/// Least-squares solve min ||A x - b||₂ via normal equations (A is tall,
+/// full column rank).
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b);
+
+/// Least-squares factors for the projection model: F = (ΛᵀΛ + ridge·I)⁻¹ΛᵀX.
+/// A tiny ridge keeps quantised bases with (near-)collinear or zero columns
+/// solvable; the default is exact least squares.
+Matrix projection_factors(const Matrix& lambda, const Matrix& x,
+                          double ridge = 0.0);
+
+/// (ΛᵀΛ + ridge·I)⁻¹ — the reconstruction normaliser applied to hardware
+/// projections.
+Matrix projection_normaliser(const Matrix& lambda, double ridge = 0.0);
+
+/// Modified Gram–Schmidt orthonormalisation of the columns of a (in place
+/// semantics: returns the orthonormalised copy). Columns that become
+/// numerically zero are replaced by zero columns.
+Matrix gram_schmidt(const Matrix& a);
+
+}  // namespace oclp

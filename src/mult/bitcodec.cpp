@@ -1,0 +1,31 @@
+#include "mult/bitcodec.hpp"
+
+namespace oclp {
+
+std::vector<std::uint8_t> to_bits(std::uint64_t value, int bits) {
+  OCLP_CHECK(bits >= 0 && bits <= 64);
+  std::vector<std::uint8_t> out(bits);
+  for (int i = 0; i < bits; ++i) out[i] = static_cast<std::uint8_t>((value >> i) & 1u);
+  return out;
+}
+
+void append_bits(std::vector<std::uint8_t>& out, std::uint64_t value, int bits) {
+  OCLP_CHECK(bits >= 0 && bits <= 64);
+  for (int i = 0; i < bits; ++i)
+    out.push_back(static_cast<std::uint8_t>((value >> i) & 1u));
+}
+
+std::uint64_t from_bits(const std::vector<std::uint8_t>& bits) {
+  return from_bits(bits, 0, bits.size());
+}
+
+std::uint64_t from_bits(const std::vector<std::uint8_t>& bits, std::size_t offset,
+                        std::size_t count) {
+  OCLP_CHECK(offset + count <= bits.size() && count <= 64);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < count; ++i)
+    if (bits[offset + i]) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+}  // namespace oclp

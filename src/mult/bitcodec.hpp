@@ -1,0 +1,25 @@
+// Integer ↔ bit-vector packing for driving netlist inputs and reading
+// outputs. All buses are LSB-first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+/// Lowest `bits` bits of value, LSB first.
+std::vector<std::uint8_t> to_bits(std::uint64_t value, int bits);
+
+/// Append the lowest `bits` bits of value to `out`.
+void append_bits(std::vector<std::uint8_t>& out, std::uint64_t value, int bits);
+
+/// Interpret an LSB-first bit vector as an unsigned integer.
+std::uint64_t from_bits(const std::vector<std::uint8_t>& bits);
+
+/// Interpret bits [offset, offset+count) of a vector as unsigned.
+std::uint64_t from_bits(const std::vector<std::uint8_t>& bits, std::size_t offset,
+                        std::size_t count);
+
+}  // namespace oclp

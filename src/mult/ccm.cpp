@@ -1,0 +1,150 @@
+#include "mult/ccm.hpp"
+
+namespace oclp {
+
+std::vector<int> csd_recode(std::uint64_t constant) {
+  std::vector<int> digits;
+  std::uint64_t v = constant;
+  while (v != 0) {
+    if (v & 1) {
+      // Choose +1 or -1 so the remaining value stays even two steps ahead:
+      // +1 when v ≡ 1 (mod 4), -1 when v ≡ 3 (mod 4).
+      const int digit = (v & 2) ? -1 : 1;
+      digits.push_back(digit);
+      v -= static_cast<std::uint64_t>(digit);
+    } else {
+      digits.push_back(0);
+    }
+    v >>= 1;
+  }
+  return digits;
+}
+
+int csd_nonzero_terms(std::uint64_t constant) {
+  int n = 0;
+  for (int d : csd_recode(constant))
+    if (d != 0) ++n;
+  return n;
+}
+
+namespace {
+
+// Two's-complement negation of a bus: invert and add one via a ripple
+// half-adder chain.
+std::vector<std::int32_t> negate_bus(NetlistBuilder& nb,
+                                     const std::vector<std::int32_t>& a) {
+  std::vector<std::int32_t> inv(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) inv[i] = nb.not_(a[i]);
+  std::vector<std::int32_t> out(a.size());
+  std::int32_t carry = nb.const1();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = nb.xor_(inv[i], carry);
+    if (i + 1 < a.size()) carry = nb.and_(inv[i], carry);
+  }
+  return out;
+}
+
+// Widen a bus to `width` bits with a zero fill.
+std::vector<std::int32_t> widen(NetlistBuilder& nb, std::vector<std::int32_t> bus,
+                                std::size_t width) {
+  while (bus.size() < width) bus.push_back(nb.const0());
+  bus.resize(width);
+  return bus;
+}
+
+// acc - term over equal-width buses (modular): full-adder chain computing
+// acc + ~term + 1.
+std::vector<std::int32_t> ripple_sub(NetlistBuilder& nb,
+                                     const std::vector<std::int32_t>& acc,
+                                     const std::vector<std::int32_t>& term) {
+  OCLP_CHECK(acc.size() == term.size() && !acc.empty());
+  std::vector<std::int32_t> out(acc.size());
+  std::int32_t carry = nb.const1();
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const auto nt = nb.not_(term[i]);
+    auto [s, c] = nb.full_adder(acc[i], nt, carry);
+    out[i] = s;
+    carry = c;
+  }
+  return out;
+}
+
+// Shift-left by `k` (zero fill), truncated to `width`.
+std::vector<std::int32_t> shifted(NetlistBuilder& nb,
+                                  const std::vector<std::int32_t>& bus, int k,
+                                  std::size_t width) {
+  std::vector<std::int32_t> out;
+  out.reserve(width);
+  for (int i = 0; i < k && out.size() < width; ++i) out.push_back(nb.const0());
+  for (std::size_t i = 0; i < bus.size() && out.size() < width; ++i)
+    out.push_back(bus[i]);
+  return widen(nb, std::move(out), width);
+}
+
+}  // namespace
+
+std::vector<std::int32_t> build_ccm(NetlistBuilder& nb, std::uint32_t constant,
+                                    int wl_m, const std::vector<std::int32_t>& x,
+                                    bool use_csd) {
+  OCLP_CHECK(wl_m >= 1 && wl_m <= 32 && !x.empty());
+  OCLP_CHECK_MSG(constant < (1ull << wl_m), "constant exceeds wl_m bits");
+  const std::size_t width = static_cast<std::size_t>(wl_m) + x.size();
+
+  std::vector<std::pair<int, int>> terms;  // (shift, sign)
+  if (use_csd) {
+    const auto digits = csd_recode(constant);
+    for (std::size_t i = 0; i < digits.size(); ++i)
+      if (digits[i] != 0) terms.emplace_back(static_cast<int>(i), digits[i]);
+  } else {
+    for (int i = 0; i < wl_m; ++i)
+      if ((constant >> i) & 1) terms.emplace_back(i, 1);
+  }
+
+  if (terms.empty()) {
+    // constant == 0: the product is a zero bus.
+    return widen(nb, {}, width);
+  }
+
+  // Accumulate terms in sequence (mirrors the area-efficient shift-add CCM
+  // structure): acc += (±x) << shift. Negative terms add the two's
+  // complement of the shifted operand; the final truncation to `width`
+  // makes modular arithmetic exact because CSD sums back to the constant.
+  std::vector<std::int32_t> acc;
+  bool first = true;
+  for (const auto& [shift, sign] : terms) {
+    auto term = shifted(nb, x, shift, width);
+    if (first) {
+      acc = sign < 0 ? negate_bus(nb, term) : std::move(term);
+      first = false;
+      continue;
+    }
+    if (sign < 0) {
+      acc = ripple_sub(nb, acc, term);
+    } else {
+      auto sum = nb.ripple_add(acc, term);
+      sum.resize(width);  // modular truncation
+      acc = std::move(sum);
+    }
+  }
+  return acc;
+}
+
+Netlist make_ccm(std::uint32_t constant, int wl_m, int wl_x, bool use_csd) {
+  OCLP_CHECK(wl_x >= 1);
+  NetlistBuilder nb;
+  const auto x = nb.add_inputs(static_cast<std::size_t>(wl_x));
+  const auto p = build_ccm(nb, constant, wl_m, x, use_csd);
+  nb.mark_outputs(p);
+  return nb.build();
+}
+
+CharacterisationCost ccm_characterisation_cost(int wl_m) {
+  OCLP_CHECK(wl_m >= 1 && wl_m <= 31);
+  CharacterisationCost cost;
+  cost.generic_circuits = 1;
+  cost.ccm_circuits = std::size_t{1} << wl_m;
+  cost.ccm_over_generic = static_cast<double>(cost.ccm_circuits);
+  return cost;
+}
+
+}  // namespace oclp

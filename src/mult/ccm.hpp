@@ -1,0 +1,50 @@
+// Constant Coefficient Multipliers (CCMs) — the operator class of the
+// paper's predecessor work [7], kept here as a baseline.
+//
+// A CCM hard-codes the multiplicand: the partial products of '0' bits
+// vanish, so the circuit is a shift-add network over the '1' bits of the
+// constant (optionally recoded to canonical signed digit form to minimise
+// adders). CCMs are smaller and often faster than a generic multiplier for
+// the same constant, but the paper's central argument against them stands:
+// characterising a device requires one circuit per constant value (2^wl
+// synthesis+measure runs) where a single generic multiplier circuit covers
+// every coefficient — which is why the generic-multiplier framework
+// "scales to large problems". ccm_characterisation_cost() quantifies that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace oclp {
+
+/// Canonical signed digit (CSD) recoding of an unsigned constant: digits
+/// in {-1, 0, +1}, LSB first, no two adjacent non-zeros. Minimises the
+/// number of add/subtract terms of a shift-add multiplier.
+std::vector<int> csd_recode(std::uint64_t constant);
+
+/// Number of non-zero digits (= adder terms) in the CSD form.
+int csd_nonzero_terms(std::uint64_t constant);
+
+/// Build a CCM for `constant` (wl_m-bit) times an x-bit input into `nb`.
+/// Returns the product bus, wl_m + wl_x bits LSB-first. Plain shift-add
+/// over the binary '1' bits when use_csd is false; CSD shift-add/subtract
+/// otherwise.
+std::vector<std::int32_t> build_ccm(NetlistBuilder& nb, std::uint32_t constant,
+                                    int wl_m, const std::vector<std::int32_t>& x,
+                                    bool use_csd = true);
+
+/// Standalone CCM netlist: inputs are the x bits, outputs the product.
+Netlist make_ccm(std::uint32_t constant, int wl_m, int wl_x, bool use_csd = true);
+
+/// Characterisation-cost comparison (paper Sec. II): circuits to compile
+/// and measure to cover every coefficient of a wl-bit port.
+struct CharacterisationCost {
+  std::size_t generic_circuits = 1;   ///< one generic multiplier
+  std::size_t ccm_circuits = 0;       ///< one CCM per constant value
+  double ccm_over_generic = 0.0;
+};
+CharacterisationCost ccm_characterisation_cost(int wl_m);
+
+}  // namespace oclp

@@ -1,0 +1,103 @@
+#include "mult/multiplier.hpp"
+
+#include "common/rng.hpp"
+#include "mult/wallace.hpp"
+
+namespace oclp {
+
+const char* mult_arch_name(MultArch arch) {
+  switch (arch) {
+    case MultArch::Array: return "array";
+    case MultArch::Wallace: return "wallace";
+  }
+  return "?";
+}
+
+Netlist make_multiplier_arch(MultArch arch, int wl_a, int wl_b) {
+  switch (arch) {
+    case MultArch::Array: return make_multiplier(wl_a, wl_b);
+    case MultArch::Wallace: return make_wallace_multiplier(wl_a, wl_b);
+  }
+  OCLP_CHECK_MSG(false, "unknown multiplier architecture");
+}
+
+MultiplierPorts build_array_multiplier(NetlistBuilder& nb,
+                                       const std::vector<std::int32_t>& a,
+                                       const std::vector<std::int32_t>& b) {
+  OCLP_CHECK(!a.empty() && !b.empty());
+  const std::size_t wa = a.size();
+
+  MultiplierPorts ports;
+  ports.a = a;
+  ports.b = b;
+
+  // School-method accumulation: acc holds a × b[0..j-1] after row j-1.
+  std::vector<std::int32_t> acc;
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    // Partial-product row j: (a & b[j]) with weight j.
+    std::vector<std::int32_t> row(wa);
+    for (std::size_t i = 0; i < wa; ++i) row[i] = nb.and_(a[i], b[j]);
+
+    if (j == 0) {
+      acc = row;
+      continue;
+    }
+    // Bits below weight j are already final; add the row into acc[j..].
+    std::vector<std::int32_t> hi(acc.begin() + static_cast<std::ptrdiff_t>(j),
+                                 acc.end());
+    while (hi.size() < wa) hi.push_back(nb.const0());
+    const auto sum = nb.ripple_add(hi, row);  // wa+1 bits
+    acc.resize(j);
+    acc.insert(acc.end(), sum.begin(), sum.end());
+  }
+  // acc is now wa + wb bits: the full product.
+  OCLP_CHECK(acc.size() == wa + b.size() || b.size() == 1);
+  while (acc.size() < wa + b.size()) acc.push_back(nb.const0());
+  ports.p = acc;
+  return ports;
+}
+
+Netlist make_multiplier(int wl_a, int wl_b) {
+  OCLP_CHECK(wl_a >= 1 && wl_b >= 1);
+  NetlistBuilder nb;
+  const auto a = nb.add_inputs(static_cast<std::size_t>(wl_a));
+  const auto b = nb.add_inputs(static_cast<std::size_t>(wl_b));
+  const auto ports = build_array_multiplier(nb, a, b);
+  nb.mark_outputs(ports.p);
+  return nb.build();
+}
+
+Netlist make_mac(int wl_a, int wl_b, int acc_bits) {
+  OCLP_CHECK(acc_bits >= wl_a + wl_b);
+  NetlistBuilder nb;
+  const auto a = nb.add_inputs(static_cast<std::size_t>(wl_a));
+  const auto b = nb.add_inputs(static_cast<std::size_t>(wl_b));
+  const auto acc = nb.add_inputs(static_cast<std::size_t>(acc_bits));
+  const auto ports = build_array_multiplier(nb, a, b);
+  std::vector<std::int32_t> p = ports.p;
+  while (static_cast<int>(p.size()) < acc_bits) p.push_back(nb.const0());
+  const auto sum = nb.ripple_add(acc, p);
+  nb.mark_outputs(sum);
+  return nb.build();
+}
+
+std::size_t multiplier_logic_elements(int wl_a, int wl_b) {
+  return make_multiplier(wl_a, wl_b).logic_elements();
+}
+
+double DspBlockModel::delay_ns(const Device& device, const Placement& placement) {
+  // A hard 18×18 slice: ~12 equivalent gate delays of fixed silicon, with
+  // the location's speed factor and environment applied but no LUT routing
+  // lottery (the macro is pre-routed).
+  const DeviceConfig& cfg = device.config();
+  const double base = 12.0 * cfg.lut_delay_ns * 0.55;
+  return base * device.speed_factor(placement.x, placement.y) *
+         device.environment_derate();
+}
+
+double DspBlockModel::tool_delay_ns(const DeviceConfig& cfg) {
+  const double base = 12.0 * cfg.lut_delay_ns * 0.55;
+  return base * cfg.slow_corner_factor * cfg.tool_guardband;
+}
+
+}  // namespace oclp

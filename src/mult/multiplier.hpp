@@ -1,0 +1,72 @@
+// LUT-based generic multiplier and MAC datapath generators.
+//
+// The paper's design-under-test is the "generic multiplier based on LUTs":
+// a ripple-carry array multiplier whose partial-product rows accumulate
+// through full-adder chains. Its two properties the framework depends on
+// both emerge from the structure:
+//   * the most-significant product bits terminate the longest adder chains
+//     (they fail first under over-clocking — Fig. 4's "high error values");
+//   * a multiplicand bit of 0 zeroes a whole partial-product row, so
+//     multiplicands with few '1' bits toggle shorter paths and survive
+//     higher clocks (Fig. 5's dark rows).
+#pragma once
+
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "netlist/netlist.hpp"
+
+namespace oclp {
+
+/// Net handles of a multiplier embedded in a larger netlist.
+struct MultiplierPorts {
+  std::vector<std::int32_t> a;  ///< multiplicand bus (LSB first)
+  std::vector<std::int32_t> b;  ///< multiplier bus (LSB first)
+  std::vector<std::int32_t> p;  ///< product bus, |a|+|b| bits (LSB first)
+};
+
+/// Emit an unsigned wl_a × wl_b ripple-carry array multiplier into `nb`,
+/// consuming the given input nets. Returns the port map (p are new nets).
+MultiplierPorts build_array_multiplier(NetlistBuilder& nb,
+                                       const std::vector<std::int32_t>& a,
+                                       const std::vector<std::int32_t>& b);
+
+/// Standalone multiplier netlist: inputs are [a bits..., b bits...],
+/// outputs are the product bits.
+Netlist make_multiplier(int wl_a, int wl_b);
+
+/// Multiplier micro-architecture selector. Array is the paper's operator;
+/// Wallace is the log-depth alternative (mult/wallace.hpp) supported end
+/// to end through characterisation and design realisation — the paper's
+/// "the proposed framework can be utilised for other arithmetic
+/// components".
+enum class MultArch { Array, Wallace };
+
+const char* mult_arch_name(MultArch arch);
+
+/// Architecture-dispatching factory.
+Netlist make_multiplier_arch(MultArch arch, int wl_a, int wl_b);
+
+/// MAC datapath netlist as instantiated in the Linear Projection circuit:
+/// product = a×b, then sum = product + acc through a ripple adder, where
+/// acc is `acc_bits` wide (>= wl_a + wl_b). Inputs: [a, b, acc]; outputs:
+/// acc_bits+1 sum bits. This is the registered-to-registered path whose
+/// length defines the design's datapath Fmax (Fig. 8).
+Netlist make_mac(int wl_a, int wl_b, int acc_bits);
+
+/// Number of logic elements of the wl_a × wl_b multiplier as the area
+/// model's ground truth (counts the netlist's non-free cells).
+std::size_t multiplier_logic_elements(int wl_a, int wl_b);
+
+/// Embedded DSP-block multiplier model (paper: the framework "can be
+/// easily extended to accommodate embedded DSP blocks"). The block is a
+/// hard macro: a fixed propagation delay per device corner rather than a
+/// LUT netlist, and zero LEs.
+struct DspBlockModel {
+  /// Device-view propagation delay of an 18×18 hard multiplier slice.
+  static double delay_ns(const Device& device, const Placement& placement);
+  /// Tool-view (conservative) delay.
+  static double tool_delay_ns(const DeviceConfig& cfg);
+};
+
+}  // namespace oclp

@@ -1,0 +1,66 @@
+#include "mult/wallace.hpp"
+
+namespace oclp {
+
+std::vector<std::int32_t> build_wallace_multiplier(
+    NetlistBuilder& nb, const std::vector<std::int32_t>& a,
+    const std::vector<std::int32_t>& b) {
+  OCLP_CHECK(!a.empty() && !b.empty());
+  const std::size_t width = a.size() + b.size();
+
+  // Partial products bucketed by bit weight.
+  std::vector<std::vector<std::int32_t>> columns(width);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j)
+      columns[i + j].push_back(nb.and_(a[i], b[j]));
+
+  // Wallace reduction: each pass compresses every column with full adders
+  // (3:2) and half adders (2:2) until at most two rows remain.
+  auto max_height = [&] {
+    std::size_t h = 0;
+    for (const auto& col : columns) h = std::max(h, col.size());
+    return h;
+  };
+  while (max_height() > 2) {
+    std::vector<std::vector<std::int32_t>> next(width);
+    for (std::size_t w = 0; w < width; ++w) {
+      auto& col = columns[w];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        auto [s, c] = nb.full_adder(col[i], col[i + 1], col[i + 2]);
+        next[w].push_back(s);
+        if (w + 1 < width) next[w + 1].push_back(c);
+        i += 3;
+      }
+      if (col.size() - i == 2) {
+        auto [s, c] = nb.half_adder(col[i], col[i + 1]);
+        next[w].push_back(s);
+        if (w + 1 < width) next[w + 1].push_back(c);
+        i += 2;
+      }
+      for (; i < col.size(); ++i) next[w].push_back(col[i]);
+    }
+    columns = std::move(next);
+  }
+
+  // Final carry-propagate addition of the two remaining rows.
+  std::vector<std::int32_t> row0(width), row1(width);
+  for (std::size_t w = 0; w < width; ++w) {
+    row0[w] = columns[w].size() > 0 ? columns[w][0] : nb.const0();
+    row1[w] = columns[w].size() > 1 ? columns[w][1] : nb.const0();
+  }
+  auto sum = nb.ripple_add(row0, row1);
+  sum.resize(width);  // the true product fits; the top carry is always 0
+  return sum;
+}
+
+Netlist make_wallace_multiplier(int wl_a, int wl_b) {
+  OCLP_CHECK(wl_a >= 1 && wl_b >= 1);
+  NetlistBuilder nb;
+  const auto a = nb.add_inputs(static_cast<std::size_t>(wl_a));
+  const auto b = nb.add_inputs(static_cast<std::size_t>(wl_b));
+  nb.mark_outputs(build_wallace_multiplier(nb, a, b));
+  return nb.build();
+}
+
+}  // namespace oclp

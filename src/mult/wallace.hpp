@@ -1,0 +1,24 @@
+// Wallace-tree multiplier: carry-save 3:2/2:2 reduction of the partial
+// products followed by one final carry-propagate adder. Logarithmic tree
+// depth versus the array multiplier's linear chain — an architecture
+// ablation for the over-clocking study: a shallower datapath moves the
+// whole error-onset landscape up in frequency at the same LE budget,
+// changing how much headroom the characterisation can expose.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace oclp {
+
+/// Emit an unsigned Wallace-tree multiplier into `nb`; returns the product
+/// bus (|a| + |b| bits, LSB first).
+std::vector<std::int32_t> build_wallace_multiplier(
+    NetlistBuilder& nb, const std::vector<std::int32_t>& a,
+    const std::vector<std::int32_t>& b);
+
+/// Standalone Wallace multiplier netlist, inputs [a bits..., b bits...].
+Netlist make_wallace_multiplier(int wl_a, int wl_b);
+
+}  // namespace oclp

@@ -1,0 +1,204 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace oclp {
+
+int cell_arity(CellType t) {
+  switch (t) {
+    case CellType::Const0:
+    case CellType::Const1:
+      return 0;
+    case CellType::Buf:
+    case CellType::Not:
+      return 1;
+    case CellType::And2:
+    case CellType::Or2:
+    case CellType::Xor2:
+    case CellType::Nand2:
+    case CellType::Nor2:
+    case CellType::Xnor2:
+    case CellType::AndNot2:
+      return 2;
+    case CellType::Maj3:
+    case CellType::Xor3:
+    case CellType::Mux2:
+      return 3;
+  }
+  return 0;
+}
+
+const char* cell_name(CellType t) {
+  switch (t) {
+    case CellType::Const0: return "CONST0";
+    case CellType::Const1: return "CONST1";
+    case CellType::Buf: return "BUF";
+    case CellType::Not: return "NOT";
+    case CellType::And2: return "AND2";
+    case CellType::Or2: return "OR2";
+    case CellType::Xor2: return "XOR2";
+    case CellType::Nand2: return "NAND2";
+    case CellType::Nor2: return "NOR2";
+    case CellType::Xnor2: return "XNOR2";
+    case CellType::AndNot2: return "ANDNOT2";
+    case CellType::Maj3: return "MAJ3";
+    case CellType::Xor3: return "XOR3";
+    case CellType::Mux2: return "MUX2";
+  }
+  return "?";
+}
+
+bool cell_eval(CellType t, bool a, bool b, bool c) {
+  switch (t) {
+    case CellType::Const0: return false;
+    case CellType::Const1: return true;
+    case CellType::Buf: return a;
+    case CellType::Not: return !a;
+    case CellType::And2: return a && b;
+    case CellType::Or2: return a || b;
+    case CellType::Xor2: return a != b;
+    case CellType::Nand2: return !(a && b);
+    case CellType::Nor2: return !(a || b);
+    case CellType::Xnor2: return a == b;
+    case CellType::AndNot2: return a && !b;
+    case CellType::Maj3: return (a && b) || (a && c) || (b && c);
+    case CellType::Xor3: return (a != b) != c;
+    case CellType::Mux2: return c ? b : a;
+  }
+  return false;
+}
+
+bool cell_is_free(CellType t) {
+  return t == CellType::Const0 || t == CellType::Const1 || t == CellType::Buf;
+}
+
+std::size_t Netlist::logic_elements() const {
+  std::size_t n = 0;
+  for (const auto& c : cells_)
+    if (!cell_is_free(c.type)) ++n;
+  return n;
+}
+
+std::vector<int> Netlist::levels() const {
+  std::vector<int> lvl(num_nets(), 0);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    int m = 0;
+    const int arity = cell_arity(c.type);
+    for (int k = 0; k < arity; ++k) m = std::max(m, lvl[c.in[k]]);
+    lvl[num_inputs_ + i] = cell_is_free(c.type) ? m : m + 1;
+  }
+  return lvl;
+}
+
+int Netlist::depth() const {
+  const auto lvl = levels();
+  int d = 0;
+  for (auto o : outputs_) d = std::max(d, lvl[o]);
+  return d;
+}
+
+std::vector<std::uint8_t> Netlist::evaluate(const std::vector<std::uint8_t>& inputs) const {
+  OCLP_CHECK_MSG(inputs.size() == num_inputs_, "expected " << num_inputs_
+                                                << " inputs, got " << inputs.size());
+  std::vector<std::uint8_t> val(num_nets());
+  std::copy(inputs.begin(), inputs.end(), val.begin());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    const bool a = c.in[0] >= 0 && val[c.in[0]];
+    const bool b = c.in[1] >= 0 && val[c.in[1]];
+    const bool cc = c.in[2] >= 0 && val[c.in[2]];
+    val[num_inputs_ + i] = cell_eval(c.type, a, b, cc);
+  }
+  return val;
+}
+
+std::vector<std::uint8_t> Netlist::evaluate_outputs(
+    const std::vector<std::uint8_t>& inputs) const {
+  const auto val = evaluate(inputs);
+  std::vector<std::uint8_t> out(outputs_.size());
+  for (std::size_t i = 0; i < outputs_.size(); ++i) out[i] = val[outputs_[i]];
+  return out;
+}
+
+std::int32_t NetlistBuilder::add_input() {
+  OCLP_CHECK_MSG(!inputs_frozen_, "all inputs must be added before any cell");
+  return static_cast<std::int32_t>(nl_.num_inputs_++);
+}
+
+std::vector<std::int32_t> NetlistBuilder::add_inputs(std::size_t n) {
+  std::vector<std::int32_t> nets(n);
+  for (auto& x : nets) x = add_input();
+  return nets;
+}
+
+std::int32_t NetlistBuilder::add_cell(CellType type, std::int32_t a, std::int32_t b,
+                                      std::int32_t c) {
+  inputs_frozen_ = true;
+  const int arity = cell_arity(type);
+  const std::array<std::int32_t, 3> in{a, b, c};
+  const auto limit = static_cast<std::int32_t>(nl_.num_nets());
+  for (int k = 0; k < arity; ++k)
+    OCLP_CHECK_MSG(in[k] >= 0 && in[k] < limit,
+                   cell_name(type) << " input " << k << " references net "
+                                   << in[k] << " of " << limit);
+  nl_.cells_.push_back(Cell{type, {a, b, c}});
+  return static_cast<std::int32_t>(nl_.num_nets() - 1);
+}
+
+std::int32_t NetlistBuilder::const0() {
+  if (const0_net_ < 0) const0_net_ = add_cell(CellType::Const0);
+  return const0_net_;
+}
+
+std::int32_t NetlistBuilder::const1() {
+  if (const1_net_ < 0) const1_net_ = add_cell(CellType::Const1);
+  return const1_net_;
+}
+
+std::pair<std::int32_t, std::int32_t> NetlistBuilder::half_adder(std::int32_t a,
+                                                                 std::int32_t b) {
+  return {xor_(a, b), and_(a, b)};
+}
+
+std::pair<std::int32_t, std::int32_t> NetlistBuilder::full_adder(std::int32_t a,
+                                                                 std::int32_t b,
+                                                                 std::int32_t cin) {
+  return {xor3(a, b, cin), maj3(a, b, cin)};
+}
+
+std::vector<std::int32_t> NetlistBuilder::ripple_add(
+    const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b) {
+  OCLP_CHECK(a.size() == b.size() && !a.empty());
+  std::vector<std::int32_t> sum(a.size() + 1);
+  auto [s0, c0] = half_adder(a[0], b[0]);
+  sum[0] = s0;
+  std::int32_t carry = c0;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    auto [s, c] = full_adder(a[i], b[i], carry);
+    sum[i] = s;
+    carry = c;
+  }
+  sum[a.size()] = carry;
+  return sum;
+}
+
+void NetlistBuilder::mark_output(std::int32_t net) {
+  OCLP_CHECK(net >= 0 && net < static_cast<std::int32_t>(nl_.num_nets()));
+  nl_.outputs_.push_back(net);
+}
+
+void NetlistBuilder::mark_outputs(const std::vector<std::int32_t>& nets) {
+  for (auto n : nets) mark_output(n);
+}
+
+Netlist NetlistBuilder::build() {
+  OCLP_CHECK_MSG(!nl_.outputs_.empty(), "netlist has no outputs");
+  Netlist out = std::move(nl_);
+  nl_ = Netlist{};
+  const0_net_ = const1_net_ = -1;
+  inputs_frozen_ = false;
+  return out;
+}
+
+}  // namespace oclp

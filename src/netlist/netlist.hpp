@@ -1,0 +1,145 @@
+// Gate-level combinational netlist.
+//
+// Cells model the logic functions an FPGA maps into 4-input LUTs; each
+// cell therefore costs one logic element (LE) and one LUT delay plus the
+// delay of the net that feeds it. The netlist is built in topological
+// order by construction (a cell may only reference already-defined nets),
+// which makes levelisation, STA and the over-clocking timing simulation
+// single linear passes.
+//
+// Net numbering: nets 0..num_inputs-1 are the primary inputs; net
+// (num_inputs + i) is the output of cell i.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+enum class CellType : std::uint8_t {
+  Const0,  ///< constant 0 (no inputs, zero delay, zero area)
+  Const1,  ///< constant 1
+  Buf,     ///< identity (used for port renaming; zero area)
+  Not,
+  And2,
+  Or2,
+  Xor2,
+  Nand2,
+  Nor2,
+  Xnor2,
+  AndNot2,  ///< a & ~b
+  Maj3,     ///< majority(a, b, c) — full-adder carry
+  Xor3,     ///< a ^ b ^ c — full-adder sum
+  Mux2,     ///< s ? b : a  (inputs ordered a, b, s)
+};
+
+/// Number of inputs a cell type consumes.
+int cell_arity(CellType t);
+/// Human-readable cell name.
+const char* cell_name(CellType t);
+/// Evaluate the cell function on boolean inputs.
+bool cell_eval(CellType t, bool a, bool b, bool c);
+/// True for zero-area, zero-delay cells (constants and buffers).
+bool cell_is_free(CellType t);
+
+struct Cell {
+  CellType type;
+  std::array<std::int32_t, 3> in;  ///< net ids; unused slots are -1
+};
+
+class Netlist {
+ public:
+  friend class NetlistBuilder;
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_nets() const { return num_inputs_ + cells_.size(); }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<std::int32_t>& outputs() const { return outputs_; }
+
+  /// Net id of cell i's output.
+  std::int32_t cell_output_net(std::size_t i) const {
+    return static_cast<std::int32_t>(num_inputs_ + i);
+  }
+  /// Cell index driving a net, or -1 for primary inputs.
+  std::int32_t driver_of(std::int32_t net) const {
+    return net < static_cast<std::int32_t>(num_inputs_)
+               ? -1
+               : net - static_cast<std::int32_t>(num_inputs_);
+  }
+
+  /// Logic elements consumed (cells minus free cells).
+  std::size_t logic_elements() const;
+
+  /// Combinational logic level of every net (inputs are level 0).
+  std::vector<int> levels() const;
+  /// Maximum logic level over the output nets.
+  int depth() const;
+
+  /// Functional (zero-delay) evaluation: returns values for all nets.
+  std::vector<std::uint8_t> evaluate(const std::vector<std::uint8_t>& inputs) const;
+  /// Functional evaluation returning only the output net values.
+  std::vector<std::uint8_t> evaluate_outputs(const std::vector<std::uint8_t>& inputs) const;
+
+ private:
+  std::size_t num_inputs_ = 0;
+  std::vector<Cell> cells_;
+  std::vector<std::int32_t> outputs_;
+};
+
+/// Incremental netlist construction. Net handles are plain ints so bus
+/// plumbing (vectors of nets) stays lightweight.
+class NetlistBuilder {
+ public:
+  /// Add one primary input; returns its net id. All inputs must be added
+  /// before any cell.
+  std::int32_t add_input();
+  /// Add `n` primary inputs; returns their net ids in order.
+  std::vector<std::int32_t> add_inputs(std::size_t n);
+
+  std::int32_t add_cell(CellType type, std::int32_t a = -1, std::int32_t b = -1,
+                        std::int32_t c = -1);
+
+  std::int32_t const0();
+  std::int32_t const1();
+  std::int32_t not_(std::int32_t a) { return add_cell(CellType::Not, a); }
+  std::int32_t and_(std::int32_t a, std::int32_t b) { return add_cell(CellType::And2, a, b); }
+  std::int32_t or_(std::int32_t a, std::int32_t b) { return add_cell(CellType::Or2, a, b); }
+  std::int32_t xor_(std::int32_t a, std::int32_t b) { return add_cell(CellType::Xor2, a, b); }
+  std::int32_t maj3(std::int32_t a, std::int32_t b, std::int32_t c) {
+    return add_cell(CellType::Maj3, a, b, c);
+  }
+  std::int32_t xor3(std::int32_t a, std::int32_t b, std::int32_t c) {
+    return add_cell(CellType::Xor3, a, b, c);
+  }
+
+  /// Half adder: returns {sum, carry}.
+  std::pair<std::int32_t, std::int32_t> half_adder(std::int32_t a, std::int32_t b);
+  /// Full adder: returns {sum, carry}.
+  std::pair<std::int32_t, std::int32_t> full_adder(std::int32_t a, std::int32_t b,
+                                                   std::int32_t cin);
+  /// Ripple-carry adder over equal-width buses; returns width+1 sum bits
+  /// (LSB first), the last being the carry out.
+  std::vector<std::int32_t> ripple_add(const std::vector<std::int32_t>& a,
+                                       const std::vector<std::int32_t>& b);
+
+  void mark_output(std::int32_t net);
+  void mark_outputs(const std::vector<std::int32_t>& nets);
+
+  std::size_t num_nets() const { return nl_.num_nets(); }
+
+  /// Finish construction; the builder is left empty.
+  Netlist build();
+
+ private:
+  Netlist nl_;
+  std::int32_t const0_net_ = -1;
+  std::int32_t const1_net_ = -1;
+  bool inputs_frozen_ = false;
+};
+
+}  // namespace oclp

@@ -1,0 +1,32 @@
+#include "netlist/sta.hpp"
+
+#include <algorithm>
+
+namespace oclp {
+
+StaResult static_timing(const Netlist& nl, const std::vector<double>& cell_delay_ns) {
+  OCLP_CHECK_MSG(cell_delay_ns.size() == nl.num_cells(),
+                 "need one delay per cell: " << cell_delay_ns.size() << " vs "
+                                             << nl.num_cells());
+  StaResult res;
+  res.arrival_ns.assign(nl.num_nets(), 0.0);
+  const auto& cells = nl.cells();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    double arr = 0.0;
+    const int arity = cell_arity(c.type);
+    for (int k = 0; k < arity; ++k)
+      arr = std::max(arr, res.arrival_ns[c.in[k]]);
+    res.arrival_ns[nl.num_inputs() + i] =
+        arr + (cell_is_free(c.type) ? 0.0 : cell_delay_ns[i]);
+  }
+  for (auto o : nl.outputs()) {
+    if (res.arrival_ns[o] > res.critical_path_ns) {
+      res.critical_path_ns = res.arrival_ns[o];
+      res.critical_output = o;
+    }
+  }
+  return res;
+}
+
+}  // namespace oclp

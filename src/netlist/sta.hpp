@@ -1,0 +1,41 @@
+// Static timing analysis over a netlist with per-cell delays.
+//
+// Two delay sources exist in the library:
+//  * the "synthesis tool" view — worst-case corner delays with guardband
+//    (fabric::tool_timing), reproducing the conservative fA of the paper;
+//  * the "device" view — per-cell delays sampled from a specific Device at
+//    a specific Placement (fabric::annotate_timing).
+// Both views are plain vectors of per-cell delays, so the same STA runs on
+// either.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace oclp {
+
+/// Result of a timing pass.
+struct StaResult {
+  std::vector<double> arrival_ns;  ///< per-net settled arrival time
+  double critical_path_ns = 0.0;   ///< max arrival over the output nets
+  std::int32_t critical_output = -1;  ///< output net achieving the max
+};
+
+/// arrival(net) = cell_delay + max(arrival(fanins)); inputs arrive at 0.
+/// `cell_delay_ns` has one entry per cell.
+StaResult static_timing(const Netlist& nl, const std::vector<double>& cell_delay_ns);
+
+/// Max frequency in MHz for a given critical path.
+inline double fmax_mhz(double critical_path_ns) {
+  OCLP_CHECK(critical_path_ns > 0.0);
+  return 1000.0 / critical_path_ns;
+}
+
+/// Period in ns for a frequency in MHz.
+inline double period_ns(double freq_mhz) {
+  OCLP_CHECK(freq_mhz > 0.0);
+  return 1000.0 / freq_mhz;
+}
+
+}  // namespace oclp

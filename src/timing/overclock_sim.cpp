@@ -1,0 +1,94 @@
+#include "timing/overclock_sim.hpp"
+
+#include <algorithm>
+
+namespace oclp {
+
+OverclockSim::OverclockSim(Netlist nl, std::vector<double> cell_delay_ns)
+    : nl_(std::move(nl)), delay_(std::move(cell_delay_ns)) {
+  OCLP_CHECK_MSG(delay_.size() == nl_.num_cells(),
+                 "one delay per cell required: " << delay_.size() << " vs "
+                                                 << nl_.num_cells());
+  prev_.assign(nl_.num_nets(), 0);
+  next_.assign(nl_.num_nets(), 0);
+  settle_.assign(nl_.num_nets(), 0.0);
+}
+
+void OverclockSim::reset(const std::vector<std::uint8_t>& inputs) {
+  prev_ = nl_.evaluate(inputs);
+  initialised_ = true;
+}
+
+std::vector<std::uint8_t> OverclockSim::step(const std::vector<std::uint8_t>& inputs,
+                                             double period_ns) {
+  OCLP_CHECK_MSG(initialised_, "OverclockSim::step before reset");
+  OCLP_CHECK(inputs.size() == nl_.num_inputs());
+  OCLP_CHECK(period_ns > 0.0);
+
+  const std::size_t ni = nl_.num_inputs();
+  // Registered inputs switch at the edge: settle 0, value = new input.
+  for (std::size_t i = 0; i < ni; ++i) {
+    next_[i] = inputs[i];
+    settle_[i] = 0.0;
+  }
+
+  const auto& cells = nl_.cells();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const std::size_t out = ni + i;
+    const int arity = cell_arity(c.type);
+    const bool a = arity > 0 && next_[c.in[0]];
+    const bool b = arity > 1 && next_[c.in[1]];
+    const bool cc = arity > 2 && next_[c.in[2]];
+    const std::uint8_t v = cell_eval(c.type, a, b, cc);
+    next_[out] = v;
+    if (v == prev_[out]) {
+      settle_[out] = 0.0;  // no transition (glitches ignored)
+      continue;
+    }
+    // The transition is launched by the latest-settling fanin that itself
+    // transitioned; if the cell is free (constant/buffer) it adds no delay.
+    double launch = 0.0;
+    for (int k = 0; k < arity; ++k) {
+      const auto in = c.in[k];
+      if (next_[in] != prev_[in]) launch = std::max(launch, settle_[in]);
+    }
+    settle_[out] = launch + (cell_is_free(c.type) ? 0.0 : delay_[i]);
+  }
+
+  const auto& outs = nl_.outputs();
+  std::vector<std::uint8_t> captured(outs.size());
+  out_settle_.resize(outs.size());
+  out_prev_.resize(outs.size());
+  out_next_.resize(outs.size());
+  double worst = 0.0;
+  for (std::size_t k = 0; k < outs.size(); ++k) {
+    const auto o = outs[k];
+    worst = std::max(worst, settle_[o]);
+    captured[k] = settle_[o] <= period_ns ? next_[o] : prev_[o];
+    out_settle_[k] = settle_[o];
+    out_prev_[k] = prev_[o];
+    out_next_[k] = next_[o];
+  }
+  last_output_settle_ns_ = worst;
+  stepped_ = true;
+
+  prev_.swap(next_);  // cone fully settles before the next edge (see header)
+  return captured;
+}
+
+std::vector<std::uint8_t> OverclockSim::resample_last(double period_ns) const {
+  OCLP_CHECK_MSG(stepped_, "resample_last before any step");
+  OCLP_CHECK(period_ns > 0.0);
+  std::vector<std::uint8_t> captured(out_settle_.size());
+  for (std::size_t k = 0; k < out_settle_.size(); ++k)
+    captured[k] = out_settle_[k] <= period_ns ? out_next_[k] : out_prev_[k];
+  return captured;
+}
+
+std::vector<std::uint8_t> OverclockSim::last_settled_outputs() const {
+  OCLP_CHECK_MSG(stepped_, "last_settled_outputs before any step");
+  return out_next_;
+}
+
+}  // namespace oclp

@@ -1,0 +1,77 @@
+// Over-clocked register-to-register timing simulation.
+//
+// Model (the standard one in the FPGA over-clocking literature, e.g. Shi,
+// Boland & Constantinides, FCCM'13): the combinational cone between input
+// and output registers is driven with a new input vector at each clock
+// edge; the output register samples after the (possibly jittered) period T.
+// Every net carries a settle time — the moment its value reaches its final
+// (functional) value for the new inputs:
+//
+//   settle(net) = 0                                   if value unchanged
+//               = cell_delay + max settle(changed fanins)   otherwise
+//
+// An output bit whose settle time exceeds T is captured *stale*: the
+// register keeps the previous cycle's settled value for that bit. This
+// reproduces the paper's observations: errors are cumulative in frequency,
+// MSbs (longest chains) fail first, and multiplicands with few '1' bits
+// (fewer toggling partial products) fail less.
+//
+// Approximations (documented deviations from event-accurate simulation):
+//  * hazards/glitches are ignored — a net that ends at its old value is
+//    treated as never having moved;
+//  * the cone is assumed fully settled by the *end* of each cycle, so the
+//    "previous" frame is always the functional value of the previous
+//    inputs. Far above the error onset this is optimistic, which matches
+//    the paper's remark that beyond fC results are simply not meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace oclp {
+
+class OverclockSim {
+ public:
+  /// Takes the netlist and the per-cell delays of a specific placement on a
+  /// specific device (see fabric::annotate_timing).
+  OverclockSim(Netlist nl, std::vector<double> cell_delay_ns);
+
+  const Netlist& netlist() const { return nl_; }
+
+  /// Settle every net for `inputs` (a register flush); clears history.
+  void reset(const std::vector<std::uint8_t>& inputs);
+
+  /// Clock edge: apply `inputs`, sample the output register after
+  /// `period_ns`. Returns the captured output bits (possibly stale).
+  /// Requires a prior reset() (the first vector of a stream).
+  std::vector<std::uint8_t> step(const std::vector<std::uint8_t>& inputs,
+                                 double period_ns);
+
+  /// Settle time of the slowest output for the most recent step (ns).
+  double last_output_settle_ns() const { return last_output_settle_ns_; }
+
+  /// Re-sample the most recent step's outputs at a different period —
+  /// what a register on a delayed clock (e.g. a Razor shadow latch) would
+  /// have captured at the same launch edge. Valid after step().
+  std::vector<std::uint8_t> resample_last(double period_ns) const;
+
+  /// Fully-settled output values of the most recent step (ground truth).
+  std::vector<std::uint8_t> last_settled_outputs() const;
+
+ private:
+  Netlist nl_;
+  std::vector<double> delay_;
+  std::vector<std::uint8_t> prev_;  // settled values of the previous frame
+  std::vector<std::uint8_t> next_;  // functional values of the new frame
+  std::vector<double> settle_;
+  // Per-output snapshot of the most recent step (for resample_last()).
+  std::vector<double> out_settle_;
+  std::vector<std::uint8_t> out_prev_, out_next_;
+  double last_output_settle_ns_ = 0.0;
+  bool initialised_ = false;
+  bool stepped_ = false;
+};
+
+}  // namespace oclp

@@ -1,0 +1,43 @@
+#include "timing/razor.hpp"
+
+namespace oclp {
+
+RazorSim::RazorSim(Netlist nl, std::vector<double> cell_delay_ns, RazorConfig cfg)
+    : sim_(std::move(nl), std::move(cell_delay_ns)), cfg_(cfg) {
+  OCLP_CHECK(cfg.shadow_margin_ns > 0.0 && cfg.recovery_penalty_cycles >= 0);
+}
+
+void RazorSim::reset(const std::vector<std::uint8_t>& inputs) {
+  sim_.reset(inputs);
+}
+
+RazorSim::StepResult RazorSim::step(const std::vector<std::uint8_t>& inputs,
+                                    double period_ns) {
+  StepResult result;
+  result.outputs = sim_.step(inputs, period_ns);
+  const auto shadow = sim_.resample_last(period_ns + cfg_.shadow_margin_ns);
+
+  ++samples_;
+  ++cycles_;
+  if (shadow != result.outputs) {
+    result.error_detected = true;
+    ++detected_;
+    cycles_ += static_cast<std::size_t>(cfg_.recovery_penalty_cycles);
+    result.outputs = shadow;  // recover from the shadow latch
+  }
+  // If even the shadow missed the settle time, the error escapes silently —
+  // the designer must budget the margin so this cannot happen in the field.
+  if (shadow != sim_.last_settled_outputs()) {
+    result.undetected_error = true;
+    ++undetected_;
+  }
+  return result;
+}
+
+double RazorSim::effective_throughput() const {
+  return cycles_ == 0
+             ? 1.0
+             : static_cast<double>(samples_) / static_cast<double>(cycles_);
+}
+
+}  // namespace oclp

@@ -1,0 +1,105 @@
+#include "area/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mult/multiplier.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(SynthesisedLes, DeterministicPerRunSeed) {
+  EXPECT_DOUBLE_EQ(synthesised_multiplier_les(8, 9, 5),
+                   synthesised_multiplier_les(8, 9, 5));
+  EXPECT_NE(synthesised_multiplier_les(8, 9, 5),
+            synthesised_multiplier_les(8, 9, 6));
+}
+
+TEST(SynthesisedLes, CloseToNetlistGroundTruth) {
+  const auto base = static_cast<double>(multiplier_logic_elements(8, 9));
+  for (std::uint64_t run = 0; run < 50; ++run) {
+    const double le = synthesised_multiplier_les(8, 9, run);
+    EXPECT_GT(le, base * 0.85);
+    EXPECT_LT(le, base * 1.15);
+  }
+}
+
+TEST(CollectAreaSamples, CoversSweepGrid) {
+  const auto samples = collect_area_samples(3, 9, 9, 10, 1);
+  EXPECT_EQ(samples.size(), 7u * 10u);
+  int count_wl5 = 0;
+  for (const auto& s : samples) {
+    EXPECT_GE(s.wordlength, 3);
+    EXPECT_LE(s.wordlength, 9);
+    EXPECT_GT(s.logic_elements, 0.0);
+    if (s.wordlength == 5) ++count_wl5;
+  }
+  EXPECT_EQ(count_wl5, 10);
+}
+
+class AreaModelTest : public ::testing::Test {
+ protected:
+  AreaModelTest() : model_(AreaModel::fit(collect_area_samples(3, 9, 9, 30, 7))) {}
+  AreaModel model_;
+};
+
+TEST_F(AreaModelTest, CoversFittedWordlengthsOnly) {
+  for (int wl = 3; wl <= 9; ++wl) EXPECT_TRUE(model_.covers(wl));
+  EXPECT_FALSE(model_.covers(2));
+  EXPECT_FALSE(model_.covers(10));
+  EXPECT_THROW(model_.estimate(10), CheckError);
+}
+
+TEST_F(AreaModelTest, EstimateTracksGroundTruth) {
+  for (int wl = 3; wl <= 9; ++wl) {
+    const auto base = static_cast<double>(multiplier_logic_elements(wl, 9));
+    EXPECT_NEAR(model_.estimate(wl), base, base * 0.05) << "wl=" << wl;
+  }
+}
+
+TEST_F(AreaModelTest, EstimateMonotoneInWordlength) {
+  for (int wl = 4; wl <= 9; ++wl)
+    EXPECT_GT(model_.estimate(wl), model_.estimate(wl - 1));
+}
+
+TEST_F(AreaModelTest, ConfidenceIntervalCoversMostRuns) {
+  // ~95% of fresh synthesis runs must land inside estimate ± ci95.
+  int inside = 0;
+  const int runs = 400;
+  for (int r = 0; r < runs; ++r) {
+    const double le = synthesised_multiplier_les(7, 9, 1000 + r);
+    if (std::abs(le - model_.estimate(7)) <= model_.ci95(7)) ++inside;
+  }
+  EXPECT_GT(inside, runs * 0.90);
+  EXPECT_LT(inside, runs * 1.00);  // spread is real: not everything inside
+}
+
+TEST_F(AreaModelTest, Ci95IsPositiveAndScalesWithStddev) {
+  for (int wl = 3; wl <= 9; ++wl) {
+    EXPECT_GT(model_.stddev(wl), 0.0);
+    EXPECT_DOUBLE_EQ(model_.ci95(wl), 1.96 * model_.stddev(wl));
+  }
+}
+
+TEST_F(AreaModelTest, ColumnEstimateAddsAccumulation) {
+  const double one_mult = model_.estimate(6);
+  const double column = model_.column_estimate(6, 6, 9);
+  EXPECT_GT(column, 6 * one_mult);            // P multipliers plus adders
+  EXPECT_LT(column, 6 * one_mult + 6 * 30.0);  // adder overhead is modest
+}
+
+TEST_F(AreaModelTest, ColumnEstimateGrowsWithDims) {
+  EXPECT_GT(model_.column_estimate(5, 8, 9), model_.column_estimate(5, 4, 9));
+}
+
+TEST(AreaModel, FitRejectsEmpty) {
+  EXPECT_THROW(AreaModel::fit({}), CheckError);
+}
+
+TEST(AreaModel, FitSingleWordlength) {
+  const auto model = AreaModel::fit(collect_area_samples(5, 5, 9, 5, 3));
+  EXPECT_TRUE(model.covers(5));
+  EXPECT_FALSE(model.covers(4));
+}
+
+}  // namespace
+}  // namespace oclp

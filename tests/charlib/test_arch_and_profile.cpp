@@ -1,0 +1,109 @@
+// Tests for the architecture-parametric characterisation path and the
+// per-bit error profile helper.
+#include <gtest/gtest.h>
+
+#include "charlib/char_circuit.hpp"
+#include "charlib/sweep.hpp"
+#include "fabric/calibration.hpp"
+
+namespace oclp {
+namespace {
+
+class ArchCharTest : public ::testing::Test {
+ protected:
+  ArchCharTest() : device_(reference_device_config(), kReferenceDieSeed) {
+    device_.set_temperature(kCharacterisationTempC);
+  }
+  Device device_;
+};
+
+TEST_F(ArchCharTest, WallaceDutIsFunctionallyCorrectAtLowClock) {
+  CharCircuitConfig cfg;
+  cfg.wl_m = 6;
+  cfg.wl_x = 6;
+  cfg.arch = MultArch::Wallace;
+  CharacterisationCircuit circuit(cfg, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 400, 1);
+  const auto trace = circuit.run(45, xs, 100.0);
+  EXPECT_EQ(trace.erroneous, 0u);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_EQ(trace.observed[i], 45ull * xs[i]);
+}
+
+TEST_F(ArchCharTest, WallaceSurvivesHigherClocksThanArray) {
+  // The shallower tree must keep a higher device-view Fmax.
+  CharCircuitConfig array_cfg;
+  array_cfg.wl_m = 8;
+  array_cfg.wl_x = 8;
+  CharCircuitConfig wallace_cfg = array_cfg;
+  wallace_cfg.arch = MultArch::Wallace;
+  CharacterisationCircuit array_c(array_cfg, device_, reference_location_1());
+  CharacterisationCircuit wallace_c(wallace_cfg, device_, reference_location_1());
+  EXPECT_GT(wallace_c.dut_device_fmax_mhz(), array_c.dut_device_fmax_mhz() * 1.1);
+  EXPECT_GT(wallace_c.dut_tool_fmax_mhz(), array_c.dut_tool_fmax_mhz() * 1.1);
+}
+
+TEST_F(ArchCharTest, SweepSettingsArchReachesTheModel) {
+  // At a clock where the array multiplier errs, the Wallace one does not:
+  // the arch knob demonstrably reaches the characterisation.
+  SweepSettings ss;
+  ss.freqs_mhz = {330.0};
+  ss.locations = {reference_location_1()};
+  ss.samples_per_point = 200;
+  const auto array_model = characterise_multiplier(device_, 8, 8, ss);
+  ss.arch = MultArch::Wallace;
+  const auto wallace_model = characterise_multiplier(device_, 8, 8, ss);
+  EXPECT_GT(array_model.max_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(wallace_model.max_variance(), 0.0);
+}
+
+TEST(MultArchName, Names) {
+  EXPECT_STREQ(mult_arch_name(MultArch::Array), "array");
+  EXPECT_STREQ(mult_arch_name(MultArch::Wallace), "wallace");
+}
+
+TEST(BitErrorProfile, EmptyTraceIsAllZero) {
+  CharTrace trace;
+  const auto profile = bit_error_profile(trace, 8);
+  EXPECT_EQ(profile.size(), 8u);
+  for (double p : profile) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(BitErrorProfile, CountsFlipsPerBit) {
+  CharTrace trace;
+  trace.observed = {0b0001, 0b1000, 0b1001, 0b0000};
+  trace.expected = {0b0000, 0b0000, 0b0000, 0b0000};
+  const auto profile = bit_error_profile(trace, 4);
+  EXPECT_DOUBLE_EQ(profile[0], 0.5);   // flipped in samples 0 and 2
+  EXPECT_DOUBLE_EQ(profile[1], 0.0);
+  EXPECT_DOUBLE_EQ(profile[2], 0.0);
+  EXPECT_DOUBLE_EQ(profile[3], 0.5);   // flipped in samples 1 and 2
+}
+
+TEST(BitErrorProfile, MsbsDominateUnderOverclocking) {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  CharCircuitConfig cfg;
+  CharacterisationCircuit circuit(cfg, device, reference_location_1());
+  const auto xs = uniform_stream(8, 4000, 3);
+  const auto trace = circuit.run(222, xs, 360.0);
+  ASSERT_GT(trace.erroneous, 100u);
+  const auto profile = bit_error_profile(trace, 16);
+  double low = 0.0, high = 0.0;
+  for (int b = 0; b < 8; ++b) low += profile[b];
+  for (int b = 8; b < 16; ++b) high += profile[b];
+  EXPECT_GT(high, low);
+  EXPECT_DOUBLE_EQ(profile[0], 0.0);  // single-AND LSB never fails
+}
+
+TEST(BitErrorProfile, Validation) {
+  CharTrace trace;
+  trace.observed = {1};
+  trace.expected = {1, 2};
+  EXPECT_THROW(bit_error_profile(trace, 4), CheckError);
+  trace.expected = {1};
+  EXPECT_THROW(bit_error_profile(trace, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

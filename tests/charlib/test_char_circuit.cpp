@@ -1,0 +1,132 @@
+#include "charlib/char_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "charlib/sweep.hpp"
+#include "fabric/calibration.hpp"
+#include "netlist/sta.hpp"
+
+namespace oclp {
+namespace {
+
+class CharCircuitTest : public ::testing::Test {
+ protected:
+  CharCircuitTest()
+      : device_(reference_device_config(), kReferenceDieSeed) {
+    device_.set_temperature(kCharacterisationTempC);
+    cfg_.wl_m = 6;
+    cfg_.wl_x = 6;
+    cfg_.bram_depth = 64;
+  }
+  CharCircuitConfig cfg_;
+  Device device_;
+};
+
+TEST_F(CharCircuitTest, ErrorFreeWellBelowToolFmax) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 500, 1);
+  const auto trace = circuit.run(45, xs, circuit.dut_tool_fmax_mhz() * 0.5);
+  EXPECT_EQ(trace.erroneous, 0u);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(trace.expected[i], 45ull * xs[i]);
+    EXPECT_EQ(trace.observed[i], trace.expected[i]);
+    EXPECT_EQ(trace.error[i], 0);
+  }
+}
+
+TEST_F(CharCircuitTest, TraceSizesMatchStream) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 333, 2);
+  const auto trace = circuit.run(10, xs, 200.0);
+  EXPECT_EQ(trace.observed.size(), 333u);
+  EXPECT_EQ(trace.expected.size(), 333u);
+  EXPECT_EQ(trace.error.size(), 333u);
+}
+
+TEST_F(CharCircuitTest, ErrorsAppearWhenHeavilyOverclocked) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 2000, 3);
+  // Just below the supporting-logic limit: deep into the error regime.
+  const double freq = circuit.support_fmax_mhz() * 0.98;
+  const auto trace = circuit.run(63, xs, freq);
+  EXPECT_GT(trace.erroneous, 100u);
+  // error == observed - expected by definition.
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_EQ(trace.error[i], static_cast<std::int64_t>(trace.observed[i]) -
+                                  static_cast<std::int64_t>(trace.expected[i]));
+}
+
+TEST_F(CharCircuitTest, SupportLogicIsFasterThanDutErrorRegion) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  // The invariant the paper engineers: the supporting modules' limit sits
+  // well above the DUT's device-view Fmax.
+  EXPECT_GT(circuit.support_fmax_mhz(), circuit.dut_device_fmax_mhz() * 1.5);
+  EXPECT_GT(circuit.dut_device_fmax_mhz(), circuit.dut_tool_fmax_mhz());
+}
+
+TEST_F(CharCircuitTest, RunBeyondSupportLimitThrows) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 10, 4);
+  EXPECT_THROW(circuit.run(1, xs, circuit.support_fmax_mhz() * 1.1), CheckError);
+}
+
+TEST_F(CharCircuitTest, MultiplicandOutOfRangeThrows) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 10, 5);
+  EXPECT_THROW(circuit.run(64, xs, 100.0), CheckError);  // 6-bit port
+}
+
+TEST_F(CharCircuitTest, FsmCyclesAccountForBatches) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 200, 6);  // 64-word BRAM → 4 batches
+  const auto trace = circuit.run(7, xs, 150.0);
+  // Each batch costs 2·batch + 4 supporting cycles.
+  EXPECT_EQ(trace.fsm_cycles, 2u * 200 + 4u * 4);
+}
+
+TEST_F(CharCircuitTest, DeterministicForEqualSeeds) {
+  CharacterisationCircuit a(cfg_, device_, reference_location_1());
+  CharacterisationCircuit b(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 500, 7);
+  const auto ta = a.run(33, xs, 350.0, 99);
+  const auto tb = b.run(33, xs, 350.0, 99);
+  EXPECT_EQ(ta.error, tb.error);
+}
+
+TEST_F(CharCircuitTest, JitterSeedChangesHighFrequencyErrors) {
+  // The paper attributes run-to-run variation at high frequency to clock
+  // jitter; different jitter draws must be able to flip marginal samples.
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 3000, 8);
+  const double freq = circuit.dut_device_fmax_mhz() * 1.02;  // marginal regime
+  const auto ta = circuit.run(63, xs, freq, 1);
+  const auto tb = circuit.run(63, xs, freq, 2);
+  EXPECT_NE(ta.error, tb.error);
+}
+
+TEST(SupportLogic, ShallowAndCorrectShape) {
+  const Netlist support = make_support_logic(8192);
+  EXPECT_LE(support.depth(), 8);  // log-depth counter + FSM cone
+  EXPECT_EQ(support.num_inputs(), 13u + 2u + 1u);  // addr + state + run_en
+  const Netlist dut = make_multiplier(8, 8);
+  EXPECT_LT(support.depth(), dut.depth() / 2);
+}
+
+TEST(SupportLogic, CounterIncrementIsCorrect) {
+  const Netlist support = make_support_logic(16);  // 4 address bits
+  // next = addr + 1 (mod 16) when inspecting the first 4 outputs.
+  for (unsigned addr = 0; addr < 16; ++addr) {
+    std::vector<std::uint8_t> in;
+    for (int i = 0; i < 4; ++i) in.push_back((addr >> i) & 1);
+    in.push_back(0);  // state0
+    in.push_back(0);  // state1
+    in.push_back(1);  // run_en
+    const auto out = support.evaluate_outputs(in);
+    unsigned next = 0;
+    for (int i = 0; i < 4; ++i) next |= static_cast<unsigned>(out[i]) << i;
+    EXPECT_EQ(next, (addr + 1) % 16);
+  }
+}
+
+}  // namespace
+}  // namespace oclp

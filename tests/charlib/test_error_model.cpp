@@ -1,0 +1,103 @@
+#include "charlib/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace oclp {
+namespace {
+
+ErrorModel small_model() {
+  ErrorModel m(3, 4, {100.0, 200.0, 300.0});
+  for (std::uint32_t mm = 0; mm < 8; ++mm)
+    for (std::size_t fi = 0; fi < 3; ++fi)
+      m.set(mm, fi, mm * 10.0 + fi, mm * 1.0 - 2.0, 0.05 * fi);
+  return m;
+}
+
+TEST(ErrorModel, BasicAccessors) {
+  const auto m = small_model();
+  EXPECT_EQ(m.wordlength(), 3);
+  EXPECT_EQ(m.data_wordlength(), 4);
+  EXPECT_EQ(m.num_multiplicands(), 8u);
+  EXPECT_EQ(m.freqs_mhz().size(), 3u);
+  EXPECT_FALSE(m.empty());
+}
+
+TEST(ErrorModel, ExactGridQueries) {
+  const auto m = small_model();
+  EXPECT_DOUBLE_EQ(m.variance(5, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(m.variance(5, 200.0), 51.0);
+  EXPECT_DOUBLE_EQ(m.mean_error(3, 300.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.error_rate(7, 300.0), 0.10);
+}
+
+TEST(ErrorModel, LinearInterpolationBetweenFrequencies) {
+  const auto m = small_model();
+  EXPECT_DOUBLE_EQ(m.variance(2, 150.0), 20.5);  // halfway 20 → 21
+  EXPECT_DOUBLE_EQ(m.variance(2, 250.0), 21.5);
+}
+
+TEST(ErrorModel, ClampsOutsideGrid) {
+  const auto m = small_model();
+  EXPECT_DOUBLE_EQ(m.variance(4, 50.0), m.variance(4, 100.0));
+  EXPECT_DOUBLE_EQ(m.variance(4, 999.0), m.variance(4, 300.0));
+}
+
+TEST(ErrorModel, ValueUnitConversion) {
+  const auto m = small_model();
+  const double scale = std::ldexp(1.0, 3 + 4);  // 2^7
+  EXPECT_DOUBLE_EQ(m.variance_value_units(5, 100.0), 50.0 / (scale * scale));
+}
+
+TEST(ErrorModel, MaxVariance) {
+  const auto m = small_model();
+  EXPECT_DOUBLE_EQ(m.max_variance(), 72.0);  // m=7, fi=2
+}
+
+TEST(ErrorModel, CsvRoundTrip) {
+  const auto m = small_model();
+  std::stringstream ss;
+  m.save_csv(ss);
+  const auto loaded = ErrorModel::load_csv(ss);
+  EXPECT_EQ(loaded.wordlength(), m.wordlength());
+  EXPECT_EQ(loaded.data_wordlength(), m.data_wordlength());
+  ASSERT_EQ(loaded.freqs_mhz(), m.freqs_mhz());
+  for (std::uint32_t mm = 0; mm < 8; ++mm)
+    for (double f : {100.0, 200.0, 300.0}) {
+      EXPECT_DOUBLE_EQ(loaded.variance(mm, f), m.variance(mm, f));
+      EXPECT_DOUBLE_EQ(loaded.mean_error(mm, f), m.mean_error(mm, f));
+      EXPECT_DOUBLE_EQ(loaded.error_rate(mm, f), m.error_rate(mm, f));
+    }
+}
+
+TEST(ErrorModel, LoadRejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(ErrorModel::load_csv(empty), CheckError);
+  std::stringstream bad("header\nnot,numbers,at,all,x,y,z\n");
+  EXPECT_THROW(ErrorModel::load_csv(bad), CheckError);
+}
+
+TEST(ErrorModel, ConstructionValidation) {
+  EXPECT_THROW(ErrorModel(0, 4, {100.0}), CheckError);
+  EXPECT_THROW(ErrorModel(3, 4, {}), CheckError);
+  EXPECT_THROW(ErrorModel(3, 4, {200.0, 100.0}), CheckError);  // unsorted
+}
+
+TEST(ErrorModel, SetValidation) {
+  ErrorModel m(3, 4, {100.0});
+  EXPECT_THROW(m.set(0, 0, -1.0, 0.0, 0.0), CheckError);   // negative var
+  EXPECT_THROW(m.set(0, 0, 1.0, 0.0, 1.5), CheckError);    // rate > 1
+}
+
+TEST(ErrorModel, SingleFrequencyGridAlwaysClamps) {
+  ErrorModel m(2, 2, {310.0});
+  m.set(3, 0, 42.0, 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(m.variance(3, 100.0), 42.0);
+  EXPECT_DOUBLE_EQ(m.variance(3, 310.0), 42.0);
+  EXPECT_DOUBLE_EQ(m.variance(3, 500.0), 42.0);
+}
+
+}  // namespace
+}  // namespace oclp

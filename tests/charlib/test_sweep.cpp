@@ -1,0 +1,141 @@
+#include "charlib/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/calibration.hpp"
+
+namespace oclp {
+namespace {
+
+class SweepTest : public ::testing::Test {
+ protected:
+  SweepTest() : device_(reference_device_config(), kReferenceDieSeed) {
+    device_.set_temperature(kCharacterisationTempC);
+    settings_.locations = {reference_location_1()};
+    settings_.samples_per_point = 200;
+  }
+  Device device_;
+  SweepSettings settings_;
+};
+
+TEST(UniformStream, RangeAndDeterminism) {
+  const auto a = uniform_stream(5, 1000, 42);
+  const auto b = uniform_stream(5, 1000, 42);
+  EXPECT_EQ(a, b);
+  for (auto x : a) ASSERT_LT(x, 32u);
+  const auto c = uniform_stream(5, 1000, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(UniformStream, CoversTheRange) {
+  const auto xs = uniform_stream(3, 500, 1);
+  std::vector<int> seen(8, 0);
+  for (auto x : xs) ++seen[x];
+  for (int s : seen) EXPECT_GT(s, 0);
+}
+
+TEST_F(SweepTest, LowFrequencyModelIsAllZero) {
+  settings_.freqs_mhz = {100.0};
+  const auto model = characterise_multiplier(device_, 4, 4, settings_);
+  for (std::uint32_t m = 0; m < 16; ++m) {
+    EXPECT_DOUBLE_EQ(model.variance(m, 100.0), 0.0) << "m=" << m;
+    EXPECT_DOUBLE_EQ(model.error_rate(m, 100.0), 0.0);
+  }
+}
+
+TEST_F(SweepTest, HighFrequencyShowsDataDependence) {
+  // 5×5 at the reference slow corner errs from ~500 MHz; 640 MHz is deep in
+  // the error-prone regime but still under the supporting-logic limit.
+  settings_.freqs_mhz = {640.0};
+  settings_.samples_per_point = 400;
+  const auto model = characterise_multiplier(device_, 5, 5, settings_);
+  // m = 0: no partial products, never any error.
+  EXPECT_DOUBLE_EQ(model.variance(0, 640.0), 0.0);
+  // The all-ones multiplicand toggles every row: must err at this clock.
+  EXPECT_GT(model.variance(31, 640.0), 0.0);
+  // On average, low-popcount multiplicands err less than high-popcount ones.
+  double low = 0.0, high = 0.0;
+  int nlow = 0, nhigh = 0;
+  for (std::uint32_t m = 0; m < 32; ++m) {
+    const int pc = __builtin_popcount(m);
+    if (pc <= 1) {
+      low += model.error_rate(m, 640.0);
+      ++nlow;
+    } else if (pc >= 4) {
+      high += model.error_rate(m, 640.0);
+      ++nhigh;
+    }
+  }
+  EXPECT_LT(low / nlow, high / nhigh);
+}
+
+TEST_F(SweepTest, VarianceGrowsWithFrequency) {
+  settings_.freqs_mhz = {300.0, 550.0, 660.0};
+  settings_.samples_per_point = 300;
+  const auto model = characterise_multiplier(device_, 5, 5, settings_);
+  double v300 = 0.0, v550 = 0.0, v660 = 0.0;
+  for (std::uint32_t m = 0; m < 32; ++m) {
+    v300 += model.variance(m, 300.0);
+    v550 += model.variance(m, 550.0);
+    v660 += model.variance(m, 660.0);
+  }
+  EXPECT_LE(v300, v550);
+  EXPECT_LT(v550, v660);
+  EXPECT_DOUBLE_EQ(v300, 0.0);
+}
+
+TEST_F(SweepTest, MultipleLocationsAggregate) {
+  settings_.freqs_mhz = {640.0};
+  settings_.locations = {reference_location_1(), reference_location_2()};
+  settings_.samples_per_point = 150;
+  const auto model = characterise_multiplier(device_, 5, 5, settings_);
+  EXPECT_GT(model.max_variance(), 0.0);
+}
+
+TEST_F(SweepTest, DeterministicAcrossRuns) {
+  settings_.freqs_mhz = {400.0};
+  const auto a = characterise_multiplier(device_, 4, 4, settings_);
+  const auto b = characterise_multiplier(device_, 4, 4, settings_);
+  for (std::uint32_t m = 0; m < 16; ++m)
+    EXPECT_DOUBLE_EQ(a.variance(m, 400.0), b.variance(m, 400.0));
+}
+
+TEST_F(SweepTest, ErrorRateCurveIsBroadlyIncreasing) {
+  std::vector<double> freqs{150.0, 250.0, 350.0, 450.0};
+  const auto curve = error_rate_curve(device_, 6, 6, reference_location_1(),
+                                      freqs, 1500, 3);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].error_rate, 0.0);
+  EXPECT_GT(curve[3].error_rate, curve[1].error_rate);
+  EXPECT_GT(curve[3].error_rate, 0.01);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(curve[i].freq_mhz, freqs[i]);
+}
+
+TEST(FindRegimes, ExtractsBoundaries) {
+  std::vector<ErrorRatePoint> curve{
+      {100.0, 0.0, 0.0}, {200.0, 0.0, 0.0}, {300.0, 0.1, 1.0},
+      {400.0, 0.4, 2.0}, {500.0, 0.8, 3.0}};
+  const auto reg = find_regimes(curve, 0.5);
+  EXPECT_DOUBLE_EQ(reg.error_free_fmax_mhz, 200.0);  // fB
+  EXPECT_DOUBLE_EQ(reg.usable_fmax_mhz, 400.0);      // fC
+}
+
+TEST(FindRegimes, AllErrorFree) {
+  std::vector<ErrorRatePoint> curve{{100.0, 0.0, 0.0}, {200.0, 0.0, 0.0}};
+  const auto reg = find_regimes(curve);
+  EXPECT_DOUBLE_EQ(reg.error_free_fmax_mhz, 200.0);
+  EXPECT_DOUBLE_EQ(reg.usable_fmax_mhz, 200.0);
+}
+
+TEST_F(SweepTest, InvalidSettingsThrow) {
+  SweepSettings bad;
+  bad.freqs_mhz = {};
+  bad.locations = {reference_location_1()};
+  EXPECT_THROW(characterise_multiplier(device_, 4, 4, bad), CheckError);
+  bad.freqs_mhz = {300.0};
+  bad.locations = {};
+  EXPECT_THROW(characterise_multiplier(device_, 4, 4, bad), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,107 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace oclp {
+namespace {
+
+TEST(FixedPoint, ZeroQuantisesToZero) {
+  const auto q = quantize_coeff(0.0, 8);
+  EXPECT_EQ(q.magnitude, 0u);
+  EXPECT_EQ(q.sign, 1);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+}
+
+TEST(FixedPoint, SignHandling) {
+  const auto pos = quantize_coeff(0.5, 4);
+  const auto neg = quantize_coeff(-0.5, 4);
+  EXPECT_EQ(pos.sign, 1);
+  EXPECT_EQ(neg.sign, -1);
+  EXPECT_EQ(pos.magnitude, neg.magnitude);
+  EXPECT_DOUBLE_EQ(pos.value(), 0.5);
+  EXPECT_DOUBLE_EQ(neg.value(), -0.5);
+}
+
+TEST(FixedPoint, SaturatesAtRangeEdge) {
+  const auto q = quantize_coeff(1.5, 4);
+  EXPECT_EQ(q.magnitude, 15u);  // 2^4 - 1
+  EXPECT_DOUBLE_EQ(q.value(), 15.0 / 16.0);
+  const auto qn = quantize_coeff(-2.0, 4);
+  EXPECT_EQ(qn.magnitude, 15u);
+  EXPECT_EQ(qn.sign, -1);
+}
+
+TEST(FixedPoint, InvalidWordlengthThrows) {
+  EXPECT_THROW(quantize_coeff(0.1, 0), CheckError);
+  EXPECT_THROW(quantize_coeff(0.1, 21), CheckError);
+}
+
+class FixedPointWl : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedPointWl, QuantisationErrorBoundedByHalfStep) {
+  // Within the representable range (|x| ≤ 1 − step/2) the rounding error is
+  // at most half a step; beyond it the quantiser saturates.
+  const int wl = GetParam();
+  const double step = quant_step(wl);
+  const double limit = 1.0 - step / 2;
+  for (double x = -0.999; x < 0.999; x += 0.0137) {
+    if (std::abs(x) > limit) continue;
+    const auto q = quantize_coeff(x, wl);
+    EXPECT_LE(std::abs(q.value() - x), step / 2 + 1e-12)
+        << "x=" << x << " wl=" << wl;
+  }
+}
+
+TEST_P(FixedPointWl, GridIsSortedSymmetricAndComplete) {
+  const int wl = GetParam();
+  const auto grid = coeff_grid(wl);
+  EXPECT_EQ(grid.size(), (std::size_t{2} << wl) - 1);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  // Symmetric about zero.
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_DOUBLE_EQ(grid[i], -grid[grid.size() - 1 - i]);
+  // Zero is the middle element.
+  EXPECT_DOUBLE_EQ(grid[grid.size() / 2], 0.0);
+}
+
+TEST_P(FixedPointWl, GridValuesRoundTripThroughQuantiser) {
+  const int wl = GetParam();
+  for (const double v : coeff_grid(wl)) {
+    const auto q = quantize_coeff(v, wl);
+    EXPECT_DOUBLE_EQ(q.value(), v);
+  }
+}
+
+TEST_P(FixedPointWl, MagnitudeFitsWordlength) {
+  const int wl = GetParam();
+  for (double x = -1.2; x <= 1.2; x += 0.093) {
+    const auto q = quantize_coeff(x, wl);
+    EXPECT_LT(q.magnitude, 1u << wl);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wordlengths, FixedPointWl, ::testing::Range(1, 13));
+
+TEST(FixedPoint, QuantizeVectorMatchesElementwise) {
+  const std::vector<double> xs{-0.7, 0.0, 0.3, 0.99};
+  const auto qs = quantize_vector(xs, 6);
+  ASSERT_EQ(qs.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto q = quantize_coeff(xs[i], 6);
+    EXPECT_EQ(qs[i].magnitude, q.magnitude);
+    EXPECT_EQ(qs[i].sign, q.sign);
+  }
+}
+
+TEST(FixedPoint, StepHalvesPerBit) {
+  EXPECT_DOUBLE_EQ(quant_step(3), 0.125);
+  EXPECT_DOUBLE_EQ(quant_step(4), 0.0625);
+  for (int wl = 1; wl < 12; ++wl)
+    EXPECT_DOUBLE_EQ(quant_step(wl), 2.0 * quant_step(wl + 1));
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,186 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace oclp {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(55);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(55);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 255ull, 1000003ull}) {
+    for (int i = 0; i < 2000; ++i) ASSERT_LT(rng.uniform_u64(bound), bound);
+  }
+}
+
+TEST(Rng, UniformU64HitsAllSmallValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformU64ApproximatelyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, 600);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, GammaMeanAndVariance) {
+  Rng rng(23);
+  const double shape = 3.0, scale = 2.0;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gamma(shape, scale);
+    ASSERT_GT(g, 0.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape * scale, 0.1);                      // E = kθ
+  EXPECT_NEAR(sum2 / n - mean * mean, shape * scale * scale, 0.5);  // V = kθ²
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(25);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.gamma(0.5, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, InverseGammaMean) {
+  Rng rng(27);
+  // InvGamma(a, b) has mean b/(a-1) for a > 1.
+  const double a = 4.0, b = 6.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.inverse_gamma(a, b);
+  EXPECT_NEAR(sum / n, b / (a - 1.0), 0.05);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(29);
+  const std::vector<double> w{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0], n * 0.1, 500);
+  EXPECT_NEAR(counts[1], n * 0.3, 800);
+  EXPECT_NEAR(counts[2], n * 0.6, 800);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverChosen) {
+  Rng rng(31);
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(rng.categorical(w), 1u);
+}
+
+TEST(Rng, CategoricalAllZeroThrows) {
+  Rng rng(33);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), CheckError);
+  EXPECT_THROW(rng.categorical({}), CheckError);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(35);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(HashMix, DistinctInputsDistinctOutputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 50; ++a)
+    for (std::uint64_t b = 0; b < 50; ++b) seen.insert(hash_mix(a, b));
+  EXPECT_EQ(seen.size(), 2500u);
+}
+
+TEST(HashMix, Deterministic) {
+  EXPECT_EQ(hash_mix(1, 2, 3), hash_mix(1, 2, 3));
+  EXPECT_NE(hash_mix(1, 2, 3), hash_mix(3, 2, 1));
+}
+
+}  // namespace
+}  // namespace oclp

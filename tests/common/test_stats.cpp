@@ -1,0 +1,157 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);        // population
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.5);  // n-1
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MergeEquivalentToSequential) {
+  Rng rng(3);
+  RunningStats whole, part1, part2;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    whole.add(x);
+    (i < 200 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.count(), whole.count());
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(part1.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(part1.min(), whole.min());
+  EXPECT_DOUBLE_EQ(part1.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, NumericallyStableOnOffsetData) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + i % 2);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(VectorStats, MeanVarianceMeanSquare) {
+  const std::vector<double> xs{-1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 0.0);
+  EXPECT_NEAR(variance_of(xs), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mean_square(xs), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(mean_square({}), 0.0);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantVectorGivesZero) {
+  EXPECT_EQ(correlation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.5 * i);
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-10);
+  EXPECT_NEAR(fit.residual_stddev, 0.0, 1e-9);
+}
+
+TEST(LinearFit, NoisyLine) {
+  Rng rng(17);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(i * 0.01);
+    y.push_back(1.0 - 0.7 * x.back() + rng.normal(0.0, 0.1));
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.02);
+  EXPECT_NEAR(fit.slope, -0.7, 0.01);
+  EXPECT_NEAR(fit.residual_stddev, 0.1, 0.01);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.frequency(5), 0.2);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), -0.25);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add({0.1, 0.2, 0.8});
+  const auto text = h.render(10);
+  EXPECT_NE(text.find("2"), std::string::npos);
+  EXPECT_NE(text.find("#"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), 2.25});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.25"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({std::string("x"), 1.0});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a"});
+  t.add_row({std::string("hello, \"world\"")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, IntegerCells) {
+  Table t({"n"});
+  t.add_row({static_cast<long long>(42)});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "n\n42\n");
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), CheckError);
+}
+
+TEST(Table, EmptyColumnListThrows) {
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

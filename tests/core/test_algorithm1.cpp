@@ -1,0 +1,194 @@
+#include "core/algorithm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "charlib/sweep.hpp"
+#include "common/rng.hpp"
+#include "core/synthetic.hpp"
+#include "fabric/calibration.hpp"
+
+namespace oclp {
+namespace {
+
+CandidateProjection cand(double area, double mse) {
+  CandidateProjection c;
+  c.area = area;
+  c.mse = mse;
+  return c;
+}
+
+TEST(ParetoFront, ExtractsTheStaircase) {
+  std::vector<CandidateProjection> cands{
+      cand(10, 5.0),  // on front
+      cand(20, 4.0),  // on front
+      cand(15, 6.0),  // dominated by (10, 5)
+      cand(30, 4.5),  // dominated by (20, 4)
+      cand(40, 1.0),  // on front
+  };
+  const auto front = pareto_front(cands);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0], 0u);
+  EXPECT_EQ(front[1], 1u);
+  EXPECT_EQ(front[2], 4u);
+}
+
+TEST(ParetoFront, PropertyNoMemberDominatesAnother) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<CandidateProjection> cands;
+    for (int i = 0; i < 60; ++i)
+      cands.push_back(cand(rng.uniform(100, 1000), rng.uniform(0.01, 1.0)));
+    const auto front = pareto_front(cands);
+    ASSERT_FALSE(front.empty());
+    // No front member dominated by any candidate.
+    for (auto fi : front)
+      for (const auto& other : cands) {
+        const bool dominates = other.area <= cands[fi].area &&
+                               other.mse < cands[fi].mse;
+        EXPECT_FALSE(dominates && other.area < cands[fi].area);
+      }
+    // Front is sorted by area with strictly decreasing MSE.
+    for (std::size_t i = 1; i < front.size(); ++i) {
+      EXPECT_LE(cands[front[i - 1]].area, cands[front[i]].area);
+      EXPECT_GT(cands[front[i - 1]].mse, cands[front[i]].mse);
+    }
+  }
+}
+
+TEST(ParetoFront, SinglePointAndEmpty) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  const auto front = pareto_front({cand(5, 1.0)});
+  ASSERT_EQ(front.size(), 1u);
+}
+
+TEST(SelectByBins, AtMostQSurvivors) {
+  Rng rng(5);
+  std::vector<CandidateProjection> cands;
+  for (int i = 0; i < 50; ++i)
+    cands.push_back(cand(rng.uniform(1, 100), rng.uniform(0.0, 1.0)));
+  const auto front = pareto_front(cands);
+  for (int q = 1; q <= 8; ++q) {
+    const auto picked = select_by_bins(cands, front, q);
+    EXPECT_LE(picked.size(), static_cast<std::size_t>(q));
+    EXPECT_GE(picked.size(), 1u);
+    // Everything picked is on the front.
+    for (auto p : picked)
+      EXPECT_NE(std::find(front.begin(), front.end(), p), front.end());
+  }
+}
+
+TEST(SelectByBins, KeepsTheGlobalMinimum) {
+  std::vector<CandidateProjection> cands{cand(10, 0.9), cand(20, 0.5),
+                                         cand(30, 0.1)};
+  const auto front = pareto_front(cands);
+  const auto picked = select_by_bins(cands, front, 3);
+  EXPECT_NE(std::find(picked.begin(), picked.end(), 2u), picked.end());
+}
+
+TEST(SelectByBins, DegenerateMseRange) {
+  std::vector<CandidateProjection> cands{cand(10, 0.5), cand(20, 0.5)};
+  const auto front = pareto_front(cands);
+  const auto picked = select_by_bins(cands, front, 5);
+  EXPECT_EQ(picked.size(), 1u);
+}
+
+class Algorithm1Test : public ::testing::Test {
+ protected:
+  Algorithm1Test() : device_(reference_device_config(), kReferenceDieSeed) {
+    device_.set_temperature(kCharacterisationTempC);
+    SyntheticDataConfig dc;
+    dc.cases = 60;
+    x_train_ = make_synthetic_dataset(dc);
+
+    SweepSettings ss;
+    ss.freqs_mhz = {310.0};
+    ss.locations = {reference_location_1()};
+    ss.samples_per_point = 120;
+    for (int wl = 3; wl <= 6; ++wl)
+      models_.emplace(wl, characterise_multiplier(device_, wl, 9, ss));
+    area_ = AreaModel::fit(collect_area_samples(3, 6, 9, 8, 3));
+
+    settings_.dims_k = 2;
+    settings_.wl_min = 3;
+    settings_.wl_max = 6;
+    settings_.q = 3;
+    settings_.gibbs.burn_in = 60;
+    settings_.gibbs.samples = 150;
+  }
+
+  Device device_;
+  Matrix x_train_;
+  std::map<int, ErrorModel> models_;
+  AreaModel area_ = AreaModel::fit(collect_area_samples(3, 6, 9, 2, 3));
+  OptimisationSettings settings_;
+};
+
+TEST_F(Algorithm1Test, ProducesSortedValidDesigns) {
+  OptimisationFramework of(settings_, x_train_, models_, area_);
+  const auto designs = of.run();
+  ASSERT_FALSE(designs.empty());
+  EXPECT_LE(designs.size(), 3u);
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const auto& d = designs[i];
+    EXPECT_EQ(d.dims_k(), 2u);
+    EXPECT_EQ(d.dims_p(), 6u);
+    EXPECT_GT(d.area_estimate, 0.0);
+    EXPECT_GT(d.training_mse, 0.0);
+    EXPECT_GE(d.predicted_overclock_var, 0.0);
+    EXPECT_DOUBLE_EQ(d.target_freq_mhz, 310.0);
+    EXPECT_NE(d.origin.find("OF"), std::string::npos);
+    for (const auto& col : d.columns) {
+      EXPECT_GE(col.wordlength, 3);
+      EXPECT_LE(col.wordlength, 6);
+      EXPECT_FALSE(col.is_zero());
+    }
+    if (i > 0) { EXPECT_GE(d.area_estimate, designs[i - 1].area_estimate); }
+  }
+}
+
+TEST_F(Algorithm1Test, DeterministicInSeed) {
+  OptimisationFramework a(settings_, x_train_, models_, area_);
+  OptimisationFramework b(settings_, x_train_, models_, area_);
+  const auto da = a.run();
+  const auto db = b.run();
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_DOUBLE_EQ(da[i].training_mse, db[i].training_mse);
+    EXPECT_DOUBLE_EQ(da[i].area_estimate, db[i].area_estimate);
+  }
+}
+
+TEST_F(Algorithm1Test, MoreDimensionsReduceTrainingMse) {
+  settings_.dims_k = 1;
+  OptimisationFramework of1(settings_, x_train_, models_, area_);
+  const auto d1 = of1.run();
+  settings_.dims_k = 3;
+  OptimisationFramework of3(settings_, x_train_, models_, area_);
+  const auto d3 = of3.run();
+  ASSERT_FALSE(d1.empty());
+  ASSERT_FALSE(d3.empty());
+  auto best = [](const std::vector<LinearProjectionDesign>& ds) {
+    double m = 1e18;
+    for (const auto& d : ds) m = std::min(m, d.training_mse);
+    return m;
+  };
+  EXPECT_LT(best(d3), best(d1));
+}
+
+TEST_F(Algorithm1Test, MissingModelThrowsAtConstruction) {
+  settings_.wl_max = 9;  // models_ only cover 3..6
+  EXPECT_THROW(OptimisationFramework(settings_, x_train_, models_, area_),
+               CheckError);
+}
+
+TEST_F(Algorithm1Test, DataMeanIsExposed) {
+  OptimisationFramework of(settings_, x_train_, models_, area_);
+  Matrix xc = x_train_;
+  const auto mu = center_rows(xc);
+  ASSERT_EQ(of.data_mean().size(), mu.size());
+  for (std::size_t i = 0; i < mu.size(); ++i)
+    EXPECT_DOUBLE_EQ(of.data_mean()[i], mu[i]);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,74 @@
+#include "core/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "charlib/sweep.hpp"
+#include "core/synthetic.hpp"
+#include "fabric/calibration.hpp"
+#include "klt/klt.hpp"
+
+namespace oclp {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() {
+    SyntheticDataConfig dc;
+    dc.cases = 150;
+    x_train_ = make_synthetic_dataset(dc);
+    area_ = AreaModel::fit(collect_area_samples(3, 9, 9, 8, 1));
+  }
+  Matrix x_train_;
+  AreaModel area_ = AreaModel::fit(collect_area_samples(3, 9, 9, 2, 1));
+};
+
+TEST_F(BaselineTest, DesignFieldsArePopulated) {
+  const auto d = make_klt_design(x_train_, 3, 7, 310.0, 9, area_, nullptr);
+  EXPECT_EQ(d.dims_k(), 3u);
+  EXPECT_EQ(d.dims_p(), 6u);
+  EXPECT_GT(d.area_estimate, 0.0);
+  EXPECT_GT(d.training_mse, 0.0);
+  EXPECT_DOUBLE_EQ(d.predicted_overclock_var, 0.0);  // no models supplied
+  EXPECT_EQ(d.origin, "KLT wl=7");
+  for (const auto& col : d.columns) EXPECT_EQ(col.wordlength, 7);
+}
+
+TEST_F(BaselineTest, QuantisedBasisApproachesExactKltWithMoreBits) {
+  const Matrix exact = klt_basis(x_train_, 3);
+  const double exact_mse = reconstruction_mse(exact, x_train_);
+  double prev = 1e18;
+  for (int wl : {3, 6, 9}) {
+    const auto d = make_klt_design(x_train_, 3, wl, 310.0, 9, area_, nullptr);
+    EXPECT_GE(d.training_mse, exact_mse - 1e-12);
+    EXPECT_LE(d.training_mse, prev + 1e-9);
+    prev = d.training_mse;
+  }
+  EXPECT_NEAR(prev, exact_mse, exact_mse * 0.2 + 1e-6);
+}
+
+TEST_F(BaselineTest, FamilyCoversWordlengthSweep) {
+  const auto family = make_klt_family(x_train_, 3, 3, 9, 310.0, 9, area_, nullptr);
+  ASSERT_EQ(family.size(), 7u);
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    EXPECT_EQ(family[i].columns.front().wordlength, 3 + static_cast<int>(i));
+    if (i > 0) { EXPECT_GT(family[i].area_estimate, family[i - 1].area_estimate); }
+  }
+}
+
+TEST_F(BaselineTest, OverclockVarianceFilledWhenModelsGiven) {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  SweepSettings ss;
+  ss.freqs_mhz = {310.0};
+  ss.locations = {reference_location_1()};
+  ss.samples_per_point = 150;
+  std::map<int, ErrorModel> models;
+  models.emplace(9, characterise_multiplier(device, 9, 9, ss));
+  const auto d = make_klt_design(x_train_, 3, 9, 310.0, 9, area_, &models);
+  // At 310 MHz a 9-bit KLT design uses error-prone coefficients.
+  EXPECT_GT(d.predicted_overclock_var, 0.0);
+  EXPECT_GT(d.predicted_objective(), d.training_mse);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,147 @@
+#include "core/circuit_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+#include "core/baseline.hpp"
+#include "core/synthetic.hpp"
+#include "fabric/calibration.hpp"
+#include "klt/klt.hpp"
+
+namespace oclp {
+namespace {
+
+class CircuitEvalTest : public ::testing::Test {
+ protected:
+  CircuitEvalTest()
+      : device_(reference_device_config(), kReferenceDieSeed),
+        area_(AreaModel::fit(collect_area_samples(3, 9, 9, 10, 1))) {
+    device_.set_temperature(kCharacterisationTempC);
+    SyntheticDataConfig dc;
+    dc.cases = 80;
+    x_train_ = make_synthetic_dataset(dc);
+    dc.cases = 120;
+    dc.seed = 99;
+    x_test_ = make_synthetic_dataset(dc);
+    Matrix xc = x_train_;
+    mu_ = center_rows(xc);
+  }
+
+  LinearProjectionDesign design(int wl, double freq) const {
+    return make_klt_design(x_train_, 3, wl, freq, 9, area_, nullptr);
+  }
+
+  Device device_;
+  AreaModel area_;
+  Matrix x_train_, x_test_;
+  std::vector<double> mu_;
+};
+
+TEST_F(CircuitEvalTest, PlansHaveOnePlacementPerMultiplier) {
+  const auto d = design(5, 310.0);
+  const auto sim = simulated_plan(d, reference_location_1());
+  EXPECT_EQ(sim.mult_placements.size(), 18u);  // K=3 × P=6
+  for (const auto& p : sim.mult_placements) {
+    EXPECT_EQ(p.x, reference_location_1().x);
+    EXPECT_EQ(p.route_seed, reference_location_1().route_seed);
+  }
+  const auto act = actual_plan(d, device_, 7);
+  EXPECT_EQ(act.mult_placements.size(), 18u);
+}
+
+TEST_F(CircuitEvalTest, ActualPlanIsDeterministicInSeed) {
+  const auto d = design(5, 310.0);
+  const auto a = actual_plan(d, device_, 7);
+  const auto b = actual_plan(d, device_, 7);
+  for (std::size_t i = 0; i < a.mult_placements.size(); ++i) {
+    EXPECT_EQ(a.mult_placements[i].x, b.mult_placements[i].x);
+    EXPECT_EQ(a.mult_placements[i].route_seed, b.mult_placements[i].route_seed);
+  }
+  const auto c = actual_plan(d, device_, 8);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.mult_placements.size(); ++i)
+    any_diff |= a.mult_placements[i].x != c.mult_placements[i].x ||
+                a.mult_placements[i].y != c.mult_placements[i].y;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(CircuitEvalTest, ProjectExactMatchesLinearAlgebra) {
+  const auto d = design(6, 200.0);
+  auto plan = simulated_plan(d, reference_location_1());
+  ProjectionCircuit circuit(d, device_, plan, 9, nullptr, 1);
+  const Matrix basis = d.basis();
+  std::vector<double> sample(6);
+  for (std::size_t r = 0; r < 6; ++r) sample[r] = x_test_(r, 0);
+  const auto codes = encode_input(sample, 9);
+  const auto y = circuit.project_exact(codes);
+  for (std::size_t k = 0; k < 3; ++k) {
+    double expected = 0.0;
+    for (std::size_t p = 0; p < 6; ++p)
+      expected += basis(p, k) * (static_cast<double>(codes[p]) / 512.0);
+    EXPECT_NEAR(y[k], expected, 1e-12);
+  }
+}
+
+TEST_F(CircuitEvalTest, LowFrequencyHardwareMatchesExact) {
+  auto d = design(6, 100.0);  // far below any timing limit
+  auto plan = simulated_plan(d, reference_location_1());
+  ProjectionCircuit circuit(d, device_, plan, 9, nullptr, 1);
+  for (std::size_t i = 0; i < 25; ++i) {
+    std::vector<double> sample(6);
+    for (std::size_t r = 0; r < 6; ++r) sample[r] = x_test_(r, i);
+    const auto codes = encode_input(sample, 9);
+    const auto hw = circuit.project(codes);
+    const auto exact = circuit.project_exact(codes);
+    for (std::size_t k = 0; k < 3; ++k) ASSERT_NEAR(hw[k], exact[k], 1e-12);
+  }
+}
+
+TEST_F(CircuitEvalTest, HardwareMseAtLowClockMatchesSoftware) {
+  auto d = design(7, 100.0);
+  const double software = reconstruction_mse(d.basis(), x_test_);
+  const auto plan = simulated_plan(d, reference_location_1());
+  const double hardware =
+      evaluate_hardware_mse(d, x_test_, mu_, device_, plan, 9, nullptr, 1);
+  // Only input quantisation (9 bits) separates them.
+  EXPECT_NEAR(hardware, software, software * 0.25 + 2e-6);
+}
+
+TEST_F(CircuitEvalTest, OverclockedHardwareDegrades) {
+  auto slow = design(9, 150.0);
+  auto fast = design(9, 420.0);  // deep in the error-prone regime
+  const auto plan_slow = simulated_plan(slow, reference_location_1());
+  const auto plan_fast = simulated_plan(fast, reference_location_1());
+  const double mse_slow =
+      evaluate_hardware_mse(slow, x_test_, mu_, device_, plan_slow, 9, nullptr, 1);
+  const double mse_fast =
+      evaluate_hardware_mse(fast, x_test_, mu_, device_, plan_fast, 9, nullptr, 1);
+  EXPECT_GT(mse_fast, mse_slow * 10.0);
+}
+
+TEST_F(CircuitEvalTest, JitterOffIsDeterministic) {
+  auto d = design(8, 330.0);
+  auto plan = simulated_plan(d, reference_location_1());
+  plan.with_jitter = false;
+  const double a =
+      evaluate_hardware_mse(d, x_test_, mu_, device_, plan, 9, nullptr, 1);
+  const double b =
+      evaluate_hardware_mse(d, x_test_, mu_, device_, plan, 9, nullptr, 2);
+  EXPECT_DOUBLE_EQ(a, b);  // clock seed only matters through jitter
+}
+
+TEST_F(CircuitEvalTest, PlanSizeMismatchThrows) {
+  const auto d = design(5, 310.0);
+  CircuitPlan bad;
+  bad.mult_placements.assign(5, reference_location_1());
+  EXPECT_THROW(ProjectionCircuit(d, device_, bad, 9, nullptr, 1), CheckError);
+}
+
+TEST_F(CircuitEvalTest, WrongInputSizeThrows) {
+  const auto d = design(5, 310.0);
+  const auto plan = simulated_plan(d, reference_location_1());
+  ProjectionCircuit circuit(d, device_, plan, 9, nullptr, 1);
+  EXPECT_THROW(circuit.project({1, 2, 3}), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

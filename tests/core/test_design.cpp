@@ -1,0 +1,68 @@
+#include "core/design.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oclp {
+namespace {
+
+TEST(DesignColumn, MakeColumnQuantises) {
+  const auto col = make_column({0.5, -0.25, 0.0}, 4);
+  EXPECT_EQ(col.wordlength, 4);
+  ASSERT_EQ(col.coeffs.size(), 3u);
+  EXPECT_DOUBLE_EQ(col.coeffs[0].value(), 0.5);
+  EXPECT_DOUBLE_EQ(col.coeffs[1].value(), -0.25);
+  EXPECT_DOUBLE_EQ(col.coeffs[2].value(), 0.0);
+  EXPECT_EQ(col.values(), (std::vector<double>{0.5, -0.25, 0.0}));
+}
+
+TEST(DesignColumn, ZeroDetection) {
+  EXPECT_TRUE(make_column({0.0, 0.0}, 5).is_zero());
+  EXPECT_TRUE(make_column({0.001, -0.002}, 3).is_zero());  // below the step
+  EXPECT_FALSE(make_column({0.5, 0.0}, 5).is_zero());
+}
+
+TEST(Design, BasisAssembly) {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column({0.5, -0.5, 0.25}, 4));
+  d.columns.push_back(make_column({0.0, 0.75, -0.125}, 4));
+  EXPECT_EQ(d.dims_p(), 3u);
+  EXPECT_EQ(d.dims_k(), 2u);
+  const Matrix b = d.basis();
+  EXPECT_EQ(b.rows(), 3u);
+  EXPECT_EQ(b.cols(), 2u);
+  EXPECT_DOUBLE_EQ(b(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(b(1, 1), 0.75);
+  EXPECT_DOUBLE_EQ(b(2, 1), -0.125);
+}
+
+TEST(Design, MixedWordlengthsPerColumn) {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column({0.5, 0.5}, 3));
+  d.columns.push_back(make_column({0.5, 0.5}, 9));
+  EXPECT_EQ(d.columns[0].wordlength, 3);
+  EXPECT_EQ(d.columns[1].wordlength, 9);
+  EXPECT_NO_THROW(d.basis());
+}
+
+TEST(Design, RaggedColumnsThrow) {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column({0.5, 0.5}, 4));
+  d.columns.push_back(make_column({0.5, 0.5, 0.5}, 4));
+  EXPECT_THROW(d.basis(), CheckError);
+}
+
+TEST(Design, EmptyBasisThrows) {
+  LinearProjectionDesign d;
+  EXPECT_THROW(d.basis(), CheckError);
+}
+
+TEST(Design, PredictedObjectiveNormalisesPerElement) {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column({0.5, 0.5, 0.5, 0.5}, 4));  // P = 4
+  d.training_mse = 0.01;
+  d.predicted_overclock_var = 0.08;
+  EXPECT_DOUBLE_EQ(d.predicted_objective(), 0.01 + 0.08 / 4.0);
+}
+
+}  // namespace
+}  // namespace oclp

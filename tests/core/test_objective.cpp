@@ -1,0 +1,104 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "klt/klt.hpp"
+
+namespace oclp {
+namespace {
+
+ErrorModel uniform_variance_model(int wl, double var) {
+  ErrorModel m(wl, 9, {310.0});
+  for (std::uint32_t mm = 0; mm < (1u << wl); ++mm) m.set(mm, 0, var, 0.0, 0.1);
+  return m;
+}
+
+TEST(Objective, ColumnVarianceSumsPerMultiplier) {
+  const double raw_var = 1e6;
+  const auto model = uniform_variance_model(5, raw_var);
+  const auto col = make_column({0.5, -0.25, 0.125, 0.0}, 5);  // P = 4
+  const double scale = std::ldexp(1.0, 5 + 9);
+  const double expected = 4.0 * raw_var / (scale * scale);
+  EXPECT_NEAR(predicted_overclock_variance(col, model, 310.0), expected, 1e-15);
+}
+
+TEST(Objective, ColumnWordlengthMismatchThrows) {
+  const auto model = uniform_variance_model(5, 1.0);
+  const auto col = make_column({0.5}, 6);
+  EXPECT_THROW(predicted_overclock_variance(col, model, 310.0), CheckError);
+}
+
+TEST(Objective, DesignVarianceSumsOverColumns) {
+  std::map<int, ErrorModel> models;
+  models.emplace(4, uniform_variance_model(4, 2e5));
+  models.emplace(6, uniform_variance_model(6, 8e5));
+  LinearProjectionDesign d;
+  d.target_freq_mhz = 310.0;
+  d.columns.push_back(make_column({0.5, 0.5}, 4));
+  d.columns.push_back(make_column({0.5, 0.5}, 6));
+  const double s4 = std::ldexp(1.0, 4 + 9), s6 = std::ldexp(1.0, 6 + 9);
+  const double expected = 2.0 * 2e5 / (s4 * s4) + 2.0 * 8e5 / (s6 * s6);
+  EXPECT_NEAR(predicted_overclock_variance(d, models), expected, 1e-15);
+}
+
+TEST(Objective, MissingModelThrows) {
+  std::map<int, ErrorModel> models;
+  models.emplace(4, uniform_variance_model(4, 1.0));
+  LinearProjectionDesign d;
+  d.target_freq_mhz = 310.0;
+  d.columns.push_back(make_column({0.5}, 5));
+  EXPECT_THROW(predicted_overclock_variance(d, models), CheckError);
+}
+
+TEST(Objective, TrainingMseMatchesKltHelper) {
+  Rng rng(3);
+  Matrix x(4, 200);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 200; ++c) x(r, c) = rng.normal() * (r + 1.0);
+  const Matrix basis = klt_basis(x, 2);
+  Matrix xc = x;
+  center_rows(xc);
+  EXPECT_NEAR(training_reconstruction_mse(basis, xc),
+              reconstruction_mse(basis, x), 1e-12);
+}
+
+TEST(Objective, TIsMsePlusNormalisedVariance) {
+  Rng rng(5);
+  Matrix x(4, 100);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 100; ++c) x(r, c) = rng.normal();
+  Matrix xc = x;
+  center_rows(xc);
+
+  std::map<int, ErrorModel> models;
+  models.emplace(5, uniform_variance_model(5, 3e5));
+  LinearProjectionDesign d;
+  d.target_freq_mhz = 310.0;
+  d.columns.push_back(make_column(klt_basis(x, 1).col(0), 5));
+
+  const double mse = training_reconstruction_mse(d.basis(), xc);
+  const double var = predicted_overclock_variance(d, models);
+  EXPECT_NEAR(objective_T(d, xc, models), mse + var / 4.0, 1e-15);
+}
+
+TEST(Objective, ErrorFreeModelAddsNothing) {
+  Rng rng(7);
+  Matrix x(3, 80);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 80; ++c) x(r, c) = rng.normal();
+  Matrix xc = x;
+  center_rows(xc);
+  std::map<int, ErrorModel> models;
+  models.emplace(4, uniform_variance_model(4, 0.0));
+  LinearProjectionDesign d;
+  d.target_freq_mhz = 310.0;
+  d.columns.push_back(make_column(klt_basis(x, 1).col(0), 4));
+  EXPECT_DOUBLE_EQ(objective_T(d, xc, models),
+                   training_reconstruction_mse(d.basis(), xc));
+}
+
+}  // namespace
+}  // namespace oclp

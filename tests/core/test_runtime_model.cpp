@@ -1,0 +1,45 @@
+#include "core/runtime_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oclp {
+namespace {
+
+TEST(RuntimeModel, PerProjectionGrowsExponentially) {
+  // R(wl+1)/R(wl) = exp(0.6427) ≈ 1.9016 for every wl.
+  for (int wl = 1; wl < 12; ++wl)
+    EXPECT_NEAR(runtime_per_projection_s(wl + 1) / runtime_per_projection_s(wl),
+                std::exp(0.6427), 1e-12);
+}
+
+TEST(RuntimeModel, PaperExampleIsOneHour44Minutes) {
+  // Paper Sec. VI-E: #Freqs=1, K=3, Q=5, #HP=2, wl ∈ [3..9] → 1 h 44 min.
+  const double t = runtime_total_s(1, 3, 5, 2, {3, 4, 5, 6, 7, 8, 9});
+  EXPECT_NEAR(t, 104.0 * 60.0, 5.0 * 60.0);  // within 5 minutes
+}
+
+TEST(RuntimeModel, ChainCountFactor) {
+  // (1 + Q(K-1)): dimension 1 runs once, later dimensions once per carried
+  // design.
+  const std::vector<int> wls{4};
+  const double base = runtime_per_projection_s(4);
+  EXPECT_DOUBLE_EQ(runtime_total_s(1, 1, 5, 1, wls), base);          // K=1: 1 chain
+  EXPECT_DOUBLE_EQ(runtime_total_s(1, 2, 5, 1, wls), 6.0 * base);    // 1+5
+  EXPECT_DOUBLE_EQ(runtime_total_s(1, 3, 5, 1, wls), 11.0 * base);   // 1+10
+}
+
+TEST(RuntimeModel, LinearInFreqsAndHyperparams) {
+  const std::vector<int> wls{3, 5};
+  const double t1 = runtime_total_s(1, 2, 3, 1, wls);
+  EXPECT_DOUBLE_EQ(runtime_total_s(4, 2, 3, 1, wls), 4.0 * t1);
+  EXPECT_DOUBLE_EQ(runtime_total_s(1, 2, 3, 2, wls), 2.0 * t1);
+}
+
+TEST(RuntimeModel, Validation) {
+  EXPECT_THROW(runtime_per_projection_s(0), CheckError);
+  EXPECT_THROW(runtime_total_s(0, 1, 1, 1, {3}), CheckError);
+  EXPECT_THROW(runtime_total_s(1, 1, 1, 1, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

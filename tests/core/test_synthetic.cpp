@@ -1,0 +1,98 @@
+#include "core/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "klt/klt.hpp"
+#include "linalg/decompositions.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(Synthetic, ValuesInUnitInterval) {
+  SyntheticDataConfig cfg;
+  cfg.cases = 500;
+  const Matrix x = make_synthetic_dataset(cfg);
+  EXPECT_EQ(x.rows(), cfg.dims_p);
+  EXPECT_EQ(x.cols(), 500u);
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      ASSERT_GE(x(r, c), 0.0);
+      ASSERT_LT(x(r, c), 1.0);
+    }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticDataConfig cfg;
+  cfg.cases = 50;
+  const Matrix a = make_synthetic_dataset(cfg);
+  const Matrix b = make_synthetic_dataset(cfg);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      EXPECT_DOUBLE_EQ(a(r, c), b(r, c));
+}
+
+TEST(Synthetic, SampleSeedChangesSamplesNotSubspace) {
+  SyntheticDataConfig cfg;
+  cfg.cases = 800;
+  cfg.noise = 0.005;
+  const Matrix a = make_synthetic_dataset(cfg);
+  cfg.seed = cfg.seed + 1;
+  const Matrix b = make_synthetic_dataset(cfg);
+  EXPECT_NE(a(0, 0), b(0, 0));  // different draws...
+  // ...from the same latent subspace: the K-dim KLT basis of one set must
+  // reconstruct the other almost as well as its own.
+  const Matrix basis_a = klt_basis(a, cfg.latent_k);
+  const double own = reconstruction_mse(klt_basis(b, cfg.latent_k), b);
+  const double cross = reconstruction_mse(basis_a, b);
+  EXPECT_LT(cross, own * 3.0 + 1e-4);
+}
+
+TEST(Synthetic, StructureSeedChangesSubspace) {
+  SyntheticDataConfig cfg;
+  cfg.cases = 800;
+  cfg.noise = 0.005;
+  const Matrix a = make_synthetic_dataset(cfg);
+  cfg.structure_seed = cfg.structure_seed + 1;
+  const Matrix b = make_synthetic_dataset(cfg);
+  const double own = reconstruction_mse(klt_basis(b, cfg.latent_k), b);
+  const double cross = reconstruction_mse(klt_basis(a, cfg.latent_k), b);
+  EXPECT_GT(cross, own * 10.0);
+}
+
+TEST(Synthetic, LatentStructureIsLowRank) {
+  SyntheticDataConfig cfg;
+  cfg.cases = 2000;
+  cfg.latent_k = 2;
+  cfg.noise = 0.002;
+  const Matrix x = make_synthetic_dataset(cfg);
+  const auto eig = jacobi_eigen_sym(covariance(x));
+  // Two strong modes, the rest noise-level.
+  EXPECT_GT(eig.values[1], eig.values[2] * 20.0);
+}
+
+TEST(Synthetic, ConfigValidation) {
+  SyntheticDataConfig cfg;
+  cfg.latent_k = 10;  // > dims_p
+  EXPECT_THROW(make_synthetic_dataset(cfg), CheckError);
+  cfg = SyntheticDataConfig{};
+  cfg.cases = 1;
+  EXPECT_THROW(make_synthetic_dataset(cfg), CheckError);
+}
+
+TEST(EncodeInput, QuantisesToCodes) {
+  const auto codes = encode_input({0.0, 0.5, 0.999, 1.0}, 9);
+  EXPECT_EQ(codes[0], 0u);
+  EXPECT_EQ(codes[1], 256u);
+  EXPECT_EQ(codes[2], 511u);
+  EXPECT_EQ(codes[3], 511u);  // saturates at the top code
+}
+
+TEST(EncodeInput, RoundTripAccuracy) {
+  for (double x = 0.0; x < 1.0; x += 0.0173) {
+    const auto codes = encode_input({x}, 9);
+    EXPECT_NEAR(static_cast<double>(codes[0]) / 512.0, x, 0.5 / 512.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace oclp

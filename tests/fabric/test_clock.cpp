@@ -1,0 +1,53 @@
+#include "fabric/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(ClockGen, NominalPeriodMatchesFrequency) {
+  ClockGen clk(250.0, 0.0, 1);
+  EXPECT_DOUBLE_EQ(clk.nominal_period_ns(), 4.0);
+  EXPECT_DOUBLE_EQ(clk.freq_mhz(), 250.0);
+}
+
+TEST(ClockGen, ZeroJitterIsExact) {
+  ClockGen clk(320.0, 0.0, 1);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(clk.next_period_ns(), clk.nominal_period_ns());
+}
+
+TEST(ClockGen, JitterStatistics) {
+  const double sigma = 0.015;
+  ClockGen clk(310.0, sigma, 7);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(clk.next_period_ns());
+  EXPECT_NEAR(st.mean(), clk.nominal_period_ns(), 5e-4);
+  EXPECT_NEAR(st.stddev(), sigma, 2e-3);
+}
+
+TEST(ClockGen, JitterIsClampedToFourSigma) {
+  const double sigma = 0.02;
+  ClockGen clk(310.0, sigma, 9);
+  const double nominal = clk.nominal_period_ns();
+  for (int i = 0; i < 100000; ++i) {
+    const double p = clk.next_period_ns();
+    ASSERT_LE(std::abs(p - nominal), 4.0 * sigma + 1e-12);
+  }
+}
+
+TEST(ClockGen, DeterministicInSeed) {
+  ClockGen a(310.0, 0.01, 42), b(310.0, 0.01, 42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.next_period_ns(), b.next_period_ns());
+}
+
+TEST(ClockGen, InvalidParametersThrow) {
+  EXPECT_THROW(ClockGen(0.0, 0.01, 1), CheckError);
+  EXPECT_THROW(ClockGen(100.0, -0.1, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

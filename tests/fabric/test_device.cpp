@@ -1,0 +1,113 @@
+#include "fabric/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(Device, DeterministicInSeed) {
+  const DeviceConfig cfg;
+  Device a(cfg, 7), b(cfg, 7);
+  EXPECT_DOUBLE_EQ(a.inter_die_factor(), b.inter_die_factor());
+  for (int y = 0; y < cfg.grid_h; y += 5)
+    for (int x = 0; x < cfg.grid_w; x += 5)
+      EXPECT_DOUBLE_EQ(a.speed_factor(x, y), b.speed_factor(x, y));
+}
+
+TEST(Device, DifferentDiesDiffer) {
+  const DeviceConfig cfg;
+  Device a(cfg, 7), b(cfg, 8);
+  int differing = 0;
+  for (int y = 0; y < cfg.grid_h; ++y)
+    for (int x = 0; x < cfg.grid_w; ++x)
+      if (a.speed_factor(x, y) != b.speed_factor(x, y)) ++differing;
+  EXPECT_GT(differing, cfg.grid_w * cfg.grid_h / 2);
+}
+
+TEST(Device, SpeedFactorsAreNearUnityAndPositive) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 3);
+  RunningStats st;
+  for (int y = 0; y < cfg.grid_h; ++y)
+    for (int x = 0; x < cfg.grid_w; ++x) {
+      const double s = dev.speed_factor(x, y);
+      ASSERT_GT(s, 0.5);
+      ASSERT_LT(s, 1.6);
+      st.add(s);
+    }
+  EXPECT_NEAR(st.mean(), dev.inter_die_factor(), 0.06);
+  EXPECT_GT(st.stddev(), 0.01);  // variation actually present
+}
+
+TEST(Device, CoordinatesClampToDie) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 5);
+  EXPECT_DOUBLE_EQ(dev.speed_factor(-10, -10), dev.speed_factor(0, 0));
+  EXPECT_DOUBLE_EQ(dev.speed_factor(cfg.grid_w + 5, cfg.grid_h + 5),
+                   dev.speed_factor(cfg.grid_w - 1, cfg.grid_h - 1));
+}
+
+TEST(Device, MinMaxBracketAllLocations) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 11);
+  const double lo = dev.min_speed_factor();
+  const double hi = dev.max_speed_factor();
+  EXPECT_LT(lo, hi);
+  for (int y = 0; y < cfg.grid_h; y += 3)
+    for (int x = 0; x < cfg.grid_w; x += 3) {
+      const double s = dev.speed_factor(x, y);
+      EXPECT_GE(s, lo - 1e-12);
+      EXPECT_LE(s, hi + 1e-12);
+    }
+}
+
+TEST(Device, TemperatureDerate) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 13);
+  dev.set_temperature(cfg.temp_ref_c);
+  EXPECT_DOUBLE_EQ(dev.environment_derate(), 1.0);
+  dev.set_temperature(cfg.temp_ref_c + 40.0);
+  EXPECT_GT(dev.environment_derate(), 1.0);  // hotter = slower
+  dev.set_temperature(14.0);                  // the paper's cooled device
+  EXPECT_LT(dev.environment_derate(), 1.0);  // cooler = faster
+}
+
+TEST(Device, AgingSlowsTheDevice) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 17);
+  const double fresh = dev.environment_derate();
+  dev.age(3.0);
+  EXPECT_DOUBLE_EQ(dev.age_years(), 3.0);
+  EXPECT_GT(dev.environment_derate(), fresh);
+  dev.age(1.0);
+  EXPECT_DOUBLE_EQ(dev.age_years(), 4.0);
+  EXPECT_THROW(dev.age(-1.0), CheckError);
+}
+
+TEST(Device, InvalidGeometryThrows) {
+  DeviceConfig cfg;
+  cfg.grid_w = 0;
+  EXPECT_THROW(Device(cfg, 1), CheckError);
+}
+
+TEST(Device, SystematicVariationIsSpatiallySmooth) {
+  // Neighbouring locations must correlate more than far-apart ones: the
+  // systematic component is a smooth field over the die.
+  const DeviceConfig cfg;
+  RunningStats near_diff, far_diff;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Device dev(cfg, seed);
+    for (int y = 1; y + 1 < cfg.grid_h; y += 2)
+      for (int x = 1; x + 1 < cfg.grid_w; x += 2) {
+        near_diff.add(std::abs(dev.speed_factor(x, y) - dev.speed_factor(x + 1, y)));
+        far_diff.add(std::abs(dev.speed_factor(x, y) -
+                              dev.speed_factor(cfg.grid_w - 1 - x, cfg.grid_h - 1 - y)));
+      }
+  }
+  EXPECT_LT(near_diff.mean(), far_diff.mean());
+}
+
+}  // namespace
+}  // namespace oclp

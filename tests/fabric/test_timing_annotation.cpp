@@ -1,0 +1,115 @@
+#include "fabric/timing_annotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mult/multiplier.hpp"
+#include "netlist/sta.hpp"
+
+namespace oclp {
+namespace {
+
+Netlist small_netlist() { return make_multiplier(4, 4); }
+
+TEST(TimingAnnotation, OneDelayPerCell) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  const Netlist nl = small_netlist();
+  const auto delays = annotate_timing(nl, dev, Placement{5, 5, 9});
+  EXPECT_EQ(delays.size(), nl.num_cells());
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    if (cell_is_free(nl.cells()[i].type))
+      EXPECT_DOUBLE_EQ(delays[i], 0.0);
+    else
+      EXPECT_GT(delays[i], 0.0);
+  }
+}
+
+TEST(TimingAnnotation, DeterministicInPlacement) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  const Netlist nl = small_netlist();
+  const auto a = annotate_timing(nl, dev, Placement{5, 5, 9});
+  const auto b = annotate_timing(nl, dev, Placement{5, 5, 9});
+  EXPECT_EQ(a, b);
+}
+
+TEST(TimingAnnotation, RouteSeedChangesDelays) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  const Netlist nl = small_netlist();
+  const auto a = annotate_timing(nl, dev, Placement{5, 5, 9});
+  const auto b = annotate_timing(nl, dev, Placement{5, 5, 10});
+  EXPECT_NE(a, b);  // a re-route is a different timing reality
+}
+
+TEST(TimingAnnotation, LocationChangesDelays) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  const Netlist nl = small_netlist();
+  const auto a = annotate_timing(nl, dev, Placement{0, 0, 9});
+  const auto b = annotate_timing(nl, dev, Placement{40, 30, 9});
+  EXPECT_NE(a, b);
+}
+
+TEST(TimingAnnotation, ToolDelaysAreUniformAndConservative) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  dev.set_temperature(cfg.temp_ref_c);
+  const Netlist nl = small_netlist();
+  const auto tool = tool_timing(nl, cfg);
+  double tool_delay = 0.0;
+  for (std::size_t i = 0; i < tool.size(); ++i) {
+    if (cell_is_free(nl.cells()[i].type)) continue;
+    if (tool_delay == 0.0) tool_delay = tool[i];
+    EXPECT_DOUBLE_EQ(tool[i], tool_delay);  // family-wide: identical per cell
+  }
+  // The tool's worst case must bound the typical device cell: check the
+  // average annotated delay across several placements is well below it.
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto dd = annotate_timing(nl, dev, Placement{i * 5, i * 3, 77u + i});
+    for (std::size_t c = 0; c < dd.size(); ++c)
+      if (!cell_is_free(nl.cells()[c].type)) {
+        sum += dd[c];
+        ++n;
+      }
+  }
+  EXPECT_LT(sum / n, tool_delay);
+}
+
+TEST(TimingAnnotation, ToolFmaxBelowDeviceFmax) {
+  // The performance gap the whole paper exploits.
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  dev.set_temperature(14.0);
+  const Netlist nl = make_multiplier(8, 8);
+  const double tool = tool_fmax_mhz(nl, cfg);
+  const double device =
+      fmax_mhz(device_critical_path_ns(nl, dev, Placement{10, 10, 5}));
+  EXPECT_GT(device, tool * 1.2);
+}
+
+TEST(TimingAnnotation, HotterDeviceIsSlower) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  const Netlist nl = small_netlist();
+  dev.set_temperature(10.0);
+  const double cold = device_critical_path_ns(nl, dev, Placement{5, 5, 9});
+  dev.set_temperature(85.0);
+  const double hot = device_critical_path_ns(nl, dev, Placement{5, 5, 9});
+  EXPECT_GT(hot, cold);
+}
+
+TEST(TimingAnnotation, AgedDeviceIsSlower) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  const Netlist nl = small_netlist();
+  const double fresh = device_critical_path_ns(nl, dev, Placement{5, 5, 9});
+  dev.age(5.0);
+  const double aged = device_critical_path_ns(nl, dev, Placement{5, 5, 9});
+  EXPECT_GT(aged, fresh);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "fabric/device.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "mult/multiplier.hpp"
+#include "netlist/sta.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(Voltage, NominalSupplyIsUnityDerate) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  EXPECT_DOUBLE_EQ(dev.core_voltage(), cfg.nominal_voltage);
+  EXPECT_DOUBLE_EQ(dev.voltage_derate(), 1.0);
+  EXPECT_DOUBLE_EQ(dev.relative_dynamic_power(), 1.0);
+}
+
+TEST(Voltage, LowerSupplySlowsTheFabricMonotonically) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  double prev = 1.0;
+  for (double v : {1.15, 1.1, 1.0, 0.9, 0.8}) {
+    dev.set_core_voltage(v);
+    const double derate = dev.voltage_derate();
+    EXPECT_GT(derate, prev) << "V=" << v;
+    prev = derate;
+  }
+}
+
+TEST(Voltage, HigherSupplySpeedsUp) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  dev.set_core_voltage(1.3);
+  EXPECT_LT(dev.voltage_derate(), 1.0);
+}
+
+TEST(Voltage, PowerScalesQuadratically) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  dev.set_core_voltage(cfg.nominal_voltage / 2 + cfg.threshold_voltage / 2 + 0.3);
+  const double v = dev.core_voltage();
+  EXPECT_NEAR(dev.relative_dynamic_power(),
+              (v / cfg.nominal_voltage) * (v / cfg.nominal_voltage), 1e-12);
+}
+
+TEST(Voltage, NearThresholdIsRejected) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  EXPECT_THROW(dev.set_core_voltage(cfg.threshold_voltage), CheckError);
+  EXPECT_THROW(dev.set_core_voltage(cfg.threshold_voltage + 0.01), CheckError);
+}
+
+TEST(Voltage, AffectsAnnotatedTiming) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  const Netlist nl = make_multiplier(6, 6);
+  const Placement loc{10, 10, 3};
+  const double nominal = device_critical_path_ns(nl, dev, loc);
+  dev.set_core_voltage(0.9);
+  const double undervolted = device_critical_path_ns(nl, dev, loc);
+  EXPECT_GT(undervolted, nominal * 1.1);
+}
+
+TEST(Voltage, ToolTimingIgnoresTheActualSupply) {
+  // The tool's corner already assumes worst-case supply; the user knob
+  // must not move the tool's report.
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  const Netlist nl = make_multiplier(6, 6);
+  const double before = tool_fmax_mhz(nl, cfg);
+  dev.set_core_voltage(0.9);
+  EXPECT_DOUBLE_EQ(tool_fmax_mhz(nl, cfg), before);
+}
+
+TEST(Voltage, EnergySavingVsSlowdownTradeoff) {
+  // The future-work premise: dropping the supply saves quadratic power at
+  // a super-linear delay cost near threshold — there is a regime where
+  // power drops faster than speed.
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  dev.set_core_voltage(1.0);
+  EXPECT_LT(dev.relative_dynamic_power(), 0.72);  // ≥ 28% power saved
+  EXPECT_LT(dev.voltage_derate(), 1.45);          // ≤ 45% slower
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,117 @@
+#include "klt/klt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace oclp {
+namespace {
+
+// Data with a planted dominant direction plus small noise.
+Matrix planted_data(const std::vector<double>& direction, std::size_t n,
+                    double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto u = normalized(direction);
+  Matrix x(u.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = rng.normal(0.0, 1.0);
+    for (std::size_t r = 0; r < u.size(); ++r)
+      x(r, i) = 10.0 + z * u[r] + rng.normal(0.0, noise);
+  }
+  return x;
+}
+
+TEST(KltBasis, RecoversPlantedDirection) {
+  const std::vector<double> dir{1.0, -2.0, 0.5, 3.0};
+  const Matrix x = planted_data(dir, 2000, 0.05, 3);
+  const Matrix basis = klt_basis(x, 1);
+  const auto u = normalized(dir);
+  const auto v = basis.col(0);
+  EXPECT_NEAR(std::abs(dot(u, v)), 1.0, 1e-3);
+}
+
+TEST(KltBasis, ColumnsAreOrthonormal) {
+  Rng rng(5);
+  Matrix x(5, 300);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 300; ++c) x(r, c) = rng.normal();
+  const Matrix basis = klt_basis(x, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(dot(basis.col(i), basis.col(j)), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(KltBasis, SignConventionIsDeterministic) {
+  const std::vector<double> dir{1.0, -2.0, 0.5};
+  const Matrix x = planted_data(dir, 500, 0.05, 7);
+  const Matrix a = klt_basis(x, 2);
+  const Matrix b = klt_basis(x, 2);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(a(r, c), b(r, c));
+}
+
+TEST(KltIterative, AgreesWithEigenDecomposition) {
+  Rng rng(9);
+  Matrix x(6, 400);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 400; ++c)
+      x(r, c) = rng.normal() * (r < 2 ? 3.0 : 0.3);  // two strong modes
+  const Matrix exact = klt_basis(x, 3);
+  Matrix xc = x;
+  center_rows(xc);
+  const Matrix iter = klt_basis_iterative(xc, 3);
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_NEAR(std::abs(dot(exact.col(c), iter.col(c))), 1.0, 1e-3)
+        << "column " << c;
+}
+
+TEST(ReconstructionMse, ZeroForFullRankBasis) {
+  Rng rng(11);
+  Matrix x(4, 100);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 100; ++c) x(r, c) = rng.normal();
+  EXPECT_NEAR(reconstruction_mse(klt_basis(x, 4), x), 0.0, 1e-15);
+}
+
+TEST(ReconstructionMse, DecreasesWithSubspaceDimension) {
+  Rng rng(13);
+  Matrix x(6, 500);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 500; ++c)
+      x(r, c) = rng.normal() * (1.0 + static_cast<double>(r));
+  double prev = 1e18;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const double mse = reconstruction_mse(klt_basis(x, k), x);
+    EXPECT_LT(mse, prev + 1e-12);
+    prev = mse;
+  }
+  EXPECT_NEAR(prev, 0.0, 1e-12);
+}
+
+TEST(ReconstructionMse, KltIsOptimalAmongRandomBases) {
+  // PCA minimises reconstruction MSE over all rank-K bases: any random
+  // basis must do no better.
+  Rng rng(15);
+  Matrix x(5, 400);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 400; ++c)
+      x(r, c) = rng.normal() * (r == 0 ? 4.0 : 0.5);
+  const double best = reconstruction_mse(klt_basis(x, 2), x);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix rnd(5, 2);
+    for (std::size_t r = 0; r < 5; ++r)
+      for (std::size_t c = 0; c < 2; ++c) rnd(r, c) = rng.normal();
+    EXPECT_GE(reconstruction_mse(rnd, x), best - 1e-10);
+  }
+}
+
+TEST(KltBasis, InvalidDimensionThrows) {
+  Matrix x(3, 10, 1.0);
+  EXPECT_THROW(klt_basis(x, 0), CheckError);
+  EXPECT_THROW(klt_basis(x, 4), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

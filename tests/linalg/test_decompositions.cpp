@@ -1,0 +1,195 @@
+#include "linalg/decompositions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace oclp {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+  Matrix spd = a * a.transposed();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 0.5;
+  return spd;
+}
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) a(r, c) = a(c, r) = rng.normal();
+  return a;
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  const Matrix a{{2, 1}, {1, 2}};  // eigenvalues 3 and 1
+  const auto eig = jacobi_eigen_sym(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  const auto eig = jacobi_eigen_sym(Matrix::diagonal({5.0, 1.0, 3.0}));
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-14);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-14);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-14);
+}
+
+class JacobiProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiProperty, EigenpairsSatisfyDefinition) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + GetParam() % 6;
+  const Matrix a = random_symmetric(n, rng);
+  const auto eig = jacobi_eigen_sym(a);
+  ASSERT_EQ(eig.values.size(), n);
+  // A v_k = λ_k v_k
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto v = eig.vectors.col(k);
+    const Matrix av = a * Matrix::column(v);
+    for (std::size_t r = 0; r < n; ++r)
+      EXPECT_NEAR(av(r, 0), eig.values[k] * v[r], 1e-9);
+  }
+  // Descending order.
+  for (std::size_t k = 1; k < n; ++k) EXPECT_GE(eig.values[k - 1], eig.values[k] - 1e-12);
+  // Orthonormal vectors.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(dot(eig.vectors.col(i), eig.vectors.col(j)), i == j ? 1.0 : 0.0, 1e-10);
+  // Trace preservation.
+  double sum = 0.0;
+  for (double v : eig.values) sum += v;
+  EXPECT_NEAR(sum, a.trace(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, JacobiProperty, ::testing::Range(1, 13));
+
+TEST(Cholesky, RoundTripReconstruction) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Matrix a = random_spd(4, rng);
+    const Matrix l = cholesky(a);
+    const Matrix rec = l * l.transposed();
+    for (std::size_t r = 0; r < 4; ++r)
+      for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(rec(r, c), a(r, c), 1e-10);
+    // Lower-triangular structure.
+    for (std::size_t r = 0; r < 4; ++r)
+      for (std::size_t c = r + 1; c < 4; ++c) EXPECT_DOUBLE_EQ(l(r, c), 0.0);
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  EXPECT_THROW(cholesky(Matrix{{1, 2}, {2, 1}}), CheckError);  // eigenvalue -1
+}
+
+TEST(SolveSpd, MatchesDirectSubstitution) {
+  Rng rng(5);
+  const Matrix a = random_spd(5, rng);
+  std::vector<double> x_true(5);
+  for (auto& v : x_true) v = rng.normal();
+  const Matrix b = a * Matrix::column(x_true);
+  const auto x = solve_spd(a, b.col(0));
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(SolveSpd, MatrixRhs) {
+  Rng rng(7);
+  const Matrix a = random_spd(3, rng);
+  const Matrix x = solve_spd(a, Matrix::identity(3));
+  const Matrix should_be_i = a * x;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_NEAR(should_be_i(r, c), r == c ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(InverseSpd, InverseTimesOriginalIsIdentity) {
+  Rng rng(9);
+  const Matrix a = random_spd(4, rng);
+  const Matrix inv = inverse_spd(a);
+  const Matrix prod = inv * a;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(LeastSquares, ExactOnConsistentSystem) {
+  const Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const std::vector<double> x_true{2.0, -1.0};
+  const Matrix b = a * Matrix::column(x_true);
+  const auto x = least_squares(a, b.col(0));
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], -1.0, 1e-12);
+}
+
+TEST(LeastSquares, ResidualOrthogonalToColumns) {
+  Rng rng(11);
+  Matrix a(10, 3);
+  std::vector<double> b(10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.normal();
+    b[r] = rng.normal();
+  }
+  const auto x = least_squares(a, b);
+  const Matrix res = Matrix::column(b) - a * Matrix::column(x);
+  const Matrix atr = a.transposed() * res;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(atr(i, 0), 0.0, 1e-10);
+}
+
+TEST(ProjectionFactors, OrthonormalBasisGivesTransposeProjection) {
+  // For orthonormal Λ, (ΛᵀΛ)⁻¹Λᵀ = Λᵀ.
+  const Matrix lambda{{1, 0}, {0, 1}, {0, 0}};
+  Rng rng(13);
+  Matrix x(3, 5);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 5; ++c) x(r, c) = rng.normal();
+  const Matrix f = projection_factors(lambda, x);
+  for (std::size_t c = 0; c < 5; ++c) {
+    EXPECT_NEAR(f(0, c), x(0, c), 1e-12);
+    EXPECT_NEAR(f(1, c), x(1, c), 1e-12);
+  }
+}
+
+TEST(ProjectionFactors, RidgeRescuesRankDeficientBasis) {
+  Matrix lambda(3, 2);  // two identical columns: ΛᵀΛ singular
+  lambda.set_col(0, {1, 0, 0});
+  lambda.set_col(1, {1, 0, 0});
+  Matrix x(3, 2, 1.0);
+  EXPECT_THROW(projection_factors(lambda, x), CheckError);
+  EXPECT_NO_THROW(projection_factors(lambda, x, 1e-8));
+}
+
+TEST(ProjectionNormaliser, MatchesInverse) {
+  const Matrix lambda{{1, 0.5}, {0, 1}, {0.5, 0}};
+  const Matrix g = projection_normaliser(lambda);
+  const Matrix should_be_i = g * (lambda.transposed() * lambda);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_NEAR(should_be_i(r, c), r == c ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(GramSchmidt, ProducesOrthonormalColumns) {
+  Rng rng(15);
+  Matrix a(5, 3);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.normal();
+  const Matrix q = gram_schmidt(a);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(dot(q.col(i), q.col(j)), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(GramSchmidt, DependentColumnBecomesZero) {
+  Matrix a(3, 2);
+  a.set_col(0, {1, 1, 0});
+  a.set_col(1, {2, 2, 0});  // linearly dependent
+  const Matrix q = gram_schmidt(a);
+  EXPECT_NEAR(norm(q.col(0)), 1.0, 1e-12);
+  EXPECT_NEAR(norm(q.col(1)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,109 @@
+#include "mult/ccm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mult/bitcodec.hpp"
+#include "mult/multiplier.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(CsdRecode, KnownValues) {
+  // 7 = 8 - 1 → digits [-1, 0, 0, +1].
+  EXPECT_EQ(csd_recode(7), (std::vector<int>{-1, 0, 0, 1}));
+  // 5 = 4 + 1 → [+1, 0, +1].
+  EXPECT_EQ(csd_recode(5), (std::vector<int>{1, 0, 1}));
+  EXPECT_TRUE(csd_recode(0).empty());
+  EXPECT_EQ(csd_recode(1), (std::vector<int>{1}));
+}
+
+TEST(CsdRecode, ReconstructsTheConstant) {
+  for (std::uint64_t c = 0; c < 4096; ++c) {
+    const auto digits = csd_recode(c);
+    std::int64_t value = 0;
+    for (std::size_t i = 0; i < digits.size(); ++i)
+      value += static_cast<std::int64_t>(digits[i]) << i;
+    EXPECT_EQ(value, static_cast<std::int64_t>(c));
+  }
+}
+
+TEST(CsdRecode, NoAdjacentNonzeros) {
+  for (std::uint64_t c = 0; c < 4096; ++c) {
+    const auto digits = csd_recode(c);
+    for (std::size_t i = 1; i < digits.size(); ++i)
+      EXPECT_FALSE(digits[i] != 0 && digits[i - 1] != 0) << "c=" << c;
+  }
+}
+
+TEST(CsdRecode, NeverMoreTermsThanBinary) {
+  for (std::uint64_t c = 1; c < 2048; ++c)
+    EXPECT_LE(csd_nonzero_terms(c), __builtin_popcountll(c)) << "c=" << c;
+}
+
+TEST(CsdRecode, BeatsBinaryOnRuns) {
+  // 0b11111111 = 255: binary has 8 terms, CSD has 2 (256 - 1).
+  EXPECT_EQ(csd_nonzero_terms(255), 2);
+}
+
+class CcmExhaustive : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CcmExhaustive, MatchesMultiplicationForAllConstants) {
+  const bool use_csd = GetParam();
+  const int wl_m = 5, wl_x = 5;
+  for (std::uint32_t c = 0; c < (1u << wl_m); ++c) {
+    const Netlist nl = make_ccm(c, wl_m, wl_x, use_csd);
+    for (std::uint32_t x = 0; x < (1u << wl_x); ++x) {
+      const auto out = nl.evaluate_outputs(to_bits(x, wl_x));
+      ASSERT_EQ(from_bits(out), static_cast<std::uint64_t>(c) * x)
+          << "c=" << c << " x=" << x << " csd=" << use_csd;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinaryAndCsd, CcmExhaustive, ::testing::Bool());
+
+TEST(Ccm, EightBitSpotChecks) {
+  for (const std::uint32_t c : {222u, 255u, 129u, 85u}) {
+    const Netlist nl = make_ccm(c, 8, 9);
+    for (const std::uint32_t x : {0u, 1u, 511u, 347u}) {
+      EXPECT_EQ(from_bits(nl.evaluate_outputs(to_bits(x, 9))),
+                static_cast<std::uint64_t>(c) * x);
+    }
+  }
+}
+
+TEST(Ccm, SmallerThanGenericMultiplierForSparseConstants) {
+  // The CCM's raison d'être: constants with few terms need few adders.
+  const auto generic = multiplier_logic_elements(8, 9);
+  EXPECT_LT(make_ccm(1u << 7, 8, 9).logic_elements(), generic / 4);
+  EXPECT_LT(make_ccm(0x81, 8, 9).logic_elements(), generic);
+}
+
+TEST(Ccm, CsdReducesAreaOnRunConstants) {
+  // 255 = 11111111b: 8 add terms in binary, 2 in CSD.
+  const auto binary = make_ccm(255, 8, 9, false).logic_elements();
+  const auto csd = make_ccm(255, 8, 9, true).logic_elements();
+  EXPECT_LT(csd, binary);
+}
+
+TEST(Ccm, ZeroConstantIsFree) {
+  const Netlist nl = make_ccm(0, 8, 9);
+  EXPECT_EQ(nl.logic_elements(), 0u);
+  EXPECT_EQ(from_bits(nl.evaluate_outputs(to_bits(345, 9))), 0u);
+}
+
+TEST(Ccm, ConstantRangeValidation) {
+  EXPECT_THROW(make_ccm(32, 5, 5), CheckError);  // needs 6 bits
+}
+
+TEST(Ccm, CharacterisationCostExplodes) {
+  // The paper's scaling argument: per-constant circuits vs one generic one.
+  const auto cost8 = ccm_characterisation_cost(8);
+  EXPECT_EQ(cost8.generic_circuits, 1u);
+  EXPECT_EQ(cost8.ccm_circuits, 256u);
+  EXPECT_DOUBLE_EQ(cost8.ccm_over_generic, 256.0);
+  EXPECT_EQ(ccm_characterisation_cost(9).ccm_circuits, 512u);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,139 @@
+#include "mult/multiplier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/timing_annotation.hpp"
+#include "mult/bitcodec.hpp"
+#include "netlist/sta.hpp"
+
+namespace oclp {
+namespace {
+
+class MultiplierSize
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MultiplierSize, ExhaustiveFunctionalCorrectness) {
+  const auto [wa, wb] = GetParam();
+  const Netlist nl = make_multiplier(wa, wb);
+  EXPECT_EQ(nl.num_inputs(), static_cast<std::size_t>(wa + wb));
+  EXPECT_EQ(nl.outputs().size(), static_cast<std::size_t>(wa + wb));
+  for (int a = 0; a < (1 << wa); ++a) {
+    for (int b = 0; b < (1 << wb); ++b) {
+      auto bits = to_bits(a, wa);
+      append_bits(bits, b, wb);
+      const auto out = nl.evaluate_outputs(bits);
+      ASSERT_EQ(from_bits(out), static_cast<std::uint64_t>(a) * b)
+          << wa << "x" << wb << ": " << a << "*" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MultiplierSize,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 4}, std::pair{4, 1},
+                      std::pair{2, 3}, std::pair{3, 3}, std::pair{4, 4},
+                      std::pair{5, 3}, std::pair{6, 6}, std::pair{8, 4}));
+
+TEST(Multiplier, EightByNineSpotChecks) {
+  const Netlist nl = make_multiplier(8, 9);
+  for (const auto& [a, b] : {std::pair{0u, 0u}, {255u, 511u}, {222u, 347u},
+                            {1u, 511u}, {128u, 256u}, {97u, 300u}}) {
+    auto bits = to_bits(a, 8);
+    append_bits(bits, b, 9);
+    EXPECT_EQ(from_bits(nl.evaluate_outputs(bits)),
+              static_cast<std::uint64_t>(a) * b);
+  }
+}
+
+TEST(Multiplier, MsbHasLongestPath) {
+  // The paper's observation: the most significant product bits terminate
+  // the longest chains, hence fail first under over-clocking.
+  const Netlist nl = make_multiplier(8, 8);
+  const auto lvl = nl.levels();
+  const auto& outs = nl.outputs();
+  int max_level = 0;
+  std::size_t argmax = 0;
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    if (lvl[outs[i]] > max_level) {
+      max_level = lvl[outs[i]];
+      argmax = i;
+    }
+  EXPECT_GE(argmax, outs.size() - 3);  // among the top product bits
+  EXPECT_LT(lvl[outs[0]], max_level);  // LSB is much shorter
+}
+
+TEST(Multiplier, DepthGrowsWithWordlength) {
+  int prev = 0;
+  for (int wl = 2; wl <= 9; ++wl) {
+    const int d = make_multiplier(wl, 9).depth();
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Multiplier, LogicElementsGrowQuadratically) {
+  const auto le4 = multiplier_logic_elements(4, 4);
+  const auto le8 = multiplier_logic_elements(8, 8);
+  EXPECT_GT(le8, 3 * le4);  // ~4x cells for 2x word-length
+  EXPECT_LT(le8, 6 * le4);
+}
+
+TEST(Mac, FunctionalCorrectness) {
+  const int wa = 4, wb = 5, acc_bits = 11;
+  const Netlist nl = make_mac(wa, wb, acc_bits);
+  for (const auto& [a, b, acc] :
+       {std::tuple{3u, 7u, 100u}, {15u, 31u, 2047u}, {0u, 0u, 0u}, {9u, 20u, 512u}}) {
+    auto bits = to_bits(a, wa);
+    append_bits(bits, b, wb);
+    append_bits(bits, acc, acc_bits);
+    const auto out = nl.evaluate_outputs(bits);
+    EXPECT_EQ(from_bits(out), static_cast<std::uint64_t>(a) * b + acc);
+  }
+}
+
+TEST(Mac, RequiresAccumulatorHeadroom) {
+  EXPECT_THROW(make_mac(4, 4, 7), CheckError);
+  EXPECT_NO_THROW(make_mac(4, 4, 8));
+}
+
+TEST(Mac, DeeperThanBareMultiplier) {
+  EXPECT_GT(make_mac(8, 9, 20).depth(), make_multiplier(8, 9).depth());
+}
+
+TEST(DspBlock, FasterThanLutMultiplierAndSlowerWhenHot) {
+  const DeviceConfig cfg;
+  Device dev(cfg, 1);
+  const Placement pl{10, 10, 1};
+  const double dsp = DspBlockModel::delay_ns(dev, pl);
+  const double lut = device_critical_path_ns(make_multiplier(9, 9), dev, pl);
+  EXPECT_LT(dsp, lut);  // hard macro beats LUT fabric
+  EXPECT_LT(DspBlockModel::delay_ns(dev, pl), DspBlockModel::tool_delay_ns(cfg));
+  dev.set_temperature(85.0);
+  EXPECT_GT(DspBlockModel::delay_ns(dev, pl), dsp);
+}
+
+TEST(BitCodec, RoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 0xAAull, 0x1FFull, 0xFFFFull}) {
+    const auto bits = to_bits(v, 16);
+    EXPECT_EQ(bits.size(), 16u);
+    EXPECT_EQ(from_bits(bits), v);
+  }
+}
+
+TEST(BitCodec, AppendAndSlice) {
+  std::vector<std::uint8_t> bits;
+  append_bits(bits, 0b101, 3);
+  append_bits(bits, 0b0110, 4);
+  EXPECT_EQ(bits.size(), 7u);
+  EXPECT_EQ(from_bits(bits, 0, 3), 0b101u);
+  EXPECT_EQ(from_bits(bits, 3, 4), 0b0110u);
+}
+
+TEST(BitCodec, BoundsChecked) {
+  const auto bits = to_bits(5, 4);
+  EXPECT_THROW(from_bits(bits, 2, 4), CheckError);
+  EXPECT_THROW(to_bits(1, 65), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,71 @@
+#include "mult/wallace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mult/bitcodec.hpp"
+#include "mult/multiplier.hpp"
+
+namespace oclp {
+namespace {
+
+class WallaceSize : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(WallaceSize, ExhaustiveFunctionalCorrectness) {
+  const auto [wa, wb] = GetParam();
+  const Netlist nl = make_wallace_multiplier(wa, wb);
+  EXPECT_EQ(nl.outputs().size(), static_cast<std::size_t>(wa + wb));
+  for (int a = 0; a < (1 << wa); ++a) {
+    for (int b = 0; b < (1 << wb); ++b) {
+      auto bits = to_bits(a, wa);
+      append_bits(bits, b, wb);
+      ASSERT_EQ(from_bits(nl.evaluate_outputs(bits)),
+                static_cast<std::uint64_t>(a) * b)
+          << wa << "x" << wb << ": " << a << "*" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, WallaceSize,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{3, 4},
+                      std::pair{4, 4}, std::pair{5, 5}, std::pair{6, 6},
+                      std::pair{8, 4}));
+
+TEST(Wallace, EightByNineSpotChecks) {
+  const Netlist nl = make_wallace_multiplier(8, 9);
+  for (const auto& [a, b] :
+       {std::pair{255u, 511u}, {222u, 347u}, {1u, 1u}, {170u, 341u}}) {
+    auto bits = to_bits(a, 8);
+    append_bits(bits, b, 9);
+    EXPECT_EQ(from_bits(nl.evaluate_outputs(bits)),
+              static_cast<std::uint64_t>(a) * b);
+  }
+}
+
+TEST(Wallace, ShallowerThanArrayMultiplier) {
+  // The architectural point: log-depth reduction beats the linear array.
+  for (int wl : {6, 8, 9}) {
+    const int array_depth = make_multiplier(wl, wl).depth();
+    const int wallace_depth = make_wallace_multiplier(wl, wl).depth();
+    EXPECT_LT(wallace_depth, array_depth) << "wl=" << wl;
+  }
+}
+
+TEST(Wallace, SimilarLogicBudgetToArray) {
+  // Same 3:2 compressor count to first order: within ~35% of the array.
+  const auto array = make_multiplier(8, 8).logic_elements();
+  const auto wallace = make_wallace_multiplier(8, 8).logic_elements();
+  EXPECT_GT(wallace, array * 0.65);
+  EXPECT_LT(wallace, array * 1.35);
+}
+
+TEST(Wallace, DepthGrowsSlowlyWithWordlength) {
+  // Tree depth is logarithmic in rows + linear only in the final adder, so
+  // doubling the word-length must not double the depth.
+  const int d4 = make_wallace_multiplier(4, 4).depth();
+  const int d8 = make_wallace_multiplier(8, 8).depth();
+  EXPECT_LT(d8, 2 * d4);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,192 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mult/bitcodec.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(CellModel, ArityAndNames) {
+  EXPECT_EQ(cell_arity(CellType::Const0), 0);
+  EXPECT_EQ(cell_arity(CellType::Not), 1);
+  EXPECT_EQ(cell_arity(CellType::And2), 2);
+  EXPECT_EQ(cell_arity(CellType::Maj3), 3);
+  EXPECT_STREQ(cell_name(CellType::Xor3), "XOR3");
+}
+
+TEST(CellModel, TruthTables) {
+  // Exhaustive over all input combinations for every 2-input cell.
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      EXPECT_EQ(cell_eval(CellType::And2, a, b, 0), a && b);
+      EXPECT_EQ(cell_eval(CellType::Or2, a, b, 0), a || b);
+      EXPECT_EQ(cell_eval(CellType::Xor2, a, b, 0), a != b);
+      EXPECT_EQ(cell_eval(CellType::Nand2, a, b, 0), !(a && b));
+      EXPECT_EQ(cell_eval(CellType::Nor2, a, b, 0), !(a || b));
+      EXPECT_EQ(cell_eval(CellType::Xnor2, a, b, 0), a == b);
+      EXPECT_EQ(cell_eval(CellType::AndNot2, a, b, 0), a && !b);
+      for (int c = 0; c <= 1; ++c) {
+        EXPECT_EQ(cell_eval(CellType::Maj3, a, b, c), a + b + c >= 2);
+        EXPECT_EQ(cell_eval(CellType::Xor3, a, b, c), (a + b + c) % 2 == 1);
+        EXPECT_EQ(cell_eval(CellType::Mux2, a, b, c), c ? b : a);
+      }
+    }
+  }
+  EXPECT_FALSE(cell_eval(CellType::Const0, 1, 1, 1));
+  EXPECT_TRUE(cell_eval(CellType::Const1, 0, 0, 0));
+  EXPECT_TRUE(cell_eval(CellType::Buf, 1, 0, 0));
+  EXPECT_FALSE(cell_eval(CellType::Not, 1, 0, 0));
+}
+
+TEST(Builder, InputThenCellNumbering) {
+  NetlistBuilder nb;
+  const auto a = nb.add_input();
+  const auto b = nb.add_input();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  const auto g = nb.and_(a, b);
+  EXPECT_EQ(g, 2);
+  nb.mark_output(g);
+  const Netlist nl = nb.build();
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_cells(), 1u);
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_EQ(nl.driver_of(0), -1);
+  EXPECT_EQ(nl.driver_of(2), 0);
+}
+
+TEST(Builder, InputsAfterCellsThrow) {
+  NetlistBuilder nb;
+  const auto a = nb.add_input();
+  nb.not_(a);
+  EXPECT_THROW(nb.add_input(), CheckError);
+}
+
+TEST(Builder, ForwardReferenceThrows) {
+  NetlistBuilder nb;
+  const auto a = nb.add_input();
+  EXPECT_THROW(nb.and_(a, 99), CheckError);
+}
+
+TEST(Builder, BuildWithoutOutputsThrows) {
+  NetlistBuilder nb;
+  nb.add_input();
+  EXPECT_THROW(nb.build(), CheckError);
+}
+
+TEST(Builder, ConstantsAreShared) {
+  NetlistBuilder nb;
+  nb.add_input();
+  const auto c0a = nb.const0();
+  const auto c0b = nb.const0();
+  const auto c1 = nb.const1();
+  EXPECT_EQ(c0a, c0b);
+  EXPECT_NE(c0a, c1);
+  nb.mark_output(c1);
+  const Netlist nl = nb.build();
+  EXPECT_EQ(nl.logic_elements(), 0u);  // constants are free
+}
+
+TEST(Netlist, EvaluateXorChain) {
+  NetlistBuilder nb;
+  const auto ins = nb.add_inputs(3);
+  const auto x = nb.xor_(nb.xor_(ins[0], ins[1]), ins[2]);
+  nb.mark_output(x);
+  const Netlist nl = nb.build();
+  for (int v = 0; v < 8; ++v) {
+    const auto out = nl.evaluate_outputs(to_bits(v, 3));
+    EXPECT_EQ(out[0], __builtin_popcount(v) % 2);
+  }
+}
+
+TEST(Netlist, LevelsCountLogicDepth) {
+  NetlistBuilder nb;
+  const auto ins = nb.add_inputs(2);
+  const auto g1 = nb.and_(ins[0], ins[1]);   // level 1
+  const auto g2 = nb.xor_(g1, ins[0]);       // level 2
+  nb.mark_output(g2);
+  const Netlist nl = nb.build();
+  const auto lvl = nl.levels();
+  EXPECT_EQ(lvl[ins[0]], 0);
+  EXPECT_EQ(lvl[g1], 1);
+  EXPECT_EQ(lvl[g2], 2);
+  EXPECT_EQ(nl.depth(), 2);
+}
+
+TEST(Netlist, BufAndConstantsDoNotAddDepth) {
+  NetlistBuilder nb;
+  const auto a = nb.add_input();
+  const auto buf = nb.add_cell(CellType::Buf, a);
+  const auto g = nb.not_(buf);
+  nb.mark_output(g);
+  const Netlist nl = nb.build();
+  EXPECT_EQ(nl.depth(), 1);
+  EXPECT_EQ(nl.logic_elements(), 1u);
+}
+
+TEST(HalfAdder, TruthTable) {
+  NetlistBuilder nb;
+  const auto ins = nb.add_inputs(2);
+  const auto [s, c] = nb.half_adder(ins[0], ins[1]);
+  nb.mark_output(s);
+  nb.mark_output(c);
+  const Netlist nl = nb.build();
+  for (int a = 0; a <= 1; ++a)
+    for (int b = 0; b <= 1; ++b) {
+      const auto out = nl.evaluate_outputs({static_cast<std::uint8_t>(a),
+                                            static_cast<std::uint8_t>(b)});
+      EXPECT_EQ(out[0], (a + b) & 1);
+      EXPECT_EQ(out[1], (a + b) >> 1);
+    }
+}
+
+TEST(FullAdder, TruthTable) {
+  NetlistBuilder nb;
+  const auto ins = nb.add_inputs(3);
+  const auto [s, c] = nb.full_adder(ins[0], ins[1], ins[2]);
+  nb.mark_output(s);
+  nb.mark_output(c);
+  const Netlist nl = nb.build();
+  for (int v = 0; v < 8; ++v) {
+    const auto bits = to_bits(v, 3);
+    const int total = bits[0] + bits[1] + bits[2];
+    const auto out = nl.evaluate_outputs(bits);
+    EXPECT_EQ(out[0], total & 1);
+    EXPECT_EQ(out[1], total >> 1);
+  }
+}
+
+class RippleAdderWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(RippleAdderWidth, ExhaustiveAddition) {
+  const int w = GetParam();
+  NetlistBuilder nb;
+  const auto a = nb.add_inputs(w);
+  const auto b = nb.add_inputs(w);
+  nb.mark_outputs(nb.ripple_add(a, b));
+  const Netlist nl = nb.build();
+  const int n = 1 << w;
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      auto bits = to_bits(x, w);
+      append_bits(bits, y, w);
+      const auto out = nl.evaluate_outputs(bits);
+      EXPECT_EQ(from_bits(out), static_cast<std::uint64_t>(x + y))
+          << "w=" << w << " x=" << x << " y=" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RippleAdderWidth, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Netlist, WrongInputCountThrows) {
+  NetlistBuilder nb;
+  const auto a = nb.add_inputs(2);
+  nb.mark_output(nb.and_(a[0], a[1]));
+  const Netlist nl = nb.build();
+  EXPECT_THROW(nl.evaluate({1}), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

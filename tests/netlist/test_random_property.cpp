@@ -1,0 +1,122 @@
+// Property tests over randomly generated netlists: the structural
+// invariants that every module above the netlist layer relies on must hold
+// for arbitrary circuits, not just multipliers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/sta.hpp"
+#include "timing/overclock_sim.hpp"
+
+namespace oclp {
+namespace {
+
+// A random combinational DAG: n_in inputs, n_cells random 1-3 input cells
+// whose fanins are uniformly drawn among already-defined nets.
+Netlist random_netlist(std::size_t n_in, std::size_t n_cells, std::size_t n_out,
+                       Rng& rng) {
+  static const CellType kTypes[] = {
+      CellType::Not,  CellType::And2, CellType::Or2,   CellType::Xor2,
+      CellType::Nand2, CellType::Nor2, CellType::Xnor2, CellType::AndNot2,
+      CellType::Maj3, CellType::Xor3, CellType::Mux2};
+  NetlistBuilder nb;
+  nb.add_inputs(n_in);
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const CellType type = kTypes[rng.uniform_u64(std::size(kTypes))];
+    const auto pick = [&] {
+      return static_cast<std::int32_t>(rng.uniform_u64(nb.num_nets()));
+    };
+    const std::int32_t a = pick();
+    const std::int32_t b = cell_arity(type) > 1 ? pick() : -1;
+    const std::int32_t c = cell_arity(type) > 2 ? pick() : -1;
+    nb.add_cell(type, a, b, c);
+  }
+  for (std::size_t o = 0; o < n_out; ++o)
+    nb.mark_output(static_cast<std::int32_t>(
+        rng.uniform_u64(n_in + n_cells)));
+  return nb.build();
+}
+
+std::vector<std::uint8_t> random_inputs(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> in(n);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.uniform_u64(2));
+  return in;
+}
+
+class RandomNetlist : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNetlist, LevelsAreConsistentWithTopology) {
+  Rng rng(GetParam());
+  const Netlist nl = random_netlist(6, 60, 8, rng);
+  const auto lvl = nl.levels();
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) EXPECT_EQ(lvl[i], 0);
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    const Cell& c = nl.cells()[i];
+    const int out_lvl = lvl[nl.num_inputs() + i];
+    for (int k = 0; k < cell_arity(c.type); ++k)
+      EXPECT_GE(out_lvl, lvl[c.in[k]] + (cell_is_free(c.type) ? 0 : 1));
+  }
+  EXPECT_LE(nl.depth(), static_cast<int>(nl.num_cells()));
+}
+
+TEST_P(RandomNetlist, StaArrivalsRespectFaninOrdering) {
+  Rng rng(GetParam() + 100);
+  const Netlist nl = random_netlist(5, 50, 6, rng);
+  std::vector<double> delays(nl.num_cells());
+  for (auto& d : delays) d = rng.uniform(0.1, 1.0);
+  const auto sta = static_timing(nl, delays);
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    const Cell& c = nl.cells()[i];
+    const double out = sta.arrival_ns[nl.num_inputs() + i];
+    for (int k = 0; k < cell_arity(c.type); ++k)
+      EXPECT_GE(out + 1e-12, sta.arrival_ns[c.in[k]]);
+  }
+  // Critical path equals the max arrival over outputs.
+  double max_out = 0.0;
+  for (auto o : nl.outputs()) max_out = std::max(max_out, sta.arrival_ns[o]);
+  EXPECT_DOUBLE_EQ(sta.critical_path_ns, max_out);
+}
+
+TEST_P(RandomNetlist, OverclockAtCriticalPathMatchesFunctionalModel) {
+  // The foundational guarantee of the over-clocking simulator: sampled at
+  // (or beyond) the STA critical path, every output equals the zero-delay
+  // functional evaluation — for any circuit and any stimulus.
+  Rng rng(GetParam() + 200);
+  Netlist nl = random_netlist(7, 70, 10, rng);
+  std::vector<double> delays(nl.num_cells(), 0.0);
+  for (std::size_t i = 0; i < nl.num_cells(); ++i)
+    if (!cell_is_free(nl.cells()[i].type)) delays[i] = rng.uniform(0.05, 0.9);
+  const double critical =
+      std::max(static_timing(nl, delays).critical_path_ns, 1e-6);
+  const Netlist reference = nl;  // evaluate() on a pristine copy
+  OverclockSim sim(std::move(nl), std::move(delays));
+  sim.reset(random_inputs(7, rng));
+  for (int step = 0; step < 100; ++step) {
+    const auto in = random_inputs(7, rng);
+    const auto sampled = sim.step(in, critical);
+    const auto truth = reference.evaluate_outputs(in);
+    ASSERT_EQ(sampled, truth) << "seed " << GetParam() << " step " << step;
+  }
+}
+
+TEST_P(RandomNetlist, SettleTimesNeverExceedSta) {
+  Rng rng(GetParam() + 300);
+  Netlist nl = random_netlist(6, 50, 8, rng);
+  std::vector<double> delays(nl.num_cells(), 0.0);
+  for (std::size_t i = 0; i < nl.num_cells(); ++i)
+    if (!cell_is_free(nl.cells()[i].type)) delays[i] = rng.uniform(0.05, 0.9);
+  const double critical = static_timing(nl, delays).critical_path_ns;
+  OverclockSim sim(std::move(nl), std::move(delays));
+  sim.reset(random_inputs(6, rng));
+  for (int step = 0; step < 100; ++step) {
+    sim.step(random_inputs(6, rng), 1.0);
+    ASSERT_LE(sim.last_output_settle_ns(), critical + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetlist, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,81 @@
+#include "netlist/sta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oclp {
+namespace {
+
+TEST(Sta, HandComputedArrivals) {
+  NetlistBuilder nb;
+  const auto ins = nb.add_inputs(3);
+  const auto g1 = nb.and_(ins[0], ins[1]);  // cell 0
+  const auto g2 = nb.or_(g1, ins[2]);       // cell 1
+  const auto g3 = nb.not_(ins[2]);          // cell 2
+  nb.mark_output(g2);
+  nb.mark_output(g3);
+  const Netlist nl = nb.build();
+
+  const auto res = static_timing(nl, {1.0, 2.0, 0.5});
+  EXPECT_DOUBLE_EQ(res.arrival_ns[ins[0]], 0.0);
+  EXPECT_DOUBLE_EQ(res.arrival_ns[g1], 1.0);
+  EXPECT_DOUBLE_EQ(res.arrival_ns[g2], 3.0);  // 1.0 + 2.0
+  EXPECT_DOUBLE_EQ(res.arrival_ns[g3], 0.5);
+  EXPECT_DOUBLE_EQ(res.critical_path_ns, 3.0);
+  EXPECT_EQ(res.critical_output, g2);
+}
+
+TEST(Sta, FreeCellsAddNoDelay) {
+  NetlistBuilder nb;
+  const auto a = nb.add_input();
+  const auto buf = nb.add_cell(CellType::Buf, a);
+  const auto g = nb.not_(buf);
+  nb.mark_output(g);
+  const Netlist nl = nb.build();
+  const auto res = static_timing(nl, {100.0, 2.0});  // buf "delay" ignored
+  EXPECT_DOUBLE_EQ(res.critical_path_ns, 2.0);
+}
+
+TEST(Sta, CriticalPathIsMaxOverOutputsOnly) {
+  NetlistBuilder nb;
+  const auto ins = nb.add_inputs(2);
+  const auto deep = nb.not_(nb.not_(nb.not_(ins[0])));  // internal depth 3
+  const auto shallow = nb.and_(ins[0], ins[1]);
+  (void)deep;  // never marked as output
+  nb.mark_output(shallow);
+  const Netlist nl = nb.build();
+  const auto res = static_timing(nl, std::vector<double>(nl.num_cells(), 1.0));
+  EXPECT_DOUBLE_EQ(res.critical_path_ns, 1.0);
+}
+
+TEST(Sta, DelayVectorSizeMismatchThrows) {
+  NetlistBuilder nb;
+  const auto a = nb.add_inputs(2);
+  nb.mark_output(nb.and_(a[0], a[1]));
+  const Netlist nl = nb.build();
+  EXPECT_THROW(static_timing(nl, {1.0, 1.0}), CheckError);
+}
+
+TEST(Sta, FmaxPeriodRoundTrip) {
+  EXPECT_DOUBLE_EQ(fmax_mhz(5.0), 200.0);
+  EXPECT_DOUBLE_EQ(period_ns(200.0), 5.0);
+  EXPECT_NEAR(period_ns(fmax_mhz(3.21)), 3.21, 1e-12);
+  EXPECT_THROW(fmax_mhz(0.0), CheckError);
+  EXPECT_THROW(period_ns(-1.0), CheckError);
+}
+
+TEST(Sta, LongerDelaysNeverShortenThePath) {
+  NetlistBuilder nb;
+  const auto ins = nb.add_inputs(4);
+  auto acc = ins[0];
+  for (int i = 1; i < 4; ++i) acc = nb.xor_(acc, ins[i]);
+  nb.mark_output(acc);
+  const Netlist nl = nb.build();
+  const auto base = static_timing(nl, std::vector<double>(nl.num_cells(), 1.0));
+  auto slower = std::vector<double>(nl.num_cells(), 1.0);
+  slower[1] = 2.5;
+  const auto res = static_timing(nl, slower);
+  EXPECT_GE(res.critical_path_ns, base.critical_path_ns);
+}
+
+}  // namespace
+}  // namespace oclp

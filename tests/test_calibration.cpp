@@ -1,0 +1,130 @@
+// Locks the calibrated fabric to the paper's performance landscape
+// (DESIGN.md §6). If a fabric-constant change breaks any reproduction
+// premise, it fails here rather than silently flattening a figure.
+#include <gtest/gtest.h>
+
+#include "charlib/char_circuit.hpp"
+#include "charlib/sweep.hpp"
+#include "fabric/calibration.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "mult/multiplier.hpp"
+#include "netlist/sta.hpp"
+
+namespace oclp {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  CalibrationTest()
+      : cfg_(reference_device_config()), device_(cfg_, kReferenceDieSeed) {
+    device_.set_temperature(kCharacterisationTempC);
+  }
+  DeviceConfig cfg_;
+  Device device_;
+};
+
+TEST_F(CalibrationTest, TargetClockIsAbout1p85xToolFmax) {
+  // The paper: 310 MHz is 1.85× the tool Fmax of the 9-bit design.
+  const double tool = tool_fmax_mhz(make_multiplier(9, 9), cfg_);
+  EXPECT_GT(kTargetClockMhz / tool, 1.75);
+  EXPECT_LT(kTargetClockMhz / tool, 1.95);
+}
+
+TEST_F(CalibrationTest, DeviceFmaxSitsBetweenToolFmaxAndTarget) {
+  const Netlist nl = make_multiplier(9, 9);
+  const double tool = tool_fmax_mhz(nl, cfg_);
+  const double dev =
+      fmax_mhz(device_critical_path_ns(nl, device_, reference_location_1()));
+  EXPECT_GT(dev, tool * 1.3);       // the device-specific headroom (Δf1)
+  EXPECT_LT(dev, kTargetClockMhz);  // 310 MHz is in the error-prone regime
+}
+
+TEST_F(CalibrationTest, SmallWordlengthsAreErrorFreeAtTarget) {
+  // wl = 3 survives 310 MHz even at the slow characterisation corners;
+  // wl = 4 survives at a typical (mid-die) location.
+  SweepSettings ss;
+  ss.freqs_mhz = {kTargetClockMhz};
+  ss.locations = {reference_location_1(), reference_location_2()};
+  ss.samples_per_point = 250;
+  const auto wl3 = characterise_multiplier(device_, 3, 9, ss);
+  EXPECT_DOUBLE_EQ(wl3.max_variance(), 0.0);
+
+  ss.locations = {Placement{device_.width() / 2, device_.height() / 2, 5}};
+  const auto wl4 = characterise_multiplier(device_, 4, 9, ss);
+  EXPECT_DOUBLE_EQ(wl4.max_variance(), 0.0);
+}
+
+TEST_F(CalibrationTest, ErrorProneFractionGrowsWithWordlength) {
+  SweepSettings ss;
+  ss.freqs_mhz = {kTargetClockMhz};
+  ss.locations = {reference_location_1()};
+  ss.samples_per_point = 250;
+  double prev_fraction = 0.0;
+  for (int wl : {4, 5, 7, 9}) {
+    const auto model = characterise_multiplier(device_, wl, 9, ss);
+    std::size_t erroneous = 0;
+    for (std::uint32_t m = 0; m < model.num_multiplicands(); ++m)
+      if (model.variance(m, kTargetClockMhz) > 0.0) ++erroneous;
+    const double fraction = static_cast<double>(erroneous) /
+                            static_cast<double>(model.num_multiplicands());
+    EXPECT_GE(fraction, prev_fraction) << "wl=" << wl;
+    prev_fraction = fraction;
+  }
+  EXPECT_GT(prev_fraction, 0.25);  // wl=9 has plenty of error-prone codes
+}
+
+TEST_F(CalibrationTest, LargeWordlengthsErrAtTarget) {
+  SweepSettings ss;
+  ss.freqs_mhz = {kTargetClockMhz};
+  ss.locations = {reference_location_1()};
+  ss.samples_per_point = 250;
+  const auto model = characterise_multiplier(device_, 9, 9, ss);
+  std::size_t erroneous = 0;
+  for (std::uint32_t m = 0; m < model.num_multiplicands(); ++m)
+    if (model.variance(m, kTargetClockMhz) > 0.0) ++erroneous;
+  // A sizeable fraction of multiplicands errs, and a usable set stays
+  // clean — the optimisation space the framework navigates.
+  EXPECT_GT(erroneous, model.num_multiplicands() / 5);
+  EXPECT_LT(erroneous, model.num_multiplicands() * 95 / 100);
+}
+
+TEST_F(CalibrationTest, Figure4ConditionsShowErrorsAtBothLocations) {
+  CharCircuitConfig cc;
+  cc.wl_m = 8;
+  cc.wl_x = 8;
+  const auto xs = uniform_stream(8, 4000, 77);
+  for (const auto& loc : {reference_location_1(), reference_location_2()}) {
+    CharacterisationCircuit circuit(cc, device_, loc);
+    const auto trace = circuit.run(kFig4Multiplicand, xs, kFig4ClockMhz);
+    const double rate =
+        static_cast<double>(trace.erroneous) / static_cast<double>(xs.size());
+    EXPECT_GT(rate, 0.005) << "loc (" << loc.x << "," << loc.y << ")";
+    EXPECT_LT(rate, 0.5);
+  }
+}
+
+TEST_F(CalibrationTest, TwoLocationsDifferInErrorPattern) {
+  CharCircuitConfig cc;
+  cc.wl_m = 8;
+  cc.wl_x = 8;
+  const auto xs = uniform_stream(8, 4000, 77);
+  CharacterisationCircuit c1(cc, device_, reference_location_1());
+  CharacterisationCircuit c2(cc, device_, reference_location_2());
+  const auto t1 = c1.run(kFig4Multiplicand, xs, kFig4ClockMhz, 5);
+  const auto t2 = c2.run(kFig4Multiplicand, xs, kFig4ClockMhz, 5);
+  EXPECT_NE(t1.error, t2.error);  // Figure 4's location-dependent patterns
+}
+
+TEST_F(CalibrationTest, SupportLogicWellAboveErrorRegion) {
+  CharCircuitConfig cc;
+  CharacterisationCircuit circuit(cc, device_, reference_location_1());
+  EXPECT_GT(circuit.support_fmax_mhz(), 450.0);
+}
+
+TEST_F(CalibrationTest, ReferenceDieIsTypicalSilicon) {
+  EXPECT_GT(device_.inter_die_factor(), 0.95);
+  EXPECT_LT(device_.inter_die_factor(), 1.05);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,171 @@
+// End-to-end reproduction smoke test: the complete pipeline at reduced
+// sizes must reproduce the paper's headline shape — OF designs behave as
+// predicted under over-clocking and beat equal-area KLT designs at the
+// 310 MHz target, where high-word-length KLT designs degrade badly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "area/area_model.hpp"
+#include "charlib/sweep.hpp"
+#include "core/algorithm1.hpp"
+#include "core/baseline.hpp"
+#include "core/circuit_eval.hpp"
+#include "core/objective.hpp"
+#include "core/synthetic.hpp"
+#include "fabric/calibration.hpp"
+
+namespace oclp {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    device_ = new Device(reference_device_config(), kReferenceDieSeed);
+    device_->set_temperature(kCharacterisationTempC);
+
+    SyntheticDataConfig dc;
+    dc.cases = 100;
+    x_train_ = new Matrix(make_synthetic_dataset(dc));
+    dc.cases = 600;
+    dc.seed = 99;
+    x_test_ = new Matrix(make_synthetic_dataset(dc));
+
+    SweepSettings ss;
+    ss.freqs_mhz = {kTargetClockMhz};
+    ss.locations = {reference_location_1(), reference_location_2()};
+    ss.samples_per_point = 300;
+    models_ = new std::map<int, ErrorModel>;
+    for (int wl = 3; wl <= 9; ++wl)
+      models_->emplace(wl, characterise_multiplier(*device_, wl, 9, ss));
+    area_ = new AreaModel(AreaModel::fit(collect_area_samples(3, 9, 9, 12, 5)));
+
+    OptimisationSettings os;
+    os.beta = 4.0;
+    os.gibbs.burn_in = 300;
+    os.gibbs.samples = 800;
+    os.gibbs.seed = 7;
+    OptimisationFramework of(os, *x_train_, *models_, *area_);
+    of_designs_ = new std::vector<LinearProjectionDesign>(of.run());
+    mu_ = new std::vector<double>(of.data_mean());
+    klt_designs_ = new std::vector<LinearProjectionDesign>(make_klt_family(
+        *x_train_, 3, 3, 9, kTargetClockMhz, 9, *area_, models_));
+  }
+
+  static void TearDownTestSuite() {
+    delete device_;
+    delete x_train_;
+    delete x_test_;
+    delete models_;
+    delete area_;
+    delete of_designs_;
+    delete klt_designs_;
+    delete mu_;
+    device_ = nullptr;
+  }
+
+  static double actual_mse(const LinearProjectionDesign& d, std::uint64_t seed) {
+    return evaluate_hardware_mse(d, *x_test_, *mu_, *device_,
+                                 actual_plan(d, *device_, seed), 9, models_,
+                                 seed + 1);
+  }
+
+  static Device* device_;
+  static Matrix* x_train_;
+  static Matrix* x_test_;
+  static std::map<int, ErrorModel>* models_;
+  static AreaModel* area_;
+  static std::vector<LinearProjectionDesign>* of_designs_;
+  static std::vector<LinearProjectionDesign>* klt_designs_;
+  static std::vector<double>* mu_;
+};
+
+Device* IntegrationTest::device_ = nullptr;
+Matrix* IntegrationTest::x_train_ = nullptr;
+Matrix* IntegrationTest::x_test_ = nullptr;
+std::map<int, ErrorModel>* IntegrationTest::models_ = nullptr;
+AreaModel* IntegrationTest::area_ = nullptr;
+std::vector<LinearProjectionDesign>* IntegrationTest::of_designs_ = nullptr;
+std::vector<LinearProjectionDesign>* IntegrationTest::klt_designs_ = nullptr;
+std::vector<double>* IntegrationTest::mu_ = nullptr;
+
+TEST_F(IntegrationTest, FrameworkProducesDesigns) {
+  ASSERT_FALSE(of_designs_->empty());
+  EXPECT_LE(of_designs_->size(), 5u);
+}
+
+TEST_F(IntegrationTest, OfDesignsAvoidOverclockingErrors) {
+  // β = 4 nearly forbids error-prone coefficients: the predicted
+  // over-clocking variance must be negligible next to the training MSE.
+  for (const auto& d : *of_designs_)
+    EXPECT_LT(d.predicted_overclock_var / static_cast<double>(d.dims_p()),
+              d.training_mse * 0.5)
+        << d.origin;
+}
+
+TEST_F(IntegrationTest, OfDesignsBehaveAsPredictedOnHardware) {
+  // Paper Fig. 10/11: OF designs behave as expected under over-clocking —
+  // actual MSE within a small factor of predicted.
+  for (const auto& d : *of_designs_) {
+    const double actual = actual_mse(d, 0xACDC);
+    EXPECT_LT(actual, d.predicted_objective() * 4.0 + 5e-5) << d.origin;
+  }
+}
+
+TEST_F(IntegrationTest, HighWordlengthKltDegradesAtTarget) {
+  // Paper Fig. 8/11: large-footprint KLT designs operate with errors at
+  // 310 MHz.
+  const auto& klt9 = klt_designs_->back();
+  ASSERT_EQ(klt9.columns.front().wordlength, 9);
+  const double actual = actual_mse(klt9, 0xACDC);
+  EXPECT_GT(actual, klt9.training_mse * 5.0);
+}
+
+TEST_F(IntegrationTest, OfBeatsKltAtComparableAreaUnderOverclocking) {
+  // The headline: for every KLT design with wl >= 7 (where over-clocking
+  // errors are robust to placement luck), there is an OF design of no
+  // larger area with an order-of-magnitude-ish lower actual MSE.
+  int comparisons = 0;
+  double worst_ratio = 1e18;
+  double ratio_product = 1.0;
+  for (const auto& klt : *klt_designs_) {
+    if (klt.columns.front().wordlength < 7) continue;
+    const LinearProjectionDesign* best_of = nullptr;
+    for (const auto& of : *of_designs_)
+      if (of.area_estimate <= klt.area_estimate * 1.05 &&
+          (best_of == nullptr || of.training_mse < best_of->training_mse))
+        best_of = &of;
+    if (best_of == nullptr) continue;
+    const double klt_mse = actual_mse(klt, 0xBEEF);
+    const double of_mse = actual_mse(*best_of, 0xBEEF);
+    const double ratio = klt_mse / of_mse;
+    worst_ratio = std::min(worst_ratio, ratio);
+    ratio_product *= ratio;
+    ++comparisons;
+  }
+  ASSERT_GE(comparisons, 2);
+  EXPECT_GT(worst_ratio, 3.0);  // OF wins every comparison clearly
+  // Geometric-mean improvement is about an order of magnitude.
+  EXPECT_GT(std::pow(ratio_product, 1.0 / comparisons), 8.0);
+}
+
+TEST_F(IntegrationTest, LowWordlengthKltStillWorksAtTarget) {
+  // Small-area designs stay error-free at 310 MHz (Fig. 8's story).
+  const auto& klt3 = klt_designs_->front();
+  ASSERT_EQ(klt3.columns.front().wordlength, 3);
+  const double actual = actual_mse(klt3, 0xACDC);
+  EXPECT_LT(actual, klt3.training_mse * 3.0);
+}
+
+TEST_F(IntegrationTest, SimulatedDomainTracksActualForCleanDesigns) {
+  // Paper Fig. 10: simulation and board agree for designs without errors.
+  const auto& d = of_designs_->front();
+  const double sim = evaluate_hardware_mse(
+      d, *x_test_, *mu_, *device_, simulated_plan(d, reference_location_1()), 9,
+      models_, 3);
+  const double act = actual_mse(d, 0xF00D);
+  EXPECT_LT(std::abs(sim - act), std::max(sim, act) * 0.5 + 2e-5);
+}
+
+}  // namespace
+}  // namespace oclp

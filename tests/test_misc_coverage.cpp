@@ -1,0 +1,119 @@
+// Cross-cutting coverage: file-level persistence, explicit Gibbs scale
+// anchoring, hardware-evaluation input validation, and default-value
+// contracts that client code relies on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "area/area_model.hpp"
+#include "bayes/gibbs.hpp"
+#include "charlib/error_model.hpp"
+#include "core/baseline.hpp"
+#include "core/circuit_eval.hpp"
+#include "core/synthetic.hpp"
+#include "fabric/calibration.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(ErrorModelIo, FileRoundTrip) {
+  ErrorModel model(4, 9, {200.0, 310.0});
+  for (std::uint32_t m = 0; m < 16; ++m) {
+    model.set(m, 0, m * 2.0, -0.5 * m, 0.01 * m / 16.0);
+    model.set(m, 1, m * 7.0, 0.25 * m, 0.03 * m / 16.0);
+  }
+  const auto path =
+      std::filesystem::temp_directory_path() / "oclp_test_error_model.csv";
+  model.save_csv_file(path.string());
+  const auto loaded = ErrorModel::load_csv_file(path.string());
+  std::filesystem::remove(path);
+  for (std::uint32_t m = 0; m < 16; ++m)
+    for (double f : {200.0, 255.0, 310.0})
+      EXPECT_DOUBLE_EQ(loaded.variance(m, f), model.variance(m, f));
+}
+
+TEST(ErrorModelIo, MissingFileThrows) {
+  EXPECT_THROW(ErrorModel::load_csv_file("/nonexistent/path/model.csv"),
+               CheckError);
+}
+
+TEST(GibbsScale, ExplicitFactorVarianceControlsLambdaNorm) {
+  // With an explicit tiny factor variance, the factors must be large and
+  // the loading small — the anchoring knob demonstrably works.
+  Rng rng(3);
+  Matrix x(4, 200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double z = rng.normal(0.0, 0.5);
+    for (std::size_t r = 0; r < 4; ++r)
+      x(r, i) = z * 0.5 + rng.normal(0.0, 0.02);
+  }
+  const auto prior = make_flat_prior(7, 310.0);
+  GibbsSettings settings;
+  settings.burn_in = 150;
+  settings.samples = 400;
+  settings.seed = 9;
+
+  settings.factor_variance = 25.0;  // huge factor scale → tiny λ
+  const auto small = sample_projection(x, prior, settings);
+  settings.factor_variance = 0.01;  // tiny factor scale → λ grid-limited
+  const auto large = sample_projection(x, prior, settings);
+  EXPECT_LT(norm(small.lambda), norm(large.lambda));
+}
+
+TEST(HardwareEval, InputValidation) {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  const AreaModel area = AreaModel::fit(collect_area_samples(5, 5, 9, 3, 1));
+  SyntheticDataConfig dc;
+  dc.cases = 30;
+  const Matrix x = make_synthetic_dataset(dc);
+  const auto design = make_klt_design(x, 2, 5, 200.0, 9, area, nullptr);
+  const auto plan = simulated_plan(design, reference_location_1());
+
+  const std::vector<double> wrong_mu(3, 0.0);  // needs P = 6 entries
+  EXPECT_THROW(evaluate_hardware_mse(design, x, wrong_mu, device, plan, 9,
+                                     nullptr, 1),
+               CheckError);
+  const Matrix wrong_x(4, 10, 0.5);  // wrong dimensionality
+  const std::vector<double> mu(6, 0.5);
+  EXPECT_THROW(evaluate_hardware_mse(design, wrong_x, mu, device, plan, 9,
+                                     nullptr, 1),
+               CheckError);
+}
+
+TEST(DesignDefaults, ArchDefaultsToArray) {
+  LinearProjectionDesign d;
+  EXPECT_EQ(d.arch, MultArch::Array);
+  const AreaModel area = AreaModel::fit(collect_area_samples(4, 4, 9, 2, 1));
+  SyntheticDataConfig dc;
+  dc.cases = 20;
+  const Matrix x = make_synthetic_dataset(dc);
+  EXPECT_EQ(make_klt_design(x, 2, 4, 100.0, 9, area, nullptr).arch,
+            MultArch::Array);
+}
+
+TEST(ReferenceConfig, MatchesPaperAnchors) {
+  // The constants every bench and example assume.
+  EXPECT_EQ(kTargetClockMhz, 310.0);
+  EXPECT_EQ(kFig4ClockMhz, 320.0);
+  EXPECT_EQ(kFig4Multiplicand, 222u);
+  EXPECT_EQ(kCharacterisationTempC, 14.0);
+  const auto cfg = reference_device_config();
+  EXPECT_GT(cfg.slow_corner_factor, 1.0);
+  EXPECT_GT(cfg.tool_guardband, 1.0);
+  EXPECT_NE(reference_location_1().x, reference_location_2().x);
+}
+
+TEST(SimulatedPlan, JitterDefaultsOn) {
+  const AreaModel area = AreaModel::fit(collect_area_samples(4, 4, 9, 2, 1));
+  SyntheticDataConfig dc;
+  dc.cases = 20;
+  const Matrix x = make_synthetic_dataset(dc);
+  const auto design = make_klt_design(x, 2, 4, 100.0, 9, area, nullptr);
+  EXPECT_TRUE(simulated_plan(design, reference_location_1()).with_jitter);
+  Device device(reference_device_config(), kReferenceDieSeed);
+  EXPECT_TRUE(actual_plan(design, device, 1).with_jitter);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -1,0 +1,164 @@
+#include "timing/overclock_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mult/bitcodec.hpp"
+#include "mult/multiplier.hpp"
+#include "netlist/sta.hpp"
+
+namespace oclp {
+namespace {
+
+// A sim over a wa×wb multiplier with uniform per-cell delay.
+OverclockSim make_sim(int wa, int wb, double cell_delay) {
+  Netlist nl = make_multiplier(wa, wb);
+  std::vector<double> delays(nl.num_cells(), 0.0);
+  for (std::size_t i = 0; i < nl.num_cells(); ++i)
+    if (!cell_is_free(nl.cells()[i].type)) delays[i] = cell_delay;
+  return OverclockSim(std::move(nl), std::move(delays));
+}
+
+std::vector<std::uint8_t> mult_inputs(unsigned a, int wa, unsigned b, int wb) {
+  auto bits = to_bits(a, wa);
+  append_bits(bits, b, wb);
+  return bits;
+}
+
+TEST(OverclockSim, StepBeforeResetThrows) {
+  auto sim = make_sim(4, 4, 1.0);
+  EXPECT_THROW(sim.step(mult_inputs(1, 4, 1, 4), 100.0), CheckError);
+}
+
+TEST(OverclockSim, SlowClockMatchesFunctionalModel) {
+  auto sim = make_sim(4, 4, 1.0);
+  Rng rng(3);
+  sim.reset(mult_inputs(0, 4, 0, 4));
+  for (int i = 0; i < 200; ++i) {
+    const unsigned a = rng.uniform_u64(16), b = rng.uniform_u64(16);
+    const auto out = sim.step(mult_inputs(a, 4, b, 4), 1000.0);
+    EXPECT_EQ(from_bits(out), static_cast<std::uint64_t>(a) * b);
+  }
+}
+
+TEST(OverclockSim, PeriodAtCriticalPathIsErrorFree) {
+  Netlist nl = make_multiplier(5, 5);
+  std::vector<double> delays(nl.num_cells(), 0.0);
+  for (std::size_t i = 0; i < nl.num_cells(); ++i)
+    if (!cell_is_free(nl.cells()[i].type)) delays[i] = 0.7;
+  const double critical = static_timing(nl, delays).critical_path_ns;
+  OverclockSim sim(std::move(nl), std::move(delays));
+  Rng rng(5);
+  sim.reset(mult_inputs(0, 5, 0, 5));
+  for (int i = 0; i < 300; ++i) {
+    const unsigned a = rng.uniform_u64(32), b = rng.uniform_u64(32);
+    const auto out = sim.step(mult_inputs(a, 5, b, 5), critical);
+    ASSERT_EQ(from_bits(out), static_cast<std::uint64_t>(a) * b);
+    ASSERT_LE(sim.last_output_settle_ns(), critical);
+  }
+}
+
+TEST(OverclockSim, AbsurdOverclockProducesStaleOutputs) {
+  auto sim = make_sim(4, 4, 1.0);
+  sim.reset(mult_inputs(15, 4, 15, 4));  // settled at 225
+  // A period far below one cell delay: nothing settles; the register keeps
+  // the previous frame's values.
+  const auto out = sim.step(mult_inputs(3, 4, 3, 4), 0.01);
+  EXPECT_EQ(from_bits(out), 225u);
+}
+
+TEST(OverclockSim, NoInputChangeNoError) {
+  auto sim = make_sim(6, 6, 1.0);
+  sim.reset(mult_inputs(42, 6, 17, 6));
+  for (int i = 0; i < 5; ++i) {
+    const auto out = sim.step(mult_inputs(42, 6, 17, 6), 0.01);
+    EXPECT_EQ(from_bits(out), 42u * 17u);  // nothing toggles, nothing fails
+    EXPECT_DOUBLE_EQ(sim.last_output_settle_ns(), 0.0);
+  }
+}
+
+TEST(OverclockSim, ErrorsAreMonotoneInPeriod) {
+  // For the same stream, a longer period can only capture more settled
+  // bits: per-sample errors at period T2 > T1 are a subset.
+  Rng rng(7);
+  std::vector<std::pair<unsigned, unsigned>> stream;
+  for (int i = 0; i < 400; ++i)
+    stream.emplace_back(rng.uniform_u64(256), rng.uniform_u64(256));
+
+  auto run = [&](double period) {
+    auto sim = make_sim(8, 8, 0.4);
+    sim.reset(mult_inputs(0, 8, 0, 8));
+    int errors = 0;
+    for (const auto& [a, b] : stream) {
+      const auto out = sim.step(mult_inputs(a, 8, b, 8), period);
+      if (from_bits(out) != static_cast<std::uint64_t>(a) * b) ++errors;
+    }
+    return errors;
+  };
+
+  int prev = run(2.0);
+  EXPECT_GT(prev, 0);
+  for (double period : {2.5, 3.0, 3.5, 4.5, 6.0, 9.0}) {
+    const int e = run(period);
+    EXPECT_LE(e, prev) << "period " << period;
+    prev = e;
+  }
+  EXPECT_EQ(prev, 0);  // slow enough: error-free
+}
+
+TEST(OverclockSim, MsbsFailBeforeLsbs) {
+  // Moderate over-clocking: the long MSb chains miss timing while the LSBs
+  // still settle — the paper's "high error values are expected".
+  Rng rng(11);
+  auto sim = make_sim(8, 8, 0.4);
+  sim.reset(mult_inputs(0, 8, 0, 8));
+  std::vector<int> bit_errors(16, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned a = rng.uniform_u64(256), b = rng.uniform_u64(256);
+    const auto out = sim.step(mult_inputs(a, 8, b, 8), 3.2);
+    const auto truth = static_cast<std::uint64_t>(a) * b;
+    const auto got = from_bits(out);
+    for (int bit = 0; bit < 16; ++bit)
+      if (((got ^ truth) >> bit) & 1) ++bit_errors[bit];
+  }
+  int low = 0, high = 0;
+  for (int bit = 0; bit < 8; ++bit) low += bit_errors[bit];
+  for (int bit = 8; bit < 16; ++bit) high += bit_errors[bit];
+  EXPECT_GT(high, low);
+  EXPECT_EQ(bit_errors[0], 0);  // product LSB is a single AND gate
+}
+
+TEST(OverclockSim, DataDependence_SparseMultiplicandFailsLess) {
+  // m = 1 (single partial product) vs m = 255 (all rows toggling).
+  Rng rng(13);
+  std::vector<unsigned> xs;
+  for (int i = 0; i < 1500; ++i) xs.push_back(rng.uniform_u64(256));
+
+  auto errors_for = [&](unsigned m) {
+    auto sim = make_sim(8, 8, 0.4);
+    sim.reset(mult_inputs(m, 8, 0, 8));
+    int errors = 0;
+    for (unsigned x : xs) {
+      const auto out = sim.step(mult_inputs(m, 8, x, 8), 3.2);
+      if (from_bits(out) != static_cast<std::uint64_t>(m) * x) ++errors;
+    }
+    return errors;
+  };
+
+  EXPECT_LT(errors_for(1), errors_for(255));
+  EXPECT_EQ(errors_for(0), 0);  // zero multiplicand: nothing ever toggles
+}
+
+TEST(OverclockSim, DelaySizeMismatchThrows) {
+  Netlist nl = make_multiplier(3, 3);
+  EXPECT_THROW(OverclockSim(std::move(nl), {1.0, 2.0}), CheckError);
+}
+
+TEST(OverclockSim, InvalidPeriodThrows) {
+  auto sim = make_sim(3, 3, 1.0);
+  sim.reset(mult_inputs(0, 3, 0, 3));
+  EXPECT_THROW(sim.step(mult_inputs(1, 3, 1, 3), 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp
