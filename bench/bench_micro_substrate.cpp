@@ -1,9 +1,20 @@
 // Micro-benchmarks of the substrate hot paths (google-benchmark): gate
 // netlist evaluation, the two-frame over-clocking step, STA, the
-// characterisation stream, and coefficient quantisation. These bound how
-// long a full device characterisation takes (millions of multiplications
-// per E(m, f) table).
+// characterisation stream (per-frequency reference and single-pass
+// multi-frequency), and coefficient quantisation. These bound how long a
+// full device characterisation takes (millions of multiplications per
+// E(m, f) table).
+//
+// Besides the google-benchmark suite, main() runs a fixed sweep-throughput
+// probe — an 8×8 characterisation over a 12-point frequency grid — through
+// both the per-frequency reference path and the single-pass engine, and
+// writes the result to BENCH_substrate.json so successive PRs can track
+// the sweep-throughput trajectory mechanically.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 
 #include "charlib/char_circuit.hpp"
 #include "charlib/sweep.hpp"
@@ -83,6 +94,30 @@ void BM_CharacterisationStream(benchmark::State& state) {
 }
 BENCHMARK(BM_CharacterisationStream);
 
+// The single-pass engine on an F-point grid: items = characterised
+// (sample, frequency) points, so the per-item time is directly comparable
+// with BM_CharacterisationStream run F times.
+void BM_CharacterisationStreamMulti(benchmark::State& state) {
+  const std::size_t num_freqs = static_cast<std::size_t>(state.range(0));
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  CharCircuitConfig cfg;
+  cfg.with_jitter = false;
+  CharacterisationCircuit circuit(cfg, device, reference_location_1());
+  const auto xs = uniform_stream(8, 256, 3);
+  const double lo = circuit.dut_tool_fmax_mhz();
+  const double hi = circuit.support_fmax_mhz() * 0.9;
+  std::vector<double> freqs;
+  for (std::size_t i = 0; i < num_freqs; ++i)
+    freqs.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                             static_cast<double>(num_freqs));
+  CharacterisationCircuit::Workspace ws;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(circuit.run_multi(222, xs, freqs, 3, &ws));
+  state.SetItemsProcessed(state.iterations() * xs.size() * num_freqs);
+}
+BENCHMARK(BM_CharacterisationStreamMulti)->Arg(4)->Arg(12)->Arg(32);
+
 void BM_QuantizeCoeff(benchmark::State& state) {
   Rng rng(4);
   for (auto _ : state)
@@ -98,6 +133,83 @@ void BM_DeviceConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_DeviceConstruction);
 
+// --- Sweep-throughput probe (machine-readable trajectory) ---
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void write_sweep_probe(const char* path) {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  CharCircuitConfig cfg;  // 8×8 DUT
+  cfg.with_jitter = false;
+  CharacterisationCircuit circuit(cfg, device, reference_location_1());
+
+  const std::size_t num_freqs = 12, num_m = 256;
+  const double lo = circuit.dut_tool_fmax_mhz();
+  const double hi = std::min(circuit.support_fmax_mhz() * 0.95,
+                             circuit.dut_device_fmax_mhz() * 1.4);
+  std::vector<double> freqs;
+  for (std::size_t i = 0; i < num_freqs; ++i)
+    freqs.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                             static_cast<double>(num_freqs - 1));
+  const auto xs = uniform_stream(8, 64, 3);
+  const double total_samples =
+      static_cast<double>(num_m) * static_cast<double>(xs.size()) *
+      static_cast<double>(num_freqs);
+
+  // Single-pass path: one stream simulation per multiplicand.
+  std::size_t checksum_single = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  CharacterisationCircuit::Workspace ws;
+  for (std::size_t m = 0; m < num_m; ++m) {
+    const auto traces =
+        circuit.run_multi(static_cast<std::uint32_t>(m), xs, freqs, m, &ws);
+    for (const auto& t : traces) checksum_single += t.erroneous;
+  }
+  const double dt_single = seconds_since(t0);
+
+  // Per-frequency reference path: one stream simulation per (m, f).
+  std::size_t checksum_ref = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t m = 0; m < num_m; ++m)
+    for (double f : freqs)
+      checksum_ref +=
+          circuit.run(static_cast<std::uint32_t>(m), xs, f, m).erroneous;
+  const double dt_ref = seconds_since(t0);
+
+  const double sps_single = total_samples / dt_single;
+  const double sps_ref = total_samples / dt_ref;
+
+  std::ofstream os(path);
+  os.precision(10);
+  os << "{\n"
+     << "  \"bench\": \"sweep_throughput\",\n"
+     << "  \"wl_m\": 8,\n  \"wl_x\": 8,\n"
+     << "  \"freq_points\": " << num_freqs << ",\n"
+     << "  \"samples_per_point\": " << xs.size() << ",\n"
+     << "  \"multiplicands\": " << num_m << ",\n"
+     << "  \"single_pass_samples_per_sec\": " << sps_single << ",\n"
+     << "  \"per_freq_reference_samples_per_sec\": " << sps_ref << ",\n"
+     << "  \"speedup\": " << sps_single / sps_ref << ",\n"
+     << "  \"erroneous_checksum_match\": "
+     << (checksum_single == checksum_ref ? "true" : "false") << "\n"
+     << "}\n";
+  std::printf(
+      "sweep_throughput: single-pass %.3g samples/s, per-freq reference "
+      "%.3g samples/s, speedup %.2fx, checksums %s -> %s\n",
+      sps_single, sps_ref, sps_single / sps_ref,
+      checksum_single == checksum_ref ? "match" : "MISMATCH", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_sweep_probe("BENCH_substrate.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

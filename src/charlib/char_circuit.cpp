@@ -1,7 +1,9 @@
 #include "charlib/char_circuit.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <map>
+#include <utility>
 
 #include "fabric/timing_annotation.hpp"
 #include "mult/bitcodec.hpp"
@@ -10,6 +12,17 @@
 namespace oclp {
 
 namespace {
+
+std::atomic<std::size_t> circuit_constructions{0};
+
+// Build the DUT simulator without duplicating the netlist: one build, one
+// annotation pass on that same netlist.
+OverclockSim make_dut_sim(const CharCircuitConfig& cfg, const Device& device,
+                          const Placement& placement) {
+  Netlist dut = make_multiplier_arch(cfg.arch, cfg.wl_m, cfg.wl_x);
+  std::vector<double> delays = annotate_timing(dut, device, placement);
+  return OverclockSim(std::move(dut), std::move(delays));
+}
 
 // Balanced AND over a bit range with memoised subranges — the carry cone of
 // a fast (carry-select-like) BRAM address counter has logarithmic depth.
@@ -28,6 +41,10 @@ std::int32_t range_and(NetlistBuilder& nb, const std::vector<std::int32_t>& bits
 }
 
 }  // namespace
+
+std::size_t CharacterisationCircuit::construction_count() {
+  return circuit_constructions.load(std::memory_order_relaxed);
+}
 
 Netlist make_support_logic(std::size_t bram_depth) {
   OCLP_CHECK(bram_depth >= 2);
@@ -78,10 +95,9 @@ CharacterisationCircuit::CharacterisationCircuit(const CharCircuitConfig& cfg,
     : cfg_(cfg),
       device_(&device),
       placement_(placement),
-      sim_(make_multiplier_arch(cfg.arch, cfg.wl_m, cfg.wl_x),
-           annotate_timing(make_multiplier_arch(cfg.arch, cfg.wl_m, cfg.wl_x),
-                           device, placement)) {
+      sim_(make_dut_sim(cfg, device, placement)) {
   OCLP_CHECK(cfg.wl_m >= 1 && cfg.wl_x >= 1 && cfg.bram_depth >= 2);
+  circuit_constructions.fetch_add(1, std::memory_order_relaxed);
 
   dut_tool_fmax_mhz_ = tool_fmax_mhz(sim_.netlist(), device.config());
   dut_device_fmax_mhz_ =
@@ -139,7 +155,7 @@ CharTrace CharacterisationCircuit::run(std::uint32_t m,
       const std::uint32_t x = xs[processed + i];
       OCLP_DCHECK(x < (1u << cfg_.wl_x));
       encode(x);
-      const auto out = sim_.step(in, clock.next_period_ns());
+      const auto& out = sim_.step(in, clock.next_period_ns());
       const std::uint64_t obs = from_bits(out);
       const std::uint64_t exp =
           static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(x);
@@ -152,6 +168,98 @@ CharTrace CharacterisationCircuit::run(std::uint32_t m,
     processed += batch;
   }
   return trace;
+}
+
+std::vector<CharTrace> CharacterisationCircuit::run_multi(
+    std::uint32_t m, const std::vector<std::uint32_t>& xs,
+    const std::vector<double>& freqs_mhz, std::uint64_t jitter_seed,
+    Workspace* workspace) const {
+  OCLP_CHECK_MSG(m < (1u << cfg_.wl_m), "multiplicand " << m << " exceeds "
+                                            << cfg_.wl_m << " bits");
+  OCLP_CHECK_MSG(!freqs_mhz.empty(), "run_multi needs at least one frequency");
+  for (double f : freqs_mhz) {
+    OCLP_CHECK(f > 0.0);
+    OCLP_CHECK_MSG(f < support_fmax_mhz_,
+                   "mult_clk " << f << " MHz exceeds supporting-logic Fmax "
+                               << support_fmax_mhz_ << " MHz");
+  }
+  OCLP_CHECK_MSG(cfg_.fsm_clock_mhz < support_fmax_mhz_,
+                 "fsm_clk exceeds supporting-logic Fmax");
+
+  const std::size_t nf = freqs_mhz.size();
+  std::vector<double> periods(nf);
+  for (std::size_t fi = 0; fi < nf; ++fi) periods[fi] = 1000.0 / freqs_mhz[fi];
+
+  // Same jitter model as ClockGen (clamped Gaussian), but drawn once per
+  // sample: the settle snapshot is shared, so the *same* launch edge is
+  // sampled by every frequency's register with its own period. Each
+  // frequency's period sequence keeps the per-frequency distribution.
+  const double sigma =
+      cfg_.with_jitter ? device_->config().jitter_sigma_ns : 0.0;
+  Rng jitter_rng(hash_mix(jitter_seed, m, 0x3417ULL));
+
+  Workspace local;
+  Workspace& ws = workspace ? *workspace : local;
+
+  std::vector<CharTrace> traces(nf);
+  for (auto& t : traces) {
+    t.observed.reserve(xs.size());
+    t.expected.reserve(xs.size());
+    t.error.reserve(xs.size());
+  }
+
+  std::vector<std::uint8_t> in;
+  in.reserve(static_cast<std::size_t>(cfg_.wl_m + cfg_.wl_x));
+  auto encode = [&](std::uint32_t x) {
+    in.clear();
+    append_bits(in, m, cfg_.wl_m);
+    append_bits(in, x, cfg_.wl_x);
+  };
+
+  encode(0);
+  sim_.reset(ws, in);
+
+  std::size_t processed = 0;
+  while (processed < xs.size()) {
+    const std::size_t batch = std::min(cfg_.bram_depth, xs.size() - processed);
+    // FSM bookkeeping per virtual per-frequency run (see run()).
+    for (auto& t : traces) t.fsm_cycles += 2 * batch + 4;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::uint32_t x = xs[processed + i];
+      OCLP_DCHECK(x < (1u << cfg_.wl_x));
+      encode(x);
+      sim_.advance(ws, in);
+
+      double j = 0.0;
+      if (sigma > 0.0) {
+        j = jitter_rng.normal(0.0, sigma);
+        const double lim = 4.0 * sigma;  // ClockGen's ±4σ clamp
+        if (j > lim) j = lim;
+        if (j < -lim) j = -lim;
+      }
+
+      const std::uint64_t exp =
+          static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(x);
+      const std::size_t nbits = ws.out_settle.size();
+      for (std::size_t fi = 0; fi < nf; ++fi) {
+        const double period = periods[fi] + j;
+        std::uint64_t obs = 0;
+        for (std::size_t k = 0; k < nbits; ++k) {
+          const std::uint8_t bit =
+              ws.out_settle[k] <= period ? ws.out_next[k] : ws.out_prev[k];
+          obs |= static_cast<std::uint64_t>(bit) << k;
+        }
+        CharTrace& t = traces[fi];
+        t.observed.push_back(obs);
+        t.expected.push_back(exp);
+        t.error.push_back(static_cast<std::int64_t>(obs) -
+                          static_cast<std::int64_t>(exp));
+        if (obs != exp) ++t.erroneous;
+      }
+    }
+    processed += batch;
+  }
+  return traces;
 }
 
 }  // namespace oclp

@@ -7,6 +7,18 @@
 // supporting modules are engineered so their critical path stays far above
 // the DUT's error region — the model verifies that invariant instead of
 // assuming it.
+//
+// Characterisation offers two drivers:
+//  * run()       — the per-frequency reference path: a full two-frame
+//                  simulation of the stream at one clock frequency.
+//  * run_multi() — the single-pass path: settle times are frequency-
+//                  independent (inputs are registered and the previous
+//                  frame is always fully settled), so one pass over the
+//                  stream yields the traces of *all* frequency points by
+//                  threshold-sampling each sample's settle snapshot at
+//                  every period. run_multi() is const and thread-safe over
+//                  caller-owned workspaces, which lets a sweep share one
+//                  circuit per location across all multiplicands.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +52,9 @@ struct CharTrace {
 
 class CharacterisationCircuit {
  public:
+  /// Per-thread scratch state for the const run_multi() path.
+  using Workspace = OverclockSim::State;
+
   CharacterisationCircuit(const CharCircuitConfig& cfg, const Device& device,
                           const Placement& placement);
 
@@ -55,9 +70,28 @@ class CharacterisationCircuit {
 
   /// Stream `xs` through the DUT with the multiplicand fixed to `m`,
   /// clocked at `freq_mhz`. Throws if the supporting logic could not keep
-  /// up (the framework must never inject errors of its own).
+  /// up (the framework must never inject errors of its own). This is the
+  /// per-frequency reference path; characterisation sweeps use
+  /// run_multi() instead.
   CharTrace run(std::uint32_t m, const std::vector<std::uint32_t>& xs,
                 double freq_mhz, std::uint64_t jitter_seed = 1);
+
+  /// Single pass over `xs` yielding one trace per entry of `freqs_mhz`.
+  /// PLL jitter (when configured) is drawn once per sample and applied to
+  /// every frequency's period, so each frequency's period sequence has
+  /// exactly the per-frequency path's distribution; with jitter disabled
+  /// the traces are bitwise identical to running run() per frequency.
+  /// Thread-safe: concurrent calls must pass distinct workspaces (or
+  /// nullptr for a call-local one).
+  std::vector<CharTrace> run_multi(std::uint32_t m,
+                                   const std::vector<std::uint32_t>& xs,
+                                   const std::vector<double>& freqs_mhz,
+                                   std::uint64_t jitter_seed = 1,
+                                   Workspace* workspace = nullptr) const;
+
+  /// Test hook: process-wide count of CharacterisationCircuit
+  /// constructions, to pin "one circuit per location per sweep".
+  static std::size_t construction_count();
 
  private:
   CharCircuitConfig cfg_;

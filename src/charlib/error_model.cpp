@@ -115,11 +115,13 @@ ErrorModel ErrorModel::load_csv(std::istream& is) {
   }
   OCLP_CHECK(!rows.empty());
 
+  // Sorted-unique pass over the frequency column: a per-row linear scan is
+  // O(rows²) on large multi-frequency grids.
   std::vector<double> freqs;
-  for (const auto& r : rows)
-    if (std::find(freqs.begin(), freqs.end(), r.freq) == freqs.end())
-      freqs.push_back(r.freq);
+  freqs.reserve(rows.size());
+  for (const auto& r : rows) freqs.push_back(r.freq);
   std::sort(freqs.begin(), freqs.end());
+  freqs.erase(std::unique(freqs.begin(), freqs.end()), freqs.end());
 
   ErrorModel model(rows.front().wl_m, rows.front().wl_x, freqs);
   for (const auto& r : rows) {

@@ -40,25 +40,39 @@ ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
   ccfg.fsm_clock_mhz = settings.fsm_clock_mhz;
   ccfg.bram_depth = settings.bram_depth;
 
+  // One circuit per location for the whole sweep: construction (netlist
+  // build + timing annotation + STA) dwarfs a single stream run, so it
+  // must not sit inside the per-multiplicand loop. Workers share the
+  // circuits through the const single-pass API with per-thread workspaces.
+  std::vector<CharacterisationCircuit> circuits;
+  circuits.reserve(settings.locations.size());
+  for (const auto& loc : settings.locations)
+    circuits.emplace_back(ccfg, device, loc);
+
   auto worker = [&](std::size_t mi) {
+    thread_local CharacterisationCircuit::Workspace ws;
     const auto m = static_cast<std::uint32_t>(mi);
-    // Per-(m) circuits: one per location, reused across the frequency grid.
-    for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
-      RunningStats err;
-      std::size_t erroneous = 0, total = 0;
-      for (const auto& loc : settings.locations) {
-        CharacterisationCircuit circuit(ccfg, device, loc);
-        const auto trace = circuit.run(
-            m, stream, freqs[fi],
-            hash_mix(settings.stream_seed, mi, fi * 31 + loc.route_seed));
-        for (auto e : trace.error) err.add(static_cast<double>(e));
-        erroneous += trace.erroneous;
-        total += trace.error.size();
+    std::vector<RunningStats> err(freqs.size());
+    std::vector<std::size_t> erroneous(freqs.size(), 0);
+    std::vector<std::size_t> total(freqs.size(), 0);
+    // One pass over the stream per location yields every frequency point.
+    for (std::size_t li = 0; li < circuits.size(); ++li) {
+      const auto traces = circuits[li].run_multi(
+          m, stream, freqs,
+          hash_mix(settings.stream_seed, mi,
+                   settings.locations[li].route_seed),
+          &ws);
+      for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+        for (auto e : traces[fi].error) err[fi].add(static_cast<double>(e));
+        erroneous[fi] += traces[fi].erroneous;
+        total[fi] += traces[fi].error.size();
       }
-      model.set(m, fi, err.variance(), err.mean(),
-                total ? static_cast<double>(erroneous) / static_cast<double>(total)
-                      : 0.0);
     }
+    for (std::size_t fi = 0; fi < freqs.size(); ++fi)
+      model.set(m, fi, err[fi].variance(), err[fi].mean(),
+                total[fi] ? static_cast<double>(erroneous[fi]) /
+                                static_cast<double>(total[fi])
+                          : 0.0);
   };
 
   if (pool == nullptr) pool = &ThreadPool::global();
@@ -72,51 +86,96 @@ std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
                                              std::size_t samples,
                                              std::uint64_t seed, ThreadPool* pool) {
   OCLP_CHECK(!freqs_mhz.empty() && samples >= 2);
-  std::vector<ErrorRatePoint> curve(freqs_mhz.size());
+  const std::size_t nf = freqs_mhz.size();
 
   CharCircuitConfig ccfg;
   ccfg.wl_m = wl_a;
   ccfg.wl_x = wl_b;
 
-  // Both operands random: reuse the characterisation circuit by streaming a
-  // fresh random multiplicand per short burst. Bursts keep the fixed-port
-  // semantics of the circuit while exercising the whole operand space.
+  // One circuit for the whole curve; every frequency point comes from the
+  // same single-pass stream.
+  CharacterisationCircuit circuit(ccfg, device, placement);
+
+  // Both operands random: stream a fresh random multiplicand per short
+  // burst. Bursts keep the fixed-port semantics of the circuit while
+  // exercising the whole operand space; their specs are pre-drawn so the
+  // bursts can run in parallel yet merge deterministically in order.
   const std::size_t burst = 16;
-  auto worker = [&](std::size_t fi) {
-    Rng rng(hash_mix(seed, fi, 0xF19uLL));
-    CharacterisationCircuit circuit(ccfg, device, placement);
-    RunningStats err;
-    std::size_t erroneous = 0, total = 0;
-    std::size_t remaining = samples;
-    while (remaining > 0) {
-      const std::size_t n = std::min(burst, remaining);
-      const auto m =
-          static_cast<std::uint32_t>(rng.uniform_u64(std::uint64_t{1} << wl_a));
-      auto xs = uniform_stream(wl_b, n, rng.next());
-      const auto trace = circuit.run(m, xs, freqs_mhz[fi], rng.next());
-      for (auto e : trace.error) err.add(static_cast<double>(e));
-      erroneous += trace.erroneous;
-      total += trace.error.size();
-      remaining -= n;
+  struct BurstSpec {
+    std::uint32_t m;
+    std::uint64_t xs_seed, jitter_seed;
+    std::size_t n;
+  };
+  std::vector<BurstSpec> bursts;
+  bursts.reserve((samples + burst - 1) / burst);
+  Rng rng(hash_mix(seed, 0xF19uLL));
+  for (std::size_t remaining = samples; remaining > 0;) {
+    BurstSpec b;
+    b.n = std::min(burst, remaining);
+    b.m = static_cast<std::uint32_t>(rng.uniform_u64(std::uint64_t{1} << wl_a));
+    b.xs_seed = rng.next();
+    b.jitter_seed = rng.next();
+    bursts.push_back(b);
+    remaining -= b.n;
+  }
+
+  std::vector<std::vector<RunningStats>> burst_err(
+      bursts.size(), std::vector<RunningStats>(nf));
+  std::vector<std::vector<std::size_t>> burst_bad(
+      bursts.size(), std::vector<std::size_t>(nf, 0));
+
+  auto worker = [&](std::size_t bi) {
+    thread_local CharacterisationCircuit::Workspace ws;
+    const auto& b = bursts[bi];
+    const auto xs = uniform_stream(wl_b, b.n, b.xs_seed);
+    const auto traces =
+        circuit.run_multi(b.m, xs, freqs_mhz, b.jitter_seed, &ws);
+    for (std::size_t fi = 0; fi < nf; ++fi) {
+      for (auto e : traces[fi].error)
+        burst_err[bi][fi].add(static_cast<double>(e));
+      burst_bad[bi][fi] = traces[fi].erroneous;
     }
-    curve[fi] = ErrorRatePoint{
-        freqs_mhz[fi],
-        total ? static_cast<double>(erroneous) / static_cast<double>(total) : 0.0,
-        err.variance()};
   };
 
   if (pool == nullptr) pool = &ThreadPool::global();
-  pool->parallel_for(0, freqs_mhz.size(), worker);
+  pool->parallel_for(0, bursts.size(), worker);
+
+  std::vector<ErrorRatePoint> curve(nf);
+  for (std::size_t fi = 0; fi < nf; ++fi) {
+    RunningStats err;
+    std::size_t bad = 0;
+    for (std::size_t bi = 0; bi < bursts.size(); ++bi) {
+      err.merge(burst_err[bi][fi]);
+      bad += burst_bad[bi][fi];
+    }
+    curve[fi] = ErrorRatePoint{
+        freqs_mhz[fi],
+        samples ? static_cast<double>(bad) / static_cast<double>(samples) : 0.0,
+        err.variance()};
+  }
   return curve;
 }
 
 OperatingRegimes find_regimes(const std::vector<ErrorRatePoint>& curve,
                               double meaningful_rate) {
   OperatingRegimes reg;
-  for (const auto& pt : curve) {
-    if (pt.error_rate == 0.0) reg.error_free_fmax_mhz = std::max(reg.error_free_fmax_mhz, pt.freq_mhz);
-    if (pt.error_rate < meaningful_rate)
-      reg.usable_fmax_mhz = std::max(reg.usable_fmax_mhz, pt.freq_mhz);
+  if (curve.empty()) return reg;
+  std::vector<ErrorRatePoint> pts = curve;
+  std::sort(pts.begin(), pts.end(), [](const ErrorRatePoint& a,
+                                       const ErrorRatePoint& b) {
+    return a.freq_mhz < b.freq_mhz;
+  });
+  // fB is the highest frequency *below the first erroneous point*: a
+  // spurious error-free measurement above the error onset (sampling noise
+  // on a non-monotonic curve) must not extend the error-free regime.
+  for (const auto& pt : pts) {
+    if (pt.error_rate > 0.0) break;
+    reg.error_free_fmax_mhz = pt.freq_mhz;
+  }
+  // Same rule for fC against the meaningful-rate threshold.
+  for (const auto& pt : pts) {
+    if (pt.error_rate >= meaningful_rate) break;
+    reg.usable_fmax_mhz = pt.freq_mhz;
   }
   return reg;
 }

@@ -3,7 +3,10 @@
 // other port with a uniform pseudo-random stream, sweep clock frequencies
 // and placements, and aggregate the observed errors into an ErrorModel.
 // The sweep is embarrassingly parallel over multiplicands and runs on the
-// shared thread pool.
+// shared thread pool. Each location's circuit is constructed exactly once
+// per sweep and shared read-only by the workers; every frequency point of
+// E(m, f) comes from a single pass over the stimulus stream
+// (CharacterisationCircuit::run_multi).
 #pragma once
 
 #include <cstdint>
@@ -51,10 +54,13 @@ std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
                                              std::uint64_t seed = 99,
                                              ThreadPool* pool = nullptr);
 
-/// Operating-regime summary extracted from an error-rate curve: fB = last
-/// error-free frequency, fC = last frequency whose error rate stays below
+/// Operating-regime summary extracted from an error-rate curve: fB = the
+/// highest frequency below the first erroneous point, fC = the highest
+/// frequency below the first point whose error rate reaches
 /// `meaningful_rate` (above fC the design "doesn't produce meaningful
-/// results").
+/// results"). Points are considered in ascending frequency order, so a
+/// spurious zero-error measurement above the error onset cannot extend
+/// either regime.
 struct OperatingRegimes {
   double error_free_fmax_mhz = 0.0;  ///< fB
   double usable_fmax_mhz = 0.0;      ///< fC

@@ -1,10 +1,19 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/check.hpp"
 
 namespace oclp {
+
+namespace {
+// Which pool (if any) owns the current thread. Lets parallel_for detect
+// nested use from inside a worker: blocking on futures there can deadlock
+// (every worker waiting on chunks only the blocked workers could run), so
+// nested calls degrade to inline execution on the calling thread instead.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -22,6 +31,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::current_thread_is_worker() const {
+  return current_worker_pool == this;
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
@@ -37,6 +50,14 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
+  if (current_thread_is_worker()) {
+    // Nested call from one of our own workers: all workers may be blocked
+    // in this same spot, so queueing and waiting can deadlock. The calling
+    // thread runs its range inline — the outer parallel_for already spreads
+    // the work across the pool.
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   const std::size_t n = end - begin;
   // ~4 chunks per worker balances load without flooding the queue.
   const std::size_t chunks = std::min(n, size() * 4);
@@ -49,7 +70,17 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = c0; i < c1; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future before rethrowing: bailing out on the first failure
+  // would leave queued chunks holding a dangling reference to `fn`.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -58,6 +89,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

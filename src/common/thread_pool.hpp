@@ -31,9 +31,15 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end) across the pool and wait for all.
   /// Iterations are distributed in contiguous chunks; exceptions from any
-  /// chunk are rethrown (first one wins).
+  /// chunk are rethrown (first one wins). Safe to call from inside a task
+  /// running on this pool: nested calls execute their range inline on the
+  /// calling worker instead of blocking on the queue (which could deadlock
+  /// with every worker waiting for chunks nobody is free to run).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool current_thread_is_worker() const;
 
   /// Process-wide shared pool for library internals.
   static ThreadPool& global();

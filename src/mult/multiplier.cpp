@@ -1,9 +1,19 @@
 #include "mult/multiplier.hpp"
 
+#include <atomic>
+
 #include "common/rng.hpp"
 #include "mult/wallace.hpp"
 
 namespace oclp {
+
+namespace {
+std::atomic<std::size_t> arch_builds{0};
+}  // namespace
+
+std::size_t multiplier_arch_build_count() {
+  return arch_builds.load(std::memory_order_relaxed);
+}
 
 const char* mult_arch_name(MultArch arch) {
   switch (arch) {
@@ -14,6 +24,7 @@ const char* mult_arch_name(MultArch arch) {
 }
 
 Netlist make_multiplier_arch(MultArch arch, int wl_a, int wl_b) {
+  arch_builds.fetch_add(1, std::memory_order_relaxed);
   switch (arch) {
     case MultArch::Array: return make_multiplier(wl_a, wl_b);
     case MultArch::Wallace: return make_wallace_multiplier(wl_a, wl_b);

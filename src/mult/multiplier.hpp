@@ -47,6 +47,10 @@ const char* mult_arch_name(MultArch arch);
 /// Architecture-dispatching factory.
 Netlist make_multiplier_arch(MultArch arch, int wl_a, int wl_b);
 
+/// Test hook: process-wide count of make_multiplier_arch() invocations.
+/// Lets tests assert that hot paths build each DUT netlist exactly once.
+std::size_t multiplier_arch_build_count();
+
 /// MAC datapath netlist as instantiated in the Linear Projection circuit:
 /// product = a×b, then sum = product + acc through a ripple adder, where
 /// acc is `acc_bits` wide (>= wl_a + wl_b). Inputs: [a, b, acc]; outputs:

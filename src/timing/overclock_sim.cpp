@@ -9,27 +9,32 @@ OverclockSim::OverclockSim(Netlist nl, std::vector<double> cell_delay_ns)
   OCLP_CHECK_MSG(delay_.size() == nl_.num_cells(),
                  "one delay per cell required: " << delay_.size() << " vs "
                                                  << nl_.num_cells());
-  prev_.assign(nl_.num_nets(), 0);
-  next_.assign(nl_.num_nets(), 0);
-  settle_.assign(nl_.num_nets(), 0.0);
+  reset(state_, std::vector<std::uint8_t>(nl_.num_inputs(), 0));
+  state_.initialised = false;  // the public contract still requires reset()
 }
 
-void OverclockSim::reset(const std::vector<std::uint8_t>& inputs) {
-  prev_ = nl_.evaluate(inputs);
-  initialised_ = true;
+void OverclockSim::reset(State& st, const std::vector<std::uint8_t>& inputs) const {
+  st.prev = nl_.evaluate(inputs);
+  st.next.assign(nl_.num_nets(), 0);
+  st.settle.assign(nl_.num_nets(), 0.0);
+  const std::size_t no = nl_.outputs().size();
+  st.out_settle.assign(no, 0.0);
+  st.out_prev.assign(no, 0);
+  st.out_next.assign(no, 0);
+  st.last_output_settle_ns = 0.0;
+  st.initialised = true;
+  st.stepped = false;
 }
 
-std::vector<std::uint8_t> OverclockSim::step(const std::vector<std::uint8_t>& inputs,
-                                             double period_ns) {
-  OCLP_CHECK_MSG(initialised_, "OverclockSim::step before reset");
+void OverclockSim::advance(State& st, const std::vector<std::uint8_t>& inputs) const {
+  OCLP_CHECK_MSG(st.initialised, "OverclockSim::advance before reset");
   OCLP_CHECK(inputs.size() == nl_.num_inputs());
-  OCLP_CHECK(period_ns > 0.0);
 
   const std::size_t ni = nl_.num_inputs();
   // Registered inputs switch at the edge: settle 0, value = new input.
   for (std::size_t i = 0; i < ni; ++i) {
-    next_[i] = inputs[i];
-    settle_[i] = 0.0;
+    st.next[i] = inputs[i];
+    st.settle[i] = 0.0;
   }
 
   const auto& cells = nl_.cells();
@@ -37,13 +42,13 @@ std::vector<std::uint8_t> OverclockSim::step(const std::vector<std::uint8_t>& in
     const Cell& c = cells[i];
     const std::size_t out = ni + i;
     const int arity = cell_arity(c.type);
-    const bool a = arity > 0 && next_[c.in[0]];
-    const bool b = arity > 1 && next_[c.in[1]];
-    const bool cc = arity > 2 && next_[c.in[2]];
+    const bool a = arity > 0 && st.next[c.in[0]];
+    const bool b = arity > 1 && st.next[c.in[1]];
+    const bool cc = arity > 2 && st.next[c.in[2]];
     const std::uint8_t v = cell_eval(c.type, a, b, cc);
-    next_[out] = v;
-    if (v == prev_[out]) {
-      settle_[out] = 0.0;  // no transition (glitches ignored)
+    st.next[out] = v;
+    if (v == st.prev[out]) {
+      st.settle[out] = 0.0;  // no transition (glitches ignored)
       continue;
     }
     // The transition is launched by the latest-settling fanin that itself
@@ -51,44 +56,54 @@ std::vector<std::uint8_t> OverclockSim::step(const std::vector<std::uint8_t>& in
     double launch = 0.0;
     for (int k = 0; k < arity; ++k) {
       const auto in = c.in[k];
-      if (next_[in] != prev_[in]) launch = std::max(launch, settle_[in]);
+      if (st.next[in] != st.prev[in]) launch = std::max(launch, st.settle[in]);
     }
-    settle_[out] = launch + (cell_is_free(c.type) ? 0.0 : delay_[i]);
+    st.settle[out] = launch + (cell_is_free(c.type) ? 0.0 : delay_[i]);
   }
 
   const auto& outs = nl_.outputs();
-  std::vector<std::uint8_t> captured(outs.size());
-  out_settle_.resize(outs.size());
-  out_prev_.resize(outs.size());
-  out_next_.resize(outs.size());
   double worst = 0.0;
   for (std::size_t k = 0; k < outs.size(); ++k) {
     const auto o = outs[k];
-    worst = std::max(worst, settle_[o]);
-    captured[k] = settle_[o] <= period_ns ? next_[o] : prev_[o];
-    out_settle_[k] = settle_[o];
-    out_prev_[k] = prev_[o];
-    out_next_[k] = next_[o];
+    worst = std::max(worst, st.settle[o]);
+    st.out_settle[k] = st.settle[o];
+    st.out_prev[k] = st.prev[o];
+    st.out_next[k] = st.next[o];
   }
-  last_output_settle_ns_ = worst;
-  stepped_ = true;
+  st.last_output_settle_ns = worst;
+  st.stepped = true;
 
-  prev_.swap(next_);  // cone fully settles before the next edge (see header)
-  return captured;
+  st.prev.swap(st.next);  // cone fully settles before the next edge (see header)
+}
+
+void OverclockSim::capture(const State& st, double period_ns,
+                           std::vector<std::uint8_t>& out) const {
+  OCLP_CHECK_MSG(st.stepped, "OverclockSim::capture before any advance");
+  OCLP_CHECK(period_ns > 0.0);
+  out.resize(st.out_settle.size());
+  for (std::size_t k = 0; k < st.out_settle.size(); ++k)
+    out[k] = st.out_settle[k] <= period_ns ? st.out_next[k] : st.out_prev[k];
+}
+
+const std::vector<std::uint8_t>& OverclockSim::step(
+    const std::vector<std::uint8_t>& inputs, double period_ns) {
+  OCLP_CHECK_MSG(state_.initialised, "OverclockSim::step before reset");
+  OCLP_CHECK(period_ns > 0.0);
+  advance(state_, inputs);
+  capture(state_, period_ns, captured_);
+  return captured_;
 }
 
 std::vector<std::uint8_t> OverclockSim::resample_last(double period_ns) const {
-  OCLP_CHECK_MSG(stepped_, "resample_last before any step");
-  OCLP_CHECK(period_ns > 0.0);
-  std::vector<std::uint8_t> captured(out_settle_.size());
-  for (std::size_t k = 0; k < out_settle_.size(); ++k)
-    captured[k] = out_settle_[k] <= period_ns ? out_next_[k] : out_prev_[k];
+  OCLP_CHECK_MSG(state_.stepped, "resample_last before any step");
+  std::vector<std::uint8_t> captured;
+  capture(state_, period_ns, captured);
   return captured;
 }
 
 std::vector<std::uint8_t> OverclockSim::last_settled_outputs() const {
-  OCLP_CHECK_MSG(stepped_, "last_settled_outputs before any step");
-  return out_next_;
+  OCLP_CHECK_MSG(state_.stepped, "last_settled_outputs before any step");
+  return state_.out_next;
 }
 
 }  // namespace oclp

@@ -16,6 +16,13 @@
 // MSbs (longest chains) fail first, and multiplicands with few '1' bits
 // (fewer toggling partial products) fail less.
 //
+// Settle times are *frequency-independent*: inputs are registered (they
+// switch exactly at the launch edge) and the previous frame is the fully
+// settled value of the previous inputs, so the period only selects which
+// bits are captured fresh vs stale. This is what makes single-pass
+// multi-frequency characterisation possible — settle the cone once, then
+// threshold-sample it at every period of interest (see capture()).
+//
 // Approximations (documented deviations from event-accurate simulation):
 //  * hazards/glitches are ignored — a net that ends at its old value is
 //    treated as never having moved;
@@ -34,23 +41,60 @@ namespace oclp {
 
 class OverclockSim {
  public:
+  /// Mutable per-stream simulation state. The netlist and delays of an
+  /// OverclockSim are immutable after construction, so a single sim can be
+  /// shared by many threads as long as each drives its own State through
+  /// the const reset()/advance()/capture() API below. Buffers are reused
+  /// across steps (and across streams of the same circuit): steady-state
+  /// stepping performs no heap allocation.
+  struct State {
+    std::vector<std::uint8_t> prev;  ///< settled values of the previous frame
+    std::vector<std::uint8_t> next;  ///< functional values of the new frame
+    std::vector<double> settle;      ///< per-net settle time of the new frame
+    // Per-output snapshot of the most recent advance (for capture()).
+    std::vector<double> out_settle;
+    std::vector<std::uint8_t> out_prev, out_next;
+    double last_output_settle_ns = 0.0;
+    bool initialised = false;
+    bool stepped = false;
+  };
+
   /// Takes the netlist and the per-cell delays of a specific placement on a
   /// specific device (see fabric::annotate_timing).
   OverclockSim(Netlist nl, std::vector<double> cell_delay_ns);
 
   const Netlist& netlist() const { return nl_; }
 
+  // --- Shared-circuit API (thread-safe: only touches the given State) ---
+
+  /// Settle every net of `st` for `inputs` (a register flush).
+  void reset(State& st, const std::vector<std::uint8_t>& inputs) const;
+
+  /// Clock edge without sampling: apply `inputs`, compute every net's
+  /// settle time and leave the per-output snapshot in `st`. Sampling at
+  /// any number of periods is then a capture() per period — the basis of
+  /// single-pass multi-frequency characterisation.
+  void advance(State& st, const std::vector<std::uint8_t>& inputs) const;
+
+  /// Sample the most recent advance of `st` at `period_ns` into `out`
+  /// (resized to the output count; no allocation once warm).
+  void capture(const State& st, double period_ns,
+               std::vector<std::uint8_t>& out) const;
+
+  // --- Convenience single-stream API over an internal State ---
+
   /// Settle every net for `inputs` (a register flush); clears history.
-  void reset(const std::vector<std::uint8_t>& inputs);
+  void reset(const std::vector<std::uint8_t>& inputs) { reset(state_, inputs); }
 
   /// Clock edge: apply `inputs`, sample the output register after
-  /// `period_ns`. Returns the captured output bits (possibly stale).
-  /// Requires a prior reset() (the first vector of a stream).
-  std::vector<std::uint8_t> step(const std::vector<std::uint8_t>& inputs,
-                                 double period_ns);
+  /// `period_ns`. Returns the captured output bits (possibly stale). The
+  /// reference stays valid until the next step()/reset(). Requires a prior
+  /// reset() (the first vector of a stream).
+  const std::vector<std::uint8_t>& step(const std::vector<std::uint8_t>& inputs,
+                                        double period_ns);
 
   /// Settle time of the slowest output for the most recent step (ns).
-  double last_output_settle_ns() const { return last_output_settle_ns_; }
+  double last_output_settle_ns() const { return state_.last_output_settle_ns; }
 
   /// Re-sample the most recent step's outputs at a different period —
   /// what a register on a delayed clock (e.g. a Razor shadow latch) would
@@ -63,15 +107,8 @@ class OverclockSim {
  private:
   Netlist nl_;
   std::vector<double> delay_;
-  std::vector<std::uint8_t> prev_;  // settled values of the previous frame
-  std::vector<std::uint8_t> next_;  // functional values of the new frame
-  std::vector<double> settle_;
-  // Per-output snapshot of the most recent step (for resample_last()).
-  std::vector<double> out_settle_;
-  std::vector<std::uint8_t> out_prev_, out_next_;
-  double last_output_settle_ns_ = 0.0;
-  bool initialised_ = false;
-  bool stepped_ = false;
+  State state_;                      // backs the convenience API
+  std::vector<std::uint8_t> captured_;  // reusable step() output buffer
 };
 
 }  // namespace oclp

@@ -104,6 +104,77 @@ TEST_F(CharCircuitTest, JitterSeedChangesHighFrequencyErrors) {
   EXPECT_NE(ta.error, tb.error);
 }
 
+TEST_F(CharCircuitTest, ConstructorBuildsDutNetlistExactlyOnce) {
+  const auto before = multiplier_arch_build_count();
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  EXPECT_EQ(multiplier_arch_build_count() - before, 1u);
+}
+
+TEST_F(CharCircuitTest, ConstructionCountHookCounts) {
+  const auto before = CharacterisationCircuit::construction_count();
+  CharacterisationCircuit a(cfg_, device_, reference_location_1());
+  CharacterisationCircuit b(cfg_, device_, reference_location_2());
+  EXPECT_EQ(CharacterisationCircuit::construction_count() - before, 2u);
+}
+
+TEST_F(CharCircuitTest, RunMultiMatchesRunPerFrequencyJitterFree) {
+  cfg_.with_jitter = false;
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 400, 21);
+  const double f0 = circuit.dut_device_fmax_mhz();
+  const std::vector<double> freqs{0.6 * f0, 1.02 * f0,
+                                  circuit.support_fmax_mhz() * 0.95};
+
+  const auto multi = circuit.run_multi(17, xs, freqs, 5);
+  ASSERT_EQ(multi.size(), freqs.size());
+  for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+    const auto ref = circuit.run(17, xs, freqs[fi], 5);
+    EXPECT_EQ(multi[fi].observed, ref.observed) << "f=" << freqs[fi];
+    EXPECT_EQ(multi[fi].expected, ref.expected);
+    EXPECT_EQ(multi[fi].error, ref.error);
+    EXPECT_EQ(multi[fi].erroneous, ref.erroneous);
+    EXPECT_EQ(multi[fi].fsm_cycles, ref.fsm_cycles);
+  }
+  // The grid has to span both regimes for the comparison to mean anything.
+  EXPECT_EQ(multi[0].erroneous, 0u);
+  EXPECT_GT(multi[2].erroneous, 0u);
+}
+
+TEST_F(CharCircuitTest, RunMultiDeterministicWithSharedWorkspace) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 300, 22);
+  const std::vector<double> freqs{250.0, 400.0};
+  CharacterisationCircuit::Workspace ws;
+  const auto a = circuit.run_multi(33, xs, freqs, 7, &ws);
+  const auto b = circuit.run_multi(33, xs, freqs, 7, &ws);  // reused buffers
+  const auto c = circuit.run_multi(33, xs, freqs, 7);       // call-local
+  for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+    EXPECT_EQ(a[fi].error, b[fi].error);
+    EXPECT_EQ(a[fi].error, c[fi].error);
+  }
+}
+
+TEST_F(CharCircuitTest, RunMultiJitterSeedMatters) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 3000, 23);
+  const double freq = circuit.dut_device_fmax_mhz() * 1.02;  // marginal
+  const auto ta = circuit.run_multi(63, xs, {freq}, 1);
+  const auto tb = circuit.run_multi(63, xs, {freq}, 2);
+  const auto ta2 = circuit.run_multi(63, xs, {freq}, 1);
+  EXPECT_NE(ta[0].error, tb[0].error);
+  EXPECT_EQ(ta[0].error, ta2[0].error);
+}
+
+TEST_F(CharCircuitTest, RunMultiValidatesInputs) {
+  CharacterisationCircuit circuit(cfg_, device_, reference_location_1());
+  const auto xs = uniform_stream(6, 10, 24);
+  EXPECT_THROW(circuit.run_multi(64, xs, {100.0}), CheckError);  // 6-bit port
+  EXPECT_THROW(circuit.run_multi(1, xs, {}), CheckError);
+  EXPECT_THROW(
+      circuit.run_multi(1, xs, {100.0, circuit.support_fmax_mhz() * 1.1}),
+      CheckError);
+}
+
 TEST(SupportLogic, ShallowAndCorrectShape) {
   const Netlist support = make_support_logic(8192);
   EXPECT_LE(support.depth(), 8);  // log-depth counter + FSM cone

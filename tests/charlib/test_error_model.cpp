@@ -72,6 +72,46 @@ TEST(ErrorModel, CsvRoundTrip) {
     }
 }
 
+TEST(ErrorModel, CsvRoundTripBitwiseOnMultiFrequencyGrid) {
+  // A dense frequency grid (the shape the sweep engine now produces in one
+  // pass) must survive save→load→save bitwise: same grid after the
+  // sorted-unique dedup pass, same values at full double precision.
+  std::vector<double> freqs;
+  for (int i = 0; i < 24; ++i) freqs.push_back(100.0 + 17.31 * i);
+  ErrorModel m(4, 4, freqs);
+  for (std::uint32_t mm = 0; mm < 16; ++mm)
+    for (std::size_t fi = 0; fi < freqs.size(); ++fi)
+      m.set(mm, fi, std::exp(0.1 * mm) * (fi + 0.125),
+            -3.7 + 0.01 * mm * fi, std::min(1.0, 0.002 * mm * fi));
+
+  std::stringstream first;
+  m.save_csv(first);
+  std::stringstream input(first.str());
+  const auto loaded = ErrorModel::load_csv(input);
+  ASSERT_EQ(loaded.freqs_mhz(), m.freqs_mhz());
+  std::stringstream second;
+  loaded.save_csv(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ErrorModel, LoadDedupsUnsortedRepeatedFrequencies) {
+  // Rows arriving in arbitrary frequency order with repeats must collapse
+  // to one sorted, unique grid.
+  std::stringstream ss;
+  ss << "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n";
+  ss << "2,2,0,300,3,0,0.3\n"
+     << "2,2,0,100,1,0,0.1\n"
+     << "2,2,1,300,6,0,0.6\n"
+     << "2,2,1,100,4,0,0.2\n"
+     << "2,2,0,200,2,0,0.2\n"
+     << "2,2,1,200,5,0,0.4\n";
+  const auto m = ErrorModel::load_csv(ss);
+  ASSERT_EQ(m.freqs_mhz(), (std::vector<double>{100.0, 200.0, 300.0}));
+  EXPECT_DOUBLE_EQ(m.variance(0, 200.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.variance(1, 300.0), 6.0);
+  EXPECT_DOUBLE_EQ(m.error_rate(1, 100.0), 0.2);
+}
+
 TEST(ErrorModel, LoadRejectsGarbage) {
   std::stringstream empty;
   EXPECT_THROW(ErrorModel::load_csv(empty), CheckError);

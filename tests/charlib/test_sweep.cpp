@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
 #include "fabric/calibration.hpp"
 
 namespace oclp {
@@ -125,6 +129,151 @@ TEST(FindRegimes, AllErrorFree) {
   const auto reg = find_regimes(curve);
   EXPECT_DOUBLE_EQ(reg.error_free_fmax_mhz, 200.0);
   EXPECT_DOUBLE_EQ(reg.usable_fmax_mhz, 200.0);
+}
+
+// The seed per-frequency reference path: one full stream simulation per
+// (m, frequency, location), accumulated exactly as the sweep engine does.
+ErrorModel reference_characterisation(const Device& device, int wl_m, int wl_x,
+                                      const SweepSettings& settings) {
+  std::vector<double> freqs = settings.freqs_mhz;
+  std::sort(freqs.begin(), freqs.end());
+  ErrorModel model(wl_m, wl_x, freqs);
+  const auto stream = uniform_stream(wl_x, settings.samples_per_point,
+                                     settings.stream_seed);
+  CharCircuitConfig ccfg;
+  ccfg.wl_m = wl_m;
+  ccfg.wl_x = wl_x;
+  ccfg.arch = settings.arch;
+  ccfg.with_jitter = settings.with_jitter;
+  ccfg.fsm_clock_mhz = settings.fsm_clock_mhz;
+  ccfg.bram_depth = settings.bram_depth;
+  for (std::uint32_t m = 0; m < model.num_multiplicands(); ++m) {
+    for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+      RunningStats err;
+      std::size_t erroneous = 0, total = 0;
+      for (const auto& loc : settings.locations) {
+        CharacterisationCircuit circuit(ccfg, device, loc);
+        const auto trace =
+            circuit.run(m, stream, freqs[fi],
+                        hash_mix(settings.stream_seed, m, loc.route_seed));
+        for (auto e : trace.error) err.add(static_cast<double>(e));
+        erroneous += trace.erroneous;
+        total += trace.error.size();
+      }
+      model.set(m, fi, err.variance(), err.mean(),
+                total ? static_cast<double>(erroneous) /
+                            static_cast<double>(total)
+                      : 0.0);
+    }
+  }
+  return model;
+}
+
+TEST_F(SweepTest, SinglePassMatchesPerFrequencyReferenceBitwise) {
+  // Jitter-free golden regression: the single-pass engine must reproduce
+  // the per-frequency reference path bit for bit on a 4×4 sweep with three
+  // frequencies and two locations.
+  settings_.with_jitter = false;
+  settings_.locations = {reference_location_1(), reference_location_2()};
+  settings_.samples_per_point = 200;
+
+  CharCircuitConfig probe_cfg;
+  probe_cfg.wl_m = 4;
+  probe_cfg.wl_x = 4;
+  probe_cfg.with_jitter = false;
+  CharacterisationCircuit probe1(probe_cfg, device_, reference_location_1());
+  CharacterisationCircuit probe2(probe_cfg, device_, reference_location_2());
+  const double f0 =
+      std::min(probe1.dut_device_fmax_mhz(), probe2.dut_device_fmax_mhz());
+  const double support =
+      std::min(probe1.support_fmax_mhz(), probe2.support_fmax_mhz());
+  settings_.freqs_mhz = {0.7 * f0, std::min(1.05 * f0, 0.9 * support),
+                         std::min(1.3 * f0, 0.97 * support)};
+  ASSERT_LT(settings_.freqs_mhz[1], settings_.freqs_mhz[2]);
+
+  const auto single_pass = characterise_multiplier(device_, 4, 4, settings_);
+  const auto reference = reference_characterisation(device_, 4, 4, settings_);
+
+  bool any_error = false;
+  for (std::uint32_t m = 0; m < 16; ++m)
+    for (double f : settings_.freqs_mhz) {
+      EXPECT_EQ(single_pass.variance(m, f), reference.variance(m, f))
+          << "m=" << m << " f=" << f;
+      EXPECT_EQ(single_pass.mean_error(m, f), reference.mean_error(m, f))
+          << "m=" << m << " f=" << f;
+      EXPECT_EQ(single_pass.error_rate(m, f), reference.error_rate(m, f))
+          << "m=" << m << " f=" << f;
+      any_error |= reference.error_rate(m, f) > 0.0;
+    }
+  EXPECT_TRUE(any_error);  // the grid must actually reach the error regime
+}
+
+TEST_F(SweepTest, JitteredSinglePassIsStatisticallyEquivalent) {
+  // With jitter the single-pass engine draws one deviation per sample and
+  // applies it to every frequency, instead of one independent stream per
+  // frequency. Per-frequency marginals must stay equivalent: at a marginal
+  // clock the aggregate error statistics have to agree closely (jitter is
+  // ±4σ = 48 ps against periods of ~1.5 ns, so it only flips samples whose
+  // slack is within that window).
+  settings_.with_jitter = true;
+  settings_.freqs_mhz = {640.0};
+  settings_.samples_per_point = 400;
+  const auto single_pass = characterise_multiplier(device_, 5, 5, settings_);
+  const auto reference = reference_characterisation(device_, 5, 5, settings_);
+
+  double total_abs_diff = 0.0;
+  for (std::uint32_t m = 0; m < 32; ++m) {
+    const double d =
+        std::abs(single_pass.error_rate(m, 640.0) - reference.error_rate(m, 640.0));
+    EXPECT_LE(d, 0.10) << "m=" << m;
+    total_abs_diff += d;
+  }
+  EXPECT_LE(total_abs_diff / 32.0, 0.02);
+  EXPECT_GT(single_pass.max_variance(), 0.0);
+}
+
+TEST_F(SweepTest, ConstructsEachLocationCircuitExactlyOnce) {
+  settings_.freqs_mhz = {300.0, 450.0, 600.0};
+  settings_.locations = {reference_location_1(), reference_location_2()};
+  settings_.samples_per_point = 50;
+  const auto before = CharacterisationCircuit::construction_count();
+  characterise_multiplier(device_, 4, 4, settings_);
+  const auto after = CharacterisationCircuit::construction_count();
+  EXPECT_EQ(after - before, settings_.locations.size());
+}
+
+TEST_F(SweepTest, ErrorRateCurveBuildsOneCircuitForAllFrequencies) {
+  const std::vector<double> freqs{150.0, 300.0, 450.0};
+  const auto before = CharacterisationCircuit::construction_count();
+  error_rate_curve(device_, 5, 5, reference_location_1(), freqs, 200, 11);
+  EXPECT_EQ(CharacterisationCircuit::construction_count() - before, 1u);
+}
+
+TEST(FindRegimes, NonMonotonicCurveStopsAtFirstError) {
+  // A spurious zero-error measurement above the error onset must extend
+  // neither regime.
+  std::vector<ErrorRatePoint> curve{
+      {100.0, 0.0, 0.0}, {200.0, 0.2, 1.0}, {300.0, 0.0, 0.0},
+      {400.0, 0.6, 2.0}, {500.0, 0.0, 0.0}};
+  const auto reg = find_regimes(curve, 0.5);
+  EXPECT_DOUBLE_EQ(reg.error_free_fmax_mhz, 100.0);
+  EXPECT_DOUBLE_EQ(reg.usable_fmax_mhz, 300.0);
+}
+
+TEST(FindRegimes, FirstPointErroneousGivesZero) {
+  std::vector<ErrorRatePoint> curve{{100.0, 0.7, 1.0}, {200.0, 0.9, 2.0}};
+  const auto reg = find_regimes(curve, 0.5);
+  EXPECT_DOUBLE_EQ(reg.error_free_fmax_mhz, 0.0);
+  EXPECT_DOUBLE_EQ(reg.usable_fmax_mhz, 0.0);
+}
+
+TEST(FindRegimes, UnsortedInputIsSortedByFrequency) {
+  std::vector<ErrorRatePoint> curve{
+      {400.0, 0.4, 2.0}, {100.0, 0.0, 0.0}, {300.0, 0.1, 1.0},
+      {200.0, 0.0, 0.0}};
+  const auto reg = find_regimes(curve, 0.3);
+  EXPECT_DOUBLE_EQ(reg.error_free_fmax_mhz, 200.0);
+  EXPECT_DOUBLE_EQ(reg.usable_fmax_mhz, 300.0);
 }
 
 TEST_F(SweepTest, InvalidSettingsThrow) {

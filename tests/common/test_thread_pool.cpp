@@ -95,6 +95,62 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A worker that calls parallel_for used to block on futures that only
+  // other (equally blocked) workers could run. Nested calls now execute
+  // inline on the calling worker.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedTwoLevelsOnSingleThreadPool) {
+  // One worker: any queued-and-waiting nesting deadlocks deterministically,
+  // so this pins the inline-execution path at two levels of nesting.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 4, [&](std::size_t) {
+      pool.parallel_for(0, 4, [&](std::size_t) { count.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(0, 4, [](std::size_t i) {
+                                     if (i == 2)
+                                       throw std::runtime_error("inner boom");
+                                   });
+                                 }),
+               std::runtime_error);
+  // Pool still works afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, CurrentThreadIsWorkerDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.current_thread_is_worker());
+  std::atomic<int> inside{0};
+  pool.submit([&] { inside.store(pool.current_thread_is_worker() ? 1 : -1); })
+      .get();
+  EXPECT_EQ(inside.load(), 1);
+  // A worker of one pool is not a worker of another.
+  ThreadPool other(1);
+  std::atomic<int> cross{0};
+  other.submit([&] { cross.store(pool.current_thread_is_worker() ? 1 : -1); })
+      .get();
+  EXPECT_EQ(cross.load(), -1);
+}
+
 TEST(ThreadPool, ManyMoreChunksThanThreads) {
   ThreadPool pool(2);
   std::atomic<long> sum{0};

@@ -149,6 +149,71 @@ TEST(OverclockSim, DataDependence_SparseMultiplicandFailsLess) {
   EXPECT_EQ(errors_for(0), 0);  // zero multiplicand: nothing ever toggles
 }
 
+TEST(OverclockSim, ExternalStateMatchesConvenienceApi) {
+  // The const advance()/capture() path over a caller-owned State must
+  // reproduce step() exactly — it is the engine under the single-pass
+  // multi-frequency characterisation.
+  auto sim = make_sim(6, 6, 0.5);
+  auto shadow = make_sim(6, 6, 0.5);
+  OverclockSim::State st;
+  Rng rng(17);
+  sim.reset(st, mult_inputs(0, 6, 0, 6));
+  shadow.reset(mult_inputs(0, 6, 0, 6));
+  std::vector<std::uint8_t> captured;
+  for (int i = 0; i < 200; ++i) {
+    const unsigned a = rng.uniform_u64(64), b = rng.uniform_u64(64);
+    const double period = 1.0 + 0.05 * (i % 40);
+    sim.advance(st, mult_inputs(a, 6, b, 6));
+    sim.capture(st, period, captured);
+    const auto& ref = shadow.step(mult_inputs(a, 6, b, 6), period);
+    ASSERT_EQ(captured, ref) << "i=" << i;
+    ASSERT_DOUBLE_EQ(st.last_output_settle_ns, shadow.last_output_settle_ns());
+  }
+}
+
+TEST(OverclockSim, OneAdvanceManyCaptures) {
+  // A single advance supports captures at any number of periods: tiny
+  // period → previous frame, huge period → fully settled frame, and the
+  // fresh-bit set grows with the period.
+  auto sim = make_sim(8, 8, 0.4);
+  OverclockSim::State st;
+  sim.reset(st, mult_inputs(201, 8, 187, 8));
+  sim.advance(st, mult_inputs(44, 8, 99, 8));
+  std::vector<std::uint8_t> out;
+  sim.capture(st, 1e-9, out);
+  EXPECT_EQ(from_bits(out), 201u * 187u);  // nothing settled: stale frame
+  sim.capture(st, 1e9, out);
+  EXPECT_EQ(from_bits(out), 44u * 99u);  // everything settled
+  int prev_fresh = -1;
+  for (double period : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    sim.capture(st, period, out);
+    int fresh = 0;
+    for (std::size_t k = 0; k < st.out_settle.size(); ++k)
+      if (st.out_settle[k] <= period) ++fresh;
+    EXPECT_GE(fresh, prev_fresh);
+    prev_fresh = fresh;
+  }
+}
+
+TEST(OverclockSim, ExternalStateBeforeResetThrows) {
+  auto sim = make_sim(4, 4, 1.0);
+  OverclockSim::State st;
+  EXPECT_THROW(sim.advance(st, mult_inputs(1, 4, 1, 4)), CheckError);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(sim.capture(st, 1.0, out), CheckError);
+}
+
+TEST(OverclockSim, StepBufferReuseKeepsResultsIndependent) {
+  // step() returns a reference to a reusable buffer; copying it (as every
+  // caller does) must preserve values across subsequent steps.
+  auto sim = make_sim(4, 4, 1.0);
+  sim.reset(mult_inputs(0, 4, 0, 4));
+  const std::vector<std::uint8_t> first = sim.step(mult_inputs(3, 4, 5, 4), 1e3);
+  const auto second = sim.step(mult_inputs(7, 4, 9, 4), 1e3);
+  EXPECT_EQ(from_bits(first), 15u);
+  EXPECT_EQ(from_bits(second), 63u);
+}
+
 TEST(OverclockSim, DelaySizeMismatchThrows) {
   Netlist nl = make_multiplier(3, 3);
   EXPECT_THROW(OverclockSim(std::move(nl), {1.0, 2.0}), CheckError);
