@@ -39,6 +39,11 @@ struct GibbsSettings {
   /// evaluated at the coefficients the design will actually use. 0 = auto
   /// (dominant eigenvalue of the sample covariance of x).
   double factor_variance = 0.0;
+  /// Route through the retained pre-restructure sampler instead of the
+  /// sufficient-statistics fast path. The reference consumes the RNG
+  /// stream identically and draws the same chain; it exists as the golden
+  /// baseline for the fast path's correctness tests and speedup benches.
+  bool reference_impl = false;
 };
 
 struct GibbsResult {
@@ -51,6 +56,10 @@ struct GibbsResult {
   std::vector<double> lambda_mean;
   /// Posterior mean of the noise variances Ψ.
   std::vector<double> psi;
+  /// Per-row visit counts over the grid for the retained samples — the
+  /// marginal posterior histograms the mode is read from. visits[r][g] is
+  /// how often row r drew grid index g; each row sums to `samples`.
+  std::vector<std::vector<std::uint32_t>> visits;
   /// Average log joint density over retained samples (diagnostic).
   double avg_log_likelihood = 0.0;
 };
@@ -59,5 +68,14 @@ struct GibbsResult {
 /// under `prior`. Deterministic in settings.seed.
 GibbsResult sample_projection(const Matrix& x, const CoeffPrior& prior,
                               const GibbsSettings& settings);
+
+/// The pre-restructure sampler, retained verbatim as the golden reference
+/// for the sufficient-statistics fast path: per-iteration O(n) residual
+/// loops and full-grid exp scoring. Same seed → same RNG stream and the
+/// same chain of discrete λ draws as `sample_projection` (continuous
+/// outputs agree to rounding because the fast path evaluates the Ψ scale
+/// through the algebraically identical sufficient-statistics form).
+GibbsResult sample_projection_reference(const Matrix& x, const CoeffPrior& prior,
+                                        const GibbsSettings& settings);
 
 }  // namespace oclp

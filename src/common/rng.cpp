@@ -34,6 +34,15 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
     OCLP_DCHECK(w >= 0.0);
     total += w;
   }
+  return categorical(weights, total);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights, double total) {
+  OCLP_CHECK(!weights.empty());
+  // A single NaN (or overflowed) weight would otherwise corrupt the draw
+  // silently: r - NaN comparisons are all false and the walk falls through
+  // to the last bin.
+  OCLP_CHECK_MSG(std::isfinite(total), "categorical: non-finite weight total");
   OCLP_CHECK_MSG(total > 0.0, "categorical: all weights are zero");
   double r = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {

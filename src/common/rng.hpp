@@ -131,6 +131,13 @@ class Rng {
   /// Sample an index from unnormalised non-negative weights.
   std::size_t categorical(const std::vector<double>& weights);
 
+  /// Same draw with a caller-supplied weight total (e.g. a running total
+  /// accumulated while scoring), avoiding a re-summing pass. `total` must
+  /// equal the index-order sum of `weights` for the draw to be unbiased;
+  /// checks that it is finite and positive. Consumes exactly one uniform,
+  /// like the summing overload.
+  std::size_t categorical(const std::vector<double>& weights, double total);
+
   /// Fork an independent generator (for per-task streams).
   Rng fork() { return Rng(hash_mix(next(), next())); }
 

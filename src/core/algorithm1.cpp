@@ -93,6 +93,15 @@ std::vector<LinearProjectionDesign> OptimisationFramework::run(ThreadPool* pool)
   const auto p = x_centered_.rows();
   const int num_wl = settings_.wl_max - settings_.wl_min + 1;
 
+  // The prior depends only on (wl, target frequency, β) — never on the
+  // dimension or the parent — so each word-length's prior is built once for
+  // the whole run instead of once per (parent × wl) job.
+  std::vector<CoeffPrior> priors;
+  priors.reserve(static_cast<std::size_t>(num_wl));
+  for (int wl = settings_.wl_min; wl <= settings_.wl_max; ++wl)
+    priors.push_back(
+        make_prior(models_.at(wl), wl, settings_.target_freq_mhz, settings_.beta));
+
   // Parents carried between dimensions; dimension 1 grows from the empty
   // design.
   std::vector<LinearProjectionDesign> parents(1);
@@ -106,21 +115,30 @@ std::vector<LinearProjectionDesign> OptimisationFramework::run(ThreadPool* pool)
     // std::vector<bool>'s bit packing would make that a data race.
     std::vector<std::uint8_t> valid(jobs, 0);
 
-    pool->parallel_for(0, jobs, [&](std::size_t job) {
-      const std::size_t parent_idx = job / num_wl;
-      const int wl = settings_.wl_min + static_cast<int>(job % num_wl);
+    // The residual of the training data under a parent's columns depends
+    // only on the parent, so it is computed once per dimension here rather
+    // than once per word-length job (a num_wl-fold reduction of the
+    // projection_factors + GEMM work). All word-length jobs of a parent
+    // then read the shared matrix concurrently.
+    std::vector<Matrix> residuals(parents.size());
+    pool->parallel_for(0, parents.size(), [&](std::size_t parent_idx) {
       const LinearProjectionDesign& parent = parents[parent_idx];
-
-      // Residual of the training data under the parent's columns.
       Matrix residual = x_centered_;
       if (!parent.columns.empty()) {
         const Matrix basis = parent.basis();
         const Matrix f = projection_factors(basis, x_centered_, kRidge);
-        residual -= basis * f;
+        residual -= multiply(basis, f, pool);
       }
+      residuals[parent_idx] = std::move(residual);
+    });
 
-      const CoeffPrior prior =
-          make_prior(models_.at(wl), wl, settings_.target_freq_mhz, settings_.beta);
+    pool->parallel_for(0, jobs, [&](std::size_t job) {
+      const std::size_t parent_idx = job / num_wl;
+      const int wl = settings_.wl_min + static_cast<int>(job % num_wl);
+      const LinearProjectionDesign& parent = parents[parent_idx];
+      const Matrix& residual = residuals[parent_idx];
+      const CoeffPrior& prior = priors[job % num_wl];
+
       GibbsSettings gibbs = settings_.gibbs;
       gibbs.seed = hash_mix(settings_.gibbs.seed, static_cast<std::uint64_t>(d) << 32 | parent_idx,
                             static_cast<std::uint64_t>(wl));
@@ -135,7 +153,7 @@ std::vector<LinearProjectionDesign> OptimisationFramework::run(ThreadPool* pool)
 
       const Matrix basis = cand.design.basis();
       const Matrix f = projection_factors(basis, x_centered_, kRidge);
-      cand.mse = (x_centered_ - basis * f).mean_square();
+      cand.mse = reconstruction_mse(x_centered_, basis, f);
 
       double area = 0.0;
       for (const auto& c : cand.design.columns)

@@ -65,7 +65,9 @@ class OptimisationFramework {
                         std::map<int, ErrorModel> models, AreaModel area);
 
   /// Run Algorithm 1; returns up to Q designs sorted by area. Word-length
-  /// sweeps of all carried candidates run in parallel on `pool`.
+  /// sweeps of all carried candidates run in parallel on `pool`. Run-
+  /// invariant work is hoisted: one prior per word-length for the whole
+  /// run, one training-data residual per (dimension, parent).
   std::vector<LinearProjectionDesign> run(ThreadPool* pool = nullptr);
 
   /// Data mean captured at construction (needed to evaluate the designs).

@@ -30,7 +30,7 @@ double predicted_overclock_variance(const LinearProjectionDesign& design,
 double training_reconstruction_mse(const Matrix& basis, const Matrix& x_centered) {
   OCLP_CHECK(basis.rows() == x_centered.rows());
   const Matrix f = projection_factors(basis, x_centered);
-  return (x_centered - basis * f).mean_square();
+  return reconstruction_mse(x_centered, basis, f);
 }
 
 double objective_T(const LinearProjectionDesign& design, const Matrix& x_centered,

@@ -1,8 +1,11 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
+
+#include "common/thread_pool.hpp"
 
 namespace oclp {
 
@@ -149,6 +152,81 @@ std::string Matrix::to_string(int precision) const {
 }
 
 Matrix operator*(double s, const Matrix& m) { return m * s; }
+
+namespace {
+
+// One output row of a·b in the i-k-j order of operator*: zero-initialised
+// accumulation with the same zero-skip, so each row is bitwise identical
+// to the serial product's row.
+void multiply_row(const Matrix& a, const Matrix& b, Matrix& out, std::size_t i) {
+  const std::size_t inner = a.cols(), width = b.cols();
+  const double* arow = a.data() + i * inner;
+  double* orow = out.data() + i * width;
+  for (std::size_t k = 0; k < inner; ++k) {
+    const double av = arow[k];
+    if (av == 0.0) continue;
+    const double* brow = b.data() + k * width;
+    for (std::size_t j = 0; j < width; ++j) orow[j] += av * brow[j];
+  }
+}
+
+}  // namespace
+
+Matrix multiply(const Matrix& a, const Matrix& b, ThreadPool* pool) {
+  OCLP_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch: " << a.rows()
+                                       << "x" << a.cols() << " * " << b.rows()
+                                       << "x" << b.cols());
+  Matrix out(a.rows(), b.cols());
+  if (pool == nullptr || a.rows() < 2) {
+    for (std::size_t i = 0; i < a.rows(); ++i) multiply_row(a, b, out, i);
+    return out;
+  }
+  pool->parallel_for(0, a.rows(),
+                     [&](std::size_t i) { multiply_row(a, b, out, i); });
+  return out;
+}
+
+Matrix multiply_naive(const Matrix& a, const Matrix& b) {
+  OCLP_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch: " << a.rows()
+                                       << "x" << a.cols() << " * " << b.rows()
+                                       << "x" << b.cols());
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      out(i, j) = s;
+    }
+  return out;
+}
+
+double reconstruction_mse(const Matrix& x, const Matrix& basis, const Matrix& f) {
+  OCLP_CHECK_MSG(basis.rows() == x.rows() && f.cols() == x.cols() &&
+                     basis.cols() == f.rows(),
+                 "reconstruction shape mismatch: x " << x.rows() << "x"
+                 << x.cols() << ", basis " << basis.rows() << "x" << basis.cols()
+                 << ", f " << f.rows() << "x" << f.cols());
+  if (x.empty()) return 0.0;
+  const std::size_t n = x.cols(), k_dims = basis.cols();
+  std::vector<double> recon(n);
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    std::fill(recon.begin(), recon.end(), 0.0);
+    const double* brow = basis.data() + i * k_dims;
+    for (std::size_t k = 0; k < k_dims; ++k) {
+      const double bv = brow[k];
+      if (bv == 0.0) continue;
+      const double* frow = f.data() + k * n;
+      for (std::size_t j = 0; j < n; ++j) recon[j] += bv * frow[j];
+    }
+    const double* xrow = x.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = xrow[j] - recon[j];
+      s += d * d;
+    }
+  }
+  return s / static_cast<double>(x.size());
+}
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
   OCLP_CHECK(a.size() == b.size());

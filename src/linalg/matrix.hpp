@@ -13,6 +13,8 @@
 
 namespace oclp {
 
+class ThreadPool;
+
 class Matrix {
  public:
   Matrix() = default;
@@ -77,6 +79,25 @@ class Matrix {
 };
 
 Matrix operator*(double s, const Matrix& m);
+
+/// a·b with the row blocks of the output computed across `pool` (nullptr
+/// runs serially). Rows are independent and each is computed with exactly
+/// the arithmetic of `operator*`, so the product is bitwise identical to
+/// the serial one; worthwhile when the output has many rows (e.g. the P×N
+/// residual reconstructions over thousands of training cases). Safe to
+/// call from inside a pool task — the nested parallel_for runs inline.
+Matrix multiply(const Matrix& a, const Matrix& b, ThreadPool* pool);
+
+/// Textbook i-j-k (dot-product order) multiplication. Slower and with a
+/// different rounding order than `operator*`; kept as the golden reference
+/// the cache-friendly and pooled paths are tested against.
+Matrix multiply_naive(const Matrix& a, const Matrix& b);
+
+/// mean_square of (x − basis·f) fused into one pass: reconstructs one row
+/// at a time and accumulates the squared residual without materialising
+/// either P×N temporary. Bitwise identical to
+/// (x - basis * f).mean_square().
+double reconstruction_mse(const Matrix& x, const Matrix& basis, const Matrix& f);
 
 /// Euclidean dot product.
 double dot(const std::vector<double>& a, const std::vector<double>& b);

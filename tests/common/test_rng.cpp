@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -159,6 +160,44 @@ TEST(Rng, CategoricalAllZeroThrows) {
   Rng rng(33);
   EXPECT_THROW(rng.categorical({0.0, 0.0}), CheckError);
   EXPECT_THROW(rng.categorical({}), CheckError);
+}
+
+TEST(Rng, CategoricalPrecomputedTotalMatchesAutoTotal) {
+  // The two-argument overload with the exact index-order running total must
+  // reproduce the one-argument draws from the same stream position.
+  const std::vector<double> w{0.5, 0.0, 2.25, 1e-6, 7.0};
+  double total = 0.0;
+  for (double v : w) total += v;
+  Rng a(37), b(37);
+  for (int i = 0; i < 20000; ++i)
+    ASSERT_EQ(a.categorical(w), b.categorical(w, total));
+}
+
+TEST(Rng, CategoricalPrecomputedTotalConsumesOneUniform) {
+  Rng a(39), b(39);
+  a.categorical({1.0, 2.0}, 3.0);
+  b.uniform();
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, CategoricalNonFiniteTotalThrows) {
+  Rng rng(41);
+  const std::vector<double> w{1.0, 2.0};
+  EXPECT_THROW(rng.categorical(w, std::numeric_limits<double>::quiet_NaN()),
+               CheckError);
+  EXPECT_THROW(rng.categorical(w, std::numeric_limits<double>::infinity()),
+               CheckError);
+  EXPECT_THROW(rng.categorical(w, 0.0), CheckError);
+}
+
+TEST(Rng, CategoricalNaNWeightCaughtByTotalCheck) {
+  // A NaN weight poisons the running total; the overload must refuse it
+  // instead of walking off the distribution.
+  Rng rng(43);
+  const std::vector<double> w{1.0, std::numeric_limits<double>::quiet_NaN()};
+  double total = 0.0;
+  for (double v : w) total += v;
+  EXPECT_THROW(rng.categorical(w, total), CheckError);
 }
 
 TEST(Rng, ForkProducesIndependentStream) {

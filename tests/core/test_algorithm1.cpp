@@ -92,6 +92,51 @@ TEST(SelectByBins, DegenerateMseRange) {
   EXPECT_EQ(picked.size(), 1u);
 }
 
+TEST(ParetoFront, EqualAreaCandidatesKeepOnlyTheBestMse) {
+  // Several candidates tie on area: only the least-MSE one can be on the
+  // front (the staircase is strict in both coordinates).
+  std::vector<CandidateProjection> cands{
+      cand(10, 0.9), cand(10, 0.4), cand(10, 0.7), cand(25, 0.3),
+      cand(25, 0.5),
+  };
+  const auto front = pareto_front(cands);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0], 1u);  // (10, 0.4)
+  EXPECT_EQ(front[1], 3u);  // (25, 0.3)
+}
+
+TEST(ParetoFront, AllCandidatesIdenticalKeepsOne) {
+  std::vector<CandidateProjection> cands(4, cand(10, 0.5));
+  const auto front = pareto_front(cands);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 0u);
+}
+
+TEST(SelectByBins, AllEqualMseSingleBinSurvivor) {
+  // Equal MSE across a front of distinct areas: the range is degenerate, a
+  // single bin forms and exactly one candidate survives.
+  std::vector<CandidateProjection> cands{cand(10, 0.5), cand(20, 0.5),
+                                         cand(30, 0.5), cand(40, 0.5)};
+  std::vector<std::size_t> fake_front{0, 1, 2, 3};
+  const auto picked = select_by_bins(cands, fake_front, 4);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], 0u);
+}
+
+TEST(SelectByBins, QLargerThanFrontReturnsWholeFront) {
+  std::vector<CandidateProjection> cands{cand(10, 0.9), cand(20, 0.5),
+                                         cand(30, 0.1)};
+  const auto front = pareto_front(cands);
+  ASSERT_EQ(front.size(), 3u);
+  const auto picked = select_by_bins(cands, front, 50);
+  // With far more bins than members, no two members share a bin.
+  EXPECT_EQ(picked.size(), front.size());
+}
+
+TEST(SelectByBins, EmptyFrontSelectsNothing) {
+  EXPECT_TRUE(select_by_bins({}, {}, 3).empty());
+}
+
 class Algorithm1Test : public ::testing::Test {
  protected:
   Algorithm1Test() : device_(reference_device_config(), kReferenceDieSeed) {
@@ -173,6 +218,27 @@ TEST_F(Algorithm1Test, MoreDimensionsReduceTrainingMse) {
     return m;
   };
   EXPECT_LT(best(d3), best(d1));
+}
+
+TEST_F(Algorithm1Test, FastSamplerReproducesReferenceDesigns) {
+  // End-to-end determinism contract: running Algorithm 1 with the fast
+  // sampler and with the retained reference implementation must select the
+  // same designs (the per-job chains are bitwise identical).
+  OptimisationFramework fast_of(settings_, x_train_, models_, area_);
+  const auto fast = fast_of.run();
+  settings_.gibbs.reference_impl = true;
+  OptimisationFramework ref_of(settings_, x_train_, models_, area_);
+  const auto ref = ref_of.run();
+  ASSERT_EQ(fast.size(), ref.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fast[i].training_mse, ref[i].training_mse);
+    EXPECT_DOUBLE_EQ(fast[i].area_estimate, ref[i].area_estimate);
+    ASSERT_EQ(fast[i].columns.size(), ref[i].columns.size());
+    for (std::size_t c = 0; c < fast[i].columns.size(); ++c) {
+      EXPECT_EQ(fast[i].columns[c].wordlength, ref[i].columns[c].wordlength);
+      EXPECT_EQ(fast[i].columns[c].values(), ref[i].columns[c].values());
+    }
+  }
 }
 
 TEST_F(Algorithm1Test, MissingModelThrowsAtConstruction) {

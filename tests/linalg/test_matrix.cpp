@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace oclp {
 namespace {
@@ -165,6 +167,71 @@ TEST(DataOps, CovarianceIsPositiveSemidefiniteDiagonal) {
     for (std::size_t c = 0; c < 50; ++c) x(r, c) = rng.normal();
   const Matrix cov = covariance(x);
   for (std::size_t i = 0; i < 4; ++i) EXPECT_GE(cov(i, i), 0.0);
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  return m;
+}
+
+TEST(Multiply, PooledMatchesSerialBitwise) {
+  // Row-parallel GEMM writes each output row with the same i-k-j
+  // accumulation as operator*, so the result is bitwise identical
+  // regardless of the pool.
+  const Matrix a = random_matrix(17, 9, 13);
+  const Matrix b = random_matrix(9, 23, 15);
+  const Matrix serial = a * b;
+  ThreadPool pool(4);
+  const Matrix pooled = multiply(a, b, &pool);
+  const Matrix no_pool = multiply(a, b, nullptr);
+  ASSERT_TRUE(pooled.same_shape(serial));
+  for (std::size_t i = 0; i < serial.rows(); ++i)
+    for (std::size_t j = 0; j < serial.cols(); ++j) {
+      EXPECT_EQ(pooled(i, j), serial(i, j));
+      EXPECT_EQ(no_pool(i, j), serial(i, j));
+    }
+}
+
+TEST(Multiply, NaiveGoldenReferenceAgrees) {
+  const Matrix a = random_matrix(8, 12, 17);
+  const Matrix b = random_matrix(12, 6, 19);
+  const Matrix fast = a * b;
+  const Matrix naive = multiply_naive(a, b);
+  for (std::size_t i = 0; i < fast.rows(); ++i)
+    for (std::size_t j = 0; j < fast.cols(); ++j)
+      EXPECT_NEAR(fast(i, j), naive(i, j), 1e-12 * std::abs(naive(i, j)) + 1e-14);
+}
+
+TEST(Multiply, ShapeMismatchThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(multiply(Matrix(2, 3), Matrix(2, 3), &pool), CheckError);
+  EXPECT_THROW(multiply_naive(Matrix(2, 3), Matrix(2, 3)), CheckError);
+}
+
+TEST(ReconstructionMse, MatchesExpressionBitwise) {
+  const Matrix x = random_matrix(6, 40, 21);
+  const Matrix basis = random_matrix(6, 3, 23);
+  const Matrix f = random_matrix(3, 40, 25);
+  const double fused = reconstruction_mse(x, basis, f);
+  const double expression = (x - basis * f).mean_square();
+  EXPECT_DOUBLE_EQ(fused, expression);
+}
+
+TEST(ReconstructionMse, ShapeMismatchThrows) {
+  EXPECT_THROW(reconstruction_mse(Matrix(6, 40), Matrix(6, 3), Matrix(2, 40)),
+               CheckError);
+  EXPECT_THROW(reconstruction_mse(Matrix(6, 40), Matrix(5, 3), Matrix(3, 40)),
+               CheckError);
+  EXPECT_THROW(reconstruction_mse(Matrix(6, 40), Matrix(6, 3), Matrix(3, 39)),
+               CheckError);
+}
+
+TEST(ReconstructionMse, EmptyDataIsZero) {
+  EXPECT_DOUBLE_EQ(reconstruction_mse(Matrix(0, 0), Matrix(0, 0), Matrix(0, 0)),
+                   0.0);
 }
 
 }  // namespace
