@@ -1,0 +1,230 @@
+// Serving-runtime benchmark (DESIGN.md "Serving runtime"): deploys a small
+// over-clocked Linear Projection design behind the ProjectionServer and
+// measures
+//
+//  1. throughput vs micro-batch size — the max_batch / max_wait dispatcher
+//     trade-off under a closed-loop load of identical request streams;
+//  2. the degradation trace: a temperature-derate step injected mid-run,
+//     the sampled safe-frequency checks catching the error-rate breach,
+//     the FrequencyGovernor stepping the clock down to the characterised
+//     floor and re-ramping after recovery.
+//
+// Results go to BENCH_serve.json so successive PRs can track the serving
+// trajectory mechanically. `--smoke` shrinks the load for CI.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "charlib/sweep.hpp"
+#include "common/rng.hpp"
+#include "fabric/calibration.hpp"
+#include "serve/server.hpp"
+
+using namespace oclp;
+
+namespace {
+
+constexpr int kWlX = 8;
+
+LinearProjectionDesign serve_design(double freq_mhz) {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column(
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+  d.columns.push_back(make_column(
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+  d.target_freq_mhz = freq_mhz;
+  d.origin = "bench-serve";
+  return d;
+}
+
+Device make_device() {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  return device;
+}
+
+std::vector<std::vector<std::uint32_t>> request_stream(std::size_t n,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::uint32_t>> reqs(n);
+  for (auto& codes : reqs) {
+    codes.resize(4);
+    for (auto& c : codes)
+      c = static_cast<std::uint32_t>(rng.uniform_u64(1u << kWlX));
+  }
+  return reqs;
+}
+
+struct ThroughputPoint {
+  std::size_t max_batch = 0;
+  std::uint64_t served = 0;
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double mean_batch_size = 0.0;
+};
+
+ThroughputPoint throughput_at_batch(std::size_t max_batch,
+                                    std::size_t requests) {
+  const auto design = serve_design(150.0);
+  const Device device = make_device();
+  auto plan = simulated_plan(design, reference_location_1());
+  plan.with_jitter = false;
+
+  ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = requests;  // closed-loop: nothing is shed
+  cfg.max_batch = max_batch;
+  cfg.max_wait_ms = 0.0;  // dispatch whatever has queued up
+  cfg.check_fraction = 0.05;
+  cfg.governor.f_target_mhz = 150.0;
+  cfg.governor.f_floor_mhz = 100.0;
+
+  ProjectionServer server(design, device, plan, kWlX, nullptr, cfg, nullptr);
+  const auto stream = request_stream(requests, 0xBE7C4);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i)
+    server.submit({static_cast<std::uint64_t>(i + 1), stream[i], 0.0});
+  server.wait_idle();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto snap = server.metrics_snapshot();
+
+  ThroughputPoint p;
+  p.max_batch = max_batch;
+  p.served = snap.served;
+  p.seconds = dt;
+  p.requests_per_sec = static_cast<double>(snap.served) / dt;
+  p.mean_batch_size = snap.mean_batch_size;
+  return p;
+}
+
+struct DegradationTrace {
+  double f_target_mhz = 0.0, f_floor_mhz = 0.0, hot_derate = 0.0;
+  ServeMetrics::Snapshot snap;
+};
+
+DegradationTrace degradation_trace(bool smoke) {
+  const Device device = make_device();
+  std::vector<double> freqs;
+  for (double f = 120.0; f <= 540.0; f += 20.0) freqs.push_back(f);
+  const auto curve =
+      error_rate_curve(device, 8, kWlX, reference_location_1(), freqs,
+                       smoke ? 200 : 600, 99);
+  const auto regimes = find_regimes(curve);
+  const double fb = regimes.error_free_fmax_mhz;
+  const double fc = regimes.usable_fmax_mhz;
+
+  DegradationTrace trace;
+  trace.f_target_mhz = 0.9 * fb;
+  trace.hot_derate = (fc + 20.0) / trace.f_target_mhz;
+  trace.f_floor_mhz = std::min(0.5 * fb, 0.9 * fb / trace.hot_derate);
+
+  GovernorConfig gov;
+  gov.f_target_mhz = trace.f_target_mhz;
+  gov.f_floor_mhz = trace.f_floor_mhz;
+  gov.slo_error_rate = 0.05;
+  gov.window_checks = smoke ? 16 : 32;
+  gov.step_down_factor = trace.f_floor_mhz / trace.f_target_mhz;
+  gov.step_up_mhz = trace.f_target_mhz - trace.f_floor_mhz;
+  gov.healthy_windows_to_ramp = 2;
+
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait_ms = 0.0;
+  cfg.check_fraction = 1.0;
+  cfg.governor = gov;
+
+  const auto design = serve_design(trace.f_target_mhz);
+  auto plan = simulated_plan(design, reference_location_1());
+  plan.with_jitter = false;
+
+  ProjectionServer server(design, device, plan, kWlX, nullptr, cfg, nullptr);
+  const std::size_t w = gov.window_checks;
+  const auto stream = request_stream(6 * w, 2014);
+  std::uint64_t id = 0;
+  auto drive = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i, ++id)
+      server.submit({id + 1, stream[id], 0.0});
+    server.wait_idle();
+  };
+  drive(2 * w);                        // nominal
+  server.set_timing_derate(trace.hot_derate);
+  drive(2 * w);                        // breach, step down, hold at floor
+  server.set_timing_derate(1.0);
+  drive(2 * w);                        // recover, ramp back
+  trace.snap = server.metrics_snapshot();
+  return trace;
+}
+
+void write_json(const char* path, bool smoke,
+                const std::vector<ThroughputPoint>& points,
+                const DegradationTrace& trace) {
+  std::ofstream os(path);
+  os.precision(10);
+  os << "{\n  \"bench\": \"serve\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"throughput_vs_batch\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    os << "    {\"max_batch\": " << p.max_batch << ", \"served\": " << p.served
+       << ", \"seconds\": " << p.seconds
+       << ", \"requests_per_sec\": " << p.requests_per_sec
+       << ", \"mean_batch_size\": " << p.mean_batch_size << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"degradation\": {\n"
+     << "    \"f_target_mhz\": " << trace.f_target_mhz << ",\n"
+     << "    \"f_floor_mhz\": " << trace.f_floor_mhz << ",\n"
+     << "    \"hot_derate\": " << trace.hot_derate << ",\n"
+     << "    \"served\": " << trace.snap.served << ",\n"
+     << "    \"checks\": " << trace.snap.checks << ",\n"
+     << "    \"check_errors\": " << trace.snap.check_errors << ",\n"
+     << "    \"window_error_rates\": [";
+  for (std::size_t i = 0; i < trace.snap.window_error_rates.size(); ++i)
+    os << (i ? ", " : "") << trace.snap.window_error_rates[i];
+  os << "],\n    \"frequency_timeline\": [";
+  for (std::size_t i = 0; i < trace.snap.frequency_timeline.size(); ++i)
+    os << (i ? ", " : "") << "{\"at_served\": "
+       << trace.snap.frequency_timeline[i].at_served
+       << ", \"freq_mhz\": " << trace.snap.frequency_timeline[i].freq_mhz
+       << "}";
+  os << "]\n  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::size_t requests = smoke ? 256 : 4096;
+  std::vector<ThroughputPoint> points;
+  for (std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16},
+                            std::size_t{64}}) {
+    points.push_back(throughput_at_batch(batch, requests));
+    std::printf("throughput: max_batch=%-3zu %8.0f req/s (mean batch %.2f)\n",
+                points.back().max_batch, points.back().requests_per_sec,
+                points.back().mean_batch_size);
+  }
+
+  const auto trace = degradation_trace(smoke);
+  std::printf(
+      "degradation: target %.1f MHz, hot derate %.2fx -> floor %.1f MHz; "
+      "%llu/%llu checks errored; %zu frequency changes\n",
+      trace.f_target_mhz, trace.hot_derate, trace.f_floor_mhz,
+      static_cast<unsigned long long>(trace.snap.check_errors),
+      static_cast<unsigned long long>(trace.snap.checks),
+      trace.snap.frequency_timeline.size());
+
+  write_json("BENCH_serve.json", smoke, points, trace);
+  std::printf("-> BENCH_serve.json\n");
+  return 0;
+}

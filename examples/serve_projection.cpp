@@ -1,0 +1,111 @@
+// Serving a Linear Projection design under load — the runtime half of the
+// story. The rest of the framework picks an over-clocked design; this
+// example deploys one behind the streaming ProjectionServer and walks
+// through a thermal incident:
+//
+//  1. characterise the device: fB / fC regime bounds of the 8×8 multiplier
+//     (charlib::find_regimes) anchor every clock the governor may pick;
+//  2. deploy the design at ~0.9·fB with micro-batching, a bounded queue
+//     and razor-style sampled duplicate checks at the safe floor clock;
+//  3. mid-run, the die heats up (delays stretch 30–60%): the checks catch
+//     the error-rate breach and the governor steps the clock down;
+//  4. the die cools, healthy windows accumulate, the clock ramps back.
+//
+// Build & run:  cmake --build build && ./build/examples/serve_projection
+#include <cstdio>
+#include <vector>
+
+#include "charlib/sweep.hpp"
+#include "common/rng.hpp"
+#include "fabric/calibration.hpp"
+#include "serve/server.hpp"
+
+using namespace oclp;
+
+int main() {
+  // --- 1. the device and its operating regimes ------------------------------
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+
+  std::vector<double> freqs;
+  for (double f = 120.0; f <= 540.0; f += 20.0) freqs.push_back(f);
+  const auto curve =
+      error_rate_curve(device, 8, 8, reference_location_1(), freqs, 400, 99);
+  const auto regimes = find_regimes(curve);
+  std::printf("characterised regimes: fB = %.0f MHz (error-free), "
+              "fC = %.0f MHz (usable)\n",
+              regimes.error_free_fmax_mhz, regimes.usable_fmax_mhz);
+
+  // --- 2. deploy a design just under fB -------------------------------------
+  const double f_target = 0.9 * regimes.error_free_fmax_mhz;
+  const double hot = (regimes.usable_fmax_mhz + 20.0) / f_target;
+  const double f_floor =
+      std::min(0.5 * regimes.error_free_fmax_mhz,
+               0.9 * regimes.error_free_fmax_mhz / hot);
+
+  LinearProjectionDesign design;
+  design.columns.push_back(make_column(
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+  design.columns.push_back(make_column(
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+  design.target_freq_mhz = f_target;
+  design.origin = "serve-example";
+
+  ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 8;
+  cfg.max_wait_ms = 0.1;
+  cfg.check_fraction = 1.0;  // small demo: check everything
+  cfg.governor.f_target_mhz = f_target;
+  cfg.governor.f_floor_mhz = f_floor;
+  cfg.governor.window_checks = 32;
+  cfg.governor.step_down_factor = f_floor / f_target;
+  cfg.governor.step_up_mhz = f_target - f_floor;
+  cfg.governor.healthy_windows_to_ramp = 2;
+
+  auto plan = simulated_plan(design, reference_location_1());
+  ProjectionServer server(design, device, plan, /*wl_x=*/8, nullptr, cfg,
+                          nullptr);
+  std::printf("deployed P=%zu -> K=%zu datapath at %.0f MHz "
+              "(floor %.0f MHz, %zu replicas)\n\n",
+              server.dims_p(), server.dims_k(), f_target, f_floor,
+              cfg.workers);
+
+  // --- 3./4. a thermal incident under steady load ---------------------------
+  Rng rng(7);
+  std::uint64_t id = 0;
+  auto drive = [&](std::size_t n, const char* phase) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::uint32_t> codes(server.dims_p());
+      for (auto& c : codes) c = static_cast<std::uint32_t>(rng.uniform_u64(256));
+      server.submit({++id, codes, 0.0});
+    }
+    server.wait_idle();
+    std::printf("%-28s clock %6.1f MHz, served %llu\n", phase,
+                server.governor().frequency_mhz(),
+                static_cast<unsigned long long>(server.metrics().served()));
+  };
+
+  drive(64, "nominal:");
+  server.set_timing_derate(hot);
+  std::printf("\n*** thermal event: delays stretch %.0f%% ***\n",
+              (hot - 1.0) * 100.0);
+  drive(64, "hot (governor reacts):");
+  server.set_timing_derate(1.0);
+  std::printf("\n*** die cooled back down ***\n");
+  drive(64, "recovered (clock re-ramps):");
+
+  // --- the whole story in one snapshot --------------------------------------
+  const auto snap = server.metrics_snapshot();
+  std::printf("\nper-window check-error rates:");
+  for (double r : snap.window_error_rates) std::printf(" %.2f", r);
+  std::printf("\nfrequency timeline:");
+  for (const auto& e : snap.frequency_timeline)
+    std::printf(" [%llu served: %.1f MHz]",
+                static_cast<unsigned long long>(e.at_served), e.freq_mhz);
+  std::printf("\ncheck errors: %llu of %llu checks; no silent corruption — "
+              "every degraded window ran at the safe floor\n",
+              static_cast<unsigned long long>(snap.check_errors),
+              static_cast<unsigned long long>(snap.checks));
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -93,9 +94,57 @@ void ErrorModel::save_csv_file(const std::string& path) const {
   save_csv(os);
 }
 
+namespace {
+
+// Strict field parsers: the whole field must be consumed (no trailing
+// garbage, no empty fields) so a truncated or shifted row fails loudly
+// instead of silently mis-filling the table.
+double parse_double_field(const std::string& field, const char* what,
+                          std::size_t lineno) {
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  OCLP_CHECK_MSG(!field.empty() && end == begin + field.size(),
+                 "error-model line " << lineno << ": non-numeric " << what
+                                     << " field '" << field << "'");
+  OCLP_CHECK_MSG(std::isfinite(v),
+                 "error-model line " << lineno << ": non-finite " << what);
+  return v;
+}
+
+long parse_int_field(const std::string& field, const char* what,
+                     std::size_t lineno) {
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  const long v = std::strtol(begin, &end, 10);
+  OCLP_CHECK_MSG(!field.empty() && end == begin + field.size(),
+                 "error-model line " << lineno << ": non-integer " << what
+                                     << " field '" << field << "'");
+  return v;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
 ErrorModel ErrorModel::load_csv(std::istream& is) {
   std::string line;
-  OCLP_CHECK_MSG(std::getline(is, line), "empty error-model stream");
+  OCLP_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                 "empty error-model stream");
+  OCLP_CHECK_MSG(line.rfind("wl_m,wl_x,m,freq_mhz", 0) == 0,
+                 "not an error-model CSV (bad header): " << line);
 
   struct Row {
     int wl_m, wl_x;
@@ -103,17 +152,42 @@ ErrorModel ErrorModel::load_csv(std::istream& is) {
     double freq, var, mean, rate;
   };
   std::vector<Row> rows;
+  std::size_t lineno = 1;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty()) continue;
+    const auto fields = split_fields(line);
+    OCLP_CHECK_MSG(fields.size() == 7,
+                   "error-model line " << lineno << " has " << fields.size()
+                                       << " fields, expected 7: " << line);
     Row r{};
-    char comma;
-    std::istringstream ls(line);
-    ls >> r.wl_m >> comma >> r.wl_x >> comma >> r.m >> comma >> r.freq >>
-        comma >> r.var >> comma >> r.mean >> comma >> r.rate;
-    OCLP_CHECK_MSG(!ls.fail(), "malformed error-model row: " << line);
+    const long wl_m = parse_int_field(fields[0], "wl_m", lineno);
+    const long wl_x = parse_int_field(fields[1], "wl_x", lineno);
+    OCLP_CHECK_MSG(wl_m >= 1 && wl_m <= 16 && wl_x >= 1 && wl_x <= 16,
+                   "error-model line " << lineno << ": word-lengths (" << wl_m
+                                       << ", " << wl_x
+                                       << ") outside the supported 1..16");
+    r.wl_m = static_cast<int>(wl_m);
+    r.wl_x = static_cast<int>(wl_x);
+    const long m = parse_int_field(fields[2], "m", lineno);
+    OCLP_CHECK_MSG(m >= 0 && m < (1L << r.wl_m),
+                   "error-model line " << lineno << ": multiplicand " << m
+                                       << " out of range for wl_m=" << r.wl_m);
+    r.m = static_cast<std::uint32_t>(m);
+    r.freq = parse_double_field(fields[3], "freq_mhz", lineno);
+    OCLP_CHECK_MSG(r.freq > 0.0, "error-model line " << lineno
+                                                     << ": frequency "
+                                                     << r.freq << " <= 0");
+    r.var = parse_double_field(fields[4], "variance", lineno);
+    r.mean = parse_double_field(fields[5], "mean_error", lineno);
+    r.rate = parse_double_field(fields[6], "error_rate", lineno);
+    OCLP_CHECK_MSG(r.var >= 0.0 && r.rate >= 0.0 && r.rate <= 1.0,
+                   "error-model line "
+                       << lineno << ": variance/rate out of range (var="
+                       << r.var << ", rate=" << r.rate << ")");
     rows.push_back(r);
   }
-  OCLP_CHECK(!rows.empty());
+  OCLP_CHECK_MSG(!rows.empty(), "error-model stream has a header but no rows");
 
   // Sorted-unique pass over the frequency column: a per-row linear scan is
   // O(rows²) on large multi-frequency grids.
@@ -124,12 +198,22 @@ ErrorModel ErrorModel::load_csv(std::istream& is) {
   freqs.erase(std::unique(freqs.begin(), freqs.end()), freqs.end());
 
   ErrorModel model(rows.front().wl_m, rows.front().wl_x, freqs);
+  // Rows may cover the (m, f) grid sparsely (missing cells stay zero), but
+  // conflicting duplicates would silently last-write-win — reject them.
+  std::vector<std::uint8_t> seen(model.var_.size(), 0);
   for (const auto& r : rows) {
     OCLP_CHECK_MSG(r.wl_m == model.wl_m_ && r.wl_x == model.wl_x_,
-                   "mixed word-lengths in one error-model file");
+                   "mixed word-lengths in one error-model file: ("
+                       << r.wl_m << ", " << r.wl_x << ") after ("
+                       << model.wl_m_ << ", " << model.wl_x_ << ")");
     const auto it = std::lower_bound(freqs.begin(), freqs.end(), r.freq);
-    model.set(r.m, static_cast<std::size_t>(it - freqs.begin()), r.var, r.mean,
-              r.rate);
+    const auto fi = static_cast<std::size_t>(it - freqs.begin());
+    const auto cell = model.index(r.m, fi);
+    OCLP_CHECK_MSG(!seen[cell], "duplicate error-model row for m=" << r.m
+                                                                   << ", freq="
+                                                                   << r.freq);
+    seen[cell] = 1;
+    model.set(r.m, fi, r.var, r.mean, r.rate);
   }
   return model;
 }

@@ -35,6 +35,11 @@ bool ThreadPool::current_thread_is_worker() const {
   return current_worker_pool == this;
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
@@ -99,7 +104,9 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    inflight_.fetch_add(1, std::memory_order_relaxed);
     task();  // exceptions propagate via the packaged_task's future
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -4,6 +4,7 @@
 // embarrassingly parallel.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -41,6 +42,14 @@ class ThreadPool {
   /// True iff the calling thread is one of this pool's workers.
   bool current_thread_is_worker() const;
 
+  /// Tasks accepted but not yet picked up by a worker. A point-in-time
+  /// gauge (another thread may pop concurrently); serving-layer metrics
+  /// sample it for queue-depth telemetry.
+  std::size_t queue_depth() const;
+
+  /// Tasks currently executing on workers (same caveat as queue_depth()).
+  std::size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+
   /// Process-wide shared pool for library internals.
   static ThreadPool& global();
 
@@ -49,8 +58,9 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<std::size_t> inflight_{0};
   bool stopping_ = false;
 };
 

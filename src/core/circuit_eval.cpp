@@ -61,9 +61,11 @@ ProjectionCircuit::ProjectionCircuit(const LinearProjectionDesign& design,
                                      std::uint64_t clock_seed)
     : design_(design),
       wl_x_(wl_x),
-      clock_(design.target_freq_mhz,
-             plan.with_jitter ? device.config().jitter_sigma_ns : 0.0,
-             clock_seed) {
+      models_(models),
+      freq_mhz_(design.target_freq_mhz),
+      jitter_sigma_ns_(plan.with_jitter ? device.config().jitter_sigma_ns : 0.0),
+      clock_seed_(clock_seed),
+      clock_(design.target_freq_mhz, jitter_sigma_ns_, clock_seed) {
   const std::size_t p = design.dims_p();
   const std::size_t k = design.dims_k();
   OCLP_CHECK(p >= 1 && k >= 1 && design.target_freq_mhz > 0.0);
@@ -72,27 +74,47 @@ ProjectionCircuit::ProjectionCircuit(const LinearProjectionDesign& design,
                              << k * p << " multipliers");
 
   sims_.reserve(k * p);
-  mean_correction_.assign(k, 0.0);
   for (std::size_t kk = 0; kk < k; ++kk) {
     const DesignColumn& col = design.columns[kk];
-    const double scale =
-        std::ldexp(1.0, col.wordlength + wl_x);  // 2^(wl + wl_x)
     for (std::size_t pp = 0; pp < p; ++pp) {
       const auto& place = plan.mult_placements[kk * p + pp];
       Netlist nl = make_multiplier_arch(design.arch, col.wordlength, wl_x);
       auto delays = annotate_timing(nl, device, place);
       sims_.push_back(std::make_unique<OverclockSim>(std::move(nl), std::move(delays)));
-      if (models != nullptr) {
-        const auto it = models->find(col.wordlength);
-        OCLP_CHECK_MSG(it != models->end(),
-                       "no error model for word-length " << col.wordlength);
-        mean_correction_[kk] += col.coeffs[pp].sign *
-                                it->second.mean_error(col.coeffs[pp].magnitude,
-                                                      design.target_freq_mhz) /
-                                scale;
-      }
     }
   }
+  recompute_mean_correction();
+}
+
+void ProjectionCircuit::recompute_mean_correction() {
+  const std::size_t p = dims_p();
+  const std::size_t k = dims_k();
+  mean_correction_.assign(k, 0.0);
+  if (models_ == nullptr) return;
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const DesignColumn& col = design_.columns[kk];
+    const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
+    const auto it = models_->find(col.wordlength);
+    OCLP_CHECK_MSG(it != models_->end(),
+                   "no error model for word-length " << col.wordlength);
+    for (std::size_t pp = 0; pp < p; ++pp)
+      mean_correction_[kk] += col.coeffs[pp].sign *
+                              it->second.mean_error(col.coeffs[pp].magnitude,
+                                                    freq_mhz_) /
+                              scale;
+  }
+}
+
+void ProjectionCircuit::set_clock(double freq_mhz, double timing_derate) {
+  OCLP_CHECK_MSG(freq_mhz > 0.0 && timing_derate > 0.0,
+                 "set_clock(" << freq_mhz << ", " << timing_derate << ")");
+  freq_mhz_ = freq_mhz;
+  // delay·d ≡ period/d: the derate folds into the effective clock. Each
+  // retarget gets a fresh deterministic jitter stream.
+  clock_ = ClockGen(freq_mhz * timing_derate, jitter_sigma_ns_,
+                    hash_mix(clock_seed_, 0xC10C5E7ULL,
+                             static_cast<std::uint64_t>(++retargets_)));
+  recompute_mean_correction();
 }
 
 std::vector<double> ProjectionCircuit::project(const std::vector<std::uint32_t>& x_codes) {

@@ -65,11 +65,32 @@ class ProjectionCircuit {
   /// circuit would produce with unlimited timing slack).
   std::vector<double> project_exact(const std::vector<std::uint32_t>& x_codes) const;
 
+  /// Re-target the clock without rebuilding the datapath: subsequent
+  /// samples are clocked at `freq_mhz` and the characterised mean-error
+  /// correction follows the new frequency. `timing_derate` injects a
+  /// mid-run environment change (temperature step, droop): the per-cell
+  /// delays are baked into the simulators at construction, but scaling
+  /// every delay by d is equivalent to shrinking the capture period by d,
+  /// so the effective simulated clock is freq_mhz · timing_derate while
+  /// corrections (and reporting) stay at the nominal frequency. Multiplier
+  /// register state is preserved across the switch, as on real hardware.
+  void set_clock(double freq_mhz, double timing_derate = 1.0);
+
+  /// Nominal clock the circuit currently serves at (excludes any derate).
+  double clock_mhz() const { return freq_mhz_; }
+
  private:
+  void recompute_mean_correction();
+
   LinearProjectionDesign design_;
   int wl_x_;
+  const std::map<int, ErrorModel>* models_;          ///< may be nullptr
   std::vector<std::unique_ptr<OverclockSim>> sims_;  ///< K·P, column-major
   std::vector<double> mean_correction_;              ///< per (k): Σ_p sign·mean
+  double freq_mhz_;
+  double jitter_sigma_ns_;
+  std::uint64_t clock_seed_;
+  int retargets_ = 0;
   ClockGen clock_;
   bool first_sample_ = true;
 };

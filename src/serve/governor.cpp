@@ -1,0 +1,74 @@
+#include "serve/governor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+FrequencyGovernor::FrequencyGovernor(const GovernorConfig& cfg)
+    : cfg_(cfg), freq_mhz_(cfg.f_target_mhz) {
+  OCLP_CHECK_MSG(cfg.f_floor_mhz > 0.0 && cfg.f_target_mhz >= cfg.f_floor_mhz,
+                 "governor needs 0 < f_floor <= f_target, got floor="
+                     << cfg.f_floor_mhz << " target=" << cfg.f_target_mhz);
+  OCLP_CHECK(cfg.slo_error_rate >= 0.0 && cfg.slo_error_rate <= 1.0);
+  OCLP_CHECK(cfg.window_checks >= 1);
+  OCLP_CHECK(cfg.step_down_factor > 0.0 && cfg.step_down_factor < 1.0);
+  OCLP_CHECK(cfg.step_up_mhz > 0.0 && cfg.healthy_windows_to_ramp >= 1);
+}
+
+double FrequencyGovernor::frequency_mhz() const {
+  std::lock_guard lock(mutex_);
+  return freq_mhz_;
+}
+
+std::size_t FrequencyGovernor::windows_closed() const {
+  std::lock_guard lock(mutex_);
+  return windows_;
+}
+
+std::size_t FrequencyGovernor::checks_recorded() const {
+  std::lock_guard lock(mutex_);
+  return total_checks_;
+}
+
+FrequencyGovernor::Decision FrequencyGovernor::record_check(bool error) {
+  std::lock_guard lock(mutex_);
+  ++total_checks_;
+  ++window_checks_;
+  if (error) ++window_errors_;
+
+  Decision d;
+  d.freq_mhz = freq_mhz_;
+  if (window_checks_ < cfg_.window_checks) return d;
+
+  d.window_closed = true;
+  d.window_error_rate = static_cast<double>(window_errors_) /
+                        static_cast<double>(window_checks_);
+  window_checks_ = window_errors_ = 0;
+  ++windows_;
+
+  if (d.window_error_rate > cfg_.slo_error_rate) {
+    healthy_streak_ = 0;
+    const double next =
+        std::max(cfg_.f_floor_mhz, freq_mhz_ * cfg_.step_down_factor);
+    d.action = next < freq_mhz_ ? Action::StepDown : Action::Hold;
+    freq_mhz_ = next;
+  } else {
+    ++healthy_streak_;
+    if (healthy_streak_ >= cfg_.healthy_windows_to_ramp &&
+        freq_mhz_ < cfg_.f_target_mhz) {
+      // Re-arm the streak so every step up costs a full healthy streak:
+      // the ramp back to the operating point is deliberately gradual.
+      healthy_streak_ = 0;
+      freq_mhz_ = std::min(cfg_.f_target_mhz, freq_mhz_ + cfg_.step_up_mhz);
+      d.action = Action::StepUp;
+    } else {
+      d.action = Action::Hold;
+    }
+  }
+  d.freq_mhz = freq_mhz_;
+  return d;
+}
+
+}  // namespace oclp

@@ -1,0 +1,73 @@
+// Online clock governor for the serving runtime.
+//
+// The paper's framework picks a *design-time* operating point beyond the
+// tool Fmax; deployed under load, the environment drifts (temperature,
+// droop, aging) and the characterised error model goes stale. The governor
+// closes the loop at run time: the server samples a fraction of requests
+// through a duplicate-at-safe-frequency check (razor-style detection, see
+// timing/razor.hpp) and feeds each verdict here. Decisions are taken per
+// window of `window_checks` verdicts — AIMD over the clock:
+//
+//   * window error rate >  slo_error_rate → multiplicative step DOWN,
+//     clamped at `f_floor_mhz` (the characterised error-free regime bound
+//     fB from charlib::find_regimes is the natural floor);
+//   * `healthy_windows_to_ramp` consecutive healthy windows → additive
+//     step UP of `step_up_mhz`, clamped at `f_target_mhz` (the design's
+//     over-clocked operating point, below the fC usability bound).
+//
+// Graceful degradation instead of silent corruption: throughput bends, the
+// served results stay inside the error SLO. Fully deterministic given the
+// verdict sequence; thread-safe (workers feed verdicts concurrently).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace oclp {
+
+struct GovernorConfig {
+  double f_target_mhz = 310.0;  ///< over-clocked operating point (ceiling)
+  double f_floor_mhz = 160.0;   ///< safe bound, e.g. characterised fB
+  double slo_error_rate = 0.05; ///< tolerated per-window check-error rate
+  std::size_t window_checks = 32;   ///< verdicts per decision window
+  double step_down_factor = 0.7;    ///< multiplicative decrease on breach
+  double step_up_mhz = 10.0;        ///< additive re-ramp per healthy streak
+  int healthy_windows_to_ramp = 3;  ///< consecutive healthy windows per step up
+};
+
+class FrequencyGovernor {
+ public:
+  explicit FrequencyGovernor(const GovernorConfig& cfg);
+
+  const GovernorConfig& config() const { return cfg_; }
+
+  /// Frequency requests are currently served at.
+  double frequency_mhz() const;
+
+  enum class Action { None, Hold, StepDown, StepUp };
+
+  struct Decision {
+    bool window_closed = false;     ///< this verdict completed a window
+    Action action = Action::None;   ///< what the closed window decided
+    double window_error_rate = 0.0; ///< error rate of the closed window
+    double freq_mhz = 0.0;          ///< frequency after the decision
+  };
+
+  /// Feed one check verdict (true = served result disagreed with the
+  /// safe-frequency duplicate). Returns the decision of the window this
+  /// verdict closed, or {window_closed = false} mid-window.
+  Decision record_check(bool error);
+
+  std::size_t windows_closed() const;
+  std::size_t checks_recorded() const;
+
+ private:
+  GovernorConfig cfg_;
+  mutable std::mutex mutex_;
+  double freq_mhz_;
+  std::size_t window_checks_ = 0, window_errors_ = 0;
+  std::size_t windows_ = 0, total_checks_ = 0;
+  int healthy_streak_ = 0;
+};
+
+}  // namespace oclp

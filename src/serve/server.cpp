@@ -1,0 +1,261 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace oclp {
+
+namespace {
+
+double to_ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+LinearProjectionDesign retargeted(LinearProjectionDesign design, double freq) {
+  design.target_freq_mhz = freq;
+  return design;
+}
+
+}  // namespace
+
+ProjectionServer::ProjectionServer(const LinearProjectionDesign& design,
+                                   const Device& device, const CircuitPlan& plan,
+                                   int wl_x,
+                                   const std::map<int, ErrorModel>* models,
+                                   const ServeConfig& cfg,
+                                   ResultCallback on_result)
+    : cfg_(cfg),
+      dims_p_(design.dims_p()),
+      dims_k_(design.dims_k()),
+      wl_x_(wl_x),
+      check_freq_mhz_(cfg.check_freq_mhz > 0.0 ? cfg.check_freq_mhz
+                                               : cfg.governor.f_floor_mhz),
+      on_result_(std::move(on_result)),
+      governor_(cfg.governor),
+      paused_(cfg.start_paused),
+      pool_(cfg.workers) {
+  OCLP_CHECK(cfg.workers >= 1 && cfg.queue_capacity >= 1 && cfg.max_batch >= 1);
+  OCLP_CHECK(cfg.max_wait_ms >= 0.0);
+  OCLP_CHECK(cfg.check_fraction >= 0.0 && cfg.check_fraction <= 1.0);
+  OCLP_CHECK(cfg.check_tolerance > 0.0);
+  OCLP_CHECK_MSG(check_freq_mhz_ <= cfg.governor.f_floor_mhz,
+                 "check frequency " << check_freq_mhz_
+                                    << " MHz is above the governor floor — the "
+                                       "safe duplicate would not be safe");
+
+  // Deploy the datapath replicas: the over-clocked serving copy at the
+  // governor's operating point and the safe-frequency shadow copy (no
+  // mean-error correction: at the safe clock the model's corrections are
+  // noise, and an uncorrected reference keeps the comparison honest).
+  for (std::size_t w = 0; w < cfg.workers; ++w) {
+    ProjectionCircuit serve(retargeted(design, cfg.governor.f_target_mhz),
+                            device, plan, wl_x, models,
+                            hash_mix(cfg.seed, w, 0x5E2FE1ULL));
+    ProjectionCircuit check(retargeted(design, check_freq_mhz_), device, plan,
+                            wl_x, /*models=*/nullptr,
+                            hash_mix(cfg.seed, w, 0xC3EC2ULL));
+    auto rep = std::make_unique<Replica>(std::move(serve), std::move(check));
+    rep->serve_freq_mhz = cfg.governor.f_target_mhz;
+    free_replicas_.push_back(std::move(rep));
+  }
+  metrics_.record_initial_frequency(cfg.governor.f_target_mhz);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+ProjectionServer::~ProjectionServer() { stop(); }
+
+bool ProjectionServer::submit(ServeRequest req) {
+  OCLP_CHECK_MSG(req.x_codes.size() == dims_p_,
+                 "request " << req.id << " has " << req.x_codes.size()
+                            << " codes for a P=" << dims_p_ << " design");
+  const std::uint32_t limit = std::uint32_t{1} << wl_x_;
+  for (std::uint32_t c : req.x_codes)
+    OCLP_CHECK_MSG(c < limit, "input code " << c << " out of range for wl_x="
+                                            << wl_x_);
+  metrics_.on_submitted();
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (stopping_) {
+      metrics_.on_rejected_full();
+      return false;
+    }
+    if (queue_.size() >= cfg_.queue_capacity) {
+      if (cfg_.overload == OverloadPolicy::RejectNewest) {
+        metrics_.on_rejected_full();
+        return false;
+      }
+      queue_.pop_front();
+      metrics_.on_shed_oldest();
+    }
+    queue_.push_back({std::move(req), Clock::now()});
+    metrics_.queue_depth_sample(queue_.size());
+  }
+  dispatch_cv_.notify_one();
+  return true;
+}
+
+void ProjectionServer::resume() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    paused_ = false;
+  }
+  dispatch_cv_.notify_all();
+}
+
+void ProjectionServer::wait_idle() {
+  std::unique_lock lock(queue_mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && inflight_batches_ == 0; });
+}
+
+void ProjectionServer::stop() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  dispatch_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  wait_idle();  // dispatcher drained the queue; wait out in-flight batches
+}
+
+void ProjectionServer::set_timing_derate(double derate) {
+  OCLP_CHECK(derate > 0.0);
+  derate_.store(derate, std::memory_order_relaxed);
+}
+
+double ProjectionServer::timing_derate() const {
+  return derate_.load(std::memory_order_relaxed);
+}
+
+ServeMetrics::Snapshot ProjectionServer::metrics_snapshot() const {
+  return metrics_.snapshot(&pool_);
+}
+
+bool ProjectionServer::sampled_for_check(std::uint64_t id) const {
+  if (cfg_.check_fraction >= 1.0) return true;
+  if (cfg_.check_fraction <= 0.0) return false;
+  const double u =
+      static_cast<double>(hash_mix(cfg_.seed, id, 0x5A3E17ULL) >> 11) *
+      0x1.0p-53;
+  return u < cfg_.check_fraction;
+}
+
+void ProjectionServer::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock lock(queue_mutex_);
+      dispatch_cv_.wait(
+          lock, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Micro-batch linger: once one request is waiting, hold the batch
+      // open up to max_wait for followers — latency traded for batch size.
+      if (queue_.size() < cfg_.max_batch && cfg_.max_wait_ms > 0.0 &&
+          !stopping_) {
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   cfg_.max_wait_ms));
+        dispatch_cv_.wait_until(lock, deadline, [&] {
+          return stopping_ || queue_.size() >= cfg_.max_batch;
+        });
+        if (queue_.empty()) continue;  // shed/raced away during the linger
+      }
+      const std::size_t n = std::min(cfg_.max_batch, queue_.size());
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      metrics_.queue_depth_sample(queue_.size());
+      ++inflight_batches_;
+    }
+    pool_.submit(
+        [this, b = std::make_shared<std::vector<Pending>>(std::move(batch))] {
+          process_batch(std::move(*b));
+        });
+  }
+}
+
+void ProjectionServer::process_batch(std::vector<Pending>&& batch) {
+  std::unique_ptr<Replica> rep;
+  {
+    std::unique_lock lock(replica_mutex_);
+    replica_cv_.wait(lock, [&] { return !free_replicas_.empty(); });
+    rep = std::move(free_replicas_.front());
+    free_replicas_.pop_front();
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(batch.size());
+  for (auto& pending : batch) {
+    const double waited_ms = to_ms(Clock::now() - pending.enqueued);
+    if (pending.req.deadline_ms > 0.0 && waited_ms > pending.req.deadline_ms) {
+      metrics_.on_shed_deadline();
+      continue;
+    }
+
+    // The governor and any injected derate are re-read per request, so a
+    // mid-batch step lands on the very next sample — batch boundaries
+    // affect throughput, never which frequency a request was served at.
+    const double freq = governor_.frequency_mhz();
+    const double derate = derate_.load(std::memory_order_relaxed);
+    if (rep->serve_freq_mhz != freq || rep->serve_derate != derate) {
+      rep->serve.set_clock(freq, derate);
+      rep->serve_freq_mhz = freq;
+      rep->serve_derate = derate;
+    }
+
+    ServeResult res;
+    res.id = pending.req.id;
+    res.freq_mhz = freq;
+    res.y = rep->serve.project(pending.req.x_codes);
+
+    if (sampled_for_check(pending.req.id)) {
+      if (rep->check_derate != derate) {
+        rep->check.set_clock(check_freq_mhz_, derate);
+        rep->check_derate = derate;
+      }
+      const auto ref = rep->check.project(pending.req.x_codes);
+      bool error = false;
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        if (std::abs(res.y[i] - ref[i]) > cfg_.check_tolerance) {
+          error = true;
+          break;
+        }
+      res.checked = true;
+      res.check_error = error;
+      metrics_.on_check(error);
+      const auto decision = governor_.record_check(error);
+      if (decision.window_closed)
+        metrics_.on_window(
+            decision.window_error_rate, decision.freq_mhz,
+            decision.action == FrequencyGovernor::Action::StepDown ||
+                decision.action == FrequencyGovernor::Action::StepUp);
+    }
+
+    res.latency_ms = to_ms(Clock::now() - pending.enqueued);
+    latencies.push_back(res.latency_ms);
+    metrics_.on_served();
+    if (on_result_) on_result_(res);
+  }
+  metrics_.on_batch(batch.size(), latencies);
+
+  {
+    std::lock_guard lock(replica_mutex_);
+    free_replicas_.push_back(std::move(rep));
+  }
+  replica_cv_.notify_one();
+  {
+    std::lock_guard lock(queue_mutex_);
+    --inflight_batches_;
+  }
+  idle_cv_.notify_all();
+}
+
+}  // namespace oclp

@@ -1,0 +1,185 @@
+// Streaming inference runtime for a realised Linear Projection design.
+//
+// The rest of the library answers "which design should I put on this
+// device"; this layer runs the chosen design under load — the ROADMAP's
+// production-serving north star. Architecture:
+//
+//   submit() → bounded request queue → dispatcher (micro-batching:
+//   max_batch / max_wait) → ThreadPool batch tasks → per-replica placed
+//   datapaths (core/circuit_eval) → result callback
+//
+//  * Backpressure: the queue is bounded. When full, RejectNewest bounces
+//    the incoming request back to the caller (load shedding at the edge)
+//    and ShedOldest drops the stalest queued request (freshness under
+//    overload). Requests may also carry a deadline; a request whose
+//    deadline has lapsed by the time a worker picks it up is shed rather
+//    than served dead-on-arrival.
+//  * Online error detection: a configurable fraction of requests is
+//    duplicated through a second datapath clocked at a safe frequency
+//    (razor-style time redundancy at the request level — the shadow copy
+//    gets the timing slack the over-clocked one gave up; see
+//    timing/razor.hpp for the register-level analogue). Mismatches beyond
+//    `check_tolerance` are timing errors and feed the FrequencyGovernor,
+//    which trades clock rate against the error SLO (see governor.hpp).
+//  * Environment drift is injected with set_timing_derate() — circuits
+//    bake per-cell delays at construction, and a global delay scale is
+//    exactly a period scale (see ProjectionCircuit::set_clock), so a
+//    temperature step mid-run is a derate step here.
+//
+// Determinism: with one worker and a jitter-free plan the served outputs,
+// check verdicts and governor trajectory depend only on the submission
+// order — batch boundaries affect throughput, never results — which is
+// what makes the end-to-end degradation test (tests/serve) bit-exact.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/circuit_eval.hpp"
+#include "serve/governor.hpp"
+#include "serve/metrics.hpp"
+
+namespace oclp {
+
+enum class OverloadPolicy { RejectNewest, ShedOldest };
+
+struct ServeRequest {
+  std::uint64_t id = 0;
+  std::vector<std::uint32_t> x_codes;  ///< P input codes, < 2^wl_x
+  /// Latest acceptable queue+service start delay; <= 0 means no deadline.
+  double deadline_ms = 0.0;
+};
+
+struct ServeResult {
+  std::uint64_t id = 0;
+  std::vector<double> y;       ///< projected factors (value units)
+  double freq_mhz = 0.0;       ///< governor frequency it was served at
+  bool checked = false;        ///< went through the safe-frequency duplicate
+  bool check_error = false;    ///< duplicate disagreed (timing error)
+  double latency_ms = 0.0;     ///< submit → served
+};
+
+struct ServeConfig {
+  std::size_t workers = 2;          ///< pool threads == datapath replicas
+  std::size_t queue_capacity = 1024;
+  std::size_t max_batch = 16;
+  double max_wait_ms = 0.5;         ///< batch linger once one request is in
+  OverloadPolicy overload = OverloadPolicy::RejectNewest;
+  double check_fraction = 0.05;     ///< sampled duplicate-check rate
+  double check_freq_mhz = 0.0;      ///< safe clock; 0 → governor floor
+  double check_tolerance = 0.05;    ///< per-element |Δy| flagging an error
+  std::uint64_t seed = 1;           ///< check sampling + replica clock seeds
+  bool start_paused = false;        ///< queue only until resume() (tests)
+  GovernorConfig governor;
+};
+
+class ProjectionServer {
+ public:
+  using ResultCallback = std::function<void(const ServeResult&)>;
+
+  /// The design is deployed as `cfg.workers` independent replicas of the
+  /// placed datapath (each replica owns its sequential register state), at
+  /// the governor's target frequency. `models` supplies mean-error
+  /// corrections exactly as in ProjectionCircuit; may be nullptr.
+  /// `on_result` is invoked from worker threads for every served request
+  /// (never for shed/rejected ones); it must be thread-safe when
+  /// cfg.workers > 1.
+  ProjectionServer(const LinearProjectionDesign& design, const Device& device,
+                   const CircuitPlan& plan, int wl_x,
+                   const std::map<int, ErrorModel>* models,
+                   const ServeConfig& cfg, ResultCallback on_result);
+  ~ProjectionServer();
+
+  ProjectionServer(const ProjectionServer&) = delete;
+  ProjectionServer& operator=(const ProjectionServer&) = delete;
+
+  /// Enqueue a request. Returns false iff it was rejected (queue full under
+  /// RejectNewest, or the server is stopping). Thread-safe.
+  bool submit(ServeRequest req);
+
+  /// Start dispatching when constructed with start_paused (no-op otherwise).
+  void resume();
+
+  /// Block until the queue is drained and no batch is in flight.
+  void wait_idle();
+
+  /// Drain and shut down (idempotent; the destructor calls it).
+  void stop();
+
+  /// Inject an environment change: all replica datapaths (served and check
+  /// paths alike) run with every delay scaled by `derate` from the next
+  /// request on. 1.0 is the characterised environment.
+  void set_timing_derate(double derate);
+  double timing_derate() const;
+
+  const FrequencyGovernor& governor() const { return governor_; }
+  ServeMetrics& metrics() { return metrics_; }
+  /// Metrics snapshot including the worker-pool gauges.
+  ServeMetrics::Snapshot metrics_snapshot() const;
+
+  std::size_t dims_p() const { return dims_p_; }
+  std::size_t dims_k() const { return dims_k_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    ServeRequest req;
+    Clock::time_point enqueued;
+  };
+
+  /// One deployed copy of the datapath: the over-clocked serving path and
+  /// its safe-frequency shadow, plus the clock settings they currently run
+  /// at (so retargets only happen when the governor or derate moved).
+  struct Replica {
+    Replica(ProjectionCircuit s, ProjectionCircuit c)
+        : serve(std::move(s)), check(std::move(c)) {}
+    ProjectionCircuit serve;
+    ProjectionCircuit check;
+    double serve_freq_mhz = 0.0;
+    double serve_derate = 1.0;
+    double check_derate = 1.0;
+  };
+
+  void dispatcher_loop();
+  void process_batch(std::vector<Pending>&& batch);
+  bool sampled_for_check(std::uint64_t id) const;
+
+  ServeConfig cfg_;
+  std::size_t dims_p_, dims_k_;
+  int wl_x_;
+  double check_freq_mhz_;
+  ResultCallback on_result_;
+
+  FrequencyGovernor governor_;
+  ServeMetrics metrics_;
+
+  std::deque<std::unique_ptr<Replica>> free_replicas_;
+  std::mutex replica_mutex_;
+  std::condition_variable replica_cv_;
+
+  std::deque<Pending> queue_;
+  mutable std::mutex queue_mutex_;
+  std::condition_variable dispatch_cv_;  ///< dispatcher wakeups
+  std::condition_variable idle_cv_;      ///< wait_idle wakeups
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::size_t inflight_batches_ = 0;
+
+  std::atomic<double> derate_{1.0};
+
+  ThreadPool pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace oclp

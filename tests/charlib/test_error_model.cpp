@@ -115,8 +115,123 @@ TEST(ErrorModel, LoadDedupsUnsortedRepeatedFrequencies) {
 TEST(ErrorModel, LoadRejectsGarbage) {
   std::stringstream empty;
   EXPECT_THROW(ErrorModel::load_csv(empty), CheckError);
-  std::stringstream bad("header\nnot,numbers,at,all,x,y,z\n");
+  std::stringstream bad(
+      "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n"
+      "not,numbers,at,all,x,y,z\n");
   EXPECT_THROW(ErrorModel::load_csv(bad), CheckError);
+}
+
+namespace {
+// A valid one-row stream with `row` substituted — each malformed-input test
+// perturbs exactly one thing.
+std::string csv_with_row(const std::string& row) {
+  return "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n" + row + "\n";
+}
+}  // namespace
+
+TEST(ErrorModel, LoadRejectsTruncatedRow) {
+  std::stringstream five_fields(csv_with_row("3,4,2,100,0.5"));
+  EXPECT_THROW(ErrorModel::load_csv(five_fields), CheckError);
+  std::stringstream cut_mid_field(csv_with_row("3,4,2,10"));
+  EXPECT_THROW(ErrorModel::load_csv(cut_mid_field), CheckError);
+}
+
+TEST(ErrorModel, LoadRejectsExtraFieldsAndTrailingGarbage) {
+  std::stringstream extra(csv_with_row("3,4,2,100,0.5,0.0,0.1,junk"));
+  EXPECT_THROW(ErrorModel::load_csv(extra), CheckError);
+  // Garbage glued onto an otherwise-numeric field used to parse silently.
+  std::stringstream glued(csv_with_row("3,4,2,100,0.5,0.0,0.1x"));
+  EXPECT_THROW(ErrorModel::load_csv(glued), CheckError);
+}
+
+TEST(ErrorModel, LoadRejectsNonNumericField) {
+  std::stringstream bad_var(csv_with_row("3,4,2,100,NOPE,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(bad_var), CheckError);
+  std::stringstream empty_field(csv_with_row("3,4,2,,0.5,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(empty_field), CheckError);
+  std::stringstream inf_var(csv_with_row("3,4,2,100,inf,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(inf_var), CheckError);
+}
+
+TEST(ErrorModel, LoadRejectsOutOfRangeValues) {
+  // Multiplicand beyond 2^wl_m: would index out of the table.
+  std::stringstream big_m(csv_with_row("3,4,8,100,0.5,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(big_m), CheckError);
+  std::stringstream neg_m(csv_with_row("3,4,-1,100,0.5,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(neg_m), CheckError);
+  std::stringstream bad_wl(csv_with_row("0,4,0,100,0.5,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(bad_wl), CheckError);
+  std::stringstream neg_freq(csv_with_row("3,4,2,-100,0.5,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(neg_freq), CheckError);
+  std::stringstream neg_var(csv_with_row("3,4,2,100,-0.5,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(neg_var), CheckError);
+  std::stringstream big_rate(csv_with_row("3,4,2,100,0.5,0.0,1.5"));
+  EXPECT_THROW(ErrorModel::load_csv(big_rate), CheckError);
+}
+
+TEST(ErrorModel, LoadRejectsHeaderlessStream) {
+  std::stringstream no_header("3,4,2,100,0.5,0.0,0.1\n");
+  EXPECT_THROW(ErrorModel::load_csv(no_header), CheckError);
+  std::stringstream header_only(
+      "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n");
+  EXPECT_THROW(ErrorModel::load_csv(header_only), CheckError);
+}
+
+TEST(ErrorModel, LoadRejectsDuplicateCell) {
+  std::stringstream dup(
+      "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n"
+      "3,4,2,100,0.5,0.0,0.1\n"
+      "3,4,2,100,0.9,0.0,0.2\n");
+  EXPECT_THROW(ErrorModel::load_csv(dup), CheckError);
+}
+
+TEST(ErrorModel, LoadRejectsMixedWordlengths) {
+  std::stringstream mixed(
+      "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n"
+      "3,4,2,100,0.5,0.0,0.1\n"
+      "4,4,2,100,0.5,0.0,0.1\n");
+  EXPECT_THROW(ErrorModel::load_csv(mixed), CheckError);
+}
+
+TEST(ErrorModel, RoundTripSingleFrequencyEdgeGrid) {
+  // The sweep's #Freqs=1 shape (the paper's own runtime example): one
+  // column, clamped everywhere, must survive save → load → save bitwise.
+  ErrorModel m(5, 9, {310.0});
+  for (std::uint32_t mm = 0; mm < 32; ++mm)
+    m.set(mm, 0, 0.25 * mm, 0.5 - 0.01 * mm, std::min(1.0, 0.03 * mm));
+  std::stringstream first;
+  m.save_csv(first);
+  std::stringstream input(first.str());
+  const auto loaded = ErrorModel::load_csv(input);
+  EXPECT_EQ(loaded.wordlength(), 5);
+  EXPECT_EQ(loaded.data_wordlength(), 9);
+  ASSERT_EQ(loaded.freqs_mhz(), m.freqs_mhz());
+  for (std::uint32_t mm = 0; mm < 32; ++mm) {
+    EXPECT_DOUBLE_EQ(loaded.variance(mm, 310.0), m.variance(mm, 310.0));
+    EXPECT_DOUBLE_EQ(loaded.error_rate(mm, 123.0), m.error_rate(mm, 310.0));
+  }
+  std::stringstream second;
+  loaded.save_csv(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ErrorModel, RoundTripMinimumWordlengthGrid) {
+  // wl_m = 3 (the Table-I sweep floor): 8 multiplicands, two frequencies.
+  ErrorModel m(3, 3, {150.0, 450.0});
+  for (std::uint32_t mm = 0; mm < 8; ++mm)
+    for (std::size_t fi = 0; fi < 2; ++fi)
+      m.set(mm, fi, 1e-3 * (mm + 1) * (fi + 1), -0.25 * mm, 0.125 * fi);
+  std::stringstream ss;
+  m.save_csv(ss);
+  const auto loaded = ErrorModel::load_csv(ss);
+  ASSERT_EQ(loaded.freqs_mhz(), m.freqs_mhz());
+  EXPECT_EQ(loaded.num_multiplicands(), 8u);
+  for (std::uint32_t mm = 0; mm < 8; ++mm)
+    for (double f : {150.0, 300.0, 450.0}) {
+      EXPECT_DOUBLE_EQ(loaded.variance(mm, f), m.variance(mm, f));
+      EXPECT_DOUBLE_EQ(loaded.mean_error(mm, f), m.mean_error(mm, f));
+      EXPECT_DOUBLE_EQ(loaded.error_rate(mm, f), m.error_rate(mm, f));
+    }
 }
 
 TEST(ErrorModel, ConstructionValidation) {

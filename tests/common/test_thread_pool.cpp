@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
@@ -149,6 +151,47 @@ TEST(ThreadPool, CurrentThreadIsWorkerDetection) {
   other.submit([&] { cross.store(pool.current_thread_is_worker() ? 1 : -1); })
       .get();
   EXPECT_EQ(cross.load(), -1);
+}
+
+TEST(ThreadPool, GaugesAreZeroAtRest) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.inflight(), 0u);
+}
+
+TEST(ThreadPool, QueueDepthAndInflightTrackBlockedWork) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  auto gate = release.get_future().share();
+  auto blocker = pool.submit([gate] { gate.wait(); });
+
+  // The single worker picks up the blocker; everything behind it queues.
+  while (pool.inflight() != 1) std::this_thread::yield();
+  std::vector<std::future<void>> rest;
+  for (int i = 0; i < 5; ++i) rest.push_back(pool.submit([] {}));
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  EXPECT_EQ(pool.inflight(), 1u);
+
+  release.set_value();
+  blocker.get();
+  for (auto& f : rest) f.get();
+  // The future resolves inside task(); the gauge decrement lands just after.
+  while (pool.inflight() != 0) std::this_thread::yield();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, InflightCountsConcurrentWorkers) {
+  ThreadPool pool(3);
+  std::promise<void> release;
+  auto gate = release.get_future().share();
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 3; ++i)
+    futures.push_back(pool.submit([gate] { gate.wait(); }));
+  while (pool.inflight() != 3) std::this_thread::yield();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  release.set_value();
+  for (auto& f : futures) f.get();
+  while (pool.inflight() != 0) std::this_thread::yield();
 }
 
 TEST(ThreadPool, ManyMoreChunksThanThreads) {

@@ -1,0 +1,185 @@
+#include "serve/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace oclp {
+namespace {
+
+using Action = FrequencyGovernor::Action;
+
+GovernorConfig small_cfg() {
+  GovernorConfig cfg;
+  cfg.f_target_mhz = 300.0;
+  cfg.f_floor_mhz = 100.0;
+  cfg.slo_error_rate = 0.10;
+  cfg.window_checks = 4;
+  cfg.step_down_factor = 0.5;
+  cfg.step_up_mhz = 50.0;
+  cfg.healthy_windows_to_ramp = 2;
+  return cfg;
+}
+
+// Feed a whole window of identical verdicts, returning the closing decision.
+FrequencyGovernor::Decision feed_window(FrequencyGovernor& gov, bool error,
+                                        std::size_t n) {
+  FrequencyGovernor::Decision last;
+  for (std::size_t i = 0; i < n; ++i) last = gov.record_check(error);
+  return last;
+}
+
+TEST(FrequencyGovernor, StartsAtTarget) {
+  FrequencyGovernor gov(small_cfg());
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 300.0);
+  EXPECT_EQ(gov.windows_closed(), 0u);
+  EXPECT_EQ(gov.checks_recorded(), 0u);
+}
+
+TEST(FrequencyGovernor, MidWindowVerdictsDoNotDecide) {
+  FrequencyGovernor gov(small_cfg());
+  for (int i = 0; i < 3; ++i) {
+    const auto d = gov.record_check(true);
+    EXPECT_FALSE(d.window_closed);
+    EXPECT_EQ(d.action, Action::None);
+    EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 300.0);  // no mid-window moves
+  }
+  EXPECT_EQ(gov.checks_recorded(), 3u);
+  EXPECT_EQ(gov.windows_closed(), 0u);
+}
+
+TEST(FrequencyGovernor, BreachStepsDownMultiplicatively) {
+  FrequencyGovernor gov(small_cfg());
+  const auto d = feed_window(gov, true, 4);
+  ASSERT_TRUE(d.window_closed);
+  EXPECT_EQ(d.action, Action::StepDown);
+  EXPECT_DOUBLE_EQ(d.window_error_rate, 1.0);
+  EXPECT_DOUBLE_EQ(d.freq_mhz, 150.0);  // 300 × 0.5
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 150.0);
+  EXPECT_EQ(gov.windows_closed(), 1u);
+}
+
+TEST(FrequencyGovernor, StepDownClampsAtFloorThenHolds) {
+  FrequencyGovernor gov(small_cfg());
+  feed_window(gov, true, 4);  // 300 → 150
+  const auto at_floor = feed_window(gov, true, 4);
+  EXPECT_EQ(at_floor.action, Action::StepDown);
+  EXPECT_DOUBLE_EQ(at_floor.freq_mhz, 100.0);  // 150 × 0.5 clamps to floor
+  const auto held = feed_window(gov, true, 4);
+  EXPECT_EQ(held.action, Action::Hold);  // already at the floor
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 100.0);
+}
+
+TEST(FrequencyGovernor, ErrorRateAtSloIsHealthy) {
+  // The SLO is a tolerated rate: breach means strictly above it.
+  auto cfg = small_cfg();
+  cfg.window_checks = 10;
+  cfg.slo_error_rate = 0.10;
+  FrequencyGovernor gov(cfg);
+  auto d = gov.record_check(true);
+  for (int i = 0; i < 9; ++i) d = gov.record_check(false);
+  ASSERT_TRUE(d.window_closed);
+  EXPECT_DOUBLE_EQ(d.window_error_rate, 0.10);
+  EXPECT_EQ(d.action, Action::Hold);
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 300.0);
+}
+
+TEST(FrequencyGovernor, RampsBackAfterHealthyStreak) {
+  FrequencyGovernor gov(small_cfg());
+  feed_window(gov, true, 4);   // 300 → 150
+  const auto first = feed_window(gov, false, 4);
+  EXPECT_EQ(first.action, Action::Hold);  // streak 1 of 2
+  const auto second = feed_window(gov, false, 4);
+  EXPECT_EQ(second.action, Action::StepUp);
+  EXPECT_DOUBLE_EQ(second.freq_mhz, 200.0);  // 150 + 50
+  // The streak re-arms: the very next healthy window only holds.
+  const auto third = feed_window(gov, false, 4);
+  EXPECT_EQ(third.action, Action::Hold);
+  const auto fourth = feed_window(gov, false, 4);
+  EXPECT_EQ(fourth.action, Action::StepUp);
+  EXPECT_DOUBLE_EQ(fourth.freq_mhz, 250.0);
+}
+
+TEST(FrequencyGovernor, StepUpClampsAtTargetAndStopsThere) {
+  auto cfg = small_cfg();
+  cfg.step_up_mhz = 500.0;  // one step overshoots without the clamp
+  FrequencyGovernor gov(cfg);
+  feed_window(gov, true, 4);  // 300 → 150
+  feed_window(gov, false, 4);
+  const auto up = feed_window(gov, false, 4);
+  EXPECT_EQ(up.action, Action::StepUp);
+  EXPECT_DOUBLE_EQ(up.freq_mhz, 300.0);
+  // At the target, further healthy windows never "ramp".
+  feed_window(gov, false, 4);
+  const auto at_target = feed_window(gov, false, 4);
+  EXPECT_EQ(at_target.action, Action::Hold);
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 300.0);
+}
+
+TEST(FrequencyGovernor, BreachResetsHealthyStreak) {
+  FrequencyGovernor gov(small_cfg());
+  feed_window(gov, true, 4);   // 300 → 150
+  feed_window(gov, false, 4);  // streak 1
+  feed_window(gov, true, 4);   // breach resets; 150 → 100 (floor)
+  feed_window(gov, false, 4);  // streak must rebuild from zero
+  const auto d = feed_window(gov, false, 4);
+  EXPECT_EQ(d.action, Action::StepUp);
+  EXPECT_DOUBLE_EQ(d.freq_mhz, 150.0);
+}
+
+TEST(FrequencyGovernor, CountersTrackWindowsAndChecks) {
+  FrequencyGovernor gov(small_cfg());
+  for (int i = 0; i < 11; ++i) gov.record_check(i % 5 == 0);
+  EXPECT_EQ(gov.checks_recorded(), 11u);
+  EXPECT_EQ(gov.windows_closed(), 2u);  // 11 / 4
+}
+
+TEST(FrequencyGovernor, DeterministicGivenVerdictSequence) {
+  const std::vector<bool> verdicts = {true,  false, true, true,  false, false,
+                                      false, false, true, false, false, false};
+  auto run = [&] {
+    FrequencyGovernor gov(small_cfg());
+    for (bool v : verdicts) gov.record_check(v);
+    return gov.frequency_mhz();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(FrequencyGovernor, ConcurrentVerdictsAreAllCounted) {
+  auto cfg = small_cfg();
+  cfg.window_checks = 1000;  // one window across all threads
+  FrequencyGovernor gov(cfg);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 250; ++i) gov.record_check(false);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(gov.checks_recorded(), 1000u);
+  EXPECT_EQ(gov.windows_closed(), 1u);
+}
+
+TEST(FrequencyGovernor, ConfigValidation) {
+  auto bad = small_cfg();
+  bad.f_floor_mhz = 400.0;  // floor above target
+  EXPECT_THROW(FrequencyGovernor{bad}, CheckError);
+  bad = small_cfg();
+  bad.step_down_factor = 1.0;
+  EXPECT_THROW(FrequencyGovernor{bad}, CheckError);
+  bad = small_cfg();
+  bad.window_checks = 0;
+  EXPECT_THROW(FrequencyGovernor{bad}, CheckError);
+  bad = small_cfg();
+  bad.slo_error_rate = 1.5;
+  EXPECT_THROW(FrequencyGovernor{bad}, CheckError);
+  bad = small_cfg();
+  bad.healthy_windows_to_ramp = 0;
+  EXPECT_THROW(FrequencyGovernor{bad}, CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -100,6 +100,59 @@ TEST(Razor, TightShadowMarginLetsErrorsEscape) {
   EXPECT_GT(razor.errors_undetected(), 0u);
 }
 
+TEST(Razor, UndetectedStepsReturnStaleOutputs) {
+  // Whenever the shadow itself was stale, the returned outputs — recovered
+  // or not — cannot equal the settled product: silent corruption for real.
+  RazorConfig cfg;
+  cfg.shadow_margin_ns = 0.05;
+  auto razor = make_razor(8, 0.4, cfg);
+  razor.reset(mult_in(0, 0, 8));
+  Rng rng(6);
+  std::size_t undetected_steps = 0, detected_steps = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned a = rng.uniform_u64(256), b = rng.uniform_u64(256);
+    const auto res = razor.step(mult_in(a, b, 8), 2.5);
+    if (res.error_detected) ++detected_steps;
+    if (res.undetected_error) {
+      ++undetected_steps;
+      EXPECT_NE(from_bits(res.outputs), static_cast<std::uint64_t>(a) * b);
+    }
+  }
+  ASSERT_GT(undetected_steps, 0u);
+  EXPECT_EQ(razor.errors_undetected(), undetected_steps);
+  EXPECT_EQ(razor.errors_detected(), detected_steps);
+}
+
+TEST(Razor, UndetectedErrorsDoNotPayRecoveryPenalty) {
+  // Only *detected* errors trigger flush-and-replay; escaped errors cost
+  // nothing on the schedule (that is what makes them dangerous).
+  RazorConfig cfg;
+  cfg.shadow_margin_ns = 0.05;
+  cfg.recovery_penalty_cycles = 4;
+  auto razor = make_razor(8, 0.4, cfg);
+  razor.reset(mult_in(0, 0, 8));
+  Rng rng(7);
+  for (int i = 0; i < 1500; ++i)
+    razor.step(mult_in(rng.uniform_u64(256), rng.uniform_u64(256), 8), 2.5);
+  EXPECT_GT(razor.errors_undetected(), 0u);
+  EXPECT_EQ(razor.cycles_consumed(),
+            razor.samples_processed() + 4 * razor.errors_detected());
+}
+
+TEST(Razor, ZeroRecoveryPenaltyKeepsFullThroughput) {
+  RazorConfig cfg;
+  cfg.shadow_margin_ns = 50.0;
+  cfg.recovery_penalty_cycles = 0;
+  auto razor = make_razor(8, 0.4, cfg);
+  razor.reset(mult_in(0, 0, 8));
+  Rng rng(8);
+  for (int i = 0; i < 600; ++i)
+    razor.step(mult_in(rng.uniform_u64(256), rng.uniform_u64(256), 8), 3.0);
+  EXPECT_GT(razor.errors_detected(), 0u);  // errors occur and are corrected
+  EXPECT_EQ(razor.cycles_consumed(), razor.samples_processed());
+  EXPECT_DOUBLE_EQ(razor.effective_throughput(), 1.0);
+}
+
 TEST(Razor, ConfigValidation) {
   RazorConfig bad;
   bad.shadow_margin_ns = 0.0;
