@@ -201,64 +201,79 @@ std::vector<CharTrace> CharacterisationCircuit::run_multi(
   Workspace local;
   Workspace& ws = workspace ? *workspace : local;
 
+  const std::size_t n = xs.size();
   std::vector<CharTrace> traces(nf);
   for (auto& t : traces) {
-    t.observed.reserve(xs.size());
-    t.expected.reserve(xs.size());
-    t.error.reserve(xs.size());
+    t.observed.resize(n);
+    t.expected.resize(n);
+    t.error.resize(n);
+  }
+  // FSM bookkeeping per virtual per-frequency run (see run()): the stream
+  // is loaded/drained through the BRAM in bram_depth batches.
+  std::size_t processed = 0;
+  while (processed < n) {
+    const std::size_t batch = std::min(cfg_.bram_depth, n - processed);
+    for (auto& t : traces) t.fsm_cycles += 2 * batch + 4;
+    processed += batch;
   }
 
   std::vector<std::uint8_t> in;
   in.reserve(static_cast<std::size_t>(cfg_.wl_m + cfg_.wl_x));
-  auto encode = [&](std::uint32_t x) {
-    in.clear();
-    append_bits(in, m, cfg_.wl_m);
-    append_bits(in, x, cfg_.wl_x);
-  };
+  append_bits(in, m, cfg_.wl_m);
+  append_bits(in, 0, cfg_.wl_x);
+  sim_.reset(ws.sim, in);
 
-  encode(0);
-  sim_.reset(ws, in);
-
-  std::size_t processed = 0;
-  while (processed < xs.size()) {
-    const std::size_t batch = std::min(cfg_.bram_depth, xs.size() - processed);
-    // FSM bookkeeping per virtual per-frequency run (see run()).
-    for (auto& t : traces) t.fsm_cycles += 2 * batch + 4;
-    for (std::size_t i = 0; i < batch; ++i) {
-      const std::uint32_t x = xs[processed + i];
-      OCLP_DCHECK(x < (1u << cfg_.wl_x));
-      encode(x);
-      sim_.advance(ws, in);
-
-      double j = 0.0;
-      if (sigma > 0.0) {
-        j = jitter_rng.normal(0.0, sigma);
-        const double lim = 4.0 * sigma;  // ClockGen's ±4σ clamp
-        if (j > lim) j = lim;
-        if (j < -lim) j = -lim;
-      }
-
-      const std::uint64_t exp =
-          static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(x);
-      const std::size_t nbits = ws.out_settle.size();
-      for (std::size_t fi = 0; fi < nf; ++fi) {
-        const double period = periods[fi] + j;
-        std::uint64_t obs = 0;
-        for (std::size_t k = 0; k < nbits; ++k) {
-          const std::uint8_t bit =
-              ws.out_settle[k] <= period ? ws.out_next[k] : ws.out_prev[k];
-          obs |= static_cast<std::uint64_t>(bit) << k;
-        }
-        CharTrace& t = traces[fi];
-        t.observed.push_back(obs);
-        t.expected.push_back(exp);
-        t.error.push_back(static_cast<std::int64_t>(obs) -
-                          static_cast<std::int64_t>(exp));
-        if (obs != exp) ++t.erroneous;
-      }
-    }
-    processed += batch;
+  // Flatten the stream into an input-bit matrix and settle the whole cone
+  // in one batched pass: ws.stream then holds, per edge, the settled
+  // output word plus the (bit, settle) list of outputs that toggled.
+  const std::size_t nin = in.size();
+  const std::size_t wlm = static_cast<std::size_t>(cfg_.wl_m);
+  ws.input_bits.resize(n * nin);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t x = xs[i];
+    OCLP_DCHECK(x < (1u << cfg_.wl_x));
+    std::uint8_t* row = ws.input_bits.data() + i * nin;
+    for (std::size_t b = 0; b < wlm; ++b)
+      row[b] = static_cast<std::uint8_t>((m >> b) & 1u);
+    for (std::size_t b = wlm; b < nin; ++b)
+      row[b] = static_cast<std::uint8_t>((x >> (b - wlm)) & 1u);
   }
+  sim_.run_stream(ws.sim, ws.input_bits.data(), n, ws.stream);
+
+  // Sampling a frequency is then obs = settled word with the too-late
+  // toggled bits flipped back — bitwise identical to thresholding every
+  // bit, but O(toggled) per frequency instead of O(output width).
+  const std::uint32_t* tbegin = ws.stream.toggle_begin.data();
+  const std::uint8_t* tbit = ws.stream.toggle_bit.data();
+  const double* tsettle = ws.stream.toggle_settle.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    double j = 0.0;
+    if (sigma > 0.0) {
+      j = jitter_rng.normal(0.0, sigma);
+      const double lim = 4.0 * sigma;  // ClockGen's ±4σ clamp
+      if (j > lim) j = lim;
+      if (j < -lim) j = -lim;
+    }
+
+    const std::uint64_t exp =
+        static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(xs[i]);
+    const std::uint64_t settled = ws.stream.settled[i];
+    for (std::size_t fi = 0; fi < nf; ++fi) {
+      const double period = periods[fi] + j;
+      std::uint64_t obs = settled;
+      for (std::uint32_t ti = tbegin[i]; ti < tbegin[i + 1]; ++ti)
+        obs ^= static_cast<std::uint64_t>(tsettle[ti] > period) << tbit[ti];
+      CharTrace& t = traces[fi];
+      t.observed[i] = obs;
+      t.error[i] =
+          static_cast<std::int64_t>(obs) - static_cast<std::int64_t>(exp);
+      t.erroneous += static_cast<std::size_t>(obs != exp);
+    }
+    traces[0].expected[i] = exp;
+  }
+  // The expected sequence is frequency-independent; fill it once and copy.
+  for (std::size_t fi = 1; fi < nf; ++fi)
+    traces[fi].expected = traces[0].expected;
   return traces;
 }
 

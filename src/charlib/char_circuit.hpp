@@ -52,8 +52,15 @@ struct CharTrace {
 
 class CharacterisationCircuit {
  public:
-  /// Per-thread scratch state for the const run_multi() path.
-  using Workspace = OverclockSim::State;
+  /// Per-thread scratch state for the const run_multi() path: the sim
+  /// state, the batched stream snapshot, and the flattened input-bit
+  /// matrix. Reusing one workspace across calls keeps the hot path free of
+  /// heap allocation.
+  struct Workspace {
+    OverclockSim::State sim;
+    OverclockSim::SweepStream stream;
+    std::vector<std::uint8_t> input_bits;  ///< row-major samples x inputs
+  };
 
   CharacterisationCircuit(const CharCircuitConfig& cfg, const Device& device,
                           const Placement& placement);

@@ -117,7 +117,8 @@ void ProjectionCircuit::set_clock(double freq_mhz, double timing_derate) {
   recompute_mean_correction();
 }
 
-std::vector<double> ProjectionCircuit::project(const std::vector<std::uint32_t>& x_codes) {
+void ProjectionCircuit::project(const std::vector<std::uint32_t>& x_codes,
+                                std::vector<double>& y) {
   const std::size_t p = dims_p();
   const std::size_t k = dims_k();
   OCLP_CHECK(x_codes.size() == p);
@@ -125,30 +126,81 @@ std::vector<double> ProjectionCircuit::project(const std::vector<std::uint32_t>&
   // All multipliers share the mult_clk domain: one jittered period per edge.
   const double period = clock_.next_period_ns();
 
-  std::vector<double> y(k, 0.0);
-  std::vector<std::uint8_t> in;
+  y.assign(k, 0.0);
   for (std::size_t kk = 0; kk < k; ++kk) {
     const DesignColumn& col = design_.columns[kk];
     const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
     for (std::size_t pp = 0; pp < p; ++pp) {
       OverclockSim& sim = *sims_[kk * p + pp];
-      in.clear();
-      append_bits(in, col.coeffs[pp].magnitude, col.wordlength);
-      append_bits(in, x_codes[pp], wl_x_);
+      in_.clear();
+      append_bits(in_, col.coeffs[pp].magnitude, col.wordlength);
+      append_bits(in_, x_codes[pp], wl_x_);
       if (first_sample_) {
         std::vector<std::uint8_t> init;
         append_bits(init, col.coeffs[pp].magnitude, col.wordlength);
         append_bits(init, 0, wl_x_);
         sim.reset(init);
       }
-      const auto out = sim.step(in, period);
+      const auto out = sim.step(in_, period);
       const double product = static_cast<double>(from_bits(out));
       y[kk] += col.coeffs[pp].sign * product / scale;
     }
     y[kk] -= mean_correction_[kk];
   }
   first_sample_ = false;
+}
+
+std::vector<double> ProjectionCircuit::project(const std::vector<std::uint32_t>& x_codes) {
+  std::vector<double> y;
+  project(x_codes, y);
   return y;
+}
+
+void ProjectionCircuit::project_settled(
+    const std::vector<const std::vector<std::uint32_t>*>& batch,
+    std::vector<std::vector<double>>& ys) {
+  const std::size_t p = dims_p();
+  const std::size_t k = dims_k();
+  ys.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    OCLP_CHECK(batch[i] != nullptr && batch[i]->size() == p);
+    ys[i].assign(k, 0.0);
+  }
+
+  for (std::size_t base = 0; base < batch.size(); base += 64) {
+    const std::size_t lanes = std::min<std::size_t>(64, batch.size() - base);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const DesignColumn& col = design_.columns[kk];
+      const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
+      for (std::size_t pp = 0; pp < p; ++pp) {
+        const CompiledNetlist& cnl = sims_[kk * p + pp]->compiled();
+        lane_words_.assign(cnl.num_nets(), 0);
+        // Multiplicand bits are shared by every lane; streamed-operand
+        // bits carry one request per lane.
+        for (int b = 0; b < col.wordlength; ++b)
+          if ((col.coeffs[pp].magnitude >> b) & 1u)
+            lane_words_[static_cast<std::size_t>(cnl.input_net(
+                static_cast<std::size_t>(b)))] = ~std::uint64_t{0};
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const std::uint32_t x = (*batch[base + l])[pp];
+          for (int b = 0; b < wl_x_; ++b)
+            lane_words_[static_cast<std::size_t>(cnl.input_net(
+                static_cast<std::size_t>(col.wordlength + b)))] |=
+                static_cast<std::uint64_t>((x >> b) & 1u) << l;
+        }
+        cnl.eval64(lane_words_);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          std::uint64_t product = 0;
+          for (std::size_t o = 0; o < cnl.num_outputs(); ++o)
+            product |=
+                ((lane_words_[static_cast<std::size_t>(cnl.out_net(o))] >> l) & 1u)
+                << o;
+          ys[base + l][kk] += col.coeffs[pp].sign *
+                              static_cast<double>(product) / scale;
+        }
+      }
+    }
+  }
 }
 
 std::vector<double> ProjectionCircuit::project_exact(
@@ -184,10 +236,11 @@ double evaluate_hardware_mse(const LinearProjectionDesign& design,
 
   double total_sq = 0.0;
   std::vector<double> sample(design.dims_p());
+  std::vector<double> y;
   for (std::size_t i = 0; i < x.cols(); ++i) {
     for (std::size_t r = 0; r < design.dims_p(); ++r) sample[r] = x(r, i);
     const auto codes = encode_input(sample, wl_x);
-    auto y = circuit.project(codes);
+    circuit.project(codes, y);
     for (std::size_t k = 0; k < y.size(); ++k) y[k] -= offset[k];
     // f = (ΛᵀΛ)⁻¹ y;  x̂ = μ + Λ f
     std::vector<double> f(design.dims_k(), 0.0);

@@ -58,12 +58,25 @@ class ProjectionCircuit {
   std::size_t dims_p() const { return design_.dims_p(); }
   std::size_t dims_k() const { return design_.dims_k(); }
 
-  /// One clocked sample through all K·P multipliers.
+  /// One clocked sample through all K·P multipliers. The out-param
+  /// overload reuses the caller's buffer (no allocation once warm).
+  void project(const std::vector<std::uint32_t>& x_codes, std::vector<double>& y);
   std::vector<double> project(const std::vector<std::uint32_t>& x_codes);
 
   /// Error-free reference projection of the same input codes (what the
   /// circuit would produce with unlimited timing slack).
   std::vector<double> project_exact(const std::vector<std::uint32_t>& x_codes) const;
+
+  /// Fully-settled projections of a batch of input-code vectors: the
+  /// functional value of the placed datapath for each request — what a
+  /// duplicate register with unlimited timing slack would capture. No
+  /// mean-error correction (the settled datapath is exact, corrections are
+  /// an over-clocking artefact). Runs 64 requests per eval64 pass through
+  /// each multiplier's compiled netlist; timing-free by construction, so
+  /// it never touches clock or register state. `ys` is resized to
+  /// batch.size() rows of K entries.
+  void project_settled(const std::vector<const std::vector<std::uint32_t>*>& batch,
+                       std::vector<std::vector<double>>& ys);
 
   /// Re-target the clock without rebuilding the datapath: subsequent
   /// samples are clocked at `freq_mhz` and the characterised mean-error
@@ -93,6 +106,8 @@ class ProjectionCircuit {
   int retargets_ = 0;
   ClockGen clock_;
   bool first_sample_ = true;
+  std::vector<std::uint8_t> in_;            ///< project() scratch, reused
+  std::vector<std::uint64_t> lane_words_;   ///< project_settled() scratch
 };
 
 /// End-to-end hardware evaluation: run `x` (value-domain P×N) through the

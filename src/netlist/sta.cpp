@@ -2,24 +2,37 @@
 
 #include <algorithm>
 
+#include "netlist/compiled.hpp"
+
 namespace oclp {
 
 StaResult static_timing(const Netlist& nl, const std::vector<double>& cell_delay_ns) {
   OCLP_CHECK_MSG(cell_delay_ns.size() == nl.num_cells(),
                  "need one delay per cell: " << cell_delay_ns.size() << " vs "
                                              << nl.num_cells());
-  StaResult res;
-  res.arrival_ns.assign(nl.num_nets(), 0.0);
-  const auto& cells = nl.cells();
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    double arr = 0.0;
-    const int arity = cell_arity(c.type);
-    for (int k = 0; k < arity; ++k)
-      arr = std::max(arr, res.arrival_ns[c.in[k]]);
-    res.arrival_ns[nl.num_inputs() + i] =
-        arr + (cell_is_free(c.type) ? 0.0 : cell_delay_ns[i]);
+  // STA is purely structural: a constant-valued cell still owns its delay
+  // and every original net must stay addressable, so lower without folding
+  // or sweeping. Free-cell elision is exact here too (Buf arrival equals
+  // its driver's, Const arrival is 0).
+  CompileOptions opts;
+  opts.fold_constants = false;
+  opts.sweep_dead = false;
+  const CompiledNetlist cnl = CompiledNetlist::compile(nl, opts);
+  const std::vector<double> delay = cnl.gather_delays(cell_delay_ns);
+
+  std::vector<double> arr(cnl.num_nets(), 0.0);
+  const std::size_t base = 2 + cnl.num_inputs();
+  for (std::size_t ci = 0; ci < cnl.num_cells(); ++ci) {
+    double a = 0.0;
+    for (int k = 0; k < 3; ++k)  // sentinel/unused slots arrive at 0
+      a = std::max(a, arr[cnl.fanin(ci, k)]);
+    arr[base + ci] = a + delay[ci];
   }
+
+  StaResult res;
+  res.arrival_ns.resize(nl.num_nets());
+  for (std::size_t n = 0; n < nl.num_nets(); ++n)
+    res.arrival_ns[n] = arr[cnl.alias_of(static_cast<std::int32_t>(n))];
   for (auto o : nl.outputs()) {
     if (res.arrival_ns[o] > res.critical_path_ns) {
       res.critical_path_ns = res.arrival_ns[o];

@@ -15,10 +15,14 @@
 //    deadline has lapsed by the time a worker picks it up is shed rather
 //    than served dead-on-arrival.
 //  * Online error detection: a configurable fraction of requests is
-//    duplicated through a second datapath clocked at a safe frequency
-//    (razor-style time redundancy at the request level — the shadow copy
-//    gets the timing slack the over-clocked one gave up; see
-//    timing/razor.hpp for the register-level analogue). Mismatches beyond
+//    checked against the safe-clock duplicate's value (razor-style time
+//    redundancy at the request level — the shadow copy gets the timing
+//    slack the over-clocked one gave up; see timing/razor.hpp for the
+//    register-level analogue). Below the governor floor every output
+//    settles within the period, so the duplicate's capture IS the settled
+//    functional value — computed here in one batched eval64 pass over the
+//    replica's compiled netlists (ProjectionCircuit::project_settled)
+//    instead of a second simulated datapath. Mismatches beyond
 //    `check_tolerance` are timing errors and feed the FrequencyGovernor,
 //    which trades clock rate against the error SLO (see governor.hpp).
 //  * Environment drift is injected with set_timing_derate() — circuits
@@ -138,17 +142,21 @@ class ProjectionServer {
     Clock::time_point enqueued;
   };
 
-  /// One deployed copy of the datapath: the over-clocked serving path and
-  /// its safe-frequency shadow, plus the clock settings they currently run
-  /// at (so retargets only happen when the governor or derate moved).
+  /// One deployed copy of the datapath plus the clock settings it
+  /// currently runs at (so retargets only happen when the governor or
+  /// derate moved). The safe-clock duplicate check needs no second
+  /// circuit: its reference is the settled functional value, evaluated on
+  /// this same replica's compiled netlists (project_settled).
   struct Replica {
-    Replica(ProjectionCircuit s, ProjectionCircuit c)
-        : serve(std::move(s)), check(std::move(c)) {}
+    explicit Replica(ProjectionCircuit s) : serve(std::move(s)) {}
     ProjectionCircuit serve;
-    ProjectionCircuit check;
     double serve_freq_mhz = 0.0;
     double serve_derate = 1.0;
-    double check_derate = 1.0;
+    // process_batch scratch, reused across batches (no steady-state
+    // allocation): sampled requests, their references, request→ref index.
+    std::vector<const std::vector<std::uint32_t>*> check_inputs;
+    std::vector<std::vector<double>> check_refs;
+    std::vector<std::ptrdiff_t> ref_of;
   };
 
   void dispatcher_loop();

@@ -1,23 +1,34 @@
 #include "timing/overclock_sim.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 namespace oclp {
 
 OverclockSim::OverclockSim(Netlist nl, std::vector<double> cell_delay_ns)
-    : nl_(std::move(nl)), delay_(std::move(cell_delay_ns)) {
-  OCLP_CHECK_MSG(delay_.size() == nl_.num_cells(),
-                 "one delay per cell required: " << delay_.size() << " vs "
+    : nl_(std::move(nl)),
+      cnl_(CompiledNetlist::compile(nl_)) {
+  OCLP_CHECK_MSG(cell_delay_ns.size() == nl_.num_cells(),
+                 "one delay per cell required: " << cell_delay_ns.size() << " vs "
                                                  << nl_.num_cells());
+  delay_ = cnl_.gather_delays(cell_delay_ns);
   reset(state_, std::vector<std::uint8_t>(nl_.num_inputs(), 0));
   state_.initialised = false;  // the public contract still requires reset()
 }
 
 void OverclockSim::reset(State& st, const std::vector<std::uint8_t>& inputs) const {
-  st.prev = nl_.evaluate(inputs);
-  st.next.assign(nl_.num_nets(), 0);
-  st.settle.assign(nl_.num_nets(), 0.0);
-  const std::size_t no = nl_.outputs().size();
+  OCLP_CHECK(inputs.size() == nl_.num_inputs());
+  const std::size_t nn = cnl_.num_nets();
+  st.prev.resize(nn);
+  for (std::size_t i = 0; i < inputs.size(); ++i) st.prev[2 + i] = inputs[i];
+  cnl_.eval(st.prev);
+  // next is rewritten per advance except for the sentinel slots, which must
+  // hold their fixed values so the transition scan never sees them move.
+  st.next.assign(nn, 0);
+  st.next[CompiledNetlist::kConst1Net] = 1;
+  st.settle.assign(nn, 0.0);
+  const std::size_t no = cnl_.num_outputs();
   st.out_settle.assign(no, 0.0);
   st.out_prev.assign(no, 0);
   st.out_next.assign(no, 0);
@@ -30,50 +41,190 @@ void OverclockSim::advance(State& st, const std::vector<std::uint8_t>& inputs) c
   OCLP_CHECK_MSG(st.initialised, "OverclockSim::advance before reset");
   OCLP_CHECK(inputs.size() == nl_.num_inputs());
 
-  const std::size_t ni = nl_.num_inputs();
   // Registered inputs switch at the edge: settle 0, value = new input.
-  for (std::size_t i = 0; i < ni; ++i) {
-    st.next[i] = inputs[i];
-    st.settle[i] = 0.0;
-  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) st.next[2 + i] = inputs[i];
 
-  const auto& cells = nl_.cells();
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    const std::size_t out = ni + i;
-    const int arity = cell_arity(c.type);
-    const bool a = arity > 0 && st.next[c.in[0]];
-    const bool b = arity > 1 && st.next[c.in[1]];
-    const bool cc = arity > 2 && st.next[c.in[2]];
-    const std::uint8_t v = cell_eval(c.type, a, b, cc);
-    st.next[out] = v;
-    if (v == st.prev[out]) {
-      st.settle[out] = 0.0;  // no transition (glitches ignored)
+  // One linear walk over the levelized cells: a truth-table lookup for the
+  // functional value, then a transition scan over the three fanin slots
+  // (unused and baked slots point at sentinels, which never transition).
+  const std::uint8_t* tt = cnl_.truth_tables().data();
+  const std::int32_t* fanin = cnl_.fanins().data();
+  const std::size_t base = 2 + cnl_.num_inputs();
+  const std::size_t nc = cnl_.num_cells();
+  std::uint8_t* next = st.next.data();
+  const std::uint8_t* prev = st.prev.data();
+  double* settle = st.settle.data();
+  const double* delay = delay_.data();
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    const std::int32_t* f = fanin + 3 * ci;
+    const unsigned idx = static_cast<unsigned>(next[f[0]]) |
+                         static_cast<unsigned>(next[f[1]]) << 1 |
+                         static_cast<unsigned>(next[f[2]]) << 2;
+    const auto v = static_cast<std::uint8_t>((tt[ci] >> idx) & 1u);
+    const std::size_t out = base + ci;
+    next[out] = v;
+    // Toggle rates are low for realistic streams (a fixed multiplicand
+    // keeps most of the cone quiet), so skipping the settle arithmetic on
+    // the unchanged majority beats computing it branch-free. A fanin
+    // contributes its settle time only if it transitioned (masked to an
+    // exact 0.0 otherwise — settle times are non-negative, so the 0/1
+    // multiplication is exact). Every compiled cell owns its full delay:
+    // free cells were elided during lowering.
+    if (v == prev[out]) {
+      settle[out] = 0.0;
       continue;
     }
-    // The transition is launched by the latest-settling fanin that itself
-    // transitioned; if the cell is free (constant/buffer) it adds no delay.
-    double launch = 0.0;
-    for (int k = 0; k < arity; ++k) {
-      const auto in = c.in[k];
-      if (st.next[in] != st.prev[in]) launch = std::max(launch, st.settle[in]);
-    }
-    st.settle[out] = launch + (cell_is_free(c.type) ? 0.0 : delay_[i]);
+    double launch = settle[f[0]] * (next[f[0]] != prev[f[0]]);
+    launch = std::max(launch, settle[f[1]] * (next[f[1]] != prev[f[1]]));
+    launch = std::max(launch, settle[f[2]] * (next[f[2]] != prev[f[2]]));
+    settle[out] = launch + delay[ci];
   }
 
-  const auto& outs = nl_.outputs();
+  const std::size_t no = cnl_.num_outputs();
   double worst = 0.0;
-  for (std::size_t k = 0; k < outs.size(); ++k) {
-    const auto o = outs[k];
-    worst = std::max(worst, st.settle[o]);
-    st.out_settle[k] = st.settle[o];
-    st.out_prev[k] = st.prev[o];
-    st.out_next[k] = st.next[o];
+  for (std::size_t k = 0; k < no; ++k) {
+    const auto o = cnl_.out_net(k);
+    worst = std::max(worst, settle[o]);
+    st.out_settle[k] = settle[o];
+    st.out_prev[k] = prev[o];
+    st.out_next[k] = next[o];
   }
   st.last_output_settle_ns = worst;
   st.stepped = true;
 
   st.prev.swap(st.next);  // cone fully settles before the next edge (see header)
+}
+
+void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
+                              std::size_t n, SweepStream& out) const {
+  OCLP_CHECK_MSG(st.initialised, "OverclockSim::run_stream before reset");
+  const std::size_t no = cnl_.num_outputs();
+  OCLP_CHECK_MSG(no <= 64, "run_stream packs outputs into a 64-bit word");
+  const std::size_t ni = cnl_.num_inputs();
+  const std::size_t nn = cnl_.num_nets();
+  const std::size_t nc = cnl_.num_cells();
+  const std::size_t base = 2 + ni;
+
+  out.settled.resize(n);
+  out.toggle_begin.resize(n + 1);
+  out.toggle_bit.clear();
+  out.toggle_settle.clear();
+  out.toggle_begin[0] = 0;
+  if (n == 0) return;
+
+  out.words.resize(nn);
+  out.tog.resize(nn);
+  // Cell slots of the sparse settle array may be stale between edges — a
+  // cell's settle is only ever read under this edge's toggle mask, and a
+  // toggled cell is rewritten (in level order) before any read. Input and
+  // sentinel slots are registered/constant and must stay at exactly 0.
+  if (out.settle.size() != nn) out.settle.assign(nn, 0.0);
+  out.carry.resize(nn);
+  out.bcount.resize(64);
+
+  // The carry into lane 0 of each chunk is the settled value of the
+  // previous sample — initially the settled reset state of `st`.
+  std::memcpy(out.carry.data(), st.prev.data(), nn);
+
+  const std::int32_t* fanin = cnl_.fanins().data();
+  const double* delay = delay_.data();
+  std::uint64_t* words = out.words.data();
+  std::uint64_t* tog = out.tog.data();
+  double* settle = out.settle.data();
+
+  for (std::size_t c0 = 0; c0 < n; c0 += 64) {
+    const std::size_t cn = std::min<std::size_t>(64, n - c0);
+    const std::uint64_t lanemask =
+        cn == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << cn) - 1;
+
+    // Pack this chunk's input bits into lane words (lane l = sample c0+l).
+    for (std::size_t i = 0; i < ni; ++i) {
+      std::uint64_t w = 0;
+      const std::uint8_t* col = inputs + c0 * ni + i;
+      for (std::size_t l = 0; l < cn; ++l)
+        w |= static_cast<std::uint64_t>(col[l * ni] & 1u) << l;
+      words[2 + i] = w;
+    }
+    cnl_.eval64(out.words);
+
+    // Toggle words: lane l is set where sample c0+l differs from its
+    // predecessor (lane l-1, or the carried value for lane 0).
+    for (std::size_t net = 0; net < nn; ++net) {
+      const std::uint64_t w = words[net] & lanemask;
+      words[net] = w;
+      tog[net] = (w ^ ((w << 1) | out.carry[net])) & lanemask;
+      out.carry[net] = static_cast<std::uint8_t>((w >> (cn - 1)) & 1u);
+    }
+
+    // Bucket the toggled cells by lane (fixed nc-entry slot per lane so a
+    // single scan suffices); ascending ci keeps each lane's list in cell
+    // (hence level) order, which the settle propagation below relies on.
+    if (out.bucket.size() != 64 * nc) out.bucket.resize(64 * nc);
+    std::fill(out.bcount.begin(), out.bcount.end(), 0u);
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      std::uint64_t t = tog[base + ci];
+      while (t) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(t));
+        out.bucket[l * nc + out.bcount[l]++] = static_cast<std::int32_t>(ci);
+        t &= t - 1;
+      }
+    }
+
+    // Sparse settle propagation (same masked max/add arithmetic as
+    // advance(), so the doubles are bitwise identical) plus the per-lane
+    // output snapshot.
+    for (std::size_t l = 0; l < cn; ++l) {
+      const std::int32_t* lane = out.bucket.data() + l * nc;
+      for (std::uint32_t bi = 0, bn = out.bcount[l]; bi < bn; ++bi) {
+        const std::int32_t ci = lane[bi];
+        const std::int32_t* f = fanin + 3 * ci;
+        // A fanin contributes its settle time only if it toggled at this
+        // edge; the 0/1 multiplication is exact (settle times are
+        // non-negative) and matches advance()'s arithmetic bit for bit.
+        double launch = settle[f[0]] * static_cast<double>((tog[f[0]] >> l) & 1u);
+        launch = std::max(launch,
+                          settle[f[1]] * static_cast<double>((tog[f[1]] >> l) & 1u));
+        launch = std::max(launch,
+                          settle[f[2]] * static_cast<double>((tog[f[2]] >> l) & 1u));
+        settle[base + static_cast<std::size_t>(ci)] =
+            launch + delay[static_cast<std::size_t>(ci)];
+      }
+      const std::size_t s = c0 + l;
+      std::uint64_t w = 0;
+      out.toggle_begin[s] = static_cast<std::uint32_t>(out.toggle_bit.size());
+      for (std::size_t k = 0; k < no; ++k) {
+        const auto o = cnl_.out_net(k);
+        w |= ((words[o] >> l) & 1u) << k;
+        if ((tog[o] >> l) & 1u) {
+          out.toggle_bit.push_back(static_cast<std::uint8_t>(k));
+          out.toggle_settle.push_back(settle[o]);
+        }
+      }
+      out.settled[s] = w;
+    }
+  }
+  out.toggle_begin[n] = static_cast<std::uint32_t>(out.toggle_bit.size());
+
+  // Leave `st` in the state n advance() calls would have produced: prev =
+  // final settled values, per-output snapshot of the last edge.
+  for (std::size_t net = 0; net < nn; ++net) st.prev[net] = out.carry[net];
+  const std::size_t last = n - 1;
+  st.out_settle.assign(no, 0.0);
+  st.out_prev.resize(no);
+  st.out_next.resize(no);
+  for (std::size_t k = 0; k < no; ++k) {
+    st.out_next[k] = static_cast<std::uint8_t>((out.settled[last] >> k) & 1u);
+    st.out_prev[k] = st.out_next[k];
+  }
+  double worst = 0.0;
+  for (std::uint32_t t = out.toggle_begin[last]; t < out.toggle_begin[n]; ++t) {
+    const auto k = out.toggle_bit[t];
+    st.out_prev[k] ^= 1u;
+    st.out_settle[k] = out.toggle_settle[t];
+    worst = std::max(worst, out.toggle_settle[t]);
+  }
+  st.last_output_settle_ns = worst;
+  st.stepped = true;
 }
 
 void OverclockSim::capture(const State& st, double period_ns,
@@ -94,16 +245,27 @@ const std::vector<std::uint8_t>& OverclockSim::step(
   return captured_;
 }
 
-std::vector<std::uint8_t> OverclockSim::resample_last(double period_ns) const {
+void OverclockSim::resample_last(double period_ns,
+                                 std::vector<std::uint8_t>& out) const {
   OCLP_CHECK_MSG(state_.stepped, "resample_last before any step");
+  capture(state_, period_ns, out);
+}
+
+std::vector<std::uint8_t> OverclockSim::resample_last(double period_ns) const {
   std::vector<std::uint8_t> captured;
-  capture(state_, period_ns, captured);
+  resample_last(period_ns, captured);
   return captured;
 }
 
-std::vector<std::uint8_t> OverclockSim::last_settled_outputs() const {
+void OverclockSim::last_settled_outputs(std::vector<std::uint8_t>& out) const {
   OCLP_CHECK_MSG(state_.stepped, "last_settled_outputs before any step");
-  return state_.out_next;
+  out.assign(state_.out_next.begin(), state_.out_next.end());
+}
+
+std::vector<std::uint8_t> OverclockSim::last_settled_outputs() const {
+  std::vector<std::uint8_t> out;
+  last_settled_outputs(out);
+  return out;
 }
 
 }  // namespace oclp

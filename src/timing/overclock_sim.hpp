@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "netlist/compiled.hpp"
 #include "netlist/netlist.hpp"
 
 namespace oclp {
@@ -64,6 +65,9 @@ class OverclockSim {
   OverclockSim(Netlist nl, std::vector<double> cell_delay_ns);
 
   const Netlist& netlist() const { return nl_; }
+  /// The lowered form every evaluation runs on. Timing-free consumers
+  /// (ground truth, reference values) may run eval64 on it directly.
+  const CompiledNetlist& compiled() const { return cnl_; }
 
   // --- Shared-circuit API (thread-safe: only touches the given State) ---
 
@@ -80,6 +84,47 @@ class OverclockSim {
   /// (resized to the output count; no allocation once warm).
   void capture(const State& st, double period_ns,
                std::vector<std::uint8_t>& out) const;
+
+  /// Per-edge output snapshots of a whole input stream, as produced by
+  /// run_stream(): for each sample, the settled (fully-functional) output
+  /// word plus the (bit, settle-time) pairs of the outputs that toggled at
+  /// that edge. Sampling the stream at any period is then
+  ///
+  ///   obs = settled[s];
+  ///   for t in [toggle_begin[s], toggle_begin[s+1]):
+  ///     if (toggle_settle[t] > period) obs ^= 1 << toggle_bit[t];
+  ///
+  /// — bitwise identical to capture() on every bit, but O(toggled) per
+  /// period. Buffers (including the internal scratch) are reused across
+  /// calls: steady-state streaming performs no heap allocation.
+  struct SweepStream {
+    std::vector<std::uint64_t> settled;     ///< [n] settled output words
+    std::vector<std::uint32_t> toggle_begin;  ///< [n+1] offsets into the pair arrays
+    std::vector<std::uint8_t> toggle_bit;
+    std::vector<double> toggle_settle;
+
+    // Internal scratch of run_stream (value/toggle lane words, sparse
+    // settle state, per-lane toggled-cell buckets). Not part of the result.
+    std::vector<std::uint64_t> words, tog;
+    std::vector<double> settle;
+    std::vector<std::uint8_t> carry;
+    std::vector<std::int32_t> bucket;
+    std::vector<std::uint32_t> bcount;
+  };
+
+  /// Batched advance: streams `n` input vectors (row-major, num_inputs()
+  /// bytes per row) from the settled state in `st`, filling `out` with the
+  /// per-edge snapshot of every sample. Functional values are evaluated 64
+  /// samples at a time through the compiled netlist's bit-parallel eval64;
+  /// settle times are then propagated only through the cells that actually
+  /// toggled at each edge (typically a small fraction), using the same
+  /// masked max/add arithmetic as advance() — the resulting settle doubles
+  /// are bitwise identical. Requires num_outputs() <= 64 and a prior
+  /// reset() of `st`; on return `st` holds the same observable state as
+  /// `n` advance() calls (per-net settle times of untoggled nets excepted,
+  /// which later advance()/capture() calls never read).
+  void run_stream(State& st, const std::uint8_t* inputs, std::size_t n,
+                  SweepStream& out) const;
 
   // --- Convenience single-stream API over an internal State ---
 
@@ -98,14 +143,20 @@ class OverclockSim {
 
   /// Re-sample the most recent step's outputs at a different period —
   /// what a register on a delayed clock (e.g. a Razor shadow latch) would
-  /// have captured at the same launch edge. Valid after step().
+  /// have captured at the same launch edge. Valid after step(). The
+  /// out-param overload reuses the caller's buffer (no allocation once
+  /// warm) — prefer it in per-step hot paths.
+  void resample_last(double period_ns, std::vector<std::uint8_t>& out) const;
   std::vector<std::uint8_t> resample_last(double period_ns) const;
 
   /// Fully-settled output values of the most recent step (ground truth).
+  /// Same buffer-reuse convention as resample_last.
+  void last_settled_outputs(std::vector<std::uint8_t>& out) const;
   std::vector<std::uint8_t> last_settled_outputs() const;
 
  private:
   Netlist nl_;
+  CompiledNetlist cnl_;
   std::vector<double> delay_;
   State state_;                      // backs the convenience API
   std::vector<std::uint8_t> captured_;  // reusable step() output buffer

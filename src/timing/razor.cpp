@@ -15,19 +15,20 @@ RazorSim::StepResult RazorSim::step(const std::vector<std::uint8_t>& inputs,
                                     double period_ns) {
   StepResult result;
   result.outputs = sim_.step(inputs, period_ns);
-  const auto shadow = sim_.resample_last(period_ns + cfg_.shadow_margin_ns);
+  sim_.resample_last(period_ns + cfg_.shadow_margin_ns, shadow_);
 
   ++samples_;
   ++cycles_;
-  if (shadow != result.outputs) {
+  if (shadow_ != result.outputs) {
     result.error_detected = true;
     ++detected_;
     cycles_ += static_cast<std::size_t>(cfg_.recovery_penalty_cycles);
-    result.outputs = shadow;  // recover from the shadow latch
+    result.outputs = shadow_;  // recover from the shadow latch
   }
   // If even the shadow missed the settle time, the error escapes silently —
   // the designer must budget the margin so this cannot happen in the field.
-  if (shadow != sim_.last_settled_outputs()) {
+  sim_.last_settled_outputs(settled_);
+  if (shadow_ != settled_) {
     result.undetected_error = true;
     ++undetected_;
   }

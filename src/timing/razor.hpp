@@ -49,6 +49,7 @@ class RazorSim {
  private:
   OverclockSim sim_;
   RazorConfig cfg_;
+  std::vector<std::uint8_t> shadow_, settled_;  ///< step() scratch, reused
   std::size_t samples_ = 0, cycles_ = 0, detected_ = 0, undetected_ = 0;
 };
 

@@ -1,0 +1,225 @@
+// Lowering edge cases of the compiled levelized datapath: constant cones,
+// free-cell (Buf/Const) elision, dead-cell sweeping, and the compiled
+// ProjectionCircuit's clock/derate equivalence.
+#include "netlist/compiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/circuit_eval.hpp"
+#include "core/design.hpp"
+#include "fabric/calibration.hpp"
+#include "netlist/netlist.hpp"
+#include "timing/overclock_sim.hpp"
+
+namespace oclp {
+namespace {
+
+TEST(CompiledNetlist, AllConstantConeFoldsAway) {
+  NetlistBuilder nb;
+  const auto in = nb.add_inputs(2);
+  const auto c0 = nb.const0();
+  const auto c1 = nb.const1();
+  const auto n1 = nb.and_(in[0], c0);  // provably 0
+  const auto n2 = nb.or_(c1, in[1]);   // provably 1
+  const auto n3 = nb.xor_(n1, n2);     // both fanins constant -> provably 1
+  nb.mark_output(n1);
+  nb.mark_output(n2);
+  nb.mark_output(n3);
+  const Netlist nl = nb.build();
+
+  const CompiledNetlist cnl = CompiledNetlist::compile(nl);
+  EXPECT_EQ(cnl.num_cells(), 0u);
+  EXPECT_EQ(cnl.num_levels(), 0u);
+  EXPECT_EQ(cnl.stats().elided_free, 2u);      // the two Const cells
+  EXPECT_EQ(cnl.stats().folded_constant, 3u);  // n1, n2, n3
+  EXPECT_EQ(cnl.out_net(0), CompiledNetlist::kConst0Net);
+  EXPECT_EQ(cnl.out_net(1), CompiledNetlist::kConst1Net);
+  EXPECT_EQ(cnl.out_net(2), CompiledNetlist::kConst1Net);
+
+  std::vector<std::uint8_t> scratch, out;
+  for (std::uint8_t a = 0; a < 2; ++a)
+    for (std::uint8_t b = 0; b < 2; ++b) {
+      const std::vector<std::uint8_t> inputs{a, b};
+      cnl.eval_outputs(inputs, scratch, out);
+      EXPECT_EQ(out, nl.evaluate_outputs(inputs));
+    }
+
+  // A constant cone never transitions: even an absurdly short period
+  // captures the functional value.
+  OverclockSim sim(nl, std::vector<double>(nl.num_cells(), 0.7));
+  sim.reset({0, 0});
+  const auto captured = sim.step({1, 1}, 1e-9);
+  EXPECT_EQ(captured, nl.evaluate_outputs({1, 1}));
+  EXPECT_EQ(sim.last_output_settle_ns(), 0.0);
+}
+
+TEST(CompiledNetlist, BufChainsFeedingOutputsKeepSettleExact) {
+  NetlistBuilder nb;
+  const auto a = nb.add_input();
+  const auto b1 = nb.add_cell(CellType::Buf, a);
+  const auto b2 = nb.add_cell(CellType::Buf, b1);
+  const auto g = nb.not_(a);
+  const auto b3 = nb.add_cell(CellType::Buf, g);
+  const auto b4 = nb.add_cell(CellType::Buf, b3);
+  nb.mark_output(b2);  // input reaches an output through free cells only
+  nb.mark_output(b4);
+  const Netlist nl = nb.build();
+
+  const CompiledNetlist cnl = CompiledNetlist::compile(nl);
+  EXPECT_EQ(cnl.stats().elided_free, 4u);
+  EXPECT_EQ(cnl.num_cells(), 1u);  // only the Not survives
+  EXPECT_EQ(cnl.out_net(0), cnl.input_net(0));
+  EXPECT_EQ(cnl.out_net(1), cnl.cell_net(0));
+
+  // Buffers are annotated with (ignored) nonzero delays on purpose: the
+  // chain must contribute exactly zero to the settle profile.
+  std::vector<double> delays(nl.num_cells(), 123.0);
+  delays[static_cast<std::size_t>(g) - nl.num_inputs()] = 0.3;
+  OverclockSim sim(nl, delays);
+  OverclockSim::State st;
+  sim.reset(st, {0});
+  sim.advance(st, {1});
+  EXPECT_EQ(st.out_next, (std::vector<std::uint8_t>{1, 0}));
+  EXPECT_EQ(st.out_prev, (std::vector<std::uint8_t>{0, 1}));
+  EXPECT_EQ(st.out_settle[0], 0.0);  // registered input through Bufs
+  EXPECT_EQ(st.out_settle[1], 0.3);  // exactly the Not's delay
+  EXPECT_EQ(st.last_output_settle_ns, 0.3);
+}
+
+TEST(CompiledNetlist, DeadCellsWithSideFaninAreSweptOnlyWhenRequested) {
+  NetlistBuilder nb;
+  const auto in = nb.add_inputs(2);
+  const auto live = nb.xor_(in[0], in[1]);
+  const auto dead1 = nb.and_(live, in[0]);  // side fanin on a live net
+  const auto dead2 = nb.not_(dead1);
+  (void)dead2;
+  nb.mark_output(live);
+  const Netlist nl = nb.build();
+
+  const CompiledNetlist swept = CompiledNetlist::compile(nl);
+  EXPECT_EQ(swept.stats().swept_dead, 2u);
+  EXPECT_EQ(swept.num_cells(), 1u);
+  EXPECT_EQ(swept.out_net(0), swept.cell_net(0));
+  EXPECT_EQ(swept.alias_of(dead2), -1);  // swept nets lose their alias
+
+  // Structural mode (what STA uses): nothing folded, nothing swept, every
+  // original net still addressable.
+  CompileOptions structural;
+  structural.fold_constants = false;
+  structural.sweep_dead = false;
+  const CompiledNetlist full = CompiledNetlist::compile(nl, structural);
+  EXPECT_EQ(full.stats().swept_dead, 0u);
+  EXPECT_EQ(full.num_cells(), 3u);
+  for (std::int32_t n = 0; n < static_cast<std::int32_t>(nl.num_nets()); ++n)
+    EXPECT_GE(full.alias_of(n), 0) << "net " << n;
+
+  // The swept form still evaluates the outputs identically.
+  std::vector<std::uint8_t> scratch, out;
+  for (std::uint8_t a = 0; a < 2; ++a)
+    for (std::uint8_t b = 0; b < 2; ++b) {
+      const std::vector<std::uint8_t> inputs{a, b};
+      swept.eval_outputs(inputs, scratch, out);
+      EXPECT_EQ(out, nl.evaluate_outputs(inputs));
+    }
+}
+
+TEST(CompiledNetlist, LevelsAreContiguousAndRespectFanins) {
+  Rng rng(7);
+  NetlistBuilder nb;
+  nb.add_inputs(4);
+  for (int i = 0; i < 40; ++i) {
+    const auto pick = [&] {
+      return static_cast<std::int32_t>(rng.uniform_u64(nb.num_nets()));
+    };
+    nb.add_cell(CellType::Nand2, pick(), pick());
+  }
+  for (int o = 0; o < 6; ++o)
+    nb.mark_output(static_cast<std::int32_t>(rng.uniform_u64(nb.num_nets())));
+  const Netlist nl = nb.build();
+
+  const CompiledNetlist cnl = CompiledNetlist::compile(nl);
+  ASSERT_GE(cnl.num_levels(), 1u);
+  EXPECT_EQ(cnl.level_begin(0), 0u);
+  EXPECT_EQ(cnl.level_begin(cnl.num_levels()), cnl.num_cells());
+  const auto base = cnl.cell_net(0);
+  for (std::size_t l = 0; l < cnl.num_levels(); ++l) {
+    EXPECT_LT(cnl.level_begin(l), cnl.level_begin(l + 1));  // non-empty
+    for (std::size_t ci = cnl.level_begin(l); ci < cnl.level_begin(l + 1); ++ci)
+      for (int k = 0; k < 3; ++k) {
+        const auto f = cnl.fanin(ci, k);
+        if (f >= base) {  // a cell fanin must live in a strictly lower level
+          EXPECT_LT(static_cast<std::size_t>(f - base), cnl.level_begin(l));
+        }
+      }
+  }
+}
+
+class CompiledProjection : public ::testing::Test {
+ protected:
+  CompiledProjection() : device_(reference_device_config(), kReferenceDieSeed) {
+    device_.set_temperature(kCharacterisationTempC);
+    design_.columns.push_back(make_column({0.75, -0.5, 0.25, 0.125}, 5));
+    design_.columns.push_back(make_column({-0.25, 0.625, -0.75, 0.5}, 5));
+    design_.arch = MultArch::Array;
+    design_.target_freq_mhz = 310.0;
+  }
+
+  std::vector<std::uint32_t> random_codes(Rng& rng) const {
+    std::vector<std::uint32_t> codes(design_.dims_p());
+    for (auto& c : codes)
+      c = static_cast<std::uint32_t>(rng.uniform_u64(1u << kWlX));
+    return codes;
+  }
+
+  static constexpr int kWlX = 7;
+  Device device_;
+  LinearProjectionDesign design_;
+};
+
+TEST_F(CompiledProjection, SetClockDerateMatchesEquivalentFrequency) {
+  // delay x d == period / d: a derated clock at f must behave exactly like
+  // an underated clock at f*d (same jitter stream, no corrections).
+  const auto plan = simulated_plan(design_, reference_location_1());
+  ProjectionCircuit derated(design_, device_, plan, kWlX, nullptr, 42);
+  ProjectionCircuit scaled(design_, device_, plan, kWlX, nullptr, 42);
+  derated.set_clock(300.0, 0.8);
+  scaled.set_clock(300.0 * 0.8, 1.0);
+  EXPECT_DOUBLE_EQ(derated.clock_mhz(), 300.0);  // nominal excludes derate
+  EXPECT_DOUBLE_EQ(scaled.clock_mhz(), 240.0);
+
+  Rng rng(11);
+  std::vector<double> ya, yb;
+  for (int s = 0; s < 40; ++s) {
+    const auto codes = random_codes(rng);
+    derated.project(codes, ya);
+    scaled.project(codes, yb);
+    ASSERT_EQ(ya.size(), yb.size());
+    for (std::size_t k = 0; k < ya.size(); ++k)
+      ASSERT_EQ(ya[k], yb[k]) << "sample " << s << " dim " << k;
+  }
+}
+
+TEST_F(CompiledProjection, ProjectSettledMatchesExactReference) {
+  const auto plan = simulated_plan(design_, reference_location_1());
+  ProjectionCircuit circuit(design_, device_, plan, kWlX, nullptr, 3);
+
+  Rng rng(23);
+  std::vector<std::vector<std::uint32_t>> requests;
+  for (int i = 0; i < 130; ++i) requests.push_back(random_codes(rng));
+  std::vector<const std::vector<std::uint32_t>*> batch;
+  for (const auto& r : requests) batch.push_back(&r);
+
+  std::vector<std::vector<double>> ys;
+  circuit.project_settled(batch, ys);
+  ASSERT_EQ(ys.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto exact = circuit.project_exact(requests[i]);
+    ASSERT_EQ(ys[i].size(), exact.size());
+    for (std::size_t k = 0; k < exact.size(); ++k)
+      ASSERT_EQ(ys[i][k], exact[k]) << "request " << i << " dim " << k;
+  }
+}
+
+}  // namespace
+}  // namespace oclp
