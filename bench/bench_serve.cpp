@@ -4,7 +4,11 @@
 //
 //  1. throughput vs micro-batch size — the max_batch / max_wait dispatcher
 //     trade-off under a closed-loop load of identical request streams;
-//  2. the degradation trace: a temperature-derate step injected mid-run,
+//  2. batch scaling of the projection kernel itself — samples/sec of the
+//     batched run_stream path (ProjectionCircuit::project_batch) against
+//     the per-sample scalar loop, on the same jittered clock stream, with
+//     a bitwise checksum proving the two paths agree on every output;
+//  3. the degradation trace: a temperature-derate step injected mid-run,
 //     the sampled safe-frequency checks catching the error-rate breach,
 //     the FrequencyGovernor stepping the clock down to the characterised
 //     floor and re-ramping after recovery.
@@ -103,6 +107,82 @@ ThroughputPoint throughput_at_batch(std::size_t max_batch,
   return p;
 }
 
+struct BatchScalingPoint {
+  std::size_t batch = 0;
+  double samples_per_sec = 0.0;
+  double speedup = 0.0;  ///< vs the scalar per-sample loop of the same run
+};
+
+struct BatchScaling {
+  std::size_t samples = 0;
+  double scalar_samples_per_sec = 0.0;
+  std::vector<BatchScalingPoint> points;
+  double batched_vs_scalar_speedup = 0.0;  ///< at the largest batch size
+  bool checksum_match = true;  ///< batched outputs bitwise equal to scalar
+};
+
+// Kernel-level batch scaling: the same jittered request stream pushed
+// through a per-sample project() loop and through project_batch at several
+// batch sizes, each on a fresh circuit with the same clock seed — so the
+// batched path must reproduce the scalar jitter draw order and outputs bit
+// for bit (checked via memcmp on every y vector).
+BatchScaling run_batch_scaling(bool smoke) {
+  const auto design = serve_design(150.0);
+  const Device device = make_device();
+  auto plan = simulated_plan(design, reference_location_1());
+  plan.with_jitter = true;  // every sample gets its own jittered period
+  constexpr std::uint64_t kClockSeed = 42;
+
+  BatchScaling out;
+  out.samples = smoke ? 2048 : 16384;
+  const auto stream = request_stream(out.samples, 0xBA7C);
+
+  // Scalar baseline: one timed advance/capture per sample.
+  std::vector<std::vector<double>> want(out.samples);
+  {
+    ProjectionCircuit scalar(design, device, plan, kWlX, nullptr, kClockSeed);
+    std::vector<double> y;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < out.samples; ++s) {
+      scalar.project(stream[s], y);
+      want[s] = y;
+    }
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    out.scalar_samples_per_sec = static_cast<double>(out.samples) / dt;
+  }
+
+  for (std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16},
+                            std::size_t{64}}) {
+    ProjectionCircuit batched(design, device, plan, kWlX, nullptr, kClockSeed);
+    std::vector<const std::vector<std::uint32_t>*> inputs;
+    std::vector<std::vector<double>> ys;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t s0 = 0; s0 < out.samples; s0 += batch) {
+      const std::size_t bn = std::min(batch, out.samples - s0);
+      inputs.clear();
+      for (std::size_t i = 0; i < bn; ++i) inputs.push_back(&stream[s0 + i]);
+      batched.project_batch(inputs, ys);
+      for (std::size_t i = 0; i < bn; ++i)
+        out.checksum_match =
+            out.checksum_match && ys[i].size() == want[s0 + i].size() &&
+            std::memcmp(ys[i].data(), want[s0 + i].data(),
+                        ys[i].size() * sizeof(double)) == 0;
+    }
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    BatchScalingPoint p;
+    p.batch = batch;
+    p.samples_per_sec = static_cast<double>(out.samples) / dt;
+    p.speedup = p.samples_per_sec / out.scalar_samples_per_sec;
+    out.points.push_back(p);
+  }
+  out.batched_vs_scalar_speedup = out.points.back().speedup;
+  return out;
+}
+
 struct DegradationTrace {
   double f_target_mhz = 0.0, f_floor_mhz = 0.0, hot_derate = 0.0;
   ServeMetrics::Snapshot snap;
@@ -164,7 +244,7 @@ DegradationTrace degradation_trace(bool smoke) {
 
 void write_json(const char* path, bool smoke,
                 const std::vector<ThroughputPoint>& points,
-                const DegradationTrace& trace) {
+                const BatchScaling& scaling, const DegradationTrace& trace) {
   std::ofstream os(path);
   os.precision(10);
   os << "{\n  \"bench\": \"serve\",\n"
@@ -179,6 +259,23 @@ void write_json(const char* path, bool smoke,
        << (i + 1 < points.size() ? "," : "") << "\n";
   }
   os << "  ],\n"
+     << "  \"batch_scaling\": {\n"
+     << "    \"samples\": " << scaling.samples << ",\n"
+     << "    \"scalar_samples_per_sec\": " << scaling.scalar_samples_per_sec
+     << ",\n    \"points\": [\n";
+  for (std::size_t i = 0; i < scaling.points.size(); ++i) {
+    const auto& p = scaling.points[i];
+    os << "      {\"batch\": " << p.batch
+       << ", \"samples_per_sec\": " << p.samples_per_sec
+       << ", \"speedup\": " << p.speedup << "}"
+       << (i + 1 < scaling.points.size() ? "," : "") << "\n";
+  }
+  os << "    ],\n"
+     << "    \"batched_vs_scalar_speedup\": "
+     << scaling.batched_vs_scalar_speedup << ",\n"
+     << "    \"batched_vs_scalar_checksum_match\": "
+     << (scaling.checksum_match ? "true" : "false") << "\n"
+     << "  },\n"
      << "  \"degradation\": {\n"
      << "    \"f_target_mhz\": " << trace.f_target_mhz << ",\n"
      << "    \"f_floor_mhz\": " << trace.f_floor_mhz << ",\n"
@@ -215,6 +312,15 @@ int main(int argc, char** argv) {
                 points.back().mean_batch_size);
   }
 
+  const auto scaling = run_batch_scaling(smoke);
+  std::printf("batch scaling: scalar %8.0f samples/s\n",
+              scaling.scalar_samples_per_sec);
+  for (const auto& p : scaling.points)
+    std::printf("batch scaling: batch=%-3zu %8.0f samples/s (%.2fx)\n",
+                p.batch, p.samples_per_sec, p.speedup);
+  std::printf("batch scaling: checksum %s\n",
+              scaling.checksum_match ? "MATCH" : "MISMATCH");
+
   const auto trace = degradation_trace(smoke);
   std::printf(
       "degradation: target %.1f MHz, hot derate %.2fx -> floor %.1f MHz; "
@@ -224,7 +330,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(trace.snap.checks),
       trace.snap.frequency_timeline.size());
 
-  write_json("BENCH_serve.json", smoke, points, trace);
+  write_json("BENCH_serve.json", smoke, points, scaling, trace);
   std::printf("-> BENCH_serve.json\n");
   return 0;
 }

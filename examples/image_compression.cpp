@@ -88,10 +88,28 @@ Matrix reconstruct(const LinearProjectionDesign& design, const Matrix& blocks,
 
   Matrix out(blocks.rows(), blocks.cols());
   std::vector<double> sample(blocks.rows());
+
+  // Encode every block up front, then clock the whole image through the
+  // batched timed kernel in one call (the exact path evaluates the same
+  // codes through the error-free reference instead).
+  std::vector<std::vector<std::uint32_t>> codes(blocks.cols());
+  std::vector<const std::vector<std::uint32_t>*> batch(blocks.cols());
   for (std::size_t col = 0; col < blocks.cols(); ++col) {
     for (std::size_t r = 0; r < blocks.rows(); ++r) sample[r] = blocks(r, col);
-    const auto codes = encode_input(sample, 9);
-    auto y = exact ? circuit.project_exact(codes) : circuit.project(codes);
+    codes[col] = encode_input(sample, 9);
+    batch[col] = &codes[col];
+  }
+  std::vector<std::vector<double>> ys;
+  if (exact) {
+    ys.resize(blocks.cols());
+    for (std::size_t col = 0; col < blocks.cols(); ++col)
+      ys[col] = circuit.project_exact(codes[col]);
+  } else {
+    circuit.project_batch(batch, ys);
+  }
+
+  for (std::size_t col = 0; col < blocks.cols(); ++col) {
+    auto& y = ys[col];
     for (std::size_t k = 0; k < y.size(); ++k) y[k] -= offset[k];
     for (std::size_t r = 0; r < blocks.rows(); ++r) {
       double v = mu[r];

@@ -1,8 +1,10 @@
 #include "core/circuit_eval.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/synthetic.hpp"
 #include "fabric/timing_annotation.hpp"
 #include "linalg/decompositions.hpp"
@@ -156,6 +158,92 @@ std::vector<double> ProjectionCircuit::project(const std::vector<std::uint32_t>&
   return y;
 }
 
+void ProjectionCircuit::project_batch(
+    const std::vector<const std::vector<std::uint32_t>*>& batch,
+    std::vector<std::vector<double>>& ys) {
+  const std::size_t p = dims_p();
+  const std::size_t k = dims_k();
+  const std::size_t n = batch.size();
+  for (std::size_t s = 0; s < n; ++s)
+    OCLP_CHECK(batch[s] != nullptr && batch[s]->size() == p);
+  ys.resize(n);
+  if (n == 0) return;
+
+  // All multipliers share the mult_clk domain; one jittered period per
+  // edge, drawn in sample order — the exact draw sequence a project()
+  // loop would consume, so the two paths see identical clocks.
+  periods_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) periods_[s] = clock_.next_period_ns();
+
+  const std::size_t kp = k * p;
+  const bool need_reset = first_sample_;
+  contrib_.resize(kp * n);
+
+  // Fan the K·P independent multiplier streams out over the pool. Each
+  // shard owns a reusable workspace; each multiplier's register state
+  // lives in its sim, so the shard → multiplier mapping never affects
+  // results and the reduction below is a fixed-order serial sum.
+  const std::size_t shards = std::min(kp, ThreadPool::global().size());
+  batch_ws_.resize(shards);
+  ThreadPool::global().parallel_for(0, shards, [&](std::size_t shard) {
+    BatchWorkspace& ws = batch_ws_[shard];
+    const std::size_t m0 = shard * kp / shards;
+    const std::size_t m1 = (shard + 1) * kp / shards;
+    for (std::size_t m = m0; m < m1; ++m) {
+      const std::size_t kk = m / p, pp = m % p;
+      const DesignColumn& col = design_.columns[kk];
+      const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
+      OverclockSim& sim = *sims_[m];
+      const std::size_t wlm = static_cast<std::size_t>(col.wordlength);
+      const std::size_t nin = wlm + static_cast<std::size_t>(wl_x_);
+
+      if (need_reset) {
+        std::vector<std::uint8_t> init;
+        append_bits(init, col.coeffs[pp].magnitude, col.wordlength);
+        append_bits(init, 0, wl_x_);
+        sim.reset(init);
+      }
+
+      // Row-major input-bit matrix: the fixed multiplicand bits plus one
+      // streamed operand per sample.
+      ws.inputs.resize(n * nin);
+      const std::uint32_t mag = col.coeffs[pp].magnitude;
+      for (std::size_t s = 0; s < n; ++s) {
+        std::uint8_t* row = ws.inputs.data() + s * nin;
+        for (std::size_t b = 0; b < wlm; ++b)
+          row[b] = static_cast<std::uint8_t>((mag >> b) & 1u);
+        const std::uint32_t x = (*batch[s])[pp];
+        for (std::size_t b = wlm; b < nin; ++b)
+          row[b] = static_cast<std::uint8_t>((x >> (b - wlm)) & 1u);
+      }
+      sim.run_stream(ws.inputs.data(), n, ws.stream);
+
+      // Per-sample signed, scaled product — the exact expression project()
+      // accumulates, evaluated per multiplier into an SoA slab.
+      double* c = contrib_.data() + m * n;
+      for (std::size_t s = 0; s < n; ++s) {
+        const double product =
+            static_cast<double>(ws.stream.capture_word(s, periods_[s]));
+        c[s] = col.coeffs[pp].sign * product / scale;
+      }
+    }
+  });
+  first_sample_ = false;
+
+  // Serial reduction in project()'s accumulation order (pp ascending per
+  // output dimension, correction last): floating-point addition order is
+  // what makes the batch bitwise-identical to the sequential loop.
+  for (std::size_t s = 0; s < n; ++s) {
+    ys[s].assign(k, 0.0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      double acc = 0.0;
+      for (std::size_t pp = 0; pp < p; ++pp)
+        acc += contrib_[(kk * p + pp) * n + s];
+      ys[s][kk] = acc - mean_correction_[kk];
+    }
+  }
+}
+
 void ProjectionCircuit::project_settled(
     const std::vector<const std::vector<std::uint32_t>*>& batch,
     std::vector<std::vector<double>>& ys) {
@@ -234,16 +322,28 @@ double evaluate_hardware_mse(const LinearProjectionDesign& design,
 
   ProjectionCircuit circuit(design, device, plan, wl_x, models, clock_seed);
 
-  double total_sq = 0.0;
+  // Stream the whole evaluation set through the batched run_stream kernel
+  // in one call — same y vectors as a per-sample project() loop, without
+  // the per-sample timed-interpreter tax.
+  const std::size_t n = x.cols();
+  std::vector<std::vector<std::uint32_t>> codes(n);
+  std::vector<const std::vector<std::uint32_t>*> batch(n);
   std::vector<double> sample(design.dims_p());
-  std::vector<double> y;
-  for (std::size_t i = 0; i < x.cols(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t r = 0; r < design.dims_p(); ++r) sample[r] = x(r, i);
-    const auto codes = encode_input(sample, wl_x);
-    circuit.project(codes, y);
+    codes[i] = encode_input(sample, wl_x);
+    batch[i] = &codes[i];
+  }
+  std::vector<std::vector<double>> ys;
+  circuit.project_batch(batch, ys);
+
+  double total_sq = 0.0;
+  std::vector<double> f(design.dims_k());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double>& y = ys[i];
     for (std::size_t k = 0; k < y.size(); ++k) y[k] -= offset[k];
     // f = (ΛᵀΛ)⁻¹ y;  x̂ = μ + Λ f
-    std::vector<double> f(design.dims_k(), 0.0);
+    std::fill(f.begin(), f.end(), 0.0);
     for (std::size_t r = 0; r < design.dims_k(); ++r)
       for (std::size_t c = 0; c < design.dims_k(); ++c)
         f[r] += normaliser(r, c) * y[c];
@@ -251,7 +351,7 @@ double evaluate_hardware_mse(const LinearProjectionDesign& design,
       double xhat = mu[r];
       for (std::size_t c = 0; c < design.dims_k(); ++c)
         xhat += basis(r, c) * f[c];
-      const double err = sample[r] - xhat;
+      const double err = x(r, i) - xhat;
       total_sq += err * err;
     }
   }

@@ -63,6 +63,21 @@ class ProjectionCircuit {
   void project(const std::vector<std::uint32_t>& x_codes, std::vector<double>& y);
   std::vector<double> project(const std::vector<std::uint32_t>& x_codes);
 
+  /// Batched timed projection: clock the whole micro-batch through every
+  /// multiplier in one OverclockSim::run_stream pass (64-lane settled
+  /// eval + sparse settle propagation), then capture each sample at its
+  /// own jittered period via the O(toggled) SweepStream sampling rule.
+  /// Bitwise identical to calling project() once per sample in order —
+  /// including the per-sample ClockGen jitter draw order (same clock_seed
+  /// ⇒ same clocks) and the sign/mean-correction accumulation order — and
+  /// freely interleavable with project()/set_clock() (the multiplier
+  /// register state carries across). The K·P per-multiplier streams fan
+  /// out over ThreadPool::global() with per-shard reusable workspaces; no
+  /// steady-state allocation beyond `ys`. `ys` is resized to batch.size()
+  /// rows of K entries.
+  void project_batch(const std::vector<const std::vector<std::uint32_t>*>& batch,
+                     std::vector<std::vector<double>>& ys);
+
   /// Error-free reference projection of the same input codes (what the
   /// circuit would produce with unlimited timing slack).
   std::vector<double> project_exact(const std::vector<std::uint32_t>& x_codes) const;
@@ -95,6 +110,13 @@ class ProjectionCircuit {
  private:
   void recompute_mean_correction();
 
+  /// project_batch worker scratch: one per shard of the K·P multiplier
+  /// range, reused across batches.
+  struct BatchWorkspace {
+    OverclockSim::SweepStream stream;
+    std::vector<std::uint8_t> inputs;  ///< n × num_inputs row-major bits
+  };
+
   LinearProjectionDesign design_;
   int wl_x_;
   const std::map<int, ErrorModel>* models_;          ///< may be nullptr
@@ -108,6 +130,10 @@ class ProjectionCircuit {
   bool first_sample_ = true;
   std::vector<std::uint8_t> in_;            ///< project() scratch, reused
   std::vector<std::uint64_t> lane_words_;   ///< project_settled() scratch
+  // project_batch scratch, reused across batches.
+  std::vector<double> periods_;             ///< per-sample jittered periods
+  std::vector<double> contrib_;             ///< K·P × n per-multiplier terms
+  std::vector<BatchWorkspace> batch_ws_;    ///< one per parallel shard
 };
 
 /// End-to-end hardware evaluation: run `x` (value-domain P×N) through the

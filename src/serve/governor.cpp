@@ -32,6 +32,11 @@ std::size_t FrequencyGovernor::checks_recorded() const {
   return total_checks_;
 }
 
+std::size_t FrequencyGovernor::checks_into_window() const {
+  std::lock_guard lock(mutex_);
+  return window_checks_;
+}
+
 FrequencyGovernor::Decision FrequencyGovernor::record_check(bool error) {
   std::lock_guard lock(mutex_);
   ++total_checks_;

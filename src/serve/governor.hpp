@@ -61,6 +61,12 @@ class FrequencyGovernor {
   std::size_t windows_closed() const;
   std::size_t checks_recorded() const;
 
+  /// Verdicts recorded into the current (open) window, < window_checks.
+  /// Lets a batch scheduler predict the check that will close the window —
+  /// the only point a decision (and hence a frequency change) can occur —
+  /// and segment its batch there so whole segments share one frequency.
+  std::size_t checks_into_window() const;
+
  private:
   GovernorConfig cfg_;
   mutable std::mutex mutex_;

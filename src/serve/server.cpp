@@ -190,14 +190,27 @@ void ProjectionServer::process_batch(std::vector<Pending>&& batch) {
     free_replicas_.pop_front();
   }
 
-  // Precompute the safe-duplicate references for every sampled request in
+  // Deadline shedding at pickup: a request whose deadline lapsed while it
+  // queued is dropped before any kernel work is spent on it.
+  rep->live.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& req = batch[i].req;
+    if (req.deadline_ms > 0.0 &&
+        to_ms(Clock::now() - batch[i].enqueued) > req.deadline_ms) {
+      metrics_.on_shed_deadline();
+      continue;
+    }
+    rep->live.push_back(i);
+  }
+
+  // Precompute the safe-duplicate references for every sampled survivor in
   // one batched settled (eval64) pass: the reference is the functional
   // value of the datapath, so it depends only on the request — never on
   // the governor or derate state — and hoisting it cannot perturb the
   // per-request governor trajectory below.
   rep->check_inputs.clear();
   rep->ref_of.assign(batch.size(), -1);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  for (std::size_t i : rep->live) {
     if (sampled_for_check(batch[i].req.id)) {
       rep->ref_of[i] = static_cast<std::ptrdiff_t>(rep->check_inputs.size());
       rep->check_inputs.push_back(&batch[i].req.x_codes);
@@ -206,19 +219,33 @@ void ProjectionServer::process_batch(std::vector<Pending>&& batch) {
   if (!rep->check_inputs.empty())
     rep->serve.project_settled(rep->check_inputs, rep->check_refs);
 
+  // Serve the survivors through the batched run_stream kernel. The clock
+  // can only move on the check verdict that closes a governor window, so
+  // the batch is cut at the predicted window-close points: every request
+  // of a segment shares one (frequency, derate) and the segment is clocked
+  // through project_batch in a single call. With one worker the predicted
+  // boundaries are exact and the segmented batch reproduces the sequential
+  // per-request loop bit for bit; with several workers, checks from other
+  // replicas may shift a window boundary — a scheduling race the
+  // per-request loop had as well.
   std::vector<double> latencies;
   latencies.reserve(batch.size());
-  for (std::size_t bi = 0; bi < batch.size(); ++bi) {
-    auto& pending = batch[bi];
-    const double waited_ms = to_ms(Clock::now() - pending.enqueued);
-    if (pending.req.deadline_ms > 0.0 && waited_ms > pending.req.deadline_ms) {
-      metrics_.on_shed_deadline();
-      continue;
+  const std::size_t window = governor_.config().window_checks;
+  std::size_t into = governor_.checks_into_window();
+  std::size_t seg_begin = 0;
+  while (seg_begin < rep->live.size()) {
+    // Extend the segment up to (and including) the request whose check
+    // closes the currently open window.
+    std::size_t seg_end = seg_begin;
+    while (seg_end < rep->live.size()) {
+      const bool checked = rep->ref_of[rep->live[seg_end]] >= 0;
+      ++seg_end;
+      if (checked && ++into == window) {
+        into = 0;
+        break;
+      }
     }
 
-    // The governor and any injected derate are re-read per request, so a
-    // mid-batch step lands on the very next sample — batch boundaries
-    // affect throughput, never which frequency a request was served at.
     const double freq = governor_.frequency_mhz();
     const double derate = derate_.load(std::memory_order_relaxed);
     if (rep->serve_freq_mhz != freq || rep->serve_derate != derate) {
@@ -227,35 +254,45 @@ void ProjectionServer::process_batch(std::vector<Pending>&& batch) {
       rep->serve_derate = derate;
     }
 
-    ServeResult res;
-    res.id = pending.req.id;
-    res.freq_mhz = freq;
-    rep->serve.project(pending.req.x_codes, res.y);
+    rep->batch_inputs.clear();
+    for (std::size_t j = seg_begin; j < seg_end; ++j)
+      rep->batch_inputs.push_back(&batch[rep->live[j]].req.x_codes);
+    rep->serve.project_batch(rep->batch_inputs, rep->batch_ys);
 
-    if (rep->ref_of[bi] >= 0) {
-      const auto& ref =
-          rep->check_refs[static_cast<std::size_t>(rep->ref_of[bi])];
-      bool error = false;
-      for (std::size_t i = 0; i < ref.size(); ++i)
-        if (std::abs(res.y[i] - ref[i]) > cfg_.check_tolerance) {
-          error = true;
-          break;
-        }
-      res.checked = true;
-      res.check_error = error;
-      metrics_.on_check(error);
-      const auto decision = governor_.record_check(error);
-      if (decision.window_closed)
-        metrics_.on_window(
-            decision.window_error_rate, decision.freq_mhz,
-            decision.action == FrequencyGovernor::Action::StepDown ||
-                decision.action == FrequencyGovernor::Action::StepUp);
+    for (std::size_t j = seg_begin; j < seg_end; ++j) {
+      const std::size_t bi = rep->live[j];
+      auto& pending = batch[bi];
+      ServeResult res;
+      res.id = pending.req.id;
+      res.freq_mhz = freq;
+      res.y = std::move(rep->batch_ys[j - seg_begin]);
+
+      if (rep->ref_of[bi] >= 0) {
+        const auto& ref =
+            rep->check_refs[static_cast<std::size_t>(rep->ref_of[bi])];
+        bool error = false;
+        for (std::size_t i = 0; i < ref.size(); ++i)
+          if (std::abs(res.y[i] - ref[i]) > cfg_.check_tolerance) {
+            error = true;
+            break;
+          }
+        res.checked = true;
+        res.check_error = error;
+        metrics_.on_check(error);
+        const auto decision = governor_.record_check(error);
+        if (decision.window_closed)
+          metrics_.on_window(
+              decision.window_error_rate, decision.freq_mhz,
+              decision.action == FrequencyGovernor::Action::StepDown ||
+                  decision.action == FrequencyGovernor::Action::StepUp);
+      }
+
+      res.latency_ms = to_ms(Clock::now() - pending.enqueued);
+      latencies.push_back(res.latency_ms);
+      metrics_.on_served();
+      if (on_result_) on_result_(res);
     }
-
-    res.latency_ms = to_ms(Clock::now() - pending.enqueued);
-    latencies.push_back(res.latency_ms);
-    metrics_.on_served();
-    if (on_result_) on_result_(res);
+    seg_begin = seg_end;
   }
   metrics_.on_batch(batch.size(), latencies);
 

@@ -8,6 +8,17 @@
 //   max_batch / max_wait) → ThreadPool batch tasks → per-replica placed
 //   datapaths (core/circuit_eval) → result callback
 //
+// A picked-up micro-batch is served through the batched run_stream kernel
+// (ProjectionCircuit::project_batch): every replica multiplier clocks the
+// whole batch in one 64-lane settled pass with sparse settle propagation,
+// so server throughput scales with batch size instead of flat-lining on
+// the per-sample timed interpreter. The governor can only move the clock
+// on the check verdict that closes a decision window, so the batch is
+// segmented at the predicted window-close points (see
+// FrequencyGovernor::checks_into_window): every request in a segment is
+// served at one (frequency, derate), and with one worker the segmented
+// batch reproduces the sequential per-request loop bit for bit.
+//
 //  * Backpressure: the queue is bounded. When full, RejectNewest bounces
 //    the incoming request back to the caller (load shedding at the edge)
 //    and ShedOldest drops the stalest queued request (freshness under
@@ -153,10 +164,14 @@ class ProjectionServer {
     double serve_freq_mhz = 0.0;
     double serve_derate = 1.0;
     // process_batch scratch, reused across batches (no steady-state
-    // allocation): sampled requests, their references, request→ref index.
+    // allocation): sampled requests, their references, request→ref index,
+    // surviving (non-shed) batch indices, per-segment kernel batch.
     std::vector<const std::vector<std::uint32_t>*> check_inputs;
     std::vector<std::vector<double>> check_refs;
     std::vector<std::ptrdiff_t> ref_of;
+    std::vector<std::size_t> live;
+    std::vector<const std::vector<std::uint32_t>*> batch_inputs;
+    std::vector<std::vector<double>> batch_ys;
   };
 
   void dispatcher_loop();

@@ -99,7 +99,8 @@ void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
                               std::size_t n, SweepStream& out) const {
   OCLP_CHECK_MSG(st.initialised, "OverclockSim::run_stream before reset");
   const std::size_t no = cnl_.num_outputs();
-  OCLP_CHECK_MSG(no <= 64, "run_stream packs outputs into a 64-bit word");
+  OCLP_CHECK_MSG(no <= 64, "run_stream packs outputs into a 64-bit word; this "
+                           "netlist has " << no << " outputs");
   const std::size_t ni = cnl_.num_inputs();
   const std::size_t nn = cnl_.num_nets();
   const std::size_t nc = cnl_.num_cells();
@@ -114,13 +115,16 @@ void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
 
   out.words.resize(nn);
   out.tog.resize(nn);
-  // Cell slots of the sparse settle array may be stale between edges — a
-  // cell's settle is only ever read under this edge's toggle mask, and a
-  // toggled cell is rewritten (in level order) before any read. Input and
-  // sentinel slots are registered/constant and must stay at exactly 0.
-  if (out.settle.size() != nn) out.settle.assign(nn, 0.0);
+  // Per-net lane rows of settle times: lanes[net*64 + l] is net's settle
+  // at edge c0+l. Cell slots may be stale between chunks — a cell's settle
+  // is only ever read under this edge's toggle mask, and a toggled cell is
+  // rewritten (in level order) before any read. Input and sentinel rows
+  // are registered/constant (settle 0) and are never written, so they are
+  // re-zeroed here in case a previous caller used this scratch for a
+  // netlist whose cell slots overlap them.
+  out.lanes.resize(nn * 64);
+  std::fill_n(out.lanes.data(), base * 64, 0.0);
   out.carry.resize(nn);
-  out.bcount.resize(64);
 
   // The carry into lane 0 of each chunk is the settled value of the
   // previous sample — initially the settled reset state of `st`.
@@ -130,7 +134,7 @@ void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
   const double* delay = delay_.data();
   std::uint64_t* words = out.words.data();
   std::uint64_t* tog = out.tog.data();
-  double* settle = out.settle.data();
+  double* lanes = out.lanes.data();
 
   for (std::size_t c0 = 0; c0 < n; c0 += 64) {
     const std::size_t cn = std::min<std::size_t>(64, n - c0);
@@ -156,39 +160,44 @@ void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
       out.carry[net] = static_cast<std::uint8_t>((w >> (cn - 1)) & 1u);
     }
 
-    // Bucket the toggled cells by lane (fixed nc-entry slot per lane so a
-    // single scan suffices); ascending ci keeps each lane's list in cell
-    // (hence level) order, which the settle propagation below relies on.
-    if (out.bucket.size() != 64 * nc) out.bucket.resize(64 * nc);
-    std::fill(out.bcount.begin(), out.bcount.end(), 0u);
+    // Sparse settle propagation, cell-major: every toggled cell fills its
+    // settle lane row for exactly the edges it toggled at. Ascending ci is
+    // level order, so a fanin's row element is final before any consumer
+    // reads it — and a consumer only reads lane l of a fanin when that
+    // fanin toggled at lane l (the mask), so stale row slots are never
+    // observed. The all-ones/all-zeros mask on the settle's bit pattern is
+    // exact for the non-negative settle times here (all-ones keeps the
+    // value, all-zeros yields +0.0 — exactly what advance()'s 0/1
+    // multiplication produces), so the doubles stay bitwise identical to
+    // advance()'s.
     for (std::size_t ci = 0; ci < nc; ++ci) {
       std::uint64_t t = tog[base + ci];
-      while (t) {
+      if (!t) continue;
+      const std::int32_t* f = fanin + 3 * ci;
+      const std::uint64_t t0 = tog[f[0]], t1 = tog[f[1]], t2 = tog[f[2]];
+      const double* r0 = lanes + static_cast<std::size_t>(f[0]) * 64;
+      const double* r1 = lanes + static_cast<std::size_t>(f[1]) * 64;
+      const double* r2 = lanes + static_cast<std::size_t>(f[2]) * 64;
+      double* row = lanes + (base + ci) * 64;
+      const double d = delay[ci];
+      do {
         const auto l = static_cast<std::size_t>(std::countr_zero(t));
-        out.bucket[l * nc + out.bcount[l]++] = static_cast<std::int32_t>(ci);
+        const std::uint64_t m0 = 0 - ((t0 >> l) & 1ull);
+        const std::uint64_t m1 = 0 - ((t1 >> l) & 1ull);
+        const std::uint64_t m2 = 0 - ((t2 >> l) & 1ull);
+        double launch =
+            std::bit_cast<double>(std::bit_cast<std::uint64_t>(r0[l]) & m0);
+        launch = std::max(
+            launch, std::bit_cast<double>(std::bit_cast<std::uint64_t>(r1[l]) & m1));
+        launch = std::max(
+            launch, std::bit_cast<double>(std::bit_cast<std::uint64_t>(r2[l]) & m2));
+        row[l] = launch + d;
         t &= t - 1;
-      }
+      } while (t);
     }
 
-    // Sparse settle propagation (same masked max/add arithmetic as
-    // advance(), so the doubles are bitwise identical) plus the per-lane
-    // output snapshot.
+    // Per-lane output snapshot: settled word + (bit, settle) toggle pairs.
     for (std::size_t l = 0; l < cn; ++l) {
-      const std::int32_t* lane = out.bucket.data() + l * nc;
-      for (std::uint32_t bi = 0, bn = out.bcount[l]; bi < bn; ++bi) {
-        const std::int32_t ci = lane[bi];
-        const std::int32_t* f = fanin + 3 * ci;
-        // A fanin contributes its settle time only if it toggled at this
-        // edge; the 0/1 multiplication is exact (settle times are
-        // non-negative) and matches advance()'s arithmetic bit for bit.
-        double launch = settle[f[0]] * static_cast<double>((tog[f[0]] >> l) & 1u);
-        launch = std::max(launch,
-                          settle[f[1]] * static_cast<double>((tog[f[1]] >> l) & 1u));
-        launch = std::max(launch,
-                          settle[f[2]] * static_cast<double>((tog[f[2]] >> l) & 1u));
-        settle[base + static_cast<std::size_t>(ci)] =
-            launch + delay[static_cast<std::size_t>(ci)];
-      }
       const std::size_t s = c0 + l;
       std::uint64_t w = 0;
       out.toggle_begin[s] = static_cast<std::uint32_t>(out.toggle_bit.size());
@@ -197,7 +206,7 @@ void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
         w |= ((words[o] >> l) & 1u) << k;
         if ((tog[o] >> l) & 1u) {
           out.toggle_bit.push_back(static_cast<std::uint8_t>(k));
-          out.toggle_settle.push_back(settle[o]);
+          out.toggle_settle.push_back(lanes[static_cast<std::size_t>(o) * 64 + l]);
         }
       }
       out.settled[s] = w;

@@ -103,13 +103,25 @@ class OverclockSim {
     std::vector<std::uint8_t> toggle_bit;
     std::vector<double> toggle_settle;
 
-    // Internal scratch of run_stream (value/toggle lane words, sparse
-    // settle state, per-lane toggled-cell buckets). Not part of the result.
+    /// Output word of sample `s` captured at `period_ns` — the sampling
+    /// rule above as a helper. Each sample may use its own period (the
+    /// batched projection path feeds every sample its jittered period),
+    /// because settle times are frequency-independent: the period only
+    /// selects which toggled bits are captured fresh vs stale. Bitwise
+    /// identical to capture() on every bit, O(toggled at this edge).
+    std::uint64_t capture_word(std::size_t s, double period_ns) const {
+      std::uint64_t w = settled[s];
+      for (std::uint32_t t = toggle_begin[s]; t < toggle_begin[s + 1]; ++t)
+        w ^= static_cast<std::uint64_t>(toggle_settle[t] > period_ns)
+             << toggle_bit[t];
+      return w;
+    }
+
+    // Internal scratch of run_stream (value/toggle lane words, per-net
+    // settle lane rows, inter-chunk carry bits). Not part of the result.
     std::vector<std::uint64_t> words, tog;
-    std::vector<double> settle;
+    std::vector<double> lanes;
     std::vector<std::uint8_t> carry;
-    std::vector<std::int32_t> bucket;
-    std::vector<std::uint32_t> bcount;
   };
 
   /// Batched advance: streams `n` input vectors (row-major, num_inputs()
@@ -130,6 +142,14 @@ class OverclockSim {
 
   /// Settle every net for `inputs` (a register flush); clears history.
   void reset(const std::vector<std::uint8_t>& inputs) { reset(state_, inputs); }
+
+  /// Batched advance over the internal State: the stream analogue of n
+  /// step() calls minus the captures. Interoperates with step()/
+  /// resample_last() — on return the internal state is what n advance()
+  /// calls would have left (see the shared-circuit run_stream above).
+  void run_stream(const std::uint8_t* inputs, std::size_t n, SweepStream& out) {
+    run_stream(state_, inputs, n, out);
+  }
 
   /// Clock edge: apply `inputs`, sample the output register after
   /// `period_ns`. Returns the captured output bits (possibly stale). The

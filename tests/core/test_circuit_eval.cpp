@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "area/area_model.hpp"
+#include "common/rng.hpp"
 #include "core/baseline.hpp"
 #include "core/synthetic.hpp"
 #include "fabric/calibration.hpp"
@@ -127,6 +128,148 @@ TEST_F(CircuitEvalTest, JitterOffIsDeterministic) {
   const double b =
       evaluate_hardware_mse(d, x_test_, mu_, device_, plan, 9, nullptr, 2);
   EXPECT_DOUBLE_EQ(a, b);  // clock seed only matters through jitter
+}
+
+// Golden property: project_batch must be bitwise-identical to a sequential
+// project() loop — same jittered clock draws (same clock_seed), same
+// accumulation order — for every batch size, including the partial-chunk
+// tails around the 64-lane eval64 boundary, and across a mid-stream
+// set_clock retarget with an environment derate.
+TEST_F(CircuitEvalTest, ProjectBatchBitwiseMatchesSequentialProject) {
+  const auto d = design(8, 420.0);  // deep in the error-prone regime
+  const auto plan = simulated_plan(d, reference_location_1());  // jitter ON
+  const std::size_t p = d.dims_p();
+
+  Rng rng(31);
+  std::vector<std::vector<std::uint32_t>> stream(130);
+  for (auto& codes : stream) {
+    codes.resize(p);
+    for (auto& c : codes) c = static_cast<std::uint32_t>(rng.uniform_u64(512));
+  }
+  const std::size_t retarget_at = 65;  // mid-stream clock retarget + derate
+
+  // Sequential reference: one project() per sample.
+  ProjectionCircuit seq(d, device_, plan, 9, nullptr, /*clock_seed=*/7);
+  std::vector<std::vector<double>> want(stream.size());
+  for (std::size_t s = 0; s < stream.size(); ++s) {
+    if (s == retarget_at) seq.set_clock(300.0, 1.18);
+    seq.project(stream[s], want[s]);
+  }
+
+  for (std::size_t batch_size : {std::size_t{1}, std::size_t{63},
+                                 std::size_t{64}, std::size_t{65}}) {
+    ProjectionCircuit bat(d, device_, plan, 9, nullptr, /*clock_seed=*/7);
+    std::vector<const std::vector<std::uint32_t>*> batch;
+    std::vector<std::vector<double>> ys;
+    std::size_t s = 0;
+    bool poked_empty = false;
+    while (s < stream.size()) {
+      if (s == retarget_at) bat.set_clock(300.0, 1.18);
+      if (!poked_empty && s > 0) {
+        // An empty batch is a no-op: no clock draw, no state change.
+        bat.project_batch({}, ys);
+        ASSERT_TRUE(ys.empty());
+        poked_empty = true;
+      }
+      std::size_t chunk = std::min(batch_size, stream.size() - s);
+      if (s < retarget_at) chunk = std::min(chunk, retarget_at - s);
+      batch.clear();
+      for (std::size_t i = 0; i < chunk; ++i) batch.push_back(&stream[s + i]);
+      bat.project_batch(batch, ys);
+      ASSERT_EQ(ys.size(), chunk);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        ASSERT_EQ(ys[i].size(), want[s + i].size());
+        for (std::size_t k = 0; k < ys[i].size(); ++k)
+          ASSERT_EQ(ys[i][k], want[s + i][k])
+              << "batch_size=" << batch_size << " sample=" << s + i
+              << " k=" << k;
+      }
+      s += chunk;
+    }
+  }
+}
+
+// Batched and sequential paths may also interleave on one circuit: the
+// multiplier register state and the jitter stream carry across.
+TEST_F(CircuitEvalTest, ProjectBatchInterleavesWithProject) {
+  const auto d = design(7, 400.0);
+  const auto plan = simulated_plan(d, reference_location_1());
+  const std::size_t p = d.dims_p();
+
+  Rng rng(57);
+  std::vector<std::vector<std::uint32_t>> stream(24);
+  for (auto& codes : stream) {
+    codes.resize(p);
+    for (auto& c : codes) c = static_cast<std::uint32_t>(rng.uniform_u64(512));
+  }
+
+  ProjectionCircuit seq(d, device_, plan, 9, nullptr, 11);
+  ProjectionCircuit mix(d, device_, plan, 9, nullptr, 11);
+  std::vector<std::vector<double>> want(stream.size());
+  for (std::size_t s = 0; s < stream.size(); ++s) seq.project(stream[s], want[s]);
+
+  std::vector<double> y;
+  std::vector<std::vector<double>> ys;
+  std::size_t s = 0;
+  while (s < stream.size()) {
+    if (s % 2 == 0) {
+      mix.project(stream[s], y);
+      ASSERT_EQ(y, want[s]);
+      ++s;
+    } else {
+      const std::size_t chunk = std::min<std::size_t>(5, stream.size() - s);
+      std::vector<const std::vector<std::uint32_t>*> batch;
+      for (std::size_t i = 0; i < chunk; ++i) batch.push_back(&stream[s + i]);
+      mix.project_batch(batch, ys);
+      for (std::size_t i = 0; i < chunk; ++i) ASSERT_EQ(ys[i], want[s + i]);
+      s += chunk;
+    }
+  }
+}
+
+// Jitter-determinism regression: the clock_seed fully determines the
+// jittered period sequence under both paths — equal seeds replay bitwise,
+// different seeds draw different clocks (visible as diverging outputs in
+// the error-prone regime).
+TEST_F(CircuitEvalTest, ProjectBatchJitterIsSeedDeterministic) {
+  const auto d = design(8, 420.0);
+  const auto plan = simulated_plan(d, reference_location_1());
+  const std::size_t p = d.dims_p();
+
+  Rng rng(97);
+  std::vector<std::vector<std::uint32_t>> stream(96);
+  for (auto& codes : stream) {
+    codes.resize(p);
+    for (auto& c : codes) c = static_cast<std::uint32_t>(rng.uniform_u64(512));
+  }
+  std::vector<const std::vector<std::uint32_t>*> batch;
+  for (const auto& codes : stream) batch.push_back(&codes);
+
+  auto run_batched = [&](std::uint64_t seed) {
+    ProjectionCircuit c(d, device_, plan, 9, nullptr, seed);
+    std::vector<std::vector<double>> ys;
+    c.project_batch(batch, ys);
+    return ys;
+  };
+
+  const auto a = run_batched(3);
+  const auto b = run_batched(3);
+  ASSERT_EQ(a, b);  // same seed ⇒ identical clocks ⇒ identical outputs
+
+  const auto c = run_batched(4);
+  bool any_diff = false;
+  for (std::size_t s = 0; s < a.size(); ++s) any_diff |= a[s] != c[s];
+  EXPECT_TRUE(any_diff);  // different seed ⇒ different jitter draws
+}
+
+TEST_F(CircuitEvalTest, ProjectBatchValidatesInputs) {
+  const auto d = design(5, 310.0);
+  const auto plan = simulated_plan(d, reference_location_1());
+  ProjectionCircuit circuit(d, device_, plan, 9, nullptr, 1);
+  std::vector<std::vector<double>> ys;
+  const std::vector<std::uint32_t> short_codes{1, 2, 3};
+  EXPECT_THROW(circuit.project_batch({&short_codes}, ys), CheckError);
+  EXPECT_THROW(circuit.project_batch({nullptr}, ys), CheckError);
 }
 
 TEST_F(CircuitEvalTest, PlanSizeMismatchThrows) {

@@ -214,6 +214,81 @@ TEST(OverclockSim, StepBufferReuseKeepsResultsIndependent) {
   EXPECT_EQ(from_bits(second), 63u);
 }
 
+// A netlist whose outputs are a chain of `n` Not cells (output k is the
+// k-th inversion of the single input) — n outputs from n cells.
+OverclockSim make_wide_output_sim(std::size_t n_outputs) {
+  NetlistBuilder nb;
+  std::int32_t net = nb.add_input();
+  std::vector<std::int32_t> outs;
+  for (std::size_t i = 0; i < n_outputs; ++i) {
+    net = nb.not_(net);
+    outs.push_back(net);
+  }
+  nb.mark_outputs(outs);
+  Netlist nl = nb.build();
+  std::vector<double> delays(nl.num_cells(), 0.5);
+  return OverclockSim(std::move(nl), std::move(delays));
+}
+
+TEST(OverclockSim, RunStreamAcceptsExactly64Outputs) {
+  auto sim = make_wide_output_sim(64);
+  OverclockSim::State st;
+  sim.reset(st, {0});
+  const std::uint8_t inputs[2] = {1, 0};
+  OverclockSim::SweepStream stream;
+  sim.run_stream(st, inputs, 2, stream);
+  ASSERT_EQ(stream.settled.size(), 2u);
+  // Input 1: chain of Nots → output k = ~(k-th inversion of 1): bits
+  // 0,1,0,1,… (even outputs invert once). Input 0 flips every bit.
+  EXPECT_EQ(stream.settled[0], 0xAAAAAAAAAAAAAAAAull);
+  EXPECT_EQ(stream.settled[1], 0x5555555555555555ull);
+  // Every output toggled at both edges; a huge period captures them all.
+  EXPECT_EQ(stream.capture_word(0, 1e9), stream.settled[0]);
+  // A period shorter than the first cell delay captures the stale frame.
+  EXPECT_EQ(stream.capture_word(1, 0.1), stream.settled[0]);
+}
+
+TEST(OverclockSim, RunStreamRejectsMoreThan64Outputs) {
+  auto sim = make_wide_output_sim(65);
+  OverclockSim::State st;
+  sim.reset(st, {0});
+  const std::uint8_t inputs[1] = {1};
+  OverclockSim::SweepStream stream;
+  try {
+    sim.run_stream(st, inputs, 1, stream);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("65 outputs"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(OverclockSim, RunStreamEmptyStreamLeavesStateUntouched) {
+  auto sim = make_sim(4, 4, 1.0);
+  OverclockSim::State st;
+  sim.reset(st, mult_inputs(3, 4, 5, 4));
+  const auto prev_snapshot = st.prev;
+  OverclockSim::SweepStream stream;
+  stream.settled.assign(9, 123);  // stale garbage a previous run left
+  sim.run_stream(st, nullptr, 0, stream);
+  EXPECT_TRUE(stream.settled.empty());
+  ASSERT_EQ(stream.toggle_begin.size(), 1u);
+  EXPECT_EQ(stream.toggle_begin[0], 0u);
+  EXPECT_TRUE(stream.toggle_bit.empty());
+  EXPECT_EQ(st.prev, prev_snapshot);
+  EXPECT_FALSE(st.stepped);
+  EXPECT_TRUE(st.initialised);
+
+  // The untouched state continues exactly like a sim that never saw the
+  // empty stream.
+  auto shadow = make_sim(4, 4, 1.0);
+  shadow.reset(mult_inputs(3, 4, 5, 4));
+  std::vector<std::uint8_t> captured;
+  sim.advance(st, mult_inputs(7, 4, 9, 4));
+  sim.capture(st, 2.5, captured);
+  EXPECT_EQ(captured, shadow.step(mult_inputs(7, 4, 9, 4), 2.5));
+}
+
 TEST(OverclockSim, DelaySizeMismatchThrows) {
   Netlist nl = make_multiplier(3, 3);
   EXPECT_THROW(OverclockSim(std::move(nl), {1.0, 2.0}), CheckError);
