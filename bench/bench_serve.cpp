@@ -281,6 +281,7 @@ void write_json(const char* path, bool smoke,
      << "    \"f_floor_mhz\": " << trace.f_floor_mhz << ",\n"
      << "    \"hot_derate\": " << trace.hot_derate << ",\n"
      << "    \"served\": " << trace.snap.served << ",\n"
+     << "    \"latency_overflow\": " << trace.snap.latency_overflow << ",\n"
      << "    \"checks\": " << trace.snap.checks << ",\n"
      << "    \"check_errors\": " << trace.snap.check_errors << ",\n"
      << "    \"window_error_rates\": [";
@@ -324,11 +325,13 @@ int main(int argc, char** argv) {
   const auto trace = degradation_trace(smoke);
   std::printf(
       "degradation: target %.1f MHz, hot derate %.2fx -> floor %.1f MHz; "
-      "%llu/%llu checks errored; %zu frequency changes\n",
+      "%llu/%llu checks errored; %zu frequency changes; "
+      "%llu latencies past the histogram\n",
       trace.f_target_mhz, trace.hot_derate, trace.f_floor_mhz,
       static_cast<unsigned long long>(trace.snap.check_errors),
       static_cast<unsigned long long>(trace.snap.checks),
-      trace.snap.frequency_timeline.size());
+      trace.snap.frequency_timeline.size(),
+      static_cast<unsigned long long>(trace.snap.latency_overflow));
 
   write_json("BENCH_serve.json", smoke, points, scaling, trace);
   std::printf("-> BENCH_serve.json\n");

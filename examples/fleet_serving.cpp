@@ -1,0 +1,110 @@
+// Serving one Linear Projection design across a *fleet* of dies — the
+// paper's device-specific premise taken to production. Every die of the
+// same product has its own error surface E(m, f), so a deployment is a
+// set of per-die operating points, not one number. This example:
+//
+//  1. builds three synthetic dies of one family and lets ProjectionFleet
+//     characterise each at construction — the fast die gets the fast
+//     clock, by measurement rather than margin;
+//  2. serves a mixed-tenant load through the headroom router
+//     (latency-sensitive requests avoid dies ramping back from an SLO
+//     breach);
+//  3. ages one die mid-run (delays stretch 2.6x — far past what the AIMD
+//     governor's old floor can absorb) and lets a re-characterisation
+//     cycle re-measure that die's error-free fmax and move its governor
+//     floor, after which the governor walks the clock down through the
+//     old floor into the regime the drifted silicon can actually sustain.
+//     The other dies never notice.
+//
+// Build & run:  cmake --build build && ./build/examples/fleet_serving
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fabric/calibration.hpp"
+#include "serve/fleet.hpp"
+
+using namespace oclp;
+
+int main() {
+  LinearProjectionDesign design;
+  design.columns.push_back(make_column(
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+  design.columns.push_back(make_column(
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+  design.target_freq_mhz = 400.0;
+  design.origin = "fleet-example";
+
+  // --- 1. three dies of one family, each characterised at its own silicon --
+  FleetConfig cfg;
+  cfg.die_seeds = {22, 83, 13};
+  cfg.device = reference_device_config();
+  cfg.serve.workers = 1;
+  cfg.serve.max_batch = 8;
+  cfg.serve.max_wait_ms = 0.0;
+  cfg.serve.check_fraction = 1.0;  // small demo: check everything
+  cfg.serve.governor.window_checks = 8;
+  cfg.serve.governor.step_down_factor = 0.5;
+  cfg.serve.governor.step_up_mhz = 10.0;
+  cfg.serve.governor.healthy_windows_to_ramp = 2;
+
+  ProjectionFleet fleet(design, cfg);
+  std::printf("fleet of %zu dies, one operating point per die:\n",
+              fleet.num_dies());
+  for (std::size_t i = 0; i < fleet.num_dies(); ++i) {
+    const auto s = fleet.die_status(i);
+    std::printf(
+        "  die %zu: seed %-3llu inter-die %.3f  fB %.0f MHz -> "
+        "target %.0f, floor %.0f MHz\n",
+        i, static_cast<unsigned long long>(s.die_seed), s.inter_die_factor,
+        s.error_free_fmax_mhz, s.f_target_mhz, s.f_floor_mhz);
+  }
+
+  // --- 2. mixed-tenant load through the headroom router --------------------
+  Rng rng(7);
+  std::uint64_t id = 0;
+  auto drive = [&](std::size_t n, const char* phase) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::uint32_t> codes(4);
+      for (auto& c : codes)
+        c = static_cast<std::uint32_t>(rng.uniform_u64(256));
+      fleet.submit({++id, codes, 0.0}, i % 3 == 0
+                                           ? SloClass::LatencySensitive
+                                           : SloClass::BestEffort);
+    }
+    fleet.wait_idle();
+    std::printf("%-26s", phase);
+    for (std::size_t d = 0; d < fleet.num_dies(); ++d) {
+      const auto s = fleet.die_status(d);
+      std::printf("  die %zu @ %5.1f MHz (%llu routed)", d, s.freq_mhz,
+                  static_cast<unsigned long long>(s.routed));
+    }
+    std::printf("\n");
+  };
+  drive(96, "nominal:");
+
+  // --- 3. one die ages; the control plane re-measures it -------------------
+  const double derate = 2.6;
+  const auto before = fleet.die_status(0);
+  std::printf("\n*** die 0 ages: delays stretch %.0f%% — old floor "
+              "(%.0f MHz) x %.1f sits past its fB (%.0f MHz), AIMD alone "
+              "cannot recover ***\n",
+              (derate - 1.0) * 100.0, before.f_floor_mhz, derate,
+              before.error_free_fmax_mhz);
+  fleet.set_die_drift(0, derate);
+  const auto report = fleet.recharacterise(0);
+  const auto after = fleet.die_status(0);
+  std::printf("re-characterisation: probed %zu codes -> error-free fmax "
+              "now %.0f MHz; floor moved %.0f -> %.0f MHz in one cycle\n",
+              report.probed, after.recheck_fmax_mhz, before.f_floor_mhz,
+              after.f_floor_mhz);
+
+  drive(192, "aged (governor descends):");
+  std::printf("\ndie 0 settled at %.1f MHz — below the old floor, inside "
+              "the regime the aged silicon sustains; dies 1 and 2 never "
+              "moved.\n",
+              fleet.server(0).governor().frequency_mhz());
+
+  fleet.stop();
+  return 0;
+}

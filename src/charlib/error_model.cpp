@@ -12,8 +12,14 @@ ErrorModel::ErrorModel(int wl_m, int wl_x, std::vector<double> freqs_mhz)
     : wl_m_(wl_m), wl_x_(wl_x), freqs_(std::move(freqs_mhz)) {
   OCLP_CHECK(wl_m >= 1 && wl_m <= 16 && wl_x >= 1 && wl_x <= 16);
   OCLP_CHECK_MSG(!freqs_.empty(), "error model needs at least one frequency");
-  OCLP_CHECK_MSG(std::is_sorted(freqs_.begin(), freqs_.end()),
-                 "frequency grid must be ascending");
+  // Strictly ascending: a merely sorted grid with duplicates would make
+  // locate() divide by a zero frequency gap, and an unsorted one silently
+  // mis-interpolates.
+  OCLP_CHECK_MSG(std::adjacent_find(freqs_.begin(), freqs_.end(),
+                                    [](double a, double b) { return b <= a; }) ==
+                     freqs_.end(),
+                 "frequency grid must be strictly ascending "
+                 "(sorted, duplicate-free)");
   const std::size_t n = num_multiplicands() * freqs_.size();
   var_.assign(n, 0.0);
   mean_.assign(n, 0.0);
@@ -222,6 +228,29 @@ ErrorModel ErrorModel::load_csv_file(const std::string& path) {
   std::ifstream is(path);
   OCLP_CHECK_MSG(is.good(), "cannot open " << path);
   return load_csv(is);
+}
+
+SharedErrorModels::SharedErrorModels()
+    : current_(std::make_shared<const Map>()) {}
+
+SharedErrorModels::SharedErrorModels(Map initial)
+    : current_(std::make_shared<const Map>(std::move(initial))) {}
+
+std::shared_ptr<const SharedErrorModels::Map> SharedErrorModels::load() const {
+  std::lock_guard lock(mutex_);
+  return current_;
+}
+
+void SharedErrorModels::store(Map next) {
+  auto snapshot = std::make_shared<const Map>(std::move(next));
+  std::lock_guard lock(mutex_);
+  current_ = std::move(snapshot);
+  ++generation_;
+}
+
+std::uint64_t SharedErrorModels::generation() const {
+  std::lock_guard lock(mutex_);
+  return generation_;
 }
 
 }  // namespace oclp

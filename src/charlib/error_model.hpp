@@ -10,6 +10,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,6 +70,35 @@ class ErrorModel {
   int wl_x_ = 0;
   std::vector<double> freqs_;
   std::vector<double> var_, mean_, rate_;
+};
+
+/// Atomic publication point for live re-characterisation: serving threads
+/// load() an immutable snapshot of the per-wordlength model set; the sweep
+/// thread builds an updated copy off to the side and store()s it in one
+/// pointer swap. Readers keep their snapshot alive through the shared_ptr,
+/// so a swap never invalidates a model a circuit is still correcting with —
+/// the copy-on-write analogue of a double-buffered characterisation table.
+class SharedErrorModels {
+ public:
+  using Map = std::map<int, ErrorModel>;
+
+  SharedErrorModels();
+  explicit SharedErrorModels(Map initial);
+
+  /// The current published snapshot (never null; possibly an empty map).
+  std::shared_ptr<const Map> load() const;
+
+  /// Publish `next` as the new snapshot. Existing load() holders are
+  /// unaffected; subsequent load()s see `next`.
+  void store(Map next);
+
+  /// Generation counter: bumps on every store() (0 after construction).
+  std::uint64_t generation() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Map> current_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace oclp

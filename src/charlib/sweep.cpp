@@ -1,6 +1,7 @@
 #include "charlib/sweep.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -78,6 +79,110 @@ ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
   if (pool == nullptr) pool = &ThreadPool::global();
   pool->parallel_for(0, num_m, worker);
   return model;
+}
+
+SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,
+                                         ErrorModel& model,
+                                         const SubsweepSettings& settings,
+                                         ThreadPool* pool) {
+  OCLP_CHECK_MSG(!model.empty(), "subsweep needs a constructed error model");
+  OCLP_CHECK_MSG(circuit.config().wl_m == model.wordlength() &&
+                     circuit.config().wl_x == model.data_wordlength(),
+                 "subsweep circuit is "
+                     << circuit.config().wl_m << "x" << circuit.config().wl_x
+                     << " but the model is " << model.wordlength() << "x"
+                     << model.data_wordlength());
+  OCLP_CHECK(settings.samples_per_point >= 2);
+  OCLP_CHECK(settings.timing_derate > 0.0);
+
+  // Merge the focus list with the rotating stride slice into a sorted
+  // unique probe set.
+  std::vector<std::uint32_t> probe = settings.multiplicands;
+  const auto num_m = static_cast<std::uint32_t>(model.num_multiplicands());
+  for (std::uint32_t m : probe)
+    OCLP_CHECK_MSG(m < num_m, "subsweep multiplicand " << m
+                                                       << " out of range for wl_m="
+                                                       << model.wordlength());
+  if (settings.m_stride > 0) {
+    const auto start = static_cast<std::uint32_t>(
+        settings.m_phase % settings.m_stride);
+    for (std::uint32_t m = start; m < num_m;
+         m += static_cast<std::uint32_t>(settings.m_stride))
+      probe.push_back(m);
+  }
+  std::sort(probe.begin(), probe.end());
+  probe.erase(std::unique(probe.begin(), probe.end()), probe.end());
+  OCLP_CHECK_MSG(!probe.empty(),
+                 "subsweep has nothing to probe (empty focus list and no "
+                 "stride coverage)");
+
+  // The probe runs at derated frequencies but records under the nominal
+  // grid. Points whose derated frequency reaches the supporting-logic Fmax
+  // cannot be measured by the framework (run_multi would throw to avoid
+  // injecting errors of its own) — they are dropped here and count as
+  // erroneous for the fB estimate, which is conservative.
+  const auto& grid = model.freqs_mhz();
+  std::vector<double> run_freqs;
+  std::vector<std::size_t> grid_index;
+  run_freqs.reserve(grid.size());
+  for (std::size_t fi = 0; fi < grid.size(); ++fi) {
+    const double f = grid[fi] * settings.timing_derate;
+    if (f < circuit.support_fmax_mhz()) {
+      run_freqs.push_back(f);
+      grid_index.push_back(fi);
+    }
+  }
+  SubsweepReport report;
+  report.skipped_freqs = grid.size() - run_freqs.size();
+  OCLP_CHECK_MSG(!run_freqs.empty(),
+                 "subsweep: every grid point derated past the supporting "
+                 "logic Fmax ("
+                     << circuit.support_fmax_mhz() << " MHz)");
+
+  const auto stream = uniform_stream(model.data_wordlength(),
+                                     settings.samples_per_point,
+                                     settings.stream_seed);
+
+  // erroneous_at[j]: any probed code erred at run_freqs[j] (ascending).
+  std::vector<std::uint8_t> erroneous_at(run_freqs.size(), 0);
+  std::mutex merge_mutex;
+
+  auto worker = [&](std::size_t pi) {
+    thread_local CharacterisationCircuit::Workspace ws;
+    const std::uint32_t m = probe[pi];
+    const auto traces = circuit.run_multi(
+        m, stream, run_freqs, hash_mix(settings.stream_seed, m, 0x5B5EE7ULL),
+        &ws);
+    std::lock_guard lock(merge_mutex);
+    for (std::size_t j = 0; j < run_freqs.size(); ++j) {
+      RunningStats err;
+      for (auto e : traces[j].error) err.add(static_cast<double>(e));
+      const auto total = traces[j].error.size();
+      model.set(m, grid_index[j], err.variance(), err.mean(),
+                total ? static_cast<double>(traces[j].erroneous) /
+                            static_cast<double>(total)
+                      : 0.0);
+      if (traces[j].erroneous > 0) erroneous_at[j] = 1;
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, probe.size(), worker);
+  } else {
+    for (std::size_t pi = 0; pi < probe.size(); ++pi) worker(pi);
+  }
+
+  // fB over the probed codes: highest grid frequency below the first
+  // erroneous (or unprobeable) point, in ascending order — same rule as
+  // find_regimes, so a spurious clean point above the onset cannot extend
+  // the regime.
+  for (std::size_t j = 0; j < run_freqs.size(); ++j) {
+    if (grid_index[j] != j) break;  // a skipped point interrupts the scan
+    if (erroneous_at[j]) break;
+    report.error_free_fmax_mhz = grid[j];
+  }
+  report.probed = probe.size();
+  return report;
 }
 
 std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,

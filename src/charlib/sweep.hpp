@@ -40,6 +40,50 @@ ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
 std::vector<std::uint32_t> uniform_stream(int wl_x, std::size_t n,
                                           std::uint64_t seed);
 
+/// Subsampled online re-characterisation — the low-rate control-plane path
+/// a serving fleet runs while requests keep flowing. Instead of the full
+/// 2^wl × grid sweep, it probes a focus list of multiplicands (typically
+/// the deployed design's coefficient magnitudes) plus an optional strided
+/// coverage slice that rotates with `m_phase` across cycles, re-measuring
+/// only those rows of an existing ErrorModel in place on an already-built
+/// CharacterisationCircuit (one run_multi pass per code).
+struct SubsweepSettings {
+  /// Codes to probe; may be empty if m_stride covers the slice instead.
+  std::vector<std::uint32_t> multiplicands;
+  /// Additional stride coverage: probe codes ≡ (m_phase mod m_stride);
+  /// 0 disables. Successive cycles bump m_phase to walk the full space.
+  std::size_t m_stride = 0;
+  std::uint64_t m_phase = 0;
+  std::size_t samples_per_point = 200;
+  std::uint64_t stream_seed = 2014;
+  /// Emulated environment drift, exactly ProjectionCircuit::set_clock's
+  /// rule (delay × d ≡ capture period / d): the probe runs at freq × d and
+  /// records under the nominal grid frequency, i.e. it measures the die as
+  /// it currently is. 1.0 characterises the nominal environment.
+  double timing_derate = 1.0;
+};
+
+struct SubsweepReport {
+  std::size_t probed = 0;  ///< multiplicand rows re-measured
+  /// Grid points not probeable because the derated frequency reached the
+  /// supporting-logic Fmax; treated as erroneous for the fB estimate.
+  std::size_t skipped_freqs = 0;
+  /// Highest grid frequency below the first erroneous probed point
+  /// (find_regimes' fB rule restricted to the probed codes); 0 when even
+  /// the lowest grid point errs.
+  double error_free_fmax_mhz = 0.0;
+};
+
+/// Probe `model`'s grid on `circuit` per `settings`, updating the probed
+/// rows of `model` in place (unprobed rows keep their previous values).
+/// The circuit and model word-lengths must agree. `pool == nullptr` runs
+/// inline on the caller — the deliberate default for the low-rate online
+/// path, which must not steal serving threads.
+SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,
+                                         ErrorModel& model,
+                                         const SubsweepSettings& settings,
+                                         ThreadPool* pool = nullptr);
+
 /// Figure-1 style curve: fraction of erroneous outputs of a multiplier vs
 /// clock frequency, with both operands drawn uniformly per cycle.
 struct ErrorRatePoint {

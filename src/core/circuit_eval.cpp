@@ -107,6 +107,12 @@ void ProjectionCircuit::recompute_mean_correction() {
   }
 }
 
+void ProjectionCircuit::set_error_models(
+    const std::map<int, ErrorModel>* models) {
+  models_ = models;
+  recompute_mean_correction();
+}
+
 void ProjectionCircuit::set_clock(double freq_mhz, double timing_derate) {
   OCLP_CHECK_MSG(freq_mhz > 0.0 && timing_derate > 0.0,
                  "set_clock(" << freq_mhz << ", " << timing_derate << ")");

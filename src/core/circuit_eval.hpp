@@ -104,6 +104,14 @@ class ProjectionCircuit {
   /// register state is preserved across the switch, as on real hardware.
   void set_clock(double freq_mhz, double timing_derate = 1.0);
 
+  /// Swap the characterised error models at run time (a re-characterisation
+  /// push): the mean-error corrections are recomputed from `models` at the
+  /// current nominal clock. `models` must cover every column word-length of
+  /// the design (or be nullptr to drop corrections) and must outlive the
+  /// circuit or the next swap — callers holding a SharedErrorModels
+  /// snapshot satisfy this by keeping the shared_ptr alongside.
+  void set_error_models(const std::map<int, ErrorModel>* models);
+
   /// Nominal clock the circuit currently serves at (excludes any derate).
   double clock_mhz() const { return freq_mhz_; }
 

@@ -89,4 +89,31 @@ double Device::max_speed_factor() const {
   return inter_die_ * *std::max_element(grid_.begin(), grid_.end());
 }
 
+std::uint64_t family_die_seed(std::uint64_t family_seed, std::size_t index) {
+  return hash_mix(family_seed, static_cast<std::uint64_t>(index),
+                  0xD1E5EEDULL);
+}
+
+std::vector<Device> make_die_family(const DeviceConfig& cfg,
+                                    std::uint64_t family_seed, std::size_t n,
+                                    double temperature_c) {
+  OCLP_CHECK(n >= 1);
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t i = 0; i < n; ++i) seeds[i] = family_die_seed(family_seed, i);
+  return make_die_family(cfg, seeds, temperature_c);
+}
+
+std::vector<Device> make_die_family(const DeviceConfig& cfg,
+                                    const std::vector<std::uint64_t>& die_seeds,
+                                    double temperature_c) {
+  OCLP_CHECK_MSG(!die_seeds.empty(), "a die family needs at least one member");
+  std::vector<Device> dies;
+  dies.reserve(die_seeds.size());
+  for (std::uint64_t seed : die_seeds) {
+    dies.emplace_back(cfg, seed);
+    dies.back().set_temperature(temperature_c);
+  }
+  return dies;
+}
+
 }  // namespace oclp

@@ -119,6 +119,25 @@ class Device {
   std::vector<double> grid_;  ///< per-location (1 + systematic + random)
 };
 
+/// Die seed of member `index` of a synthetic production family — a stable
+/// hash of the family seed, so a fleet can be regrown die-by-die and every
+/// member is reproducible on its own (the fleet analogue of die_seed).
+std::uint64_t family_die_seed(std::uint64_t family_seed, std::size_t index);
+
+/// Instantiate `n` dies of one family at a common ambient temperature:
+/// same config (same product), independent variation maps (different
+/// silicon). This is the multi-die entry point the serving fleet deploys
+/// over — each member gets its own inter-die factor and variation grid.
+std::vector<Device> make_die_family(const DeviceConfig& cfg,
+                                    std::uint64_t family_seed, std::size_t n,
+                                    double temperature_c);
+
+/// Same, but with explicit die seeds (e.g. dies whose speed grades are
+/// pinned by tests or benches).
+std::vector<Device> make_die_family(const DeviceConfig& cfg,
+                                    const std::vector<std::uint64_t>& die_seeds,
+                                    double temperature_c);
+
 /// A placement decision for a module on the device: an anchor location and
 /// the routing seed (re-running placement & routing draws new net delays —
 /// the paper synthesises multipliers "multiple times at multiple locations"

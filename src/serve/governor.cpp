@@ -7,7 +7,10 @@
 namespace oclp {
 
 FrequencyGovernor::FrequencyGovernor(const GovernorConfig& cfg)
-    : cfg_(cfg), freq_mhz_(cfg.f_target_mhz) {
+    : cfg_(cfg),
+      floor_mhz_(cfg.f_floor_mhz),
+      target_mhz_(cfg.f_target_mhz),
+      freq_mhz_(cfg.f_target_mhz) {
   OCLP_CHECK_MSG(cfg.f_floor_mhz > 0.0 && cfg.f_target_mhz >= cfg.f_floor_mhz,
                  "governor needs 0 < f_floor <= f_target, got floor="
                      << cfg.f_floor_mhz << " target=" << cfg.f_target_mhz);
@@ -20,6 +23,29 @@ FrequencyGovernor::FrequencyGovernor(const GovernorConfig& cfg)
 double FrequencyGovernor::frequency_mhz() const {
   std::lock_guard lock(mutex_);
   return freq_mhz_;
+}
+
+double FrequencyGovernor::floor_mhz() const {
+  std::lock_guard lock(mutex_);
+  return floor_mhz_;
+}
+
+double FrequencyGovernor::target_mhz() const {
+  std::lock_guard lock(mutex_);
+  return target_mhz_;
+}
+
+void FrequencyGovernor::set_limits(double f_floor_mhz, double f_target_mhz) {
+  OCLP_CHECK_MSG(f_floor_mhz > 0.0 && f_target_mhz >= f_floor_mhz,
+                 "set_limits needs 0 < f_floor <= f_target, got floor="
+                     << f_floor_mhz << " target=" << f_target_mhz);
+  std::lock_guard lock(mutex_);
+  floor_mhz_ = f_floor_mhz;
+  target_mhz_ = f_target_mhz;
+  // Clamp the operating point into the new range right away: a lowered
+  // ceiling must not keep serving above it until the next breach, and a
+  // raised floor is by definition safe to move up to.
+  freq_mhz_ = std::min(target_mhz_, std::max(floor_mhz_, freq_mhz_));
 }
 
 std::size_t FrequencyGovernor::windows_closed() const {
@@ -55,18 +81,17 @@ FrequencyGovernor::Decision FrequencyGovernor::record_check(bool error) {
 
   if (d.window_error_rate > cfg_.slo_error_rate) {
     healthy_streak_ = 0;
-    const double next =
-        std::max(cfg_.f_floor_mhz, freq_mhz_ * cfg_.step_down_factor);
+    const double next = std::max(floor_mhz_, freq_mhz_ * cfg_.step_down_factor);
     d.action = next < freq_mhz_ ? Action::StepDown : Action::Hold;
     freq_mhz_ = next;
   } else {
     ++healthy_streak_;
     if (healthy_streak_ >= cfg_.healthy_windows_to_ramp &&
-        freq_mhz_ < cfg_.f_target_mhz) {
+        freq_mhz_ < target_mhz_) {
       // Re-arm the streak so every step up costs a full healthy streak:
       // the ramp back to the operating point is deliberately gradual.
       healthy_streak_ = 0;
-      freq_mhz_ = std::min(cfg_.f_target_mhz, freq_mhz_ + cfg_.step_up_mhz);
+      freq_mhz_ = std::min(target_mhz_, freq_mhz_ + cfg_.step_up_mhz);
       d.action = Action::StepUp;
     } else {
       d.action = Action::Hold;

@@ -44,6 +44,18 @@ class FrequencyGovernor {
   /// Frequency requests are currently served at.
   double frequency_mhz() const;
 
+  /// Current AIMD clamps. They start at the config's f_floor/f_target and
+  /// move only through set_limits(); cfg_ keeps the construction-time values.
+  double floor_mhz() const;
+  double target_mhz() const;
+
+  /// Re-characterisation feeds the control plane here: move the floor (the
+  /// characterised error-free bound went stale — e.g. aging shrank fB) and
+  /// ceiling at run time. The operating frequency is clamped into the new
+  /// [floor, target] range immediately; the open window's verdict counts
+  /// and the healthy streak are preserved. Thread-safe.
+  void set_limits(double f_floor_mhz, double f_target_mhz);
+
   enum class Action { None, Hold, StepDown, StepUp };
 
   struct Decision {
@@ -70,6 +82,7 @@ class FrequencyGovernor {
  private:
   GovernorConfig cfg_;
   mutable std::mutex mutex_;
+  double floor_mhz_, target_mhz_;  ///< live clamps (see set_limits)
   double freq_mhz_;
   std::size_t window_checks_ = 0, window_errors_ = 0;
   std::size_t windows_ = 0, total_checks_ = 0;

@@ -37,6 +37,8 @@ void ServeMetrics::on_batch(std::size_t batch_size,
   std::lock_guard lock(mutex_);
   batched_requests_ += batch_size;
   latency_ms_.add(latencies_ms);
+  for (double l : latencies_ms)
+    if (l >= latency_hist_max_ms_) ++latency_overflow_;
 }
 
 void ServeMetrics::on_window(double error_rate, double freq_mhz,
@@ -77,6 +79,7 @@ ServeMetrics::Snapshot ServeMetrics::snapshot(const ThreadPool* pool) const {
   s.window_error_rates = window_error_rates_;
   s.frequency_timeline = frequency_timeline_;
   s.latency_hist_max_ms = latency_hist_max_ms_;
+  s.latency_overflow = latency_overflow_;
   s.latency_bin_lo_ms.reserve(latency_ms_.bins());
   s.latency_counts.reserve(latency_ms_.bins());
   for (std::size_t b = 0; b < latency_ms_.bins(); ++b) {
@@ -118,7 +121,8 @@ std::string ServeMetrics::Snapshot::to_json() const {
     os << (i ? ", " : "") << "{\"at_served\": " << frequency_timeline[i].at_served
        << ", \"freq_mhz\": " << frequency_timeline[i].freq_mhz << "}";
   os << "],\n"
-     << "  \"latency_hist_max_ms\": " << latency_hist_max_ms << ",\n";
+     << "  \"latency_hist_max_ms\": " << latency_hist_max_ms << ",\n"
+     << "  \"latency_overflow\": " << latency_overflow << ",\n";
   json_array(os, "latency_bin_lo_ms", latency_bin_lo_ms);
   os << ",\n";
   json_array(os, "latency_counts", latency_counts);

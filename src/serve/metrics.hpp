@@ -23,8 +23,10 @@ class ThreadPool;
 
 class ServeMetrics {
  public:
-  /// Latency histogram over [0, latency_hist_max_ms) — requests beyond the
-  /// range clamp into the last bin (Histogram semantics).
+  /// Latency histogram over [0, latency_hist_max_ms). Histogram clamps
+  /// out-of-range values into the last bin, which would make a saturated
+  /// tail indistinguishable from a real p99 — so samples at or beyond the
+  /// range are additionally counted in `latency_overflow`.
   explicit ServeMetrics(double latency_hist_max_ms = 50.0,
                         std::size_t latency_bins = 40);
 
@@ -68,6 +70,9 @@ class ServeMetrics {
     std::vector<double> latency_bin_lo_ms;
     std::vector<std::uint64_t> latency_counts;
     double latency_hist_max_ms = 0.0;
+    /// Samples >= latency_hist_max_ms; they also sit clamped in the last
+    /// bin, so last-bin count minus overflow is the genuine in-range tail.
+    std::uint64_t latency_overflow = 0;
 
     std::string to_json() const;
   };
@@ -83,6 +88,7 @@ class ServeMetrics {
   mutable std::mutex mutex_;  // guards the histogram and traces below
   Histogram latency_ms_;
   double latency_hist_max_ms_;
+  std::uint64_t latency_overflow_ = 0;
   std::uint64_t batched_requests_ = 0;
   std::vector<double> window_error_rates_;
   std::vector<FreqEvent> frequency_timeline_;

@@ -1,0 +1,53 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace oclp {
+
+HeadroomRouter::HeadroomRouter(std::size_t num_dies) : num_dies_(num_dies) {
+  OCLP_CHECK_MSG(num_dies >= 1, "a router needs at least one die");
+}
+
+double HeadroomRouter::headroom(const DieLoad& load) {
+  return load.freq_mhz / (1.0 + static_cast<double>(load.queue_depth));
+}
+
+bool HeadroomRouter::ramping(const DieLoad& load) {
+  return load.freq_mhz < load.target_mhz;
+}
+
+void HeadroomRouter::plan(const std::vector<DieLoad>& loads, SloClass slo,
+                          std::vector<std::size_t>& order) const {
+  OCLP_CHECK_MSG(loads.size() == num_dies_,
+                 "router saw " << loads.size() << " die loads, expected "
+                               << num_dies_);
+  order.resize(num_dies_);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const bool avoid_ramping = slo == SloClass::LatencySensitive;
+  // stable_sort + index tie-break keeps the order fully deterministic for
+  // equal scores. Ramping dies sink below all non-ramping ones only for
+  // latency-sensitive tenants; within each class, headroom decides — which
+  // also means "all dies ramping" degrades gracefully to pure headroom.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (avoid_ramping) {
+                       const bool ra = ramping(loads[a]), rb = ramping(loads[b]);
+                       if (ra != rb) return !ra;
+                     }
+                     const double ha = headroom(loads[a]), hb = headroom(loads[b]);
+                     if (ha != hb) return ha > hb;
+                     return a < b;
+                   });
+}
+
+std::size_t HeadroomRouter::route(const std::vector<DieLoad>& loads,
+                                  SloClass slo) const {
+  std::vector<std::size_t> order;
+  plan(loads, slo, order);
+  return order.front();
+}
+
+}  // namespace oclp

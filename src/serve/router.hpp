@@ -1,0 +1,60 @@
+// Request placement across a fleet of heterogeneous dies.
+//
+// Every die of a ProjectionFleet serves at its own characterised clock and
+// carries its own queue, so "which die takes this request" is a capacity
+// question: per-die headroom is the current governor frequency discounted
+// by queue depth — a die that is fast *and* idle wins. Tenants carry an
+// SLO class: latency-sensitive requests additionally avoid dies that are
+// ramping back from an SLO breach (governor below its target — the clock
+// is still recovering and checked requests there are the ones absorbing
+// the breach), unless every die is ramping. The router is stateless and
+// deterministic: equal headroom breaks ties toward the lower die index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oclp {
+
+/// Tenant service class of a fleet request.
+enum class SloClass {
+  BestEffort,        ///< placed purely by headroom
+  LatencySensitive,  ///< prefers dies not ramping back from a breach
+};
+
+/// Point-in-time load signal of one die, sampled by the fleet at routing
+/// time from the die's governor and server queue.
+struct DieLoad {
+  double freq_mhz = 0.0;    ///< current governor frequency
+  double target_mhz = 0.0;  ///< governor ceiling; freq < target ⇒ ramping
+  std::size_t queue_depth = 0;
+};
+
+class HeadroomRouter {
+ public:
+  explicit HeadroomRouter(std::size_t num_dies);
+
+  std::size_t num_dies() const { return num_dies_; }
+
+  /// The placement score: frequency × 1/(1 + queue depth). The +1 keeps an
+  /// idle die's full frequency as its score instead of dividing by zero.
+  static double headroom(const DieLoad& load);
+
+  /// A die below its governor target is ramping back from a breach.
+  static bool ramping(const DieLoad& load);
+
+  /// Preferred die for one request: the first entry of plan().
+  std::size_t route(const std::vector<DieLoad>& loads, SloClass slo) const;
+
+  /// Full fallback order for one request — every die exactly once, best
+  /// first. The fleet walks it when a preferred die rejects (queue full
+  /// under RejectNewest). `order` is overwritten (caller-owned scratch, no
+  /// steady-state allocation on the submit path).
+  void plan(const std::vector<DieLoad>& loads, SloClass slo,
+            std::vector<std::size_t>& order) const;
+
+ private:
+  std::size_t num_dies_;
+};
+
+}  // namespace oclp

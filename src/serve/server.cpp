@@ -128,6 +128,18 @@ double ProjectionServer::timing_derate() const {
   return derate_.load(std::memory_order_relaxed);
 }
 
+void ProjectionServer::swap_error_models(
+    std::shared_ptr<const std::map<int, ErrorModel>> models) {
+  std::lock_guard lock(replica_mutex_);
+  swapped_models_ = std::move(models);
+  ++models_generation_;
+}
+
+std::size_t ProjectionServer::queue_depth() const {
+  std::lock_guard lock(queue_mutex_);
+  return queue_.size();
+}
+
 ServeMetrics::Snapshot ProjectionServer::metrics_snapshot() const {
   return metrics_.snapshot(&pool_);
 }
@@ -183,20 +195,33 @@ void ProjectionServer::dispatcher_loop() {
 
 void ProjectionServer::process_batch(std::vector<Pending>&& batch) {
   std::unique_ptr<Replica> rep;
+  bool apply_models = false;
   {
     std::unique_lock lock(replica_mutex_);
     replica_cv_.wait(lock, [&] { return !free_replicas_.empty(); });
     rep = std::move(free_replicas_.front());
     free_replicas_.pop_front();
+    if (rep->models_generation != models_generation_) {
+      rep->models = swapped_models_;
+      rep->models_generation = models_generation_;
+      apply_models = true;
+    }
   }
+  // Correction recompute happens outside the lock (it walks the model per
+  // coefficient); the replica is checked out, so nothing else touches it.
+  if (apply_models) rep->serve.set_error_models(rep->models.get());
 
   // Deadline shedding at pickup: a request whose deadline lapsed while it
-  // queued is dropped before any kernel work is spent on it.
+  // queued is dropped before any kernel work is spent on it. One pickup
+  // instant judges the whole batch — per-request clock reads would judge
+  // batch-mates at drifting instants, so whether a request survived could
+  // depend on how long its predecessors' shed checks took.
+  const auto pickup = Clock::now();
   rep->live.clear();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const auto& req = batch[i].req;
     if (req.deadline_ms > 0.0 &&
-        to_ms(Clock::now() - batch[i].enqueued) > req.deadline_ms) {
+        to_ms(pickup - batch[i].enqueued) > req.deadline_ms) {
       metrics_.on_shed_deadline();
       continue;
     }

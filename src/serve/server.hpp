@@ -137,7 +137,21 @@ class ProjectionServer {
   void set_timing_derate(double derate);
   double timing_derate() const;
 
+  /// Publish a re-characterised model set: each replica recomputes its
+  /// mean-error corrections from `models` before serving its next batch
+  /// (the shared_ptr keeps the previous map alive until the last replica
+  /// has moved off it — no torn reads mid-batch). The map must cover every
+  /// column word-length of the design; nullptr drops corrections.
+  /// Thread-safe.
+  void swap_error_models(std::shared_ptr<const std::map<int, ErrorModel>> models);
+
+  /// Requests currently queued (a router's headroom signal). Thread-safe.
+  std::size_t queue_depth() const;
+
   const FrequencyGovernor& governor() const { return governor_; }
+  /// Mutable governor access for the re-characterisation control plane
+  /// (set_limits); the governor itself is thread-safe.
+  FrequencyGovernor& governor() { return governor_; }
   ServeMetrics& metrics() { return metrics_; }
   /// Metrics snapshot including the worker-pool gauges.
   ServeMetrics::Snapshot metrics_snapshot() const;
@@ -163,6 +177,10 @@ class ProjectionServer {
     ProjectionCircuit serve;
     double serve_freq_mhz = 0.0;
     double serve_derate = 1.0;
+    // Last model set applied to this replica: the shared_ptr keeps the map
+    // alive for as long as `serve` corrects with it (see swap_error_models).
+    std::shared_ptr<const std::map<int, ErrorModel>> models;
+    std::uint64_t models_generation = 0;
     // process_batch scratch, reused across batches (no steady-state
     // allocation): sampled requests, their references, request→ref index,
     // surviving (non-shed) batch indices, per-segment kernel batch.
@@ -190,6 +208,10 @@ class ProjectionServer {
   std::deque<std::unique_ptr<Replica>> free_replicas_;
   std::mutex replica_mutex_;
   std::condition_variable replica_cv_;
+  // Pending model swap, guarded by replica_mutex_: replicas whose
+  // generation lags apply it at checkout (outside the lock).
+  std::shared_ptr<const std::map<int, ErrorModel>> swapped_models_;
+  std::uint64_t models_generation_ = 0;
 
   std::deque<Pending> queue_;
   mutable std::mutex queue_mutex_;

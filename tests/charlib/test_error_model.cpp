@@ -247,11 +247,53 @@ TEST(ErrorModel, SetValidation) {
 }
 
 TEST(ErrorModel, SingleFrequencyGridAlwaysClamps) {
+  // One characterised point is the i0 == i1 edge of locate(): every query
+  // — below, at, or above the point — must clamp to that cell with a zero
+  // interpolation weight, for all three tables.
   ErrorModel m(2, 2, {310.0});
-  m.set(3, 0, 42.0, 0.0, 0.1);
-  EXPECT_DOUBLE_EQ(m.variance(3, 100.0), 42.0);
-  EXPECT_DOUBLE_EQ(m.variance(3, 310.0), 42.0);
-  EXPECT_DOUBLE_EQ(m.variance(3, 500.0), 42.0);
+  m.set(3, 0, 42.0, -7.0, 0.1);
+  for (double f : {100.0, 310.0, 500.0}) {
+    EXPECT_DOUBLE_EQ(m.variance(3, f), 42.0);
+    EXPECT_DOUBLE_EQ(m.mean_error(3, f), -7.0);
+    EXPECT_DOUBLE_EQ(m.error_rate(3, f), 0.1);
+  }
+  const double scale = std::ldexp(1.0, 2 + 2);
+  EXPECT_DOUBLE_EQ(m.variance_value_units(3, 42.0), 42.0 / (scale * scale));
+}
+
+TEST(ErrorModel, ConstructorRejectsUnsortedGrid) {
+  EXPECT_THROW(ErrorModel(3, 4, {200.0, 100.0, 300.0}), CheckError);
+}
+
+TEST(ErrorModel, ConstructorRejectsDuplicateGridFrequencies) {
+  // A sorted-but-duplicated grid would give locate() a zero frequency gap.
+  EXPECT_THROW(ErrorModel(3, 4, {100.0, 100.0, 300.0}), CheckError);
+  EXPECT_THROW(ErrorModel(3, 4, {100.0, 300.0, 300.0}), CheckError);
+}
+
+TEST(SharedErrorModels, StartsEmptyAndPublishesSnapshots) {
+  SharedErrorModels shared;
+  EXPECT_EQ(shared.generation(), 0u);
+  const auto empty = shared.load();
+  ASSERT_NE(empty, nullptr);
+  EXPECT_TRUE(empty->empty());
+
+  shared.store({{3, small_model()}});
+  EXPECT_EQ(shared.generation(), 1u);
+  const auto first = shared.load();
+  EXPECT_EQ(first->count(3), 1u);
+  EXPECT_TRUE(empty->empty());  // old snapshot is immutable and alive
+}
+
+TEST(SharedErrorModels, OldSnapshotsSurviveSubsequentStores) {
+  SharedErrorModels shared({{3, small_model()}});
+  const auto before = shared.load();
+  ErrorModel updated = small_model();
+  updated.set(5, 0, 999.0, 0.0, 1.0);
+  shared.store({{3, std::move(updated)}});
+  const auto after = shared.load();
+  EXPECT_DOUBLE_EQ(before->at(3).variance(5, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(after->at(3).variance(5, 100.0), 999.0);
 }
 
 }  // namespace

@@ -286,5 +286,151 @@ TEST_F(SweepTest, InvalidSettingsThrow) {
   EXPECT_THROW(characterise_multiplier(device_, 4, 4, bad), CheckError);
 }
 
+// --- subsampled online re-characterisation ---------------------------------
+
+class SubsweepTest : public ::testing::Test {
+ protected:
+  SubsweepTest() : device_(reference_device_config(), kReferenceDieSeed) {
+    device_.set_temperature(kCharacterisationTempC);
+    ccfg_.wl_m = 4;
+    ccfg_.wl_x = 4;
+    ccfg_.with_jitter = false;
+  }
+  CharacterisationCircuit circuit() const {
+    return CharacterisationCircuit(ccfg_, device_, reference_location_1());
+  }
+  Device device_;
+  CharCircuitConfig ccfg_;
+};
+
+TEST_F(SubsweepTest, UpdatesOnlyProbedRows) {
+  const auto circ = circuit();
+  ErrorModel model(4, 4, {100.0, 200.0});
+  for (std::uint32_t m = 0; m < 16; ++m)
+    for (std::size_t fi = 0; fi < 2; ++fi) model.set(m, fi, 1.0, 2.0, 0.0);
+
+  SubsweepSettings probe;
+  probe.multiplicands = {3, 11};
+  probe.samples_per_point = 100;
+  const auto report = recharacterise_multiplier(circ, model, probe);
+
+  EXPECT_EQ(report.probed, 2u);
+  EXPECT_EQ(report.skipped_freqs, 0u);
+  // Probed rows were re-measured (error-free at these safe clocks: zero
+  // variance/mean replaces the sentinel values); unprobed rows untouched.
+  for (std::uint32_t m = 0; m < 16; ++m)
+    for (double f : {100.0, 200.0}) {
+      if (m == 3 || m == 11) {
+        EXPECT_DOUBLE_EQ(model.variance(m, f), 0.0);
+        EXPECT_DOUBLE_EQ(model.mean_error(m, f), 0.0);
+      } else {
+        EXPECT_DOUBLE_EQ(model.variance(m, f), 1.0);
+        EXPECT_DOUBLE_EQ(model.mean_error(m, f), 2.0);
+      }
+    }
+}
+
+TEST_F(SubsweepTest, StrideCoverageRotatesWithPhase) {
+  const auto circ = circuit();
+  auto probed_rows = [&](std::uint64_t phase) {
+    ErrorModel model(4, 4, {100.0});
+    for (std::uint32_t m = 0; m < 16; ++m) model.set(m, 0, 1.0, 0.0, 0.0);
+    SubsweepSettings probe;
+    probe.m_stride = 8;
+    probe.m_phase = phase;
+    probe.samples_per_point = 50;
+    recharacterise_multiplier(circ, model, probe);
+    std::vector<std::uint32_t> rows;
+    for (std::uint32_t m = 0; m < 16; ++m)
+      if (model.variance(m, 100.0) == 0.0) rows.push_back(m);
+    return rows;
+  };
+  EXPECT_EQ(probed_rows(0), (std::vector<std::uint32_t>{0, 8}));
+  EXPECT_EQ(probed_rows(1), (std::vector<std::uint32_t>{1, 9}));
+  EXPECT_EQ(probed_rows(9), (std::vector<std::uint32_t>{1, 9}));  // mod stride
+}
+
+TEST_F(SubsweepTest, ErrorFreeFmaxFollowsTheFirstErroneousPoint) {
+  // 8×8 at the reference placement errs well below 640 (the Figure-1
+  // landscape), so a grid spanning the onset yields a mid-grid fB.
+  CharCircuitConfig cc;
+  cc.wl_m = 8;
+  cc.wl_x = 8;
+  cc.with_jitter = false;
+  CharacterisationCircuit circ(cc, device_, reference_location_1());
+  std::vector<double> grid;
+  for (double f = 100.0; f <= 640.0; f += 30.0) grid.push_back(f);
+  ErrorModel model(8, 8, grid);
+  SubsweepSettings probe;
+  probe.multiplicands = {255, 222};
+  probe.samples_per_point = 150;
+  const auto clean = recharacterise_multiplier(circ, model, probe);
+  EXPECT_GT(clean.error_free_fmax_mhz, 0.0);
+  EXPECT_LT(clean.error_free_fmax_mhz, 640.0);
+
+  // Emulated drift (delays × d): the same probe on the same grid must see
+  // a smaller error-free regime — this is what the fleet's control plane
+  // keys its floor adjustment on.
+  ErrorModel drifted(8, 8, grid);
+  probe.timing_derate = 2.0;
+  const auto hot = recharacterise_multiplier(circ, drifted, probe);
+  EXPECT_LT(hot.error_free_fmax_mhz, clean.error_free_fmax_mhz);
+}
+
+TEST_F(SubsweepTest, GridPointsPastSupportFmaxAreSkipped) {
+  const auto circ = circuit();
+  // Derate the probe so the top of the grid lands beyond the supporting
+  // logic's Fmax: those points are unprobeable and must be skipped (and
+  // counted), not crash the framework's own-error guard.
+  const double support = circ.support_fmax_mhz();
+  ErrorModel model(4, 4, {100.0, 0.9 * support});
+  SubsweepSettings probe;
+  probe.multiplicands = {5};
+  probe.samples_per_point = 50;
+  probe.timing_derate = 1.5;
+  const auto report = recharacterise_multiplier(circ, model, probe);
+  EXPECT_EQ(report.skipped_freqs, 1u);
+}
+
+TEST_F(SubsweepTest, DeterministicAcrossRuns) {
+  const auto circ = circuit();
+  auto run = [&] {
+    ErrorModel model(4, 4, {100.0, 500.0, 640.0});
+    SubsweepSettings probe;
+    probe.multiplicands = {15, 13};
+    probe.m_stride = 4;
+    probe.samples_per_point = 120;
+    recharacterise_multiplier(circ, model, probe);
+    return model;
+  };
+  const auto a = run();
+  const auto b = run();
+  for (std::uint32_t m = 0; m < 16; ++m)
+    for (double f : {100.0, 500.0, 640.0}) {
+      EXPECT_DOUBLE_EQ(a.variance(m, f), b.variance(m, f));
+      EXPECT_DOUBLE_EQ(a.mean_error(m, f), b.mean_error(m, f));
+    }
+}
+
+TEST_F(SubsweepTest, Validation) {
+  const auto circ = circuit();
+  ErrorModel model(4, 4, {100.0});
+  SubsweepSettings probe;  // nothing to probe
+  EXPECT_THROW(recharacterise_multiplier(circ, model, probe), CheckError);
+  probe.multiplicands = {16};  // out of range for wl_m = 4
+  EXPECT_THROW(recharacterise_multiplier(circ, model, probe), CheckError);
+  probe.multiplicands = {1};
+  probe.samples_per_point = 1;
+  EXPECT_THROW(recharacterise_multiplier(circ, model, probe), CheckError);
+  probe.samples_per_point = 50;
+  probe.timing_derate = 0.0;
+  EXPECT_THROW(recharacterise_multiplier(circ, model, probe), CheckError);
+  ErrorModel wrong_wl(5, 4, {100.0});
+  probe.timing_derate = 1.0;
+  EXPECT_THROW(recharacterise_multiplier(circ, wrong_wl, probe), CheckError);
+  ErrorModel empty;
+  EXPECT_THROW(recharacterise_multiplier(circ, empty, probe), CheckError);
+}
+
 }  // namespace
 }  // namespace oclp

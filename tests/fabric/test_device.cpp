@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.hpp"
 #include "common/stats.hpp"
 
 namespace oclp {
@@ -107,6 +108,37 @@ TEST(Device, SystematicVariationIsSpatiallySmooth) {
       }
   }
   EXPECT_LT(near_diff.mean(), far_diff.mean());
+}
+
+TEST(Device, FamilyDieSeedsAreStableAndDistinct) {
+  // A fleet must be regrowable die-by-die: member seeds are a pure
+  // function of (family seed, index).
+  EXPECT_EQ(family_die_seed(0xD1E5, 0), family_die_seed(0xD1E5, 0));
+  EXPECT_NE(family_die_seed(0xD1E5, 0), family_die_seed(0xD1E5, 1));
+  EXPECT_NE(family_die_seed(0xD1E5, 0), family_die_seed(0xBEEF, 0));
+}
+
+TEST(Device, MakeDieFamilyInstantiatesDistinctSiblings) {
+  const DeviceConfig cfg;
+  const auto dies = make_die_family(cfg, /*family_seed=*/0xD1E5, 3, 40.0);
+  ASSERT_EQ(dies.size(), 3u);
+  for (std::size_t i = 0; i < dies.size(); ++i) {
+    EXPECT_EQ(dies[i].die_seed(), family_die_seed(0xD1E5, i));
+    EXPECT_DOUBLE_EQ(dies[i].temperature_c(), 40.0);
+    for (std::size_t j = i + 1; j < dies.size(); ++j)
+      EXPECT_NE(dies[i].inter_die_factor(), dies[j].inter_die_factor());
+  }
+}
+
+TEST(Device, MakeDieFamilyExplicitSeedsAndValidation) {
+  const DeviceConfig cfg;
+  const auto dies = make_die_family(cfg, std::vector<std::uint64_t>{22, 83},
+                                    25.0);
+  ASSERT_EQ(dies.size(), 2u);
+  EXPECT_EQ(dies[0].die_seed(), 22u);
+  EXPECT_EQ(dies[1].die_seed(), 83u);
+  EXPECT_THROW(make_die_family(cfg, std::vector<std::uint64_t>{}, 25.0),
+               CheckError);
 }
 
 }  // namespace

@@ -131,6 +131,102 @@ TEST(FrequencyGovernor, BreachResetsHealthyStreak) {
   EXPECT_DOUBLE_EQ(d.freq_mhz, 150.0);
 }
 
+TEST(FrequencyGovernor, BreachAtFloorHoldsButResetsHealthyStreak) {
+  // Ramp-back semantics at the characterised floor: a breaching window
+  // cannot step below the floor (Hold), but it still zeroes the healthy
+  // streak — the ramp restarts from scratch, it does not resume a streak
+  // built before the breach.
+  FrequencyGovernor gov(small_cfg());
+  feed_window(gov, true, 4);  // 300 → 150
+  feed_window(gov, true, 4);  // 150 → 100 (floor)
+  feed_window(gov, false, 4); // streak 1 of 2
+  const auto breach = feed_window(gov, true, 4);
+  EXPECT_EQ(breach.action, Action::Hold);  // clamped: no move below floor
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 100.0);
+  // If the streak had survived the breach, this window would step up.
+  const auto first = feed_window(gov, false, 4);
+  EXPECT_EQ(first.action, Action::Hold);
+  const auto second = feed_window(gov, false, 4);
+  EXPECT_EQ(second.action, Action::StepUp);
+  EXPECT_DOUBLE_EQ(second.freq_mhz, 150.0);
+}
+
+TEST(FrequencyGovernor, ChecksIntoWindowSegmentationContract) {
+  // process_batch segments batches at predicted window-close points using
+  // checks_into_window(): after k mid-window verdicts it reads k, and the
+  // verdict that closes the window resets it to 0 — so "window_checks -
+  // checks_into_window() more checks close the window" always holds.
+  FrequencyGovernor gov(small_cfg());  // window of 4
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_EQ(gov.checks_into_window(), k);
+      const auto d = gov.record_check(false);
+      EXPECT_EQ(d.window_closed, k == 3);
+    }
+    EXPECT_EQ(gov.checks_into_window(), 0u);
+  }
+  EXPECT_EQ(gov.windows_closed(), 3u);
+}
+
+TEST(FrequencyGovernor, LimitsStartAtConfigValues) {
+  FrequencyGovernor gov(small_cfg());
+  EXPECT_DOUBLE_EQ(gov.floor_mhz(), 100.0);
+  EXPECT_DOUBLE_EQ(gov.target_mhz(), 300.0);
+}
+
+TEST(FrequencyGovernor, SetLimitsLowersFloorAndUnlocksStepDown) {
+  // Re-characterisation discovered the old floor is no longer error-free:
+  // lowering it lets the AIMD loop step below the old clamp.
+  FrequencyGovernor gov(small_cfg());
+  feed_window(gov, true, 4);  // 300 → 150
+  feed_window(gov, true, 4);  // 150 → 100 (old floor)
+  feed_window(gov, true, 4);  // Hold at old floor
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 100.0);
+  gov.set_limits(40.0, 300.0);
+  EXPECT_DOUBLE_EQ(gov.floor_mhz(), 40.0);
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 100.0);  // lowering never jumps down
+  const auto down = feed_window(gov, true, 4);
+  EXPECT_EQ(down.action, Action::StepDown);
+  EXPECT_DOUBLE_EQ(down.freq_mhz, 50.0);  // 100 × 0.5, now legal
+  const auto clamped = feed_window(gov, true, 4);
+  EXPECT_DOUBLE_EQ(clamped.freq_mhz, 40.0);  // clamps at the new floor
+}
+
+TEST(FrequencyGovernor, SetLimitsClampsFrequencyIntoNewRange) {
+  FrequencyGovernor gov(small_cfg());
+  // Lowered ceiling pulls the operating point down immediately.
+  gov.set_limits(100.0, 200.0);
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 200.0);
+  EXPECT_DOUBLE_EQ(gov.target_mhz(), 200.0);
+  // A raised floor (a safe bound by definition) lifts the point up to it.
+  gov.set_limits(250.0, 300.0);
+  EXPECT_DOUBLE_EQ(gov.frequency_mhz(), 250.0);
+  // StepUp now honours the restored ceiling.
+  feed_window(gov, false, 4);
+  const auto up = feed_window(gov, false, 4);
+  EXPECT_EQ(up.action, Action::StepUp);
+  EXPECT_DOUBLE_EQ(up.freq_mhz, 300.0);
+}
+
+TEST(FrequencyGovernor, SetLimitsPreservesOpenWindowCounts) {
+  FrequencyGovernor gov(small_cfg());
+  gov.record_check(true);
+  gov.record_check(true);
+  gov.set_limits(50.0, 300.0);
+  EXPECT_EQ(gov.checks_into_window(), 2u);
+  gov.record_check(true);
+  const auto d = gov.record_check(true);  // closes the same window
+  ASSERT_TRUE(d.window_closed);
+  EXPECT_DOUBLE_EQ(d.window_error_rate, 1.0);
+}
+
+TEST(FrequencyGovernor, SetLimitsValidation) {
+  FrequencyGovernor gov(small_cfg());
+  EXPECT_THROW(gov.set_limits(0.0, 300.0), CheckError);
+  EXPECT_THROW(gov.set_limits(-10.0, 300.0), CheckError);
+  EXPECT_THROW(gov.set_limits(400.0, 300.0), CheckError);
+}
+
 TEST(FrequencyGovernor, CountersTrackWindowsAndChecks) {
   FrequencyGovernor gov(small_cfg());
   for (int i = 0; i < 11; ++i) gov.record_check(i % 5 == 0);

@@ -78,6 +78,22 @@ TEST(ServeMetrics, BatchesFeedMeanSizeAndLatencyHistogram) {
   std::uint64_t total = 0;
   for (auto c : s.latency_counts) total += c;
   EXPECT_EQ(total, 6u);
+  // The overflow counter disambiguates the clamped tail: of the two
+  // last-bin samples, exactly one was genuinely out of range.
+  EXPECT_EQ(s.latency_overflow, 1u);
+}
+
+TEST(ServeMetrics, LatencyOverflowCountsOnlyOutOfRangeSamples) {
+  ServeMetrics m(/*latency_hist_max_ms=*/10.0, /*latency_bins=*/10);
+  const auto empty = m.snapshot();
+  EXPECT_EQ(empty.latency_overflow, 0u);
+  // 10.0 is the exclusive upper edge: [0, 10) in range, 10.0 overflows.
+  m.on_batch(4, {0.0, 9.999, 10.0, 250.0});
+  const auto s = m.snapshot();
+  EXPECT_EQ(s.latency_overflow, 2u);
+  std::uint64_t total = 0;
+  for (auto c : s.latency_counts) total += c;
+  EXPECT_EQ(total, 4u);  // overflow samples still clamp into the last bin
 }
 
 TEST(ServeMetrics, WindowTraceAndFrequencyTimeline) {
@@ -126,8 +142,8 @@ TEST(ServeMetrics, JsonContainsEveryKey) {
         "\"check_errors\"", "\"queue_depth\"", "\"queue_peak\"",
         "\"pool_queue_depth\"", "\"pool_inflight\"", "\"window_error_rates\"",
         "\"frequency_timeline\"", "\"at_served\"", "\"freq_mhz\"",
-        "\"latency_hist_max_ms\"", "\"latency_bin_lo_ms\"",
-        "\"latency_counts\""})
+        "\"latency_hist_max_ms\"", "\"latency_overflow\"",
+        "\"latency_bin_lo_ms\"", "\"latency_counts\""})
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   EXPECT_NE(json.find("0.25"), std::string::npos);
 }

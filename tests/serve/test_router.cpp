@@ -1,0 +1,97 @@
+#include "serve/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace oclp {
+namespace {
+
+DieLoad load(double freq, double target, std::size_t depth) {
+  DieLoad l;
+  l.freq_mhz = freq;
+  l.target_mhz = target;
+  l.queue_depth = depth;
+  return l;
+}
+
+TEST(HeadroomRouter, PicksTheHighestHeadroomDie) {
+  HeadroomRouter router(3);
+  const std::vector<DieLoad> loads = {
+      load(200.0, 200.0, 0), load(300.0, 300.0, 0), load(250.0, 250.0, 0)};
+  EXPECT_EQ(router.route(loads, SloClass::BestEffort), 1u);
+}
+
+TEST(HeadroomRouter, QueueDepthDiscountsAFastDie) {
+  HeadroomRouter router(2);
+  // 300 MHz with 2 queued = headroom 100; 150 MHz idle = headroom 150.
+  const std::vector<DieLoad> loads = {load(300.0, 300.0, 2),
+                                      load(150.0, 150.0, 0)};
+  EXPECT_DOUBLE_EQ(HeadroomRouter::headroom(loads[0]), 100.0);
+  EXPECT_DOUBLE_EQ(HeadroomRouter::headroom(loads[1]), 150.0);
+  EXPECT_EQ(router.route(loads, SloClass::BestEffort), 1u);
+}
+
+TEST(HeadroomRouter, TiesBreakTowardsTheLowestIndex) {
+  HeadroomRouter router(3);
+  const std::vector<DieLoad> loads = {
+      load(200.0, 200.0, 1), load(400.0, 400.0, 3), load(400.0, 400.0, 3)};
+  // Dies 1 and 2 tie at headroom 100 = die 0's; all three tie → index order.
+  EXPECT_EQ(router.route(loads, SloClass::BestEffort), 0u);
+}
+
+TEST(HeadroomRouter, LatencySensitiveAvoidsRampingDies) {
+  HeadroomRouter router(2);
+  // Die 0 has more headroom but is ramping back from a breach
+  // (freq < target); a latency-sensitive tenant prefers the stable die.
+  const std::vector<DieLoad> loads = {load(280.0, 400.0, 0),
+                                      load(200.0, 200.0, 0)};
+  EXPECT_TRUE(HeadroomRouter::ramping(loads[0]));
+  EXPECT_FALSE(HeadroomRouter::ramping(loads[1]));
+  EXPECT_EQ(router.route(loads, SloClass::BestEffort), 0u);
+  EXPECT_EQ(router.route(loads, SloClass::LatencySensitive), 1u);
+}
+
+TEST(HeadroomRouter, AllRampingFallsBackToHeadroom) {
+  HeadroomRouter router(3);
+  const std::vector<DieLoad> loads = {
+      load(150.0, 300.0, 0), load(250.0, 300.0, 0), load(200.0, 300.0, 0)};
+  EXPECT_EQ(router.route(loads, SloClass::LatencySensitive), 1u);
+}
+
+TEST(HeadroomRouter, PlanIsAFullFallbackPermutation) {
+  HeadroomRouter router(4);
+  const std::vector<DieLoad> loads = {load(100.0, 200.0, 0),
+                                      load(400.0, 400.0, 1),
+                                      load(300.0, 300.0, 0),
+                                      load(250.0, 250.0, 2)};
+  std::vector<std::size_t> order;
+  router.plan(loads, SloClass::LatencySensitive, order);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<bool> seen(4, false);
+  for (auto i : order) {
+    ASSERT_LT(i, 4u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  // Stable dies first by headroom (2: 300, 1: 200, 3: ~83.3), ramping last.
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(HeadroomRouter, Validation) {
+  EXPECT_THROW(HeadroomRouter(0), CheckError);
+  HeadroomRouter router(2);
+  std::vector<std::size_t> order;
+  const std::vector<DieLoad> wrong_size = {load(100.0, 100.0, 0)};
+  EXPECT_THROW(router.route(wrong_size, SloClass::BestEffort), CheckError);
+  EXPECT_THROW(router.plan(wrong_size, SloClass::BestEffort, order),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -225,6 +225,111 @@ TEST(ProjectionServer, ExpiredDeadlinesAreShedAtPickup) {
   EXPECT_EQ(log.results.front().id, 2u);
 }
 
+TEST(ProjectionServer, DeadlineBatchJudgedAtOnePickupInstant) {
+  // The shed loop must judge every request of a batch against a single
+  // pickup timestamp. With per-request clock reads, whether a request
+  // survived could depend on how long its batch-mates' checks took; with
+  // one instant, identical (enqueue time, deadline) requests in one batch
+  // always share a verdict.
+  const auto design = serve_design(100.0);
+  const Device device = make_device();
+  const auto plan = deterministic_plan(design);
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 16;  // everything below lands in one batch
+  cfg.check_fraction = 0.0;
+  cfg.start_paused = true;
+  cfg.governor.f_target_mhz = 100.0;
+  cfg.governor.f_floor_mhz = 100.0;
+
+  ResultLog log;
+  ProjectionServer server(design, device, plan, kWlX, nullptr, cfg,
+                          log.callback());
+  // Interleave lapsed-deadline and deadline-free requests so a drifting
+  // judgement instant would have to cross several shed decisions.
+  for (std::uint64_t id = 1; id <= 12; ++id)
+    EXPECT_TRUE(server.submit(
+        {id, {1, 2, 3, 4}, /*deadline_ms=*/id % 2 == 1 ? 0.001 : 0.0}));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.resume();
+  server.wait_idle();
+
+  const auto snap = server.metrics_snapshot();
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_EQ(snap.shed_deadline, 6u);
+  EXPECT_EQ(snap.served, 6u);
+  std::lock_guard lock(log.mutex);
+  ASSERT_EQ(log.results.size(), 6u);
+  for (const auto& r : log.results) EXPECT_EQ(r.id % 2, 0u);
+}
+
+TEST(ProjectionServer, SwapErrorModelsAppliesAtNextBatch) {
+  const auto design = serve_design(100.0);
+  const Device device = make_device();
+  const auto plan = deterministic_plan(design);
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait_ms = 0.0;
+  cfg.check_fraction = 0.0;
+  cfg.governor.f_target_mhz = 100.0;  // safe clock: served value is exact
+  cfg.governor.f_floor_mhz = 100.0;
+
+  ResultLog log;
+  ProjectionServer server(design, device, plan, kWlX, nullptr, cfg,
+                          log.callback());
+  const std::vector<std::uint32_t> codes{9, 20, 7, 255};
+  EXPECT_TRUE(server.submit({1, codes, 0.0}));
+  server.wait_idle();
+
+  // A re-characterised model with a recognisable mean error per code: the
+  // circuit must subtract Σ_p sign·mean(mag)/2^(wl+wl_x) from the next
+  // batch on.
+  ErrorModel em(8, kWlX, {100.0});
+  for (std::uint32_t m = 0; m < em.num_multiplicands(); ++m)
+    em.set(m, 0, 0.0, static_cast<double>(m), 0.0);
+  SharedErrorModels shared;
+  shared.store({{8, em}});
+  server.swap_error_models(shared.load());
+
+  EXPECT_TRUE(server.submit({2, codes, 0.0}));
+  server.wait_idle();
+
+  std::vector<double> correction(design.dims_k(), 0.0);
+  const double scale = std::ldexp(1.0, 8 + kWlX);
+  for (std::size_t k = 0; k < design.columns.size(); ++k)
+    for (const auto& c : design.columns[k].coeffs)
+      correction[k] += c.sign * static_cast<double>(c.magnitude) / scale;
+
+  std::lock_guard lock(log.mutex);
+  ASSERT_EQ(log.results.size(), 2u);
+  const auto& before = log.results[0];
+  const auto& after = log.results[1];
+  ASSERT_EQ(before.id, 1u);
+  ASSERT_EQ(after.id, 2u);
+  for (std::size_t k = 0; k < correction.size(); ++k)
+    EXPECT_NEAR(after.y[k], before.y[k] - correction[k], 1e-12);
+}
+
+TEST(ProjectionServer, QueueDepthGaugeTracksPausedQueue) {
+  const auto design = serve_design(100.0);
+  const Device device = make_device();
+  const auto plan = deterministic_plan(design);
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.start_paused = true;
+  cfg.governor.f_target_mhz = 100.0;
+  cfg.governor.f_floor_mhz = 100.0;
+  ProjectionServer server(design, device, plan, kWlX, nullptr, cfg, nullptr);
+  EXPECT_EQ(server.queue_depth(), 0u);
+  for (std::uint64_t id = 1; id <= 5; ++id)
+    server.submit({id, {1, 2, 3, 4}, 0.0});
+  EXPECT_EQ(server.queue_depth(), 5u);
+  server.resume();
+  server.wait_idle();
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
 TEST(ProjectionServer, StoppedServerRefusesSubmissions) {
   const auto design = serve_design(100.0);
   const Device device = make_device();
