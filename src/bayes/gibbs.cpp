@@ -71,12 +71,12 @@ GibbsResult sample_projection(const Matrix& x, const CoeffPrior& prior,
   // sum_xx[r] = Σ_i x(r,i)²: with sum_xf and sum_ff it makes the residual
   // sum of squares Σ_i (x(r,i) − λ_r f_i)² an O(1) evaluation per row.
   std::vector<double> sum_xx(p, 0.0);
-  for (std::size_t r = 0; r < p; ++r) {
+  settings.exec.for_each(0, p, [&](std::size_t r) {
     const double* xr = x.data() + r * n;
     double s = 0.0;
     for (std::size_t i = 0; i < n; ++i) s += xr[i] * xr[i];
     sum_xx[r] = s;
-  }
+  });
 
   // --- state ---------------------------------------------------------------
   std::vector<double> lambda(p);
@@ -126,12 +126,14 @@ GibbsResult sample_projection(const Matrix& x, const CoeffPrior& prior,
     // One fused pass over the data per iteration: sum_xf[r] = Σ_i x(r,i)·f_i
     // feeds both the Ψ scale below and the λ conditional mean afterwards
     // (the pre-restructure code recomputed it row by row in the λ step).
-    for (std::size_t r = 0; r < p; ++r) {
+    // Distinct-row writes with a fixed per-row summation order, so the
+    // policy cannot perturb the chain; every rng draw stays on this thread.
+    settings.exec.for_each(0, p, [&](std::size_t r) {
       const double* xr = x.data() + r * n;
       double s = 0.0;
       for (std::size_t i = 0; i < n; ++i) s += xr[i] * f[i];
       sum_xf[r] = s;
-    }
+    });
 
     // -- Ψ_p | λ, F ----------------------------------------------------------
     // Σ_i (x − λf)² = sum_xx − 2λ·sum_xf + λ²·sum_ff: O(1) per row. Clamp at

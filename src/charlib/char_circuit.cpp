@@ -21,7 +21,10 @@ OverclockSim make_dut_sim(const CharCircuitConfig& cfg, const Device& device,
                           const Placement& placement) {
   Netlist dut = make_multiplier_arch(cfg.arch, cfg.wl_m, cfg.wl_x);
   std::vector<double> delays = annotate_timing(dut, device, placement);
-  return OverclockSim(std::move(dut), std::move(delays));
+  // Calibrated delays are PsGrid-snapped, so the integer settle kernel is
+  // required to lower — an off-grid delay here is a calibration bug.
+  return OverclockSim(std::move(dut), std::move(delays),
+                      TimingMode::IntegerExact);
 }
 
 // Balanced AND over a bit range with memoised subranges — the carry cone of

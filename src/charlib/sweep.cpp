@@ -21,7 +21,7 @@ std::vector<std::uint32_t> uniform_stream(int wl_x, std::size_t n,
 
 ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
                                    const SweepSettings& settings,
-                                   ThreadPool* pool) {
+                                   const ExecPolicy& exec) {
   OCLP_CHECK(!settings.freqs_mhz.empty());
   OCLP_CHECK(!settings.locations.empty());
   OCLP_CHECK(settings.samples_per_point >= 2);
@@ -76,15 +76,16 @@ ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
                           : 0.0);
   };
 
-  if (pool == nullptr) pool = &ThreadPool::global();
-  pool->parallel_for(0, num_m, worker);
+  // Each worker writes only its own model row, so any policy/chunking is
+  // bitwise-identical to the serial sweep.
+  exec.for_each(0, num_m, worker);
   return model;
 }
 
 SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,
                                          ErrorModel& model,
                                          const SubsweepSettings& settings,
-                                         ThreadPool* pool) {
+                                         const ExecPolicy& exec) {
   OCLP_CHECK_MSG(!model.empty(), "subsweep needs a constructed error model");
   OCLP_CHECK_MSG(circuit.config().wl_m == model.wordlength() &&
                      circuit.config().wl_x == model.data_wordlength(),
@@ -166,11 +167,9 @@ SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,
     }
   };
 
-  if (pool != nullptr) {
-    pool->parallel_for(0, probe.size(), worker);
-  } else {
-    for (std::size_t pi = 0; pi < probe.size(); ++pi) worker(pi);
-  }
+  // Distinct model rows / erroneous_at slots per probe (the mutex only
+  // serialises the writes), so the policy cannot change the result.
+  exec.for_each(0, probe.size(), worker);
 
   // fB over the probed codes: highest grid frequency below the first
   // erroneous (or unprobeable) point, in ascending order — same rule as
@@ -189,7 +188,8 @@ std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
                                              int wl_b, const Placement& placement,
                                              const std::vector<double>& freqs_mhz,
                                              std::size_t samples,
-                                             std::uint64_t seed, ThreadPool* pool) {
+                                             std::uint64_t seed,
+                                             const ExecPolicy& exec) {
   OCLP_CHECK(!freqs_mhz.empty() && samples >= 2);
   const std::size_t nf = freqs_mhz.size();
 
@@ -242,8 +242,10 @@ std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
     }
   };
 
-  if (pool == nullptr) pool = &ThreadPool::global();
-  pool->parallel_for(0, bursts.size(), worker);
+  // Bursts fill distinct slots in parallel; the order-sensitive
+  // RunningStats merge below stays a serial fixed-order fold, so the
+  // curve is bitwise-independent of the policy.
+  exec.for_each(0, bursts.size(), worker);
 
   std::vector<ErrorRatePoint> curve(nf);
   for (std::size_t fi = 0; fi < nf; ++fi) {

@@ -14,7 +14,7 @@
 
 #include "charlib/char_circuit.hpp"
 #include "charlib/error_model.hpp"
-#include "common/thread_pool.hpp"
+#include "common/exec_policy.hpp"
 #include "fabric/device.hpp"
 
 namespace oclp {
@@ -31,10 +31,13 @@ struct SweepSettings {
 };
 
 /// Characterise a wl_m × wl_x multiplier on `device`: E(m, f) averaged over
-/// the requested locations (each location also re-rolls routing).
+/// the requested locations (each location also re-rolls routing). The
+/// default policy fans the multiplicands out over the global pool; any
+/// policy yields bitwise-identical models (per-multiplicand rows are
+/// independent and each row's statistics fold in stream order).
 ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
                                    const SweepSettings& settings,
-                                   ThreadPool* pool = nullptr);
+                                   const ExecPolicy& exec = {});
 
 /// Uniform stream of `n` values in [0, 2^wl_x).
 std::vector<std::uint32_t> uniform_stream(int wl_x, std::size_t n,
@@ -76,13 +79,14 @@ struct SubsweepReport {
 
 /// Probe `model`'s grid on `circuit` per `settings`, updating the probed
 /// rows of `model` in place (unprobed rows keep their previous values).
-/// The circuit and model word-lengths must agree. `pool == nullptr` runs
-/// inline on the caller — the deliberate default for the low-rate online
-/// path, which must not steal serving threads.
+/// The circuit and model word-lengths must agree. The default policy is
+/// serial — the deliberate choice for the low-rate online path, which must
+/// not steal serving threads.
 SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,
                                          ErrorModel& model,
                                          const SubsweepSettings& settings,
-                                         ThreadPool* pool = nullptr);
+                                         const ExecPolicy& exec =
+                                             ExecPolicy::serial());
 
 /// Figure-1 style curve: fraction of erroneous outputs of a multiplier vs
 /// clock frequency, with both operands drawn uniformly per cycle.
@@ -96,7 +100,7 @@ std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
                                              const std::vector<double>& freqs_mhz,
                                              std::size_t samples,
                                              std::uint64_t seed = 99,
-                                             ThreadPool* pool = nullptr);
+                                             const ExecPolicy& exec = {});
 
 /// Operating-regime summary extracted from an error-rate curve: fB = the
 /// highest frequency below the first erroneous point, fC = the highest

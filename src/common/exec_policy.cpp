@@ -1,0 +1,59 @@
+#include "common/exec_policy.hpp"
+
+#include <algorithm>
+
+namespace oclp {
+
+std::size_t ExecPolicy::chunk_size_for(std::size_t n) const {
+  if (n == 0) return 1;
+  if (chunking_.chunk_size != 0) return chunking_.chunk_size;
+  // Automatic sizing: a few chunks per worker so an uneven item smooths
+  // out. Serial degenerates to a single inline span — over-chunking buys
+  // nothing on one thread.
+  const std::size_t cpw = kind_ == ExecKind::Serial
+                              ? 1
+                              : std::max<std::size_t>(
+                                    1, chunking_.chunks_per_worker);
+  const std::size_t tasks = std::max<std::size_t>(1, workers() * cpw);
+  const std::size_t size = (n + tasks - 1) / tasks;
+  return std::max({size, chunking_.min_chunk, std::size_t{1}});
+}
+
+std::size_t ExecPolicy::num_chunks(std::size_t n) const {
+  if (n == 0) return 0;
+  const std::size_t size = chunk_size_for(n);
+  return (n + size - 1) / size;
+}
+
+void ExecPolicy::for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn)
+    const {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t size = chunk_size_for(n);
+  const std::size_t chunks = (n + size - 1) / size;
+  auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t c0 = begin + chunk * size;
+    const std::size_t c1 = std::min(end, c0 + size);
+    fn(c0, c1, chunk);
+  };
+  if (kind_ == ExecKind::Serial || chunks == 1) {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
+    return;
+  }
+  // Fan the chunk *indices* out over the pool. parallel_for runs nested
+  // calls (from inside a worker of this same pool) inline on the calling
+  // thread, so policy layering cannot deadlock.
+  pool().parallel_for(0, chunks, run_chunk);
+}
+
+void ExecPolicy::for_each(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& fn) const {
+  for_chunks(begin, end,
+             [&](std::size_t c0, std::size_t c1, std::size_t /*chunk*/) {
+               for (std::size_t i = c0; i < c1; ++i) fn(i);
+             });
+}
+
+}  // namespace oclp

@@ -89,7 +89,11 @@ OptimisationFramework::OptimisationFramework(OptimisationSettings settings,
 }
 
 std::vector<LinearProjectionDesign> OptimisationFramework::run(ThreadPool* pool) {
-  if (pool == nullptr) pool = &ThreadPool::global();
+  return run(ExecPolicy::pooled(pool));
+}
+
+std::vector<LinearProjectionDesign> OptimisationFramework::run(
+    const ExecPolicy& exec) {
   const auto p = x_centered_.rows();
   const int num_wl = settings_.wl_max - settings_.wl_min + 1;
 
@@ -121,18 +125,20 @@ std::vector<LinearProjectionDesign> OptimisationFramework::run(ThreadPool* pool)
     // projection_factors + GEMM work). All word-length jobs of a parent
     // then read the shared matrix concurrently.
     std::vector<Matrix> residuals(parents.size());
-    pool->parallel_for(0, parents.size(), [&](std::size_t parent_idx) {
+    exec.for_each(0, parents.size(), [&](std::size_t parent_idx) {
       const LinearProjectionDesign& parent = parents[parent_idx];
       Matrix residual = x_centered_;
       if (!parent.columns.empty()) {
         const Matrix basis = parent.basis();
         const Matrix f = projection_factors(basis, x_centered_, kRidge);
-        residual -= multiply(basis, f, pool);
+        // Same policy one layer down; a pooled policy invoked from inside
+        // its own pool runs inline, so this nests safely.
+        residual -= multiply(basis, f, exec);
       }
       residuals[parent_idx] = std::move(residual);
     });
 
-    pool->parallel_for(0, jobs, [&](std::size_t job) {
+    exec.for_each(0, jobs, [&](std::size_t job) {
       const std::size_t parent_idx = job / num_wl;
       const int wl = settings_.wl_min + static_cast<int>(job % num_wl);
       const LinearProjectionDesign& parent = parents[parent_idx];

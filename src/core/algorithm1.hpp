@@ -19,7 +19,7 @@
 #include "area/area_model.hpp"
 #include "bayes/gibbs.hpp"
 #include "charlib/error_model.hpp"
-#include "common/thread_pool.hpp"
+#include "common/exec_policy.hpp"
 #include "core/design.hpp"
 #include "linalg/matrix.hpp"
 
@@ -65,10 +65,16 @@ class OptimisationFramework {
                         std::map<int, ErrorModel> models, AreaModel area);
 
   /// Run Algorithm 1; returns up to Q designs sorted by area. Word-length
-  /// sweeps of all carried candidates run in parallel on `pool`. Run-
-  /// invariant work is hoisted: one prior per word-length for the whole
-  /// run, one training-data residual per (dimension, parent).
-  std::vector<LinearProjectionDesign> run(ThreadPool* pool = nullptr);
+  /// sweeps of all carried candidates are distributed per `exec` (the
+  /// policy is also handed down to the residual GEMMs), defaulting to the
+  /// global pool. Run-invariant work is hoisted: one prior per word-length
+  /// for the whole run, one training-data residual per (dimension, parent).
+  /// The designs are bitwise-independent of the policy: jobs write
+  /// distinct candidate slots and each Gibbs chain is seeded per-job.
+  std::vector<LinearProjectionDesign> run(const ExecPolicy& exec = {});
+
+  /// Back-compat shim: run on `pool` (nullptr = the global pool).
+  std::vector<LinearProjectionDesign> run(ThreadPool* pool);
 
   /// Data mean captured at construction (needed to evaluate the designs).
   const std::vector<double>& data_mean() const { return mu_; }

@@ -82,7 +82,11 @@ ProjectionCircuit::ProjectionCircuit(const LinearProjectionDesign& design,
       const auto& place = plan.mult_placements[kk * p + pp];
       Netlist nl = make_multiplier_arch(design.arch, col.wordlength, wl_x);
       auto delays = annotate_timing(nl, device, place);
-      sims_.push_back(std::make_unique<OverclockSim>(std::move(nl), std::move(delays)));
+      // IntegerExact: annotate_timing snaps onto the PsGrid, so the
+      // integer settle kernel must lower — a failure here means a
+      // mis-calibrated delay, not a legitimate fallback.
+      sims_.push_back(std::make_unique<OverclockSim>(
+          std::move(nl), std::move(delays), TimingMode::IntegerExact));
     }
   }
   recompute_mean_correction();
@@ -177,24 +181,30 @@ void ProjectionCircuit::project_batch(
 
   // All multipliers share the mult_clk domain; one jittered period per
   // edge, drawn in sample order — the exact draw sequence a project()
-  // loop would consume, so the two paths see identical clocks.
+  // loop would consume, so the two paths see identical clocks. The
+  // integer capture threshold ⌊period·2^10⌋ is converted once per sample
+  // here instead of once per (multiplier, sample) in the capture loop;
+  // the conversion is exact for arbitrary jittered periods (see PsGrid),
+  // so tick capture matches the double rule bitwise.
   periods_.resize(n);
-  for (std::size_t s = 0; s < n; ++s) periods_[s] = clock_.next_period_ns();
+  periods_ticks_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    periods_[s] = clock_.next_period_ns();
+    periods_ticks_[s] = PsGrid::period_ticks(periods_[s]);
+  }
 
   const std::size_t kp = k * p;
   const bool need_reset = first_sample_;
   contrib_.resize(kp * n);
 
-  // Fan the K·P independent multiplier streams out over the pool. Each
-  // shard owns a reusable workspace; each multiplier's register state
-  // lives in its sim, so the shard → multiplier mapping never affects
-  // results and the reduction below is a fixed-order serial sum.
-  const std::size_t shards = std::min(kp, ThreadPool::global().size());
-  batch_ws_.resize(shards);
-  ThreadPool::global().parallel_for(0, shards, [&](std::size_t shard) {
-    BatchWorkspace& ws = batch_ws_[shard];
-    const std::size_t m0 = shard * kp / shards;
-    const std::size_t m1 = (shard + 1) * kp / shards;
+  // Distribute the K·P independent multiplier streams per the policy.
+  // Each chunk owns a reusable workspace; each multiplier's register
+  // state lives in its sim, so the chunk → multiplier mapping never
+  // affects results and the reduction below is a fixed-order serial sum.
+  batch_ws_.resize(exec_.num_chunks(kp));
+  exec_.for_chunks(0, kp, [&](std::size_t m0, std::size_t m1,
+                              std::size_t chunk) {
+    BatchWorkspace& ws = batch_ws_[chunk];
     for (std::size_t m = m0; m < m1; ++m) {
       const std::size_t kk = m / p, pp = m % p;
       const DesignColumn& col = design_.columns[kk];
@@ -225,12 +235,23 @@ void ProjectionCircuit::project_batch(
       sim.run_stream(ws.inputs.data(), n, ws.stream);
 
       // Per-sample signed, scaled product — the exact expression project()
-      // accumulates, evaluated per multiplier into an SoA slab.
+      // accumulates, evaluated per multiplier into an SoA slab. Integer
+      // capture when the sim lowered integer (IntegerExact above, so
+      // always in practice): unsigned tick compares against the
+      // pre-converted thresholds.
       double* c = contrib_.data() + m * n;
-      for (std::size_t s = 0; s < n; ++s) {
-        const double product =
-            static_cast<double>(ws.stream.capture_word(s, periods_[s]));
-        c[s] = col.coeffs[pp].sign * product / scale;
+      if (sim.integer_kernel()) {
+        for (std::size_t s = 0; s < n; ++s) {
+          const double product = static_cast<double>(
+              ws.stream.capture_word_ticks(s, periods_ticks_[s]));
+          c[s] = col.coeffs[pp].sign * product / scale;
+        }
+      } else {
+        for (std::size_t s = 0; s < n; ++s) {
+          const double product =
+              static_cast<double>(ws.stream.capture_word(s, periods_[s]));
+          c[s] = col.coeffs[pp].sign * product / scale;
+        }
       }
     }
   });

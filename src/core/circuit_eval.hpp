@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "charlib/error_model.hpp"
+#include "common/exec_policy.hpp"
 #include "core/design.hpp"
 #include "fabric/clock.hpp"
 #include "fabric/device.hpp"
@@ -65,18 +66,26 @@ class ProjectionCircuit {
 
   /// Batched timed projection: clock the whole micro-batch through every
   /// multiplier in one OverclockSim::run_stream pass (64-lane settled
-  /// eval + sparse settle propagation), then capture each sample at its
-  /// own jittered period via the O(toggled) SweepStream sampling rule.
-  /// Bitwise identical to calling project() once per sample in order —
-  /// including the per-sample ClockGen jitter draw order (same clock_seed
-  /// ⇒ same clocks) and the sign/mean-correction accumulation order — and
-  /// freely interleavable with project()/set_clock() (the multiplier
-  /// register state carries across). The K·P per-multiplier streams fan
-  /// out over ThreadPool::global() with per-shard reusable workspaces; no
-  /// steady-state allocation beyond `ys`. `ys` is resized to batch.size()
-  /// rows of K entries.
+  /// eval + integer-picosecond sparse settle propagation), then capture
+  /// each sample at its own jittered period — pre-converted once to PsGrid
+  /// ticks — via the O(toggled) branch-poor unsigned-compare sampling
+  /// rule. Bitwise identical to calling project() once per sample in
+  /// order — including the per-sample ClockGen jitter draw order (same
+  /// clock_seed ⇒ same clocks) and the sign/mean-correction accumulation
+  /// order — and freely interleavable with project()/set_clock() (the
+  /// multiplier register state carries across). The K·P per-multiplier
+  /// streams are distributed per the circuit's ExecPolicy (default: the
+  /// global pool, one chunk per worker) with per-chunk reusable
+  /// workspaces; no steady-state allocation beyond `ys`. `ys` is resized
+  /// to batch.size() rows of K entries.
   void project_batch(const std::vector<const std::vector<std::uint32_t>*>& batch,
                      std::vector<std::vector<double>>& ys);
+
+  /// Replace the policy project_batch distributes multiplier streams
+  /// with. Any policy/chunking produces bitwise-identical projections
+  /// (each multiplier's state lives in its own sim; the reduction is a
+  /// fixed-order serial sum).
+  void set_exec_policy(const ExecPolicy& exec) { exec_ = exec; }
 
   /// Error-free reference projection of the same input codes (what the
   /// circuit would produce with unlimited timing slack).
@@ -140,8 +149,13 @@ class ProjectionCircuit {
   std::vector<std::uint64_t> lane_words_;   ///< project_settled() scratch
   // project_batch scratch, reused across batches.
   std::vector<double> periods_;             ///< per-sample jittered periods
+  std::vector<std::uint64_t> periods_ticks_;  ///< the same, as PsGrid ticks
   std::vector<double> contrib_;             ///< K·P × n per-multiplier terms
-  std::vector<BatchWorkspace> batch_ws_;    ///< one per parallel shard
+  std::vector<BatchWorkspace> batch_ws_;    ///< one per parallel chunk
+  /// Stream-distribution policy. One chunk per worker mirrors the shard
+  /// count the hand-rolled fan-out used (multiplier streams are uniform,
+  /// so finer chunks only add submission overhead).
+  ExecPolicy exec_ = ExecPolicy::pooled(nullptr, ExecChunking{0, 1, 1});
 };
 
 /// End-to-end hardware evaluation: run `x` (value-domain P×N) through the

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/sta.hpp"
 
 namespace oclp {
@@ -30,15 +31,19 @@ std::vector<double> annotate_timing(const Netlist& nl, const Device& device,
     const double route = cfg.route_delay_ns *
                          std::exp(net_rng.normal(0.0, cfg.route_sigma));
     const double speed = device.speed_factor(lx, ly);
-    delay[i] = (cfg.lut_delay_ns + route) * speed * derate;
+    // Snap the calibrated delay onto the integer-picosecond grid (the last
+    // step, after every physical factor): all downstream timing — STA and
+    // both settle kernels — sees the same grid-exact value, which is what
+    // entitles OverclockSim's lowering to quantise exactly (PsGrid).
+    delay[i] = PsGrid::snap_ns((cfg.lut_delay_ns + route) * speed * derate);
   }
   return delay;
 }
 
 std::vector<double> tool_timing(const Netlist& nl, const DeviceConfig& cfg) {
   const double per_cell =
-      (cfg.lut_delay_ns + cfg.route_delay_ns * cfg.tool_route_pessimism) *
-      cfg.slow_corner_factor * cfg.tool_guardband;
+      PsGrid::snap_ns((cfg.lut_delay_ns + cfg.route_delay_ns * cfg.tool_route_pessimism) *
+                      cfg.slow_corner_factor * cfg.tool_guardband);
   std::vector<double> delay(nl.num_cells(), 0.0);
   const auto& cells = nl.cells();
   for (std::size_t i = 0; i < cells.size(); ++i)

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/exec_policy.hpp"
 #include "common/thread_pool.hpp"
 
 namespace oclp {
@@ -172,18 +173,25 @@ void multiply_row(const Matrix& a, const Matrix& b, Matrix& out, std::size_t i) 
 
 }  // namespace
 
-Matrix multiply(const Matrix& a, const Matrix& b, ThreadPool* pool) {
+Matrix multiply(const Matrix& a, const Matrix& b, const ExecPolicy& exec) {
   OCLP_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch: " << a.rows()
                                        << "x" << a.cols() << " * " << b.rows()
                                        << "x" << b.cols());
   Matrix out(a.rows(), b.cols());
-  if (pool == nullptr || a.rows() < 2) {
+  if (a.rows() < 2) {
     for (std::size_t i = 0; i < a.rows(); ++i) multiply_row(a, b, out, i);
     return out;
   }
-  pool->parallel_for(0, a.rows(),
-                     [&](std::size_t i) { multiply_row(a, b, out, i); });
+  // Distinct output rows per worker: any policy matches the serial product.
+  exec.for_each(0, a.rows(),
+                [&](std::size_t i) { multiply_row(a, b, out, i); });
   return out;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b, ThreadPool* pool) {
+  return multiply(a, b,
+                  pool == nullptr ? ExecPolicy::serial()
+                                  : ExecPolicy::pooled(pool));
 }
 
 Matrix multiply_naive(const Matrix& a, const Matrix& b) {

@@ -14,6 +14,7 @@
 namespace oclp {
 
 class ThreadPool;
+class ExecPolicy;
 
 class Matrix {
  public:
@@ -80,12 +81,16 @@ class Matrix {
 
 Matrix operator*(double s, const Matrix& m);
 
-/// a·b with the row blocks of the output computed across `pool` (nullptr
-/// runs serially). Rows are independent and each is computed with exactly
-/// the arithmetic of `operator*`, so the product is bitwise identical to
-/// the serial one; worthwhile when the output has many rows (e.g. the P×N
-/// residual reconstructions over thousands of training cases). Safe to
-/// call from inside a pool task — the nested parallel_for runs inline.
+/// a·b with the row blocks of the output distributed per `exec`. Rows are
+/// independent and each is computed with exactly the arithmetic of
+/// `operator*`, so the product is bitwise identical to the serial one at
+/// any policy/chunking; worthwhile when the output has many rows (e.g. the
+/// P×N residual reconstructions over thousands of training cases). Safe to
+/// call from inside a pool task — nested pooled policies run inline.
+Matrix multiply(const Matrix& a, const Matrix& b, const ExecPolicy& exec);
+
+/// Back-compat shim: nullptr runs serially, otherwise rows fan out over
+/// `pool` (equivalent to ExecPolicy::pooled(pool)).
 Matrix multiply(const Matrix& a, const Matrix& b, ThreadPool* pool);
 
 /// Textbook i-j-k (dot-product order) multiplication. Slower and with a

@@ -1,8 +1,33 @@
 #include "netlist/compiled.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 
 namespace oclp {
+
+double PsGrid::snap_ns(double ns) {
+  return std::round(ns * kTicksPerNs) / kTicksPerNs;
+}
+
+bool PsGrid::try_ticks(double ns, std::uint32_t& ticks) {
+  if (!(ns >= 0.0)) return false;  // negative or NaN
+  const double scaled = std::ldexp(ns, kFracBits);  // exact (power of two)
+  if (!(scaled <= static_cast<double>(std::numeric_limits<std::uint32_t>::max())))
+    return false;
+  if (scaled != std::floor(scaled)) return false;  // off-grid
+  ticks = static_cast<std::uint32_t>(scaled);
+  return true;
+}
+
+std::uint64_t PsGrid::period_ticks(double period_ns) {
+  const double scaled = std::floor(std::ldexp(period_ns, kFracBits));
+  if (!(scaled > 0.0)) return 0;
+  if (scaled >= 18446744073709551616.0)  // 2^64 (exactly representable)
+    return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(scaled);
+}
 
 namespace {
 
@@ -224,6 +249,64 @@ std::vector<double> CompiledNetlist::gather_delays(
   for (std::size_t ci = 0; ci < num_cells(); ++ci)
     d[ci] = orig_cell_delay_ns[orig_cell_[ci]];
   return d;
+}
+
+namespace {
+
+// Worst-case levelized path sum of tick counts: the largest settle time
+// the integer kernel can ever produce (every fanin toggles, every cell on
+// the longest chain toggles). Computed in uint64 so the uint32 bound can
+// be *checked* rather than assumed.
+std::uint64_t critical_path_ticks_of(const CompiledNetlist& c,
+                                     const std::vector<std::uint32_t>& ticks) {
+  std::vector<std::uint64_t> arrive(c.num_nets(), 0);
+  std::uint64_t worst = 0;
+  const std::size_t base = 2 + c.num_inputs();
+  for (std::size_t ci = 0; ci < c.num_cells(); ++ci) {
+    std::uint64_t launch = arrive[static_cast<std::size_t>(c.fanin(ci, 0))];
+    launch = std::max(launch, arrive[static_cast<std::size_t>(c.fanin(ci, 1))]);
+    launch = std::max(launch, arrive[static_cast<std::size_t>(c.fanin(ci, 2))]);
+    arrive[base + ci] = launch + ticks[ci];
+    worst = std::max(worst, arrive[base + ci]);
+  }
+  return worst;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> CompiledNetlist::quantise_delays(
+    const std::vector<double>& cell_delay_ns,
+    std::uint64_t* critical_path_ticks) const {
+  OCLP_CHECK_MSG(cell_delay_ns.size() == num_cells(),
+                 "one delay per compiled cell required: " << cell_delay_ns.size()
+                                                          << " vs " << num_cells());
+  std::vector<std::uint32_t> ticks(num_cells());
+  for (std::size_t ci = 0; ci < num_cells(); ++ci)
+    OCLP_CHECK_MSG(PsGrid::try_ticks(cell_delay_ns[ci], ticks[ci]),
+                   "delay of cell " << orig_cell_[ci] << " (" << cell_delay_ns[ci]
+                                    << " ns) is not an exact multiple of the 2^-"
+                                    << PsGrid::kFracBits
+                                    << " ns grid fitting uint32 ticks");
+  const std::uint64_t worst = critical_path_ticks_of(*this, ticks);
+  OCLP_CHECK_MSG(worst <= std::numeric_limits<std::uint32_t>::max(),
+                 "worst-case settle path (" << worst
+                                            << " ticks) overflows the uint32 "
+                                               "integer-picosecond kernel");
+  if (critical_path_ticks != nullptr) *critical_path_ticks = worst;
+  return ticks;
+}
+
+bool CompiledNetlist::try_quantise_delays(
+    const std::vector<double>& cell_delay_ns, std::vector<std::uint32_t>& ticks,
+    std::uint64_t* critical_path_ticks) const {
+  if (cell_delay_ns.size() != num_cells()) return false;
+  ticks.resize(num_cells());
+  for (std::size_t ci = 0; ci < num_cells(); ++ci)
+    if (!PsGrid::try_ticks(cell_delay_ns[ci], ticks[ci])) return false;
+  const std::uint64_t worst = critical_path_ticks_of(*this, ticks);
+  if (worst > std::numeric_limits<std::uint32_t>::max()) return false;
+  if (critical_path_ticks != nullptr) *critical_path_ticks = worst;
+  return true;
 }
 
 void CompiledNetlist::eval(std::vector<std::uint8_t>& vals) const {

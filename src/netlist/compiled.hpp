@@ -47,6 +47,55 @@
 
 namespace oclp {
 
+/// The integer-picosecond delay grid of the compiled timing kernel.
+///
+/// The quantum is 2^-10 ns (a "binary picosecond", ~0.977 ps): delays and
+/// settle times become uint32 tick counts and settle propagation becomes
+/// small-integer max-plus arithmetic. The power-of-two quantum is what
+/// keeps the retained double kernels bitwise-comparable:
+///
+///  * to_ns is exact — ldexp(ticks, -10) scales by a power of two, and
+///    every tick count below 2^32 has an exact double;
+///  * sums and maxes of grid delays are exact in doubles as long as the
+///    running sum stays below 2^53 ticks (the uint32 overflow check below
+///    enforces < 2^32, with room to spare), so the double reference path
+///    computes *exactly* tick·2^-10 at every net — integer-vs-double
+///    equality is a theorem, not a tolerance;
+///  * capture periods need no quantisation: settle > period on the grid
+///    iff settle_ticks > floor(period·2^10), and ldexp/floor evaluate
+///    that threshold exactly for arbitrary (e.g. jittered) periods.
+///
+/// A decimal grid (say 0.001 ns) has none of these properties — 0.001 has
+/// no exact double, so the double fold rounds and exact ties (common once
+/// delays snap to a grid) flip between the paths.
+struct PsGrid {
+  /// log2 of ticks per nanosecond.
+  static constexpr int kFracBits = 10;
+  static constexpr double kTicksPerNs = 1024.0;  // 2^kFracBits
+
+  /// Nearest grid multiple of `ns` (multiply/divide by a power of two:
+  /// the snapped value is the exact double of its tick count). The fabric
+  /// calibration snaps every produced delay through this, which is what
+  /// makes strict lowering-time quantisation below total.
+  static double snap_ns(double ns);
+
+  /// Exact nanoseconds of a tick count. Inline (one multiply by an exact
+  /// power of two — bitwise equal to ldexp(ticks, -kFracBits)): the
+  /// integer stream kernel dequantises once per toggled output bit.
+  static double to_ns(std::uint32_t ticks) {
+    return static_cast<double>(ticks) * (1.0 / kTicksPerNs);
+  }
+
+  /// Tick count of `ns` if `ns` lies exactly on the grid and fits a
+  /// uint32; returns false otherwise (off-grid, negative, or overflow).
+  static bool try_ticks(double ns, std::uint32_t& ticks);
+
+  /// Largest settle tick count captured *fresh* at `period_ns`: a net is
+  /// stale iff settle_ticks > period_ticks(period_ns). Exact for any
+  /// positive period (see above); saturates at uint64 max.
+  static std::uint64_t period_ticks(double period_ns);
+};
+
 struct CompileOptions {
   /// Fold cells whose outputs are provably constant. Disable for purely
   /// structural consumers (STA), where a constant-valued cell still owns
@@ -118,6 +167,24 @@ class CompiledNetlist {
   /// Per-compiled-cell delays gathered from per-original-cell delays.
   std::vector<double> gather_delays(
       const std::vector<double>& orig_cell_delay_ns) const;
+
+  /// Strict lowering-time quantisation of per-compiled-cell delays onto
+  /// the PsGrid: throws (naming the offending original cell) if any delay
+  /// is off-grid or does not fit a uint32 tick count, or if the worst-case
+  /// levelized path sum of tick counts overflows uint32 — the bound every
+  /// settle time the integer kernel can produce stays under. On success
+  /// the returned ticks dequantise bitwise to the inputs, and
+  /// `critical_path_ticks` (if given) receives the worst-case path sum.
+  std::vector<std::uint32_t> quantise_delays(
+      const std::vector<double>& cell_delay_ns,
+      std::uint64_t* critical_path_ticks = nullptr) const;
+
+  /// Tolerant probe of the same conditions: fills `ticks` and returns
+  /// true iff quantise_delays would succeed. Lets auto-mode consumers fall
+  /// back to the double kernel for non-calibrated (off-grid) delays.
+  bool try_quantise_delays(const std::vector<double>& cell_delay_ns,
+                           std::vector<std::uint32_t>& ticks,
+                           std::uint64_t* critical_path_ticks = nullptr) const;
 
   // --- Evaluation -----------------------------------------------------------
 

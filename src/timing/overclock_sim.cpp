@@ -6,13 +6,79 @@
 
 namespace oclp {
 
-OverclockSim::OverclockSim(Netlist nl, std::vector<double> cell_delay_ns)
+namespace {
+
+// Dense edges hand the whole 64-lane row to the branch-free fill below;
+// sparser ones walk the set toggle bits one at a time. The cutoff is where
+// the vectorised unconditional fill overtakes popcount scalar iterations.
+constexpr int kDenseToggleCutoff = 16;
+
+// Dense-edge row fill of the integer settle kernel: compute every lane of
+// the cell's tick row unconditionally as masked max-plus. Untoggled slots
+// get a garbage launch, but stale slots are never read (see the invariant
+// at the call site), so the loop carries no data-dependent branches and
+// auto-vectorises — twice as densely as the 8-byte double rows, which is
+// where the integer kernel earns its keep. The toggle words are split into
+// 32-bit halves so the per-lane bit extraction stays a 32-bit variable
+// shift (vpsrlvd). Multi-versioned where supported: the binary stays
+// runnable on baseline x86-64 while the ifunc resolver picks an
+// AVX2/AVX-512 clone on devices that have them — the device-specific
+// optimisation applied to our own simulation substrate.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
+    !defined(__clang__) && !defined(__SANITIZE_THREAD__) &&         \
+    !defined(__SANITIZE_ADDRESS__)
+__attribute__((target_clones("default", "avx2", "avx512f")))
+#endif
+void fill_row_dense_ticks(std::uint32_t* row, const std::uint32_t* r0,
+                          const std::uint32_t* r1, const std::uint32_t* r2,
+                          std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+                          std::uint32_t d) {
+  for (int h = 0; h < 2; ++h) {
+    const auto s0 = static_cast<std::uint32_t>(t0 >> (32 * h));
+    const auto s1 = static_cast<std::uint32_t>(t1 >> (32 * h));
+    const auto s2 = static_cast<std::uint32_t>(t2 >> (32 * h));
+    const std::uint32_t* q0 = r0 + 32 * h;
+    const std::uint32_t* q1 = r1 + 32 * h;
+    const std::uint32_t* q2 = r2 + 32 * h;
+    std::uint32_t* qrow = row + 32 * h;
+    for (std::size_t l = 0; l < 32; ++l) {
+      const std::uint32_t m0 = 0 - ((s0 >> l) & 1u);
+      const std::uint32_t m1 = 0 - ((s1 >> l) & 1u);
+      const std::uint32_t m2 = 0 - ((s2 >> l) & 1u);
+      std::uint32_t launch = q0[l] & m0;
+      launch = std::max(launch, q1[l] & m1);
+      launch = std::max(launch, q2[l] & m2);
+      qrow[l] = launch + d;
+    }
+  }
+}
+
+}  // namespace
+
+OverclockSim::OverclockSim(Netlist nl, std::vector<double> cell_delay_ns,
+                           TimingMode mode)
     : nl_(std::move(nl)),
       cnl_(CompiledNetlist::compile(nl_)) {
   OCLP_CHECK_MSG(cell_delay_ns.size() == nl_.num_cells(),
                  "one delay per cell required: " << cell_delay_ns.size() << " vs "
                                                  << nl_.num_cells());
   delay_ = cnl_.gather_delays(cell_delay_ns);
+  // Lowering-time quantisation onto the integer-picosecond grid. Strict
+  // mode rejects off-grid/overflowing delays (naming the cell); auto mode
+  // keeps the double kernel for them instead.
+  switch (mode) {
+    case TimingMode::IntegerExact:
+      delay_ticks_ = cnl_.quantise_delays(delay_, &critical_path_ticks_);
+      break;
+    case TimingMode::Auto:
+      if (!cnl_.try_quantise_delays(delay_, delay_ticks_, &critical_path_ticks_)) {
+        delay_ticks_.clear();
+        critical_path_ticks_ = 0;
+      }
+      break;
+    case TimingMode::DoubleRef:
+      break;
+  }
   reset(state_, std::vector<std::uint8_t>(nl_.num_inputs(), 0));
   state_.initialised = false;  // the public contract still requires reset()
 }
@@ -97,6 +163,20 @@ void OverclockSim::advance(State& st, const std::vector<std::uint8_t>& inputs) c
 
 void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
                               std::size_t n, SweepStream& out) const {
+  if (integer_kernel())
+    run_stream_impl<true>(st, inputs, n, out);
+  else
+    run_stream_impl<false>(st, inputs, n, out);
+}
+
+void OverclockSim::run_stream_ref(State& st, const std::uint8_t* inputs,
+                                  std::size_t n, SweepStream& out) const {
+  run_stream_impl<false>(st, inputs, n, out);
+}
+
+template <bool kIntKernel>
+void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
+                                   std::size_t n, SweepStream& out) const {
   OCLP_CHECK_MSG(st.initialised, "OverclockSim::run_stream before reset");
   const std::size_t no = cnl_.num_outputs();
   OCLP_CHECK_MSG(no <= 64, "run_stream packs outputs into a 64-bit word; this "
@@ -110,20 +190,27 @@ void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
   out.toggle_begin.resize(n + 1);
   out.toggle_bit.clear();
   out.toggle_settle.clear();
+  out.toggle_settle_ticks.clear();
   out.toggle_begin[0] = 0;
   if (n == 0) return;
 
   out.words.resize(nn);
   out.tog.resize(nn);
-  // Per-net lane rows of settle times: lanes[net*64 + l] is net's settle
-  // at edge c0+l. Cell slots may be stale between chunks — a cell's settle
+  // Per-net lane rows of settle times: row[net*64 + l] is net's settle at
+  // edge c0+l — PsGrid ticks on the integer kernel, doubles on the
+  // reference. Cell slots may be stale between chunks — a cell's settle
   // is only ever read under this edge's toggle mask, and a toggled cell is
   // rewritten (in level order) before any read. Input and sentinel rows
   // are registered/constant (settle 0) and are never written, so they are
   // re-zeroed here in case a previous caller used this scratch for a
   // netlist whose cell slots overlap them.
-  out.lanes.resize(nn * 64);
-  std::fill_n(out.lanes.data(), base * 64, 0.0);
+  if constexpr (kIntKernel) {
+    out.lanes_ticks.resize(nn * 64);
+    std::fill_n(out.lanes_ticks.data(), base * 64, 0u);
+  } else {
+    out.lanes.resize(nn * 64);
+    std::fill_n(out.lanes.data(), base * 64, 0.0);
+  }
   out.carry.resize(nn);
 
   // The carry into lane 0 of each chunk is the settled value of the
@@ -131,10 +218,12 @@ void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
   std::memcpy(out.carry.data(), st.prev.data(), nn);
 
   const std::int32_t* fanin = cnl_.fanins().data();
-  const double* delay = delay_.data();
+  [[maybe_unused]] const double* delay = delay_.data();
+  [[maybe_unused]] const std::uint32_t* delay_ticks = delay_ticks_.data();
   std::uint64_t* words = out.words.data();
   std::uint64_t* tog = out.tog.data();
-  double* lanes = out.lanes.data();
+  [[maybe_unused]] double* lanes = out.lanes.data();
+  [[maybe_unused]] std::uint32_t* lanes_ticks = out.lanes_ticks.data();
 
   for (std::size_t c0 = 0; c0 < n; c0 += 64) {
     const std::size_t cn = std::min<std::size_t>(64, n - c0);
@@ -165,38 +254,71 @@ void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
     // level order, so a fanin's row element is final before any consumer
     // reads it — and a consumer only reads lane l of a fanin when that
     // fanin toggled at lane l (the mask), so stale row slots are never
-    // observed. The all-ones/all-zeros mask on the settle's bit pattern is
-    // exact for the non-negative settle times here (all-ones keeps the
-    // value, all-zeros yields +0.0 — exactly what advance()'s 0/1
-    // multiplication produces), so the doubles stay bitwise identical to
-    // advance()'s.
+    // observed.
+    //
+    // Integer kernel: branch-poor max-plus over uint32 tick rows — an AND
+    // mask, two unsigned maxes and an add per cell/lane, no floating
+    // point. The uint32 sums cannot overflow (quantisation bounded the
+    // worst-case path), and a masked all-zeros launch is exactly the
+    // registered-fanin case.
+    //
+    // Double kernel: the all-ones/all-zeros mask on the settle's bit
+    // pattern is exact for the non-negative settle times here (all-ones
+    // keeps the value, all-zeros yields +0.0 — exactly what advance()'s
+    // 0/1 multiplication produces), so the doubles stay bitwise identical
+    // to advance()'s.
     for (std::size_t ci = 0; ci < nc; ++ci) {
       std::uint64_t t = tog[base + ci];
       if (!t) continue;
       const std::int32_t* f = fanin + 3 * ci;
       const std::uint64_t t0 = tog[f[0]], t1 = tog[f[1]], t2 = tog[f[2]];
-      const double* r0 = lanes + static_cast<std::size_t>(f[0]) * 64;
-      const double* r1 = lanes + static_cast<std::size_t>(f[1]) * 64;
-      const double* r2 = lanes + static_cast<std::size_t>(f[2]) * 64;
-      double* row = lanes + (base + ci) * 64;
-      const double d = delay[ci];
-      do {
-        const auto l = static_cast<std::size_t>(std::countr_zero(t));
-        const std::uint64_t m0 = 0 - ((t0 >> l) & 1ull);
-        const std::uint64_t m1 = 0 - ((t1 >> l) & 1ull);
-        const std::uint64_t m2 = 0 - ((t2 >> l) & 1ull);
-        double launch =
-            std::bit_cast<double>(std::bit_cast<std::uint64_t>(r0[l]) & m0);
-        launch = std::max(
-            launch, std::bit_cast<double>(std::bit_cast<std::uint64_t>(r1[l]) & m1));
-        launch = std::max(
-            launch, std::bit_cast<double>(std::bit_cast<std::uint64_t>(r2[l]) & m2));
-        row[l] = launch + d;
-        t &= t - 1;
-      } while (t);
+      if constexpr (kIntKernel) {
+        const std::uint32_t* r0 = lanes_ticks + static_cast<std::size_t>(f[0]) * 64;
+        const std::uint32_t* r1 = lanes_ticks + static_cast<std::size_t>(f[1]) * 64;
+        const std::uint32_t* r2 = lanes_ticks + static_cast<std::size_t>(f[2]) * 64;
+        std::uint32_t* row = lanes_ticks + (base + ci) * 64;
+        const std::uint32_t d = delay_ticks[ci];
+        if (std::popcount(t) >= kDenseToggleCutoff) {
+          fill_row_dense_ticks(row, r0, r1, r2, t0, t1, t2, d);
+        } else {
+          do {
+            const auto l = static_cast<std::size_t>(std::countr_zero(t));
+            const auto m0 = static_cast<std::uint32_t>(0 - ((t0 >> l) & 1ull));
+            const auto m1 = static_cast<std::uint32_t>(0 - ((t1 >> l) & 1ull));
+            const auto m2 = static_cast<std::uint32_t>(0 - ((t2 >> l) & 1ull));
+            std::uint32_t launch = r0[l] & m0;
+            launch = std::max(launch, r1[l] & m1);
+            launch = std::max(launch, r2[l] & m2);
+            row[l] = launch + d;
+            t &= t - 1;
+          } while (t);
+        }
+      } else {
+        const double* r0 = lanes + static_cast<std::size_t>(f[0]) * 64;
+        const double* r1 = lanes + static_cast<std::size_t>(f[1]) * 64;
+        const double* r2 = lanes + static_cast<std::size_t>(f[2]) * 64;
+        double* row = lanes + (base + ci) * 64;
+        const double d = delay[ci];
+        do {
+          const auto l = static_cast<std::size_t>(std::countr_zero(t));
+          const std::uint64_t m0 = 0 - ((t0 >> l) & 1ull);
+          const std::uint64_t m1 = 0 - ((t1 >> l) & 1ull);
+          const std::uint64_t m2 = 0 - ((t2 >> l) & 1ull);
+          double launch =
+              std::bit_cast<double>(std::bit_cast<std::uint64_t>(r0[l]) & m0);
+          launch = std::max(
+              launch, std::bit_cast<double>(std::bit_cast<std::uint64_t>(r1[l]) & m1));
+          launch = std::max(
+              launch, std::bit_cast<double>(std::bit_cast<std::uint64_t>(r2[l]) & m2));
+          row[l] = launch + d;
+          t &= t - 1;
+        } while (t);
+      }
     }
 
     // Per-lane output snapshot: settled word + (bit, settle) toggle pairs.
+    // The integer kernel records both the tick count and its exact ns
+    // equivalent, so double-period consumers keep working bitwise.
     for (std::size_t l = 0; l < cn; ++l) {
       const std::size_t s = c0 + l;
       std::uint64_t w = 0;
@@ -206,7 +328,15 @@ void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
         w |= ((words[o] >> l) & 1u) << k;
         if ((tog[o] >> l) & 1u) {
           out.toggle_bit.push_back(static_cast<std::uint8_t>(k));
-          out.toggle_settle.push_back(lanes[static_cast<std::size_t>(o) * 64 + l]);
+          if constexpr (kIntKernel) {
+            const std::uint32_t ticks =
+                lanes_ticks[static_cast<std::size_t>(o) * 64 + l];
+            out.toggle_settle_ticks.push_back(ticks);
+            out.toggle_settle.push_back(PsGrid::to_ns(ticks));
+          } else {
+            out.toggle_settle.push_back(
+                lanes[static_cast<std::size_t>(o) * 64 + l]);
+          }
         }
       }
       out.settled[s] = w;

@@ -40,6 +40,22 @@
 
 namespace oclp {
 
+/// Which settle kernel an OverclockSim lowers onto (see PsGrid).
+enum class TimingMode : std::uint8_t {
+  /// Integer-picosecond kernel when every delay is grid-exact and the
+  /// worst-case path fits uint32 ticks; double kernel otherwise. The
+  /// default: calibration-produced delays always take the integer path,
+  /// arbitrary (test) delays still work.
+  Auto,
+  /// Require the integer kernel: construction throws, naming the cell,
+  /// if any delay is off-grid or the path sum overflows. Production
+  /// datapaths use this so a mis-calibrated delay is an error, not a
+  /// silent fallback.
+  IntegerExact,
+  /// Force the retained double kernel (the golden reference).
+  DoubleRef,
+};
+
 class OverclockSim {
  public:
   /// Mutable per-stream simulation state. The netlist and delays of an
@@ -61,13 +77,25 @@ class OverclockSim {
   };
 
   /// Takes the netlist and the per-cell delays of a specific placement on a
-  /// specific device (see fabric::annotate_timing).
-  OverclockSim(Netlist nl, std::vector<double> cell_delay_ns);
+  /// specific device (see fabric::annotate_timing). `mode` selects the
+  /// settle kernel (integer picosecond vs double reference); delays are
+  /// quantised here, at lowering time.
+  OverclockSim(Netlist nl, std::vector<double> cell_delay_ns,
+               TimingMode mode = TimingMode::Auto);
 
   const Netlist& netlist() const { return nl_; }
   /// The lowered form every evaluation runs on. Timing-free consumers
   /// (ground truth, reference values) may run eval64 on it directly.
   const CompiledNetlist& compiled() const { return cnl_; }
+
+  /// True iff run_stream propagates settle times as uint32 PsGrid ticks.
+  /// advance()/capture() always run the double model — with grid-exact
+  /// delays their doubles are exactly tick·2^-10, so the paths agree
+  /// bitwise either way.
+  bool integer_kernel() const { return !delay_ticks_.empty(); }
+
+  /// Worst-case settle path in ticks (integer kernel only; 0 otherwise).
+  std::uint64_t critical_path_ticks() const { return critical_path_ticks_; }
 
   // --- Shared-circuit API (thread-safe: only touches the given State) ---
 
@@ -102,6 +130,11 @@ class OverclockSim {
     std::vector<std::uint32_t> toggle_begin;  ///< [n+1] offsets into the pair arrays
     std::vector<std::uint8_t> toggle_bit;
     std::vector<double> toggle_settle;
+    /// Settle times as PsGrid ticks — filled (parallel to toggle_settle,
+    /// with toggle_settle[t] == PsGrid::to_ns(toggle_settle_ticks[t])
+    /// exactly) when the producing sim runs the integer kernel; empty
+    /// after a double-kernel run.
+    std::vector<std::uint32_t> toggle_settle_ticks;
 
     /// Output word of sample `s` captured at `period_ns` — the sampling
     /// rule above as a helper. Each sample may use its own period (the
@@ -117,10 +150,25 @@ class OverclockSim {
       return w;
     }
 
+    /// Integer capture: branch-poor unsigned compares against a period
+    /// pre-converted through PsGrid::period_ticks. Valid after an
+    /// integer-kernel run_stream; bitwise identical to capture_word at
+    /// the same period (the threshold conversion is exact — see PsGrid).
+    std::uint64_t capture_word_ticks(std::size_t s,
+                                     std::uint64_t period_ticks) const {
+      std::uint64_t w = settled[s];
+      for (std::uint32_t t = toggle_begin[s]; t < toggle_begin[s + 1]; ++t)
+        w ^= static_cast<std::uint64_t>(toggle_settle_ticks[t] > period_ticks)
+             << toggle_bit[t];
+      return w;
+    }
+
     // Internal scratch of run_stream (value/toggle lane words, per-net
-    // settle lane rows, inter-chunk carry bits). Not part of the result.
+    // settle lane rows — double or tick flavour depending on the kernel —
+    // and inter-chunk carry bits). Not part of the result.
     std::vector<std::uint64_t> words, tog;
     std::vector<double> lanes;
+    std::vector<std::uint32_t> lanes_ticks;
     std::vector<std::uint8_t> carry;
   };
 
@@ -129,14 +177,23 @@ class OverclockSim {
   /// per-edge snapshot of every sample. Functional values are evaluated 64
   /// samples at a time through the compiled netlist's bit-parallel eval64;
   /// settle times are then propagated only through the cells that actually
-  /// toggled at each edge (typically a small fraction), using the same
-  /// masked max/add arithmetic as advance() — the resulting settle doubles
-  /// are bitwise identical. Requires num_outputs() <= 64 and a prior
+  /// toggled at each edge (typically a small fraction). On the integer
+  /// kernel (integer_kernel()) the propagation is uint32 max-plus over
+  /// PsGrid tick rows; on the double kernel it is the same masked max/add
+  /// arithmetic as advance(). Either way the recorded settle times are
+  /// bitwise identical to advance()'s doubles (exact grid dequantisation —
+  /// see PsGrid). Requires num_outputs() <= 64 and a prior
   /// reset() of `st`; on return `st` holds the same observable state as
   /// `n` advance() calls (per-net settle times of untoggled nets excepted,
   /// which later advance()/capture() calls never read).
   void run_stream(State& st, const std::uint8_t* inputs, std::size_t n,
                   SweepStream& out) const;
+
+  /// The retained double-settle kernel, runnable regardless of mode: the
+  /// golden reference the integer kernel is tested (and benched) against.
+  /// Identical contract to run_stream; never fills toggle_settle_ticks.
+  void run_stream_ref(State& st, const std::uint8_t* inputs, std::size_t n,
+                      SweepStream& out) const;
 
   // --- Convenience single-stream API over an internal State ---
 
@@ -175,9 +232,15 @@ class OverclockSim {
   std::vector<std::uint8_t> last_settled_outputs() const;
 
  private:
+  template <bool kIntKernel>
+  void run_stream_impl(State& st, const std::uint8_t* inputs, std::size_t n,
+                       SweepStream& out) const;
+
   Netlist nl_;
   CompiledNetlist cnl_;
   std::vector<double> delay_;
+  std::vector<std::uint32_t> delay_ticks_;  ///< empty on the double kernel
+  std::uint64_t critical_path_ticks_ = 0;
   State state_;                      // backs the convenience API
   std::vector<std::uint8_t> captured_;  // reusable step() output buffer
 };

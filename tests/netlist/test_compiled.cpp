@@ -5,10 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include "common/rng.hpp"
 #include "core/circuit_eval.hpp"
 #include "core/design.hpp"
 #include "fabric/calibration.hpp"
+#include "fabric/timing_annotation.hpp"
+#include "mult/multiplier.hpp"
 #include "netlist/netlist.hpp"
 #include "timing/overclock_sim.hpp"
 
@@ -153,6 +159,129 @@ TEST(CompiledNetlist, LevelsAreContiguousAndRespectFanins) {
         }
       }
   }
+}
+
+TEST(PsGrid, CalibrationDelaysRoundTripBitwise) {
+  // Property over real calibration-produced delays: every annotate_timing
+  // delay quantises exactly and dequantises back to the identical double —
+  // the invariant that makes the integer and double settle kernels agree
+  // bitwise. Cover several placements (each re-rolls routing draws).
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  const Netlist nl = make_multiplier_arch(MultArch::Array, 6, 6);
+  for (std::uint64_t seed : {1ull, 9ull, 77ull}) {
+    Placement place = reference_location_1();
+    place.route_seed = seed;
+    const auto delays = annotate_timing(nl, device, place);
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+      std::uint32_t ticks = 0;
+      ASSERT_TRUE(PsGrid::try_ticks(delays[i], ticks)) << "cell " << i;
+      ASSERT_EQ(PsGrid::to_ns(ticks), delays[i]) << "cell " << i;
+      // snap is idempotent on grid points.
+      ASSERT_EQ(PsGrid::snap_ns(delays[i]), delays[i]) << "cell " << i;
+    }
+  }
+}
+
+TEST(PsGrid, TicksRejectOffGridNegativeAndOversize) {
+  std::uint32_t t = 0;
+  EXPECT_TRUE(PsGrid::try_ticks(0.0, t));
+  EXPECT_EQ(t, 0u);
+  EXPECT_TRUE(PsGrid::try_ticks(0.5, t));
+  EXPECT_EQ(t, 512u);
+  // A decimal picosecond is NOT on the binary grid (0.001·1024 = 1.024):
+  // exactly why the grid is 2^-10 ns and not 10^-3 ns.
+  EXPECT_FALSE(PsGrid::try_ticks(0.001, t));
+  EXPECT_FALSE(PsGrid::try_ticks(-0.5, t));
+  EXPECT_FALSE(PsGrid::try_ticks(std::nan(""), t));
+  // 2^32 ticks = 4194304 ns: first value past the uint32 range.
+  EXPECT_TRUE(PsGrid::try_ticks(4194304.0 - PsGrid::to_ns(1), t));
+  EXPECT_EQ(t, 0xFFFFFFFFu);
+  EXPECT_FALSE(PsGrid::try_ticks(4194304.0, t));
+}
+
+TEST(PsGrid, PeriodThresholdMatchesDoubleCompareForJitteredPeriods) {
+  // The capture rule `settle > period` must agree between the double path
+  // (grid-exact settle doubles) and the integer path (ticks vs
+  // ⌊period·2^10⌋) for arbitrary non-grid periods — including exact ties.
+  Rng rng(123);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto ticks = static_cast<std::uint32_t>(rng.uniform_u64(1u << 14));
+    double period = rng.uniform(0.0, 16.0);
+    if (trial % 7 == 0) period = PsGrid::to_ns(ticks);  // force a tie
+    ASSERT_EQ(PsGrid::to_ns(ticks) > period,
+              ticks > PsGrid::period_ticks(period))
+        << "ticks " << ticks << " period " << period;
+  }
+  // Degenerate and saturating periods.
+  EXPECT_EQ(PsGrid::period_ticks(-1.0), 0u);
+  EXPECT_EQ(PsGrid::period_ticks(0.0), 0u);
+  EXPECT_EQ(PsGrid::period_ticks(1e30),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CompiledNetlist, QuantiseDelaysRejectsOffGridNamingTheCell) {
+  NetlistBuilder nb;
+  const auto in = nb.add_inputs(2);
+  const auto n1 = nb.and_(in[0], in[1]);
+  const auto n2 = nb.xor_(n1, in[0]);
+  nb.mark_output(n2);
+  const Netlist nl = nb.build();
+  const CompiledNetlist cnl = CompiledNetlist::compile(nl);
+
+  std::vector<double> delays{0.5, 0.1};  // 0.1·1024 = 102.4: off-grid
+  try {
+    cnl.quantise_delays(cnl.gather_delays(delays));
+    FAIL() << "off-grid delay must be rejected";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("delay of cell 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("grid"), std::string::npos) << msg;
+  }
+  std::vector<std::uint32_t> ticks;
+  EXPECT_FALSE(cnl.try_quantise_delays(cnl.gather_delays(delays), ticks));
+
+  // The same contract one layer up: IntegerExact throws, Auto falls back
+  // to the double kernel, DoubleRef never lowers.
+  EXPECT_THROW(OverclockSim(nl, delays, TimingMode::IntegerExact), CheckError);
+  EXPECT_FALSE(OverclockSim(nl, delays, TimingMode::Auto).integer_kernel());
+  const std::vector<double> exact{0.5, 0.25};
+  EXPECT_TRUE(OverclockSim(nl, exact, TimingMode::Auto).integer_kernel());
+  EXPECT_TRUE(OverclockSim(nl, exact, TimingMode::IntegerExact).integer_kernel());
+  EXPECT_FALSE(OverclockSim(nl, exact, TimingMode::DoubleRef).integer_kernel());
+}
+
+TEST(CompiledNetlist, QuantiseDelaysRejectsWorstCasePathOverflow) {
+  // Two cells of 2^31 ticks each: either alone fits uint32, their chained
+  // worst-case settle path does not.
+  const double half_range_ns = PsGrid::to_ns(1u << 31);
+  NetlistBuilder nb;
+  const auto a = nb.add_input();
+  const auto n1 = nb.not_(a);
+  const auto n2 = nb.not_(n1);
+  nb.mark_output(n2);
+  const Netlist nl = nb.build();
+  const CompiledNetlist cnl = CompiledNetlist::compile(nl);
+
+  const std::vector<double> delays(2, half_range_ns);
+  try {
+    cnl.quantise_delays(cnl.gather_delays(delays));
+    FAIL() << "overflowing path must be rejected";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("overflows"), std::string::npos)
+        << e.what();
+  }
+  std::vector<std::uint32_t> ticks;
+  EXPECT_FALSE(cnl.try_quantise_delays(cnl.gather_delays(delays), ticks));
+  EXPECT_FALSE(OverclockSim(nl, delays, TimingMode::Auto).integer_kernel());
+
+  // Halving one link brings the path back under the range.
+  const std::vector<double> fits{half_range_ns, PsGrid::to_ns((1u << 31) - 1)};
+  std::uint64_t worst = 0;
+  cnl.quantise_delays(cnl.gather_delays(fits), &worst);
+  EXPECT_EQ(worst, (1ull << 32) - 1);
+  OverclockSim sim(nl, fits, TimingMode::IntegerExact);
+  EXPECT_EQ(sim.critical_path_ticks(), (1ull << 32) - 1);
 }
 
 class CompiledProjection : public ::testing::Test {

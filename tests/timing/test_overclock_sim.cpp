@@ -300,5 +300,115 @@ TEST(OverclockSim, InvalidPeriodThrows) {
   EXPECT_THROW(sim.step(mult_inputs(1, 3, 1, 3), 0.0), CheckError);
 }
 
+// --- Integer-picosecond kernel vs the retained double reference ----------
+
+// Random per-cell delays snapped onto the PsGrid, so Auto lowers integer.
+std::vector<double> grid_delays(const Netlist& nl, Rng& rng) {
+  std::vector<double> delays(nl.num_cells(), 0.0);
+  for (std::size_t i = 0; i < nl.num_cells(); ++i)
+    if (!cell_is_free(nl.cells()[i].type))
+      delays[i] = PsGrid::snap_ns(rng.uniform(0.05, 0.9));
+  return delays;
+}
+
+// Row-major random input stream for a wa×wb multiplier.
+std::vector<std::uint8_t> random_stream(std::size_t n, int wa, int wb, Rng& rng) {
+  const auto nin = static_cast<std::size_t>(wa + wb);
+  std::vector<std::uint8_t> inputs(n * nin);
+  for (auto& b : inputs) b = static_cast<std::uint8_t>(rng.uniform_u64(2));
+  return inputs;
+}
+
+TEST(OverclockSim, IntegerKernelMatchesDoubleReferenceBitwise) {
+  // The tentpole exactness theorem, end to end: with grid-exact delays the
+  // integer run_stream and the retained double reference must agree on
+  // every recorded value — settled words, toggle layout, settle-time
+  // doubles (exact tick dequantisation), post-stream state, and captures
+  // at arbitrary jittered periods including exact ties. Batch sizes cover
+  // a lone sample, both sides of the 64-lane chunk boundary, and a
+  // multi-chunk stream with a partial tail.
+  Rng rng(2014);
+  const int wa = 5, wb = 5;
+  Netlist nl = make_multiplier(wa, wb);
+  const auto delays = grid_delays(nl, rng);
+  OverclockSim sim(std::move(nl), delays, TimingMode::Auto);
+  ASSERT_TRUE(sim.integer_kernel());
+  ASSERT_GT(sim.critical_path_ticks(), 0u);
+
+  for (std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                        std::size_t{65}, std::size_t{197}}) {
+    const auto inputs = random_stream(n, wa, wb, rng);
+    OverclockSim::State ist, dst;
+    const auto init = mult_inputs(3, wa, 1, wb);
+    sim.reset(ist, init);
+    sim.reset(dst, init);
+    OverclockSim::SweepStream istream, dstream;
+    sim.run_stream(ist, inputs.data(), n, istream);
+    sim.run_stream_ref(dst, inputs.data(), n, dstream);
+
+    ASSERT_EQ(istream.settled, dstream.settled) << "n=" << n;
+    ASSERT_EQ(istream.toggle_begin, dstream.toggle_begin) << "n=" << n;
+    ASSERT_EQ(istream.toggle_bit, dstream.toggle_bit) << "n=" << n;
+    ASSERT_EQ(istream.toggle_settle, dstream.toggle_settle) << "n=" << n;
+    // Only the integer kernel fills ticks; each dequantises exactly.
+    ASSERT_EQ(istream.toggle_settle_ticks.size(), istream.toggle_settle.size());
+    EXPECT_TRUE(dstream.toggle_settle_ticks.empty());
+    for (std::size_t t = 0; t < istream.toggle_settle.size(); ++t)
+      ASSERT_EQ(PsGrid::to_ns(istream.toggle_settle_ticks[t]),
+                istream.toggle_settle[t]);
+
+    // Post-stream observable state is identical (advance/capture interop).
+    ASSERT_EQ(ist.out_settle, dst.out_settle) << "n=" << n;
+    ASSERT_EQ(ist.out_prev, dst.out_prev) << "n=" << n;
+    ASSERT_EQ(ist.out_next, dst.out_next) << "n=" << n;
+    ASSERT_EQ(ist.last_output_settle_ns, dst.last_output_settle_ns);
+
+    // Captures: double rule vs pre-converted tick thresholds at arbitrary
+    // (non-grid) periods, plus forced exact ties.
+    for (std::size_t s = 0; s < n; ++s) {
+      for (int trial = 0; trial < 8; ++trial) {
+        double period = rng.uniform(0.1, 8.0);
+        if (trial == 0 && istream.toggle_begin[s] < istream.toggle_begin[s + 1])
+          period = istream.toggle_settle[istream.toggle_begin[s]];  // tie
+        const auto want = dstream.capture_word(s, period);
+        ASSERT_EQ(istream.capture_word(s, period), want);
+        ASSERT_EQ(istream.capture_word_ticks(s, PsGrid::period_ticks(period)),
+                  want)
+            << "sample " << s << " period " << period;
+      }
+    }
+  }
+}
+
+TEST(OverclockSim, IntegerKernelInteroperatesWithStepAndResample) {
+  // A streamed prefix followed by step()/resample_last must behave exactly
+  // like the all-double sim: the stream leaves identical register state.
+  Rng rng(55);
+  const int wa = 4, wb = 4;
+  Netlist nl = make_multiplier(wa, wb);
+  const auto delays = grid_delays(nl, rng);
+  Netlist nl2 = nl;
+  OverclockSim isim(std::move(nl), delays, TimingMode::IntegerExact);
+  OverclockSim dsim(std::move(nl2), delays, TimingMode::DoubleRef);
+  ASSERT_TRUE(isim.integer_kernel());
+  ASSERT_FALSE(dsim.integer_kernel());
+
+  const auto inputs = random_stream(70, wa, wb, rng);
+  OverclockSim::SweepStream is, ds;
+  isim.reset(mult_inputs(0, wa, 0, wb));
+  dsim.reset(mult_inputs(0, wa, 0, wb));
+  isim.run_stream(inputs.data(), 70, is);
+  dsim.run_stream(inputs.data(), 70, ds);
+  for (int i = 0; i < 30; ++i) {
+    const unsigned a = rng.uniform_u64(16), b = rng.uniform_u64(16);
+    const double period = rng.uniform(0.3, 6.0);
+    ASSERT_EQ(isim.step(mult_inputs(a, wa, b, wb), period),
+              dsim.step(mult_inputs(a, wa, b, wb), period));
+    ASSERT_EQ(isim.last_output_settle_ns(), dsim.last_output_settle_ns());
+    const double re = rng.uniform(0.3, 6.0);
+    ASSERT_EQ(isim.resample_last(re), dsim.resample_last(re));
+  }
+}
+
 }  // namespace
 }  // namespace oclp
