@@ -380,6 +380,12 @@ void write_json(const char* path, bool smoke,
      << "    \"hot_derate\": " << trace.hot_derate << ",\n"
      << "    \"served\": " << trace.snap.served << ",\n"
      << "    \"latency_overflow\": " << trace.snap.latency_overflow << ",\n"
+     << "    \"design_generation\": " << trace.snap.design_generation << ",\n"
+     << "    \"swaps_committed\": " << trace.snap.swaps_committed << ",\n"
+     << "    \"swaps_aborted\": " << trace.snap.swaps_aborted << ",\n"
+     << "    \"swap_latency_ns\": " << trace.snap.swap_latency_ns << ",\n"
+     << "    \"shadow_compared\": " << trace.snap.shadow_compared << ",\n"
+     << "    \"shadow_mismatch\": " << trace.snap.shadow_mismatch << ",\n"
      << "    \"checks\": " << trace.snap.checks << ",\n"
      << "    \"check_errors\": " << trace.snap.check_errors << ",\n"
      << "    \"window_error_rates\": [";

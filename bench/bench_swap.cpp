@@ -1,0 +1,422 @@
+// Runtime design hot-swap benchmark (DESIGN.md §10, ROADMAP item 4):
+// measures the serve/swap.hpp state machine end to end.
+//
+//  1. lower cost vs word-length — ProjectionCircuit construction time on
+//     the reference device for the array datapath against the per-constant
+//     CCM datapath. A CCM coefficient change re-lowers its cell from
+//     scratch (the constant is baked into the netlist), so this is the
+//     price the Lower phase pays per swap; the array datapath reuses one
+//     generic multiplier netlist per word-length.
+//  2. live swap under load — a two-worker server with a feeder thread
+//     driving traffic while swap_design runs its full Lower → Shadow →
+//     Flip → Retire sequence. Reports the phase wall-clock breakdown, the
+//     shadow verdict inputs, the p99 request latency through the flip, and
+//     the loss accounting: zero requests dropped or shed attributable to
+//     the cutover (submitted == served + rejected + shed, with rejected
+//     and shed both zero).
+//  3. golden checksum — the post-swap stream of a hot-swapped server
+//     against a server cold-constructed on the new design, FNV-1a over the
+//     raw output bit patterns; "swap_golden_checksum_match" is the single
+//     boolean CI gates on (array AND CCM).
+//
+// Results go to BENCH_swap.json. `--smoke` shrinks the load for CI.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fabric/calibration.hpp"
+#include "serve/server.hpp"
+
+using namespace oclp;
+
+namespace {
+
+constexpr int kWlX = 8;
+
+// The serving design (deep carry chains, near-maximal magnitudes) and a
+// "fresh fit" of the same shape with every coefficient moved — the same
+// pair the swap tests golden-check.
+LinearProjectionDesign serving_design(double freq_mhz, MultArch arch) {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column(
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+  d.columns.push_back(make_column(
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+  d.target_freq_mhz = freq_mhz;
+  d.arch = arch;
+  d.origin = "bench-swap-serving";
+  return d;
+}
+
+LinearProjectionDesign refit_design(double freq_mhz, MultArch arch) {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column(
+      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, 8));
+  d.columns.push_back(make_column(
+      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, 8));
+  d.target_freq_mhz = freq_mhz;
+  d.arch = arch;
+  d.origin = "bench-swap-refit";
+  return d;
+}
+
+// Same K=2 P=4 shape at an arbitrary word-length (lower-cost sweep).
+LinearProjectionDesign wl_design(int wl, MultArch arch) {
+  const double den = static_cast<double>(1u << wl);
+  const auto frac = [&](int k) {
+    return (den - static_cast<double>(k)) / den;
+  };
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column({frac(1), -frac(3), frac(5), -frac(7)}, wl));
+  d.columns.push_back(make_column({-frac(2), frac(4), frac(6), frac(8)}, wl));
+  d.target_freq_mhz = 150.0;
+  d.arch = arch;
+  d.origin = "bench-swap-lower";
+  return d;
+}
+
+Device make_device() {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  return device;
+}
+
+std::vector<std::vector<std::uint32_t>> request_stream(std::size_t n,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::uint32_t>> reqs(n);
+  for (auto& codes : reqs) {
+    codes.resize(4);
+    for (auto& c : codes)
+      c = static_cast<std::uint32_t>(rng.uniform_u64(1u << kWlX));
+  }
+  return reqs;
+}
+
+struct LowerCostPoint {
+  int wordlength = 0;
+  double array_lower_ms = 0.0;
+  double ccm_lower_ms = 0.0;
+  double ccm_vs_array = 0.0;  ///< CCM re-lower cost relative to array
+};
+
+// Time the Lower phase's unit of work: constructing the placed datapath
+// (netlists, timing annotation, compiled sims) on the reference device.
+// Best-of repeated timing — one construction is milliseconds.
+LowerCostPoint lower_cost_at(int wl, bool smoke) {
+  const Device device = make_device();
+  const double budget_s = smoke ? 0.1 : 0.5;
+  const auto best_ms = [&](const LinearProjectionDesign& d) {
+    auto plan = simulated_plan(d, reference_location_1());
+    plan.with_jitter = false;
+    double best = 1e300, acc = 0.0;
+    int reps = 0;
+    while (acc < budget_s || reps < 2) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ProjectionCircuit circuit(d, device, plan, kWlX, nullptr, 1);
+      const double dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      best = std::min(best, dt);
+      acc += dt;
+      ++reps;
+    }
+    return best * 1e3;
+  };
+
+  LowerCostPoint p;
+  p.wordlength = wl;
+  p.array_lower_ms = best_ms(wl_design(wl, MultArch::Array));
+  p.ccm_lower_ms = best_ms(wl_design(wl, MultArch::Ccm));
+  p.ccm_vs_array = p.ccm_lower_ms / p.array_lower_ms;
+  return p;
+}
+
+struct LiveSwap {
+  const char* arch = "";
+  SwapReport report;
+  std::uint64_t submitted = 0, served = 0, rejected_full = 0, shed = 0;
+  std::uint64_t requests_lost = 0;  ///< submitted - served - rejected - shed
+  double p99_latency_ms = 0.0;
+  std::uint64_t latency_overflow = 0;
+  std::uint64_t design_generation = 0;
+};
+
+// p99 from the snapshot's latency histogram (upper edge of the bin the
+// 99th percentile falls in; overflow samples sit past the histogram).
+double p99_from(const ServeMetrics::Snapshot& snap) {
+  std::uint64_t total = 0;
+  for (const auto c : snap.latency_counts) total += c;
+  if (total == 0) return 0.0;
+  const std::uint64_t want = (total * 99 + 99) / 100;
+  const double width =
+      snap.latency_hist_max_ms / static_cast<double>(snap.latency_counts.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < snap.latency_counts.size(); ++i) {
+    acc += snap.latency_counts[i];
+    if (acc >= want) return snap.latency_bin_lo_ms[i] + width;
+  }
+  return snap.latency_hist_max_ms;
+}
+
+// The headline scenario: swap a loaded server onto the refit design with
+// the Shadow phase live — mirrored traffic validates the candidate while
+// the old datapath keeps serving, then the flip lands at batch boundaries.
+LiveSwap run_live_swap(MultArch arch, bool smoke) {
+  const auto d1 = serving_design(150.0, arch);
+  const auto d2 = refit_design(150.0, arch);
+  const Device device = make_device();
+  auto plan = simulated_plan(d1, reference_location_1());
+  plan.with_jitter = false;
+
+  ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = std::size_t{1} << 20;  // the feeder must never bounce
+  cfg.max_batch = 16;
+  cfg.max_wait_ms = 0.1;
+  cfg.check_fraction = 0.05;
+  cfg.governor.f_target_mhz = 150.0;
+  cfg.governor.f_floor_mhz = 100.0;
+
+  ProjectionServer server(d1, device, plan, kWlX, nullptr, cfg, nullptr);
+
+  const auto stream = request_stream(4096, 0x5AA9);
+  std::atomic<bool> stop{false};
+  std::thread feeder([&] {
+    std::uint64_t id = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      server.submit({++id, stream[id % stream.size()], 0.0});
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  // Warm the server, swap under live load, keep traffic flowing through
+  // the flip so the retire boundary is exercised by real batches.
+  std::this_thread::sleep_for(std::chrono::milliseconds(smoke ? 20 : 100));
+  SwapConfig scfg;
+  scfg.shadow_fraction = 1.0;
+  scfg.min_shadow_compares = smoke ? 24 : 128;
+  scfg.shadow_timeout_ms = 30000.0;
+  scfg.mismatch_slack = 0.05;
+  const SwapReport report = server.swap_design(d2, nullptr, scfg);
+  std::this_thread::sleep_for(std::chrono::milliseconds(smoke ? 20 : 100));
+  stop.store(true, std::memory_order_relaxed);
+  feeder.join();
+  server.wait_idle();
+  const auto snap = server.metrics_snapshot();
+
+  LiveSwap out;
+  out.arch = mult_arch_name(arch);
+  out.report = report;
+  out.submitted = snap.submitted;
+  out.served = snap.served;
+  out.rejected_full = snap.rejected_full;
+  out.shed = snap.shed_oldest + snap.shed_deadline;
+  out.requests_lost =
+      snap.submitted - snap.served - snap.rejected_full - out.shed;
+  out.p99_latency_ms = p99_from(snap);
+  out.latency_overflow = snap.latency_overflow;
+  out.design_generation = snap.design_generation;
+  return out;
+}
+
+struct Golden {
+  const char* arch = "";
+  std::uint64_t swapped_checksum = 0;
+  std::uint64_t cold_checksum = 0;
+  bool match = false;
+};
+
+/// Thread-safe capture of every served result, indexable by request id.
+struct ResultLog {
+  std::mutex mutex;
+  std::map<std::uint64_t, ServeResult> by_id;
+  ProjectionServer::ResultCallback callback() {
+    return [this](const ServeResult& r) {
+      std::lock_guard lock(mutex);
+      by_id.emplace(r.id, r);
+    };
+  }
+};
+
+// FNV-1a over the raw output bit patterns, in request-id order, of the
+// post-swap stream (ids > min_id).
+std::uint64_t checksum_of(const ResultLog& log, std::uint64_t min_id) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& [id, r] : log.by_id) {
+    if (id <= min_id) continue;
+    for (const double v : r.y) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof bits);
+      for (int b = 0; b < 64; b += 8) {
+        h ^= (bits >> b) & 0xffu;
+        h *= 1099511628211ULL;
+      }
+    }
+  }
+  return h;
+}
+
+// The golden scenario of tests/serve/test_swap.cpp as a bench gate: a
+// deterministic single-worker server swapped at runtime must serve the
+// post-swap stream bitwise-identically to a cold server on the new design.
+Golden run_golden(MultArch arch) {
+  const auto d1 = serving_design(100.0, arch);
+  const auto d2 = refit_design(100.0, arch);
+  const Device device = make_device();
+  auto plan = simulated_plan(d1, reference_location_1());
+  plan.with_jitter = false;
+
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait_ms = 0.0;
+  cfg.check_fraction = 0.0;
+  cfg.governor.f_target_mhz = 100.0;
+  cfg.governor.f_floor_mhz = 100.0;
+
+  ResultLog swapped_log;
+  ProjectionServer swapped(d1, device, plan, kWlX, nullptr, cfg,
+                           swapped_log.callback());
+
+  // Pre-swap traffic moves the old replica's register state away from
+  // reset — only the pristine flipped-in replica can match the cold one.
+  const auto warm = request_stream(8, 0xF00D);
+  for (std::uint64_t id = 1; id <= warm.size(); ++id)
+    swapped.submit({id, warm[id - 1], 0.0});
+  swapped.wait_idle();
+
+  SwapConfig scfg;
+  scfg.min_shadow_compares = 0;  // trusted swap: deterministic, single-thread
+  const SwapReport report = swapped.swap_design(d2, nullptr, scfg);
+
+  ResultLog cold_log;
+  ProjectionServer cold(d2, device, plan, kWlX, nullptr, cfg,
+                        cold_log.callback());
+  const auto stream = request_stream(64, 0xC0FFEE);
+  for (std::uint64_t i = 0; i < stream.size(); ++i) {
+    swapped.submit({100 + i + 1, stream[i], 0.0});
+    cold.submit({100 + i + 1, stream[i], 0.0});
+  }
+  swapped.wait_idle();
+  cold.wait_idle();
+
+  Golden g;
+  g.arch = mult_arch_name(arch);
+  g.swapped_checksum = checksum_of(swapped_log, 100);
+  g.cold_checksum = checksum_of(cold_log, 100);
+  g.match = report.committed && g.swapped_checksum == g.cold_checksum;
+  return g;
+}
+
+void write_json(const char* path, bool smoke,
+                const std::vector<LowerCostPoint>& lower,
+                const std::vector<LiveSwap>& swaps,
+                const std::vector<Golden>& goldens, bool golden_match) {
+  std::ofstream os(path);
+  os.precision(10);
+  os << "{\n  \"bench\": \"swap\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"lower_cost_vs_wordlength\": [\n";
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    const auto& p = lower[i];
+    os << "    {\"wordlength\": " << p.wordlength
+       << ", \"array_lower_ms\": " << p.array_lower_ms
+       << ", \"ccm_lower_ms\": " << p.ccm_lower_ms
+       << ", \"ccm_vs_array\": " << p.ccm_vs_array << "}"
+       << (i + 1 < lower.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"live_swap\": [\n";
+  for (std::size_t i = 0; i < swaps.size(); ++i) {
+    const auto& s = swaps[i];
+    os << "    {\n      \"arch\": \"" << s.arch << "\",\n"
+       << "      \"committed\": " << (s.report.committed ? "true" : "false")
+       << ",\n      \"design_generation\": " << s.design_generation
+       << ",\n      \"lower_ms\": " << s.report.lower_ms
+       << ",\n      \"shadow_ms\": " << s.report.shadow_ms
+       << ",\n      \"flip_ms\": " << s.report.flip_ms
+       << ",\n      \"total_ms\": " << s.report.total_ms
+       << ",\n      \"shadow_compared\": " << s.report.shadow_compared
+       << ",\n      \"shadow_mismatches\": " << s.report.shadow_mismatches
+       << ",\n      \"predicted_mismatch_rate\": "
+       << s.report.predicted_mismatch_rate
+       << ",\n      \"observed_mismatch_rate\": "
+       << s.report.observed_mismatch_rate
+       << ",\n      \"submitted\": " << s.submitted
+       << ",\n      \"served\": " << s.served
+       << ",\n      \"rejected_full\": " << s.rejected_full
+       << ",\n      \"shed\": " << s.shed
+       << ",\n      \"requests_lost_in_cutover\": " << s.requests_lost
+       << ",\n      \"p99_latency_ms\": " << s.p99_latency_ms
+       << ",\n      \"latency_overflow\": " << s.latency_overflow << "\n    }"
+       << (i + 1 < swaps.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"golden\": [\n";
+  for (std::size_t i = 0; i < goldens.size(); ++i) {
+    const auto& g = goldens[i];
+    os << "    {\"arch\": \"" << g.arch << "\", \"swapped_checksum\": "
+       << g.swapped_checksum << ", \"cold_checksum\": " << g.cold_checksum
+       << ", \"match\": " << (g.match ? "true" : "false") << "}"
+       << (i + 1 < goldens.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"swap_golden_checksum_match\": "
+     << (golden_match ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  std::vector<int> wls{4, 6, 8};
+  if (!smoke) wls.push_back(10);
+  std::vector<LowerCostPoint> lower;
+  for (const int wl : wls) {
+    lower.push_back(lower_cost_at(wl, smoke));
+    std::printf(
+        "lower cost: wl=%-2d array %7.2f ms, ccm %7.2f ms (%.2fx)\n",
+        lower.back().wordlength, lower.back().array_lower_ms,
+        lower.back().ccm_lower_ms, lower.back().ccm_vs_array);
+  }
+
+  std::vector<LiveSwap> swaps;
+  for (const MultArch arch : {MultArch::Array, MultArch::Ccm}) {
+    swaps.push_back(run_live_swap(arch, smoke));
+    const auto& s = swaps.back();
+    std::printf(
+        "live swap: %-5s %s gen=%llu lower %.1f ms, shadow %.1f ms "
+        "(%llu compared, %llu mismatched), flip %.1f ms; "
+        "%llu submitted, %llu served, %llu lost, p99 %.2f ms\n",
+        s.arch, s.report.committed ? "committed" : "ABORTED",
+        static_cast<unsigned long long>(s.design_generation),
+        s.report.lower_ms, s.report.shadow_ms,
+        static_cast<unsigned long long>(s.report.shadow_compared),
+        static_cast<unsigned long long>(s.report.shadow_mismatches),
+        s.report.flip_ms, static_cast<unsigned long long>(s.submitted),
+        static_cast<unsigned long long>(s.served),
+        static_cast<unsigned long long>(s.requests_lost), s.p99_latency_ms);
+  }
+
+  std::vector<Golden> goldens;
+  bool golden_match = true;
+  for (const MultArch arch : {MultArch::Array, MultArch::Ccm}) {
+    goldens.push_back(run_golden(arch));
+    golden_match = golden_match && goldens.back().match;
+    std::printf("golden: %-5s checksum %s\n", goldens.back().arch,
+                goldens.back().match ? "MATCH" : "MISMATCH");
+  }
+
+  write_json("BENCH_swap.json", smoke, lower, swaps, goldens, golden_match);
+  std::printf("-> BENCH_swap.json\n");
+  return golden_match ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include "fabric/timing_annotation.hpp"
 #include "linalg/decompositions.hpp"
 #include "mult/bitcodec.hpp"
+#include "mult/ccm.hpp"
 #include "mult/multiplier.hpp"
 
 namespace oclp {
@@ -63,6 +64,7 @@ ProjectionCircuit::ProjectionCircuit(const LinearProjectionDesign& design,
                                      std::uint64_t clock_seed)
     : design_(design),
       wl_x_(wl_x),
+      ccm_(design.arch == MultArch::Ccm),
       models_(models),
       freq_mhz_(design.target_freq_mhz),
       jitter_sigma_ns_(plan.with_jitter ? device.config().jitter_sigma_ns : 0.0),
@@ -80,7 +82,14 @@ ProjectionCircuit::ProjectionCircuit(const LinearProjectionDesign& design,
     const DesignColumn& col = design.columns[kk];
     for (std::size_t pp = 0; pp < p; ++pp) {
       const auto& place = plan.mult_placements[kk * p + pp];
-      Netlist nl = make_multiplier_arch(design.arch, col.wordlength, wl_x);
+      // A CCM bakes the coefficient into the netlist (only the x port
+      // remains an input), so the lowering is per-constant: any
+      // coefficient change — a design hot-swap in particular — must come
+      // back through here and pay a full re-lower of the cell.
+      Netlist nl = ccm_ ? make_ccm(col.coeffs[pp].magnitude, col.wordlength,
+                                   wl_x)
+                        : make_multiplier_arch(design.arch, col.wordlength,
+                                               wl_x);
       auto delays = annotate_timing(nl, device, place);
       // IntegerExact: annotate_timing snaps onto the PsGrid, so the
       // integer settle kernel must lower — a failure here means a
@@ -103,6 +112,30 @@ void ProjectionCircuit::recompute_mean_correction() {
     const auto it = models_->find(col.wordlength);
     OCLP_CHECK_MSG(it != models_->end(),
                    "no error model for word-length " << col.wordlength);
+    // A CCM datapath is corrected with the generic-multiplier model as a
+    // per-constant proxy, so the deployed coefficient must actually sit on
+    // the characterised (m, f) grid of its word-length — a swapped-in
+    // design with a key/model mismatch or an out-of-grid magnitude would
+    // otherwise read a row that was never measured. Reject at (re)lower
+    // time, naming the output dimension.
+    if (ccm_) {
+      OCLP_CHECK_MSG(
+          it->second.wordlength() == col.wordlength,
+          "CCM output dimension " << kk << ": error model keyed wl="
+                                  << col.wordlength
+                                  << " was characterised at wl="
+                                  << it->second.wordlength());
+      for (std::size_t pp = 0; pp < p; ++pp)
+        OCLP_CHECK_MSG(
+            col.coeffs[pp].magnitude < it->second.num_multiplicands(),
+            "CCM output dimension " << kk << ", input " << pp
+                                    << ": coefficient magnitude "
+                                    << col.coeffs[pp].magnitude
+                                    << " outside the characterised wl="
+                                    << col.wordlength << " grid ("
+                                    << it->second.num_multiplicands()
+                                    << " codes)");
+    }
     for (std::size_t pp = 0; pp < p; ++pp)
       mean_correction_[kk] += col.coeffs[pp].sign *
                               it->second.mean_error(col.coeffs[pp].magnitude,
@@ -145,11 +178,11 @@ void ProjectionCircuit::project(const std::vector<std::uint32_t>& x_codes,
     for (std::size_t pp = 0; pp < p; ++pp) {
       OverclockSim& sim = *sims_[kk * p + pp];
       in_.clear();
-      append_bits(in_, col.coeffs[pp].magnitude, col.wordlength);
+      if (!ccm_) append_bits(in_, col.coeffs[pp].magnitude, col.wordlength);
       append_bits(in_, x_codes[pp], wl_x_);
       if (first_sample_) {
         std::vector<std::uint8_t> init;
-        append_bits(init, col.coeffs[pp].magnitude, col.wordlength);
+        if (!ccm_) append_bits(init, col.coeffs[pp].magnitude, col.wordlength);
         append_bits(init, 0, wl_x_);
         sim.reset(init);
       }
@@ -210,27 +243,29 @@ void ProjectionCircuit::project_batch(
       const DesignColumn& col = design_.columns[kk];
       const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
       OverclockSim& sim = *sims_[m];
-      const std::size_t wlm = static_cast<std::size_t>(col.wordlength);
-      const std::size_t nin = wlm + static_cast<std::size_t>(wl_x_);
+      // CCM netlists expose only the x port (the constant is baked in).
+      const std::size_t cb =
+          ccm_ ? 0 : static_cast<std::size_t>(col.wordlength);
+      const std::size_t nin = cb + static_cast<std::size_t>(wl_x_);
 
       if (need_reset) {
         std::vector<std::uint8_t> init;
-        append_bits(init, col.coeffs[pp].magnitude, col.wordlength);
+        if (!ccm_) append_bits(init, col.coeffs[pp].magnitude, col.wordlength);
         append_bits(init, 0, wl_x_);
         sim.reset(init);
       }
 
-      // Row-major input-bit matrix: the fixed multiplicand bits plus one
-      // streamed operand per sample.
+      // Row-major input-bit matrix: the fixed multiplicand bits (generic
+      // path only) plus one streamed operand per sample.
       ws.inputs.resize(n * nin);
       const std::uint32_t mag = col.coeffs[pp].magnitude;
       for (std::size_t s = 0; s < n; ++s) {
         std::uint8_t* row = ws.inputs.data() + s * nin;
-        for (std::size_t b = 0; b < wlm; ++b)
+        for (std::size_t b = 0; b < cb; ++b)
           row[b] = static_cast<std::uint8_t>((mag >> b) & 1u);
         const std::uint32_t x = (*batch[s])[pp];
-        for (std::size_t b = wlm; b < nin; ++b)
-          row[b] = static_cast<std::uint8_t>((x >> (b - wlm)) & 1u);
+        for (std::size_t b = cb; b < nin; ++b)
+          row[b] = static_cast<std::uint8_t>((x >> (b - cb)) & 1u);
       }
       sim.run_stream(ws.inputs.data(), n, ws.stream);
 
@@ -290,17 +325,21 @@ void ProjectionCircuit::project_settled(
       for (std::size_t pp = 0; pp < p; ++pp) {
         const CompiledNetlist& cnl = sims_[kk * p + pp]->compiled();
         lane_words_.assign(cnl.num_nets(), 0);
-        // Multiplicand bits are shared by every lane; streamed-operand
-        // bits carry one request per lane.
-        for (int b = 0; b < col.wordlength; ++b)
-          if ((col.coeffs[pp].magnitude >> b) & 1u)
-            lane_words_[static_cast<std::size_t>(cnl.input_net(
-                static_cast<std::size_t>(b)))] = ~std::uint64_t{0};
+        // Multiplicand bits (generic path only — a CCM has no such port)
+        // are shared by every lane; streamed-operand bits carry one
+        // request per lane.
+        const std::size_t cb =
+            ccm_ ? 0 : static_cast<std::size_t>(col.wordlength);
+        if (!ccm_)
+          for (int b = 0; b < col.wordlength; ++b)
+            if ((col.coeffs[pp].magnitude >> b) & 1u)
+              lane_words_[static_cast<std::size_t>(cnl.input_net(
+                  static_cast<std::size_t>(b)))] = ~std::uint64_t{0};
         for (std::size_t l = 0; l < lanes; ++l) {
           const std::uint32_t x = (*batch[base + l])[pp];
           for (int b = 0; b < wl_x_; ++b)
             lane_words_[static_cast<std::size_t>(cnl.input_net(
-                static_cast<std::size_t>(col.wordlength + b)))] |=
+                cb + static_cast<std::size_t>(b)))] |=
                 static_cast<std::uint64_t>((x >> b) & 1u) << l;
         }
         cnl.eval64(lane_words_);

@@ -136,6 +136,10 @@ class ProjectionCircuit {
 
   LinearProjectionDesign design_;
   int wl_x_;
+  /// Per-constant CCM datapath: each sim's netlist has the coefficient
+  /// baked in, so its inputs are the wl_x x-bits only (no multiplicand
+  /// bus) and a coefficient change requires a full re-lower.
+  bool ccm_ = false;
   const std::map<int, ErrorModel>* models_;          ///< may be nullptr
   std::vector<std::unique_ptr<OverclockSim>> sims_;  ///< K·P, column-major
   std::vector<double> mean_correction_;              ///< per (k): Σ_p sign·mean

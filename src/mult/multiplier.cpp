@@ -19,6 +19,7 @@ const char* mult_arch_name(MultArch arch) {
   switch (arch) {
     case MultArch::Array: return "array";
     case MultArch::Wallace: return "wallace";
+    case MultArch::Ccm: return "ccm";
   }
   return "?";
 }
@@ -28,6 +29,11 @@ Netlist make_multiplier_arch(MultArch arch, int wl_a, int wl_b) {
   switch (arch) {
     case MultArch::Array: return make_multiplier(wl_a, wl_b);
     case MultArch::Wallace: return make_wallace_multiplier(wl_a, wl_b);
+    case MultArch::Ccm:
+      OCLP_CHECK_MSG(false,
+                     "CCM has no generic netlist — the circuit depends on "
+                     "the coefficient and is lowered per constant "
+                     "(make_ccm)");
   }
   OCLP_CHECK_MSG(false, "unknown multiplier architecture");
 }

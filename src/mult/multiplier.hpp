@@ -39,12 +39,19 @@ Netlist make_multiplier(int wl_a, int wl_b);
 /// Wallace is the log-depth alternative (mult/wallace.hpp) supported end
 /// to end through characterisation and design realisation — the paper's
 /// "the proposed framework can be utilised for other arithmetic
-/// components".
-enum class MultArch { Array, Wallace };
+/// components". Ccm is the predecessor work's constant-coefficient
+/// operator (mult/ccm.hpp): the coefficient is baked into the netlist, so
+/// a realised CCM datapath is per-constant — changing a coefficient means
+/// re-lowering the circuit (the runtime hot-swap path measures exactly
+/// that cost).
+enum class MultArch { Array, Wallace, Ccm };
 
 const char* mult_arch_name(MultArch arch);
 
-/// Architecture-dispatching factory.
+/// Architecture-dispatching factory for the *generic* (two-operand)
+/// multipliers. MultArch::Ccm has no generic netlist — its circuit depends
+/// on the coefficient value and is lowered per coefficient via make_ccm
+/// (mult/ccm.hpp) — so requesting it here fails loudly.
 Netlist make_multiplier_arch(MultArch arch, int wl_a, int wl_b);
 
 /// Test hook: process-wide count of make_multiplier_arch() invocations.

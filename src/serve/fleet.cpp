@@ -186,6 +186,70 @@ void ProjectionFleet::set_die_drift(std::size_t die, double derate) {
   dies_[die]->server->set_timing_derate(derate);
 }
 
+FleetSwapReport ProjectionFleet::swap_design(const LinearProjectionDesign& next,
+                                             const SwapConfig& scfg,
+                                             std::size_t canary) {
+  OCLP_CHECK(canary < dies_.size());
+  OCLP_CHECK_MSG(
+      next.dims_p() == design_.dims_p() && next.dims_k() == design_.dims_k(),
+      "fleet swap_design: incoming design is "
+          << next.dims_k() << "×" << next.dims_p() << ", the fleet serves "
+          << design_.dims_k() << "×" << design_.dims_p());
+
+  // The model control plane freezes for the rollout: no re-probe runs
+  // while coefficients move under it.
+  std::lock_guard cycle_lock(recheck_mutex_);
+
+  // The incoming coefficients, grouped by column word-length — every
+  // word-length must already have a characterisation circuit (and so an
+  // error surface) on every die, or some die would serve an unmodelled
+  // datapath. The per-coefficient grid membership is enforced again at
+  // lowering time by each die's server (CCM guard in particular).
+  std::map<int, std::vector<std::uint32_t>> next_codes;
+  for (const auto& col : next.columns) {
+    auto& codes = next_codes[col.wordlength];
+    for (const auto& c : col.coeffs) codes.push_back(c.magnitude);
+  }
+  for (auto& [wl, codes] : next_codes) {
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+    for (std::size_t i = 0; i < dies_.size(); ++i)
+      OCLP_CHECK_MSG(dies_[i]->char_circuits.count(wl) != 0,
+                     "fleet swap_design: die " << i << " (seed "
+                                               << dies_[i]->seed
+                                               << ") has no characterised "
+                                                  "error surface for "
+                                                  "word-length "
+                                               << wl);
+  }
+
+  FleetSwapReport report;
+  report.canary = canary;
+  report.dies.resize(dies_.size());
+
+  // Canary first — its Shadow phase is the bake. Siblings follow in die
+  // order only once the canary committed; any abort stops the rollout
+  // with every untouched die still on the old design (a per-die swap
+  // only mutates its server after its own shadow verdict).
+  std::vector<std::size_t> order;
+  order.push_back(canary);
+  for (std::size_t i = 0; i < dies_.size(); ++i)
+    if (i != canary) order.push_back(i);
+
+  for (std::size_t die : order) {
+    report.dies[die] =
+        dies_[die]->server->swap_design(next, dies_[die]->models.load(), scfg);
+    if (!report.dies[die].committed) return report;
+  }
+
+  // Full commit: future re-characterisation probes focus the new
+  // coefficients.
+  design_ = next;
+  design_codes_ = std::move(next_codes);
+  report.committed = true;
+  return report;
+}
+
 SubsweepReport ProjectionFleet::recharacterise(std::size_t die_index) {
   OCLP_CHECK(die_index < dies_.size());
   std::lock_guard cycle_lock(recheck_mutex_);

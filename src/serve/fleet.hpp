@@ -81,6 +81,16 @@ struct FleetConfig {
   std::uint64_t seed = 2014;
 };
 
+/// Outcome of a staged fleet-wide design rollout (swap_design).
+struct FleetSwapReport {
+  bool committed = false;   ///< every die flipped to the new design
+  std::size_t canary = 0;   ///< die that swapped (and baked) first
+  /// Per-die swap reports, indexed by die. Dies the rollout never reached
+  /// (because an earlier die aborted) keep a default-constructed entry
+  /// (committed == false, empty abort_reason).
+  std::vector<SwapReport> dies;
+};
+
 /// Point-in-time view of one die (diagnostics, benches, tests).
 struct DieStatus {
   std::uint64_t die_seed = 0;
@@ -129,6 +139,24 @@ class ProjectionFleet {
   /// probe measures the die as it currently is, which is what lets the
   /// control plane detect the drift.
   void set_die_drift(std::size_t die, double derate);
+
+  /// Staged fleet-wide hot-swap onto `next` (same P and K as the serving
+  /// design; every column word-length must already be characterised on
+  /// every die — the probe circuits and error surfaces are per
+  /// word-length, so a swap within the characterised set needs no
+  /// re-characterisation). The canary die swaps first — its Shadow phase
+  /// is the bake — and an abort there stops the rollout before any
+  /// sibling is touched; siblings then swap in die order, each against
+  /// its own die's current model snapshot. Holds the re-characterisation
+  /// cycle lock for the whole rollout (the model control plane is frozen
+  /// while designs move). On full commit the fleet's probe focus list
+  /// follows the new coefficients; a partial rollout (some dies aborted)
+  /// leaves the focus list on the old design — re-issue the swap to
+  /// converge. Live traffic must keep flowing during the rollout when
+  /// scfg.min_shadow_compares > 0.
+  FleetSwapReport swap_design(const LinearProjectionDesign& next,
+                              const SwapConfig& scfg = SwapConfig(),
+                              std::size_t canary = 0);
 
   /// One synchronous re-characterisation cycle for `die` — exactly what
   /// the background thread runs per tick: subsampled probe at the die's

@@ -22,6 +22,16 @@ std::uint64_t ServeMetrics::on_served() {
   return served_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+void ServeMetrics::on_shadow_compare(bool mismatch) {
+  shadow_compared_.fetch_add(1, std::memory_order_relaxed);
+  if (mismatch) shadow_mismatch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_swap_committed(std::uint64_t latency_ns) {
+  swaps_committed_.fetch_add(1, std::memory_order_relaxed);
+  swap_latency_ns_.fetch_add(latency_ns, std::memory_order_relaxed);
+}
+
 void ServeMetrics::queue_depth_sample(std::size_t depth) {
   queue_depth_.store(depth, std::memory_order_relaxed);
   std::size_t peak = queue_peak_.load(std::memory_order_relaxed);
@@ -65,6 +75,12 @@ ServeMetrics::Snapshot ServeMetrics::snapshot(const ThreadPool* pool) const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.checks = checks_.load(std::memory_order_relaxed);
   s.check_errors = check_errors_.load(std::memory_order_relaxed);
+  s.design_generation = design_generation_.load(std::memory_order_relaxed);
+  s.swaps_committed = swaps_committed_.load(std::memory_order_relaxed);
+  s.swaps_aborted = swaps_aborted_.load(std::memory_order_relaxed);
+  s.swap_latency_ns = swap_latency_ns_.load(std::memory_order_relaxed);
+  s.shadow_compared = shadow_compared_.load(std::memory_order_relaxed);
+  s.shadow_mismatch = shadow_mismatch_.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
   if (pool != nullptr) {
@@ -111,6 +127,12 @@ std::string ServeMetrics::Snapshot::to_json() const {
      << "  \"mean_batch_size\": " << mean_batch_size << ",\n"
      << "  \"checks\": " << checks << ",\n"
      << "  \"check_errors\": " << check_errors << ",\n"
+     << "  \"design_generation\": " << design_generation << ",\n"
+     << "  \"swaps_committed\": " << swaps_committed << ",\n"
+     << "  \"swaps_aborted\": " << swaps_aborted << ",\n"
+     << "  \"swap_latency_ns\": " << swap_latency_ns << ",\n"
+     << "  \"shadow_compared\": " << shadow_compared << ",\n"
+     << "  \"shadow_mismatch\": " << shadow_mismatch << ",\n"
      << "  \"queue_depth\": " << queue_depth << ",\n"
      << "  \"queue_peak\": " << queue_peak << ",\n"
      << "  \"pool_queue_depth\": " << pool_queue_depth << ",\n"

@@ -40,6 +40,18 @@ class ServeMetrics {
 
   void queue_depth_sample(std::size_t depth);
 
+  // --- design hot-swap (lock-free; see serve/swap.hpp) ---------------------
+  /// One mirrored request compared on the shadow datapath.
+  void on_shadow_compare(bool mismatch);
+  /// A swap committed after `latency_ns` (Lower → Shadow → Flip, wall).
+  void on_swap_committed(std::uint64_t latency_ns);
+  void on_swap_aborted() { swaps_aborted_.fetch_add(1, std::memory_order_relaxed); }
+  /// Gauge: generation of the design the replicas currently serve (0 =
+  /// construction design; bumps on every committed swap).
+  void set_design_generation(std::uint64_t gen) {
+    design_generation_.store(gen, std::memory_order_relaxed);
+  }
+
   // --- off-hot-path traces (one lock per batch / per window) ---------------
   /// A batch finished; `latencies_ms` are the per-request submit→served
   /// latencies of its served requests.
@@ -61,6 +73,9 @@ class ServeMetrics {
     std::uint64_t submitted = 0, rejected_full = 0, shed_oldest = 0,
                   shed_deadline = 0, served = 0, batches = 0, checks = 0,
                   check_errors = 0;
+    // Design hot-swap health (serve/swap.hpp).
+    std::uint64_t design_generation = 0, swaps_committed = 0, swaps_aborted = 0,
+                  swap_latency_ns = 0, shadow_compared = 0, shadow_mismatch = 0;
     std::size_t queue_depth = 0, queue_peak = 0;
     std::size_t pool_queue_depth = 0, pool_inflight = 0;
     double mean_batch_size = 0.0;
@@ -83,6 +98,9 @@ class ServeMetrics {
  private:
   std::atomic<std::uint64_t> submitted_{0}, rejected_full_{0}, shed_oldest_{0},
       shed_deadline_{0}, served_{0}, batches_{0}, checks_{0}, check_errors_{0};
+  std::atomic<std::uint64_t> design_generation_{0}, swaps_committed_{0},
+      swaps_aborted_{0}, swap_latency_ns_{0}, shadow_compared_{0},
+      shadow_mismatch_{0};
   std::atomic<std::size_t> queue_depth_{0}, queue_peak_{0};
 
   mutable std::mutex mutex_;  // guards the histogram and traces below

@@ -32,6 +32,8 @@ ProjectionServer::ProjectionServer(const LinearProjectionDesign& design,
       wl_x_(wl_x),
       check_freq_mhz_(cfg.check_freq_mhz > 0.0 ? cfg.check_freq_mhz
                                                : cfg.governor.f_floor_mhz),
+      device_(device),
+      plan_(plan),
       on_result_(std::move(on_result)),
       governor_(cfg.governor),
       paused_(cfg.start_paused),
@@ -135,6 +137,115 @@ void ProjectionServer::swap_error_models(
   ++models_generation_;
 }
 
+SwapReport ProjectionServer::swap_design(
+    const LinearProjectionDesign& next,
+    std::shared_ptr<const std::map<int, ErrorModel>> models,
+    const SwapConfig& scfg) {
+  std::lock_guard serialise(swap_mutex_);
+  DesignSwapper swapper(*this, scfg);
+  return swapper.run(next, std::move(models));
+}
+
+std::uint64_t ProjectionServer::design_generation() const {
+  std::lock_guard lock(replica_mutex_);
+  return design_generation_;
+}
+
+std::vector<std::unique_ptr<ProjectionServer::Replica>>
+ProjectionServer::lower_candidate(const LinearProjectionDesign& next,
+                                  const std::map<int, ErrorModel>* models) const {
+  // Same fabric locations, same per-worker clock seeds, same operating
+  // point as the constructor — a flipped-in replica is indistinguishable
+  // from a cold-constructed one, register state included (the Shadow
+  // phase runs on its own circuit, never these).
+  std::vector<std::unique_ptr<Replica>> fresh;
+  fresh.reserve(cfg_.workers);
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    ProjectionCircuit serve(retargeted(next, cfg_.governor.f_target_mhz),
+                            device_, plan_, wl_x_, models,
+                            hash_mix(cfg_.seed, w, 0x5E2FE1ULL));
+    auto rep = std::make_unique<Replica>(std::move(serve));
+    rep->serve_freq_mhz = cfg_.governor.f_target_mhz;
+    fresh.push_back(std::move(rep));
+  }
+  return fresh;
+}
+
+ProjectionCircuit ProjectionServer::make_shadow(
+    const LinearProjectionDesign& next,
+    const std::map<int, ErrorModel>* models) const {
+  return ProjectionCircuit(retargeted(next, cfg_.governor.f_target_mhz),
+                           device_, plan_, wl_x_, models,
+                           hash_mix(cfg_.seed, 0xA110CULL, 0x5AAD03ULL));
+}
+
+void ProjectionServer::install_shadow(std::shared_ptr<ShadowTap> tap) {
+  std::lock_guard lock(shadow_mutex_);
+  shadow_ = std::move(tap);
+  shadow_active_.store(shadow_ != nullptr, std::memory_order_release);
+}
+
+void ProjectionServer::clear_shadow() {
+  std::lock_guard lock(shadow_mutex_);
+  shadow_active_.store(false, std::memory_order_release);
+  shadow_.reset();
+}
+
+std::shared_ptr<ShadowTap> ProjectionServer::current_shadow() const {
+  if (!shadow_active_.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard lock(shadow_mutex_);
+  return shadow_;
+}
+
+void ProjectionServer::flip_if_stale_locked(
+    std::unique_ptr<Replica>& rep,
+    std::deque<std::unique_ptr<Replica>>& destroy) {
+  if (rep->design_generation == design_generation_) return;
+  // Every stale replica has a fresh replacement waiting: publish_design
+  // stages exactly one per deployed replica, and each flip consumes one.
+  OCLP_CHECK(!pending_replicas_.empty());
+  retired_replicas_.push_back(std::move(rep));
+  rep = std::move(pending_replicas_.front());
+  pending_replicas_.pop_front();
+  // Last stale replica moved off: the old design is unpinned. Hand the
+  // retired circuits to the caller so teardown happens off the lock.
+  if (pending_replicas_.empty()) destroy.swap(retired_replicas_);
+}
+
+void ProjectionServer::publish_design(
+    const LinearProjectionDesign& next,
+    std::shared_ptr<const std::map<int, ErrorModel>> models,
+    std::vector<std::unique_ptr<Replica>> fresh) {
+  OCLP_CHECK(fresh.size() == cfg_.workers);
+  (void)next;  // shape already validated; replicas carry the lowering
+  std::deque<std::unique_ptr<Replica>> destroy;
+  {
+    std::lock_guard lock(replica_mutex_);
+    // The new design's models become the published set (the replicas were
+    // lowered with them), so later swap_error_models pushes compose.
+    swapped_models_ = std::move(models);
+    ++models_generation_;
+    ++design_generation_;
+    for (auto& rep : fresh) {
+      rep->design_generation = design_generation_;
+      rep->models = swapped_models_;
+      rep->models_generation = models_generation_;
+      pending_replicas_.push_back(std::move(rep));
+    }
+    // Idle replicas flip right now; checked-out ones at their next batch
+    // boundary (process_batch checkout / return).
+    for (auto& rep : free_replicas_) flip_if_stale_locked(rep, destroy);
+    metrics_.set_design_generation(design_generation_);
+  }
+  replica_cv_.notify_all();
+  destroy.clear();  // old circuits, torn down outside the lock
+}
+
+void ProjectionServer::wait_design_flipped() {
+  std::unique_lock lock(replica_mutex_);
+  replica_cv_.wait(lock, [&] { return pending_replicas_.empty(); });
+}
+
 std::size_t ProjectionServer::queue_depth() const {
   std::lock_guard lock(queue_mutex_);
   return queue_.size();
@@ -196,16 +307,24 @@ void ProjectionServer::dispatcher_loop() {
 void ProjectionServer::process_batch(std::vector<Pending>&& batch) {
   std::unique_ptr<Replica> rep;
   bool apply_models = false;
+  std::deque<std::unique_ptr<Replica>> destroy;
   {
     std::unique_lock lock(replica_mutex_);
     replica_cv_.wait(lock, [&] { return !free_replicas_.empty(); });
     rep = std::move(free_replicas_.front());
     free_replicas_.pop_front();
+    // Pickup boundary: a replica lowered from a retired design never
+    // serves again — it swaps for its fresh-generation replacement here.
+    flip_if_stale_locked(rep, destroy);
     if (rep->models_generation != models_generation_) {
       rep->models = swapped_models_;
       rep->models_generation = models_generation_;
       apply_models = true;
     }
+  }
+  if (!destroy.empty()) {
+    replica_cv_.notify_all();  // a waiting swap sees the flip complete
+    destroy.clear();
   }
   // Correction recompute happens outside the lock (it walks the model per
   // coefficient); the replica is checked out, so nothing else touches it.
@@ -255,6 +374,8 @@ void ProjectionServer::process_batch(std::vector<Pending>&& batch) {
   // per-request loop had as well.
   std::vector<double> latencies;
   latencies.reserve(batch.size());
+  const std::shared_ptr<ShadowTap> shadow = current_shadow();
+  std::vector<std::uint64_t> shadow_ids;  // per-segment mirrored request ids
   const std::size_t window = governor_.config().window_checks;
   std::size_t into = governor_.checks_into_window();
   std::size_t seg_begin = 0;
@@ -317,15 +438,30 @@ void ProjectionServer::process_batch(std::vector<Pending>&& batch) {
       metrics_.on_served();
       if (on_result_) on_result_(res);
     }
+
+    // Shadow phase of an in-progress swap: mirror this segment through the
+    // candidate datapath at the operating point it was just served at.
+    // The tap samples, times and scores on its own circuit — served
+    // results and the governor trajectory are untouched.
+    if (shadow) {
+      shadow_ids.clear();
+      for (std::size_t j = seg_begin; j < seg_end; ++j)
+        shadow_ids.push_back(batch[rep->live[j]].req.id);
+      shadow->observe(shadow_ids, rep->batch_inputs, freq, derate);
+    }
     seg_begin = seg_end;
   }
   metrics_.on_batch(batch.size(), latencies);
 
   {
     std::lock_guard lock(replica_mutex_);
+    // Return boundary: flip here too, so a swap drains even when no new
+    // batch arrives to trigger the pickup-boundary flip.
+    flip_if_stale_locked(rep, destroy);
     free_replicas_.push_back(std::move(rep));
   }
-  replica_cv_.notify_one();
+  replica_cv_.notify_all();
+  destroy.clear();
   {
     std::lock_guard lock(queue_mutex_);
     --inflight_batches_;

@@ -63,6 +63,7 @@
 #include "core/circuit_eval.hpp"
 #include "serve/governor.hpp"
 #include "serve/metrics.hpp"
+#include "serve/swap.hpp"
 
 namespace oclp {
 
@@ -145,6 +146,26 @@ class ProjectionServer {
   /// Thread-safe.
   void swap_error_models(std::shared_ptr<const std::map<int, ErrorModel>> models);
 
+  /// Hot-swap the serving datapath onto `next` without draining traffic:
+  /// Lower → Shadow → Flip → Retire (serve/swap.hpp has the state
+  /// machine). `next` must match the serving design's P, K and wl_x;
+  /// `models` is the error-model set the new datapath corrects with (the
+  /// replicas pin it exactly as in swap_error_models). Blocks the calling
+  /// thread through all phases; with scfg.min_shadow_compares > 0, live
+  /// traffic must keep flowing from other threads or the Shadow phase
+  /// times out and the swap aborts (server untouched, zero requests
+  /// lost). A lowering-time model violation — a CCM coefficient off the
+  /// characterised grid in particular — throws CheckError before anything
+  /// is installed. Swaps are serialised; thread-safe against everything
+  /// else.
+  SwapReport swap_design(const LinearProjectionDesign& next,
+                         std::shared_ptr<const std::map<int, ErrorModel>> models,
+                         const SwapConfig& scfg = SwapConfig());
+
+  /// Generation of the design the replicas serve (0 until the first
+  /// committed swap). Thread-safe.
+  std::uint64_t design_generation() const;
+
   /// Requests currently queued (a router's headroom signal). Thread-safe.
   std::size_t queue_depth() const;
 
@@ -160,6 +181,8 @@ class ProjectionServer {
   std::size_t dims_k() const { return dims_k_; }
 
  private:
+  friend class DesignSwapper;  // drives the swap phases (serve/swap.cpp)
+
   using Clock = std::chrono::steady_clock;
 
   struct Pending {
@@ -181,6 +204,10 @@ class ProjectionServer {
     // alive for as long as `serve` corrects with it (see swap_error_models).
     std::shared_ptr<const std::map<int, ErrorModel>> models;
     std::uint64_t models_generation = 0;
+    // Generation of the design `serve` was lowered from: a replica whose
+    // generation lags design_generation_ is retired — never re-served — at
+    // its next batch boundary (see flip_if_stale_locked).
+    std::uint64_t design_generation = 0;
     // process_batch scratch, reused across batches (no steady-state
     // allocation): sampled requests, their references, request→ref index,
     // surviving (non-shed) batch indices, per-segment kernel batch.
@@ -196,22 +223,70 @@ class ProjectionServer {
   void process_batch(std::vector<Pending>&& batch);
   bool sampled_for_check(std::uint64_t id) const;
 
+  // --- hot-swap plumbing (DesignSwapper drives these; see swap.hpp) -------
+  /// Lower phase: one pristine replica per worker of `next` on the
+  /// server's retained device and plan, with the construction-time clock
+  /// seeds — what makes a completed swap bitwise-equal to a cold server.
+  std::vector<std::unique_ptr<Replica>> lower_candidate(
+      const LinearProjectionDesign& next,
+      const std::map<int, ErrorModel>* models) const;
+  /// The Shadow phase's dedicated datapath (never one of the flip
+  /// replicas, whose register state must stay pristine).
+  ProjectionCircuit make_shadow(const LinearProjectionDesign& next,
+                                const std::map<int, ErrorModel>* models) const;
+  void install_shadow(std::shared_ptr<ShadowTap> tap);
+  void clear_shadow();
+  std::shared_ptr<ShadowTap> current_shadow() const;
+  /// Flip phase: publish the new generation under the replica lock. Idle
+  /// replicas flip immediately; checked-out ones at their next batch
+  /// boundary.
+  void publish_design(const LinearProjectionDesign& next,
+                      std::shared_ptr<const std::map<int, ErrorModel>> models,
+                      std::vector<std::unique_ptr<Replica>> fresh);
+  /// Block until every replica serves the newest generation (the Retire
+  /// phase boundary: the old circuits are destroyed by then).
+  void wait_design_flipped();
+  /// replica_mutex_ held: retire `rep` if its design generation lags,
+  /// handing back a fresh-generation replacement. When the last stale
+  /// replica moves off, the retired circuits transfer into `destroy` for
+  /// teardown outside the lock.
+  void flip_if_stale_locked(std::unique_ptr<Replica>& rep,
+                            std::deque<std::unique_ptr<Replica>>& destroy);
+
   ServeConfig cfg_;
   std::size_t dims_p_, dims_k_;
   int wl_x_;
   double check_freq_mhz_;
+  // Retained deployment inputs: a swap re-lowers the incoming design on
+  // the same fabric locations the server was constructed on.
+  Device device_;
+  CircuitPlan plan_;
   ResultCallback on_result_;
 
   FrequencyGovernor governor_;
   ServeMetrics metrics_;
 
   std::deque<std::unique_ptr<Replica>> free_replicas_;
-  std::mutex replica_mutex_;
+  mutable std::mutex replica_mutex_;
   std::condition_variable replica_cv_;
   // Pending model swap, guarded by replica_mutex_: replicas whose
   // generation lags apply it at checkout (outside the lock).
   std::shared_ptr<const std::map<int, ErrorModel>> swapped_models_;
   std::uint64_t models_generation_ = 0;
+  // Design hot-swap state, guarded by replica_mutex_: fresh replicas
+  // waiting to flip in, old ones pinned until the last stale replica
+  // moves off (in-flight batches always finish on the datapath they
+  // picked up).
+  std::deque<std::unique_ptr<Replica>> pending_replicas_;
+  std::deque<std::unique_ptr<Replica>> retired_replicas_;
+  std::uint64_t design_generation_ = 0;
+
+  // Shadow tap of the in-progress swap (usually null). The atomic flag
+  // keeps the per-batch probe off the mutex when no swap is running.
+  mutable std::mutex shadow_mutex_;
+  std::shared_ptr<ShadowTap> shadow_;
+  std::atomic<bool> shadow_active_{false};
+  std::mutex swap_mutex_;  ///< serialises swap_design calls
 
   std::deque<Pending> queue_;
   mutable std::mutex queue_mutex_;

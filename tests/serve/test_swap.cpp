@@ -1,0 +1,497 @@
+// Runtime design hot-swap (serve/swap.hpp): golden bitwise equality with a
+// cold-constructed server for the array and CCM datapaths, the abort paths
+// (injected divergence, shadow starvation) with zero dropped requests, the
+// CCM characterised-grid guard, mid-swap clock interactions, and the
+// fleet's staged per-die rollout.
+#include "serve/swap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "fabric/calibration.hpp"
+#include "serve/fleet.hpp"
+#include "serve/server.hpp"
+
+namespace oclp {
+namespace {
+
+constexpr int kWlX = 8;
+
+// The server-test design: deep carry chains (near-maximal magnitudes).
+LinearProjectionDesign design_a(double freq_mhz, MultArch arch) {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column(
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+  d.columns.push_back(make_column(
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+  d.target_freq_mhz = freq_mhz;
+  d.arch = arch;
+  d.origin = "swap-test-a";
+  return d;
+}
+
+// A "fresh fit" of the same shape: every coefficient moved.
+LinearProjectionDesign design_b(double freq_mhz, MultArch arch) {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column(
+      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, 8));
+  d.columns.push_back(make_column(
+      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, 8));
+  d.target_freq_mhz = freq_mhz;
+  d.arch = arch;
+  d.origin = "swap-test-b";
+  return d;
+}
+
+Device make_device() {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  device.set_temperature(kCharacterisationTempC);
+  return device;
+}
+
+CircuitPlan deterministic_plan(const LinearProjectionDesign& d) {
+  auto plan = simulated_plan(d, reference_location_1());
+  plan.with_jitter = false;
+  return plan;
+}
+
+ServeConfig deterministic_config() {
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait_ms = 0.0;
+  cfg.check_fraction = 0.0;
+  cfg.governor.f_target_mhz = 100.0;  // far below any timing limit
+  cfg.governor.f_floor_mhz = 100.0;
+  return cfg;
+}
+
+std::vector<std::uint32_t> random_codes(Rng& rng, std::size_t p) {
+  std::vector<std::uint32_t> codes(p);
+  for (auto& c : codes)
+    c = static_cast<std::uint32_t>(rng.uniform_u64(1u << kWlX));
+  return codes;
+}
+
+/// Thread-safe capture of every served result, indexable by request id.
+struct ResultLog {
+  std::mutex mutex;
+  std::map<std::uint64_t, ServeResult> by_id;
+  ProjectionServer::ResultCallback callback() {
+    return [this](const ServeResult& r) {
+      std::lock_guard lock(mutex);
+      by_id.emplace(r.id, r);
+    };
+  }
+};
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// Golden scenario shared by the array and CCM paths: a server swapped at
+/// runtime must serve the post-swap stream bitwise-identically to a server
+/// cold-constructed on the new design.
+void run_golden(MultArch arch) {
+  const auto d1 = design_a(100.0, arch);
+  const auto d2 = design_b(100.0, arch);
+  const Device device = make_device();
+  const auto plan = deterministic_plan(d1);
+  const auto cfg = deterministic_config();
+
+  ResultLog swapped_log;
+  ProjectionServer swapped(d1, device, plan, kWlX, nullptr, cfg,
+                           swapped_log.callback());
+
+  // Pre-swap traffic: proves the swap is hot, and leaves the old replica's
+  // register state well away from the reset state the cold server starts
+  // in — only the pristine flipped-in replica can match it.
+  Rng rng(7);
+  std::vector<std::vector<std::uint32_t>> warm(9);
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    warm[id] = random_codes(rng, 4);
+    ASSERT_TRUE(swapped.submit({id, warm[id], 0.0}));
+  }
+  swapped.wait_idle();
+
+  SwapConfig scfg;
+  scfg.min_shadow_compares = 0;  // trusted swap: deterministic, single-thread
+  const SwapReport report = swapped.swap_design(d2, nullptr, scfg);
+  ASSERT_TRUE(report.committed);
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_EQ(swapped.design_generation(), 1u);
+  EXPECT_GE(report.lower_ms, 0.0);
+  EXPECT_DOUBLE_EQ(report.shadow_ms, 0.0);
+
+  ResultLog cold_log;
+  ProjectionServer cold(d2, device, plan, kWlX, nullptr, cfg,
+                        cold_log.callback());
+
+  std::vector<std::vector<std::uint32_t>> stream(33);
+  for (std::uint64_t id = 1; id <= 32; ++id) {
+    stream[id] = random_codes(rng, 4);
+    ASSERT_TRUE(swapped.submit({100 + id, stream[id], 0.0}));
+    ASSERT_TRUE(cold.submit({100 + id, stream[id], 0.0}));
+  }
+  swapped.wait_idle();
+  cold.wait_idle();
+
+  std::lock_guard l1(swapped_log.mutex);
+  std::lock_guard l2(cold_log.mutex);
+  ASSERT_EQ(cold_log.by_id.size(), 32u);
+  for (std::uint64_t id = 101; id <= 132; ++id) {
+    const auto it_s = swapped_log.by_id.find(id);
+    const auto it_c = cold_log.by_id.find(id);
+    ASSERT_NE(it_s, swapped_log.by_id.end());
+    ASSERT_NE(it_c, cold_log.by_id.end());
+    EXPECT_TRUE(bitwise_equal(it_s->second.y, it_c->second.y))
+        << "request " << id << " diverges from the cold server ("
+        << mult_arch_name(arch) << ")";
+  }
+
+  const auto snap = swapped.metrics_snapshot();
+  EXPECT_EQ(snap.design_generation, 1u);
+  EXPECT_EQ(snap.swaps_committed, 1u);
+  EXPECT_EQ(snap.swaps_aborted, 0u);
+  EXPECT_GT(snap.swap_latency_ns, 0u);
+  EXPECT_NE(snap.to_json().find("\"design_generation\": 1"), std::string::npos);
+}
+
+TEST(DesignSwapGolden, ArraySwapBitwiseEqualsColdServer) {
+  run_golden(MultArch::Array);
+}
+
+TEST(DesignSwapGolden, CcmSwapBitwiseEqualsColdServer) {
+  run_golden(MultArch::Ccm);
+}
+
+TEST(DesignSwapGolden, CcmRelowerIsPerConstant) {
+  // A CCM swap rebuilds every cell (the netlist bakes the coefficient in);
+  // the generic-architecture factory is never consulted for it.
+  const auto d1 = design_a(100.0, MultArch::Ccm);
+  const auto d2 = design_b(100.0, MultArch::Ccm);
+  const Device device = make_device();
+  const auto plan = deterministic_plan(d1);
+  ProjectionServer server(d1, device, plan, kWlX, nullptr,
+                          deterministic_config(), nullptr);
+  const std::size_t generic_builds_before = multiplier_arch_build_count();
+  SwapConfig scfg;
+  scfg.min_shadow_compares = 0;
+  ASSERT_TRUE(server.swap_design(d2, nullptr, scfg).committed);
+  EXPECT_EQ(multiplier_arch_build_count(), generic_builds_before);
+}
+
+TEST(DesignSwapAbort, InjectedDivergenceRollsBackWithZeroDrops) {
+  const auto d1 = design_a(100.0, MultArch::Array);
+  const auto d2 = design_b(100.0, MultArch::Array);
+  const Device device = make_device();
+  const auto plan = deterministic_plan(d1);
+  ServeConfig cfg = deterministic_config();
+  cfg.queue_capacity = 4096;
+
+  std::atomic<std::uint64_t> served{0};
+  ProjectionServer server(d1, device, plan, kWlX, nullptr, cfg,
+                          [&](const ServeResult&) {
+                            served.fetch_add(1, std::memory_order_relaxed);
+                          });
+
+  // Live traffic throughout the swap attempt, from a second thread (the
+  // swap blocks its caller through the Shadow phase).
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> submitted{0};
+  std::thread traffic([&] {
+    Rng rng(11);
+    std::uint64_t id = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(server.submit({++id, random_codes(rng, 4), 0.0}));
+      submitted.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  SwapConfig scfg;
+  scfg.shadow_fraction = 1.0;
+  scfg.min_shadow_compares = 8;
+  scfg.shadow_timeout_ms = 30000.0;
+  scfg.inject_divergence_every = 1;  // every compare diverges
+  const SwapReport report = server.swap_design(d2, nullptr, scfg);
+  done.store(true, std::memory_order_relaxed);
+  traffic.join();
+  server.wait_idle();
+
+  EXPECT_FALSE(report.committed);
+  EXPECT_NE(report.abort_reason.find("shadow divergence"), std::string::npos)
+      << report.abort_reason;
+  EXPECT_GE(report.shadow_compared, 8u);
+  EXPECT_EQ(report.shadow_mismatches, report.shadow_compared);
+  EXPECT_EQ(server.design_generation(), 0u);  // rolled back: old design
+
+  // Zero requests lost to the aborted cutover: everything submitted was
+  // served, nothing rejected or shed.
+  const auto snap = server.metrics_snapshot();
+  EXPECT_EQ(snap.served, submitted.load());
+  EXPECT_EQ(snap.served, served.load());
+  EXPECT_EQ(snap.rejected_full, 0u);
+  EXPECT_EQ(snap.shed_oldest, 0u);
+  EXPECT_EQ(snap.shed_deadline, 0u);
+  EXPECT_EQ(snap.swaps_aborted, 1u);
+  EXPECT_EQ(snap.swaps_committed, 0u);
+  EXPECT_GE(snap.shadow_compared, 8u);
+  EXPECT_EQ(snap.shadow_mismatch, snap.shadow_compared);
+}
+
+TEST(DesignSwapAbort, ShadowStarvationLeavesServerUntouched) {
+  const auto d1 = design_a(100.0, MultArch::Array);
+  const auto d2 = design_b(100.0, MultArch::Array);
+  const Device device = make_device();
+  const auto plan = deterministic_plan(d1);
+  ResultLog log;
+  ProjectionServer server(d1, device, plan, kWlX, nullptr,
+                          deterministic_config(), log.callback());
+
+  SwapConfig scfg;
+  scfg.shadow_fraction = 1.0;
+  scfg.min_shadow_compares = 4;
+  scfg.shadow_timeout_ms = 50.0;  // no traffic → the verdict never arrives
+  const SwapReport report = server.swap_design(d2, nullptr, scfg);
+  EXPECT_FALSE(report.committed);
+  EXPECT_NE(report.abort_reason.find("shadow starvation"), std::string::npos)
+      << report.abort_reason;
+  EXPECT_EQ(server.design_generation(), 0u);
+
+  // The server still serves the old design, exactly.
+  ProjectionCircuit reference(d1, device, plan, kWlX, nullptr, 1);
+  Rng rng(3);
+  const auto codes = random_codes(rng, 4);
+  ASSERT_TRUE(server.submit({1, codes, 0.0}));
+  server.wait_idle();
+  std::lock_guard lock(log.mutex);
+  ASSERT_EQ(log.by_id.size(), 1u);
+  const auto exact = reference.project_exact(codes);
+  for (std::size_t k = 0; k < exact.size(); ++k)
+    EXPECT_NEAR(log.by_id.at(1).y[k], exact[k], 1e-12);
+}
+
+TEST(DesignSwapGuard, CcmRejectsCoefficientsOffTheCharacterisedGrid) {
+  const auto d1 = design_a(100.0, MultArch::Ccm);
+  const Device device = make_device();
+  const auto plan = deterministic_plan(d1);
+
+  // A well-keyed wl=8 model set serves fine...
+  std::vector<double> freqs{100.0, 200.0, 300.0};
+  auto good = std::make_shared<std::map<int, ErrorModel>>();
+  good->emplace(8, ErrorModel(8, kWlX, freqs));
+  ProjectionServer server(d1, device, plan, kWlX, good.get(),
+                          deterministic_config(), nullptr);
+
+  // ...but a swap whose model set was characterised at wl=6 under the
+  // wl=8 key would correct from a grid the coefficients live outside of:
+  // the lowering rejects it, naming the output dimension, before anything
+  // is installed.
+  auto mismatched = std::make_shared<std::map<int, ErrorModel>>();
+  mismatched->emplace(8, ErrorModel(6, kWlX, freqs));
+  SwapConfig scfg;
+  scfg.min_shadow_compares = 0;
+  const auto d2 = design_b(100.0, MultArch::Ccm);
+  try {
+    server.swap_design(d2, mismatched, scfg);
+    FAIL() << "off-grid CCM swap was accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("CCM output dimension 0"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(server.design_generation(), 0u);
+}
+
+TEST(DesignSwapClock, MidSwapGovernorMoveIsFollowedThroughTheFlip) {
+  const auto d1 = design_a(100.0, MultArch::Array);
+  const auto d2 = design_b(100.0, MultArch::Array);
+  const Device device = make_device();
+  const auto plan = deterministic_plan(d1);
+  ServeConfig cfg = deterministic_config();
+  cfg.queue_capacity = 4096;
+  cfg.governor.f_target_mhz = 120.0;
+  cfg.governor.f_floor_mhz = 80.0;
+
+  ResultLog log;
+  ProjectionServer server(d1, device, plan, kWlX, nullptr, cfg,
+                          log.callback());
+
+  std::atomic<bool> done{false};
+  std::thread traffic([&] {
+    Rng rng(13);
+    std::uint64_t id = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      server.submit({++id, random_codes(rng, 4), 0.0});
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  // While the shadow phase runs, the control plane moves the clock and the
+  // environment under it — the swap must follow (the shadow circuit and
+  // the flipped-in replicas lazily retarget) and still commit.
+  std::thread control([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.governor().set_limits(80.0, 90.0);  // target below current freq
+    server.set_timing_derate(1.1);
+  });
+
+  SwapConfig scfg;
+  scfg.shadow_fraction = 1.0;
+  scfg.min_shadow_compares = 16;
+  scfg.shadow_timeout_ms = 30000.0;
+  const SwapReport report = server.swap_design(d2, nullptr, scfg);
+  control.join();
+  done.store(true, std::memory_order_relaxed);
+  traffic.join();
+  server.wait_idle();
+
+  ASSERT_TRUE(report.committed) << report.abort_reason;
+  EXPECT_EQ(server.design_generation(), 1u);
+  EXPECT_DOUBLE_EQ(server.governor().frequency_mhz(), 90.0);
+  EXPECT_DOUBLE_EQ(server.timing_derate(), 1.1);
+
+  // Post-swap serving runs at the moved operating point, on the new
+  // design.
+  ResultLog post;
+  {
+    std::lock_guard lock(log.mutex);
+    log.by_id.clear();
+  }
+  Rng rng(17);
+  const auto codes = random_codes(rng, 4);
+  ASSERT_TRUE(server.submit({999999, codes, 0.0}));
+  server.wait_idle();
+  std::lock_guard lock(log.mutex);
+  const auto it = log.by_id.find(999999);
+  ASSERT_NE(it, log.by_id.end());
+  EXPECT_DOUBLE_EQ(it->second.freq_mhz, 90.0);
+  ProjectionCircuit reference(d2, device, plan, kWlX, nullptr, 1);
+  const auto exact = reference.project_exact(codes);
+  for (std::size_t k = 0; k < exact.size(); ++k)
+    EXPECT_NEAR(it->second.y[k], exact[k], 1e-6);
+}
+
+// --- fleet staged rollout ---------------------------------------------------
+
+LinearProjectionDesign fleet_next_fit() {
+  LinearProjectionDesign d;
+  d.columns.push_back(make_column(
+      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, 8));
+  d.columns.push_back(make_column(
+      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, 8));
+  d.target_freq_mhz = 400.0;
+  d.origin = "fleet-next-fit";
+  return d;
+}
+
+FleetConfig fleet_config(std::vector<std::uint64_t> die_seeds) {
+  FleetConfig cfg;
+  cfg.die_seeds = std::move(die_seeds);
+  cfg.device = reference_device_config();
+  cfg.wl_x = kWlX;
+  cfg.with_jitter = false;
+  cfg.serve.workers = 1;
+  cfg.serve.max_batch = 8;
+  cfg.serve.max_wait_ms = 0.0;
+  cfg.serve.check_fraction = 0.0;
+  return cfg;
+}
+
+TEST(DesignSwapFleet, StagedRolloutFlipsEveryDie) {
+  LinearProjectionDesign design;
+  design.columns.push_back(make_column(
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+  design.columns.push_back(make_column(
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+  design.target_freq_mhz = 400.0;
+  design.origin = "fleet-swap-test";
+
+  ProjectionFleet fleet(design, fleet_config({kReferenceDieSeed, 83}));
+
+  SwapConfig scfg;
+  scfg.min_shadow_compares = 0;
+  const FleetSwapReport report = fleet.swap_design(fleet_next_fit(), scfg);
+  ASSERT_TRUE(report.committed);
+  EXPECT_EQ(report.canary, 0u);
+  ASSERT_EQ(report.dies.size(), 2u);
+  for (std::size_t die = 0; die < 2; ++die) {
+    EXPECT_TRUE(report.dies[die].committed);
+    EXPECT_EQ(report.dies[die].generation, 1u);
+    EXPECT_EQ(fleet.server(die).design_generation(), 1u);
+  }
+
+  // The control plane keeps working on the new coefficients: a re-probe
+  // cycle runs against the swapped design's codes.
+  const auto probe = fleet.recharacterise(0);
+  EXPECT_GT(probe.probed, 0u);
+
+  // And the fleet serves the new design's values.
+  std::mutex mutex;
+  std::vector<ServeResult> results;
+  ProjectionFleet fleet2(design, fleet_config({kReferenceDieSeed}),
+                         [&](std::size_t, const ServeResult& r) {
+                           std::lock_guard lock(mutex);
+                           results.push_back(r);
+                         });
+  ASSERT_TRUE(fleet2.swap_design(fleet_next_fit(), scfg).committed);
+  Rng rng(23);
+  const auto codes = random_codes(rng, 4);
+  ASSERT_TRUE(fleet2.submit({1, codes, 0.0}));
+  fleet2.wait_idle();
+  const Device device(reference_device_config(), kReferenceDieSeed);
+  ProjectionCircuit reference(fleet_next_fit(), device,
+                              deterministic_plan(fleet_next_fit()), kWlX,
+                              nullptr, 1);
+  const auto exact = reference.project_exact(codes);
+  std::lock_guard lock(mutex);
+  ASSERT_EQ(results.size(), 1u);
+  for (std::size_t k = 0; k < exact.size(); ++k)
+    EXPECT_NEAR(results[0].y[k], exact[k], 0.05);
+}
+
+TEST(DesignSwapFleet, CanaryAbortStopsTheRollout) {
+  LinearProjectionDesign design;
+  design.columns.push_back(make_column(
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+  design.columns.push_back(make_column(
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+  design.target_freq_mhz = 400.0;
+  design.origin = "fleet-canary-test";
+
+  ProjectionFleet fleet(design, fleet_config({kReferenceDieSeed, 83}));
+
+  // No traffic: the canary's shadow phase starves and aborts; the sibling
+  // is never attempted and both dies stay on the old design.
+  SwapConfig scfg;
+  scfg.shadow_fraction = 1.0;
+  scfg.min_shadow_compares = 2;
+  scfg.shadow_timeout_ms = 50.0;
+  const FleetSwapReport report = fleet.swap_design(fleet_next_fit(), scfg, 1);
+  EXPECT_FALSE(report.committed);
+  EXPECT_EQ(report.canary, 1u);
+  ASSERT_EQ(report.dies.size(), 2u);
+  EXPECT_FALSE(report.dies[1].committed);
+  EXPECT_NE(report.dies[1].abort_reason.find("shadow starvation"),
+            std::string::npos);
+  EXPECT_FALSE(report.dies[0].committed);
+  EXPECT_TRUE(report.dies[0].abort_reason.empty());  // never attempted
+  EXPECT_EQ(fleet.server(0).design_generation(), 0u);
+  EXPECT_EQ(fleet.server(1).design_generation(), 0u);
+}
+
+}  // namespace
+}  // namespace oclp
