@@ -26,7 +26,7 @@ int main() {
     // word-lengths and is therefore most exposed to over-clocking.
     const auto& d = run.designs.back();
     std::string wls;
-    for (const auto& col : d.columns) wls += std::to_string(col.wordlength) + " ";
+    for (const auto& col : d.columns) wls += std::to_string(col.wordlength()) + " ";
     const double actual = ctx.hardware_mse(d, run.data_mean, true);
     table.add_row({beta, d.area_estimate, wls, d.predicted_overclock_var,
                    d.predicted_objective(), actual,

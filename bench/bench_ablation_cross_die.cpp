@@ -16,21 +16,21 @@ using namespace oclp::bench;
 
 namespace {
 
-std::map<int, ErrorModel> characterise_die(Device& device,
-                                           const CaseStudySettings& t1) {
+ErrorModelMap characterise_die(Device& device, const CaseStudySettings& t1) {
   SweepSettings ss;
   ss.freqs_mhz = {t1.clock_mhz};
   ss.locations = {reference_location_1(), reference_location_2()};
   ss.samples_per_point = 500;
-  std::map<int, ErrorModel> models;
-  for (int wl = t1.wl_min; wl <= t1.wl_max; ++wl)
-    models.emplace(wl, characterise_multiplier(device, wl, t1.input_wordlength, ss));
+  ErrorModelMap models;
+  for (const auto& cfg : mult_config_range(MultArch::Array, t1.wl_min, t1.wl_max))
+    models.emplace(cfg,
+                   characterise_multiplier(device, cfg, t1.input_wordlength, ss));
   return models;
 }
 
 double actual_mse_on(Device& device, const LinearProjectionDesign& design,
                      const Matrix& x_test, const std::vector<double>& mu,
-                     const std::map<int, ErrorModel>& models, int wl_x) {
+                     const ErrorModelMap& models, int wl_x) {
   double sum = 0.0;
   const int runs = 5;
   for (int r = 0; r < runs; ++r)
@@ -83,7 +83,7 @@ int main() {
     // many lose that certificate under this die's tables?
     long long decertified = 0;
     for (const auto& col : shipped.columns) {
-      const auto& model = models.at(col.wordlength);
+      const auto& model = models.at(col.config);
       for (const auto& coeff : col.coeffs)
         if (model.variance(coeff.magnitude, t1.clock_mhz) > 0.0) ++decertified;
     }
@@ -91,8 +91,7 @@ int main() {
     // Native: re-run Algorithm 1 against this die's characterisation.
     OptimisationSettings os;
     os.dims_k = static_cast<int>(t1.dims_k);
-    os.wl_min = t1.wl_min;
-    os.wl_max = t1.wl_max;
+    os.configs = mult_config_range(MultArch::Array, t1.wl_min, t1.wl_max);
     os.beta = 4.0;
     os.target_freq_mhz = t1.clock_mhz;
     os.q = t1.q;
@@ -101,7 +100,7 @@ int main() {
     os.gibbs.samples = t1.projection_samples;
     os.gibbs.seed = hash_mix(die, 0x0F);
     AreaModel area = AreaModel::fit(collect_area_samples(
-        t1.wl_min, t1.wl_max, t1.input_wordlength, 20, kAreaSeed));
+        os.configs, t1.input_wordlength, 20, kAreaSeed));
     OptimisationFramework native(os, ctx.x_train, models, area);
     const auto native_designs = native.run();
     const auto& best = native_designs.back();

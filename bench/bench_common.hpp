@@ -64,18 +64,24 @@ struct Context {
     return {reference_location_1(), reference_location_2()};
   }
 
-  /// E(m, f) for every word-length in the Table-I sweep, characterised at
+  /// The Table-I array-multiplier configurations (the paper's baseline
+  /// design space: one config per word-length in the sweep).
+  std::vector<MultConfig> table1_configs() const {
+    return mult_config_range(MultArch::Array, table1.wl_min, table1.wl_max);
+  }
+
+  /// E(m, f) for every configuration in the Table-I sweep, characterised at
   /// the target clock only (the paper's own runtime example uses #Freqs=1).
-  const std::map<int, ErrorModel>& error_models_at_target() {
+  const ErrorModelMap& error_models_at_target() {
     if (models_.empty()) {
       SweepSettings ss;
       ss.freqs_mhz = {table1.clock_mhz};
       ss.locations = char_locations();
       ss.samples_per_point = 800;
       ss.stream_seed = kCharStreamSeed;
-      for (int wl = table1.wl_min; wl <= table1.wl_max; ++wl)
-        models_.emplace(wl, characterise_multiplier(
-                                device, wl, table1.input_wordlength, ss));
+      for (const auto& cfg : table1_configs())
+        models_.emplace(cfg, characterise_multiplier(
+                                 device, cfg, table1.input_wordlength, ss));
     }
     return models_;
   }
@@ -83,7 +89,7 @@ struct Context {
   const AreaModel& area_model() {
     if (!area_fitted_) {
       area_ = AreaModel::fit(collect_area_samples(
-          table1.wl_min, table1.wl_max, table1.input_wordlength, 20, kAreaSeed));
+          table1_configs(), table1.input_wordlength, 20, kAreaSeed));
       area_fitted_ = true;
     }
     return area_;
@@ -95,8 +101,7 @@ struct Context {
     seed = hash_mix(seed, static_cast<std::uint64_t>(beta * 1024.0));
     OptimisationSettings os;
     os.dims_k = static_cast<int>(table1.dims_k);
-    os.wl_min = table1.wl_min;
-    os.wl_max = table1.wl_max;
+    os.configs = table1_configs();
     os.beta = beta;
     os.target_freq_mhz = table1.clock_mhz;
     os.q = table1.q;
@@ -136,8 +141,9 @@ struct Context {
   }
 
  private:
-  std::map<int, ErrorModel> models_;
-  AreaModel area_ = AreaModel::fit({AreaSample{1, 1.0}});
+  ErrorModelMap models_;
+  AreaModel area_ =
+      AreaModel::fit({AreaSample{MultConfig{MultArch::Array, 1, 1}, 1.0}});
   bool area_fitted_ = false;
 };
 

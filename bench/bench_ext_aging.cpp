@@ -37,7 +37,8 @@ int main() {
     ss.freqs_mhz = {t1.clock_mhz};
     ss.locations = {reference_location_1()};
     ss.samples_per_point = 300;
-    const auto model = characterise_multiplier(aged, 9, t1.input_wordlength, ss);
+    const auto model = characterise_multiplier(
+        aged, MultConfig{MultArch::Array, 9, 1}, t1.input_wordlength, ss);
     long long erroneous = 0;
     for (std::uint32_t m = 0; m < model.num_multiplicands(); ++m)
       if (model.variance(m, t1.clock_mhz) > 0.0) ++erroneous;

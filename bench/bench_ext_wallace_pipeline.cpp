@@ -37,25 +37,23 @@ int main() {
   ss.freqs_mhz = {target};
   ss.locations = {reference_location_1(), reference_location_2()};
   ss.samples_per_point = 500;
-  ss.arch = MultArch::Wallace;
-  std::map<int, ErrorModel> models;
-  for (int wl = t1.wl_min; wl <= t1.wl_max; ++wl)
-    models.emplace(wl, characterise_multiplier(ctx.device, wl,
-                                               t1.input_wordlength, ss));
+  const auto configs =
+      mult_config_range(MultArch::Wallace, t1.wl_min, t1.wl_max);
+  ErrorModelMap models;
+  for (const auto& cfg : configs)
+    models.emplace(cfg, characterise_multiplier(ctx.device, cfg,
+                                                t1.input_wordlength, ss));
 
   const AreaModel area = AreaModel::fit(
-      collect_area_samples(t1.wl_min, t1.wl_max, t1.input_wordlength, 20,
-                           kAreaSeed, MultArch::Wallace));
+      collect_area_samples(configs, t1.input_wordlength, 20, kAreaSeed));
 
   OptimisationSettings os;
   os.dims_k = static_cast<int>(t1.dims_k);
-  os.wl_min = t1.wl_min;
-  os.wl_max = t1.wl_max;
+  os.configs = configs;
   os.beta = 4.0;
   os.target_freq_mhz = target;
   os.q = t1.q;
   os.input_wordlength = t1.input_wordlength;
-  os.arch = MultArch::Wallace;
   os.gibbs.burn_in = t1.burn_in;
   os.gibbs.samples = t1.projection_samples;
   os.gibbs.seed = 0x3a11;
@@ -82,9 +80,9 @@ int main() {
   Matrix xc = ctx.x_train;
   const auto klt_mu = center_rows(xc);
   for (int wl : {3, 5, 7, 9}) {
-    auto klt = make_klt_design(ctx.x_train, t1.dims_k, wl, target,
-                               t1.input_wordlength, area, &models);
-    klt.arch = MultArch::Wallace;
+    const auto klt =
+        make_klt_design(ctx.x_train, t1.dims_k, MultConfig{MultArch::Wallace, wl, 1},
+                        target, t1.input_wordlength, area, &models);
     table.add_row({std::string("KLT wallace wl=") + std::to_string(wl),
                    klt.area_estimate, klt.predicted_objective(),
                    actual(klt, klt_mu)});

@@ -24,7 +24,7 @@ int main() {
     for (const auto& d : run.designs) {
       std::string wls;
       for (const auto& col : d.columns)
-        wls += std::to_string(col.wordlength) + " ";
+        wls += std::to_string(col.wordlength()) + " ";
       const double predicted = d.predicted_objective();
       const double simulated = ctx.hardware_mse(d, run.data_mean, false);
       const double actual = ctx.hardware_mse(d, run.data_mean, true);

@@ -39,7 +39,7 @@ int main() {
   Matrix xc = ctx.x_train;
   const auto mu = center_rows(xc);
   const auto klt = make_klt_family(
-      ctx.x_train, ctx.table1.dims_k, ctx.table1.wl_min, ctx.table1.wl_max,
+      ctx.x_train, ctx.table1.dims_k, ctx.table1_configs(),
       ctx.table1.clock_mhz, ctx.table1.input_wordlength, ctx.area_model(),
       &ctx.error_models_at_target());
   for (const auto& d : klt) {

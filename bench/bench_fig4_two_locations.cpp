@@ -18,7 +18,7 @@ int main() {
   Context& ctx = Context::get();
 
   CharCircuitConfig cfg;
-  cfg.wl_m = 8;
+  cfg.mult = MultConfig{MultArch::Array, 8, 1};
   cfg.wl_x = 8;
   const auto xs = uniform_stream(8, 29400, kCharStreamSeed);
 

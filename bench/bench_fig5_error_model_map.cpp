@@ -22,7 +22,8 @@ int main() {
   ss.locations = {reference_location_1()};
   ss.samples_per_point = 500;
   ss.stream_seed = kCharStreamSeed;
-  const auto model = characterise_multiplier(ctx.device, 8, 8, ss);
+  const auto model = characterise_multiplier(
+      ctx.device, MultConfig{MultArch::Array, 8, 1}, 8, ss);
 
   // ASCII heat map: 16 multiplicand buckets × frequency grid; intensity is
   // log10 of the bucket's mean variance.

@@ -15,22 +15,23 @@ int main() {
   const auto& t1 = ctx.table1;
 
   const int runs = 20;
-  const auto samples = collect_area_samples(t1.wl_min, t1.wl_max,
-                                            t1.input_wordlength, runs, kAreaSeed);
+  const auto configs = ctx.table1_configs();
+  const auto samples =
+      collect_area_samples(configs, t1.input_wordlength, runs, kAreaSeed);
   const auto model = AreaModel::fit(samples);
 
-  Table scatter({"wordlength", "run", "logic_elements"});
-  std::map<int, int> run_counter;
+  Table scatter({"config", "run", "logic_elements"});
+  std::map<MultConfig, int> run_counter;
   for (const auto& s : samples)
-    scatter.add_row({static_cast<long long>(s.wordlength),
-                     static_cast<long long>(run_counter[s.wordlength]++),
+    scatter.add_row({to_string(s.config),
+                     static_cast<long long>(run_counter[s.config]++),
                      s.logic_elements});
   scatter.print(std::cout);
 
-  Table summary({"wordlength", "mean_les", "stddev", "ci95_half_width"});
-  for (int wl = t1.wl_min; wl <= t1.wl_max; ++wl)
-    summary.add_row({static_cast<long long>(wl), model.estimate(wl),
-                     model.stddev(wl), model.ci95(wl)});
+  Table summary({"config", "mean_les", "stddev", "ci95_half_width"});
+  for (const auto& cfg : configs)
+    summary.add_row({to_string(cfg), model.estimate(cfg),
+                     model.stddev(cfg), model.ci95(cfg)});
   std::cout << "\nFitted per-word-length area model:\n";
   summary.print(std::cout);
   return 0;

@@ -23,12 +23,14 @@ int main() {
   ss.locations = {reference_location_1()};
   ss.samples_per_point = 600;
   ss.stream_seed = kCharStreamSeed;
+  const MultConfig cfg{MultArch::Array, 8, 1};
   const auto model =
-      characterise_multiplier(ctx.device, 8, ctx.table1.input_wordlength, ss);
+      characterise_multiplier(ctx.device, cfg, ctx.table1.input_wordlength, ss);
 
   const double betas[] = {0.1, 1.0, 4.0};
   std::vector<CoeffPrior> priors;
-  for (double beta : betas) priors.push_back(make_prior(model, 8, freq, beta));
+  for (double beta : betas)
+    priors.push_back(make_prior(model, cfg, freq, beta));
 
   // Down-sample the 511-point grid for display: every 16th value.
   Table table({"lambda", "p_beta_0.1", "p_beta_1.0", "p_beta_4.0"});

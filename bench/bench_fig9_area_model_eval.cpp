@@ -22,9 +22,10 @@ double synthesise_design_area(const LinearProjectionDesign& design, int wl_x,
   for (const auto& col : design.columns) {
     const int p = static_cast<int>(col.coeffs.size());
     for (int i = 0; i < p; ++i)
-      total += synthesised_multiplier_les(col.wordlength, wl_x,
+      total += synthesised_multiplier_les(col.config, wl_x,
                                           hash_mix(run_seed, ++instance));
-    const double adder_bits = col.wordlength + wl_x + std::ceil(std::log2(p));
+    const double adder_bits =
+        col.wordlength() + wl_x + std::ceil(std::log2(p));
     total += (p - 1) * adder_bits;
   }
   return total;
@@ -46,9 +47,8 @@ int main() {
     for (auto& d : run.designs) designs.push_back(std::move(d));
   }
   for (auto& d : make_klt_family(ctx.x_train, ctx.table1.dims_k,
-                                 ctx.table1.wl_min, ctx.table1.wl_max,
-                                 ctx.table1.clock_mhz, wl_x, area,
-                                 &ctx.error_models_at_target()))
+                                 ctx.table1_configs(), ctx.table1.clock_mhz,
+                                 wl_x, area, &ctx.error_models_at_target()))
     designs.push_back(std::move(d));
 
   Table table({"design", "estimated_les", "actual_les", "error_pct",
@@ -60,7 +60,7 @@ int main() {
     // Per-design CI: independent multiplier draws add in variance.
     double ci = 0.0;
     for (const auto& col : d.columns) {
-      const double sd = area.stddev(col.wordlength);
+      const double sd = area.stddev(col.config);
       ci += static_cast<double>(col.coeffs.size()) * sd * sd;
     }
     ci = 1.96 * std::sqrt(ci);

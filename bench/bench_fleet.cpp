@@ -40,11 +40,12 @@ constexpr int kWlX = 8;
 const std::vector<std::uint64_t> kDieSeeds = {22, 83, 13};
 
 LinearProjectionDesign fleet_design() {
+  const MultConfig cfg{MultArch::Array, 8, 1};
   LinearProjectionDesign d;
   d.columns.push_back(make_column(
-      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, cfg));
   d.columns.push_back(make_column(
-      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, cfg));
   d.target_freq_mhz = 400.0;
   d.origin = "bench-fleet";
   return d;

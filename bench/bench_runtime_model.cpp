@@ -26,8 +26,8 @@ void BM_SampleProjection(benchmark::State& state) {
   const int wl = static_cast<int>(state.range(0));
   Context& ctx = Context::get();
   const auto& models = ctx.error_models_at_target();
-  const auto prior =
-      make_prior(models.at(wl), wl, ctx.table1.clock_mhz, 4.0);
+  const MultConfig cfg{MultArch::Array, wl, 1};
+  const auto prior = make_prior(models.at(cfg), cfg, ctx.table1.clock_mhz, 4.0);
   Matrix xc = ctx.x_train;
   center_rows(xc);
   GibbsSettings gibbs;
@@ -60,7 +60,8 @@ struct WlTiming {
 /// produce bitwise-identical draws (λ chain and per-entry visit counts).
 WlTiming time_wordlength(const Matrix& xc, const ErrorModel& model, int wl,
                          double clock_mhz) {
-  const auto prior = make_prior(model, wl, clock_mhz, 4.0);
+  const auto prior =
+      make_prior(model, MultConfig{MultArch::Array, wl, 1}, clock_mhz, 4.0);
   GibbsSettings gibbs;
   gibbs.burn_in = 100;
   gibbs.samples = 300;
@@ -119,7 +120,7 @@ bool designs_equal(const std::vector<LinearProjectionDesign>& a,
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].columns.size() != b[i].columns.size()) return false;
     for (std::size_t c = 0; c < a[i].columns.size(); ++c) {
-      if (a[i].columns[c].wordlength != b[i].columns[c].wordlength ||
+      if (a[i].columns[c].config != b[i].columns[c].config ||
           a[i].columns[c].values() != b[i].columns[c].values())
         return false;
     }
@@ -142,8 +143,9 @@ void write_optimiser_probe(const char* path) {
 
   std::vector<WlTiming> timings;
   for (int wl = ctx.table1.wl_min; wl <= ctx.table1.wl_max; ++wl)
-    timings.push_back(
-        time_wordlength(xc, models.at(wl), wl, ctx.table1.clock_mhz));
+    timings.push_back(time_wordlength(
+        xc, models.at(MultConfig{MultArch::Array, wl, 1}), wl,
+        ctx.table1.clock_mhz));
 
   // R(wl): fast-path seconds per projection at the Table-I chain length.
   const double chain_iters =
@@ -161,8 +163,7 @@ void write_optimiser_probe(const char* path) {
   // Context::run_framework but toggling the sampler implementation.
   OptimisationSettings os;
   os.dims_k = static_cast<int>(ctx.table1.dims_k);
-  os.wl_min = ctx.table1.wl_min;
-  os.wl_max = ctx.table1.wl_max;
+  os.configs = ctx.table1_configs();
   os.beta = 4.0;
   os.target_freq_mhz = ctx.table1.clock_mhz;
   os.q = ctx.table1.q;

@@ -1,0 +1,345 @@
+// Widened design-space search benchmark (ROADMAP item 3): the multiplier
+// configuration — architecture × word-length × pipeline depth — as a
+// first-class search dimension, measured end to end.
+//
+//  1. characterisation bill — characterise_config_space over the widened
+//     candidate grid (array and Wallace at depths 1 and 2 across the
+//     Table-I word-length sweep), surrogate shortlisting against the
+//     exhaustive reference: multiplicand-row accounting and the savings
+//     factor (claimed ≥ 2×).
+//  2. front comparison — Algorithm 1 on the paper's array-only Table-I
+//     space vs the widened space (array baseline ∪ shortlist) under the
+//     same settings and seeds. The widened-space front is the Pareto set
+//     over both runs' committed designs: the array space is a subspace of
+//     the widened space, so every array design is a widened-space design
+//     (Algorithm 1's Q-binning returns a Q-sample of the front, and this
+//     keeps the comparison about the spaces, not the sampling). At every
+//     committed area point of the array-only front that front must offer
+//     a design of no more area and no worse predicted MSE
+//     ("widened_front_dominates_or_equals" — the boolean CI gates on);
+//     "widened_strictly_improves" records where widening actually pays.
+//  3. design-set equivalence — Algorithm 1 driven by the
+//     surrogate-shortlisted model set must commit bit-identical designs
+//     to the same run driven by the exhaustive model set (FNV-1a checksum
+//     over every column's config, quantised coefficients and the area
+//     estimates): "surrogate_vs_exhaustive_design_checksum_match".
+//
+// Results go to BENCH_search.json. `--smoke` shrinks the grid for CI.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/config_search.hpp"
+
+using namespace oclp;
+using namespace oclp::bench;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_mix_double(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv_mix(h, bits);
+}
+
+/// Checksum of a committed design set: every column's configuration, its
+/// quantised coefficient values, and the design's area estimate.
+std::uint64_t design_set_checksum(
+    const std::vector<LinearProjectionDesign>& designs) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, designs.size());
+  for (const auto& d : designs) {
+    for (const auto& col : d.columns) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(col.config.arch));
+      h = fnv_mix(h, static_cast<std::uint64_t>(col.config.wordlength));
+      h = fnv_mix(h, static_cast<std::uint64_t>(col.config.pipeline_depth));
+      for (const double v : col.values()) h = fnv_mix_double(h, v);
+    }
+    h = fnv_mix_double(h, d.area_estimate);
+  }
+  return h;
+}
+
+struct FrontPoint {
+  double area = 0.0;
+  double mse = 0.0;
+  std::string configs;  // per-column config spellings, space-separated
+};
+
+std::vector<FrontPoint> front_of(
+    const std::vector<LinearProjectionDesign>& designs) {
+  std::vector<FrontPoint> front;
+  for (const auto& d : designs) {
+    FrontPoint p;
+    p.area = d.area_estimate;
+    p.mse = d.predicted_objective();
+    for (const auto& col : d.columns) {
+      if (!p.configs.empty()) p.configs += ' ';
+      p.configs += to_string(col.config);
+    }
+    front.push_back(p);
+  }
+  return front;
+}
+
+/// Non-dominated subset of `points` (min MSE for a given area), area-sorted.
+std::vector<FrontPoint> pareto_of(std::vector<FrontPoint> points) {
+  std::vector<FrontPoint> front;
+  for (const auto& p : points) {
+    bool dominated = false;
+    for (const auto& q : points)
+      if (q.area <= p.area && q.mse <= p.mse &&
+          (q.area < p.area || q.mse < p.mse)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const FrontPoint& a, const FrontPoint& b) {
+              return a.area != b.area ? a.area < b.area : a.mse < b.mse;
+            });
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const FrontPoint& a, const FrontPoint& b) {
+                            return a.area == b.area && a.mse == b.mse;
+                          }),
+              front.end());
+  return front;
+}
+
+struct Dominance {
+  FrontPoint array_point;
+  double widened_area = 0.0;
+  double widened_mse = 0.0;
+  bool dominated = false;
+  bool strict = false;  ///< strictly better MSE at no more area
+};
+
+/// For each array-only committed point: the best widened-space MSE
+/// available at no more area. Dominate-or-equal = such a design exists and
+/// its MSE is no worse (tiny relative slack for float noise).
+std::vector<Dominance> compare_fronts(const std::vector<FrontPoint>& array_only,
+                                      const std::vector<FrontPoint>& widened) {
+  std::vector<Dominance> rows;
+  for (const auto& a : array_only) {
+    Dominance dom;
+    dom.array_point = a;
+    bool found = false;
+    for (const auto& w : widened) {
+      if (w.area > a.area * (1.0 + 1e-9)) continue;
+      if (!found || w.mse < dom.widened_mse) {
+        dom.widened_area = w.area;
+        dom.widened_mse = w.mse;
+        found = true;
+      }
+    }
+    dom.dominated = found && dom.widened_mse <= a.mse * (1.0 + 1e-9);
+    dom.strict = found && dom.widened_mse < a.mse * (1.0 - 1e-9);
+    rows.push_back(dom);
+  }
+  return rows;
+}
+
+void write_front(std::ofstream& os, const std::vector<FrontPoint>& front) {
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    os << "    {\"area_les\": " << front[i].area
+       << ", \"predicted_mse\": " << front[i].mse << ", \"configs\": \""
+       << front[i].configs << "\"}" << (i + 1 < front.size() ? "," : "")
+       << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  print_header("Widened design space & surrogate shortlisting",
+               "Expected shape: the widened front dominates-or-equals the "
+               "array-only front at equal area; the surrogate shortlist "
+               "reproduces the exhaustive design set at less than half the "
+               "sweep bill.");
+  Context& ctx = Context::get();
+  const auto& t1 = ctx.table1;
+  const int wl_min = t1.wl_min;
+  const int wl_max = smoke ? 5 : t1.wl_max;
+
+  // Widened candidate grid: the Table-I array sweep plus Wallace trees,
+  // both at pipeline depths 1 and 2.
+  std::vector<MultConfig> candidates =
+      mult_config_range(MultArch::Array, wl_min, wl_max, {1, 2});
+  const auto wallace =
+      mult_config_range(MultArch::Wallace, wl_min, wl_max, {1, 2});
+  candidates.insert(candidates.end(), wallace.begin(), wallace.end());
+
+  ConfigSearchSettings cs;
+  cs.configs = candidates;
+  cs.wl_x = t1.input_wordlength;
+  cs.sweep.freqs_mhz = {t1.clock_mhz};
+  cs.sweep.locations = ctx.char_locations();
+  cs.sweep.samples_per_point = smoke ? 200 : 500;
+  cs.sweep.stream_seed = kCharStreamSeed;
+  cs.target_freq_mhz = t1.clock_mhz;
+  cs.probe_stride = 8;
+  cs.shortlist_per_wordlength = 1;
+  const auto surrogate = characterise_config_space(ctx.device, cs);
+  auto cs_ref = cs;
+  cs_ref.exhaustive = true;
+  const auto exhaustive = characterise_config_space(ctx.device, cs_ref);
+
+  const bool shortlist_match = surrogate.shortlisted == exhaustive.shortlisted;
+  const std::size_t spent = surrogate.surrogate_rows + surrogate.full_rows;
+  const double savings =
+      static_cast<double>(surrogate.exhaustive_rows) / static_cast<double>(spent);
+  std::printf(
+      "config search: %zu candidates, shortlist %zu (%s exhaustive)\n"
+      "sweep bill: %zu surrogate + %zu full = %zu rows vs %zu exhaustive "
+      "(%.2fx savings)\n",
+      candidates.size(), surrogate.shortlisted.size(),
+      shortlist_match ? "matches" : "DIVERGES FROM", surrogate.surrogate_rows,
+      surrogate.full_rows, spent, surrogate.exhaustive_rows, savings);
+
+  // Array-only baseline models (the paper's Table-I workflow).
+  const auto array_configs = mult_config_range(MultArch::Array, wl_min, wl_max);
+  ErrorModelMap array_models;
+  for (const auto& cfg : array_configs)
+    array_models.emplace(
+        cfg, characterise_multiplier(ctx.device, cfg, t1.input_wordlength,
+                                     cs.sweep));
+
+  // One area table covering every candidate: both searches price columns
+  // from the same synthesis-noise model.
+  const AreaModel area = AreaModel::fit(collect_area_samples(
+      candidates, t1.input_wordlength, 20, kAreaSeed));
+
+  OptimisationSettings os;
+  os.dims_k = static_cast<int>(t1.dims_k);
+  os.beta = 4.0;
+  os.target_freq_mhz = t1.clock_mhz;
+  os.q = t1.q;
+  os.input_wordlength = t1.input_wordlength;
+  os.gibbs.burn_in = smoke ? 200 : t1.burn_in;
+  os.gibbs.samples = smoke ? 600 : t1.projection_samples;
+  os.gibbs.seed = 0x5ea2c4;
+
+  os.configs = array_configs;
+  OptimisationFramework array_fw(os, ctx.x_train, array_models, area);
+  const auto array_front = front_of(array_fw.run());
+
+  // Widened space: the shortlisted configs' full models joined with the
+  // array baseline (always available to a designer), so the widened
+  // search explores a strict superset of the array-only space.
+  ErrorModelMap widened_models = surrogate.models;
+  for (const auto& [cfg, model] : array_models)
+    widened_models.emplace(cfg, model);
+  os.configs.clear();
+  for (const auto& [cfg, model] : widened_models) {
+    (void)model;
+    os.configs.push_back(cfg);
+  }
+  OptimisationFramework widened_fw(os, ctx.x_train, widened_models, area);
+  const auto widened_front = front_of(widened_fw.run());
+
+  // The widened-space front: Pareto over both committed sets (every array
+  // design is a widened-space design by inclusion).
+  std::vector<FrontPoint> space_points = widened_front;
+  space_points.insert(space_points.end(), array_front.begin(),
+                      array_front.end());
+  const auto widened_space_front = pareto_of(std::move(space_points));
+
+  const auto dominance = compare_fronts(array_front, widened_space_front);
+  bool dominates = !dominance.empty();
+  bool strictly_improves = false;
+  for (const auto& row : dominance) {
+    dominates = dominates && row.dominated;
+    strictly_improves = strictly_improves || row.strict;
+    std::printf(
+        "front: array (%7.1f LEs, mse %.6g) vs widened (%7.1f LEs, mse "
+        "%.6g) %s\n",
+        row.array_point.area, row.array_point.mse, row.widened_area,
+        row.widened_mse,
+        row.strict ? "IMPROVED"
+                   : (row.dominated ? "EQUALLED" : "LOST"));
+  }
+
+  // Equivalence at the design level: the same search over the shortlist
+  // must not care which mode produced the models.
+  os.configs = surrogate.shortlisted;
+  OptimisationFramework sur_fw(os, ctx.x_train, surrogate.models, area);
+  OptimisationFramework exh_fw(os, ctx.x_train, exhaustive.models, area);
+  const std::uint64_t sur_checksum = design_set_checksum(sur_fw.run());
+  const std::uint64_t exh_checksum = design_set_checksum(exh_fw.run());
+  const bool checksum_match = sur_checksum == exh_checksum;
+  std::printf("design-set checksum: surrogate %llu, exhaustive %llu (%s)\n",
+              static_cast<unsigned long long>(sur_checksum),
+              static_cast<unsigned long long>(exh_checksum),
+              checksum_match ? "MATCH" : "MISMATCH");
+
+  std::ofstream json("BENCH_search.json");
+  json.precision(10);
+  json << "{\n  \"bench\": \"search\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"wordlengths\": [" << wl_min << ", " << wl_max << "],\n"
+       << "  \"candidates\": " << candidates.size() << ",\n"
+       << "  \"shortlist\": [";
+  for (std::size_t i = 0; i < surrogate.shortlisted.size(); ++i)
+    json << "\"" << to_string(surrogate.shortlisted[i]) << "\""
+         << (i + 1 < surrogate.shortlisted.size() ? ", " : "");
+  json << "],\n"
+       << "  \"surrogate_rows\": " << surrogate.surrogate_rows << ",\n"
+       << "  \"full_rows\": " << surrogate.full_rows << ",\n"
+       << "  \"exhaustive_rows\": " << surrogate.exhaustive_rows << ",\n"
+       << "  \"sweep_savings_factor\": " << savings << ",\n"
+       << "  \"sweep_savings_at_least_2x\": "
+       << (savings >= 2.0 ? "true" : "false") << ",\n"
+       << "  \"surrogate_matches_exhaustive_shortlist\": "
+       << (shortlist_match ? "true" : "false") << ",\n"
+       << "  \"array_only_front\": [\n";
+  write_front(json, array_front);
+  json << "  ],\n  \"widened_front\": [\n";
+  write_front(json, widened_front);
+  json << "  ],\n  \"widened_space_front\": [\n";
+  write_front(json, widened_space_front);
+  json << "  ],\n  \"dominance\": [\n";
+  for (std::size_t i = 0; i < dominance.size(); ++i) {
+    const auto& row = dominance[i];
+    json << "    {\"array_area_les\": " << row.array_point.area
+         << ", \"array_mse\": " << row.array_point.mse
+         << ", \"widened_area_les\": " << row.widened_area
+         << ", \"widened_mse\": " << row.widened_mse << ", \"dominated\": "
+         << (row.dominated ? "true" : "false") << ", \"strict\": "
+         << (row.strict ? "true" : "false") << "}"
+         << (i + 1 < dominance.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"widened_front_dominates_or_equals\": "
+       << (dominates ? "true" : "false") << ",\n"
+       << "  \"widened_strictly_improves\": "
+       << (strictly_improves ? "true" : "false") << ",\n"
+       << "  \"surrogate_design_checksum\": " << sur_checksum << ",\n"
+       << "  \"exhaustive_design_checksum\": " << exh_checksum << ",\n"
+       << "  \"surrogate_vs_exhaustive_design_checksum_match\": "
+       << (checksum_match ? "true" : "false") << "\n}\n";
+  std::printf("-> BENCH_search.json\n");
+
+  const bool ok =
+      dominates && checksum_match && shortlist_match && savings >= 2.0;
+  return ok ? 0 : 1;
+}

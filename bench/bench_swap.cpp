@@ -45,25 +45,25 @@ constexpr int kWlX = 8;
 // "fresh fit" of the same shape with every coefficient moved — the same
 // pair the swap tests golden-check.
 LinearProjectionDesign serving_design(double freq_mhz, MultArch arch) {
+  const MultConfig cfg{arch, 8, 1};
   LinearProjectionDesign d;
   d.columns.push_back(make_column(
-      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, cfg));
   d.columns.push_back(make_column(
-      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, cfg));
   d.target_freq_mhz = freq_mhz;
-  d.arch = arch;
   d.origin = "bench-swap-serving";
   return d;
 }
 
 LinearProjectionDesign refit_design(double freq_mhz, MultArch arch) {
+  const MultConfig cfg{arch, 8, 1};
   LinearProjectionDesign d;
   d.columns.push_back(make_column(
-      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, 8));
+      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, cfg));
   d.columns.push_back(make_column(
-      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, 8));
+      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, cfg));
   d.target_freq_mhz = freq_mhz;
-  d.arch = arch;
   d.origin = "bench-swap-refit";
   return d;
 }
@@ -74,11 +74,11 @@ LinearProjectionDesign wl_design(int wl, MultArch arch) {
   const auto frac = [&](int k) {
     return (den - static_cast<double>(k)) / den;
   };
+  const MultConfig cfg{arch, wl, 1};
   LinearProjectionDesign d;
-  d.columns.push_back(make_column({frac(1), -frac(3), frac(5), -frac(7)}, wl));
-  d.columns.push_back(make_column({-frac(2), frac(4), frac(6), frac(8)}, wl));
+  d.columns.push_back(make_column({frac(1), -frac(3), frac(5), -frac(7)}, cfg));
+  d.columns.push_back(make_column({-frac(2), frac(4), frac(6), frac(8)}, cfg));
   d.target_freq_mhz = 150.0;
-  d.arch = arch;
   d.origin = "bench-swap-lower";
   return d;
 }

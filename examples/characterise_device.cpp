@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
   Table report({"wordlength", "error_free_multiplicands_at_1.85x",
                 "max_variance", "csv_file"});
   for (int wl = 3; wl <= 9; ++wl) {
-    const auto model = characterise_multiplier(device, wl, 9, sweep);
+    const auto model = characterise_multiplier(
+        device, MultConfig{MultArch::Array, wl, 1}, 9, sweep);
     const std::string path = out_dir + "/error_model_wl" + std::to_string(wl) +
                              "_die" + std::to_string(die_seed) + ".csv";
     model.save_csv_file(path);

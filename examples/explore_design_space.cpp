@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   dc.seed = 77;
   const Matrix x_test = make_synthetic_dataset(dc);
 
-  const AreaModel area = AreaModel::fit(collect_area_samples(3, 9, 9, 12, 4));
+  const AreaModel area = AreaModel::fit(
+      collect_area_samples(mult_config_range(MultArch::Array, 3, 9), 9, 12, 4));
 
   Table table({"target_mhz", "x_tool", "beta", "area_les", "wordlengths",
                "predicted_mse", "actual_mse"});
@@ -47,9 +48,9 @@ int main(int argc, char** argv) {
     ss.freqs_mhz = {target};
     ss.locations = {reference_location_1(), reference_location_2()};
     ss.samples_per_point = 400;
-    std::map<int, ErrorModel> models;
-    for (int wl = 3; wl <= 9; ++wl)
-      models.emplace(wl, characterise_multiplier(device, wl, 9, ss));
+    ErrorModelMap models;
+    for (const auto& cfg : mult_config_range(MultArch::Array, 3, 9))
+      models.emplace(cfg, characterise_multiplier(device, cfg, 9, ss));
 
     for (double beta : {2.0, 4.0}) {
       OptimisationSettings os;
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
       for (const auto& d : designs) {
         std::string wls;
         for (const auto& col : d.columns)
-          wls += std::to_string(col.wordlength) + " ";
+          wls += std::to_string(col.wordlength()) + " ";
         const double actual = evaluate_hardware_mse(
             d, x_test, framework.data_mean(), device,
             actual_plan(d, device, 11), 9, &models, 12);

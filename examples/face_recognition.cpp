@@ -120,9 +120,9 @@ int main() {
   sweep.freqs_mhz = {target};
   sweep.locations = {reference_location_1(), reference_location_2()};
   sweep.samples_per_point = 400;
-  std::map<int, ErrorModel> models;
-  for (int wl = 3; wl <= 9; ++wl)
-    models.emplace(wl, characterise_multiplier(device, wl, 9, sweep));
+  ErrorModelMap models;
+  for (const auto& cfg : mult_config_range(MultArch::Array, 3, 9))
+    models.emplace(cfg, characterise_multiplier(device, cfg, 9, sweep));
 
   const FaceData data = make_faces(1234);
 
@@ -132,12 +132,14 @@ int main() {
   opt.target_freq_mhz = target;
   opt.gibbs.burn_in = 300;
   opt.gibbs.samples = 800;
-  const AreaModel area = AreaModel::fit(collect_area_samples(3, 9, 9, 12, 2));
+  const AreaModel area = AreaModel::fit(
+      collect_area_samples(mult_config_range(MultArch::Array, 3, 9), 9, 12, 2));
   OptimisationFramework framework(opt, data.probes, models, area);
   const auto designs = framework.run();
   const auto& of_design = designs.back();  // most accurate OF design
   const auto klt_design =
-      make_klt_design(data.probes, kProjected, 9, target, 9, area, &models);
+      make_klt_design(data.probes, kProjected, MultConfig{MultArch::Array, 9, 1},
+                      target, 9, area, &models);
 
   auto hardware_projector = [&](const LinearProjectionDesign& d) {
     auto circuit = std::make_shared<ProjectionCircuit>(

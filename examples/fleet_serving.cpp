@@ -28,10 +28,10 @@ using namespace oclp;
 
 int main() {
   LinearProjectionDesign design;
-  design.columns.push_back(make_column(
-      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
-  design.columns.push_back(make_column(
-      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+  design.columns.push_back(make_column({255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256},
+                        MultConfig{MultArch::Array, 8, 1}));
+  design.columns.push_back(make_column({-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256},
+                        MultConfig{MultArch::Array, 8, 1}));
   design.target_freq_mhz = 400.0;
   design.origin = "fleet-example";
 

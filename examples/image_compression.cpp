@@ -77,7 +77,7 @@ double psnr(const Matrix& a, const Matrix& b) {
 // Compress + reconstruct all blocks through a hardware (or exact) pipeline.
 Matrix reconstruct(const LinearProjectionDesign& design, const Matrix& blocks,
                    const std::vector<double>& mu, Device& device,
-                   const std::map<int, ErrorModel>* models, bool exact) {
+                   const ErrorModelMap* models, bool exact) {
   const Matrix basis = design.basis();
   const Matrix normaliser = projection_normaliser(basis, 1e-10);
   ProjectionCircuit circuit(design, device, actual_plan(design, device, 5), 9,
@@ -141,9 +141,9 @@ int main() {
   sweep.freqs_mhz = {target};
   sweep.locations = {reference_location_1(), reference_location_2()};
   sweep.samples_per_point = 400;
-  std::map<int, ErrorModel> models;
-  for (int wl = 3; wl <= 9; ++wl)
-    models.emplace(wl, characterise_multiplier(device, wl, 9, sweep));
+  ErrorModelMap models;
+  for (const auto& cfg : mult_config_range(MultArch::Array, 3, 9))
+    models.emplace(cfg, characterise_multiplier(device, cfg, 9, sweep));
 
   const auto image = make_image(2718);
   const Matrix blocks = to_blocks(image);
@@ -163,12 +163,14 @@ int main() {
   opt.target_freq_mhz = target;
   opt.gibbs.burn_in = 300;
   opt.gibbs.samples = 800;
-  const AreaModel area = AreaModel::fit(collect_area_samples(3, 9, 9, 12, 3));
+  const AreaModel area = AreaModel::fit(
+      collect_area_samples(mult_config_range(MultArch::Array, 3, 9), 9, 12, 3));
   OptimisationFramework framework(opt, train, models, area);
   const auto designs = framework.run();
   const auto& of_design = designs.back();
   const auto klt_design =
-      make_klt_design(train, kCoeffs, 9, target, 9, area, &models);
+      make_klt_design(train, kCoeffs, MultConfig{MultArch::Array, 9, 1}, target,
+                      9, area, &models);
   const auto mu = framework.data_mean();
 
   const Matrix ref = reconstruct(of_design, blocks, mu, device, &models, true);

@@ -32,19 +32,19 @@ int main() {
   // The serving fit and its mid-load replacement: same shape, every
   // coefficient moved — what a re-run of the optimisation produces.
   LinearProjectionDesign serving;
-  serving.columns.push_back(make_column(
-      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
-  serving.columns.push_back(make_column(
-      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+  serving.columns.push_back(make_column({255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256},
+                        MultConfig{MultArch::Array, 8, 1}));
+  serving.columns.push_back(make_column({-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256},
+                        MultConfig{MultArch::Array, 8, 1}));
   serving.target_freq_mhz = 400.0;
   serving.origin = "OF beta=4.0";
 
   LinearProjectionDesign refit = serving;
   refit.columns.clear();
-  refit.columns.push_back(make_column(
-      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, 8));
-  refit.columns.push_back(make_column(
-      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, 8));
+  refit.columns.push_back(make_column({131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256},
+                        MultConfig{MultArch::Array, 8, 1}));
+  refit.columns.push_back(make_column({-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256},
+                        MultConfig{MultArch::Array, 8, 1}));
   refit.origin = "OF beta=4.0 refit";
 
   FleetConfig cfg;

@@ -38,9 +38,9 @@ int main() {
   sweep.freqs_mhz = {target};
   sweep.locations = {reference_location_1(), reference_location_2()};
   sweep.samples_per_point = 400;
-  std::map<int, ErrorModel> models;
-  for (int wl = 3; wl <= 9; ++wl)
-    models.emplace(wl, characterise_multiplier(device, wl, 9, sweep));
+  ErrorModelMap models;
+  for (const auto& cfg : mult_config_range(MultArch::Array, 3, 9))
+    models.emplace(cfg, characterise_multiplier(device, cfg, 9, sweep));
   std::cout << "characterised E(m, f) for word-lengths 3..9\n";
 
   // --- 3. optimise the Linear Projection design -----------------------------
@@ -53,7 +53,8 @@ int main() {
   opt.target_freq_mhz = target;
   opt.gibbs.burn_in = 300;   // Table I uses 1000/3000; this is the fast path
   opt.gibbs.samples = 800;
-  const AreaModel area = AreaModel::fit(collect_area_samples(3, 9, 9, 12, 1));
+  const AreaModel area = AreaModel::fit(
+      collect_area_samples(mult_config_range(MultArch::Array, 3, 9), 9, 12, 1));
   OptimisationFramework framework(opt, x_train, models, area);
   const auto designs = framework.run();
 
@@ -71,7 +72,8 @@ int main() {
     std::cout << "  " << d.origin << "  area=" << d.area_estimate
               << " LEs  actual MSE=" << mse << "\n";
   }
-  const auto klt = make_klt_design(x_train, 3, 9, target, 9, area, &models);
+  const auto klt = make_klt_design(
+      x_train, 3, MultConfig{MultArch::Array, 9, 1}, target, 9, area, &models);
   const double klt_mse = evaluate_hardware_mse(
       klt, x_test, mu, device, actual_plan(klt, device, 1), 9, &models, 2);
   std::cout << "  " << klt.origin << "      area=" << klt.area_estimate

@@ -1,5 +1,6 @@
 #include "area/area_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hpp"
@@ -8,63 +9,96 @@
 
 namespace oclp {
 
-double synthesised_multiplier_les(int wl, int wl_x, std::uint64_t run_seed,
-                                  MultArch arch) {
-  OCLP_CHECK(wl >= 1 && wl_x >= 1);
-  const auto base =
-      static_cast<double>(make_multiplier_arch(arch, wl, wl_x).logic_elements());
+namespace {
+
+// Deterministic per-configuration seed component, so two configurations
+// sharing a word-length still draw independent synthesis factors.
+std::uint64_t config_seed(const MultConfig& config) {
+  return hash_mix(static_cast<std::uint64_t>(config.wordlength),
+                  static_cast<std::uint64_t>(config.arch),
+                  static_cast<std::uint64_t>(config.pipeline_depth));
+}
+
+}  // namespace
+
+double synthesised_multiplier_les(const MultConfig& config, int wl_x,
+                                  std::uint64_t run_seed) {
+  OCLP_CHECK(config.wordlength >= 1 && wl_x >= 1 && config.pipeline_depth >= 1);
+  double base = 0.0;
+  if (config.arch == MultArch::Ccm) {
+    // Per-coefficient circuits: average a strided spread of constants.
+    // Constant 0 is excluded — it folds to all-constant outputs and would
+    // drag the budget below anything a real coefficient costs.
+    const std::uint32_t num = 1u << config.wordlength;
+    const std::uint32_t step = std::max(1u, num / 8);
+    std::size_t n = 0;
+    for (std::uint32_t c = 1; c < num; c += step) {
+      base += static_cast<double>(
+          make_ccm_multiplier(config, c, wl_x).logic_elements());
+      ++n;
+    }
+    base /= static_cast<double>(n);
+  } else {
+    base = static_cast<double>(make_multiplier(config, wl_x).logic_elements());
+  }
   // Placement-dependent optimisation: packing/duplication decisions move
   // the count a few percent between runs, never below ~90% of nominal.
-  Rng rng(hash_mix(run_seed, static_cast<std::uint64_t>(wl) << 8 | wl_x, 0xa12eaULL));
+  Rng rng(hash_mix(run_seed,
+                   static_cast<std::uint64_t>(config.wordlength) << 8 | wl_x,
+                   hash_mix(0xa12eaULL, static_cast<std::uint64_t>(config.arch),
+                            static_cast<std::uint64_t>(config.pipeline_depth))));
   const double factor = std::exp(rng.normal(0.0, 0.03));
   return std::max(1.0, std::round(base * factor));
 }
 
-std::vector<AreaSample> collect_area_samples(int wl_min, int wl_max, int wl_x,
-                                             int runs, std::uint64_t seed,
-                                             MultArch arch) {
-  OCLP_CHECK(wl_min >= 1 && wl_min <= wl_max && runs >= 1);
+std::vector<AreaSample> collect_area_samples(
+    const std::vector<MultConfig>& configs, int wl_x, int runs,
+    std::uint64_t seed) {
+  OCLP_CHECK(!configs.empty() && runs >= 1);
   std::vector<AreaSample> samples;
-  samples.reserve(static_cast<std::size_t>(wl_max - wl_min + 1) * runs);
-  for (int wl = wl_min; wl <= wl_max; ++wl)
+  samples.reserve(configs.size() * static_cast<std::size_t>(runs));
+  for (const auto& config : configs)
     for (int r = 0; r < runs; ++r)
       samples.push_back(AreaSample{
-          wl, synthesised_multiplier_les(wl, wl_x, hash_mix(seed, r, wl), arch)});
+          config, synthesised_multiplier_les(
+                      config, wl_x, hash_mix(seed, r, config_seed(config)))});
   return samples;
 }
 
 AreaModel AreaModel::fit(const std::vector<AreaSample>& samples) {
   OCLP_CHECK(!samples.empty());
-  std::map<int, RunningStats> acc;
-  for (const auto& s : samples) acc[s.wordlength].add(s.logic_elements);
+  std::map<MultConfig, RunningStats> acc;
+  for (const auto& s : samples) acc[s.config].add(s.logic_elements);
   AreaModel model;
-  for (const auto& [wl, st] : acc) {
+  for (const auto& [config, st] : acc) {
     Entry e;
     e.mean = st.mean();
     e.stddev = std::sqrt(st.sample_variance());
     e.count = static_cast<int>(st.count());
-    model.table_[wl] = e;
+    model.table_[config] = e;
   }
   return model;
 }
 
-double AreaModel::estimate(int wordlength) const {
-  const auto it = table_.find(wordlength);
-  OCLP_CHECK_MSG(it != table_.end(), "no area data for word-length " << wordlength);
+double AreaModel::estimate(const MultConfig& config) const {
+  const auto it = table_.find(config);
+  OCLP_CHECK_MSG(it != table_.end(), "no area data for " << config);
   return it->second.mean;
 }
 
-double AreaModel::stddev(int wordlength) const {
-  const auto it = table_.find(wordlength);
-  OCLP_CHECK_MSG(it != table_.end(), "no area data for word-length " << wordlength);
+double AreaModel::stddev(const MultConfig& config) const {
+  const auto it = table_.find(config);
+  OCLP_CHECK_MSG(it != table_.end(), "no area data for " << config);
   return it->second.stddev;
 }
 
-double AreaModel::column_estimate(int wordlength, int dims_p, int wl_x) const {
+double AreaModel::column_estimate(const MultConfig& config, int dims_p,
+                                  int wl_x) const {
   OCLP_CHECK(dims_p >= 1);
-  const double mults = dims_p * estimate(wordlength);
+  const double mults = dims_p * estimate(config);
   // Accumulation: (P-1) adders over the product width plus carry headroom.
-  const double adder_bits = wordlength + wl_x + std::ceil(std::log2(dims_p));
+  const double adder_bits =
+      config.wordlength + wl_x + std::ceil(std::log2(dims_p));
   const double adders = (dims_p - 1) * adder_bits;
   return mults + adders;
 }

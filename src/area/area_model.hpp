@@ -5,7 +5,11 @@
 // synthesis tool for every supported word-length over many placement and
 // synthesis runs (the counts vary a little run-to-run because the
 // optimiser's decisions depend on placement), then uses the per-word-length
-// statistics during design-space exploration.
+// statistics during design-space exploration. With the multiplier
+// architecture and pipeline depth promoted to search dimensions, the table
+// is keyed by the full MultConfig: a Wallace tree and an array multiplier
+// of the same word-length cost different LEs, and every pipeline register
+// is an LE of its own.
 //
 // Here the "synthesis tool" ground truth is the multiplier netlist's LE
 // count perturbed by a small lognormal synthesis-optimisation factor per
@@ -21,42 +25,50 @@
 
 namespace oclp {
 
-/// One synthesis observation: a wl-bit multiplier cost `logic_elements` LEs.
+/// One synthesis observation: a `config` multiplier cost `logic_elements`
+/// LEs.
 struct AreaSample {
-  int wordlength = 0;
+  MultConfig config;
   double logic_elements = 0.0;
 };
 
 /// Synthesis ground truth: LE count of one placement/synthesis run of a
-/// wl × wl_x multiplier (deterministic in `run_seed`).
-double synthesised_multiplier_les(int wl, int wl_x, std::uint64_t run_seed,
-                                  MultArch arch = MultArch::Array);
+/// `config` × wl_x multiplier (deterministic in `run_seed`). For
+/// MultArch::Ccm the circuit is per-coefficient, so the run averages a
+/// deterministic spread of constants — the budget a column whose
+/// coefficient is still being searched must reserve.
+double synthesised_multiplier_les(const MultConfig& config, int wl_x,
+                                  std::uint64_t run_seed);
 
-/// Collect `runs` synthesis observations for every word-length in
-/// [wl_min, wl_max] (the Figure-6 data set).
-std::vector<AreaSample> collect_area_samples(int wl_min, int wl_max, int wl_x,
-                                             int runs, std::uint64_t seed,
-                                             MultArch arch = MultArch::Array);
+/// Collect `runs` synthesis observations for every configuration in
+/// `configs` (the Figure-6 data set, widened across architectures).
+std::vector<AreaSample> collect_area_samples(
+    const std::vector<MultConfig>& configs, int wl_x, int runs,
+    std::uint64_t seed);
 
-/// Per-word-length statistics fitted from observations. Estimation is a
-/// table lookup — exact because the set of word-lengths is finite (paper's
-/// own argument) — with a 95% confidence interval from the run-to-run
-/// spread.
+/// Per-configuration statistics fitted from observations. Estimation is a
+/// table lookup — exact because the set of configurations is finite
+/// (paper's own argument, extended from word-lengths to the full config
+/// grid) — with a 95% confidence interval from the run-to-run spread.
 class AreaModel {
  public:
   static AreaModel fit(const std::vector<AreaSample>& samples);
 
-  bool covers(int wordlength) const { return table_.count(wordlength) != 0; }
-  /// Expected LEs of one wl-bit multiplier.
-  double estimate(int wordlength) const;
-  /// Run-to-run standard deviation at this word-length.
-  double stddev(int wordlength) const;
+  bool covers(const MultConfig& config) const {
+    return table_.count(config) != 0;
+  }
+  /// Expected LEs of one `config` multiplier.
+  double estimate(const MultConfig& config) const;
+  /// Run-to-run standard deviation at this configuration.
+  double stddev(const MultConfig& config) const;
   /// Half-width of the 95% confidence interval for a single new run.
-  double ci95(int wordlength) const { return 1.96 * stddev(wordlength); }
+  double ci95(const MultConfig& config) const {
+    return 1.96 * stddev(config);
+  }
 
   /// LE estimate for one Linear Projection column: P multipliers plus the
   /// accumulation adders ((P-1) adders of the product width + headroom).
-  double column_estimate(int wordlength, int dims_p, int wl_x) const;
+  double column_estimate(const MultConfig& config, int dims_p, int wl_x) const;
 
  private:
   struct Entry {
@@ -64,7 +76,7 @@ class AreaModel {
     double stddev = 0.0;
     int count = 0;
   };
-  std::map<int, Entry> table_;
+  std::map<MultConfig, Entry> table_;
 };
 
 }  // namespace oclp

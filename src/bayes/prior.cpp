@@ -17,14 +17,16 @@ std::size_t CoeffPrior::nearest_index(double x) const {
   return (x - values_[lo] <= values_[hi] - x) ? lo : hi;
 }
 
-CoeffPrior CoeffPrior::grid_prior(int wordlength, double freq_mhz, double beta) {
-  OCLP_CHECK(wordlength >= 1 && wordlength <= 16);
+CoeffPrior CoeffPrior::grid_prior(const MultConfig& config, double freq_mhz,
+                                  double beta) {
+  OCLP_CHECK(config.wordlength >= 1 && config.wordlength <= 16);
+  OCLP_CHECK(config.pipeline_depth >= 1);
   OCLP_CHECK(beta >= 0.0);
   CoeffPrior prior;
-  prior.wl_ = wordlength;
+  prior.config_ = config;
   prior.freq_mhz_ = freq_mhz;
   prior.beta_ = beta;
-  prior.values_ = coeff_grid(wordlength);
+  prior.values_ = coeff_grid(config.wordlength);
   prior.probs_.assign(prior.values_.size(), 1.0);
   return prior;
 }
@@ -40,14 +42,12 @@ void normalise(std::vector<double>& probs) {
 
 }  // namespace
 
-CoeffPrior make_prior(const ErrorModel& model, int wordlength, double freq_mhz,
-                      double beta) {
-  OCLP_CHECK_MSG(model.wordlength() == wordlength,
-                 "error model word-length " << model.wordlength()
-                                            << " != prior word-length " << wordlength);
-  CoeffPrior prior = CoeffPrior::grid_prior(wordlength, freq_mhz, beta);
+CoeffPrior make_prior(const ErrorModel& model, const MultConfig& config,
+                      double freq_mhz, double beta) {
+  model.require_config(config, "prior");
+  CoeffPrior prior = CoeffPrior::grid_prior(config, freq_mhz, beta);
   for (std::size_t i = 0; i < prior.values_.size(); ++i) {
-    const auto q = quantize_coeff(prior.values_[i], wordlength);
+    const auto q = quantize_coeff(prior.values_[i], config.wordlength);
     const double e = model.variance(q.magnitude, freq_mhz);
     // g(E) = (1 + E)^(-β), computed in log space: β·ln(1+E) can exceed 700
     // for raw code-unit variances, which would underflow pow().
@@ -58,8 +58,8 @@ CoeffPrior make_prior(const ErrorModel& model, int wordlength, double freq_mhz,
   return prior;
 }
 
-CoeffPrior make_flat_prior(int wordlength, double freq_mhz) {
-  CoeffPrior prior = CoeffPrior::grid_prior(wordlength, freq_mhz, 0.0);
+CoeffPrior make_flat_prior(const MultConfig& config, double freq_mhz) {
+  CoeffPrior prior = CoeffPrior::grid_prior(config, freq_mhz, 0.0);
   normalise(prior.probs_);
   return prior;
 }

@@ -28,7 +28,10 @@ class CoeffPrior {
  public:
   CoeffPrior() = default;
 
-  int wordlength() const { return wl_; }
+  /// The multiplier configuration whose E(m, f) table shaped this prior
+  /// (for the flat prior: the configuration the design will realise with).
+  const MultConfig& config() const { return config_; }
+  int wordlength() const { return config_.wordlength; }
   double freq_mhz() const { return freq_mhz_; }
   double beta() const { return beta_; }
   std::size_t size() const { return values_.size(); }
@@ -42,27 +45,32 @@ class CoeffPrior {
   /// Index of the grid value nearest to x.
   std::size_t nearest_index(double x) const;
 
-  friend CoeffPrior make_prior(const ErrorModel& model, int wordlength,
-                               double freq_mhz, double beta);
-  friend CoeffPrior make_flat_prior(int wordlength, double freq_mhz);
+  friend CoeffPrior make_prior(const ErrorModel& model,
+                               const MultConfig& config, double freq_mhz,
+                               double beta);
+  friend CoeffPrior make_flat_prior(const MultConfig& config, double freq_mhz);
 
  private:
-  static CoeffPrior grid_prior(int wordlength, double freq_mhz, double beta);
+  static CoeffPrior grid_prior(const MultConfig& config, double freq_mhz,
+                               double beta);
 
-  int wl_ = 0;
+  MultConfig config_{MultArch::Array, 0, 1};
   double freq_mhz_ = 0.0;
   double beta_ = 1.0;
   std::vector<double> values_;  ///< ascending coefficient grid
   std::vector<double> probs_;   ///< normalised prior mass per grid point
 };
 
-/// Build the Eq.-6 prior from a characterised error model. The model's
-/// multiplicand word-length must equal `wordlength`.
-CoeffPrior make_prior(const ErrorModel& model, int wordlength, double freq_mhz,
-                      double beta);
+/// Build the Eq.-6 prior from a characterised error model. The model must
+/// have been swept on exactly `config` (require_config) — a Wallace E
+/// table must not shape an array column's prior.
+CoeffPrior make_prior(const ErrorModel& model, const MultConfig& config,
+                      double freq_mhz, double beta);
 
 /// Flat prior over the same grid (β = 0 limit; used by the KLT-style
-/// baseline when evaluated through the Bayesian machinery).
-CoeffPrior make_flat_prior(int wordlength, double freq_mhz);
+/// baseline when evaluated through the Bayesian machinery). The config
+/// only fixes the grid resolution and tags the prior with the realisation
+/// target — no E table is consulted.
+CoeffPrior make_flat_prior(const MultConfig& config, double freq_mhz);
 
 }  // namespace oclp

@@ -1,7 +1,9 @@
 #include "charlib/char_circuit.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <utility>
 
@@ -15,16 +17,30 @@ namespace {
 
 std::atomic<std::size_t> circuit_constructions{0};
 
-// Build the DUT simulator without duplicating the netlist: one build, one
-// annotation pass on that same netlist.
-OverclockSim make_dut_sim(const CharCircuitConfig& cfg, const Device& device,
-                          const Placement& placement) {
-  Netlist dut = make_multiplier_arch(cfg.arch, cfg.wl_m, cfg.wl_x);
-  std::vector<double> delays = annotate_timing(dut, device, placement);
-  // Calibrated delays are PsGrid-snapped, so the integer settle kernel is
-  // required to lower — an off-grid delay here is a calibration bug.
-  return OverclockSim(std::move(dut), std::move(delays),
+// Build the DUT simulator(s) without duplicating netlists: one build, one
+// annotation pass per netlist. Generic architectures need exactly one sim;
+// CCM lowers one circuit per multiplicand value (all at the same placement
+// — reprogramming the constant re-routes the same site).
+std::vector<OverclockSim> make_dut_sims(const CharCircuitConfig& cfg,
+                                        const Device& device,
+                                        const Placement& placement) {
+  std::vector<OverclockSim> sims;
+  auto lower = [&](Netlist dut) {
+    std::vector<double> delays = annotate_timing(dut, device, placement);
+    // Calibrated delays are PsGrid-snapped, so the integer settle kernel is
+    // required to lower — an off-grid delay here is a calibration bug.
+    sims.emplace_back(std::move(dut), std::move(delays),
                       TimingMode::IntegerExact);
+  };
+  if (cfg.mult.arch == MultArch::Ccm) {
+    const std::uint32_t count = 1u << cfg.mult.wordlength;
+    sims.reserve(count);
+    for (std::uint32_t m = 0; m < count; ++m)
+      lower(make_ccm_multiplier(cfg.mult, m, cfg.wl_x));
+  } else {
+    lower(make_multiplier(cfg.mult, cfg.wl_x));
+  }
+  return sims;
 }
 
 // Balanced AND over a bit range with memoised subranges — the carry cone of
@@ -98,13 +114,23 @@ CharacterisationCircuit::CharacterisationCircuit(const CharCircuitConfig& cfg,
     : cfg_(cfg),
       device_(&device),
       placement_(placement),
-      sim_(make_dut_sim(cfg, device, placement)) {
-  OCLP_CHECK(cfg.wl_m >= 1 && cfg.wl_x >= 1 && cfg.bram_depth >= 2);
+      ccm_(cfg.mult.arch == MultArch::Ccm),
+      sims_(make_dut_sims(cfg, device, placement)) {
+  OCLP_CHECK(cfg.mult.wordlength >= 1 && cfg.wl_x >= 1 && cfg.bram_depth >= 2);
   circuit_constructions.fetch_add(1, std::memory_order_relaxed);
 
-  dut_tool_fmax_mhz_ = tool_fmax_mhz(sim_.netlist(), device.config());
-  dut_device_fmax_mhz_ =
-      fmax_mhz(device_critical_path_ns(sim_.netlist(), device, placement));
+  // Worst case over the lowered circuits (one for the generic
+  // architectures, per-constant for CCM): the rig must be safe for every
+  // multiplicand it streams.
+  dut_tool_fmax_mhz_ = std::numeric_limits<double>::infinity();
+  dut_device_fmax_mhz_ = std::numeric_limits<double>::infinity();
+  for (const OverclockSim& sim : sims_) {
+    dut_tool_fmax_mhz_ = std::min(
+        dut_tool_fmax_mhz_, tool_fmax_mhz(sim.netlist(), device.config()));
+    dut_device_fmax_mhz_ = std::min(
+        dut_device_fmax_mhz_,
+        fmax_mhz(device_critical_path_ns(sim.netlist(), device, placement)));
+  }
 
   // The supporting modules live next to the DUT; their placement is part of
   // the same P&R run.
@@ -119,8 +145,9 @@ CharacterisationCircuit::CharacterisationCircuit(const CharCircuitConfig& cfg,
 CharTrace CharacterisationCircuit::run(std::uint32_t m,
                                        const std::vector<std::uint32_t>& xs,
                                        double freq_mhz, std::uint64_t jitter_seed) {
-  OCLP_CHECK_MSG(m < (1u << cfg_.wl_m), "multiplicand " << m << " exceeds "
-                                            << cfg_.wl_m << " bits");
+  const int wl_m = cfg_.mult.wordlength;
+  OCLP_CHECK_MSG(m < (1u << wl_m), "multiplicand " << m << " exceeds "
+                                            << wl_m << " bits");
   // The framework must only measure DUT errors: the DUT clock has to stay
   // below the supporting-logic limit, and the FSM domain below both.
   OCLP_CHECK_MSG(freq_mhz < support_fmax_mhz_,
@@ -137,16 +164,18 @@ CharTrace CharacterisationCircuit::run(std::uint32_t m,
   trace.expected.reserve(xs.size());
   trace.error.reserve(xs.size());
 
+  // The per-constant CCM cell has no multiplicand bus — m is baked in.
+  OverclockSim& sim = sim_for(m);
   std::vector<std::uint8_t> in;
-  in.reserve(static_cast<std::size_t>(cfg_.wl_m + cfg_.wl_x));
+  in.reserve(static_cast<std::size_t>(wl_m + cfg_.wl_x));
   auto encode = [&](std::uint32_t x) {
     in.clear();
-    append_bits(in, m, cfg_.wl_m);
+    if (!ccm_) append_bits(in, m, wl_m);
     append_bits(in, x, cfg_.wl_x);
   };
 
   encode(0);
-  sim_.reset(in);
+  sim.reset(in);
 
   std::size_t processed = 0;
   while (processed < xs.size()) {
@@ -158,7 +187,7 @@ CharTrace CharacterisationCircuit::run(std::uint32_t m,
       const std::uint32_t x = xs[processed + i];
       OCLP_DCHECK(x < (1u << cfg_.wl_x));
       encode(x);
-      const auto& out = sim_.step(in, clock.next_period_ns());
+      const auto& out = sim.step(in, clock.next_period_ns());
       const std::uint64_t obs = from_bits(out);
       const std::uint64_t exp =
           static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(x);
@@ -177,8 +206,9 @@ std::vector<CharTrace> CharacterisationCircuit::run_multi(
     std::uint32_t m, const std::vector<std::uint32_t>& xs,
     const std::vector<double>& freqs_mhz, std::uint64_t jitter_seed,
     Workspace* workspace) const {
-  OCLP_CHECK_MSG(m < (1u << cfg_.wl_m), "multiplicand " << m << " exceeds "
-                                            << cfg_.wl_m << " bits");
+  const int wl_m = cfg_.mult.wordlength;
+  OCLP_CHECK_MSG(m < (1u << wl_m), "multiplicand " << m << " exceeds "
+                                            << wl_m << " bits");
   OCLP_CHECK_MSG(!freqs_mhz.empty(), "run_multi needs at least one frequency");
   for (double f : freqs_mhz) {
     OCLP_CHECK(f > 0.0);
@@ -220,17 +250,19 @@ std::vector<CharTrace> CharacterisationCircuit::run_multi(
     processed += batch;
   }
 
+  // The per-constant CCM cell has no multiplicand bus — m is baked in.
+  const OverclockSim& sim = sim_for(m);
   std::vector<std::uint8_t> in;
-  in.reserve(static_cast<std::size_t>(cfg_.wl_m + cfg_.wl_x));
-  append_bits(in, m, cfg_.wl_m);
+  in.reserve(static_cast<std::size_t>(wl_m + cfg_.wl_x));
+  if (!ccm_) append_bits(in, m, wl_m);
   append_bits(in, 0, cfg_.wl_x);
-  sim_.reset(ws.sim, in);
+  sim.reset(ws.sim, in);
 
   // Flatten the stream into an input-bit matrix and settle the whole cone
   // in one batched pass: ws.stream then holds, per edge, the settled
   // output word plus the (bit, settle) list of outputs that toggled.
   const std::size_t nin = in.size();
-  const std::size_t wlm = static_cast<std::size_t>(cfg_.wl_m);
+  const std::size_t wlm = ccm_ ? 0 : static_cast<std::size_t>(wl_m);
   ws.input_bits.resize(n * nin);
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t x = xs[i];
@@ -241,7 +273,7 @@ std::vector<CharTrace> CharacterisationCircuit::run_multi(
     for (std::size_t b = wlm; b < nin; ++b)
       row[b] = static_cast<std::uint8_t>((x >> (b - wlm)) & 1u);
   }
-  sim_.run_stream(ws.sim, ws.input_bits.data(), n, ws.stream);
+  sim.run_stream(ws.sim, ws.input_bits.data(), n, ws.stream);
 
   // Sampling a frequency is then obs = settled word with the too-late
   // toggled bits flipped back — bitwise identical to thresholding every

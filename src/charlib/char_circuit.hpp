@@ -32,9 +32,13 @@
 namespace oclp {
 
 struct CharCircuitConfig {
-  int wl_m = 8;   ///< constant-operand (multiplicand) port width
+  /// Design-under-test configuration: architecture, multiplicand
+  /// word-length and pipeline depth. For MultArch::Ccm the circuit is
+  /// per-constant, so the characterisation rig eagerly lowers one DUT per
+  /// multiplicand value (2^wordlength circuits — the predecessor work's
+  /// cost explosion, realised; see ccm_characterisation_cost).
+  MultConfig mult;
   int wl_x = 8;   ///< streamed-operand port width
-  MultArch arch = MultArch::Array;  ///< design-under-test architecture
   double fsm_clock_mhz = 50.0;   ///< supporting-domain clock
   std::size_t bram_depth = 8192; ///< stream BRAM words per batch
   bool with_jitter = true;       ///< model PLL cycle-to-cycle jitter
@@ -66,11 +70,16 @@ class CharacterisationCircuit {
                           const Placement& placement);
 
   const CharCircuitConfig& config() const { return cfg_; }
-  const Netlist& dut() const { return sim_.netlist(); }
+  /// DUT netlist streamed for multiplicand `m`: the single generic circuit
+  /// for Array/Wallace (m rides the input bus), the per-constant CCM cell
+  /// otherwise.
+  const Netlist& dut(std::uint32_t m = 0) const { return sim_for(m).netlist(); }
 
-  /// Conservative Fmax of the DUT as the synthesis tool reports (fA).
+  /// Conservative Fmax of the DUT as the synthesis tool reports (fA);
+  /// worst case over the per-constant circuits for CCM.
   double dut_tool_fmax_mhz() const { return dut_tool_fmax_mhz_; }
-  /// Device-view zero-slack Fmax of the DUT at this placement (no margin).
+  /// Device-view zero-slack Fmax of the DUT at this placement (no margin);
+  /// worst case over the per-constant circuits for CCM.
   double dut_device_fmax_mhz() const { return dut_device_fmax_mhz_; }
   /// Device-view Fmax of the supporting FSM/BRAM logic.
   double support_fmax_mhz() const { return support_fmax_mhz_; }
@@ -101,10 +110,18 @@ class CharacterisationCircuit {
   static std::size_t construction_count();
 
  private:
+  const OverclockSim& sim_for(std::uint32_t m) const {
+    return ccm_ ? sims_[m] : sims_[0];
+  }
+  OverclockSim& sim_for(std::uint32_t m) { return ccm_ ? sims_[m] : sims_[0]; }
+
   CharCircuitConfig cfg_;
   const Device* device_;
   Placement placement_;
-  OverclockSim sim_;
+  bool ccm_ = false;
+  /// One sim for the generic architectures; 2^wl_m per-constant sims for
+  /// CCM (indexed by multiplicand value).
+  std::vector<OverclockSim> sims_;
   double dut_tool_fmax_mhz_ = 0.0;
   double dut_device_fmax_mhz_ = 0.0;
   double support_fmax_mhz_ = 0.0;

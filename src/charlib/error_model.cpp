@@ -8,9 +8,13 @@
 
 namespace oclp {
 
-ErrorModel::ErrorModel(int wl_m, int wl_x, std::vector<double> freqs_mhz)
-    : wl_m_(wl_m), wl_x_(wl_x), freqs_(std::move(freqs_mhz)) {
-  OCLP_CHECK(wl_m >= 1 && wl_m <= 16 && wl_x >= 1 && wl_x <= 16);
+ErrorModel::ErrorModel(const MultConfig& config, int wl_x,
+                       std::vector<double> freqs_mhz)
+    : config_(config), wl_x_(wl_x), freqs_(std::move(freqs_mhz)) {
+  OCLP_CHECK(config.wordlength >= 1 && config.wordlength <= 16 && wl_x >= 1 &&
+             wl_x <= 16);
+  OCLP_CHECK_MSG(config.pipeline_depth >= 1,
+                 "error model config " << config << " has pipeline depth < 1");
   OCLP_CHECK_MSG(!freqs_.empty(), "error model needs at least one frequency");
   // Strictly ascending: a merely sorted grid with duplicates would make
   // locate() divide by a zero frequency gap, and an unsorted one silently
@@ -75,8 +79,16 @@ double ErrorModel::error_rate(std::uint32_t m, double freq_mhz) const {
   return (1.0 - t) * rate_[index(m, i0)] + t * rate_[index(m, i1)];
 }
 
+void ErrorModel::require_config(const MultConfig& expected,
+                                const char* context) const {
+  OCLP_CHECK_MSG(config_ == expected,
+                 context << ": error model characterised for " << config_
+                         << " cannot be applied to " << expected);
+}
+
 double ErrorModel::variance_value_units(std::uint32_t m, double freq_mhz) const {
-  const double scale = std::ldexp(1.0, wl_m_ + wl_x_);  // 2^(wl_m + wl_x)
+  // 2^(wl_m + wl_x)
+  const double scale = std::ldexp(1.0, config_.wordlength + wl_x_);
   return variance(m, freq_mhz) / (scale * scale);
 }
 
@@ -85,11 +97,14 @@ double ErrorModel::max_variance() const {
 }
 
 void ErrorModel::save_csv(std::ostream& os) const {
-  os << "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n";
+  os << "arch,wl_m,pipeline_depth,wl_x,m,freq_mhz,variance,mean_error,"
+        "error_rate\n";
   os.precision(17);
+  const char* arch = mult_arch_name(config_.arch);
   for (std::uint32_t m = 0; m < num_multiplicands(); ++m)
     for (std::size_t fi = 0; fi < freqs_.size(); ++fi)
-      os << wl_m_ << ',' << wl_x_ << ',' << m << ',' << freqs_[fi] << ','
+      os << arch << ',' << config_.wordlength << ',' << config_.pipeline_depth
+         << ',' << wl_x_ << ',' << m << ',' << freqs_[fi] << ','
          << var_[index(m, fi)] << ',' << mean_[index(m, fi)] << ','
          << rate_[index(m, fi)] << '\n';
 }
@@ -149,11 +164,13 @@ ErrorModel ErrorModel::load_csv(std::istream& is) {
   std::string line;
   OCLP_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
                  "empty error-model stream");
-  OCLP_CHECK_MSG(line.rfind("wl_m,wl_x,m,freq_mhz", 0) == 0,
-                 "not an error-model CSV (bad header): " << line);
+  OCLP_CHECK_MSG(
+      line.rfind("arch,wl_m,pipeline_depth,wl_x,m,freq_mhz", 0) == 0,
+      "not an error-model CSV (bad header): " << line);
 
   struct Row {
-    int wl_m, wl_x;
+    MultConfig config;
+    int wl_x;
     std::uint32_t m;
     double freq, var, mean, rate;
   };
@@ -163,30 +180,37 @@ ErrorModel ErrorModel::load_csv(std::istream& is) {
     ++lineno;
     if (line.empty()) continue;
     const auto fields = split_fields(line);
-    OCLP_CHECK_MSG(fields.size() == 7,
+    OCLP_CHECK_MSG(fields.size() == 9,
                    "error-model line " << lineno << " has " << fields.size()
-                                       << " fields, expected 7: " << line);
+                                       << " fields, expected 9: " << line);
     Row r{};
-    const long wl_m = parse_int_field(fields[0], "wl_m", lineno);
-    const long wl_x = parse_int_field(fields[1], "wl_x", lineno);
+    r.config.arch = mult_arch_from_name(fields[0]);
+    const long wl_m = parse_int_field(fields[1], "wl_m", lineno);
+    const long depth = parse_int_field(fields[2], "pipeline_depth", lineno);
+    const long wl_x = parse_int_field(fields[3], "wl_x", lineno);
     OCLP_CHECK_MSG(wl_m >= 1 && wl_m <= 16 && wl_x >= 1 && wl_x <= 16,
                    "error-model line " << lineno << ": word-lengths (" << wl_m
                                        << ", " << wl_x
                                        << ") outside the supported 1..16");
-    r.wl_m = static_cast<int>(wl_m);
+    OCLP_CHECK_MSG(depth >= 1, "error-model line "
+                                   << lineno << ": pipeline depth " << depth
+                                   << " < 1");
+    r.config.wordlength = static_cast<int>(wl_m);
+    r.config.pipeline_depth = static_cast<int>(depth);
     r.wl_x = static_cast<int>(wl_x);
-    const long m = parse_int_field(fields[2], "m", lineno);
-    OCLP_CHECK_MSG(m >= 0 && m < (1L << r.wl_m),
-                   "error-model line " << lineno << ": multiplicand " << m
-                                       << " out of range for wl_m=" << r.wl_m);
+    const long m = parse_int_field(fields[4], "m", lineno);
+    OCLP_CHECK_MSG(m >= 0 && m < (1L << r.config.wordlength),
+                   "error-model line "
+                       << lineno << ": multiplicand " << m
+                       << " out of range for wl_m=" << r.config.wordlength);
     r.m = static_cast<std::uint32_t>(m);
-    r.freq = parse_double_field(fields[3], "freq_mhz", lineno);
+    r.freq = parse_double_field(fields[5], "freq_mhz", lineno);
     OCLP_CHECK_MSG(r.freq > 0.0, "error-model line " << lineno
                                                      << ": frequency "
                                                      << r.freq << " <= 0");
-    r.var = parse_double_field(fields[4], "variance", lineno);
-    r.mean = parse_double_field(fields[5], "mean_error", lineno);
-    r.rate = parse_double_field(fields[6], "error_rate", lineno);
+    r.var = parse_double_field(fields[6], "variance", lineno);
+    r.mean = parse_double_field(fields[7], "mean_error", lineno);
+    r.rate = parse_double_field(fields[8], "error_rate", lineno);
     OCLP_CHECK_MSG(r.var >= 0.0 && r.rate >= 0.0 && r.rate <= 1.0,
                    "error-model line "
                        << lineno << ": variance/rate out of range (var="
@@ -203,15 +227,15 @@ ErrorModel ErrorModel::load_csv(std::istream& is) {
   std::sort(freqs.begin(), freqs.end());
   freqs.erase(std::unique(freqs.begin(), freqs.end()), freqs.end());
 
-  ErrorModel model(rows.front().wl_m, rows.front().wl_x, freqs);
+  ErrorModel model(rows.front().config, rows.front().wl_x, freqs);
   // Rows may cover the (m, f) grid sparsely (missing cells stay zero), but
   // conflicting duplicates would silently last-write-win — reject them.
   std::vector<std::uint8_t> seen(model.var_.size(), 0);
   for (const auto& r : rows) {
-    OCLP_CHECK_MSG(r.wl_m == model.wl_m_ && r.wl_x == model.wl_x_,
-                   "mixed word-lengths in one error-model file: ("
-                       << r.wl_m << ", " << r.wl_x << ") after ("
-                       << model.wl_m_ << ", " << model.wl_x_ << ")");
+    OCLP_CHECK_MSG(r.config == model.config_ && r.wl_x == model.wl_x_,
+                   "mixed configurations in one error-model file: "
+                       << r.config << " x wl_x=" << r.wl_x << " after "
+                       << model.config_ << " x wl_x=" << model.wl_x_);
     const auto it = std::lower_bound(freqs.begin(), freqs.end(), r.freq);
     const auto fi = static_cast<std::size_t>(it - freqs.begin());
     const auto cell = model.index(r.m, fi);

@@ -17,20 +17,32 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "mult/multiplier.hpp"
 
 namespace oclp {
 
 class ErrorModel {
  public:
   ErrorModel() = default;
-  /// wl_m: multiplicand port width; wl_x: streamed-data port width.
-  ErrorModel(int wl_m, int wl_x, std::vector<double> freqs_mhz);
+  /// `config`: the characterised multiplier configuration (architecture ×
+  /// word-length × pipeline depth); wl_x: streamed-data port width. The
+  /// model is only meaningful for the exact configuration it was swept on
+  /// — consumers must gate on config() (see require_config).
+  ErrorModel(const MultConfig& config, int wl_x, std::vector<double> freqs_mhz);
 
-  int wordlength() const { return wl_m_; }
+  const MultConfig& config() const { return config_; }
+  int wordlength() const { return config_.wordlength; }
   int data_wordlength() const { return wl_x_; }
   const std::vector<double>& freqs_mhz() const { return freqs_; }
-  std::size_t num_multiplicands() const { return std::size_t{1} << wl_m_; }
+  std::size_t num_multiplicands() const {
+    return std::size_t{1} << config_.wordlength;
+  }
   bool empty() const { return freqs_.empty(); }
+
+  /// Throws, naming both configurations, unless this model was
+  /// characterised for exactly `expected`. `context` names the consumer
+  /// ("prior", "swap", ...) so the message points at the offending layer.
+  void require_config(const MultConfig& expected, const char* context) const;
 
   void set(std::uint32_t m, std::size_t freq_index, double variance,
            double mean_error, double error_rate);
@@ -52,7 +64,10 @@ class ErrorModel {
   /// Largest variance anywhere in the table (prior normalisation aid).
   double max_variance() const;
 
-  /// CSV persistence (header row then wl,m,freq,variance,mean,rate rows).
+  /// CSV persistence. The header carries the full configuration
+  /// (arch,wl_m,pipeline_depth,wl_x,...) so a round-trip preserves the
+  /// MultConfig tag and a file swept on one configuration cannot be
+  /// silently applied to another.
   void save_csv(std::ostream& os) const;
   void save_csv_file(const std::string& path) const;
   static ErrorModel load_csv(std::istream& is);
@@ -66,21 +81,25 @@ class ErrorModel {
   /// Interpolation weights over the frequency grid.
   void locate(double freq_mhz, std::size_t& i0, std::size_t& i1, double& t) const;
 
-  int wl_m_ = 0;
+  MultConfig config_{MultArch::Array, 0, 1};
   int wl_x_ = 0;
   std::vector<double> freqs_;
   std::vector<double> var_, mean_, rate_;
 };
 
+/// The per-configuration model set every consumer layer works from: one
+/// characterised E(m, f) table per multiplier configuration in play.
+using ErrorModelMap = std::map<MultConfig, ErrorModel>;
+
 /// Atomic publication point for live re-characterisation: serving threads
-/// load() an immutable snapshot of the per-wordlength model set; the sweep
+/// load() an immutable snapshot of the per-config model set; the sweep
 /// thread builds an updated copy off to the side and store()s it in one
 /// pointer swap. Readers keep their snapshot alive through the shared_ptr,
 /// so a swap never invalidates a model a circuit is still correcting with —
 /// the copy-on-write analogue of a double-buffered characterisation table.
 class SharedErrorModels {
  public:
-  using Map = std::map<int, ErrorModel>;
+  using Map = ErrorModelMap;
 
   SharedErrorModels();
   explicit SharedErrorModels(Map initial);

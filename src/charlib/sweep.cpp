@@ -19,40 +19,37 @@ std::vector<std::uint32_t> uniform_stream(int wl_x, std::size_t n,
   return xs;
 }
 
-ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
-                                   const SweepSettings& settings,
-                                   const ExecPolicy& exec) {
-  OCLP_CHECK(!settings.freqs_mhz.empty());
-  OCLP_CHECK(!settings.locations.empty());
-  OCLP_CHECK(settings.samples_per_point >= 2);
-  std::vector<double> freqs = settings.freqs_mhz;
-  std::sort(freqs.begin(), freqs.end());
+namespace {
 
-  ErrorModel model(wl_m, wl_x, freqs);
-  const std::size_t num_m = model.num_multiplicands();
-  const auto stream =
-      uniform_stream(wl_x, settings.samples_per_point, settings.stream_seed);
+// Sweep the given multiplicand rows of `model` on `device`: one circuit
+// per location for the whole sweep — construction (netlist build + timing
+// annotation + STA) dwarfs a single stream run, so it must not sit inside
+// the per-multiplicand loop. Workers share the circuits through the const
+// single-pass API with per-thread workspaces. Each worker writes only its
+// own model row, so any policy/chunking is bitwise-identical to serial.
+void sweep_rows(const Device& device, const SweepSettings& settings,
+                const std::vector<std::uint32_t>& rows, ErrorModel& model,
+                const ExecPolicy& exec) {
+  const auto& freqs = model.freqs_mhz();
+  const auto stream = uniform_stream(model.data_wordlength(),
+                                     settings.samples_per_point,
+                                     settings.stream_seed);
 
   CharCircuitConfig ccfg;
-  ccfg.wl_m = wl_m;
-  ccfg.wl_x = wl_x;
-  ccfg.arch = settings.arch;
+  ccfg.mult = model.config();
+  ccfg.wl_x = model.data_wordlength();
   ccfg.with_jitter = settings.with_jitter;
   ccfg.fsm_clock_mhz = settings.fsm_clock_mhz;
   ccfg.bram_depth = settings.bram_depth;
 
-  // One circuit per location for the whole sweep: construction (netlist
-  // build + timing annotation + STA) dwarfs a single stream run, so it
-  // must not sit inside the per-multiplicand loop. Workers share the
-  // circuits through the const single-pass API with per-thread workspaces.
   std::vector<CharacterisationCircuit> circuits;
   circuits.reserve(settings.locations.size());
   for (const auto& loc : settings.locations)
     circuits.emplace_back(ccfg, device, loc);
 
-  auto worker = [&](std::size_t mi) {
+  auto worker = [&](std::size_t ri) {
     thread_local CharacterisationCircuit::Workspace ws;
-    const auto m = static_cast<std::uint32_t>(mi);
+    const std::uint32_t m = rows[ri];
     std::vector<RunningStats> err(freqs.size());
     std::vector<std::size_t> erroneous(freqs.size(), 0);
     std::vector<std::size_t> total(freqs.size(), 0);
@@ -60,7 +57,7 @@ ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
     for (std::size_t li = 0; li < circuits.size(); ++li) {
       const auto traces = circuits[li].run_multi(
           m, stream, freqs,
-          hash_mix(settings.stream_seed, mi,
+          hash_mix(settings.stream_seed, m,
                    settings.locations[li].route_seed),
           &ws);
       for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
@@ -75,11 +72,72 @@ ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
                                 static_cast<double>(total[fi])
                           : 0.0);
   };
+  exec.for_each(0, rows.size(), worker);
+}
 
-  // Each worker writes only its own model row, so any policy/chunking is
-  // bitwise-identical to the serial sweep.
-  exec.for_each(0, num_m, worker);
+std::vector<double> sorted_freqs(const SweepSettings& settings) {
+  OCLP_CHECK(!settings.freqs_mhz.empty());
+  OCLP_CHECK(!settings.locations.empty());
+  OCLP_CHECK(settings.samples_per_point >= 2);
+  std::vector<double> freqs = settings.freqs_mhz;
+  std::sort(freqs.begin(), freqs.end());
+  return freqs;
+}
+
+}  // namespace
+
+ErrorModel characterise_multiplier(const Device& device,
+                                   const MultConfig& config, int wl_x,
+                                   const SweepSettings& settings,
+                                   const ExecPolicy& exec) {
+  ErrorModel model(config, wl_x, sorted_freqs(settings));
+  std::vector<std::uint32_t> rows(model.num_multiplicands());
+  for (std::uint32_t m = 0; m < rows.size(); ++m) rows[m] = m;
+  sweep_rows(device, settings, rows, model, exec);
   return model;
+}
+
+SurrogateSweep characterise_multiplier_surrogate(
+    const Device& device, const MultConfig& config, int wl_x,
+    const SweepSettings& settings, std::size_t probe_stride,
+    const ExecPolicy& exec) {
+  OCLP_CHECK_MSG(probe_stride >= 1, "surrogate probe stride must be >= 1");
+  SurrogateSweep out{ErrorModel(config, wl_x, sorted_freqs(settings)), 0, 0};
+  ErrorModel& model = out.model;
+  const auto num_m = static_cast<std::uint32_t>(model.num_multiplicands());
+  out.total_rows = num_m;
+
+  // Strided probe rows plus both endpoints, so every unprobed row is
+  // bracketed and the interpolation never extrapolates.
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t m = 0; m < num_m;
+       m += static_cast<std::uint32_t>(probe_stride))
+    rows.push_back(m);
+  if (rows.back() != num_m - 1) rows.push_back(num_m - 1);
+  out.probed_rows = rows.size();
+  sweep_rows(device, settings, rows, model, exec);
+
+  // Per-frequency linear interpolation of the three statistics across the
+  // multiplicand axis. E(m, f) is not smooth in m (settle time follows the
+  // carry structure of the constant, not its magnitude), which is exactly
+  // why this is a ranking surrogate and not a servable model.
+  const std::size_t nf = model.freqs_mhz().size();
+  for (std::size_t ri = 0; ri + 1 < rows.size(); ++ri) {
+    const std::uint32_t m0 = rows[ri], m1 = rows[ri + 1];
+    for (std::uint32_t m = m0 + 1; m < m1; ++m) {
+      const double t = static_cast<double>(m - m0) / static_cast<double>(m1 - m0);
+      for (std::size_t fi = 0; fi < nf; ++fi) {
+        const double f = model.freqs_mhz()[fi];
+        model.set(m, fi,
+                  (1.0 - t) * model.variance(m0, f) + t * model.variance(m1, f),
+                  (1.0 - t) * model.mean_error(m0, f) +
+                      t * model.mean_error(m1, f),
+                  (1.0 - t) * model.error_rate(m0, f) +
+                      t * model.error_rate(m1, f));
+      }
+    }
+  }
+  return out;
 }
 
 SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,
@@ -87,12 +145,11 @@ SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,
                                          const SubsweepSettings& settings,
                                          const ExecPolicy& exec) {
   OCLP_CHECK_MSG(!model.empty(), "subsweep needs a constructed error model");
-  OCLP_CHECK_MSG(circuit.config().wl_m == model.wordlength() &&
-                     circuit.config().wl_x == model.data_wordlength(),
-                 "subsweep circuit is "
-                     << circuit.config().wl_m << "x" << circuit.config().wl_x
-                     << " but the model is " << model.wordlength() << "x"
-                     << model.data_wordlength());
+  model.require_config(circuit.config().mult, "subsweep");
+  OCLP_CHECK_MSG(circuit.config().wl_x == model.data_wordlength(),
+                 "subsweep circuit streams wl_x=" << circuit.config().wl_x
+                                                  << " but the model is for wl_x="
+                                                  << model.data_wordlength());
   OCLP_CHECK(settings.samples_per_point >= 2);
   OCLP_CHECK(settings.timing_derate > 0.0);
 
@@ -194,7 +251,7 @@ std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
   const std::size_t nf = freqs_mhz.size();
 
   CharCircuitConfig ccfg;
-  ccfg.wl_m = wl_a;
+  ccfg.mult = MultConfig{MultArch::Array, wl_a, 1};
   ccfg.wl_x = wl_b;
 
   // One circuit for the whole curve; every frequency point comes from the

@@ -27,17 +27,35 @@ struct SweepSettings {
   bool with_jitter = true;
   double fsm_clock_mhz = 50.0;
   std::size_t bram_depth = 8192;
-  MultArch arch = MultArch::Array;     ///< multiplier architecture under test
 };
 
-/// Characterise a wl_m × wl_x multiplier on `device`: E(m, f) averaged over
-/// the requested locations (each location also re-rolls routing). The
-/// default policy fans the multiplicands out over the global pool; any
-/// policy yields bitwise-identical models (per-multiplicand rows are
-/// independent and each row's statistics fold in stream order).
-ErrorModel characterise_multiplier(const Device& device, int wl_m, int wl_x,
+/// Characterise a `config` multiplier (architecture × word-length ×
+/// pipeline depth) against a wl_x-bit data port on `device`: E(m, f)
+/// averaged over the requested locations (each location also re-rolls
+/// routing). The returned model is tagged with `config`. The default
+/// policy fans the multiplicands out over the global pool; any policy
+/// yields bitwise-identical models (per-multiplicand rows are independent
+/// and each row's statistics fold in stream order).
+ErrorModel characterise_multiplier(const Device& device,
+                                   const MultConfig& config, int wl_x,
                                    const SweepSettings& settings,
                                    const ExecPolicy& exec = {});
+
+/// Surrogate characterisation: fully sweep only every `probe_stride`-th
+/// multiplicand row (plus both endpoints) and fill the unprobed rows by
+/// per-frequency linear interpolation across the multiplicand axis. The
+/// result is a cheap E(m, f) estimate for *ranking* configurations during
+/// shortlisting — shortlisted configs must still be re-swept fully before
+/// their model is trusted for prior construction or serving.
+struct SurrogateSweep {
+  ErrorModel model;           ///< interpolated estimate, tagged with config
+  std::size_t probed_rows = 0;  ///< multiplicand rows actually simulated
+  std::size_t total_rows = 0;   ///< 2^wordlength
+};
+SurrogateSweep characterise_multiplier_surrogate(
+    const Device& device, const MultConfig& config, int wl_x,
+    const SweepSettings& settings, std::size_t probe_stride,
+    const ExecPolicy& exec = {});
 
 /// Uniform stream of `n` values in [0, 2^wl_x).
 std::vector<std::uint32_t> uniform_stream(int wl_x, std::size_t n,
@@ -79,7 +97,9 @@ struct SubsweepReport {
 
 /// Probe `model`'s grid on `circuit` per `settings`, updating the probed
 /// rows of `model` in place (unprobed rows keep their previous values).
-/// The circuit and model word-lengths must agree. The default policy is
+/// The circuit's multiplier configuration must equal the model's tag
+/// (require_config — a model swept on one architecture/depth must not be
+/// refreshed from another's circuit). The default policy is
 /// serial — the deliberate choice for the low-rate online path, which must
 /// not steal serving threads.
 SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,

@@ -69,21 +69,24 @@ std::vector<std::size_t> select_by_bins(const std::vector<CandidateProjection>& 
 
 OptimisationFramework::OptimisationFramework(OptimisationSettings settings,
                                              Matrix x_train,
-                                             std::map<int, ErrorModel> models,
+                                             ErrorModelMap models,
                                              AreaModel area)
     : settings_(std::move(settings)),
       x_centered_(std::move(x_train)),
       models_(std::move(models)),
       area_(std::move(area)) {
   OCLP_CHECK(settings_.dims_k >= 1);
-  OCLP_CHECK(settings_.wl_min >= 1 && settings_.wl_min <= settings_.wl_max);
+  OCLP_CHECK_MSG(!settings_.configs.empty(),
+                 "the configuration search list is empty");
   OCLP_CHECK(settings_.beta > 0.0 && settings_.target_freq_mhz > 0.0);
   OCLP_CHECK(settings_.q >= 1);
   OCLP_CHECK(x_centered_.rows() >= static_cast<std::size_t>(settings_.dims_k));
   OCLP_CHECK(x_centered_.cols() >= 2);
-  for (int wl = settings_.wl_min; wl <= settings_.wl_max; ++wl) {
-    OCLP_CHECK_MSG(models_.count(wl) != 0, "missing error model for wl " << wl);
-    OCLP_CHECK_MSG(area_.covers(wl), "area model lacks word-length " << wl);
+  for (const auto& config : settings_.configs) {
+    const auto it = models_.find(config);
+    OCLP_CHECK_MSG(it != models_.end(), "missing error model for " << config);
+    it->second.require_config(config, "optimisation framework");
+    OCLP_CHECK_MSG(area_.covers(config), "area model lacks " << config);
   }
   mu_ = center_rows(x_centered_);
 }
@@ -95,25 +98,24 @@ std::vector<LinearProjectionDesign> OptimisationFramework::run(ThreadPool* pool)
 std::vector<LinearProjectionDesign> OptimisationFramework::run(
     const ExecPolicy& exec) {
   const auto p = x_centered_.rows();
-  const int num_wl = settings_.wl_max - settings_.wl_min + 1;
+  const std::size_t num_cfg = settings_.configs.size();
 
-  // The prior depends only on (wl, target frequency, β) — never on the
-  // dimension or the parent — so each word-length's prior is built once for
-  // the whole run instead of once per (parent × wl) job.
+  // The prior depends only on (config, target frequency, β) — never on the
+  // dimension or the parent — so each configuration's prior is built once
+  // for the whole run instead of once per (parent × config) job.
   std::vector<CoeffPrior> priors;
-  priors.reserve(static_cast<std::size_t>(num_wl));
-  for (int wl = settings_.wl_min; wl <= settings_.wl_max; ++wl)
-    priors.push_back(
-        make_prior(models_.at(wl), wl, settings_.target_freq_mhz, settings_.beta));
+  priors.reserve(num_cfg);
+  for (const auto& config : settings_.configs)
+    priors.push_back(make_prior(models_.at(config), config,
+                                settings_.target_freq_mhz, settings_.beta));
 
   // Parents carried between dimensions; dimension 1 grows from the empty
   // design.
   std::vector<LinearProjectionDesign> parents(1);
   parents[0].target_freq_mhz = settings_.target_freq_mhz;
-  parents[0].arch = settings_.arch;
 
   for (int d = 0; d < settings_.dims_k; ++d) {
-    const std::size_t jobs = parents.size() * static_cast<std::size_t>(num_wl);
+    const std::size_t jobs = parents.size() * num_cfg;
     std::vector<CandidateProjection> candidates(jobs);
     // One byte per flag: workers write distinct elements concurrently, and
     // std::vector<bool>'s bit packing would make that a data race.
@@ -121,8 +123,8 @@ std::vector<LinearProjectionDesign> OptimisationFramework::run(
 
     // The residual of the training data under a parent's columns depends
     // only on the parent, so it is computed once per dimension here rather
-    // than once per word-length job (a num_wl-fold reduction of the
-    // projection_factors + GEMM work). All word-length jobs of a parent
+    // than once per config job (a num_cfg-fold reduction of the
+    // projection_factors + GEMM work). All config jobs of a parent
     // then read the shared matrix concurrently.
     std::vector<Matrix> residuals(parents.size());
     exec.for_each(0, parents.size(), [&](std::size_t parent_idx) {
@@ -139,18 +141,25 @@ std::vector<LinearProjectionDesign> OptimisationFramework::run(
     });
 
     exec.for_each(0, jobs, [&](std::size_t job) {
-      const std::size_t parent_idx = job / num_wl;
-      const int wl = settings_.wl_min + static_cast<int>(job % num_wl);
+      const std::size_t parent_idx = job / num_cfg;
+      const std::size_t cfg_idx = job % num_cfg;
+      const MultConfig& config = settings_.configs[cfg_idx];
       const LinearProjectionDesign& parent = parents[parent_idx];
       const Matrix& residual = residuals[parent_idx];
-      const CoeffPrior& prior = priors[job % num_wl];
+      const CoeffPrior& prior = priors[cfg_idx];
 
       GibbsSettings gibbs = settings_.gibbs;
-      gibbs.seed = hash_mix(settings_.gibbs.seed, static_cast<std::uint64_t>(d) << 32 | parent_idx,
-                            static_cast<std::uint64_t>(wl));
+      // Seeded by the config's grid resolution, not its list index, so
+      // reordering or widening the search list never reshuffles the chains
+      // of configurations that were already in it.
+      gibbs.seed = hash_mix(settings_.gibbs.seed,
+                            static_cast<std::uint64_t>(d) << 32 | parent_idx,
+                            hash_mix(static_cast<std::uint64_t>(config.wordlength),
+                                     static_cast<std::uint64_t>(config.arch),
+                                     static_cast<std::uint64_t>(config.pipeline_depth)));
       const GibbsResult sample = sample_projection(residual, prior, gibbs);
 
-      DesignColumn col = make_column(sample.lambda, wl);
+      DesignColumn col = make_column(sample.lambda, config);
       if (col.is_zero()) return;  // degenerate projection: drop candidate
 
       CandidateProjection cand;
@@ -163,7 +172,7 @@ std::vector<LinearProjectionDesign> OptimisationFramework::run(
 
       double area = 0.0;
       for (const auto& c : cand.design.columns)
-        area += area_.column_estimate(c.wordlength, static_cast<int>(p),
+        area += area_.column_estimate(c.config, static_cast<int>(p),
                                       settings_.input_wordlength);
       cand.area = area;
 

@@ -1,15 +1,18 @@
 // Algorithm 1 of the paper: the Linear Projection design optimisation
-// framework.
+// framework, widened so the multiplier configuration (architecture ×
+// word-length × pipeline depth) is the per-dimension decision variable.
 //
 // For each projected dimension d = 1..K, every carried candidate design is
-// extended by one column at every word-length in [wl_min, wl_max]: a prior
-// is formed from the word-length's error model at the target frequency
-// (Eq. 6), a projection vector is Gibbs-sampled from the residual data,
-// the area is estimated from the area model, and the candidate's MSE is
-// recomputed with least-squares factors. The candidates on the
-// area/MSE Pareto front are binned into Q equal-width MSE bins and the
-// least-MSE member of each bin survives to the next dimension. The final Q
-// candidates become the returned designs (Pareto-ordered by area).
+// extended by one column at every configuration in the search list: a
+// prior is formed from that configuration's own error model at the target
+// frequency (Eq. 6), a projection vector is Gibbs-sampled from the
+// residual data, the area is estimated from the per-configuration area
+// model, and the candidate's MSE is recomputed with least-squares
+// factors. The candidates on the area/MSE Pareto front are binned into Q
+// equal-width MSE bins and the least-MSE member of each bin survives to
+// the next dimension (the Pareto/binning step is unchanged from the
+// paper). The final Q candidates become the returned designs
+// (Pareto-ordered by area); their columns may mix configurations.
 #pragma once
 
 #include <cstdint>
@@ -27,16 +30,14 @@ namespace oclp {
 
 struct OptimisationSettings {
   int dims_k = 3;            ///< K
-  int wl_min = 3;            ///< word-length sweep (paper: 3..9)
-  int wl_max = 9;
+  /// Multiplier configurations each new column is tried at (the paper's
+  /// wl ∈ [3, 9] array sweep is mult_config_range(MultArch::Array, 3, 9)).
+  /// Every entry needs an error model and area coverage.
+  std::vector<MultConfig> configs = mult_config_range(MultArch::Array, 3, 9);
   double beta = 4.0;         ///< prior hyper-parameter
   double target_freq_mhz = 310.0;
   int q = 5;                 ///< designs carried between dimensions
   int input_wordlength = 9;  ///< data word-length (area/adder estimate)
-  /// Multiplier micro-architecture the designs are realised with; the
-  /// supplied error models and area model must have been characterised for
-  /// the same architecture.
-  MultArch arch = MultArch::Array;
   GibbsSettings gibbs;       ///< burn-in / samples / base seed
 };
 
@@ -59,15 +60,15 @@ std::vector<std::size_t> select_by_bins(const std::vector<CandidateProjection>& 
 class OptimisationFramework {
  public:
   /// `x_train` is the raw (uncentered) value-domain training data, P×N;
-  /// `models` maps every word-length in [wl_min, wl_max] to its error
-  /// model; `area` must cover the same word-lengths.
+  /// `models` maps every configuration in settings.configs to its error
+  /// model; `area` must cover the same configurations.
   OptimisationFramework(OptimisationSettings settings, Matrix x_train,
-                        std::map<int, ErrorModel> models, AreaModel area);
+                        ErrorModelMap models, AreaModel area);
 
-  /// Run Algorithm 1; returns up to Q designs sorted by area. Word-length
+  /// Run Algorithm 1; returns up to Q designs sorted by area. Config
   /// sweeps of all carried candidates are distributed per `exec` (the
   /// policy is also handed down to the residual GEMMs), defaulting to the
-  /// global pool. Run-invariant work is hoisted: one prior per word-length
+  /// global pool. Run-invariant work is hoisted: one prior per config
   /// for the whole run, one training-data residual per (dimension, parent).
   /// The designs are bitwise-independent of the policy: jobs write
   /// distinct candidate slots and each Gibbs chain is seeded per-job.
@@ -83,7 +84,7 @@ class OptimisationFramework {
   OptimisationSettings settings_;
   Matrix x_centered_;
   std::vector<double> mu_;
-  std::map<int, ErrorModel> models_;
+  ErrorModelMap models_;
   AreaModel area_;
 };
 

@@ -11,17 +11,18 @@ constexpr double kRidge = 1e-10;
 }
 
 LinearProjectionDesign make_klt_design(const Matrix& x_train, std::size_t k,
-                                       int wordlength, double target_freq_mhz,
+                                       const MultConfig& config,
+                                       double target_freq_mhz,
                                        int input_wordlength, const AreaModel& area,
-                                       const std::map<int, ErrorModel>* models) {
-  OCLP_CHECK(k >= 1 && wordlength >= 1);
+                                       const ErrorModelMap* models) {
+  OCLP_CHECK(k >= 1 && config.wordlength >= 1);
   const Matrix basis = klt_basis(x_train, k);
 
   LinearProjectionDesign design;
   design.target_freq_mhz = target_freq_mhz;
-  design.origin = "KLT wl=" + std::to_string(wordlength);
+  design.origin = "KLT " + to_string(config);
   for (std::size_t c = 0; c < k; ++c)
-    design.columns.push_back(make_column(basis.col(c), wordlength));
+    design.columns.push_back(make_column(basis.col(c), config));
 
   Matrix xc = x_train;
   center_rows(xc);
@@ -31,7 +32,7 @@ LinearProjectionDesign make_klt_design(const Matrix& x_train, std::size_t k,
 
   double total_area = 0.0;
   for (const auto& col : design.columns)
-    total_area += area.column_estimate(col.wordlength,
+    total_area += area.column_estimate(col.config,
                                        static_cast<int>(x_train.rows()),
                                        input_wordlength);
   design.area_estimate = total_area;
@@ -42,14 +43,14 @@ LinearProjectionDesign make_klt_design(const Matrix& x_train, std::size_t k,
 }
 
 std::vector<LinearProjectionDesign> make_klt_family(
-    const Matrix& x_train, std::size_t k, int wl_min, int wl_max,
+    const Matrix& x_train, std::size_t k, const std::vector<MultConfig>& configs,
     double target_freq_mhz, int input_wordlength, const AreaModel& area,
-    const std::map<int, ErrorModel>* models) {
-  OCLP_CHECK(wl_min >= 1 && wl_min <= wl_max);
+    const ErrorModelMap* models) {
+  OCLP_CHECK(!configs.empty());
   std::vector<LinearProjectionDesign> family;
-  family.reserve(static_cast<std::size_t>(wl_max - wl_min + 1));
-  for (int wl = wl_min; wl <= wl_max; ++wl)
-    family.push_back(make_klt_design(x_train, k, wl, target_freq_mhz,
+  family.reserve(configs.size());
+  for (const auto& config : configs)
+    family.push_back(make_klt_design(x_train, k, config, target_freq_mhz,
                                      input_wordlength, area, models));
   return family;
 }

@@ -13,20 +13,23 @@
 
 namespace oclp {
 
-/// A KLT design for one coefficient word-length: exact PCA basis of the
-/// training data, every column quantised to `wordlength` bits. Area and
-/// training MSE are filled; the predicted over-clocking variance is filled
-/// when `models` is non-null (the "extension of the existing methodology"
-/// used for the KLT predicted curves in Fig. 11).
+/// A KLT design for one multiplier configuration: exact PCA basis of the
+/// training data, every column quantised to the config's word-length and
+/// realised with the config's architecture/depth. Area and training MSE
+/// are filled; the predicted over-clocking variance is filled when
+/// `models` is non-null (the "extension of the existing methodology" used
+/// for the KLT predicted curves in Fig. 11).
 LinearProjectionDesign make_klt_design(const Matrix& x_train, std::size_t k,
-                                       int wordlength, double target_freq_mhz,
+                                       const MultConfig& config,
+                                       double target_freq_mhz,
                                        int input_wordlength, const AreaModel& area,
-                                       const std::map<int, ErrorModel>* models);
+                                       const ErrorModelMap* models);
 
-/// KLT designs across a word-length sweep (the baseline family of Fig. 11).
+/// KLT designs across a configuration sweep (the baseline family of
+/// Fig. 11; the paper's version is an array-only word-length sweep).
 std::vector<LinearProjectionDesign> make_klt_family(
-    const Matrix& x_train, std::size_t k, int wl_min, int wl_max,
+    const Matrix& x_train, std::size_t k, const std::vector<MultConfig>& configs,
     double target_freq_mhz, int input_wordlength, const AreaModel& area,
-    const std::map<int, ErrorModel>* models);
+    const ErrorModelMap* models);
 
 }  // namespace oclp

@@ -60,11 +60,10 @@ CircuitPlan actual_plan(const LinearProjectionDesign& design, const Device& devi
 ProjectionCircuit::ProjectionCircuit(const LinearProjectionDesign& design,
                                      const Device& device, const CircuitPlan& plan,
                                      int wl_x,
-                                     const std::map<int, ErrorModel>* models,
+                                     const ErrorModelMap* models,
                                      std::uint64_t clock_seed)
     : design_(design),
       wl_x_(wl_x),
-      ccm_(design.arch == MultArch::Ccm),
       models_(models),
       freq_mhz_(design.target_freq_mhz),
       jitter_sigma_ns_(plan.with_jitter ? device.config().jitter_sigma_ns : 0.0),
@@ -82,14 +81,14 @@ ProjectionCircuit::ProjectionCircuit(const LinearProjectionDesign& design,
     const DesignColumn& col = design.columns[kk];
     for (std::size_t pp = 0; pp < p; ++pp) {
       const auto& place = plan.mult_placements[kk * p + pp];
-      // A CCM bakes the coefficient into the netlist (only the x port
-      // remains an input), so the lowering is per-constant: any
+      // A CCM column bakes the coefficient into the netlist (only the x
+      // port remains an input), so the lowering is per-constant: any
       // coefficient change — a design hot-swap in particular — must come
       // back through here and pay a full re-lower of the cell.
-      Netlist nl = ccm_ ? make_ccm(col.coeffs[pp].magnitude, col.wordlength,
-                                   wl_x)
-                        : make_multiplier_arch(design.arch, col.wordlength,
-                                               wl_x);
+      Netlist nl = column_is_ccm(col)
+                       ? make_ccm_multiplier(col.config,
+                                             col.coeffs[pp].magnitude, wl_x)
+                       : make_multiplier(col.config, wl_x);
       auto delays = annotate_timing(nl, device, place);
       // IntegerExact: annotate_timing snaps onto the PsGrid, so the
       // integer settle kernel must lower — a failure here means a
@@ -108,23 +107,19 @@ void ProjectionCircuit::recompute_mean_correction() {
   if (models_ == nullptr) return;
   for (std::size_t kk = 0; kk < k; ++kk) {
     const DesignColumn& col = design_.columns[kk];
-    const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
-    const auto it = models_->find(col.wordlength);
+    const double scale = std::ldexp(1.0, col.wordlength() + wl_x_);
+    const auto it = models_->find(col.config);
     OCLP_CHECK_MSG(it != models_->end(),
-                   "no error model for word-length " << col.wordlength);
-    // A CCM datapath is corrected with the generic-multiplier model as a
-    // per-constant proxy, so the deployed coefficient must actually sit on
-    // the characterised (m, f) grid of its word-length — a swapped-in
-    // design with a key/model mismatch or an out-of-grid magnitude would
-    // otherwise read a row that was never measured. Reject at (re)lower
-    // time, naming the output dimension.
-    if (ccm_) {
-      OCLP_CHECK_MSG(
-          it->second.wordlength() == col.wordlength,
-          "CCM output dimension " << kk << ": error model keyed wl="
-                                  << col.wordlength
-                                  << " was characterised at wl="
-                                  << it->second.wordlength());
+                   "no error model for " << col.config);
+    // The map key promises the config, but the model carries its own tag —
+    // a mis-filed entry (characterised on one config, filed under another)
+    // must not correct this column's datapath.
+    it->second.require_config(col.config, "projection circuit");
+    // A CCM column's deployed coefficients must actually sit on the
+    // characterised (m, f) grid — a swapped-in design with an out-of-grid
+    // magnitude would otherwise read a row that was never measured.
+    // Reject at (re)lower time, naming the output dimension.
+    if (column_is_ccm(col)) {
       for (std::size_t pp = 0; pp < p; ++pp)
         OCLP_CHECK_MSG(
             col.coeffs[pp].magnitude < it->second.num_multiplicands(),
@@ -132,7 +127,7 @@ void ProjectionCircuit::recompute_mean_correction() {
                                     << ": coefficient magnitude "
                                     << col.coeffs[pp].magnitude
                                     << " outside the characterised wl="
-                                    << col.wordlength << " grid ("
+                                    << col.wordlength() << " grid ("
                                     << it->second.num_multiplicands()
                                     << " codes)");
     }
@@ -144,8 +139,7 @@ void ProjectionCircuit::recompute_mean_correction() {
   }
 }
 
-void ProjectionCircuit::set_error_models(
-    const std::map<int, ErrorModel>* models) {
+void ProjectionCircuit::set_error_models(const ErrorModelMap* models) {
   models_ = models;
   recompute_mean_correction();
 }
@@ -174,15 +168,16 @@ void ProjectionCircuit::project(const std::vector<std::uint32_t>& x_codes,
   y.assign(k, 0.0);
   for (std::size_t kk = 0; kk < k; ++kk) {
     const DesignColumn& col = design_.columns[kk];
-    const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
+    const bool ccm = column_is_ccm(col);
+    const double scale = std::ldexp(1.0, col.wordlength() + wl_x_);
     for (std::size_t pp = 0; pp < p; ++pp) {
       OverclockSim& sim = *sims_[kk * p + pp];
       in_.clear();
-      if (!ccm_) append_bits(in_, col.coeffs[pp].magnitude, col.wordlength);
+      if (!ccm) append_bits(in_, col.coeffs[pp].magnitude, col.wordlength());
       append_bits(in_, x_codes[pp], wl_x_);
       if (first_sample_) {
         std::vector<std::uint8_t> init;
-        if (!ccm_) append_bits(init, col.coeffs[pp].magnitude, col.wordlength);
+        if (!ccm) append_bits(init, col.coeffs[pp].magnitude, col.wordlength());
         append_bits(init, 0, wl_x_);
         sim.reset(init);
       }
@@ -241,16 +236,17 @@ void ProjectionCircuit::project_batch(
     for (std::size_t m = m0; m < m1; ++m) {
       const std::size_t kk = m / p, pp = m % p;
       const DesignColumn& col = design_.columns[kk];
-      const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
+      const bool ccm = column_is_ccm(col);
+      const double scale = std::ldexp(1.0, col.wordlength() + wl_x_);
       OverclockSim& sim = *sims_[m];
       // CCM netlists expose only the x port (the constant is baked in).
       const std::size_t cb =
-          ccm_ ? 0 : static_cast<std::size_t>(col.wordlength);
+          ccm ? 0 : static_cast<std::size_t>(col.wordlength());
       const std::size_t nin = cb + static_cast<std::size_t>(wl_x_);
 
       if (need_reset) {
         std::vector<std::uint8_t> init;
-        if (!ccm_) append_bits(init, col.coeffs[pp].magnitude, col.wordlength);
+        if (!ccm) append_bits(init, col.coeffs[pp].magnitude, col.wordlength());
         append_bits(init, 0, wl_x_);
         sim.reset(init);
       }
@@ -321,7 +317,8 @@ void ProjectionCircuit::project_settled(
     const std::size_t lanes = std::min<std::size_t>(64, batch.size() - base);
     for (std::size_t kk = 0; kk < k; ++kk) {
       const DesignColumn& col = design_.columns[kk];
-      const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
+      const bool ccm = column_is_ccm(col);
+      const double scale = std::ldexp(1.0, col.wordlength() + wl_x_);
       for (std::size_t pp = 0; pp < p; ++pp) {
         const CompiledNetlist& cnl = sims_[kk * p + pp]->compiled();
         lane_words_.assign(cnl.num_nets(), 0);
@@ -329,9 +326,9 @@ void ProjectionCircuit::project_settled(
         // are shared by every lane; streamed-operand bits carry one
         // request per lane.
         const std::size_t cb =
-            ccm_ ? 0 : static_cast<std::size_t>(col.wordlength);
-        if (!ccm_)
-          for (int b = 0; b < col.wordlength; ++b)
+            ccm ? 0 : static_cast<std::size_t>(col.wordlength());
+        if (!ccm)
+          for (int b = 0; b < col.wordlength(); ++b)
             if ((col.coeffs[pp].magnitude >> b) & 1u)
               lane_words_[static_cast<std::size_t>(cnl.input_net(
                   static_cast<std::size_t>(b)))] = ~std::uint64_t{0};
@@ -363,7 +360,7 @@ std::vector<double> ProjectionCircuit::project_exact(
   std::vector<double> y(dims_k(), 0.0);
   for (std::size_t kk = 0; kk < dims_k(); ++kk) {
     const DesignColumn& col = design_.columns[kk];
-    const double scale = std::ldexp(1.0, col.wordlength + wl_x_);
+    const double scale = std::ldexp(1.0, col.wordlength() + wl_x_);
     for (std::size_t pp = 0; pp < p; ++pp) {
       const double product = static_cast<double>(col.coeffs[pp].magnitude) *
                              static_cast<double>(x_codes[pp]);
@@ -376,7 +373,7 @@ std::vector<double> ProjectionCircuit::project_exact(
 double evaluate_hardware_mse(const LinearProjectionDesign& design,
                              const Matrix& x, const std::vector<double>& mu,
                              const Device& device, const CircuitPlan& plan,
-                             int wl_x, const std::map<int, ErrorModel>* models,
+                             int wl_x, const ErrorModelMap* models,
                              std::uint64_t clock_seed) {
   OCLP_CHECK(x.rows() == design.dims_p() && mu.size() == design.dims_p());
   const Matrix basis = design.basis();

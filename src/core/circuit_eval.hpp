@@ -50,10 +50,11 @@ CircuitPlan actual_plan(const LinearProjectionDesign& design, const Device& devi
 class ProjectionCircuit {
  public:
   /// `models` supplies the characterised mean-error constants the circuit
-  /// subtracts; pass nullptr to skip the correction (ablation).
+  /// subtracts, keyed by each column's multiplier configuration; pass
+  /// nullptr to skip the correction (ablation).
   ProjectionCircuit(const LinearProjectionDesign& design, const Device& device,
                     const CircuitPlan& plan, int wl_x,
-                    const std::map<int, ErrorModel>* models,
+                    const ErrorModelMap* models,
                     std::uint64_t clock_seed);
 
   std::size_t dims_p() const { return design_.dims_p(); }
@@ -115,11 +116,11 @@ class ProjectionCircuit {
 
   /// Swap the characterised error models at run time (a re-characterisation
   /// push): the mean-error corrections are recomputed from `models` at the
-  /// current nominal clock. `models` must cover every column word-length of
-  /// the design (or be nullptr to drop corrections) and must outlive the
+  /// current nominal clock. `models` must cover every column's multiplier
+  /// configuration (or be nullptr to drop corrections) and must outlive the
   /// circuit or the next swap — callers holding a SharedErrorModels
   /// snapshot satisfy this by keeping the shared_ptr alongside.
-  void set_error_models(const std::map<int, ErrorModel>* models);
+  void set_error_models(const ErrorModelMap* models);
 
   /// Nominal clock the circuit currently serves at (excludes any derate).
   double clock_mhz() const { return freq_mhz_; }
@@ -134,13 +135,17 @@ class ProjectionCircuit {
     std::vector<std::uint8_t> inputs;  ///< n × num_inputs row-major bits
   };
 
+  /// The architecture is per-column: a CCM column's sims bake the
+  /// coefficient into the netlist (only the x port remains an input, and a
+  /// coefficient change requires a full re-lower), while its neighbour
+  /// column may stream a generic array/Wallace multiplicand bus.
+  static bool column_is_ccm(const DesignColumn& col) {
+    return col.config.arch == MultArch::Ccm;
+  }
+
   LinearProjectionDesign design_;
   int wl_x_;
-  /// Per-constant CCM datapath: each sim's netlist has the coefficient
-  /// baked in, so its inputs are the wl_x x-bits only (no multiplicand
-  /// bus) and a coefficient change requires a full re-lower.
-  bool ccm_ = false;
-  const std::map<int, ErrorModel>* models_;          ///< may be nullptr
+  const ErrorModelMap* models_;                      ///< may be nullptr
   std::vector<std::unique_ptr<OverclockSim>> sims_;  ///< K·P, column-major
   std::vector<double> mean_correction_;              ///< per (k): Σ_p sign·mean
   double freq_mhz_;
@@ -169,7 +174,7 @@ class ProjectionCircuit {
 double evaluate_hardware_mse(const LinearProjectionDesign& design,
                              const Matrix& x, const std::vector<double>& mu,
                              const Device& device, const CircuitPlan& plan,
-                             int wl_x, const std::map<int, ErrorModel>* models,
+                             int wl_x, const ErrorModelMap* models,
                              std::uint64_t clock_seed);
 
 }  // namespace oclp

@@ -1,0 +1,89 @@
+#include "core/config_search.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace oclp {
+
+double config_rank_score(const ErrorModel& model, double freq_mhz) {
+  double total = 0.0;
+  const auto num_m = static_cast<std::uint32_t>(model.num_multiplicands());
+  for (std::uint32_t m = 0; m < num_m; ++m)
+    total += model.variance(m, freq_mhz);
+  return total / static_cast<double>(num_m);
+}
+
+ConfigSearchResult characterise_config_space(const Device& device,
+                                             const ConfigSearchSettings& settings,
+                                             const ExecPolicy& exec) {
+  OCLP_CHECK_MSG(!settings.configs.empty(),
+                 "config search needs at least one candidate");
+  OCLP_CHECK(settings.shortlist_per_wordlength >= 1);
+  OCLP_CHECK(settings.target_freq_mhz > 0.0);
+
+  // Candidates in deterministic MultConfig order, duplicates removed, so
+  // the shortlist never depends on how the caller assembled the list.
+  std::vector<MultConfig> candidates = settings.configs;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  ConfigSearchResult result;
+  for (const auto& config : candidates)
+    result.exhaustive_rows += std::size_t{1} << config.wordlength;
+
+  // Rank within each word-length group by the estimate's score.
+  struct Scored {
+    MultConfig config;
+    double score;
+  };
+  std::map<int, std::vector<Scored>> groups;
+  ErrorModelMap full;  // exhaustive mode keeps the full sweeps for reuse
+  for (const auto& config : candidates) {
+    double score;
+    if (settings.exhaustive) {
+      ErrorModel model = characterise_multiplier(device, config, settings.wl_x,
+                                                 settings.sweep, exec);
+      result.full_rows += model.num_multiplicands();
+      score = config_rank_score(model, settings.target_freq_mhz);
+      full.emplace(config, std::move(model));
+    } else {
+      const SurrogateSweep sur = characterise_multiplier_surrogate(
+          device, config, settings.wl_x, settings.sweep, settings.probe_stride,
+          exec);
+      result.surrogate_rows += sur.probed_rows;
+      score = config_rank_score(sur.model, settings.target_freq_mhz);
+    }
+    groups[config.wordlength].push_back(Scored{config, score});
+  }
+
+  for (auto& [wl, scored] : groups) {
+    (void)wl;
+    // Stable on the pre-sorted candidate order: score ties resolve to the
+    // smaller MultConfig, in both modes.
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.score < b.score;
+                     });
+    const std::size_t keep =
+        std::min(settings.shortlist_per_wordlength, scored.size());
+    for (std::size_t i = 0; i < keep; ++i)
+      result.shortlisted.push_back(scored[i].config);
+  }
+  std::sort(result.shortlisted.begin(), result.shortlisted.end());
+
+  // Full sweeps for the shortlist only (exhaustive mode already paid).
+  for (const auto& config : result.shortlisted) {
+    if (settings.exhaustive) {
+      result.models.emplace(config, std::move(full.at(config)));
+    } else {
+      ErrorModel model = characterise_multiplier(device, config, settings.wl_x,
+                                                 settings.sweep, exec);
+      result.full_rows += model.num_multiplicands();
+      result.models.emplace(config, std::move(model));
+    }
+  }
+  return result;
+}
+
+}  // namespace oclp

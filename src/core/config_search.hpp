@@ -1,0 +1,77 @@
+// Surrogate shortlisting over the widened configuration space.
+//
+// Promoting the multiplier architecture and pipeline depth to search
+// dimensions multiplies the characterisation bill: every configuration in
+// play needs its own full E(m, f) sweep (2^wl multiplicand rows × the
+// frequency grid × locations), and a CCM configuration needs a circuit
+// per constant on top. The shortlisting stage cuts that bill the way the
+// paper's own word-length table cuts synthesis runs — with a cheap model
+// of the expensive measurement:
+//
+//  1. every candidate configuration gets a *surrogate* sweep — only every
+//     probe_stride-th multiplicand row is simulated, the rest are
+//     interpolated (characterise_multiplier_surrogate);
+//  2. within each word-length group, candidates are ranked by the
+//     surrogate's mean error variance at the target frequency and the
+//     best `shortlist_per_wordlength` survive;
+//  3. only the shortlisted configurations get the full sweep, and only
+//     those models are returned — the optimisation framework never sees a
+//     config whose error model is interpolated.
+//
+// Grouping by word-length keeps the shortlist honest: word-length is the
+// area/accuracy trade Algorithm 1 must keep exploring, so the surrogate
+// only prunes *within* a word-length (array vs Wallace vs deeper
+// pipelines), never across the word-length axis itself.
+//
+// `exhaustive = true` bypasses the surrogate: every candidate is fully
+// swept and the ranking runs on the full models. When the surrogate ranks
+// the groups the same way the full models do, both modes return identical
+// model sets — the equivalence the sweep-savings test pins down.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "charlib/error_model.hpp"
+#include "charlib/sweep.hpp"
+#include "common/exec_policy.hpp"
+#include "fabric/device.hpp"
+
+namespace oclp {
+
+struct ConfigSearchSettings {
+  /// Candidate configurations (typically mult_config_range unions).
+  std::vector<MultConfig> configs;
+  int wl_x = 8;                  ///< streamed-data port width
+  SweepSettings sweep;           ///< shared sweep parameters
+  double target_freq_mhz = 310.0;  ///< ranking frequency
+  std::size_t probe_stride = 4;  ///< surrogate row stride
+  /// Configurations kept per word-length group after ranking.
+  std::size_t shortlist_per_wordlength = 1;
+  /// Skip the surrogate and fully sweep every candidate (reference mode).
+  bool exhaustive = false;
+};
+
+struct ConfigSearchResult {
+  /// Fully-swept error models of the shortlisted configurations — the map
+  /// Algorithm 1 consumes.
+  ErrorModelMap models;
+  /// The shortlist, in MultConfig order.
+  std::vector<MultConfig> shortlisted;
+  std::size_t surrogate_rows = 0;  ///< multiplicand rows spent on probes
+  std::size_t full_rows = 0;       ///< rows spent on full sweeps
+  /// Rows an exhaustive pass over every candidate would have spent —
+  /// the denominator of the sweep-savings claim.
+  std::size_t exhaustive_rows = 0;
+};
+
+/// Mean error variance at `freq_mhz` over the whole multiplicand axis —
+/// the scalar the shortlist ranks by (lower is better: less injected
+/// over-clocking noise at the target clock).
+double config_rank_score(const ErrorModel& model, double freq_mhz);
+
+ConfigSearchResult characterise_config_space(const Device& device,
+                                             const ConfigSearchSettings& settings,
+                                             const ExecPolicy& exec = {});
+
+}  // namespace oclp

@@ -15,10 +15,11 @@ bool DesignColumn::is_zero() const {
   return true;
 }
 
-DesignColumn make_column(const std::vector<double>& values, int wordlength) {
+DesignColumn make_column(const std::vector<double>& values,
+                         const MultConfig& config) {
   DesignColumn col;
-  col.wordlength = wordlength;
-  col.coeffs = quantize_vector(values, wordlength);
+  col.config = config;
+  col.coeffs = quantize_vector(values, config.wordlength);
   return col;
 }
 

@@ -1,6 +1,6 @@
 // A Linear Projection design: the quantised Λ matrix plus the hardware
-// metadata the framework attaches to it (per-column word-lengths, target
-// clock, estimated area, predicted error).
+// metadata the framework attaches to it (per-column multiplier
+// configurations, target clock, estimated area, predicted error).
 #pragma once
 
 #include <string>
@@ -12,23 +12,27 @@
 
 namespace oclp {
 
-/// One column of Λ (one projection vector), quantised to its word-length.
+/// One column of Λ (one projection vector), quantised to the word-length
+/// of its multiplier configuration. The configuration is per-column: a
+/// design may mix architectures and pipeline depths across its K output
+/// dimensions (the widened search space makes that the common case).
 struct DesignColumn {
-  int wordlength = 8;
+  MultConfig config{MultArch::Array, 8, 1};
   std::vector<QuantCoeff> coeffs;  ///< P entries
 
+  int wordlength() const { return config.wordlength; }
   /// Real values of the quantised coefficients.
   std::vector<double> values() const;
   /// True if every coefficient is zero (degenerate column).
   bool is_zero() const;
 };
 
-/// Build a column by quantising real values to `wordlength` bits.
-DesignColumn make_column(const std::vector<double>& values, int wordlength);
+/// Build a column by quantising real values to `config`'s word-length.
+DesignColumn make_column(const std::vector<double>& values,
+                         const MultConfig& config);
 
 struct LinearProjectionDesign {
   std::vector<DesignColumn> columns;  ///< K projection vectors
-  MultArch arch = MultArch::Array;    ///< multiplier micro-architecture
   double target_freq_mhz = 0.0;
   double area_estimate = 0.0;   ///< LEs (area model)
   double training_mse = 0.0;    ///< reconstruction MSE on training data

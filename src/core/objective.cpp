@@ -6,9 +6,7 @@ namespace oclp {
 
 double predicted_overclock_variance(const DesignColumn& column,
                                     const ErrorModel& model, double freq_mhz) {
-  OCLP_CHECK_MSG(model.wordlength() == column.wordlength,
-                 "error model wl " << model.wordlength() << " != column wl "
-                                   << column.wordlength);
+  model.require_config(column.config, "objective");
   double var = 0.0;
   for (const auto& q : column.coeffs)
     var += model.variance_value_units(q.magnitude, freq_mhz);
@@ -16,12 +14,12 @@ double predicted_overclock_variance(const DesignColumn& column,
 }
 
 double predicted_overclock_variance(const LinearProjectionDesign& design,
-                                    const std::map<int, ErrorModel>& models) {
+                                    const ErrorModelMap& models) {
   double total = 0.0;
   for (const auto& col : design.columns) {
-    const auto it = models.find(col.wordlength);
+    const auto it = models.find(col.config);
     OCLP_CHECK_MSG(it != models.end(),
-                   "no error model for word-length " << col.wordlength);
+                   "no error model for " << col.config);
     total += predicted_overclock_variance(col, it->second, design.target_freq_mhz);
   }
   return total;
@@ -34,7 +32,7 @@ double training_reconstruction_mse(const Matrix& basis, const Matrix& x_centered
 }
 
 double objective_T(const LinearProjectionDesign& design, const Matrix& x_centered,
-                   const std::map<int, ErrorModel>& models) {
+                   const ErrorModelMap& models) {
   const double mse = training_reconstruction_mse(design.basis(), x_centered);
   const double oc = predicted_overclock_variance(design, models);
   return mse + oc / static_cast<double>(design.dims_p());

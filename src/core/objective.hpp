@@ -20,13 +20,15 @@
 namespace oclp {
 
 /// Predicted var(ε_k) of one design column at `freq_mhz`: the sum over the
-/// column's P multipliers of E(m, f) in value units.
+/// column's P multipliers of E(m, f) in value units. The model must have
+/// been characterised for the column's exact multiplier configuration.
 double predicted_overclock_variance(const DesignColumn& column,
                                     const ErrorModel& model, double freq_mhz);
 
-/// Σ_k var(ε_k) over all columns; `models` maps word-length → error model.
+/// Σ_k var(ε_k) over all columns; `models` maps multiplier configuration →
+/// error model and must cover every column's configuration.
 double predicted_overclock_variance(const LinearProjectionDesign& design,
-                                    const std::map<int, ErrorModel>& models);
+                                    const ErrorModelMap& models);
 
 /// Reconstruction MSE of the quantised basis on (centered) training data:
 /// ||X − Λ(ΛᵀΛ)⁻¹ΛᵀX||²/(P·N). `x_centered` must have zero row means.
@@ -34,6 +36,6 @@ double training_reconstruction_mse(const Matrix& basis, const Matrix& x_centered
 
 /// Full per-element objective T for a design on centered training data.
 double objective_T(const LinearProjectionDesign& design, const Matrix& x_centered,
-                   const std::map<int, ErrorModel>& models);
+                   const ErrorModelMap& models);
 
 }  // namespace oclp

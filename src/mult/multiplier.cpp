@@ -1,9 +1,13 @@
 #include "mult/multiplier.hpp"
 
 #include <atomic>
+#include <ostream>
+#include <sstream>
 
 #include "common/rng.hpp"
+#include "mult/ccm.hpp"
 #include "mult/wallace.hpp"
+#include "netlist/pipeline.hpp"
 
 namespace oclp {
 
@@ -22,6 +26,57 @@ const char* mult_arch_name(MultArch arch) {
     case MultArch::Ccm: return "ccm";
   }
   return "?";
+}
+
+MultArch mult_arch_from_name(const std::string& name) {
+  for (MultArch arch : {MultArch::Array, MultArch::Wallace, MultArch::Ccm})
+    if (name == mult_arch_name(arch)) return arch;
+  OCLP_CHECK_MSG(false, "unknown multiplier architecture '" << name << "'");
+}
+
+std::string to_string(const MultConfig& config) {
+  std::ostringstream os;
+  os << config;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const MultConfig& config) {
+  return os << mult_arch_name(config.arch) << "/wl" << config.wordlength << "/p"
+            << config.pipeline_depth;
+}
+
+Netlist make_multiplier(const MultConfig& config, int wl_x) {
+  OCLP_CHECK_MSG(config.pipeline_depth >= 1,
+                 "pipeline depth must be >= 1 in " << config);
+  return pipeline_netlist(make_multiplier_arch(config.arch, config.wordlength, wl_x),
+                          config.pipeline_depth);
+}
+
+Netlist make_ccm_multiplier(const MultConfig& config, std::uint32_t constant,
+                            int wl_x) {
+  OCLP_CHECK_MSG(config.arch == MultArch::Ccm,
+                 "per-constant factory needs a CCM config, got " << config);
+  OCLP_CHECK_MSG(config.pipeline_depth >= 1,
+                 "pipeline depth must be >= 1 in " << config);
+  return pipeline_netlist(make_ccm(constant, config.wordlength, wl_x),
+                          config.pipeline_depth);
+}
+
+std::size_t multiplier_config_logic_elements(const MultConfig& config, int wl_x) {
+  OCLP_CHECK_MSG(config.arch != MultArch::Ccm,
+                 "CCM logic elements are per-constant; sample constants via "
+                 "the area model instead of " << config);
+  return make_multiplier(config, wl_x).logic_elements();
+}
+
+std::vector<MultConfig> mult_config_range(MultArch arch, int wl_min, int wl_max,
+                                          const std::vector<int>& depths) {
+  OCLP_CHECK(wl_min >= 1 && wl_min <= wl_max && !depths.empty());
+  std::vector<MultConfig> configs;
+  configs.reserve(static_cast<std::size_t>(wl_max - wl_min + 1) * depths.size());
+  for (int wl = wl_min; wl <= wl_max; ++wl)
+    for (int depth : depths) configs.push_back(MultConfig{arch, wl, depth});
+  return configs;
 }
 
 Netlist make_multiplier_arch(MultArch arch, int wl_a, int wl_b) {

@@ -11,6 +11,8 @@
 //     higher clocks (Fig. 5's dark rows).
 #pragma once
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "fabric/device.hpp"
@@ -47,12 +49,69 @@ Netlist make_multiplier(int wl_a, int wl_b);
 enum class MultArch { Array, Wallace, Ccm };
 
 const char* mult_arch_name(MultArch arch);
+/// Inverse of mult_arch_name; throws on an unknown name (used by the
+/// error-model CSV loader).
+MultArch mult_arch_from_name(const std::string& name);
 
 /// Architecture-dispatching factory for the *generic* (two-operand)
 /// multipliers. MultArch::Ccm has no generic netlist — its circuit depends
 /// on the coefficient value and is lowered per coefficient via make_ccm
 /// (mult/ccm.hpp) — so requesting it here fails loudly.
 Netlist make_multiplier_arch(MultArch arch, int wl_a, int wl_b);
+
+/// One point of the widened design space Algorithm 1 searches over: a
+/// multiplier micro-architecture at a coefficient word-length with a
+/// register pipeline depth (1 = purely combinational). This is the value
+/// type threaded through characterisation sweeps, error models, area
+/// models, priors, the optimiser's per-dimension decision variable and the
+/// serving/swap layers — nothing below the netlist builders assumes
+/// "array at word-length wl" any more.
+struct MultConfig {
+  MultArch arch = MultArch::Array;
+  int wordlength = 8;      ///< coefficient (multiplicand) word-length
+  int pipeline_depth = 1;  ///< PipeReg stages (see netlist/pipeline.hpp)
+
+  friend bool operator==(const MultConfig& a, const MultConfig& b) {
+    return a.arch == b.arch && a.wordlength == b.wordlength &&
+           a.pipeline_depth == b.pipeline_depth;
+  }
+  friend bool operator!=(const MultConfig& a, const MultConfig& b) {
+    return !(a == b);
+  }
+  /// Strict weak order for map keys: wordlength, then arch, then depth —
+  /// iteration groups per-wordlength variants together, which the config
+  /// shortlisting relies on.
+  friend bool operator<(const MultConfig& a, const MultConfig& b) {
+    if (a.wordlength != b.wordlength) return a.wordlength < b.wordlength;
+    if (a.arch != b.arch) return static_cast<int>(a.arch) < static_cast<int>(b.arch);
+    return a.pipeline_depth < b.pipeline_depth;
+  }
+};
+
+/// "array/wl8/p1" — the canonical spelling used in messages and artifacts.
+std::string to_string(const MultConfig& config);
+std::ostream& operator<<(std::ostream& os, const MultConfig& config);
+
+/// Unified config factory for the generic (coefficient-agnostic)
+/// architectures: the architecture netlist at config.wordlength × wl_x,
+/// pipelined to config.pipeline_depth. Throws for Ccm (coefficient-
+/// dependent; use make_ccm_multiplier).
+Netlist make_multiplier(const MultConfig& config, int wl_x);
+
+/// Per-constant factory for MultConfig{Ccm, ...}: the shift-add network of
+/// `constant`, pipelined to config.pipeline_depth.
+Netlist make_ccm_multiplier(const MultConfig& config, std::uint32_t constant,
+                            int wl_x);
+
+/// Logic elements of the generic config against a wl_x-bit input (includes
+/// pipeline registers — pipelining costs area). Throws for Ccm, whose LE
+/// count is per-constant (the area model samples constants instead).
+std::size_t multiplier_config_logic_elements(const MultConfig& config, int wl_x);
+
+/// Convenience grid: every wordlength in [wl_min, wl_max] crossed with
+/// `depths` for one architecture, in map order.
+std::vector<MultConfig> mult_config_range(MultArch arch, int wl_min, int wl_max,
+                                          const std::vector<int>& depths = {1});
 
 /// Test hook: process-wide count of make_multiplier_arch() invocations.
 /// Lets tests assert that hot paths build each DUT netlist exactly once.

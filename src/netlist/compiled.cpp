@@ -209,11 +209,14 @@ CompiledNetlist CompiledNetlist::compile(const Netlist& nl,
     if (s < static_cast<std::int32_t>(ni)) return static_cast<std::int32_t>(2 + s);
     return c.cell_net(static_cast<std::size_t>(compiled_id[cell_of[s]]));
   };
+  c.is_reg_.resize(nc);
   for (std::size_t ki = 0; ki < kept.size(); ++ki) {
     if (!live[ki]) continue;
     const auto ci = static_cast<std::size_t>(compiled_id[ki]);
     c.tt_[ci] = kept[ki].tt;
     c.orig_cell_[ci] = kept[ki].orig;
+    c.is_reg_[ci] = cells[kept[ki].orig].type == CellType::PipeReg ? 1 : 0;
+    if (c.is_reg_[ci]) c.has_regs_ = true;
     for (int s = 0; s < 3; ++s) c.fanin_[3 * ci + static_cast<std::size_t>(s)] = map_slot(kept[ki].slot[s]);
   }
   c.stats_.compiled_cells = nc;

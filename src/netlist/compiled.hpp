@@ -157,6 +157,13 @@ class CompiledNetlist {
   const std::vector<std::uint8_t>& truth_tables() const { return tt_; }
   /// Original cell index compiled cell ci came from.
   std::size_t orig_cell(std::size_t ci) const { return orig_cell_[ci]; }
+  /// True if compiled cell ci is a pipeline register (PipeReg).
+  bool cell_is_reg(std::size_t ci) const { return is_reg_[ci] != 0; }
+  const std::vector<std::uint8_t>& reg_flags() const { return is_reg_; }
+  /// True if any compiled cell is a pipeline register. Reg-free netlists
+  /// keep the exact single-track settle kernel; reg-bearing ones get the
+  /// two-track (stage-local + carried) semantics.
+  bool has_registers() const { return has_regs_; }
   /// Compiled cells of level l occupy [level_begin(l), level_begin(l+1)).
   std::size_t level_begin(std::size_t l) const { return level_begin_[l]; }
 
@@ -211,6 +218,8 @@ class CompiledNetlist {
   std::vector<std::uint8_t> tt_;        ///< per-cell truth table
   std::vector<std::int32_t> fanin_;     ///< 3 per cell, flattened
   std::vector<std::size_t> orig_cell_;  ///< per-cell original index
+  std::vector<std::uint8_t> is_reg_;    ///< per-cell PipeReg flag
+  bool has_regs_ = false;
   std::vector<std::size_t> level_begin_;
   std::vector<std::int32_t> out_net_;
   std::vector<std::int32_t> alias_;     ///< original net → compiled net

@@ -11,6 +11,7 @@ int cell_arity(CellType t) {
       return 0;
     case CellType::Buf:
     case CellType::Not:
+    case CellType::PipeReg:
       return 1;
     case CellType::And2:
     case CellType::Or2:
@@ -44,6 +45,7 @@ const char* cell_name(CellType t) {
     case CellType::Maj3: return "MAJ3";
     case CellType::Xor3: return "XOR3";
     case CellType::Mux2: return "MUX2";
+    case CellType::PipeReg: return "PIPEREG";
   }
   return "?";
 }
@@ -64,6 +66,7 @@ bool cell_eval(CellType t, bool a, bool b, bool c) {
     case CellType::Maj3: return (a && b) || (a && c) || (b && c);
     case CellType::Xor3: return (a != b) != c;
     case CellType::Mux2: return c ? b : a;
+    case CellType::PipeReg: return a;
   }
   return false;
 }

@@ -35,6 +35,10 @@ enum class CellType : std::uint8_t {
   Maj3,     ///< majority(a, b, c) — full-adder carry
   Xor3,     ///< a ^ b ^ c — full-adder sum
   Mux2,     ///< s ? b : a  (inputs ordered a, b, s)
+  PipeReg,  ///< pipeline register: identity function, one LE, normal
+            ///< annotated delay (clk-to-q + stage routing). Not free, so
+            ///< it is never elided by compilation; the timing simulation
+            ///< gives it restart semantics (see overclock_sim.hpp).
 };
 
 /// Number of inputs a cell type consumes.
@@ -107,6 +111,7 @@ class NetlistBuilder {
   std::int32_t const0();
   std::int32_t const1();
   std::int32_t not_(std::int32_t a) { return add_cell(CellType::Not, a); }
+  std::int32_t reg_(std::int32_t a) { return add_cell(CellType::PipeReg, a); }
   std::int32_t and_(std::int32_t a, std::int32_t b) { return add_cell(CellType::And2, a, b); }
   std::int32_t or_(std::int32_t a, std::int32_t b) { return add_cell(CellType::Or2, a, b); }
   std::int32_t xor_(std::int32_t a, std::int32_t b) { return add_cell(CellType::Xor2, a, b); }

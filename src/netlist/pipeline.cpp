@@ -1,0 +1,76 @@
+#include "netlist/pipeline.hpp"
+
+#include <algorithm>
+
+namespace oclp {
+
+Netlist pipeline_netlist(const Netlist& nl, int depth) {
+  OCLP_CHECK_MSG(depth >= 1, "pipeline depth must be >= 1, got " << depth);
+  if (depth == 1) return nl;
+
+  const auto lvl = nl.levels();
+  int lmax = 0;
+  for (int l : lvl) lmax = std::max(lmax, l);
+  if (lmax == 0) return nl;
+
+  // Balanced cuts: stage s covers levels (s*cut, (s+1)*cut]. A netlist
+  // shallower than the requested depth gets one stage per level.
+  const int stages = std::min(depth, lmax);
+  const int cut = (lmax + stages - 1) / stages;
+  auto stage_of = [&](std::int32_t net) {
+    const int l = lvl[net];
+    return l == 0 ? 0 : std::min(stages - 1, (l - 1) / cut);
+  };
+
+  NetlistBuilder b;
+  constexpr std::int32_t kUnset = -1;
+  // staged[net][s] = net id in the rebuilt netlist carrying `net`'s value
+  // into stage s (registered stage_of(net) .. s-1 times).
+  std::vector<std::vector<std::int32_t>> staged(
+      nl.num_nets(), std::vector<std::int32_t>(static_cast<std::size_t>(stages), kUnset));
+  std::vector<std::uint8_t> is_const(nl.num_nets(), 0);
+
+  const auto in_nets = b.add_inputs(nl.num_inputs());
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+    staged[i][0] = in_nets[i];
+
+  auto at_stage = [&](std::int32_t net, int s) -> std::int32_t {
+    if (is_const[net]) return staged[net][static_cast<std::size_t>(stage_of(net))];
+    auto& row = staged[net];
+    int s0 = s;
+    while (row[static_cast<std::size_t>(s0)] == kUnset) --s0;
+    for (int t = s0 + 1; t <= s; ++t)
+      row[static_cast<std::size_t>(t)] = b.reg_(row[static_cast<std::size_t>(t - 1)]);
+    return row[static_cast<std::size_t>(s)];
+  };
+
+  for (std::size_t i = 0; i < nl.cells().size(); ++i) {
+    const Cell& c = nl.cells()[i];
+    const std::int32_t out = nl.cell_output_net(i);
+    const int s = stage_of(out);
+    if (c.type == CellType::Const0 || c.type == CellType::Const1) {
+      staged[out][static_cast<std::size_t>(s)] = b.add_cell(c.type);
+      is_const[out] = 1;
+      continue;
+    }
+    const int arity = cell_arity(c.type);
+    std::array<std::int32_t, 3> in{-1, -1, -1};
+    for (int k = 0; k < arity; ++k) in[k] = at_stage(c.in[k], s);
+    staged[out][static_cast<std::size_t>(s)] = b.add_cell(c.type, in[0], in[1], in[2]);
+  }
+
+  std::vector<std::int32_t> outs;
+  outs.reserve(nl.outputs().size());
+  for (std::int32_t o : nl.outputs()) outs.push_back(at_stage(o, stages - 1));
+  b.mark_outputs(outs);
+  return b.build();
+}
+
+std::size_t pipeline_register_count(const Netlist& nl) {
+  std::size_t n = 0;
+  for (const auto& c : nl.cells())
+    if (c.type == CellType::PipeReg) ++n;
+  return n;
+}
+
+}  // namespace oclp

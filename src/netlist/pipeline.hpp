@@ -1,0 +1,30 @@
+// Pipelining transform: cut a combinational netlist into `depth` register
+// stages of roughly equal logic depth.
+//
+// Every net whose producer sits in an earlier stage than a consumer is
+// carried across the boundary through a chain of `PipeReg` cells (one per
+// stage crossed), so each register stage only contains combinational paths
+// from one cut to the next. Registers are identity functions, so the
+// settled output values of the pipelined netlist are bitwise identical to
+// the original — only timing (per-stage critical paths, and hence Fmax)
+// changes. Constants are never registered: they are settled by definition
+// and the compiler would fold the registers away anyway.
+//
+// Outputs are registered through to the final stage so every output is
+// produced by stage `depth - 1`; the transform therefore adds `depth - 1`
+// cycles of latency, which the steady-state streaming timing model treats
+// as invisible (see overclock_sim.hpp).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace oclp {
+
+/// Pipeline `nl` into `depth` stages. depth == 1 returns the netlist
+/// unchanged; depth greater than the logic depth is clamped to it.
+Netlist pipeline_netlist(const Netlist& nl, int depth);
+
+/// Number of PipeReg cells in a netlist (0 for purely combinational).
+std::size_t pipeline_register_count(const Netlist& nl);
+
+}  // namespace oclp

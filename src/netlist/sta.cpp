@@ -22,10 +22,22 @@ StaResult static_timing(const Netlist& nl, const std::vector<double>& cell_delay
 
   std::vector<double> arr(cnl.num_nets(), 0.0);
   const std::size_t base = 2 + cnl.num_inputs();
+  double stage_worst = 0.0;
+  std::int32_t stage_net = -1;
   for (std::size_t ci = 0; ci < cnl.num_cells(); ++ci) {
     double a = 0.0;
     for (int k = 0; k < 3; ++k)  // sentinel/unused slots arrive at 0
       a = std::max(a, arr[cnl.fanin(ci, k)]);
+    if (cnl.cell_is_reg(ci)) {
+      // Register: the fanin arrival ends its stage's path, and the output
+      // re-launches at the register's own delay.
+      if (a > stage_worst) {
+        stage_worst = a;
+        stage_net = cnl.cell_net(ci);
+      }
+      arr[base + ci] = delay[ci];
+      continue;
+    }
     arr[base + ci] = a + delay[ci];
   }
 
@@ -37,6 +49,17 @@ StaResult static_timing(const Netlist& nl, const std::vector<double>& cell_delay
     if (res.arrival_ns[o] > res.critical_path_ns) {
       res.critical_path_ns = res.arrival_ns[o];
       res.critical_output = o;
+    }
+  }
+  if (stage_worst > res.critical_path_ns) {
+    res.critical_path_ns = stage_worst;
+    // Map the compiled reg net back to an original net id: regs are never
+    // elided, so some original net aliases to it.
+    for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+      if (cnl.alias_of(static_cast<std::int32_t>(n)) == stage_net) {
+        res.critical_output = static_cast<std::int32_t>(n);
+        break;
+      }
     }
   }
   return res;

@@ -18,12 +18,21 @@ namespace oclp {
 /// Result of a timing pass.
 struct StaResult {
   std::vector<double> arrival_ns;  ///< per-net settled arrival time
-  double critical_path_ns = 0.0;   ///< max arrival over the output nets
-  std::int32_t critical_output = -1;  ///< output net achieving the max
+  double critical_path_ns = 0.0;   ///< max arrival over all path endpoints
+  /// Net achieving the max: an output net, or a PipeReg's output net when
+  /// an interior pipeline stage owns the critical path.
+  std::int32_t critical_output = -1;
 };
 
 /// arrival(net) = cell_delay + max(arrival(fanins)); inputs arrive at 0.
 /// `cell_delay_ns` has one entry per cell.
+///
+/// Pipeline registers are timing endpoints: the arrival at a PipeReg's
+/// fanin closes that stage's path (it competes for critical_path_ns) and
+/// the register's output re-launches at the register's own delay
+/// (clk-to-q + stage routing). The critical path of a pipelined netlist is
+/// therefore the worst *stage*, so fmax_mhz(critical_path_ns) is the
+/// pipelined Fmax.
 StaResult static_timing(const Netlist& nl, const std::vector<double>& cell_delay_ns);
 
 /// Max frequency in MHz for a given critical path.

@@ -38,13 +38,14 @@ ProjectionFleet::ProjectionFleet(const LinearProjectionDesign& design,
   OCLP_CHECK(cfg.recheck_period_ms >= 0.0);
 
   // The probe's focus list: the coefficient magnitudes actually deployed,
-  // grouped by column word-length (one characterisation circuit per
-  // distinct word-length).
+  // grouped by column multiplier configuration (one characterisation
+  // circuit per distinct configuration — a mixed-architecture design
+  // probes each architecture's own error surface).
   for (const auto& col : design_.columns) {
-    auto& codes = design_codes_[col.wordlength];
+    auto& codes = design_codes_[col.config];
     for (const auto& c : col.coeffs) codes.push_back(c.magnitude);
   }
-  for (auto& [wl, codes] : design_codes_) {
+  for (auto& [config, codes] : design_codes_) {
     std::sort(codes.begin(), codes.end());
     codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
   }
@@ -63,33 +64,33 @@ ProjectionFleet::ProjectionFleet(const LinearProjectionDesign& design,
     die->seed = die->device.die_seed();
 
     // Characterise this die at its own silicon: compile one circuit per
-    // word-length, probe the deployed codes (plus a stride slice) over the
-    // grid, and take the die's error-free fmax as the worst word-length's.
+    // multiplier configuration, probe the deployed codes (plus a stride
+    // slice) over the grid, and take the die's error-free fmax as the
+    // worst configuration's.
     double fb = 0.0;
     bool first = true;
     SharedErrorModels::Map models;
-    for (const auto& [wl, codes] : design_codes_) {
+    for (const auto& [config, codes] : design_codes_) {
       CharCircuitConfig ccfg;
-      ccfg.wl_m = wl;
+      ccfg.mult = config;
       ccfg.wl_x = cfg.wl_x;
-      ccfg.arch = design_.arch;
       ccfg.with_jitter = cfg.with_jitter;
       die->char_circuits.emplace(
-          wl, std::make_unique<CharacterisationCircuit>(
-                  ccfg, die->device, cfg.char_placement));
+          config, std::make_unique<CharacterisationCircuit>(
+                      ccfg, die->device, cfg.char_placement));
 
-      ErrorModel model(wl, cfg.wl_x, char_grid_);
+      ErrorModel model(config, cfg.wl_x, char_grid_);
       SubsweepSettings probe;
       probe.multiplicands = codes;
       probe.m_stride = cfg.char_m_stride;
       probe.samples_per_point = cfg.char_samples;
       probe.stream_seed = hash_mix(cfg.seed, i, 0xC0DE5ULL);
-      const auto report =
-          recharacterise_multiplier(*die->char_circuits.at(wl), model, probe);
+      const auto report = recharacterise_multiplier(
+          *die->char_circuits.at(config), model, probe);
       fb = first ? report.error_free_fmax_mhz
                  : std::min(fb, report.error_free_fmax_mhz);
       first = false;
-      models.emplace(wl, std::move(model));
+      models.emplace(config, std::move(model));
     }
     OCLP_CHECK_MSG(fb > 0.0, "die seed "
                                  << die->seed
@@ -200,27 +201,26 @@ FleetSwapReport ProjectionFleet::swap_design(const LinearProjectionDesign& next,
   // while coefficients move under it.
   std::lock_guard cycle_lock(recheck_mutex_);
 
-  // The incoming coefficients, grouped by column word-length — every
-  // word-length must already have a characterisation circuit (and so an
-  // error surface) on every die, or some die would serve an unmodelled
-  // datapath. The per-coefficient grid membership is enforced again at
-  // lowering time by each die's server (CCM guard in particular).
-  std::map<int, std::vector<std::uint32_t>> next_codes;
+  // The incoming coefficients, grouped by column multiplier configuration
+  // — every configuration must already have a characterisation circuit
+  // (and so an error surface) on every die, or some die would serve an
+  // unmodelled datapath. The per-coefficient grid membership is enforced
+  // again at lowering time by each die's server (CCM guard in particular).
+  std::map<MultConfig, std::vector<std::uint32_t>> next_codes;
   for (const auto& col : next.columns) {
-    auto& codes = next_codes[col.wordlength];
+    auto& codes = next_codes[col.config];
     for (const auto& c : col.coeffs) codes.push_back(c.magnitude);
   }
-  for (auto& [wl, codes] : next_codes) {
+  for (auto& [config, codes] : next_codes) {
     std::sort(codes.begin(), codes.end());
     codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
     for (std::size_t i = 0; i < dies_.size(); ++i)
-      OCLP_CHECK_MSG(dies_[i]->char_circuits.count(wl) != 0,
+      OCLP_CHECK_MSG(dies_[i]->char_circuits.count(config) != 0,
                      "fleet swap_design: die " << i << " (seed "
                                                << dies_[i]->seed
                                                << ") has no characterised "
                                                   "error surface for "
-                                                  "word-length "
-                                               << wl);
+                                               << config);
   }
 
   FleetSwapReport report;
@@ -263,7 +263,7 @@ SubsweepReport ProjectionFleet::recharacterise(std::size_t die_index) {
   SubsweepReport aggregate;
   double fb = 0.0;
   bool first = true;
-  for (const auto& [wl, codes] : design_codes_) {
+  for (const auto& [config, codes] : design_codes_) {
     SubsweepSettings probe;
     probe.multiplicands = codes;
     probe.m_stride = cfg_.recheck_m_stride;
@@ -271,8 +271,8 @@ SubsweepReport ProjectionFleet::recharacterise(std::size_t die_index) {
     probe.samples_per_point = cfg_.recheck_samples;
     probe.stream_seed = hash_mix(cfg_.seed, die_index, die.recheck_phase);
     probe.timing_derate = die.derate.load(std::memory_order_relaxed);
-    const auto report = recharacterise_multiplier(*die.char_circuits.at(wl),
-                                                  next.at(wl), probe);
+    const auto report = recharacterise_multiplier(
+        *die.char_circuits.at(config), next.at(config), probe);
     aggregate.probed += report.probed;
     aggregate.skipped_freqs += report.skipped_freqs;
     fb = first ? report.error_free_fmax_mhz
@@ -349,7 +349,7 @@ const ProjectionServer& ProjectionFleet::server(std::size_t die) const {
   return *dies_[die]->server;
 }
 
-std::shared_ptr<const std::map<int, ErrorModel>> ProjectionFleet::die_models(
+std::shared_ptr<const ErrorModelMap> ProjectionFleet::die_models(
     std::size_t die) const {
   OCLP_CHECK(die < dies_.size());
   return dies_[die]->models.load();

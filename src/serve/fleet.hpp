@@ -141,10 +141,10 @@ class ProjectionFleet {
   void set_die_drift(std::size_t die, double derate);
 
   /// Staged fleet-wide hot-swap onto `next` (same P and K as the serving
-  /// design; every column word-length must already be characterised on
-  /// every die — the probe circuits and error surfaces are per
-  /// word-length, so a swap within the characterised set needs no
-  /// re-characterisation). The canary die swaps first — its Shadow phase
+  /// design; every column multiplier configuration must already be
+  /// characterised on every die — the probe circuits and error surfaces
+  /// are per configuration, so a swap within the characterised set needs
+  /// no re-characterisation). The canary die swaps first — its Shadow phase
   /// is the bake — and an abort there stops the rollout before any
   /// sibling is touched; siblings then swap in die order, each against
   /// its own die's current model snapshot. Holds the re-characterisation
@@ -176,7 +176,7 @@ class ProjectionFleet {
   const ProjectionServer& server(std::size_t die) const;
 
   /// The die's currently published error-model snapshot.
-  std::shared_ptr<const std::map<int, ErrorModel>> die_models(
+  std::shared_ptr<const ErrorModelMap> die_models(
       std::size_t die) const;
 
  private:
@@ -184,8 +184,10 @@ class ProjectionFleet {
     std::uint64_t seed = 0;
     Device device;
     /// One compiled characterisation circuit per distinct column
-    /// word-length, built once and re-probed for the fleet's lifetime.
-    std::map<int, std::unique_ptr<CharacterisationCircuit>> char_circuits;
+    /// multiplier configuration, built once and re-probed for the fleet's
+    /// lifetime.
+    std::map<MultConfig, std::unique_ptr<CharacterisationCircuit>>
+        char_circuits;
     SharedErrorModels models;
     double error_free_fmax_mhz = 0.0;  ///< construction-time fB
     double f_target_mhz = 0.0;
@@ -205,9 +207,9 @@ class ProjectionFleet {
   FleetConfig cfg_;
   LinearProjectionDesign design_;
   std::vector<double> char_grid_;
-  /// Design coefficient magnitudes per column word-length (the probe's
-  /// focus list).
-  std::map<int, std::vector<std::uint32_t>> design_codes_;
+  /// Design coefficient magnitudes per column multiplier configuration
+  /// (the probe's focus list).
+  std::map<MultConfig, std::vector<std::uint32_t>> design_codes_;
 
   std::vector<std::unique_ptr<Die>> dies_;
   HeadroomRouter router_;

@@ -23,7 +23,7 @@ LinearProjectionDesign retargeted(LinearProjectionDesign design, double freq) {
 ProjectionServer::ProjectionServer(const LinearProjectionDesign& design,
                                    const Device& device, const CircuitPlan& plan,
                                    int wl_x,
-                                   const std::map<int, ErrorModel>* models,
+                                   const ErrorModelMap* models,
                                    const ServeConfig& cfg,
                                    ResultCallback on_result)
     : cfg_(cfg),
@@ -131,7 +131,7 @@ double ProjectionServer::timing_derate() const {
 }
 
 void ProjectionServer::swap_error_models(
-    std::shared_ptr<const std::map<int, ErrorModel>> models) {
+    std::shared_ptr<const ErrorModelMap> models) {
   std::lock_guard lock(replica_mutex_);
   swapped_models_ = std::move(models);
   ++models_generation_;
@@ -139,7 +139,7 @@ void ProjectionServer::swap_error_models(
 
 SwapReport ProjectionServer::swap_design(
     const LinearProjectionDesign& next,
-    std::shared_ptr<const std::map<int, ErrorModel>> models,
+    std::shared_ptr<const ErrorModelMap> models,
     const SwapConfig& scfg) {
   std::lock_guard serialise(swap_mutex_);
   DesignSwapper swapper(*this, scfg);
@@ -153,7 +153,7 @@ std::uint64_t ProjectionServer::design_generation() const {
 
 std::vector<std::unique_ptr<ProjectionServer::Replica>>
 ProjectionServer::lower_candidate(const LinearProjectionDesign& next,
-                                  const std::map<int, ErrorModel>* models) const {
+                                  const ErrorModelMap* models) const {
   // Same fabric locations, same per-worker clock seeds, same operating
   // point as the constructor — a flipped-in replica is indistinguishable
   // from a cold-constructed one, register state included (the Shadow
@@ -173,7 +173,7 @@ ProjectionServer::lower_candidate(const LinearProjectionDesign& next,
 
 ProjectionCircuit ProjectionServer::make_shadow(
     const LinearProjectionDesign& next,
-    const std::map<int, ErrorModel>* models) const {
+    const ErrorModelMap* models) const {
   return ProjectionCircuit(retargeted(next, cfg_.governor.f_target_mhz),
                            device_, plan_, wl_x_, models,
                            hash_mix(cfg_.seed, 0xA110CULL, 0x5AAD03ULL));
@@ -214,7 +214,7 @@ void ProjectionServer::flip_if_stale_locked(
 
 void ProjectionServer::publish_design(
     const LinearProjectionDesign& next,
-    std::shared_ptr<const std::map<int, ErrorModel>> models,
+    std::shared_ptr<const ErrorModelMap> models,
     std::vector<std::unique_ptr<Replica>> fresh) {
   OCLP_CHECK(fresh.size() == cfg_.workers);
   (void)next;  // shape already validated; replicas carry the lowering

@@ -112,7 +112,7 @@ class ProjectionServer {
   /// cfg.workers > 1.
   ProjectionServer(const LinearProjectionDesign& design, const Device& device,
                    const CircuitPlan& plan, int wl_x,
-                   const std::map<int, ErrorModel>* models,
+                   const ErrorModelMap* models,
                    const ServeConfig& cfg, ResultCallback on_result);
   ~ProjectionServer();
 
@@ -144,7 +144,7 @@ class ProjectionServer {
   /// has moved off it — no torn reads mid-batch). The map must cover every
   /// column word-length of the design; nullptr drops corrections.
   /// Thread-safe.
-  void swap_error_models(std::shared_ptr<const std::map<int, ErrorModel>> models);
+  void swap_error_models(std::shared_ptr<const ErrorModelMap> models);
 
   /// Hot-swap the serving datapath onto `next` without draining traffic:
   /// Lower → Shadow → Flip → Retire (serve/swap.hpp has the state
@@ -159,7 +159,7 @@ class ProjectionServer {
   /// is installed. Swaps are serialised; thread-safe against everything
   /// else.
   SwapReport swap_design(const LinearProjectionDesign& next,
-                         std::shared_ptr<const std::map<int, ErrorModel>> models,
+                         std::shared_ptr<const ErrorModelMap> models,
                          const SwapConfig& scfg = SwapConfig());
 
   /// Generation of the design the replicas serve (0 until the first
@@ -202,7 +202,7 @@ class ProjectionServer {
     double serve_derate = 1.0;
     // Last model set applied to this replica: the shared_ptr keeps the map
     // alive for as long as `serve` corrects with it (see swap_error_models).
-    std::shared_ptr<const std::map<int, ErrorModel>> models;
+    std::shared_ptr<const ErrorModelMap> models;
     std::uint64_t models_generation = 0;
     // Generation of the design `serve` was lowered from: a replica whose
     // generation lags design_generation_ is retired — never re-served — at
@@ -229,11 +229,11 @@ class ProjectionServer {
   /// seeds — what makes a completed swap bitwise-equal to a cold server.
   std::vector<std::unique_ptr<Replica>> lower_candidate(
       const LinearProjectionDesign& next,
-      const std::map<int, ErrorModel>* models) const;
+      const ErrorModelMap* models) const;
   /// The Shadow phase's dedicated datapath (never one of the flip
   /// replicas, whose register state must stay pristine).
   ProjectionCircuit make_shadow(const LinearProjectionDesign& next,
-                                const std::map<int, ErrorModel>* models) const;
+                                const ErrorModelMap* models) const;
   void install_shadow(std::shared_ptr<ShadowTap> tap);
   void clear_shadow();
   std::shared_ptr<ShadowTap> current_shadow() const;
@@ -241,7 +241,7 @@ class ProjectionServer {
   /// replicas flip immediately; checked-out ones at their next batch
   /// boundary.
   void publish_design(const LinearProjectionDesign& next,
-                      std::shared_ptr<const std::map<int, ErrorModel>> models,
+                      std::shared_ptr<const ErrorModelMap> models,
                       std::vector<std::unique_ptr<Replica>> fresh);
   /// Block until every replica serves the newest generation (the Retire
   /// phase boundary: the old circuits are destroyed by then).
@@ -271,7 +271,7 @@ class ProjectionServer {
   std::condition_variable replica_cv_;
   // Pending model swap, guarded by replica_mutex_: replicas whose
   // generation lags apply it at checkout (outside the lock).
-  std::shared_ptr<const std::map<int, ErrorModel>> swapped_models_;
+  std::shared_ptr<const ErrorModelMap> swapped_models_;
   std::uint64_t models_generation_ = 0;
   // Design hot-swap state, guarded by replica_mutex_: fresh replicas
   // waiting to flip in, old ones pinned until the last stale replica

@@ -95,11 +95,11 @@ DesignSwapper::DesignSwapper(ProjectionServer& server, SwapConfig cfg)
 
 double DesignSwapper::predicted_mismatch_rate(
     const LinearProjectionDesign& design,
-    const std::map<int, ErrorModel>* models, double freq_mhz) {
+    const ErrorModelMap* models, double freq_mhz) {
   if (models == nullptr) return 0.0;
   double sum = 0.0;
   for (const auto& col : design.columns) {
-    const auto it = models->find(col.wordlength);
+    const auto it = models->find(col.config);
     if (it == models->end()) continue;  // lowering rejects this earlier
     for (const auto& c : col.coeffs)
       sum += it->second.error_rate(c.magnitude, freq_mhz);
@@ -109,7 +109,7 @@ double DesignSwapper::predicted_mismatch_rate(
 
 SwapReport DesignSwapper::run(
     const LinearProjectionDesign& next,
-    std::shared_ptr<const std::map<int, ErrorModel>> models) {
+    std::shared_ptr<const ErrorModelMap> models) {
   OCLP_CHECK_MSG(
       next.dims_p() == server_.dims_p() && next.dims_k() == server_.dims_k(),
       "swap_design: incoming design is " << next.dims_k() << "×"

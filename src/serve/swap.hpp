@@ -147,12 +147,14 @@ class DesignSwapper {
   DesignSwapper(ProjectionServer& server, SwapConfig cfg);
 
   /// Swap the server onto `next` (same P, K and wl_x as the serving
-  /// design; its word-lengths must be covered by `models`). `models` is
+  /// design; its per-column multiplier configurations must be covered by
+  /// `models` — a mixed-architecture design needs one characterised model
+  /// per distinct configuration). `models` is
   /// the error-model set the new datapath corrects with — kept alive by
   /// the replicas exactly as in swap_error_models; may be null to drop
   /// corrections (then the shadow divergence prediction is 0 + slack).
   SwapReport run(const LinearProjectionDesign& next,
-                 std::shared_ptr<const std::map<int, ErrorModel>> models);
+                 std::shared_ptr<const ErrorModelMap> models);
 
   /// Union-bound per-request mismatch probability at `freq_mhz`: the sum
   /// over all K·P multipliers of the model's error rate for the deployed
@@ -161,7 +163,7 @@ class DesignSwapper {
   /// *plus* slack, so overestimating keeps healthy swaps committing.
   static double predicted_mismatch_rate(
       const LinearProjectionDesign& design,
-      const std::map<int, ErrorModel>* models, double freq_mhz);
+      const ErrorModelMap* models, double freq_mhz);
 
  private:
   ProjectionServer& server_;

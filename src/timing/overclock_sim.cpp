@@ -94,6 +94,7 @@ void OverclockSim::reset(State& st, const std::vector<std::uint8_t>& inputs) con
   st.next.assign(nn, 0);
   st.next[CompiledNetlist::kConst1Net] = 1;
   st.settle.assign(nn, 0.0);
+  st.carried.assign(nn, 0.0);
   const std::size_t no = cnl_.num_outputs();
   st.out_settle.assign(no, 0.0);
   st.out_prev.assign(no, 0);
@@ -109,6 +110,13 @@ void OverclockSim::advance(State& st, const std::vector<std::uint8_t>& inputs) c
 
   // Registered inputs switch at the edge: settle 0, value = new input.
   for (std::size_t i = 0; i < inputs.size(); ++i) st.next[2 + i] = inputs[i];
+
+  // Pipelined cones take the two-track walk; register-free cones keep the
+  // exact single-track path below.
+  if (cnl_.has_registers()) {
+    advance_regs(st);
+    return;
+  }
 
   // One linear walk over the levelized cells: a truth-table lookup for the
   // functional value, then a transition scan over the three fanin slots
@@ -161,20 +169,88 @@ void OverclockSim::advance(State& st, const std::vector<std::uint8_t>& inputs) c
   st.prev.swap(st.next);  // cone fully settles before the next edge (see header)
 }
 
+// Two-track walk for pipelined cones: L (stage-local settle, restarting at
+// each register) and M (carried max of earlier stages' local settles along
+// toggled paths); the recorded output settle is max(L, M). Same masking
+// and skip-unchanged structure as the single-track loop in advance().
+void OverclockSim::advance_regs(State& st) const {
+  const std::uint8_t* tt = cnl_.truth_tables().data();
+  const std::int32_t* fanin = cnl_.fanins().data();
+  const std::uint8_t* is_reg = cnl_.reg_flags().data();
+  const std::size_t base = 2 + cnl_.num_inputs();
+  const std::size_t nc = cnl_.num_cells();
+  std::uint8_t* next = st.next.data();
+  const std::uint8_t* prev = st.prev.data();
+  double* settle = st.settle.data();
+  double* carried = st.carried.data();
+  const double* delay = delay_.data();
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    const std::int32_t* f = fanin + 3 * ci;
+    const unsigned idx = static_cast<unsigned>(next[f[0]]) |
+                         static_cast<unsigned>(next[f[1]]) << 1 |
+                         static_cast<unsigned>(next[f[2]]) << 2;
+    const auto v = static_cast<std::uint8_t>((tt[ci] >> idx) & 1u);
+    const std::size_t out = base + ci;
+    next[out] = v;
+    if (v == prev[out]) {
+      settle[out] = 0.0;
+      carried[out] = 0.0;
+      continue;
+    }
+    const int g0 = next[f[0]] != prev[f[0]];
+    const int g1 = next[f[1]] != prev[f[1]];
+    const int g2 = next[f[2]] != prev[f[2]];
+    double launch = settle[f[0]] * g0;
+    launch = std::max(launch, settle[f[1]] * g1);
+    launch = std::max(launch, settle[f[2]] * g2);
+    double carry = carried[f[0]] * g0;
+    carry = std::max(carry, carried[f[1]] * g1);
+    carry = std::max(carry, carried[f[2]] * g2);
+    if (is_reg[ci]) {
+      carried[out] = std::max(carry, launch);
+      settle[out] = delay[ci];
+    } else {
+      settle[out] = launch + delay[ci];
+      carried[out] = carry;
+    }
+  }
+
+  const std::size_t no = cnl_.num_outputs();
+  double worst = 0.0;
+  for (std::size_t k = 0; k < no; ++k) {
+    const auto o = cnl_.out_net(k);
+    const double eff = std::max(settle[o], carried[o]);
+    worst = std::max(worst, eff);
+    st.out_settle[k] = eff;
+    st.out_prev[k] = prev[o];
+    st.out_next[k] = next[o];
+  }
+  st.last_output_settle_ns = worst;
+  st.stepped = true;
+
+  st.prev.swap(st.next);
+}
+
 void OverclockSim::run_stream(State& st, const std::uint8_t* inputs,
                               std::size_t n, SweepStream& out) const {
+  const bool regs = cnl_.has_registers();
   if (integer_kernel())
-    run_stream_impl<true>(st, inputs, n, out);
+    regs ? run_stream_impl<true, true>(st, inputs, n, out)
+         : run_stream_impl<true, false>(st, inputs, n, out);
   else
-    run_stream_impl<false>(st, inputs, n, out);
+    regs ? run_stream_impl<false, true>(st, inputs, n, out)
+         : run_stream_impl<false, false>(st, inputs, n, out);
 }
 
 void OverclockSim::run_stream_ref(State& st, const std::uint8_t* inputs,
                                   std::size_t n, SweepStream& out) const {
-  run_stream_impl<false>(st, inputs, n, out);
+  if (cnl_.has_registers())
+    run_stream_impl<false, true>(st, inputs, n, out);
+  else
+    run_stream_impl<false, false>(st, inputs, n, out);
 }
 
-template <bool kIntKernel>
+template <bool kIntKernel, bool kRegs>
 void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
                                    std::size_t n, SweepStream& out) const {
   OCLP_CHECK_MSG(st.initialised, "OverclockSim::run_stream before reset");
@@ -207,9 +283,17 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
   if constexpr (kIntKernel) {
     out.lanes_ticks.resize(nn * 64);
     std::fill_n(out.lanes_ticks.data(), base * 64, 0u);
+    if constexpr (kRegs) {
+      out.lanes_c_ticks.resize(nn * 64);
+      std::fill_n(out.lanes_c_ticks.data(), base * 64, 0u);
+    }
   } else {
     out.lanes.resize(nn * 64);
     std::fill_n(out.lanes.data(), base * 64, 0.0);
+    if constexpr (kRegs) {
+      out.lanes_c.resize(nn * 64);
+      std::fill_n(out.lanes_c.data(), base * 64, 0.0);
+    }
   }
   out.carry.resize(nn);
 
@@ -220,10 +304,13 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
   const std::int32_t* fanin = cnl_.fanins().data();
   [[maybe_unused]] const double* delay = delay_.data();
   [[maybe_unused]] const std::uint32_t* delay_ticks = delay_ticks_.data();
+  [[maybe_unused]] const std::uint8_t* is_reg = cnl_.reg_flags().data();
   std::uint64_t* words = out.words.data();
   std::uint64_t* tog = out.tog.data();
   [[maybe_unused]] double* lanes = out.lanes.data();
   [[maybe_unused]] std::uint32_t* lanes_ticks = out.lanes_ticks.data();
+  [[maybe_unused]] double* lanes_c = out.lanes_c.data();
+  [[maybe_unused]] std::uint32_t* lanes_c_ticks = out.lanes_c_ticks.data();
 
   for (std::size_t c0 = 0; c0 < n; c0 += 64) {
     const std::size_t cn = std::min<std::size_t>(64, n - c0);
@@ -272,6 +359,81 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
       if (!t) continue;
       const std::int32_t* f = fanin + 3 * ci;
       const std::uint64_t t0 = tog[f[0]], t1 = tog[f[1]], t2 = tog[f[2]];
+      if constexpr (kRegs) {
+        // Two-track propagation (local L rows plus carried M rows) with a
+        // register branch — always the sparse walk: pipelined cones would
+        // need a second dense fill per row and the reg test inside it, so
+        // the unconditional AVX fill stops paying for itself.
+        const bool reg = is_reg[ci] != 0;
+        if constexpr (kIntKernel) {
+          const std::uint32_t* r0 = lanes_ticks + static_cast<std::size_t>(f[0]) * 64;
+          const std::uint32_t* r1 = lanes_ticks + static_cast<std::size_t>(f[1]) * 64;
+          const std::uint32_t* r2 = lanes_ticks + static_cast<std::size_t>(f[2]) * 64;
+          const std::uint32_t* cr0 = lanes_c_ticks + static_cast<std::size_t>(f[0]) * 64;
+          const std::uint32_t* cr1 = lanes_c_ticks + static_cast<std::size_t>(f[1]) * 64;
+          const std::uint32_t* cr2 = lanes_c_ticks + static_cast<std::size_t>(f[2]) * 64;
+          std::uint32_t* row = lanes_ticks + (base + ci) * 64;
+          std::uint32_t* crow = lanes_c_ticks + (base + ci) * 64;
+          const std::uint32_t d = delay_ticks[ci];
+          do {
+            const auto l = static_cast<std::size_t>(std::countr_zero(t));
+            const auto m0 = static_cast<std::uint32_t>(0 - ((t0 >> l) & 1ull));
+            const auto m1 = static_cast<std::uint32_t>(0 - ((t1 >> l) & 1ull));
+            const auto m2 = static_cast<std::uint32_t>(0 - ((t2 >> l) & 1ull));
+            std::uint32_t launch = r0[l] & m0;
+            launch = std::max(launch, r1[l] & m1);
+            launch = std::max(launch, r2[l] & m2);
+            std::uint32_t carry = cr0[l] & m0;
+            carry = std::max(carry, cr1[l] & m1);
+            carry = std::max(carry, cr2[l] & m2);
+            if (reg) {
+              crow[l] = std::max(carry, launch);
+              row[l] = d;
+            } else {
+              row[l] = launch + d;
+              crow[l] = carry;
+            }
+            t &= t - 1;
+          } while (t);
+        } else {
+          const double* r0 = lanes + static_cast<std::size_t>(f[0]) * 64;
+          const double* r1 = lanes + static_cast<std::size_t>(f[1]) * 64;
+          const double* r2 = lanes + static_cast<std::size_t>(f[2]) * 64;
+          const double* cr0 = lanes_c + static_cast<std::size_t>(f[0]) * 64;
+          const double* cr1 = lanes_c + static_cast<std::size_t>(f[1]) * 64;
+          const double* cr2 = lanes_c + static_cast<std::size_t>(f[2]) * 64;
+          double* row = lanes + (base + ci) * 64;
+          double* crow = lanes_c + (base + ci) * 64;
+          const double d = delay[ci];
+          do {
+            const auto l = static_cast<std::size_t>(std::countr_zero(t));
+            const std::uint64_t m0 = 0 - ((t0 >> l) & 1ull);
+            const std::uint64_t m1 = 0 - ((t1 >> l) & 1ull);
+            const std::uint64_t m2 = 0 - ((t2 >> l) & 1ull);
+            double launch =
+                std::bit_cast<double>(std::bit_cast<std::uint64_t>(r0[l]) & m0);
+            launch = std::max(
+                launch, std::bit_cast<double>(std::bit_cast<std::uint64_t>(r1[l]) & m1));
+            launch = std::max(
+                launch, std::bit_cast<double>(std::bit_cast<std::uint64_t>(r2[l]) & m2));
+            double carry =
+                std::bit_cast<double>(std::bit_cast<std::uint64_t>(cr0[l]) & m0);
+            carry = std::max(
+                carry, std::bit_cast<double>(std::bit_cast<std::uint64_t>(cr1[l]) & m1));
+            carry = std::max(
+                carry, std::bit_cast<double>(std::bit_cast<std::uint64_t>(cr2[l]) & m2));
+            if (reg) {
+              crow[l] = std::max(carry, launch);
+              row[l] = d;
+            } else {
+              row[l] = launch + d;
+              crow[l] = carry;
+            }
+            t &= t - 1;
+          } while (t);
+        }
+        continue;
+      }
       if constexpr (kIntKernel) {
         const std::uint32_t* r0 = lanes_ticks + static_cast<std::size_t>(f[0]) * 64;
         const std::uint32_t* r1 = lanes_ticks + static_cast<std::size_t>(f[1]) * 64;
@@ -328,14 +490,18 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
         w |= ((words[o] >> l) & 1u) << k;
         if ((tog[o] >> l) & 1u) {
           out.toggle_bit.push_back(static_cast<std::uint8_t>(k));
+          // Pipelined cones record the effective settle max(L, M).
           if constexpr (kIntKernel) {
-            const std::uint32_t ticks =
-                lanes_ticks[static_cast<std::size_t>(o) * 64 + l];
+            std::uint32_t ticks = lanes_ticks[static_cast<std::size_t>(o) * 64 + l];
+            if constexpr (kRegs)
+              ticks = std::max(ticks, lanes_c_ticks[static_cast<std::size_t>(o) * 64 + l]);
             out.toggle_settle_ticks.push_back(ticks);
             out.toggle_settle.push_back(PsGrid::to_ns(ticks));
           } else {
-            out.toggle_settle.push_back(
-                lanes[static_cast<std::size_t>(o) * 64 + l]);
+            double sns = lanes[static_cast<std::size_t>(o) * 64 + l];
+            if constexpr (kRegs)
+              sns = std::max(sns, lanes_c[static_cast<std::size_t>(o) * 64 + l]);
+            out.toggle_settle.push_back(sns);
           }
         }
       }

@@ -30,6 +30,26 @@
 //    "previous" frame is always the functional value of the previous
 //    inputs. Far above the error onset this is optimistic, which matches
 //    the paper's remark that beyond fC results are simply not meaningful.
+//
+// Pipelined netlists (cones containing PipeReg cells) run a two-track
+// variant of the same model. Each net carries a stage-local settle time L
+// (as above, restarting at each register's clk-to-q delay) and a carried
+// maximum M of the local settle times of all earlier stages along the
+// toggled paths feeding it:
+//
+//   normal cell:  L_out = delay + max L_in (toggled),  M_out = max M_in
+//   PipeReg:      L_out = delay(reg),  M_out = max(M_in, L_in) (toggled)
+//
+// The recorded per-output settle time is max(L, M): an output bit is
+// captured fresh at period T iff *every* stage on its toggled path settled
+// within T — still frequency-independent, so all capture machinery works
+// unchanged. Two further approximations follow from keeping registers
+// function-transparent: pipeline latency is invisible to the steady-state
+// stream (each frame's settled outputs correspond to that frame's inputs),
+// and the staleness of an interior stage for this frame's data is charged
+// to this frame's output rather than surfacing `depth` cycles later —
+// acceptable for error-rate statistics over long stationary streams, the
+// only way the characterisation sweeps consume this simulation.
 #pragma once
 
 #include <cstdint>
@@ -67,7 +87,10 @@ class OverclockSim {
   struct State {
     std::vector<std::uint8_t> prev;  ///< settled values of the previous frame
     std::vector<std::uint8_t> next;  ///< functional values of the new frame
-    std::vector<double> settle;      ///< per-net settle time of the new frame
+    std::vector<double> settle;      ///< per-net stage-local settle time
+    /// Carried max of earlier stages' local settle times (two-track model;
+    /// all-zero and unread for register-free netlists).
+    std::vector<double> carried;
     // Per-output snapshot of the most recent advance (for capture()).
     std::vector<double> out_settle;
     std::vector<std::uint8_t> out_prev, out_next;
@@ -165,10 +188,11 @@ class OverclockSim {
 
     // Internal scratch of run_stream (value/toggle lane words, per-net
     // settle lane rows — double or tick flavour depending on the kernel —
-    // and inter-chunk carry bits). Not part of the result.
+    // carried-track rows for pipelined netlists, and inter-chunk carry
+    // bits). Not part of the result.
     std::vector<std::uint64_t> words, tog;
-    std::vector<double> lanes;
-    std::vector<std::uint32_t> lanes_ticks;
+    std::vector<double> lanes, lanes_c;
+    std::vector<std::uint32_t> lanes_ticks, lanes_c_ticks;
     std::vector<std::uint8_t> carry;
   };
 
@@ -232,9 +256,10 @@ class OverclockSim {
   std::vector<std::uint8_t> last_settled_outputs() const;
 
  private:
-  template <bool kIntKernel>
+  template <bool kIntKernel, bool kRegs>
   void run_stream_impl(State& st, const std::uint8_t* inputs, std::size_t n,
                        SweepStream& out) const;
+  void advance_regs(State& st) const;
 
   Netlist nl_;
   CompiledNetlist cnl_;

@@ -2,63 +2,93 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "mult/multiplier.hpp"
 
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 TEST(SynthesisedLes, DeterministicPerRunSeed) {
-  EXPECT_DOUBLE_EQ(synthesised_multiplier_les(8, 9, 5),
-                   synthesised_multiplier_les(8, 9, 5));
-  EXPECT_NE(synthesised_multiplier_les(8, 9, 5),
-            synthesised_multiplier_les(8, 9, 6));
+  EXPECT_DOUBLE_EQ(synthesised_multiplier_les(acfg(8), 9, 5),
+                   synthesised_multiplier_les(acfg(8), 9, 5));
+  // Run-to-run spread is real: adjacent seeds may round to the same LE
+  // count, but a handful of runs cannot all collide.
+  std::set<double> distinct;
+  for (std::uint64_t run = 0; run < 8; ++run)
+    distinct.insert(synthesised_multiplier_les(acfg(8), 9, run));
+  EXPECT_GT(distinct.size(), 1u);
 }
 
 TEST(SynthesisedLes, CloseToNetlistGroundTruth) {
   const auto base = static_cast<double>(multiplier_logic_elements(8, 9));
   for (std::uint64_t run = 0; run < 50; ++run) {
-    const double le = synthesised_multiplier_les(8, 9, run);
+    const double le = synthesised_multiplier_les(acfg(8), 9, run);
     EXPECT_GT(le, base * 0.85);
     EXPECT_LT(le, base * 1.15);
   }
 }
 
-TEST(CollectAreaSamples, CoversSweepGrid) {
-  const auto samples = collect_area_samples(3, 9, 9, 10, 1);
+TEST(SynthesisedLes, ArchitecturesDiffer) {
+  // The per-architecture netlists have different LE counts, so the noisy
+  // synthesis proxy must separate them at the same word-length.
+  const double array = synthesised_multiplier_les(acfg(6), 9, 3);
+  const double wallace =
+      synthesised_multiplier_les(MultConfig{MultArch::Wallace, 6, 1}, 9, 3);
+  const double ccm =
+      synthesised_multiplier_les(MultConfig{MultArch::Ccm, 6, 1}, 9, 3);
+  EXPECT_NE(array, wallace);
+  EXPECT_LT(ccm, array);  // constant folding beats the generic datapath
+}
+
+TEST(SynthesisedLes, PipelineRegistersCost) {
+  EXPECT_GT(synthesised_multiplier_les(MultConfig{MultArch::Array, 6, 2}, 9, 3),
+            synthesised_multiplier_les(acfg(6), 9, 3));
+}
+
+TEST(CollectAreaSamples, CoversConfigGrid) {
+  const auto configs = mult_config_range(MultArch::Array, 3, 9);
+  const auto samples = collect_area_samples(configs, 9, 10, 1);
   EXPECT_EQ(samples.size(), 7u * 10u);
   int count_wl5 = 0;
   for (const auto& s : samples) {
-    EXPECT_GE(s.wordlength, 3);
-    EXPECT_LE(s.wordlength, 9);
+    EXPECT_GE(s.config.wordlength, 3);
+    EXPECT_LE(s.config.wordlength, 9);
     EXPECT_GT(s.logic_elements, 0.0);
-    if (s.wordlength == 5) ++count_wl5;
+    if (s.config.wordlength == 5) ++count_wl5;
   }
   EXPECT_EQ(count_wl5, 10);
 }
 
 class AreaModelTest : public ::testing::Test {
  protected:
-  AreaModelTest() : model_(AreaModel::fit(collect_area_samples(3, 9, 9, 30, 7))) {}
+  AreaModelTest()
+      : model_(AreaModel::fit(collect_area_samples(
+            mult_config_range(MultArch::Array, 3, 9), 9, 30, 7))) {}
   AreaModel model_;
 };
 
-TEST_F(AreaModelTest, CoversFittedWordlengthsOnly) {
-  for (int wl = 3; wl <= 9; ++wl) EXPECT_TRUE(model_.covers(wl));
-  EXPECT_FALSE(model_.covers(2));
-  EXPECT_FALSE(model_.covers(10));
-  EXPECT_THROW(model_.estimate(10), CheckError);
+TEST_F(AreaModelTest, CoversFittedConfigsOnly) {
+  for (int wl = 3; wl <= 9; ++wl) EXPECT_TRUE(model_.covers(acfg(wl)));
+  EXPECT_FALSE(model_.covers(acfg(2)));
+  EXPECT_FALSE(model_.covers(acfg(10)));
+  // Same word-length, different architecture: a distinct table entry.
+  EXPECT_FALSE(model_.covers(MultConfig{MultArch::Wallace, 5, 1}));
+  EXPECT_THROW(model_.estimate(acfg(10)), CheckError);
 }
 
 TEST_F(AreaModelTest, EstimateTracksGroundTruth) {
   for (int wl = 3; wl <= 9; ++wl) {
     const auto base = static_cast<double>(multiplier_logic_elements(wl, 9));
-    EXPECT_NEAR(model_.estimate(wl), base, base * 0.05) << "wl=" << wl;
+    EXPECT_NEAR(model_.estimate(acfg(wl)), base, base * 0.05) << "wl=" << wl;
   }
 }
 
 TEST_F(AreaModelTest, EstimateMonotoneInWordlength) {
   for (int wl = 4; wl <= 9; ++wl)
-    EXPECT_GT(model_.estimate(wl), model_.estimate(wl - 1));
+    EXPECT_GT(model_.estimate(acfg(wl)), model_.estimate(acfg(wl - 1)));
 }
 
 TEST_F(AreaModelTest, ConfidenceIntervalCoversMostRuns) {
@@ -66,8 +96,9 @@ TEST_F(AreaModelTest, ConfidenceIntervalCoversMostRuns) {
   int inside = 0;
   const int runs = 400;
   for (int r = 0; r < runs; ++r) {
-    const double le = synthesised_multiplier_les(7, 9, 1000 + r);
-    if (std::abs(le - model_.estimate(7)) <= model_.ci95(7)) ++inside;
+    const double le = synthesised_multiplier_les(acfg(7), 9, 1000 + r);
+    if (std::abs(le - model_.estimate(acfg(7))) <= model_.ci95(acfg(7)))
+      ++inside;
   }
   EXPECT_GT(inside, runs * 0.90);
   EXPECT_LT(inside, runs * 1.00);  // spread is real: not everything inside
@@ -75,30 +106,43 @@ TEST_F(AreaModelTest, ConfidenceIntervalCoversMostRuns) {
 
 TEST_F(AreaModelTest, Ci95IsPositiveAndScalesWithStddev) {
   for (int wl = 3; wl <= 9; ++wl) {
-    EXPECT_GT(model_.stddev(wl), 0.0);
-    EXPECT_DOUBLE_EQ(model_.ci95(wl), 1.96 * model_.stddev(wl));
+    EXPECT_GT(model_.stddev(acfg(wl)), 0.0);
+    EXPECT_DOUBLE_EQ(model_.ci95(acfg(wl)), 1.96 * model_.stddev(acfg(wl)));
   }
 }
 
 TEST_F(AreaModelTest, ColumnEstimateAddsAccumulation) {
-  const double one_mult = model_.estimate(6);
-  const double column = model_.column_estimate(6, 6, 9);
+  const double one_mult = model_.estimate(acfg(6));
+  const double column = model_.column_estimate(acfg(6), 6, 9);
   EXPECT_GT(column, 6 * one_mult);            // P multipliers plus adders
   EXPECT_LT(column, 6 * one_mult + 6 * 30.0);  // adder overhead is modest
 }
 
 TEST_F(AreaModelTest, ColumnEstimateGrowsWithDims) {
-  EXPECT_GT(model_.column_estimate(5, 8, 9), model_.column_estimate(5, 4, 9));
+  EXPECT_GT(model_.column_estimate(acfg(5), 8, 9),
+            model_.column_estimate(acfg(5), 4, 9));
 }
 
 TEST(AreaModel, FitRejectsEmpty) {
   EXPECT_THROW(AreaModel::fit({}), CheckError);
 }
 
-TEST(AreaModel, FitSingleWordlength) {
-  const auto model = AreaModel::fit(collect_area_samples(5, 5, 9, 5, 3));
-  EXPECT_TRUE(model.covers(5));
-  EXPECT_FALSE(model.covers(4));
+TEST(AreaModel, FitSingleConfig) {
+  const auto model = AreaModel::fit(collect_area_samples({acfg(5)}, 9, 5, 3));
+  EXPECT_TRUE(model.covers(acfg(5)));
+  EXPECT_FALSE(model.covers(acfg(4)));
+}
+
+TEST(AreaModel, MixedArchitectureTable) {
+  // One fit can hold array, Wallace and CCM entries side by side — the
+  // widened search consults a single table.
+  std::vector<MultConfig> configs = {acfg(5),
+                                     MultConfig{MultArch::Wallace, 5, 1},
+                                     MultConfig{MultArch::Ccm, 5, 1}};
+  const auto model = AreaModel::fit(collect_area_samples(configs, 9, 8, 11));
+  for (const auto& c : configs) EXPECT_TRUE(model.covers(c));
+  EXPECT_LT(model.estimate(MultConfig{MultArch::Ccm, 5, 1}),
+            model.estimate(acfg(5)));
 }
 
 }  // namespace

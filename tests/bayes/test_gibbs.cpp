@@ -10,6 +10,8 @@
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 // Centered rank-1 data x_i = u z_i + noise with a planted unit direction.
 Matrix rank1_data(const std::vector<double>& direction, std::size_t n,
                   double mode_sd, double noise, std::uint64_t seed) {
@@ -35,7 +37,7 @@ GibbsSettings fast_settings(std::uint64_t seed) {
 TEST(Gibbs, RecoversPlantedDirectionUpToQuantisation) {
   const std::vector<double> dir{0.6, -0.3, 0.65, 0.1, -0.2, 0.28};
   const Matrix x = rank1_data(dir, 200, 0.2, 0.01, 3);
-  const auto prior = make_flat_prior(7, 310.0);
+  const auto prior = make_flat_prior(acfg(7), 310.0);
   const auto res = sample_projection(x, prior, fast_settings(5));
 
   const auto u = normalized(dir);
@@ -48,7 +50,7 @@ TEST(Gibbs, RecoversPlantedDirectionUpToQuantisation) {
 
 TEST(Gibbs, LambdaValuesAreOnTheGrid) {
   const Matrix x = rank1_data({1, 2, -1}, 100, 0.2, 0.02, 7);
-  const auto prior = make_flat_prior(4, 310.0);
+  const auto prior = make_flat_prior(acfg(4), 310.0);
   const auto res = sample_projection(x, prior, fast_settings(9));
   for (double v : res.lambda) {
     const auto idx = prior.nearest_index(v);
@@ -58,7 +60,7 @@ TEST(Gibbs, LambdaValuesAreOnTheGrid) {
 
 TEST(Gibbs, DeterministicInSeed) {
   const Matrix x = rank1_data({1, -1, 2}, 80, 0.2, 0.02, 11);
-  const auto prior = make_flat_prior(5, 310.0);
+  const auto prior = make_flat_prior(acfg(5), 310.0);
   const auto a = sample_projection(x, prior, fast_settings(42));
   const auto b = sample_projection(x, prior, fast_settings(42));
   EXPECT_EQ(a.lambda, b.lambda);
@@ -67,7 +69,7 @@ TEST(Gibbs, DeterministicInSeed) {
 
 TEST(Gibbs, DifferentSeedsStillAgreeOnTheMode) {
   const Matrix x = rank1_data({2, 1, -1, 0.5}, 300, 0.25, 0.01, 13);
-  const auto prior = make_flat_prior(6, 310.0);
+  const auto prior = make_flat_prior(acfg(6), 310.0);
   const auto a = sample_projection(x, prior, fast_settings(1));
   const auto b = sample_projection(x, prior, fast_settings(2));
   // Directions must agree even though chains differ.
@@ -83,10 +85,10 @@ TEST(Gibbs, HardPriorExcludesForbiddenCodesOnWeakData) {
   // prior is a soft penalty by design — the objective T trades errors for
   // accuracy — so exclusion is only guaranteed when the data does not
   // overwhelmingly demand a forbidden code.)
-  ErrorModel model(5, 9, {310.0});
+  ErrorModel model(acfg(5), 9, {310.0});
   for (std::uint32_t m = 0; m < 32; ++m)
     model.set(m, 0, m > 16 ? 1e9 : 0.0, 0.0, 0.0);
-  const auto prior = make_prior(model, 5, 310.0, 8.0);
+  const auto prior = make_prior(model, acfg(5), 310.0, 8.0);
 
   Rng rng(17);
   Matrix x(3, 150);
@@ -99,11 +101,11 @@ TEST(Gibbs, HardPriorExcludesForbiddenCodesOnWeakData) {
 TEST(Gibbs, PriorShiftsPosteriorAwayFromPenalisedCodes) {
   // Same data, hard vs flat prior: the hard prior must strictly reduce the
   // use of penalised codes.
-  ErrorModel model(6, 9, {310.0});
+  ErrorModel model(acfg(6), 9, {310.0});
   for (std::uint32_t m = 0; m < 64; ++m)
     model.set(m, 0, (m % 2 == 1) ? 1e8 : 0.0, 0.0, 0.0);  // odd codes dirty
-  const auto hard = make_prior(model, 6, 310.0, 6.0);
-  const auto flat = make_flat_prior(6, 310.0);
+  const auto hard = make_prior(model, acfg(6), 310.0, 6.0);
+  const auto flat = make_flat_prior(acfg(6), 310.0);
 
   const Matrix x = rank1_data({0.9, -0.5, 0.7, 0.3}, 250, 0.25, 0.02, 21);
   const auto res_hard = sample_projection(x, hard, fast_settings(23));
@@ -125,7 +127,7 @@ TEST(Gibbs, PriorShiftsPosteriorAwayFromPenalisedCodes) {
 TEST(Gibbs, PsiEstimatesNoiseScale) {
   const double noise = 0.05;
   const Matrix x = rank1_data({1, 1, 1, 1}, 500, 0.3, noise, 23);
-  const auto prior = make_flat_prior(7, 310.0);
+  const auto prior = make_flat_prior(acfg(7), 310.0);
   auto settings = fast_settings(29);
   settings.burn_in = 300;
   settings.samples = 700;
@@ -137,7 +139,7 @@ TEST(Gibbs, PsiEstimatesNoiseScale) {
 }
 
 TEST(Gibbs, InputValidation) {
-  const auto prior = make_flat_prior(4, 310.0);
+  const auto prior = make_flat_prior(acfg(4), 310.0);
   EXPECT_THROW(sample_projection(Matrix(3, 1), prior, fast_settings(1)),
                CheckError);  // too few cases
   GibbsSettings bad = fast_settings(1);
@@ -147,14 +149,14 @@ TEST(Gibbs, InputValidation) {
 
 TEST(Gibbs, LogLikelihoodIsFinite) {
   const Matrix x = rank1_data({1, -2}, 100, 0.2, 0.02, 31);
-  const auto prior = make_flat_prior(5, 310.0);
+  const auto prior = make_flat_prior(acfg(5), 310.0);
   const auto res = sample_projection(x, prior, fast_settings(33));
   EXPECT_TRUE(std::isfinite(res.avg_log_likelihood));
 }
 
 TEST(Gibbs, VisitHistogramShapeAndMass) {
   const Matrix x = rank1_data({1, -1, 0.5}, 120, 0.2, 0.02, 35);
-  const auto prior = make_flat_prior(5, 310.0);
+  const auto prior = make_flat_prior(acfg(5), 310.0);
   const auto settings = fast_settings(37);
   const auto res = sample_projection(x, prior, settings);
   ASSERT_EQ(res.visits.size(), x.rows());
@@ -176,7 +178,7 @@ TEST(Gibbs, FastPathMatchesReferenceBitwise) {
     for (const std::uint64_t seed : {5ull, 17ull}) {
       const Matrix x =
           rank1_data({0.6, -0.3, 0.65, 0.1, -0.2, 0.28}, 100, 0.2, 0.02, seed);
-      const auto prior = make_flat_prior(wl, 310.0);
+      const auto prior = make_flat_prior(acfg(wl), 310.0);
       const auto settings = fast_settings(seed * 7 + 1);
       const auto fast = sample_projection(x, prior, settings);
       auto ref_settings = settings;
@@ -200,11 +202,11 @@ TEST(Gibbs, FastPathMatchesReferenceBitwise) {
 TEST(Gibbs, HardwarePriorChainMatchesReferenceBitwise) {
   // Same contract under a non-flat prior, where the fast path's scoring
   // band is widest (the prior spreads the log-weights).
-  ErrorModel model(7, 9, {310.0});
+  ErrorModel model(acfg(7), 9, {310.0});
   Rng noise(47);
   for (std::uint32_t m = 0; m < 128; ++m)
     model.set(m, 0, noise.uniform() * 1e6, 0.0, 0.0);
-  const auto prior = make_prior(model, 7, 310.0, 4.0);
+  const auto prior = make_prior(model, acfg(7), 310.0, 4.0);
   const Matrix x = rank1_data({0.9, -0.5, 0.7, 0.3}, 100, 0.2, 0.02, 49);
   const auto settings = fast_settings(51);
   const auto fast = sample_projection(x, prior, settings);
@@ -220,7 +222,7 @@ TEST(Gibbs, FastAndReferencePosteriorMarginalsAgreeAcrossSeeds) {
   // sampling processes with different seeds must estimate the same
   // posterior marginals (they are the same Markov kernel).
   const Matrix x = rank1_data({0.7, -0.4, 0.55}, 300, 0.25, 0.02, 53);
-  const auto prior = make_flat_prior(6, 310.0);
+  const auto prior = make_flat_prior(acfg(6), 310.0);
   auto settings = fast_settings(55);
   settings.burn_in = 300;
   settings.samples = 1500;

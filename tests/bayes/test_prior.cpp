@@ -8,23 +8,25 @@
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 // Model where odd multiplicands have large errors and even ones are clean.
 ErrorModel odd_penalised_model(int wl) {
-  ErrorModel m(wl, 9, {310.0});
+  ErrorModel m(acfg(wl), 9, {310.0});
   for (std::uint32_t mm = 0; mm < (1u << wl); ++mm)
     m.set(mm, 0, (mm % 2 == 1) ? 1e6 : 0.0, 0.0, (mm % 2 == 1) ? 0.3 : 0.0);
   return m;
 }
 
 TEST(Prior, ProbabilitiesSumToOne) {
-  const auto prior = make_prior(odd_penalised_model(5), 5, 310.0, 2.0);
+  const auto prior = make_prior(odd_penalised_model(5), acfg(5), 310.0, 2.0);
   const double total = std::accumulate(prior.probabilities().begin(),
                                        prior.probabilities().end(), 0.0);
   EXPECT_NEAR(total, 1.0, 1e-12);
 }
 
 TEST(Prior, GridMatchesFixedPointGrid) {
-  const auto prior = make_prior(odd_penalised_model(4), 4, 310.0, 1.0);
+  const auto prior = make_prior(odd_penalised_model(4), acfg(4), 310.0, 1.0);
   EXPECT_EQ(prior.size(), 31u);  // 2^(4+1) - 1 sign-magnitude values
   EXPECT_EQ(prior.wordlength(), 4);
   EXPECT_DOUBLE_EQ(prior.values().front(), -15.0 / 16.0);
@@ -32,7 +34,7 @@ TEST(Prior, GridMatchesFixedPointGrid) {
 }
 
 TEST(Prior, PenalisedCodesGetLowerMass) {
-  const auto prior = make_prior(odd_penalised_model(5), 5, 310.0, 1.0);
+  const auto prior = make_prior(odd_penalised_model(5), acfg(5), 310.0, 1.0);
   // value 2/32 (even code, clean) vs 3/32 (odd code, 1e6 variance).
   const auto clean = prior.nearest_index(2.0 / 32.0);
   const auto dirty = prior.nearest_index(3.0 / 32.0);
@@ -40,7 +42,7 @@ TEST(Prior, PenalisedCodesGetLowerMass) {
 }
 
 TEST(Prior, SymmetricInSign) {
-  const auto prior = make_prior(odd_penalised_model(5), 5, 310.0, 2.0);
+  const auto prior = make_prior(odd_penalised_model(5), acfg(5), 310.0, 2.0);
   for (std::size_t i = 0; i < prior.size(); ++i) {
     const auto j = prior.nearest_index(-prior.value(i));
     EXPECT_NEAR(prior.probability(i), prior.probability(j), 1e-15);
@@ -50,8 +52,8 @@ TEST(Prior, SymmetricInSign) {
 TEST(Prior, BetaControlsSharpness) {
   // Figure 7: β = 0.1 ≈ flat; β = 4 kills error-prone codes.
   const auto model = odd_penalised_model(5);
-  const auto soft = make_prior(model, 5, 310.0, 0.1);
-  const auto hard = make_prior(model, 5, 310.0, 4.0);
+  const auto soft = make_prior(model, acfg(5), 310.0, 0.1);
+  const auto hard = make_prior(model, acfg(5), 310.0, 4.0);
   const auto clean = soft.nearest_index(2.0 / 32.0);
   const auto dirty = soft.nearest_index(3.0 / 32.0);
   const double ratio_soft = soft.probability(clean) / soft.probability(dirty);
@@ -61,15 +63,15 @@ TEST(Prior, BetaControlsSharpness) {
 }
 
 TEST(Prior, ErrorFreeModelGivesFlatPrior) {
-  ErrorModel clean(4, 9, {310.0});  // all zeros
-  const auto prior = make_prior(clean, 4, 310.0, 4.0);
+  ErrorModel clean(acfg(4), 9, {310.0});  // all zeros
+  const auto prior = make_prior(clean, acfg(4), 310.0, 4.0);
   const double expected = 1.0 / static_cast<double>(prior.size());
   for (std::size_t i = 0; i < prior.size(); ++i)
     EXPECT_NEAR(prior.probability(i), expected, 1e-12);
 }
 
 TEST(Prior, FlatPriorIsUniform) {
-  const auto prior = make_flat_prior(6, 310.0);
+  const auto prior = make_flat_prior(acfg(6), 310.0);
   const double expected = 1.0 / static_cast<double>(prior.size());
   for (std::size_t i = 0; i < prior.size(); ++i)
     EXPECT_DOUBLE_EQ(prior.probability(i), expected);
@@ -77,7 +79,7 @@ TEST(Prior, FlatPriorIsUniform) {
 }
 
 TEST(Prior, NearestIndexFindsClosestGridValue) {
-  const auto prior = make_flat_prior(3, 310.0);
+  const auto prior = make_flat_prior(acfg(3), 310.0);
   // Grid step is 1/8.
   EXPECT_DOUBLE_EQ(prior.value(prior.nearest_index(0.0)), 0.0);
   EXPECT_DOUBLE_EQ(prior.value(prior.nearest_index(0.13)), 0.125);
@@ -88,16 +90,16 @@ TEST(Prior, NearestIndexFindsClosestGridValue) {
 
 TEST(Prior, WordlengthMismatchThrows) {
   const auto model = odd_penalised_model(5);
-  EXPECT_THROW(make_prior(model, 6, 310.0, 1.0), CheckError);
+  EXPECT_THROW(make_prior(model, acfg(6), 310.0, 1.0), CheckError);
 }
 
 TEST(Prior, ExtremeVarianceDoesNotCollapseNormalisation) {
   // β = 8 on ~1e9 code-unit variances: the penalised weights underflow to
   // ~0 but the prior must stay a valid distribution over the clean codes.
-  ErrorModel model(5, 9, {310.0});
+  ErrorModel model(acfg(5), 9, {310.0});
   for (std::uint32_t mm = 0; mm < 32; ++mm)
     model.set(mm, 0, mm >= 16 ? 4.7e9 : 0.0, 0.0, 0.0);
-  const auto prior = make_prior(model, 5, 310.0, 8.0);
+  const auto prior = make_prior(model, acfg(5), 310.0, 8.0);
   const double total = std::accumulate(prior.probabilities().begin(),
                                        prior.probabilities().end(), 0.0);
   EXPECT_NEAR(total, 1.0, 1e-12);

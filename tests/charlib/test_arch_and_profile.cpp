@@ -19,9 +19,8 @@ class ArchCharTest : public ::testing::Test {
 
 TEST_F(ArchCharTest, WallaceDutIsFunctionallyCorrectAtLowClock) {
   CharCircuitConfig cfg;
-  cfg.wl_m = 6;
+  cfg.mult = MultConfig{MultArch::Wallace, 6, 1};
   cfg.wl_x = 6;
-  cfg.arch = MultArch::Wallace;
   CharacterisationCircuit circuit(cfg, device_, reference_location_1());
   const auto xs = uniform_stream(6, 400, 1);
   const auto trace = circuit.run(45, xs, 100.0);
@@ -33,28 +32,31 @@ TEST_F(ArchCharTest, WallaceDutIsFunctionallyCorrectAtLowClock) {
 TEST_F(ArchCharTest, WallaceSurvivesHigherClocksThanArray) {
   // The shallower tree must keep a higher device-view Fmax.
   CharCircuitConfig array_cfg;
-  array_cfg.wl_m = 8;
+  array_cfg.mult = MultConfig{MultArch::Array, 8, 1};
   array_cfg.wl_x = 8;
   CharCircuitConfig wallace_cfg = array_cfg;
-  wallace_cfg.arch = MultArch::Wallace;
+  wallace_cfg.mult.arch = MultArch::Wallace;
   CharacterisationCircuit array_c(array_cfg, device_, reference_location_1());
   CharacterisationCircuit wallace_c(wallace_cfg, device_, reference_location_1());
   EXPECT_GT(wallace_c.dut_device_fmax_mhz(), array_c.dut_device_fmax_mhz() * 1.1);
   EXPECT_GT(wallace_c.dut_tool_fmax_mhz(), array_c.dut_tool_fmax_mhz() * 1.1);
 }
 
-TEST_F(ArchCharTest, SweepSettingsArchReachesTheModel) {
+TEST_F(ArchCharTest, ConfigArchReachesTheModel) {
   // At a clock where the array multiplier errs, the Wallace one does not:
-  // the arch knob demonstrably reaches the characterisation.
+  // the architecture dimension demonstrably reaches the characterisation.
   SweepSettings ss;
   ss.freqs_mhz = {330.0};
   ss.locations = {reference_location_1()};
   ss.samples_per_point = 200;
-  const auto array_model = characterise_multiplier(device_, 8, 8, ss);
-  ss.arch = MultArch::Wallace;
-  const auto wallace_model = characterise_multiplier(device_, 8, 8, ss);
+  const auto array_model = characterise_multiplier(
+      device_, MultConfig{MultArch::Array, 8, 1}, 8, ss);
+  const auto wallace_model = characterise_multiplier(
+      device_, MultConfig{MultArch::Wallace, 8, 1}, 8, ss);
   EXPECT_GT(array_model.max_variance(), 0.0);
   EXPECT_DOUBLE_EQ(wallace_model.max_variance(), 0.0);
+  EXPECT_EQ(array_model.config().arch, MultArch::Array);
+  EXPECT_EQ(wallace_model.config().arch, MultArch::Wallace);
 }
 
 TEST(MultArchName, Names) {

@@ -14,7 +14,7 @@ class CharCircuitTest : public ::testing::Test {
   CharCircuitTest()
       : device_(reference_device_config(), kReferenceDieSeed) {
     device_.set_temperature(kCharacterisationTempC);
-    cfg_.wl_m = 6;
+    cfg_.mult = MultConfig{MultArch::Array, 6, 1};
     cfg_.wl_x = 6;
     cfg_.bram_depth = 64;
   }

@@ -8,21 +8,41 @@
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 ErrorModel small_model() {
-  ErrorModel m(3, 4, {100.0, 200.0, 300.0});
+  ErrorModel m(acfg(3), 4, {100.0, 200.0, 300.0});
   for (std::uint32_t mm = 0; mm < 8; ++mm)
     for (std::size_t fi = 0; fi < 3; ++fi)
       m.set(mm, fi, mm * 10.0 + fi, mm * 1.0 - 2.0, 0.05 * fi);
   return m;
 }
 
+const char* kHeader =
+    "arch,wl_m,pipeline_depth,wl_x,m,freq_mhz,variance,mean_error,error_rate";
+
 TEST(ErrorModel, BasicAccessors) {
   const auto m = small_model();
   EXPECT_EQ(m.wordlength(), 3);
   EXPECT_EQ(m.data_wordlength(), 4);
+  EXPECT_EQ(m.config(), acfg(3));
   EXPECT_EQ(m.num_multiplicands(), 8u);
   EXPECT_EQ(m.freqs_mhz().size(), 3u);
   EXPECT_FALSE(m.empty());
+}
+
+TEST(ErrorModel, RequireConfigNamesBothConfigs) {
+  const auto m = small_model();
+  EXPECT_NO_THROW(m.require_config(acfg(3), "test"));
+  try {
+    m.require_config(MultConfig{MultArch::Wallace, 3, 1}, "prior");
+    FAIL() << "mismatched config accepted";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("array/wl3/p1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("wallace/wl3/p1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("prior"), std::string::npos) << msg;
+  }
 }
 
 TEST(ErrorModel, ExactGridQueries) {
@@ -63,6 +83,7 @@ TEST(ErrorModel, CsvRoundTrip) {
   const auto loaded = ErrorModel::load_csv(ss);
   EXPECT_EQ(loaded.wordlength(), m.wordlength());
   EXPECT_EQ(loaded.data_wordlength(), m.data_wordlength());
+  EXPECT_EQ(loaded.config(), m.config());
   ASSERT_EQ(loaded.freqs_mhz(), m.freqs_mhz());
   for (std::uint32_t mm = 0; mm < 8; ++mm)
     for (double f : {100.0, 200.0, 300.0}) {
@@ -72,13 +93,29 @@ TEST(ErrorModel, CsvRoundTrip) {
     }
 }
 
+TEST(ErrorModel, CsvRoundTripPreservesConfigTag) {
+  // The architecture and pipeline depth of the characterised multiplier
+  // must survive the file format — a reloaded Wallace model must not be
+  // mistakable for an array one.
+  ErrorModel m(MultConfig{MultArch::Wallace, 4, 3}, 5, {100.0, 200.0});
+  for (std::uint32_t mm = 0; mm < 16; ++mm)
+    for (std::size_t fi = 0; fi < 2; ++fi)
+      m.set(mm, fi, 0.5 * mm + fi, 0.0, 0.0);
+  std::stringstream ss;
+  m.save_csv(ss);
+  const auto loaded = ErrorModel::load_csv(ss);
+  EXPECT_EQ(loaded.config(), (MultConfig{MultArch::Wallace, 4, 3}));
+  EXPECT_NO_THROW(loaded.require_config(m.config(), "round-trip"));
+  EXPECT_THROW(loaded.require_config(acfg(4), "round-trip"), CheckError);
+}
+
 TEST(ErrorModel, CsvRoundTripBitwiseOnMultiFrequencyGrid) {
   // A dense frequency grid (the shape the sweep engine now produces in one
   // pass) must survive save→load→save bitwise: same grid after the
   // sorted-unique dedup pass, same values at full double precision.
   std::vector<double> freqs;
   for (int i = 0; i < 24; ++i) freqs.push_back(100.0 + 17.31 * i);
-  ErrorModel m(4, 4, freqs);
+  ErrorModel m(acfg(4), 4, freqs);
   for (std::uint32_t mm = 0; mm < 16; ++mm)
     for (std::size_t fi = 0; fi < freqs.size(); ++fi)
       m.set(mm, fi, std::exp(0.1 * mm) * (fi + 0.125),
@@ -98,13 +135,13 @@ TEST(ErrorModel, LoadDedupsUnsortedRepeatedFrequencies) {
   // Rows arriving in arbitrary frequency order with repeats must collapse
   // to one sorted, unique grid.
   std::stringstream ss;
-  ss << "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n";
-  ss << "2,2,0,300,3,0,0.3\n"
-     << "2,2,0,100,1,0,0.1\n"
-     << "2,2,1,300,6,0,0.6\n"
-     << "2,2,1,100,4,0,0.2\n"
-     << "2,2,0,200,2,0,0.2\n"
-     << "2,2,1,200,5,0,0.4\n";
+  ss << kHeader << "\n";
+  ss << "array,2,1,2,0,300,3,0,0.3\n"
+     << "array,2,1,2,0,100,1,0,0.1\n"
+     << "array,2,1,2,1,300,6,0,0.6\n"
+     << "array,2,1,2,1,100,4,0,0.2\n"
+     << "array,2,1,2,0,200,2,0,0.2\n"
+     << "array,2,1,2,1,200,5,0,0.4\n";
   const auto m = ErrorModel::load_csv(ss);
   ASSERT_EQ(m.freqs_mhz(), (std::vector<double>{100.0, 200.0, 300.0}));
   EXPECT_DOUBLE_EQ(m.variance(0, 200.0), 2.0);
@@ -115,9 +152,8 @@ TEST(ErrorModel, LoadDedupsUnsortedRepeatedFrequencies) {
 TEST(ErrorModel, LoadRejectsGarbage) {
   std::stringstream empty;
   EXPECT_THROW(ErrorModel::load_csv(empty), CheckError);
-  std::stringstream bad(
-      "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n"
-      "not,numbers,at,all,x,y,z\n");
+  std::stringstream bad(std::string(kHeader) +
+                        "\nnot,1,1,numbers,at,all,x,y,z\n");
   EXPECT_THROW(ErrorModel::load_csv(bad), CheckError);
 }
 
@@ -125,78 +161,104 @@ namespace {
 // A valid one-row stream with `row` substituted — each malformed-input test
 // perturbs exactly one thing.
 std::string csv_with_row(const std::string& row) {
-  return "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n" + row + "\n";
+  return std::string(kHeader) + "\n" + row + "\n";
 }
 }  // namespace
 
 TEST(ErrorModel, LoadRejectsTruncatedRow) {
-  std::stringstream five_fields(csv_with_row("3,4,2,100,0.5"));
+  std::stringstream five_fields(csv_with_row("array,3,1,4,2,100,0.5"));
   EXPECT_THROW(ErrorModel::load_csv(five_fields), CheckError);
-  std::stringstream cut_mid_field(csv_with_row("3,4,2,10"));
+  std::stringstream cut_mid_field(csv_with_row("array,3,1,4,2,10"));
   EXPECT_THROW(ErrorModel::load_csv(cut_mid_field), CheckError);
 }
 
 TEST(ErrorModel, LoadRejectsExtraFieldsAndTrailingGarbage) {
-  std::stringstream extra(csv_with_row("3,4,2,100,0.5,0.0,0.1,junk"));
+  std::stringstream extra(csv_with_row("array,3,1,4,2,100,0.5,0.0,0.1,junk"));
   EXPECT_THROW(ErrorModel::load_csv(extra), CheckError);
   // Garbage glued onto an otherwise-numeric field used to parse silently.
-  std::stringstream glued(csv_with_row("3,4,2,100,0.5,0.0,0.1x"));
+  std::stringstream glued(csv_with_row("array,3,1,4,2,100,0.5,0.0,0.1x"));
   EXPECT_THROW(ErrorModel::load_csv(glued), CheckError);
 }
 
 TEST(ErrorModel, LoadRejectsNonNumericField) {
-  std::stringstream bad_var(csv_with_row("3,4,2,100,NOPE,0.0,0.1"));
+  std::stringstream bad_var(csv_with_row("array,3,1,4,2,100,NOPE,0.0,0.1"));
   EXPECT_THROW(ErrorModel::load_csv(bad_var), CheckError);
-  std::stringstream empty_field(csv_with_row("3,4,2,,0.5,0.0,0.1"));
+  std::stringstream empty_field(csv_with_row("array,3,1,4,2,,0.5,0.0,0.1"));
   EXPECT_THROW(ErrorModel::load_csv(empty_field), CheckError);
-  std::stringstream inf_var(csv_with_row("3,4,2,100,inf,0.0,0.1"));
+  std::stringstream inf_var(csv_with_row("array,3,1,4,2,100,inf,0.0,0.1"));
   EXPECT_THROW(ErrorModel::load_csv(inf_var), CheckError);
+}
+
+TEST(ErrorModel, LoadRejectsUnknownArchitecture) {
+  std::stringstream bad_arch(csv_with_row("booth,3,1,4,2,100,0.5,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(bad_arch), CheckError);
 }
 
 TEST(ErrorModel, LoadRejectsOutOfRangeValues) {
   // Multiplicand beyond 2^wl_m: would index out of the table.
-  std::stringstream big_m(csv_with_row("3,4,8,100,0.5,0.0,0.1"));
+  std::stringstream big_m(csv_with_row("array,3,1,4,8,100,0.5,0.0,0.1"));
   EXPECT_THROW(ErrorModel::load_csv(big_m), CheckError);
-  std::stringstream neg_m(csv_with_row("3,4,-1,100,0.5,0.0,0.1"));
+  std::stringstream neg_m(csv_with_row("array,3,1,4,-1,100,0.5,0.0,0.1"));
   EXPECT_THROW(ErrorModel::load_csv(neg_m), CheckError);
-  std::stringstream bad_wl(csv_with_row("0,4,0,100,0.5,0.0,0.1"));
+  std::stringstream bad_wl(csv_with_row("array,0,1,4,0,100,0.5,0.0,0.1"));
   EXPECT_THROW(ErrorModel::load_csv(bad_wl), CheckError);
-  std::stringstream neg_freq(csv_with_row("3,4,2,-100,0.5,0.0,0.1"));
+  std::stringstream bad_depth(csv_with_row("array,3,0,4,2,100,0.5,0.0,0.1"));
+  EXPECT_THROW(ErrorModel::load_csv(bad_depth), CheckError);
+  std::stringstream neg_freq(csv_with_row("array,3,1,4,2,-100,0.5,0.0,0.1"));
   EXPECT_THROW(ErrorModel::load_csv(neg_freq), CheckError);
-  std::stringstream neg_var(csv_with_row("3,4,2,100,-0.5,0.0,0.1"));
+  std::stringstream neg_var(csv_with_row("array,3,1,4,2,100,-0.5,0.0,0.1"));
   EXPECT_THROW(ErrorModel::load_csv(neg_var), CheckError);
-  std::stringstream big_rate(csv_with_row("3,4,2,100,0.5,0.0,1.5"));
+  std::stringstream big_rate(csv_with_row("array,3,1,4,2,100,0.5,0.0,1.5"));
   EXPECT_THROW(ErrorModel::load_csv(big_rate), CheckError);
 }
 
 TEST(ErrorModel, LoadRejectsHeaderlessStream) {
-  std::stringstream no_header("3,4,2,100,0.5,0.0,0.1\n");
+  std::stringstream no_header("array,3,1,4,2,100,0.5,0.0,0.1\n");
   EXPECT_THROW(ErrorModel::load_csv(no_header), CheckError);
-  std::stringstream header_only(
-      "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n");
+  std::stringstream old_header(
+      "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n"
+      "3,4,2,100,0.5,0.0,0.1\n");
+  EXPECT_THROW(ErrorModel::load_csv(old_header), CheckError);
+  std::stringstream header_only(std::string(kHeader) + "\n");
   EXPECT_THROW(ErrorModel::load_csv(header_only), CheckError);
 }
 
 TEST(ErrorModel, LoadRejectsDuplicateCell) {
-  std::stringstream dup(
-      "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n"
-      "3,4,2,100,0.5,0.0,0.1\n"
-      "3,4,2,100,0.9,0.0,0.2\n");
+  std::stringstream dup(std::string(kHeader) +
+                        "\narray,3,1,4,2,100,0.5,0.0,0.1\n"
+                        "array,3,1,4,2,100,0.9,0.0,0.2\n");
   EXPECT_THROW(ErrorModel::load_csv(dup), CheckError);
 }
 
-TEST(ErrorModel, LoadRejectsMixedWordlengths) {
-  std::stringstream mixed(
-      "wl_m,wl_x,m,freq_mhz,variance,mean_error,error_rate\n"
-      "3,4,2,100,0.5,0.0,0.1\n"
-      "4,4,2,100,0.5,0.0,0.1\n");
-  EXPECT_THROW(ErrorModel::load_csv(mixed), CheckError);
+TEST(ErrorModel, LoadRejectsMixedConfigsNamingBoth) {
+  // One file holds one configuration's surface. A file mixing two configs
+  // (here: same word-length, different architecture) must be rejected with
+  // a message naming both, so the mis-merge is diagnosable.
+  std::stringstream mixed(std::string(kHeader) +
+                          "\narray,3,1,4,2,100,0.5,0.0,0.1\n"
+                          "wallace,3,1,4,2,100,0.5,0.0,0.1\n");
+  try {
+    ErrorModel::load_csv(mixed);
+    FAIL() << "mixed-config file accepted";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("array/wl3/p1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("wallace/wl3/p1"), std::string::npos) << msg;
+  }
+  std::stringstream mixed_wl(std::string(kHeader) +
+                             "\narray,3,1,4,2,100,0.5,0.0,0.1\n"
+                             "array,4,1,4,2,100,0.5,0.0,0.1\n");
+  EXPECT_THROW(ErrorModel::load_csv(mixed_wl), CheckError);
+  std::stringstream mixed_depth(std::string(kHeader) +
+                                "\narray,3,1,4,2,100,0.5,0.0,0.1\n"
+                                "array,3,2,4,2,100,0.5,0.0,0.1\n");
+  EXPECT_THROW(ErrorModel::load_csv(mixed_depth), CheckError);
 }
 
 TEST(ErrorModel, RoundTripSingleFrequencyEdgeGrid) {
   // The sweep's #Freqs=1 shape (the paper's own runtime example): one
   // column, clamped everywhere, must survive save → load → save bitwise.
-  ErrorModel m(5, 9, {310.0});
+  ErrorModel m(acfg(5), 9, {310.0});
   for (std::uint32_t mm = 0; mm < 32; ++mm)
     m.set(mm, 0, 0.25 * mm, 0.5 - 0.01 * mm, std::min(1.0, 0.03 * mm));
   std::stringstream first;
@@ -217,7 +279,7 @@ TEST(ErrorModel, RoundTripSingleFrequencyEdgeGrid) {
 
 TEST(ErrorModel, RoundTripMinimumWordlengthGrid) {
   // wl_m = 3 (the Table-I sweep floor): 8 multiplicands, two frequencies.
-  ErrorModel m(3, 3, {150.0, 450.0});
+  ErrorModel m(acfg(3), 3, {150.0, 450.0});
   for (std::uint32_t mm = 0; mm < 8; ++mm)
     for (std::size_t fi = 0; fi < 2; ++fi)
       m.set(mm, fi, 1e-3 * (mm + 1) * (fi + 1), -0.25 * mm, 0.125 * fi);
@@ -235,13 +297,15 @@ TEST(ErrorModel, RoundTripMinimumWordlengthGrid) {
 }
 
 TEST(ErrorModel, ConstructionValidation) {
-  EXPECT_THROW(ErrorModel(0, 4, {100.0}), CheckError);
-  EXPECT_THROW(ErrorModel(3, 4, {}), CheckError);
-  EXPECT_THROW(ErrorModel(3, 4, {200.0, 100.0}), CheckError);  // unsorted
+  EXPECT_THROW(ErrorModel(acfg(0), 4, {100.0}), CheckError);
+  EXPECT_THROW(ErrorModel(acfg(3), 4, {}), CheckError);
+  EXPECT_THROW(ErrorModel(acfg(3), 4, {200.0, 100.0}), CheckError);  // unsorted
+  EXPECT_THROW(ErrorModel(MultConfig{MultArch::Array, 3, 0}, 4, {100.0}),
+               CheckError);  // depth below 1
 }
 
 TEST(ErrorModel, SetValidation) {
-  ErrorModel m(3, 4, {100.0});
+  ErrorModel m(acfg(3), 4, {100.0});
   EXPECT_THROW(m.set(0, 0, -1.0, 0.0, 0.0), CheckError);   // negative var
   EXPECT_THROW(m.set(0, 0, 1.0, 0.0, 1.5), CheckError);    // rate > 1
 }
@@ -250,7 +314,7 @@ TEST(ErrorModel, SingleFrequencyGridAlwaysClamps) {
   // One characterised point is the i0 == i1 edge of locate(): every query
   // — below, at, or above the point — must clamp to that cell with a zero
   // interpolation weight, for all three tables.
-  ErrorModel m(2, 2, {310.0});
+  ErrorModel m(acfg(2), 2, {310.0});
   m.set(3, 0, 42.0, -7.0, 0.1);
   for (double f : {100.0, 310.0, 500.0}) {
     EXPECT_DOUBLE_EQ(m.variance(3, f), 42.0);
@@ -262,13 +326,13 @@ TEST(ErrorModel, SingleFrequencyGridAlwaysClamps) {
 }
 
 TEST(ErrorModel, ConstructorRejectsUnsortedGrid) {
-  EXPECT_THROW(ErrorModel(3, 4, {200.0, 100.0, 300.0}), CheckError);
+  EXPECT_THROW(ErrorModel(acfg(3), 4, {200.0, 100.0, 300.0}), CheckError);
 }
 
 TEST(ErrorModel, ConstructorRejectsDuplicateGridFrequencies) {
   // A sorted-but-duplicated grid would give locate() a zero frequency gap.
-  EXPECT_THROW(ErrorModel(3, 4, {100.0, 100.0, 300.0}), CheckError);
-  EXPECT_THROW(ErrorModel(3, 4, {100.0, 300.0, 300.0}), CheckError);
+  EXPECT_THROW(ErrorModel(acfg(3), 4, {100.0, 100.0, 300.0}), CheckError);
+  EXPECT_THROW(ErrorModel(acfg(3), 4, {100.0, 300.0, 300.0}), CheckError);
 }
 
 TEST(SharedErrorModels, StartsEmptyAndPublishesSnapshots) {
@@ -278,22 +342,28 @@ TEST(SharedErrorModels, StartsEmptyAndPublishesSnapshots) {
   ASSERT_NE(empty, nullptr);
   EXPECT_TRUE(empty->empty());
 
-  shared.store({{3, small_model()}});
+  ErrorModelMap map;
+  map.emplace(acfg(3), small_model());
+  shared.store(std::move(map));
   EXPECT_EQ(shared.generation(), 1u);
   const auto first = shared.load();
-  EXPECT_EQ(first->count(3), 1u);
+  EXPECT_EQ(first->count(acfg(3)), 1u);
   EXPECT_TRUE(empty->empty());  // old snapshot is immutable and alive
 }
 
 TEST(SharedErrorModels, OldSnapshotsSurviveSubsequentStores) {
-  SharedErrorModels shared({{3, small_model()}});
+  ErrorModelMap initial;
+  initial.emplace(acfg(3), small_model());
+  SharedErrorModels shared(std::move(initial));
   const auto before = shared.load();
   ErrorModel updated = small_model();
   updated.set(5, 0, 999.0, 0.0, 1.0);
-  shared.store({{3, std::move(updated)}});
+  ErrorModelMap next;
+  next.emplace(acfg(3), std::move(updated));
+  shared.store(std::move(next));
   const auto after = shared.load();
-  EXPECT_DOUBLE_EQ(before->at(3).variance(5, 100.0), 50.0);
-  EXPECT_DOUBLE_EQ(after->at(3).variance(5, 100.0), 999.0);
+  EXPECT_DOUBLE_EQ(before->at(acfg(3)).variance(5, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(after->at(acfg(3)).variance(5, 100.0), 999.0);
 }
 
 }  // namespace

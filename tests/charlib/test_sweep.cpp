@@ -11,6 +11,8 @@
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 class SweepTest : public ::testing::Test {
  protected:
   SweepTest() : device_(reference_device_config(), kReferenceDieSeed) {
@@ -40,7 +42,7 @@ TEST(UniformStream, CoversTheRange) {
 
 TEST_F(SweepTest, LowFrequencyModelIsAllZero) {
   settings_.freqs_mhz = {100.0};
-  const auto model = characterise_multiplier(device_, 4, 4, settings_);
+  const auto model = characterise_multiplier(device_, acfg(4), 4, settings_);
   for (std::uint32_t m = 0; m < 16; ++m) {
     EXPECT_DOUBLE_EQ(model.variance(m, 100.0), 0.0) << "m=" << m;
     EXPECT_DOUBLE_EQ(model.error_rate(m, 100.0), 0.0);
@@ -52,7 +54,7 @@ TEST_F(SweepTest, HighFrequencyShowsDataDependence) {
   // the error-prone regime but still under the supporting-logic limit.
   settings_.freqs_mhz = {640.0};
   settings_.samples_per_point = 400;
-  const auto model = characterise_multiplier(device_, 5, 5, settings_);
+  const auto model = characterise_multiplier(device_, acfg(5), 5, settings_);
   // m = 0: no partial products, never any error.
   EXPECT_DOUBLE_EQ(model.variance(0, 640.0), 0.0);
   // The all-ones multiplicand toggles every row: must err at this clock.
@@ -76,7 +78,7 @@ TEST_F(SweepTest, HighFrequencyShowsDataDependence) {
 TEST_F(SweepTest, VarianceGrowsWithFrequency) {
   settings_.freqs_mhz = {300.0, 550.0, 660.0};
   settings_.samples_per_point = 300;
-  const auto model = characterise_multiplier(device_, 5, 5, settings_);
+  const auto model = characterise_multiplier(device_, acfg(5), 5, settings_);
   double v300 = 0.0, v550 = 0.0, v660 = 0.0;
   for (std::uint32_t m = 0; m < 32; ++m) {
     v300 += model.variance(m, 300.0);
@@ -92,14 +94,14 @@ TEST_F(SweepTest, MultipleLocationsAggregate) {
   settings_.freqs_mhz = {640.0};
   settings_.locations = {reference_location_1(), reference_location_2()};
   settings_.samples_per_point = 150;
-  const auto model = characterise_multiplier(device_, 5, 5, settings_);
+  const auto model = characterise_multiplier(device_, acfg(5), 5, settings_);
   EXPECT_GT(model.max_variance(), 0.0);
 }
 
 TEST_F(SweepTest, DeterministicAcrossRuns) {
   settings_.freqs_mhz = {400.0};
-  const auto a = characterise_multiplier(device_, 4, 4, settings_);
-  const auto b = characterise_multiplier(device_, 4, 4, settings_);
+  const auto a = characterise_multiplier(device_, acfg(4), 4, settings_);
+  const auto b = characterise_multiplier(device_, acfg(4), 4, settings_);
   for (std::uint32_t m = 0; m < 16; ++m)
     EXPECT_DOUBLE_EQ(a.variance(m, 400.0), b.variance(m, 400.0));
 }
@@ -133,17 +135,17 @@ TEST(FindRegimes, AllErrorFree) {
 
 // The seed per-frequency reference path: one full stream simulation per
 // (m, frequency, location), accumulated exactly as the sweep engine does.
-ErrorModel reference_characterisation(const Device& device, int wl_m, int wl_x,
+ErrorModel reference_characterisation(const Device& device,
+                                      const MultConfig& config, int wl_x,
                                       const SweepSettings& settings) {
   std::vector<double> freqs = settings.freqs_mhz;
   std::sort(freqs.begin(), freqs.end());
-  ErrorModel model(wl_m, wl_x, freqs);
+  ErrorModel model(config, wl_x, freqs);
   const auto stream = uniform_stream(wl_x, settings.samples_per_point,
                                      settings.stream_seed);
   CharCircuitConfig ccfg;
-  ccfg.wl_m = wl_m;
+  ccfg.mult = config;
   ccfg.wl_x = wl_x;
-  ccfg.arch = settings.arch;
   ccfg.with_jitter = settings.with_jitter;
   ccfg.fsm_clock_mhz = settings.fsm_clock_mhz;
   ccfg.bram_depth = settings.bram_depth;
@@ -178,7 +180,7 @@ TEST_F(SweepTest, SinglePassMatchesPerFrequencyReferenceBitwise) {
   settings_.samples_per_point = 200;
 
   CharCircuitConfig probe_cfg;
-  probe_cfg.wl_m = 4;
+  probe_cfg.mult = acfg(4);
   probe_cfg.wl_x = 4;
   probe_cfg.with_jitter = false;
   CharacterisationCircuit probe1(probe_cfg, device_, reference_location_1());
@@ -191,8 +193,8 @@ TEST_F(SweepTest, SinglePassMatchesPerFrequencyReferenceBitwise) {
                          std::min(1.3 * f0, 0.97 * support)};
   ASSERT_LT(settings_.freqs_mhz[1], settings_.freqs_mhz[2]);
 
-  const auto single_pass = characterise_multiplier(device_, 4, 4, settings_);
-  const auto reference = reference_characterisation(device_, 4, 4, settings_);
+  const auto single_pass = characterise_multiplier(device_, acfg(4), 4, settings_);
+  const auto reference = reference_characterisation(device_, acfg(4), 4, settings_);
 
   bool any_error = false;
   for (std::uint32_t m = 0; m < 16; ++m)
@@ -218,8 +220,8 @@ TEST_F(SweepTest, JitteredSinglePassIsStatisticallyEquivalent) {
   settings_.with_jitter = true;
   settings_.freqs_mhz = {640.0};
   settings_.samples_per_point = 400;
-  const auto single_pass = characterise_multiplier(device_, 5, 5, settings_);
-  const auto reference = reference_characterisation(device_, 5, 5, settings_);
+  const auto single_pass = characterise_multiplier(device_, acfg(5), 5, settings_);
+  const auto reference = reference_characterisation(device_, acfg(5), 5, settings_);
 
   double total_abs_diff = 0.0;
   for (std::uint32_t m = 0; m < 32; ++m) {
@@ -237,7 +239,7 @@ TEST_F(SweepTest, ConstructsEachLocationCircuitExactlyOnce) {
   settings_.locations = {reference_location_1(), reference_location_2()};
   settings_.samples_per_point = 50;
   const auto before = CharacterisationCircuit::construction_count();
-  characterise_multiplier(device_, 4, 4, settings_);
+  characterise_multiplier(device_, acfg(4), 4, settings_);
   const auto after = CharacterisationCircuit::construction_count();
   EXPECT_EQ(after - before, settings_.locations.size());
 }
@@ -280,10 +282,10 @@ TEST_F(SweepTest, InvalidSettingsThrow) {
   SweepSettings bad;
   bad.freqs_mhz = {};
   bad.locations = {reference_location_1()};
-  EXPECT_THROW(characterise_multiplier(device_, 4, 4, bad), CheckError);
+  EXPECT_THROW(characterise_multiplier(device_, acfg(4), 4, bad), CheckError);
   bad.freqs_mhz = {300.0};
   bad.locations = {};
-  EXPECT_THROW(characterise_multiplier(device_, 4, 4, bad), CheckError);
+  EXPECT_THROW(characterise_multiplier(device_, acfg(4), 4, bad), CheckError);
 }
 
 // --- subsampled online re-characterisation ---------------------------------
@@ -292,7 +294,7 @@ class SubsweepTest : public ::testing::Test {
  protected:
   SubsweepTest() : device_(reference_device_config(), kReferenceDieSeed) {
     device_.set_temperature(kCharacterisationTempC);
-    ccfg_.wl_m = 4;
+    ccfg_.mult = acfg(4);
     ccfg_.wl_x = 4;
     ccfg_.with_jitter = false;
   }
@@ -305,7 +307,7 @@ class SubsweepTest : public ::testing::Test {
 
 TEST_F(SubsweepTest, UpdatesOnlyProbedRows) {
   const auto circ = circuit();
-  ErrorModel model(4, 4, {100.0, 200.0});
+  ErrorModel model(acfg(4), 4, {100.0, 200.0});
   for (std::uint32_t m = 0; m < 16; ++m)
     for (std::size_t fi = 0; fi < 2; ++fi) model.set(m, fi, 1.0, 2.0, 0.0);
 
@@ -333,7 +335,7 @@ TEST_F(SubsweepTest, UpdatesOnlyProbedRows) {
 TEST_F(SubsweepTest, StrideCoverageRotatesWithPhase) {
   const auto circ = circuit();
   auto probed_rows = [&](std::uint64_t phase) {
-    ErrorModel model(4, 4, {100.0});
+    ErrorModel model(acfg(4), 4, {100.0});
     for (std::uint32_t m = 0; m < 16; ++m) model.set(m, 0, 1.0, 0.0, 0.0);
     SubsweepSettings probe;
     probe.m_stride = 8;
@@ -354,13 +356,13 @@ TEST_F(SubsweepTest, ErrorFreeFmaxFollowsTheFirstErroneousPoint) {
   // 8×8 at the reference placement errs well below 640 (the Figure-1
   // landscape), so a grid spanning the onset yields a mid-grid fB.
   CharCircuitConfig cc;
-  cc.wl_m = 8;
+  cc.mult = acfg(8);
   cc.wl_x = 8;
   cc.with_jitter = false;
   CharacterisationCircuit circ(cc, device_, reference_location_1());
   std::vector<double> grid;
   for (double f = 100.0; f <= 640.0; f += 30.0) grid.push_back(f);
-  ErrorModel model(8, 8, grid);
+  ErrorModel model(acfg(8), 8, grid);
   SubsweepSettings probe;
   probe.multiplicands = {255, 222};
   probe.samples_per_point = 150;
@@ -371,7 +373,7 @@ TEST_F(SubsweepTest, ErrorFreeFmaxFollowsTheFirstErroneousPoint) {
   // Emulated drift (delays × d): the same probe on the same grid must see
   // a smaller error-free regime — this is what the fleet's control plane
   // keys its floor adjustment on.
-  ErrorModel drifted(8, 8, grid);
+  ErrorModel drifted(acfg(8), 8, grid);
   probe.timing_derate = 2.0;
   const auto hot = recharacterise_multiplier(circ, drifted, probe);
   EXPECT_LT(hot.error_free_fmax_mhz, clean.error_free_fmax_mhz);
@@ -383,7 +385,7 @@ TEST_F(SubsweepTest, GridPointsPastSupportFmaxAreSkipped) {
   // logic's Fmax: those points are unprobeable and must be skipped (and
   // counted), not crash the framework's own-error guard.
   const double support = circ.support_fmax_mhz();
-  ErrorModel model(4, 4, {100.0, 0.9 * support});
+  ErrorModel model(acfg(4), 4, {100.0, 0.9 * support});
   SubsweepSettings probe;
   probe.multiplicands = {5};
   probe.samples_per_point = 50;
@@ -395,7 +397,7 @@ TEST_F(SubsweepTest, GridPointsPastSupportFmaxAreSkipped) {
 TEST_F(SubsweepTest, DeterministicAcrossRuns) {
   const auto circ = circuit();
   auto run = [&] {
-    ErrorModel model(4, 4, {100.0, 500.0, 640.0});
+    ErrorModel model(acfg(4), 4, {100.0, 500.0, 640.0});
     SubsweepSettings probe;
     probe.multiplicands = {15, 13};
     probe.m_stride = 4;
@@ -414,7 +416,7 @@ TEST_F(SubsweepTest, DeterministicAcrossRuns) {
 
 TEST_F(SubsweepTest, Validation) {
   const auto circ = circuit();
-  ErrorModel model(4, 4, {100.0});
+  ErrorModel model(acfg(4), 4, {100.0});
   SubsweepSettings probe;  // nothing to probe
   EXPECT_THROW(recharacterise_multiplier(circ, model, probe), CheckError);
   probe.multiplicands = {16};  // out of range for wl_m = 4
@@ -425,7 +427,7 @@ TEST_F(SubsweepTest, Validation) {
   probe.samples_per_point = 50;
   probe.timing_derate = 0.0;
   EXPECT_THROW(recharacterise_multiplier(circ, model, probe), CheckError);
-  ErrorModel wrong_wl(5, 4, {100.0});
+  ErrorModel wrong_wl(acfg(5), 4, {100.0});
   probe.timing_derate = 1.0;
   EXPECT_THROW(recharacterise_multiplier(circ, wrong_wl, probe), CheckError);
   ErrorModel empty;

@@ -153,9 +153,10 @@ TEST(ExecPolicy, SweepIsBitwiseIdenticalSerialVsPool) {
   ss.locations = {reference_location_1()};
   ss.samples_per_point = 120;
   ss.freqs_mhz = {250.0, 400.0};
-  const auto serial = characterise_multiplier(device, 4, 4, ss,
-                                              ExecPolicy::serial());
-  const auto pooled = characterise_multiplier(device, 4, 4, ss, ExecPolicy{});
+  const MultConfig cfg{MultArch::Array, 4, 1};
+  const auto serial =
+      characterise_multiplier(device, cfg, 4, ss, ExecPolicy::serial());
+  const auto pooled = characterise_multiplier(device, cfg, 4, ss, ExecPolicy{});
   for (std::uint32_t m = 0; m < 16; ++m)
     for (double f : ss.freqs_mhz) {
       ASSERT_EQ(serial.variance(m, f), pooled.variance(m, f));
@@ -183,7 +184,8 @@ TEST(ExecPolicy, GibbsChainIsBitwiseIdenticalAcrossPolicies) {
   Rng rng(5);
   Matrix x(6, 40);
   for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.normal(0, 1);
-  const CoeffPrior prior = make_flat_prior(5, 310.0);
+  const CoeffPrior prior =
+      make_flat_prior(MultConfig{MultArch::Array, 5, 1}, 310.0);
   GibbsSettings gs;
   gs.burn_in = 20;
   gs.samples = 60;
@@ -206,9 +208,9 @@ TEST(ExecPolicy, ProjectBatchIsBitwiseIdenticalAcrossChunkSizes) {
   Device device(reference_device_config(), kReferenceDieSeed);
   device.set_temperature(kCharacterisationTempC);
   LinearProjectionDesign design;
-  design.columns.push_back(make_column({0.75, -0.5, 0.25, 0.125}, 5));
-  design.columns.push_back(make_column({-0.25, 0.625, -0.75, 0.5}, 5));
-  design.arch = MultArch::Array;
+  const MultConfig cfg{MultArch::Array, 5, 1};
+  design.columns.push_back(make_column({0.75, -0.5, 0.25, 0.125}, cfg));
+  design.columns.push_back(make_column({-0.25, 0.625, -0.75, 0.5}, cfg));
   design.target_freq_mhz = 330.0;
   const int wl_x = 6;
   const auto plan = simulated_plan(design, reference_location_1());

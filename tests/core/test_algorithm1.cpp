@@ -10,6 +10,8 @@
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 CandidateProjection cand(double area, double mse) {
   CandidateProjection c;
   c.area = area;
@@ -150,12 +152,13 @@ class Algorithm1Test : public ::testing::Test {
     ss.locations = {reference_location_1()};
     ss.samples_per_point = 120;
     for (int wl = 3; wl <= 6; ++wl)
-      models_.emplace(wl, characterise_multiplier(device_, wl, 9, ss));
-    area_ = AreaModel::fit(collect_area_samples(3, 6, 9, 8, 3));
+      models_.emplace(acfg(wl),
+                      characterise_multiplier(device_, acfg(wl), 9, ss));
+    area_ = AreaModel::fit(collect_area_samples(
+        mult_config_range(MultArch::Array, 3, 6), 9, 8, 3));
 
     settings_.dims_k = 2;
-    settings_.wl_min = 3;
-    settings_.wl_max = 6;
+    settings_.configs = mult_config_range(MultArch::Array, 3, 6);
     settings_.q = 3;
     settings_.gibbs.burn_in = 60;
     settings_.gibbs.samples = 150;
@@ -163,8 +166,9 @@ class Algorithm1Test : public ::testing::Test {
 
   Device device_;
   Matrix x_train_;
-  std::map<int, ErrorModel> models_;
-  AreaModel area_ = AreaModel::fit(collect_area_samples(3, 6, 9, 2, 3));
+  ErrorModelMap models_;
+  AreaModel area_ = AreaModel::fit(collect_area_samples(
+      mult_config_range(MultArch::Array, 3, 6), 9, 2, 3));
   OptimisationSettings settings_;
 };
 
@@ -183,8 +187,9 @@ TEST_F(Algorithm1Test, ProducesSortedValidDesigns) {
     EXPECT_DOUBLE_EQ(d.target_freq_mhz, 310.0);
     EXPECT_NE(d.origin.find("OF"), std::string::npos);
     for (const auto& col : d.columns) {
-      EXPECT_GE(col.wordlength, 3);
-      EXPECT_LE(col.wordlength, 6);
+      EXPECT_GE(col.wordlength(), 3);
+      EXPECT_LE(col.wordlength(), 6);
+      EXPECT_EQ(col.config.arch, MultArch::Array);
       EXPECT_FALSE(col.is_zero());
     }
     if (i > 0) { EXPECT_GE(d.area_estimate, designs[i - 1].area_estimate); }
@@ -235,14 +240,14 @@ TEST_F(Algorithm1Test, FastSamplerReproducesReferenceDesigns) {
     EXPECT_DOUBLE_EQ(fast[i].area_estimate, ref[i].area_estimate);
     ASSERT_EQ(fast[i].columns.size(), ref[i].columns.size());
     for (std::size_t c = 0; c < fast[i].columns.size(); ++c) {
-      EXPECT_EQ(fast[i].columns[c].wordlength, ref[i].columns[c].wordlength);
+      EXPECT_EQ(fast[i].columns[c].config, ref[i].columns[c].config);
       EXPECT_EQ(fast[i].columns[c].values(), ref[i].columns[c].values());
     }
   }
 }
 
 TEST_F(Algorithm1Test, MissingModelThrowsAtConstruction) {
-  settings_.wl_max = 9;  // models_ only cover 3..6
+  settings_.configs = mult_config_range(MultArch::Array, 3, 9);  // models_ only cover 3..6
   EXPECT_THROW(OptimisationFramework(settings_, x_train_, models_, area_),
                CheckError);
 }

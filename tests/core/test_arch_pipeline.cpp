@@ -29,26 +29,28 @@ TEST_F(ArchPipelineTest, WallaceDesignsRunThroughTheWholeStack) {
   ss.freqs_mhz = {420.0};  // far beyond both tool Fmax values
   ss.locations = {reference_location_1()};
   ss.samples_per_point = 150;
-  ss.arch = MultArch::Wallace;
-  std::map<int, ErrorModel> models;
-  for (int wl = 3; wl <= 4; ++wl)
-    models.emplace(wl, characterise_multiplier(device_, wl, 9, ss));
+  ErrorModelMap models;
+  for (int wl = 3; wl <= 4; ++wl) {
+    const MultConfig cfg{MultArch::Wallace, wl, 1};
+    models.emplace(cfg, characterise_multiplier(device_, cfg, 9, ss));
+  }
   const AreaModel area = AreaModel::fit(
-      collect_area_samples(3, 4, 9, 6, 1, MultArch::Wallace));
+      collect_area_samples(mult_config_range(MultArch::Wallace, 3, 4), 9, 6, 1));
 
   OptimisationSettings os;
   os.dims_k = 2;
-  os.wl_min = 3;
-  os.wl_max = 3;  // wl-3 designs: Wallace-clean, array-marginal at 420
+  // wl-3 designs: Wallace-clean, array-marginal at 420
+  os.configs = {MultConfig{MultArch::Wallace, 3, 1}};
   os.target_freq_mhz = 420.0;
-  os.arch = MultArch::Wallace;
   os.q = 2;
   os.gibbs.burn_in = 60;
   os.gibbs.samples = 150;
   OptimisationFramework of(os, x_train_, models, area);
   const auto designs = of.run();
   ASSERT_FALSE(designs.empty());
-  for (const auto& d : designs) EXPECT_EQ(d.arch, MultArch::Wallace);
+  for (const auto& d : designs)
+    for (const auto& col : d.columns)
+      EXPECT_EQ(col.config.arch, MultArch::Wallace);
 
   // Evaluate on hardware: a Wallace design at 420 MHz must reconstruct,
   // and clearly better than the same design pretending to be an array
@@ -70,7 +72,7 @@ TEST_F(ArchPipelineTest, WallaceDesignsRunThroughTheWholeStack) {
   // The same coefficients realised as an array multiplier compute the same
   // function (identical at a safe clock)...
   LinearProjectionDesign as_array = d;
-  as_array.arch = MultArch::Array;
+  for (auto& col : as_array.columns) col.config.arch = MultArch::Array;
   const double array_slow = mse_at(as_array, 50.0);
   const double array_fast = mse_at(as_array, 420.0);
   EXPECT_NEAR(array_slow, wallace_slow, wallace_slow * 0.01);
@@ -85,16 +87,18 @@ TEST_F(ArchPipelineTest, WallaceDesignsRunThroughTheWholeStack) {
   // Raw architecture contrast over all multiplicands: at 420 MHz the
   // wl-3 array multiplier errs at the reference corner, the Wallace one
   // does not.
-  SweepSettings contrast = ss;
-  contrast.arch = MultArch::Array;
-  const auto array_model = characterise_multiplier(device_, 3, 9, contrast);
+  const auto array_model = characterise_multiplier(
+      device_, MultConfig{MultArch::Array, 3, 1}, 9, ss);
   EXPECT_GT(array_model.max_variance(), 0.0);
-  EXPECT_DOUBLE_EQ(models.at(3).max_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(models.at(MultConfig{MultArch::Wallace, 3, 1}).max_variance(),
+                   0.0);
 }
 
 TEST_F(ArchPipelineTest, AreaSamplesRespectArchitecture) {
-  const auto array = collect_area_samples(8, 8, 9, 4, 1, MultArch::Array);
-  const auto wallace = collect_area_samples(8, 8, 9, 4, 1, MultArch::Wallace);
+  const auto array =
+      collect_area_samples({MultConfig{MultArch::Array, 8, 1}}, 9, 4, 1);
+  const auto wallace =
+      collect_area_samples({MultConfig{MultArch::Wallace, 8, 1}}, 9, 4, 1);
   // Wallace carries ~15-25% more cells at these sizes.
   EXPECT_GT(wallace.front().logic_elements, array.front().logic_elements);
 }

@@ -10,27 +10,29 @@
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 class BaselineTest : public ::testing::Test {
  protected:
   BaselineTest() {
     SyntheticDataConfig dc;
     dc.cases = 150;
     x_train_ = make_synthetic_dataset(dc);
-    area_ = AreaModel::fit(collect_area_samples(3, 9, 9, 8, 1));
+    area_ = AreaModel::fit(collect_area_samples(mult_config_range(MultArch::Array, 3, 9), 9, 8, 1));
   }
   Matrix x_train_;
-  AreaModel area_ = AreaModel::fit(collect_area_samples(3, 9, 9, 2, 1));
+  AreaModel area_ = AreaModel::fit(collect_area_samples(mult_config_range(MultArch::Array, 3, 9), 9, 2, 1));
 };
 
 TEST_F(BaselineTest, DesignFieldsArePopulated) {
-  const auto d = make_klt_design(x_train_, 3, 7, 310.0, 9, area_, nullptr);
+  const auto d = make_klt_design(x_train_, 3, acfg(7), 310.0, 9, area_, nullptr);
   EXPECT_EQ(d.dims_k(), 3u);
   EXPECT_EQ(d.dims_p(), 6u);
   EXPECT_GT(d.area_estimate, 0.0);
   EXPECT_GT(d.training_mse, 0.0);
   EXPECT_DOUBLE_EQ(d.predicted_overclock_var, 0.0);  // no models supplied
-  EXPECT_EQ(d.origin, "KLT wl=7");
-  for (const auto& col : d.columns) EXPECT_EQ(col.wordlength, 7);
+  EXPECT_EQ(d.origin, "KLT array/wl7/p1");
+  for (const auto& col : d.columns) EXPECT_EQ(col.config, acfg(7));
 }
 
 TEST_F(BaselineTest, QuantisedBasisApproachesExactKltWithMoreBits) {
@@ -38,7 +40,7 @@ TEST_F(BaselineTest, QuantisedBasisApproachesExactKltWithMoreBits) {
   const double exact_mse = reconstruction_mse(exact, x_train_);
   double prev = 1e18;
   for (int wl : {3, 6, 9}) {
-    const auto d = make_klt_design(x_train_, 3, wl, 310.0, 9, area_, nullptr);
+    const auto d = make_klt_design(x_train_, 3, acfg(wl), 310.0, 9, area_, nullptr);
     EXPECT_GE(d.training_mse, exact_mse - 1e-12);
     EXPECT_LE(d.training_mse, prev + 1e-9);
     prev = d.training_mse;
@@ -47,10 +49,10 @@ TEST_F(BaselineTest, QuantisedBasisApproachesExactKltWithMoreBits) {
 }
 
 TEST_F(BaselineTest, FamilyCoversWordlengthSweep) {
-  const auto family = make_klt_family(x_train_, 3, 3, 9, 310.0, 9, area_, nullptr);
+  const auto family = make_klt_family(x_train_, 3, mult_config_range(MultArch::Array, 3, 9), 310.0, 9, area_, nullptr);
   ASSERT_EQ(family.size(), 7u);
   for (std::size_t i = 0; i < family.size(); ++i) {
-    EXPECT_EQ(family[i].columns.front().wordlength, 3 + static_cast<int>(i));
+    EXPECT_EQ(family[i].columns.front().wordlength(), 3 + static_cast<int>(i));
     if (i > 0) { EXPECT_GT(family[i].area_estimate, family[i - 1].area_estimate); }
   }
 }
@@ -62,9 +64,9 @@ TEST_F(BaselineTest, OverclockVarianceFilledWhenModelsGiven) {
   ss.freqs_mhz = {310.0};
   ss.locations = {reference_location_1()};
   ss.samples_per_point = 150;
-  std::map<int, ErrorModel> models;
-  models.emplace(9, characterise_multiplier(device, 9, 9, ss));
-  const auto d = make_klt_design(x_train_, 3, 9, 310.0, 9, area_, &models);
+  ErrorModelMap models;
+  models.emplace(acfg(9), characterise_multiplier(device, acfg(9), 9, ss));
+  const auto d = make_klt_design(x_train_, 3, acfg(9), 310.0, 9, area_, &models);
   // At 310 MHz a 9-bit KLT design uses error-prone coefficients.
   EXPECT_GT(d.predicted_overclock_var, 0.0);
   EXPECT_GT(d.predicted_objective(), d.training_mse);

@@ -16,7 +16,8 @@ class CircuitEvalTest : public ::testing::Test {
  protected:
   CircuitEvalTest()
       : device_(reference_device_config(), kReferenceDieSeed),
-        area_(AreaModel::fit(collect_area_samples(3, 9, 9, 10, 1))) {
+        area_(AreaModel::fit(collect_area_samples(
+            mult_config_range(MultArch::Array, 3, 9), 9, 10, 1))) {
     device_.set_temperature(kCharacterisationTempC);
     SyntheticDataConfig dc;
     dc.cases = 80;
@@ -29,7 +30,8 @@ class CircuitEvalTest : public ::testing::Test {
   }
 
   LinearProjectionDesign design(int wl, double freq) const {
-    return make_klt_design(x_train_, 3, wl, freq, 9, area_, nullptr);
+    return make_klt_design(x_train_, 3, MultConfig{MultArch::Array, wl, 1},
+                           freq, 9, area_, nullptr);
   }
 
   Device device_;

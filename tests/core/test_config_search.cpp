@@ -1,0 +1,115 @@
+// Surrogate shortlisting over the widened configuration space: the
+// sweep-savings claim (satellite 2's bench asserts it on the full grid;
+// this test pins it on a reduced grid) and the equivalence guarantee —
+// surrogate mode must hand Algorithm 1 exactly the model set an
+// exhaustive pass over every candidate would have produced.
+#include "core/config_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fabric/calibration.hpp"
+
+namespace oclp {
+namespace {
+
+class ConfigSearchTest : public ::testing::Test {
+ protected:
+  ConfigSearchTest() : device_(reference_device_config(), kReferenceDieSeed) {
+    device_.set_temperature(kCharacterisationTempC);
+  }
+
+  // Reduced grid: three candidates per word-length group (array at depth
+  // 1 and 2, Wallace at depth 1) over wl ∈ {5, 6} — enough structure for
+  // the per-group ranking to prune, small enough to sweep exhaustively.
+  ConfigSearchSettings settings() const {
+    ConfigSearchSettings s;
+    s.configs = mult_config_range(MultArch::Array, 5, 6, {1, 2});
+    const auto wallace = mult_config_range(MultArch::Wallace, 5, 6);
+    s.configs.insert(s.configs.end(), wallace.begin(), wallace.end());
+    s.wl_x = 8;
+    s.sweep.freqs_mhz = {300.0, 430.0};
+    s.sweep.locations = {reference_location_1()};
+    s.sweep.samples_per_point = 60;
+    s.target_freq_mhz = 430.0;
+    s.probe_stride = 8;
+    s.shortlist_per_wordlength = 1;
+    return s;
+  }
+
+  static std::string csv(const ErrorModel& model) {
+    std::ostringstream os;
+    model.save_csv(os);
+    return os.str();
+  }
+
+  Device device_;
+};
+
+TEST_F(ConfigSearchTest, SurrogateProducesTheExhaustiveDesignSet) {
+  auto s = settings();
+  const auto surrogate = characterise_config_space(device_, s);
+  s.exhaustive = true;
+  const auto exhaustive = characterise_config_space(device_, s);
+
+  // Identical shortlist, identical model keys, identical model content:
+  // the optimisation framework cannot tell which mode ran.
+  ASSERT_EQ(surrogate.shortlisted, exhaustive.shortlisted);
+  ASSERT_EQ(surrogate.models.size(), exhaustive.models.size());
+  for (const auto& [config, model] : exhaustive.models) {
+    const auto it = surrogate.models.find(config);
+    ASSERT_NE(it, surrogate.models.end()) << to_string(config);
+    EXPECT_EQ(csv(it->second), csv(model)) << to_string(config);
+  }
+}
+
+TEST_F(ConfigSearchTest, SurrogateAtLeastHalvesTheSweepBill) {
+  const auto result = characterise_config_space(device_, settings());
+  // 3 candidates per group: exhaustive cost 3·(2^5 + 2^6) rows.
+  EXPECT_EQ(result.exhaustive_rows, 3u * (32u + 64u));
+  EXPECT_GT(result.surrogate_rows, 0u);
+  EXPECT_GT(result.full_rows, 0u);
+  EXPECT_LE(result.surrogate_rows + result.full_rows,
+            result.exhaustive_rows / 2);
+}
+
+TEST_F(ConfigSearchTest, ShortlistKeepsOneConfigPerWordlengthGroup) {
+  const auto result = characterise_config_space(device_, settings());
+  ASSERT_EQ(result.shortlisted.size(), 2u);
+  EXPECT_EQ(result.shortlisted[0].wordlength, 5);
+  EXPECT_EQ(result.shortlisted[1].wordlength, 6);
+  for (const auto& config : result.shortlisted) {
+    const auto it = result.models.find(config);
+    ASSERT_NE(it, result.models.end());
+    // Shortlisted models are full sweeps, tagged with their own config.
+    EXPECT_EQ(it->second.config(), config);
+    EXPECT_EQ(it->second.num_multiplicands(),
+              std::size_t{1} << config.wordlength);
+  }
+}
+
+TEST_F(ConfigSearchTest, ExhaustiveModeSweepsEveryCandidate) {
+  auto s = settings();
+  s.exhaustive = true;
+  const auto result = characterise_config_space(device_, s);
+  EXPECT_EQ(result.surrogate_rows, 0u);
+  EXPECT_EQ(result.full_rows, result.exhaustive_rows);
+}
+
+TEST_F(ConfigSearchTest, DuplicateCandidatesCollapse) {
+  auto s = settings();
+  s.configs.insert(s.configs.end(), s.configs.begin(), s.configs.end());
+  const auto doubled = characterise_config_space(device_, s);
+  EXPECT_EQ(doubled.exhaustive_rows, 3u * (32u + 64u));
+  EXPECT_EQ(doubled.shortlisted.size(), 2u);
+}
+
+TEST(ConfigSearchValidation, EmptyCandidateListThrows) {
+  Device device(reference_device_config(), kReferenceDieSeed);
+  ConfigSearchSettings s;
+  EXPECT_THROW(characterise_config_space(device, s), CheckError);
+}
+
+}  // namespace
+}  // namespace oclp

@@ -5,9 +5,12 @@
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 TEST(DesignColumn, MakeColumnQuantises) {
-  const auto col = make_column({0.5, -0.25, 0.0}, 4);
-  EXPECT_EQ(col.wordlength, 4);
+  const auto col = make_column({0.5, -0.25, 0.0}, acfg(4));
+  EXPECT_EQ(col.wordlength(), 4);
+  EXPECT_EQ(col.config, acfg(4));
   ASSERT_EQ(col.coeffs.size(), 3u);
   EXPECT_DOUBLE_EQ(col.coeffs[0].value(), 0.5);
   EXPECT_DOUBLE_EQ(col.coeffs[1].value(), -0.25);
@@ -16,15 +19,23 @@ TEST(DesignColumn, MakeColumnQuantises) {
 }
 
 TEST(DesignColumn, ZeroDetection) {
-  EXPECT_TRUE(make_column({0.0, 0.0}, 5).is_zero());
-  EXPECT_TRUE(make_column({0.001, -0.002}, 3).is_zero());  // below the step
-  EXPECT_FALSE(make_column({0.5, 0.0}, 5).is_zero());
+  EXPECT_TRUE(make_column({0.0, 0.0}, acfg(5)).is_zero());
+  EXPECT_TRUE(make_column({0.001, -0.002}, acfg(3)).is_zero());  // below step
+  EXPECT_FALSE(make_column({0.5, 0.0}, acfg(5)).is_zero());
+}
+
+TEST(DesignColumn, ConfigCarriesArchitecture) {
+  const auto col =
+      make_column({0.5, -0.25}, MultConfig{MultArch::Wallace, 6, 2});
+  EXPECT_EQ(col.config.arch, MultArch::Wallace);
+  EXPECT_EQ(col.config.pipeline_depth, 2);
+  EXPECT_EQ(col.wordlength(), 6);
 }
 
 TEST(Design, BasisAssembly) {
   LinearProjectionDesign d;
-  d.columns.push_back(make_column({0.5, -0.5, 0.25}, 4));
-  d.columns.push_back(make_column({0.0, 0.75, -0.125}, 4));
+  d.columns.push_back(make_column({0.5, -0.5, 0.25}, acfg(4)));
+  d.columns.push_back(make_column({0.0, 0.75, -0.125}, acfg(4)));
   EXPECT_EQ(d.dims_p(), 3u);
   EXPECT_EQ(d.dims_k(), 2u);
   const Matrix b = d.basis();
@@ -35,19 +46,22 @@ TEST(Design, BasisAssembly) {
   EXPECT_DOUBLE_EQ(b(2, 1), -0.125);
 }
 
-TEST(Design, MixedWordlengthsPerColumn) {
+TEST(Design, MixedConfigsPerColumn) {
   LinearProjectionDesign d;
-  d.columns.push_back(make_column({0.5, 0.5}, 3));
-  d.columns.push_back(make_column({0.5, 0.5}, 9));
-  EXPECT_EQ(d.columns[0].wordlength, 3);
-  EXPECT_EQ(d.columns[1].wordlength, 9);
+  d.columns.push_back(make_column({0.5, 0.5}, acfg(3)));
+  d.columns.push_back(
+      make_column({0.5, 0.5}, MultConfig{MultArch::Wallace, 9, 1}));
+  EXPECT_EQ(d.columns[0].wordlength(), 3);
+  EXPECT_EQ(d.columns[1].wordlength(), 9);
+  EXPECT_EQ(d.columns[0].config.arch, MultArch::Array);
+  EXPECT_EQ(d.columns[1].config.arch, MultArch::Wallace);
   EXPECT_NO_THROW(d.basis());
 }
 
 TEST(Design, RaggedColumnsThrow) {
   LinearProjectionDesign d;
-  d.columns.push_back(make_column({0.5, 0.5}, 4));
-  d.columns.push_back(make_column({0.5, 0.5, 0.5}, 4));
+  d.columns.push_back(make_column({0.5, 0.5}, acfg(4)));
+  d.columns.push_back(make_column({0.5, 0.5, 0.5}, acfg(4)));
   EXPECT_THROW(d.basis(), CheckError);
 }
 
@@ -58,7 +72,7 @@ TEST(Design, EmptyBasisThrows) {
 
 TEST(Design, PredictedObjectiveNormalisesPerElement) {
   LinearProjectionDesign d;
-  d.columns.push_back(make_column({0.5, 0.5, 0.5, 0.5}, 4));  // P = 4
+  d.columns.push_back(make_column({0.5, 0.5, 0.5, 0.5}, acfg(4)));  // P = 4
   d.training_mse = 0.01;
   d.predicted_overclock_var = 0.08;
   EXPECT_DOUBLE_EQ(d.predicted_objective(), 0.01 + 0.08 / 4.0);

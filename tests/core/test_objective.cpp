@@ -10,8 +10,10 @@
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 ErrorModel uniform_variance_model(int wl, double var) {
-  ErrorModel m(wl, 9, {310.0});
+  ErrorModel m(acfg(wl), 9, {310.0});
   for (std::uint32_t mm = 0; mm < (1u << wl); ++mm) m.set(mm, 0, var, 0.0, 0.1);
   return m;
 }
@@ -19,7 +21,7 @@ ErrorModel uniform_variance_model(int wl, double var) {
 TEST(Objective, ColumnVarianceSumsPerMultiplier) {
   const double raw_var = 1e6;
   const auto model = uniform_variance_model(5, raw_var);
-  const auto col = make_column({0.5, -0.25, 0.125, 0.0}, 5);  // P = 4
+  const auto col = make_column({0.5, -0.25, 0.125, 0.0}, acfg(5));  // P = 4
   const double scale = std::ldexp(1.0, 5 + 9);
   const double expected = 4.0 * raw_var / (scale * scale);
   EXPECT_NEAR(predicted_overclock_variance(col, model, 310.0), expected, 1e-15);
@@ -27,29 +29,29 @@ TEST(Objective, ColumnVarianceSumsPerMultiplier) {
 
 TEST(Objective, ColumnWordlengthMismatchThrows) {
   const auto model = uniform_variance_model(5, 1.0);
-  const auto col = make_column({0.5}, 6);
+  const auto col = make_column({0.5}, acfg(6));
   EXPECT_THROW(predicted_overclock_variance(col, model, 310.0), CheckError);
 }
 
 TEST(Objective, DesignVarianceSumsOverColumns) {
-  std::map<int, ErrorModel> models;
-  models.emplace(4, uniform_variance_model(4, 2e5));
-  models.emplace(6, uniform_variance_model(6, 8e5));
+  ErrorModelMap models;
+  models.emplace(acfg(4), uniform_variance_model(4, 2e5));
+  models.emplace(acfg(6), uniform_variance_model(6, 8e5));
   LinearProjectionDesign d;
   d.target_freq_mhz = 310.0;
-  d.columns.push_back(make_column({0.5, 0.5}, 4));
-  d.columns.push_back(make_column({0.5, 0.5}, 6));
+  d.columns.push_back(make_column({0.5, 0.5}, acfg(4)));
+  d.columns.push_back(make_column({0.5, 0.5}, acfg(6)));
   const double s4 = std::ldexp(1.0, 4 + 9), s6 = std::ldexp(1.0, 6 + 9);
   const double expected = 2.0 * 2e5 / (s4 * s4) + 2.0 * 8e5 / (s6 * s6);
   EXPECT_NEAR(predicted_overclock_variance(d, models), expected, 1e-15);
 }
 
 TEST(Objective, MissingModelThrows) {
-  std::map<int, ErrorModel> models;
-  models.emplace(4, uniform_variance_model(4, 1.0));
+  ErrorModelMap models;
+  models.emplace(acfg(4), uniform_variance_model(4, 1.0));
   LinearProjectionDesign d;
   d.target_freq_mhz = 310.0;
-  d.columns.push_back(make_column({0.5}, 5));
+  d.columns.push_back(make_column({0.5}, acfg(5)));
   EXPECT_THROW(predicted_overclock_variance(d, models), CheckError);
 }
 
@@ -73,11 +75,11 @@ TEST(Objective, TIsMsePlusNormalisedVariance) {
   Matrix xc = x;
   center_rows(xc);
 
-  std::map<int, ErrorModel> models;
-  models.emplace(5, uniform_variance_model(5, 3e5));
+  ErrorModelMap models;
+  models.emplace(acfg(5), uniform_variance_model(5, 3e5));
   LinearProjectionDesign d;
   d.target_freq_mhz = 310.0;
-  d.columns.push_back(make_column(klt_basis(x, 1).col(0), 5));
+  d.columns.push_back(make_column(klt_basis(x, 1).col(0), acfg(5)));
 
   const double mse = training_reconstruction_mse(d.basis(), xc);
   const double var = predicted_overclock_variance(d, models);
@@ -91,11 +93,11 @@ TEST(Objective, ErrorFreeModelAddsNothing) {
     for (std::size_t c = 0; c < 80; ++c) x(r, c) = rng.normal();
   Matrix xc = x;
   center_rows(xc);
-  std::map<int, ErrorModel> models;
-  models.emplace(4, uniform_variance_model(4, 0.0));
+  ErrorModelMap models;
+  models.emplace(acfg(4), uniform_variance_model(4, 0.0));
   LinearProjectionDesign d;
   d.target_freq_mhz = 310.0;
-  d.columns.push_back(make_column(klt_basis(x, 1).col(0), 4));
+  d.columns.push_back(make_column(klt_basis(x, 1).col(0), acfg(4)));
   EXPECT_DOUBLE_EQ(objective_T(d, xc, models),
                    training_reconstruction_mse(d.basis(), xc));
 }

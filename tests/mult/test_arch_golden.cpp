@@ -1,0 +1,117 @@
+// Golden bitwise equivalence across multiplier architectures (satellite 1
+// of the widened-design-space refactor): whatever architecture and
+// pipeline depth a MultConfig selects, the settled output of the netlist
+// must be the exact product — the architecture axis changes timing and
+// area, never arithmetic. Pipeline registers are identity functions under
+// settled evaluation, so the pipelined variants are checked against the
+// same golden values with no cycle simulation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "mult/bitcodec.hpp"
+#include "mult/ccm.hpp"
+#include "mult/multiplier.hpp"
+#include "netlist/pipeline.hpp"
+
+namespace oclp {
+namespace {
+
+std::uint64_t settled_product(const Netlist& nl, std::uint32_t a, int wa,
+                              std::uint32_t b, int wb) {
+  auto bits = to_bits(a, wa);
+  append_bits(bits, b, wb);
+  return from_bits(nl.evaluate_outputs(bits));
+}
+
+class ArchGolden : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ArchGolden, GenericArchitecturesMatchTheArrayBitwise) {
+  const auto [wl_m, wl_x] = GetParam();
+  const Netlist array = make_multiplier(MultConfig{MultArch::Array, wl_m, 1},
+                                        wl_x);
+  const Netlist wallace =
+      make_multiplier(MultConfig{MultArch::Wallace, wl_m, 1}, wl_x);
+  ASSERT_EQ(array.outputs().size(), static_cast<std::size_t>(wl_m + wl_x));
+  ASSERT_EQ(wallace.outputs().size(), array.outputs().size());
+  for (std::uint32_t a = 0; a < (1u << wl_m); ++a) {
+    for (std::uint32_t b = 0; b < (1u << wl_x); ++b) {
+      const std::uint64_t golden = static_cast<std::uint64_t>(a) * b;
+      ASSERT_EQ(settled_product(array, a, wl_m, b, wl_x), golden)
+          << "array " << wl_m << "x" << wl_x << ": " << a << "*" << b;
+      ASSERT_EQ(settled_product(wallace, a, wl_m, b, wl_x), golden)
+          << "wallace " << wl_m << "x" << wl_x << ": " << a << "*" << b;
+    }
+  }
+}
+
+TEST_P(ArchGolden, PipelinedVariantsSettleToTheSameValues) {
+  const auto [wl_m, wl_x] = GetParam();
+  for (const MultArch arch : {MultArch::Array, MultArch::Wallace}) {
+    for (const int depth : {2, 3}) {
+      const Netlist nl = make_multiplier(MultConfig{arch, wl_m, depth}, wl_x);
+      EXPECT_GT(pipeline_register_count(nl), 0u)
+          << to_string(MultConfig{arch, wl_m, depth});
+      for (std::uint32_t a = 0; a < (1u << wl_m); ++a)
+        for (std::uint32_t b = 0; b < (1u << wl_x); ++b)
+          ASSERT_EQ(settled_product(nl, a, wl_m, b, wl_x),
+                    static_cast<std::uint64_t>(a) * b)
+              << to_string(MultConfig{arch, wl_m, depth}) << ": " << a << "*"
+              << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArchGolden,
+                         ::testing::Values(std::pair{2, 3}, std::pair{3, 3},
+                                           std::pair{3, 4}, std::pair{4, 4}));
+
+TEST(ArchGoldenCcm, EveryConstantMatchesTheProduct) {
+  const int wl_m = 4;
+  const int wl_x = 4;
+  for (std::uint32_t c = 0; c < (1u << wl_m); ++c) {
+    const Netlist nl =
+        make_ccm_multiplier(MultConfig{MultArch::Ccm, wl_m, 1}, c, wl_x);
+    for (std::uint32_t x = 0; x < (1u << wl_x); ++x)
+      ASSERT_EQ(from_bits(nl.evaluate_outputs(to_bits(x, wl_x))),
+                static_cast<std::uint64_t>(c) * x)
+          << "ccm constant " << c << " * " << x;
+  }
+}
+
+TEST(ArchGoldenCcm, PipelinedCcmSettlesToTheSameValues) {
+  const int wl_m = 4;
+  const int wl_x = 4;
+  for (std::uint32_t c : {1u, 5u, 7u, 11u, 15u}) {
+    const Netlist nl =
+        make_ccm_multiplier(MultConfig{MultArch::Ccm, wl_m, 2}, c, wl_x);
+    // A single-term constant (c = 1) is pure wiring: there is no logic
+    // stage to pipeline, so the clamp leaves the netlist register-free.
+    if (csd_nonzero_terms(c) > 1) {
+      EXPECT_GT(pipeline_register_count(nl), 0u) << "ccm constant " << c;
+    }
+    for (std::uint32_t x = 0; x < (1u << wl_x); ++x)
+      ASSERT_EQ(from_bits(nl.evaluate_outputs(to_bits(x, wl_x))),
+                static_cast<std::uint64_t>(c) * x)
+          << "pipelined ccm constant " << c << " * " << x;
+  }
+}
+
+TEST(ArchGoldenFactory, GenericFactoryRejectsCcmConfigs) {
+  EXPECT_THROW(make_multiplier(MultConfig{MultArch::Ccm, 4, 1}, 4), CheckError);
+}
+
+TEST(ArchGoldenFactory, ExplicitPipelineCallMatchesConfigDepth) {
+  // pipeline_netlist on the depth-1 netlist is exactly what the factory
+  // does for deeper configs: same settled values, registers inserted.
+  const Netlist base = make_multiplier(MultConfig{MultArch::Array, 3, 1}, 4);
+  const Netlist piped = pipeline_netlist(base, 2);
+  EXPECT_GT(pipeline_register_count(piped), 0u);
+  for (std::uint32_t a = 0; a < 8; ++a)
+    for (std::uint32_t b = 0; b < 16; ++b)
+      ASSERT_EQ(settled_product(piped, a, 3, b, 4),
+                settled_product(base, a, 3, b, 4));
+}
+
+}  // namespace
+}  // namespace oclp

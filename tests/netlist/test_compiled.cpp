@@ -288,9 +288,9 @@ class CompiledProjection : public ::testing::Test {
  protected:
   CompiledProjection() : device_(reference_device_config(), kReferenceDieSeed) {
     device_.set_temperature(kCharacterisationTempC);
-    design_.columns.push_back(make_column({0.75, -0.5, 0.25, 0.125}, 5));
-    design_.columns.push_back(make_column({-0.25, 0.625, -0.75, 0.5}, 5));
-    design_.arch = MultArch::Array;
+    const MultConfig cfg{MultArch::Array, 5, 1};
+    design_.columns.push_back(make_column({0.75, -0.5, 0.25, 0.125}, cfg));
+    design_.columns.push_back(make_column({-0.25, 0.625, -0.75, 0.5}, cfg));
     design_.target_freq_mhz = 310.0;
   }
 

@@ -19,11 +19,12 @@ constexpr int kWlX = 8;
 // Same deep-carry design as the server tests: the coefficients that miss
 // timing first, so per-die fB differences show up on a coarse grid.
 LinearProjectionDesign fleet_design() {
+  const MultConfig cfg{MultArch::Array, 8, 1};
   LinearProjectionDesign d;
   d.columns.push_back(make_column(
-      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, cfg));
   d.columns.push_back(make_column(
-      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, cfg));
   d.target_freq_mhz = 400.0;
   d.origin = "fleet-test";
   return d;
@@ -88,10 +89,10 @@ TEST(ProjectionFleet, CharacterisesEachDieAndServesExactly) {
     EXPECT_DOUBLE_EQ(s.derate, 1.0);
     EXPECT_EQ(s.recharacterisations, 0u);
   }
-  // Both dies publish a model per column word-length.
+  // Both dies publish a model per column multiplier configuration.
   const auto models = fleet.die_models(1);
   ASSERT_TRUE(models);
-  EXPECT_EQ(models->count(8), 1u);
+  EXPECT_EQ(models->count(MultConfig{MultArch::Array, 8, 1}), 1u);
 
   // Both dies serve below their own fB → every result is bit-exact.
   const Device ref_device(reference_device_config(), kReferenceDieSeed);

@@ -21,11 +21,12 @@ constexpr int kWlX = 8;
 // P=4, K=2, wl=8 with near-maximal magnitudes: the deepest carry chains of
 // the multiplier port, the coefficients that miss timing first.
 LinearProjectionDesign serve_design(double freq_mhz) {
+  const MultConfig cfg{MultArch::Array, 8, 1};
   LinearProjectionDesign d;
   d.columns.push_back(make_column(
-      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, cfg));
   d.columns.push_back(make_column(
-      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, cfg));
   d.target_freq_mhz = freq_mhz;
   d.origin = "serve-test";
   return d;
@@ -285,11 +286,12 @@ TEST(ProjectionServer, SwapErrorModelsAppliesAtNextBatch) {
   // A re-characterised model with a recognisable mean error per code: the
   // circuit must subtract Σ_p sign·mean(mag)/2^(wl+wl_x) from the next
   // batch on.
-  ErrorModel em(8, kWlX, {100.0});
+  const MultConfig mcfg{MultArch::Array, 8, 1};
+  ErrorModel em(mcfg, kWlX, {100.0});
   for (std::uint32_t m = 0; m < em.num_multiplicands(); ++m)
     em.set(m, 0, 0.0, static_cast<double>(m), 0.0);
   SharedErrorModels shared;
-  shared.store({{8, em}});
+  shared.store({{mcfg, em}});
   server.swap_error_models(shared.load());
 
   EXPECT_TRUE(server.submit({2, codes, 0.0}));

@@ -29,26 +29,26 @@ constexpr int kWlX = 8;
 
 // The server-test design: deep carry chains (near-maximal magnitudes).
 LinearProjectionDesign design_a(double freq_mhz, MultArch arch) {
+  const MultConfig cfg{arch, 8, 1};
   LinearProjectionDesign d;
   d.columns.push_back(make_column(
-      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, cfg));
   d.columns.push_back(make_column(
-      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, cfg));
   d.target_freq_mhz = freq_mhz;
-  d.arch = arch;
   d.origin = "swap-test-a";
   return d;
 }
 
 // A "fresh fit" of the same shape: every coefficient moved.
 LinearProjectionDesign design_b(double freq_mhz, MultArch arch) {
+  const MultConfig cfg{arch, 8, 1};
   LinearProjectionDesign d;
   d.columns.push_back(make_column(
-      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, 8));
+      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, cfg));
   d.columns.push_back(make_column(
-      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, 8));
+      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, cfg));
   d.target_freq_mhz = freq_mhz;
-  d.arch = arch;
   d.origin = "swap-test-b";
   return d;
 }
@@ -284,34 +284,36 @@ TEST(DesignSwapAbort, ShadowStarvationLeavesServerUntouched) {
     EXPECT_NEAR(log.by_id.at(1).y[k], exact[k], 1e-12);
 }
 
-TEST(DesignSwapGuard, CcmRejectsCoefficientsOffTheCharacterisedGrid) {
+TEST(DesignSwapGuard, CcmRejectsMisfiledModelBeforeInstall) {
   const auto d1 = design_a(100.0, MultArch::Ccm);
   const Device device = make_device();
   const auto plan = deterministic_plan(d1);
+  const MultConfig ccm8{MultArch::Ccm, 8, 1};
+  const MultConfig ccm6{MultArch::Ccm, 6, 1};
 
-  // A well-keyed wl=8 model set serves fine...
+  // A well-keyed, well-tagged model set serves fine...
   std::vector<double> freqs{100.0, 200.0, 300.0};
-  auto good = std::make_shared<std::map<int, ErrorModel>>();
-  good->emplace(8, ErrorModel(8, kWlX, freqs));
+  auto good = std::make_shared<ErrorModelMap>();
+  good->emplace(ccm8, ErrorModel(ccm8, kWlX, freqs));
   ProjectionServer server(d1, device, plan, kWlX, good.get(),
                           deterministic_config(), nullptr);
 
-  // ...but a swap whose model set was characterised at wl=6 under the
-  // wl=8 key would correct from a grid the coefficients live outside of:
-  // the lowering rejects it, naming the output dimension, before anything
-  // is installed.
-  auto mismatched = std::make_shared<std::map<int, ErrorModel>>();
-  mismatched->emplace(8, ErrorModel(6, kWlX, freqs));
+  // ...but a swap whose model set was characterised on the wl=6 config
+  // and filed under the wl=8 key would correct from a grid the
+  // coefficients live outside of: the lowering rejects it, naming both
+  // configurations, before anything is installed.
+  auto mismatched = std::make_shared<ErrorModelMap>();
+  mismatched->emplace(ccm8, ErrorModel(ccm6, kWlX, freqs));
   SwapConfig scfg;
   scfg.min_shadow_compares = 0;
   const auto d2 = design_b(100.0, MultArch::Ccm);
   try {
     server.swap_design(d2, mismatched, scfg);
-    FAIL() << "off-grid CCM swap was accepted";
+    FAIL() << "mis-filed CCM swap was accepted";
   } catch (const CheckError& e) {
-    EXPECT_NE(std::string(e.what()).find("CCM output dimension 0"),
-              std::string::npos)
-        << e.what();
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ccm/wl8/p1"), std::string::npos) << what;
+    EXPECT_NE(what.find("ccm/wl6/p1"), std::string::npos) << what;
   }
   EXPECT_EQ(server.design_generation(), 0u);
 }
@@ -388,11 +390,12 @@ TEST(DesignSwapClock, MidSwapGovernorMoveIsFollowedThroughTheFlip) {
 // --- fleet staged rollout ---------------------------------------------------
 
 LinearProjectionDesign fleet_next_fit() {
+  const MultConfig cfg{MultArch::Array, 8, 1};
   LinearProjectionDesign d;
   d.columns.push_back(make_column(
-      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, 8));
+      {131.0 / 256, 97.0 / 256, -203.0 / 256, 59.0 / 256}, cfg));
   d.columns.push_back(make_column(
-      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, 8));
+      {-77.0 / 256, 181.0 / 256, 23.0 / 256, -149.0 / 256}, cfg));
   d.target_freq_mhz = 400.0;
   d.origin = "fleet-next-fit";
   return d;
@@ -412,11 +415,12 @@ FleetConfig fleet_config(std::vector<std::uint64_t> die_seeds) {
 }
 
 TEST(DesignSwapFleet, StagedRolloutFlipsEveryDie) {
+  const MultConfig acfg{MultArch::Array, 8, 1};
   LinearProjectionDesign design;
   design.columns.push_back(make_column(
-      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, acfg));
   design.columns.push_back(make_column(
-      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, acfg));
   design.target_freq_mhz = 400.0;
   design.origin = "fleet-swap-test";
 
@@ -464,11 +468,12 @@ TEST(DesignSwapFleet, StagedRolloutFlipsEveryDie) {
 }
 
 TEST(DesignSwapFleet, CanaryAbortStopsTheRollout) {
+  const MultConfig acfg{MultArch::Array, 8, 1};
   LinearProjectionDesign design;
   design.columns.push_back(make_column(
-      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, 8));
+      {255.0 / 256, -239.0 / 256, 251.0 / 256, -223.0 / 256}, acfg));
   design.columns.push_back(make_column(
-      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, 8));
+      {-247.0 / 256, 233.0 / 256, 253.0 / 256, 227.0 / 256}, acfg));
   design.target_freq_mhz = 400.0;
   design.origin = "fleet-canary-test";
 

@@ -46,11 +46,13 @@ TEST_F(CalibrationTest, SmallWordlengthsAreErrorFreeAtTarget) {
   ss.freqs_mhz = {kTargetClockMhz};
   ss.locations = {reference_location_1(), reference_location_2()};
   ss.samples_per_point = 250;
-  const auto wl3 = characterise_multiplier(device_, 3, 9, ss);
+  const auto wl3 =
+      characterise_multiplier(device_, MultConfig{MultArch::Array, 3, 1}, 9, ss);
   EXPECT_DOUBLE_EQ(wl3.max_variance(), 0.0);
 
   ss.locations = {Placement{device_.width() / 2, device_.height() / 2, 5}};
-  const auto wl4 = characterise_multiplier(device_, 4, 9, ss);
+  const auto wl4 =
+      characterise_multiplier(device_, MultConfig{MultArch::Array, 4, 1}, 9, ss);
   EXPECT_DOUBLE_EQ(wl4.max_variance(), 0.0);
 }
 
@@ -61,7 +63,8 @@ TEST_F(CalibrationTest, ErrorProneFractionGrowsWithWordlength) {
   ss.samples_per_point = 250;
   double prev_fraction = 0.0;
   for (int wl : {4, 5, 7, 9}) {
-    const auto model = characterise_multiplier(device_, wl, 9, ss);
+    const auto model = characterise_multiplier(
+        device_, MultConfig{MultArch::Array, wl, 1}, 9, ss);
     std::size_t erroneous = 0;
     for (std::uint32_t m = 0; m < model.num_multiplicands(); ++m)
       if (model.variance(m, kTargetClockMhz) > 0.0) ++erroneous;
@@ -78,7 +81,8 @@ TEST_F(CalibrationTest, LargeWordlengthsErrAtTarget) {
   ss.freqs_mhz = {kTargetClockMhz};
   ss.locations = {reference_location_1()};
   ss.samples_per_point = 250;
-  const auto model = characterise_multiplier(device_, 9, 9, ss);
+  const auto model = characterise_multiplier(
+      device_, MultConfig{MultArch::Array, 9, 1}, 9, ss);
   std::size_t erroneous = 0;
   for (std::uint32_t m = 0; m < model.num_multiplicands(); ++m)
     if (model.variance(m, kTargetClockMhz) > 0.0) ++erroneous;
@@ -90,7 +94,7 @@ TEST_F(CalibrationTest, LargeWordlengthsErrAtTarget) {
 
 TEST_F(CalibrationTest, Figure4ConditionsShowErrorsAtBothLocations) {
   CharCircuitConfig cc;
-  cc.wl_m = 8;
+  cc.mult = MultConfig{MultArch::Array, 8, 1};
   cc.wl_x = 8;
   const auto xs = uniform_stream(8, 4000, 77);
   for (const auto& loc : {reference_location_1(), reference_location_2()}) {
@@ -105,7 +109,7 @@ TEST_F(CalibrationTest, Figure4ConditionsShowErrorsAtBothLocations) {
 
 TEST_F(CalibrationTest, TwoLocationsDifferInErrorPattern) {
   CharCircuitConfig cc;
-  cc.wl_m = 8;
+  cc.mult = MultConfig{MultArch::Array, 8, 1};
   cc.wl_x = 8;
   const auto xs = uniform_stream(8, 4000, 77);
   CharacterisationCircuit c1(cc, device_, reference_location_1());

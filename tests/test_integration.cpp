@@ -35,10 +35,12 @@ class IntegrationTest : public ::testing::Test {
     ss.freqs_mhz = {kTargetClockMhz};
     ss.locations = {reference_location_1(), reference_location_2()};
     ss.samples_per_point = 300;
-    models_ = new std::map<int, ErrorModel>;
-    for (int wl = 3; wl <= 9; ++wl)
-      models_->emplace(wl, characterise_multiplier(*device_, wl, 9, ss));
-    area_ = new AreaModel(AreaModel::fit(collect_area_samples(3, 9, 9, 12, 5)));
+    const auto configs = mult_config_range(MultArch::Array, 3, 9);
+    models_ = new ErrorModelMap;
+    for (const auto& cfg : configs)
+      models_->emplace(cfg, characterise_multiplier(*device_, cfg, 9, ss));
+    area_ =
+        new AreaModel(AreaModel::fit(collect_area_samples(configs, 9, 12, 5)));
 
     OptimisationSettings os;
     os.beta = 4.0;
@@ -48,8 +50,9 @@ class IntegrationTest : public ::testing::Test {
     OptimisationFramework of(os, *x_train_, *models_, *area_);
     of_designs_ = new std::vector<LinearProjectionDesign>(of.run());
     mu_ = new std::vector<double>(of.data_mean());
-    klt_designs_ = new std::vector<LinearProjectionDesign>(make_klt_family(
-        *x_train_, 3, 3, 9, kTargetClockMhz, 9, *area_, models_));
+    klt_designs_ = new std::vector<LinearProjectionDesign>(
+        make_klt_family(*x_train_, 3, mult_config_range(MultArch::Array, 3, 9),
+                        kTargetClockMhz, 9, *area_, models_));
   }
 
   static void TearDownTestSuite() {
@@ -73,7 +76,7 @@ class IntegrationTest : public ::testing::Test {
   static Device* device_;
   static Matrix* x_train_;
   static Matrix* x_test_;
-  static std::map<int, ErrorModel>* models_;
+  static ErrorModelMap* models_;
   static AreaModel* area_;
   static std::vector<LinearProjectionDesign>* of_designs_;
   static std::vector<LinearProjectionDesign>* klt_designs_;
@@ -83,7 +86,7 @@ class IntegrationTest : public ::testing::Test {
 Device* IntegrationTest::device_ = nullptr;
 Matrix* IntegrationTest::x_train_ = nullptr;
 Matrix* IntegrationTest::x_test_ = nullptr;
-std::map<int, ErrorModel>* IntegrationTest::models_ = nullptr;
+ErrorModelMap* IntegrationTest::models_ = nullptr;
 AreaModel* IntegrationTest::area_ = nullptr;
 std::vector<LinearProjectionDesign>* IntegrationTest::of_designs_ = nullptr;
 std::vector<LinearProjectionDesign>* IntegrationTest::klt_designs_ = nullptr;
@@ -116,7 +119,7 @@ TEST_F(IntegrationTest, HighWordlengthKltDegradesAtTarget) {
   // Paper Fig. 8/11: large-footprint KLT designs operate with errors at
   // 310 MHz.
   const auto& klt9 = klt_designs_->back();
-  ASSERT_EQ(klt9.columns.front().wordlength, 9);
+  ASSERT_EQ(klt9.columns.front().wordlength(), 9);
   const double actual = actual_mse(klt9, 0xACDC);
   EXPECT_GT(actual, klt9.training_mse * 5.0);
 }
@@ -129,7 +132,7 @@ TEST_F(IntegrationTest, OfBeatsKltAtComparableAreaUnderOverclocking) {
   double worst_ratio = 1e18;
   double ratio_product = 1.0;
   for (const auto& klt : *klt_designs_) {
-    if (klt.columns.front().wordlength < 7) continue;
+    if (klt.columns.front().wordlength() < 7) continue;
     const LinearProjectionDesign* best_of = nullptr;
     for (const auto& of : *of_designs_)
       if (of.area_estimate <= klt.area_estimate * 1.05 &&
@@ -152,7 +155,7 @@ TEST_F(IntegrationTest, OfBeatsKltAtComparableAreaUnderOverclocking) {
 TEST_F(IntegrationTest, LowWordlengthKltStillWorksAtTarget) {
   // Small-area designs stay error-free at 310 MHz (Fig. 8's story).
   const auto& klt3 = klt_designs_->front();
-  ASSERT_EQ(klt3.columns.front().wordlength, 3);
+  ASSERT_EQ(klt3.columns.front().wordlength(), 3);
   const double actual = actual_mse(klt3, 0xACDC);
   EXPECT_LT(actual, klt3.training_mse * 3.0);
 }

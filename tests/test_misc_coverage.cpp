@@ -17,8 +17,10 @@
 namespace oclp {
 namespace {
 
+MultConfig acfg(int wl) { return MultConfig{MultArch::Array, wl, 1}; }
+
 TEST(ErrorModelIo, FileRoundTrip) {
-  ErrorModel model(4, 9, {200.0, 310.0});
+  ErrorModel model(acfg(4), 9, {200.0, 310.0});
   for (std::uint32_t m = 0; m < 16; ++m) {
     model.set(m, 0, m * 2.0, -0.5 * m, 0.01 * m / 16.0);
     model.set(m, 1, m * 7.0, 0.25 * m, 0.03 * m / 16.0);
@@ -48,7 +50,7 @@ TEST(GibbsScale, ExplicitFactorVarianceControlsLambdaNorm) {
     for (std::size_t r = 0; r < 4; ++r)
       x(r, i) = z * 0.5 + rng.normal(0.0, 0.02);
   }
-  const auto prior = make_flat_prior(7, 310.0);
+  const auto prior = make_flat_prior(acfg(7), 310.0);
   GibbsSettings settings;
   settings.burn_in = 150;
   settings.samples = 400;
@@ -63,11 +65,12 @@ TEST(GibbsScale, ExplicitFactorVarianceControlsLambdaNorm) {
 
 TEST(HardwareEval, InputValidation) {
   Device device(reference_device_config(), kReferenceDieSeed);
-  const AreaModel area = AreaModel::fit(collect_area_samples(5, 5, 9, 3, 1));
+  const AreaModel area =
+      AreaModel::fit(collect_area_samples({acfg(5)}, 9, 3, 1));
   SyntheticDataConfig dc;
   dc.cases = 30;
   const Matrix x = make_synthetic_dataset(dc);
-  const auto design = make_klt_design(x, 2, 5, 200.0, 9, area, nullptr);
+  const auto design = make_klt_design(x, 2, acfg(5), 200.0, 9, area, nullptr);
   const auto plan = simulated_plan(design, reference_location_1());
 
   const std::vector<double> wrong_mu(3, 0.0);  // needs P = 6 entries
@@ -81,15 +84,17 @@ TEST(HardwareEval, InputValidation) {
                CheckError);
 }
 
-TEST(DesignDefaults, ArchDefaultsToArray) {
-  LinearProjectionDesign d;
-  EXPECT_EQ(d.arch, MultArch::Array);
-  const AreaModel area = AreaModel::fit(collect_area_samples(4, 4, 9, 2, 1));
+TEST(DesignDefaults, KltColumnsCarryTheRequestedConfig) {
+  // No layer may silently default an architecture: the config handed to
+  // the KLT baseline must come back on every realised column.
+  const MultConfig cfg{MultArch::Wallace, 4, 2};
+  const AreaModel area = AreaModel::fit(collect_area_samples({cfg}, 9, 2, 1));
   SyntheticDataConfig dc;
   dc.cases = 20;
   const Matrix x = make_synthetic_dataset(dc);
-  EXPECT_EQ(make_klt_design(x, 2, 4, 100.0, 9, area, nullptr).arch,
-            MultArch::Array);
+  const auto d = make_klt_design(x, 2, cfg, 100.0, 9, area, nullptr);
+  ASSERT_FALSE(d.columns.empty());
+  for (const auto& col : d.columns) EXPECT_EQ(col.config, cfg);
 }
 
 TEST(ReferenceConfig, MatchesPaperAnchors) {
@@ -105,11 +110,12 @@ TEST(ReferenceConfig, MatchesPaperAnchors) {
 }
 
 TEST(SimulatedPlan, JitterDefaultsOn) {
-  const AreaModel area = AreaModel::fit(collect_area_samples(4, 4, 9, 2, 1));
+  const AreaModel area =
+      AreaModel::fit(collect_area_samples({acfg(4)}, 9, 2, 1));
   SyntheticDataConfig dc;
   dc.cases = 20;
   const Matrix x = make_synthetic_dataset(dc);
-  const auto design = make_klt_design(x, 2, 4, 100.0, 9, area, nullptr);
+  const auto design = make_klt_design(x, 2, acfg(4), 100.0, 9, area, nullptr);
   EXPECT_TRUE(simulated_plan(design, reference_location_1()).with_jitter);
   Device device(reference_device_config(), kReferenceDieSeed);
   EXPECT_TRUE(actual_plan(design, device, 1).with_jitter);
