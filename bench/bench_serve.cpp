@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "charlib/sweep.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "fabric/calibration.hpp"
 #include "fabric/timing_annotation.hpp"
@@ -123,6 +124,7 @@ struct BatchScaling {
   std::size_t samples = 0;
   double scalar_samples_per_sec = 0.0;
   std::vector<BatchScalingPoint> points;
+  double batch1_vs_scalar_speedup = 0.0;   ///< at batch size 1
   double batched_vs_scalar_speedup = 0.0;  ///< at the largest batch size
   bool checksum_match = true;  ///< batched outputs bitwise equal to scalar
 };
@@ -185,7 +187,16 @@ BatchScaling run_batch_scaling(bool smoke) {
     p.speedup = p.samples_per_sec / out.scalar_samples_per_sec;
     out.points.push_back(p);
   }
+  out.batch1_vs_scalar_speedup = out.points.front().speedup;
   out.batched_vs_scalar_speedup = out.points.back().speedup;
+  // Batch 1 must never lose to the per-sample loop: project_batch
+  // delegates single-sample batches to project() itself, so anything far
+  // below 1.0 here means that fast path broke (the 0.9 slack only absorbs
+  // timer noise, not a real regression).
+  OCLP_CHECK_MSG(out.batch1_vs_scalar_speedup >= 0.9,
+                 "batch-1 projection regressed to "
+                     << out.batch1_vs_scalar_speedup
+                     << "x of the scalar path");
   return out;
 }
 
@@ -360,6 +371,8 @@ void write_json(const char* path, bool smoke,
        << (i + 1 < scaling.points.size() ? "," : "") << "\n";
   }
   os << "    ],\n"
+     << "    \"batch1_vs_scalar_speedup\": "
+     << scaling.batch1_vs_scalar_speedup << ",\n"
      << "    \"batched_vs_scalar_speedup\": "
      << scaling.batched_vs_scalar_speedup << ",\n"
      << "    \"batched_vs_scalar_checksum_match\": "

@@ -277,10 +277,16 @@ std::vector<CharTrace> CharacterisationCircuit::run_multi(
 
   // Sampling a frequency is then obs = settled word with the too-late
   // toggled bits flipped back — bitwise identical to thresholding every
-  // bit, but O(toggled) per frequency instead of O(output width).
+  // bit, but O(toggled) per frequency instead of O(output width). With an
+  // integer-kernel stream (the production case) the compares run on uint32
+  // ticks against one exact threshold conversion per (sample, frequency) —
+  // the jittered period varies per sample, so it cannot hoist further —
+  // which matches the double rule bitwise (see PsGrid::period_ticks).
   const std::uint32_t* tbegin = ws.stream.toggle_begin.data();
   const std::uint8_t* tbit = ws.stream.toggle_bit.data();
+  const bool ticks = ws.stream.has_ticks;
   const double* tsettle = ws.stream.toggle_settle.data();
+  const std::uint32_t* tsettle_ticks = ws.stream.toggle_settle_ticks.data();
   for (std::size_t i = 0; i < n; ++i) {
     double j = 0.0;
     if (sigma > 0.0) {
@@ -296,8 +302,15 @@ std::vector<CharTrace> CharacterisationCircuit::run_multi(
     for (std::size_t fi = 0; fi < nf; ++fi) {
       const double period = periods[fi] + j;
       std::uint64_t obs = settled;
-      for (std::uint32_t ti = tbegin[i]; ti < tbegin[i + 1]; ++ti)
-        obs ^= static_cast<std::uint64_t>(tsettle[ti] > period) << tbit[ti];
+      if (ticks) {
+        const std::uint64_t pticks = PsGrid::period_ticks(period);
+        for (std::uint32_t ti = tbegin[i]; ti < tbegin[i + 1]; ++ti)
+          obs ^= static_cast<std::uint64_t>(tsettle_ticks[ti] > pticks)
+                 << tbit[ti];
+      } else {
+        for (std::uint32_t ti = tbegin[i]; ti < tbegin[i + 1]; ++ti)
+          obs ^= static_cast<std::uint64_t>(tsettle[ti] > period) << tbit[ti];
+      }
       CharTrace& t = traces[fi];
       t.observed[i] = obs;
       t.error[i] =

@@ -25,8 +25,10 @@ namespace {
 // per location for the whole sweep — construction (netlist build + timing
 // annotation + STA) dwarfs a single stream run, so it must not sit inside
 // the per-multiplicand loop. Workers share the circuits through the const
-// single-pass API with per-thread workspaces. Each worker writes only its
-// own model row, so any policy/chunking is bitwise-identical to serial.
+// single-pass API with chunk-keyed workspaces (NUMA-local under a pinned
+// policy, since chunk c always re-touches arena slot c from the same CPU).
+// Each worker writes only its own model row, so any policy/chunking is
+// bitwise-identical to serial.
 void sweep_rows(const Device& device, const SweepSettings& settings,
                 const std::vector<std::uint32_t>& rows, ErrorModel& model,
                 const ExecPolicy& exec) {
@@ -47,8 +49,7 @@ void sweep_rows(const Device& device, const SweepSettings& settings,
   for (const auto& loc : settings.locations)
     circuits.emplace_back(ccfg, device, loc);
 
-  auto worker = [&](std::size_t ri) {
-    thread_local CharacterisationCircuit::Workspace ws;
+  auto worker = [&](std::size_t ri, CharacterisationCircuit::Workspace& ws) {
     const std::uint32_t m = rows[ri];
     std::vector<RunningStats> err(freqs.size());
     std::vector<std::size_t> erroneous(freqs.size(), 0);
@@ -72,7 +73,13 @@ void sweep_rows(const Device& device, const SweepSettings& settings,
                                 static_cast<double>(total[fi])
                           : 0.0);
   };
-  exec.for_each(0, rows.size(), worker);
+  ChunkArena<CharacterisationCircuit::Workspace> arena;
+  arena.ensure(exec.num_chunks(rows.size()));
+  exec.for_chunks(0, rows.size(),
+                  [&](std::size_t c0, std::size_t c1, std::size_t chunk) {
+                    auto& ws = arena.at(chunk);
+                    for (std::size_t ri = c0; ri < c1; ++ri) worker(ri, ws);
+                  });
 }
 
 std::vector<double> sorted_freqs(const SweepSettings& settings) {
@@ -205,8 +212,7 @@ SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,
   std::vector<std::uint8_t> erroneous_at(run_freqs.size(), 0);
   std::mutex merge_mutex;
 
-  auto worker = [&](std::size_t pi) {
-    thread_local CharacterisationCircuit::Workspace ws;
+  auto worker = [&](std::size_t pi, CharacterisationCircuit::Workspace& ws) {
     const std::uint32_t m = probe[pi];
     const auto traces = circuit.run_multi(
         m, stream, run_freqs, hash_mix(settings.stream_seed, m, 0x5B5EE7ULL),
@@ -226,7 +232,13 @@ SubsweepReport recharacterise_multiplier(const CharacterisationCircuit& circuit,
 
   // Distinct model rows / erroneous_at slots per probe (the mutex only
   // serialises the writes), so the policy cannot change the result.
-  exec.for_each(0, probe.size(), worker);
+  ChunkArena<CharacterisationCircuit::Workspace> arena;
+  arena.ensure(exec.num_chunks(probe.size()));
+  exec.for_chunks(0, probe.size(),
+                  [&](std::size_t c0, std::size_t c1, std::size_t chunk) {
+                    auto& ws = arena.at(chunk);
+                    for (std::size_t pi = c0; pi < c1; ++pi) worker(pi, ws);
+                  });
 
   // fB over the probed codes: highest grid frequency below the first
   // erroneous (or unprobeable) point, in ascending order — same rule as
@@ -286,8 +298,7 @@ std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
   std::vector<std::vector<std::size_t>> burst_bad(
       bursts.size(), std::vector<std::size_t>(nf, 0));
 
-  auto worker = [&](std::size_t bi) {
-    thread_local CharacterisationCircuit::Workspace ws;
+  auto worker = [&](std::size_t bi, CharacterisationCircuit::Workspace& ws) {
     const auto& b = bursts[bi];
     const auto xs = uniform_stream(wl_b, b.n, b.xs_seed);
     const auto traces =
@@ -302,7 +313,13 @@ std::vector<ErrorRatePoint> error_rate_curve(const Device& device, int wl_a,
   // Bursts fill distinct slots in parallel; the order-sensitive
   // RunningStats merge below stays a serial fixed-order fold, so the
   // curve is bitwise-independent of the policy.
-  exec.for_each(0, bursts.size(), worker);
+  ChunkArena<CharacterisationCircuit::Workspace> arena;
+  arena.ensure(exec.num_chunks(bursts.size()));
+  exec.for_chunks(0, bursts.size(),
+                  [&](std::size_t c0, std::size_t c1, std::size_t chunk) {
+                    auto& ws = arena.at(chunk);
+                    for (std::size_t bi = c0; bi < c1; ++bi) worker(bi, ws);
+                  });
 
   std::vector<ErrorRatePoint> curve(nf);
   for (std::size_t fi = 0; fi < nf; ++fi) {

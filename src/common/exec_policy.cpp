@@ -1,6 +1,9 @@
 #include "common/exec_policy.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <future>
+#include <vector>
 
 namespace oclp {
 
@@ -42,10 +45,36 @@ void ExecPolicy::for_chunks(
     for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
     return;
   }
+  ThreadPool& tp = pool();
+  if (pinned_ && !tp.current_thread_is_worker()) {
+    // Static cyclic schedule: chunk c always executes on worker c % W,
+    // hence on the same CPU and NUMA node every call (the pool is
+    // worker-pinned). Chunk-keyed workspaces therefore get touched by the
+    // same CPU for their whole lifetime. Same drain-all-then-rethrow
+    // discipline as ThreadPool::parallel_for: bailing early would leave
+    // queued chunks with dangling references into this frame.
+    const std::size_t w = tp.size();
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk)
+      futures.push_back(
+          tp.submit_on(chunk % w, [&run_chunk, chunk] { run_chunk(chunk); }));
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
   // Fan the chunk *indices* out over the pool. parallel_for runs nested
   // calls (from inside a worker of this same pool) inline on the calling
-  // thread, so policy layering cannot deadlock.
-  pool().parallel_for(0, chunks, run_chunk);
+  // thread, so policy layering cannot deadlock — a nested pinned call
+  // lands here too and inlines for the same reason.
+  tp.parallel_for(0, chunks, run_chunk);
 }
 
 void ExecPolicy::for_each(std::size_t begin, std::size_t end,

@@ -4,22 +4,57 @@
 #include <exception>
 
 #include "common/check.hpp"
+#include "common/topology.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace oclp {
 
 namespace {
-// Which pool (if any) owns the current thread. Lets parallel_for detect
-// nested use from inside a worker: blocking on futures there can deadlock
-// (every worker waiting on chunks only the blocked workers could run), so
-// nested calls degrade to inline execution on the calling thread instead.
+// Which pool (if any) owns the current thread, and the worker's index in
+// it. Lets parallel_for detect nested use from inside a worker: blocking
+// on futures there can deadlock (every worker waiting on chunks only the
+// blocked workers could run), so nested calls degrade to inline execution
+// on the calling thread instead. The index is what directed-schedule
+// consumers (and tests) use to observe where a task actually ran.
 thread_local const ThreadPool* current_worker_pool = nullptr;
+thread_local int current_worker_idx = -1;
+
+// Bind the calling thread to a single CPU. Best-effort: a failure (exotic
+// cgroup masks, non-Linux) leaves the thread floating, which only costs
+// locality, never correctness.
+void pin_self_to_cpu(int cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, bool pin_workers) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  pinned_ = pin_workers;
+  // The worker→CPU→node assignment is fixed here, on the constructing
+  // thread, from the cached topology probe: deterministic and readable
+  // without synchronisation. Workers apply their own affinity on startup.
+  worker_cpu_.resize(threads);
+  worker_node_.resize(threads);
+  const Topology& topo = topology();
+  for (std::size_t i = 0; i < threads; ++i) {
+    worker_cpu_[i] = topo.cpu_for_worker(i);
+    worker_node_[i] = topo.node_of_cpu(worker_cpu_[i]);
+  }
+  worker_queues_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -35,9 +70,15 @@ bool ThreadPool::current_thread_is_worker() const {
   return current_worker_pool == this;
 }
 
+int ThreadPool::current_worker_index() const {
+  return current_worker_pool == this ? current_worker_idx : -1;
+}
+
 std::size_t ThreadPool::queue_depth() const {
   std::lock_guard lock(mutex_);
-  return queue_.size();
+  std::size_t depth = queue_.size();
+  for (const auto& q : worker_queues_) depth += q.size();
+  return depth;
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -49,6 +90,24 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     queue_.push(std::move(packaged));
   }
   cv_.notify_one();
+  return future;
+}
+
+std::future<void> ThreadPool::submit_on(std::size_t worker,
+                                        std::function<void()> task) {
+  OCLP_CHECK_MSG(worker < size(), "submit_on worker " << worker
+                                                      << " of a pool of "
+                                                      << size());
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    OCLP_CHECK_MSG(!stopping_, "submit_on on a stopped ThreadPool");
+    worker_queues_[worker].push(std::move(packaged));
+  }
+  // Directed work cannot be stolen: every waiter must look, since only
+  // one specific worker may take this task.
+  cv_.notify_all();
   return future;
 }
 
@@ -93,16 +152,33 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+ThreadPool& ThreadPool::pinned_global() {
+  static ThreadPool pool(0, /*pin_workers=*/true);
+  return pool;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
   current_worker_pool = this;
+  current_worker_idx = static_cast<int>(index);
+  if (pinned_) pin_self_to_cpu(worker_cpu_[index]);
+  auto& own = worker_queues_[index];
   for (;;) {
     std::packaged_task<void()> task;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+      cv_.wait(lock, [this, &own] {
+        return stopping_ || !queue_.empty() || !own.empty();
+      });
+      if (stopping_ && queue_.empty() && own.empty()) return;
+      // Directed tasks first: they were routed here for locality, and
+      // nobody else can run them.
+      if (!own.empty()) {
+        task = std::move(own.front());
+        own.pop();
+      } else {
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
     }
     inflight_.fetch_add(1, std::memory_order_relaxed);
     task();  // exceptions propagate via the packaged_task's future

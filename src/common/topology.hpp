@@ -1,0 +1,60 @@
+// Host topology probe: which CPUs this process may run on, grouped by
+// NUMA node. The execution-policy layer uses it to pin pool workers and
+// to place per-chunk workspaces on the socket that will touch them (the
+// chunk→worker schedule of ExecPolicy::pinned() is static, so first-touch
+// allocation inside a chunk is allocation on that chunk's node).
+//
+// The probe reads sysfs (/sys/devices/system/node) and intersects each
+// node's cpulist with the process affinity mask; on hosts without sysfs
+// NUMA information (or non-Linux builds) it degenerates to a single node
+// holding every affine CPU. Probing happens once and is cached — topology
+// does not change under a running process, and a stable answer is what
+// makes the pinned chunk→cpu→node chain deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace oclp {
+
+struct TopologyNode {
+  int id = 0;                ///< OS node id (node<N> in sysfs)
+  std::vector<int> cpus;     ///< affine CPUs of this node, ascending
+};
+
+struct Topology {
+  std::vector<TopologyNode> nodes;  ///< non-empty, ascending node id
+
+  /// Total affine CPUs across nodes.
+  std::size_t num_cpus() const {
+    std::size_t n = 0;
+    for (const auto& node : nodes) n += node.cpus.size();
+    return n;
+  }
+
+  /// The i-th affine CPU in (node-major, cpu-ascending) order — the
+  /// worker→CPU assignment rule of ThreadPool pinning. Wraps modulo the
+  /// CPU count, so any worker index maps to a valid CPU.
+  int cpu_for_worker(std::size_t worker) const;
+
+  /// NUMA node id owning `cpu` (0 if the cpu is unknown to the probe).
+  int node_of_cpu(int cpu) const;
+
+  /// True when more than one node holds CPUs — whether pinning can change
+  /// memory locality at all (it still stabilises caches on one node).
+  bool multi_node() const { return nodes.size() > 1; }
+};
+
+/// The cached process-wide probe (thread-safe; probed on first use).
+const Topology& topology();
+
+/// An uncached probe — test hook, and what topology() runs once.
+Topology probe_topology();
+
+/// Parse a sysfs-style cpulist ("0-3,8,10-11") into ascending CPU ids.
+/// Exposed for tests; malformed chunks are skipped rather than throwing
+/// (sysfs is trusted but the parser must not take the process down).
+std::vector<int> parse_cpulist(const std::string& list);
+
+}  // namespace oclp

@@ -206,6 +206,14 @@ void ProjectionCircuit::project_batch(
     OCLP_CHECK(batch[s] != nullptr && batch[s]->size() == p);
   ys.resize(n);
   if (n == 0) return;
+  if (n == 1) {
+    // A single sample can't amortise the stream machinery (64-lane row
+    // fills, toggle snapshot, chunk fan-out) and the batch path loses to
+    // the scalar one. project() consumes the same single jittered period
+    // this path would draw, so delegating is bitwise identical.
+    project(*batch[0], ys[0]);
+    return;
+  }
 
   // All multipliers share the mult_clk domain; one jittered period per
   // edge, drawn in sample order — the exact draw sequence a project()
@@ -229,10 +237,10 @@ void ProjectionCircuit::project_batch(
   // Each chunk owns a reusable workspace; each multiplier's register
   // state lives in its sim, so the chunk → multiplier mapping never
   // affects results and the reduction below is a fixed-order serial sum.
-  batch_ws_.resize(exec_.num_chunks(kp));
+  batch_ws_.ensure(exec_.num_chunks(kp));
   exec_.for_chunks(0, kp, [&](std::size_t m0, std::size_t m1,
                               std::size_t chunk) {
-    BatchWorkspace& ws = batch_ws_[chunk];
+    BatchWorkspace& ws = batch_ws_.at(chunk);
     for (std::size_t m = m0; m < m1; ++m) {
       const std::size_t kk = m / p, pp = m % p;
       const DesignColumn& col = design_.columns[kk];

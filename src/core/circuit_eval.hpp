@@ -75,10 +75,12 @@ class ProjectionCircuit {
   /// clock_seed ⇒ same clocks) and the sign/mean-correction accumulation
   /// order — and freely interleavable with project()/set_clock() (the
   /// multiplier register state carries across). The K·P per-multiplier
-  /// streams are distributed per the circuit's ExecPolicy (default: the
-  /// global pool, one chunk per worker) with per-chunk reusable
-  /// workspaces; no steady-state allocation beyond `ys`. `ys` is resized
-  /// to batch.size() rows of K entries.
+  /// streams are distributed per the circuit's ExecPolicy (default:
+  /// pinned, one chunk per worker) with per-chunk reusable workspaces in
+  /// a stable-address arena; no steady-state allocation beyond `ys`.
+  /// Single-sample batches delegate to the scalar project() path, which
+  /// beats the stream machinery at n = 1 and draws the identical period.
+  /// `ys` is resized to batch.size() rows of K entries.
   void project_batch(const std::vector<const std::vector<std::uint32_t>*>& batch,
                      std::vector<std::vector<double>>& ys);
 
@@ -160,11 +162,14 @@ class ProjectionCircuit {
   std::vector<double> periods_;             ///< per-sample jittered periods
   std::vector<std::uint64_t> periods_ticks_;  ///< the same, as PsGrid ticks
   std::vector<double> contrib_;             ///< K·P × n per-multiplier terms
-  std::vector<BatchWorkspace> batch_ws_;    ///< one per parallel chunk
+  ChunkArena<BatchWorkspace> batch_ws_;     ///< one stable slot per chunk
   /// Stream-distribution policy. One chunk per worker mirrors the shard
   /// count the hand-rolled fan-out used (multiplier streams are uniform,
-  /// so finer chunks only add submission overhead).
-  ExecPolicy exec_ = ExecPolicy::pooled(nullptr, ExecChunking{0, 1, 1});
+  /// so finer chunks only add submission overhead). Pinned by default:
+  /// chunk c always runs on the same CPU, so its arena slot's pages stay
+  /// cache- and NUMA-local across batches. The pinned pool spawns lazily
+  /// on the first real fan-out, never from construction.
+  ExecPolicy exec_ = ExecPolicy::pinned(ExecChunking{0, 1, 1});
 };
 
 /// End-to-end hardware evaluation: run `x` (value-domain P×N) through the

@@ -86,7 +86,7 @@ ProjectionFleet::ProjectionFleet(const LinearProjectionDesign& design,
       probe.samples_per_point = cfg.char_samples;
       probe.stream_seed = hash_mix(cfg.seed, i, 0xC0DE5ULL);
       const auto report = recharacterise_multiplier(
-          *die->char_circuits.at(config), model, probe);
+          *die->char_circuits.at(config), model, probe, cfg.char_exec);
       fb = first ? report.error_free_fmax_mhz
                  : std::min(fb, report.error_free_fmax_mhz);
       first = false;

@@ -1,0 +1,271 @@
+#include "timing/lane_kernels.hpp"
+
+#include <algorithm>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define OCLP_LANE_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define OCLP_LANE_X86_DISPATCH 0
+#endif
+
+namespace oclp::lane {
+
+namespace {
+
+// --- Scalar clones ---------------------------------------------------------
+//
+// The toggle words are split into 32-bit halves so the per-lane bit
+// extraction stays a 32-bit variable shift (vpsrlvd when the compiler
+// auto-vectorises this on AVX2 hardware builds).
+
+void fill_scalar(std::uint32_t* row, const std::uint32_t* r0,
+                 const std::uint32_t* r1, const std::uint32_t* r2,
+                 std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+                 std::uint32_t d) {
+  for (int h = 0; h < 2; ++h) {
+    const auto s0 = static_cast<std::uint32_t>(t0 >> (32 * h));
+    const auto s1 = static_cast<std::uint32_t>(t1 >> (32 * h));
+    const auto s2 = static_cast<std::uint32_t>(t2 >> (32 * h));
+    const std::uint32_t* q0 = r0 + 32 * h;
+    const std::uint32_t* q1 = r1 + 32 * h;
+    const std::uint32_t* q2 = r2 + 32 * h;
+    std::uint32_t* qrow = row + 32 * h;
+    for (std::size_t l = 0; l < 32; ++l) {
+      const std::uint32_t m0 = 0 - ((s0 >> l) & 1u);
+      const std::uint32_t m1 = 0 - ((s1 >> l) & 1u);
+      const std::uint32_t m2 = 0 - ((s2 >> l) & 1u);
+      std::uint32_t launch = q0[l] & m0;
+      launch = std::max(launch, q1[l] & m1);
+      launch = std::max(launch, q2[l] & m2);
+      qrow[l] = launch + d;
+    }
+  }
+}
+
+void fill2_scalar(std::uint32_t* row, std::uint32_t* crow,
+                  const std::uint32_t* r0, const std::uint32_t* r1,
+                  const std::uint32_t* r2, const std::uint32_t* cr0,
+                  const std::uint32_t* cr1, const std::uint32_t* cr2,
+                  std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+                  std::uint32_t d, bool is_reg) {
+  for (int h = 0; h < 2; ++h) {
+    const auto s0 = static_cast<std::uint32_t>(t0 >> (32 * h));
+    const auto s1 = static_cast<std::uint32_t>(t1 >> (32 * h));
+    const auto s2 = static_cast<std::uint32_t>(t2 >> (32 * h));
+    const std::uint32_t* q0 = r0 + 32 * h;
+    const std::uint32_t* q1 = r1 + 32 * h;
+    const std::uint32_t* q2 = r2 + 32 * h;
+    const std::uint32_t* p0 = cr0 + 32 * h;
+    const std::uint32_t* p1 = cr1 + 32 * h;
+    const std::uint32_t* p2 = cr2 + 32 * h;
+    std::uint32_t* qrow = row + 32 * h;
+    std::uint32_t* qcrow = crow + 32 * h;
+    if (is_reg) {
+      for (std::size_t l = 0; l < 32; ++l) {
+        const std::uint32_t m0 = 0 - ((s0 >> l) & 1u);
+        const std::uint32_t m1 = 0 - ((s1 >> l) & 1u);
+        const std::uint32_t m2 = 0 - ((s2 >> l) & 1u);
+        std::uint32_t launch = q0[l] & m0;
+        launch = std::max(launch, q1[l] & m1);
+        launch = std::max(launch, q2[l] & m2);
+        std::uint32_t carry = p0[l] & m0;
+        carry = std::max(carry, p1[l] & m1);
+        carry = std::max(carry, p2[l] & m2);
+        qcrow[l] = std::max(carry, launch);
+        qrow[l] = d;
+      }
+    } else {
+      for (std::size_t l = 0; l < 32; ++l) {
+        const std::uint32_t m0 = 0 - ((s0 >> l) & 1u);
+        const std::uint32_t m1 = 0 - ((s1 >> l) & 1u);
+        const std::uint32_t m2 = 0 - ((s2 >> l) & 1u);
+        std::uint32_t launch = q0[l] & m0;
+        launch = std::max(launch, q1[l] & m1);
+        launch = std::max(launch, q2[l] & m2);
+        std::uint32_t carry = p0[l] & m0;
+        carry = std::max(carry, p1[l] & m1);
+        carry = std::max(carry, p2[l] & m2);
+        qrow[l] = launch + d;
+        qcrow[l] = carry;
+      }
+    }
+  }
+}
+
+#if OCLP_LANE_X86_DISPATCH
+
+// --- AVX2 clones (8 lanes per op) ------------------------------------------
+//
+// The lane masks come from a broadcast-and-compare against per-lane bit
+// constants: all-ones where the toggle bit is set, exactly the 0-((s>>l)&1)
+// trick widened to a vector.
+
+__attribute__((target("avx2"))) inline __m256i avx2_masked_row(
+    const std::uint32_t* q, std::uint32_t slice, __m256i bits) {
+  const __m256i m =
+      _mm256_cmpeq_epi32(_mm256_and_si256(_mm256_set1_epi32(
+                             static_cast<int>(slice)), bits), bits);
+  return _mm256_and_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q)), m);
+}
+
+__attribute__((target("avx2")))
+void fill_avx2(std::uint32_t* row, const std::uint32_t* r0,
+               const std::uint32_t* r1, const std::uint32_t* r2,
+               std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+               std::uint32_t d) {
+  const __m256i vd = _mm256_set1_epi32(static_cast<int>(d));
+  const __m256i bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  for (int g = 0; g < 8; ++g) {
+    const auto b0 = static_cast<std::uint32_t>((t0 >> (8 * g)) & 0xffu);
+    const auto b1 = static_cast<std::uint32_t>((t1 >> (8 * g)) & 0xffu);
+    const auto b2 = static_cast<std::uint32_t>((t2 >> (8 * g)) & 0xffu);
+    __m256i launch = avx2_masked_row(r0 + 8 * g, b0, bits);
+    launch = _mm256_max_epu32(launch, avx2_masked_row(r1 + 8 * g, b1, bits));
+    launch = _mm256_max_epu32(launch, avx2_masked_row(r2 + 8 * g, b2, bits));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + 8 * g),
+                        _mm256_add_epi32(launch, vd));
+  }
+}
+
+__attribute__((target("avx2")))
+void fill2_avx2(std::uint32_t* row, std::uint32_t* crow,
+                const std::uint32_t* r0, const std::uint32_t* r1,
+                const std::uint32_t* r2, const std::uint32_t* cr0,
+                const std::uint32_t* cr1, const std::uint32_t* cr2,
+                std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+                std::uint32_t d, bool is_reg) {
+  const __m256i vd = _mm256_set1_epi32(static_cast<int>(d));
+  const __m256i bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  for (int g = 0; g < 8; ++g) {
+    const auto b0 = static_cast<std::uint32_t>((t0 >> (8 * g)) & 0xffu);
+    const auto b1 = static_cast<std::uint32_t>((t1 >> (8 * g)) & 0xffu);
+    const auto b2 = static_cast<std::uint32_t>((t2 >> (8 * g)) & 0xffu);
+    __m256i launch = avx2_masked_row(r0 + 8 * g, b0, bits);
+    launch = _mm256_max_epu32(launch, avx2_masked_row(r1 + 8 * g, b1, bits));
+    launch = _mm256_max_epu32(launch, avx2_masked_row(r2 + 8 * g, b2, bits));
+    __m256i carry = avx2_masked_row(cr0 + 8 * g, b0, bits);
+    carry = _mm256_max_epu32(carry, avx2_masked_row(cr1 + 8 * g, b1, bits));
+    carry = _mm256_max_epu32(carry, avx2_masked_row(cr2 + 8 * g, b2, bits));
+    if (is_reg) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + 8 * g),
+                          _mm256_max_epu32(carry, launch));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + 8 * g), vd);
+    } else {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + 8 * g),
+                          _mm256_add_epi32(launch, vd));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + 8 * g), carry);
+    }
+  }
+}
+
+// --- AVX-512F clones (16 lanes per op) --------------------------------------
+//
+// No mask materialisation at all: each 16-bit slice of the toggle word *is*
+// the __mmask16 of a zero-masked row load, so "fanin contributes only where
+// it toggled" costs nothing beyond the load itself. Rows are full 64-lane
+// arrays, so even the masked-off lanes are in-bounds.
+//
+// gcc 12 expands every AVX-512 intrinsic through _mm512_undefined_epi32(),
+// which trips -Wuninitialized from inside the vendor header (gcc bug
+// 105593) — silence the false positive for these two functions only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+__attribute__((target("avx512f")))
+void fill_avx512(std::uint32_t* row, const std::uint32_t* r0,
+                 const std::uint32_t* r1, const std::uint32_t* r2,
+                 std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+                 std::uint32_t d) {
+  const __m512i vd = _mm512_set1_epi32(static_cast<int>(d));
+  const __m512i vz = _mm512_setzero_si512();
+  for (int g = 0; g < 4; ++g) {
+    const auto k0 = static_cast<__mmask16>(t0 >> (16 * g));
+    const auto k1 = static_cast<__mmask16>(t1 >> (16 * g));
+    const auto k2 = static_cast<__mmask16>(t2 >> (16 * g));
+    __m512i launch = _mm512_mask_loadu_epi32(vz, k0, r0 + 16 * g);
+    launch = _mm512_max_epu32(launch,
+                              _mm512_mask_loadu_epi32(vz, k1, r1 + 16 * g));
+    launch = _mm512_max_epu32(launch,
+                              _mm512_mask_loadu_epi32(vz, k2, r2 + 16 * g));
+    _mm512_storeu_si512(row + 16 * g, _mm512_add_epi32(launch, vd));
+  }
+}
+
+__attribute__((target("avx512f")))
+void fill2_avx512(std::uint32_t* row, std::uint32_t* crow,
+                  const std::uint32_t* r0, const std::uint32_t* r1,
+                  const std::uint32_t* r2, const std::uint32_t* cr0,
+                  const std::uint32_t* cr1, const std::uint32_t* cr2,
+                  std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
+                  std::uint32_t d, bool is_reg) {
+  const __m512i vd = _mm512_set1_epi32(static_cast<int>(d));
+  const __m512i vz = _mm512_setzero_si512();
+  for (int g = 0; g < 4; ++g) {
+    const auto k0 = static_cast<__mmask16>(t0 >> (16 * g));
+    const auto k1 = static_cast<__mmask16>(t1 >> (16 * g));
+    const auto k2 = static_cast<__mmask16>(t2 >> (16 * g));
+    __m512i launch = _mm512_mask_loadu_epi32(vz, k0, r0 + 16 * g);
+    launch = _mm512_max_epu32(launch,
+                              _mm512_mask_loadu_epi32(vz, k1, r1 + 16 * g));
+    launch = _mm512_max_epu32(launch,
+                              _mm512_mask_loadu_epi32(vz, k2, r2 + 16 * g));
+    __m512i carry = _mm512_mask_loadu_epi32(vz, k0, cr0 + 16 * g);
+    carry = _mm512_max_epu32(carry,
+                             _mm512_mask_loadu_epi32(vz, k1, cr1 + 16 * g));
+    carry = _mm512_max_epu32(carry,
+                             _mm512_mask_loadu_epi32(vz, k2, cr2 + 16 * g));
+    if (is_reg) {
+      _mm512_storeu_si512(crow + 16 * g, _mm512_max_epu32(carry, launch));
+      _mm512_storeu_si512(row + 16 * g, vd);
+    } else {
+      _mm512_storeu_si512(row + 16 * g, _mm512_add_epi32(launch, vd));
+      _mm512_storeu_si512(crow + 16 * g, carry);
+    }
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // OCLP_LANE_X86_DISPATCH
+
+// Dense/sparse crossovers, measured on the 8×8 multiplier sweep stream:
+// one vector fill amortises over more lanes the wider the ISA, so the
+// popcount at which the unconditional fill overtakes the sparse walk drops
+// from 16 (scalar/auto-vec) to 10 (AVX2) to 6 (AVX-512 masked loads).
+constexpr DenseKernels kScalarKernels{fill_scalar, fill2_scalar, 16, "scalar"};
+#if OCLP_LANE_X86_DISPATCH
+constexpr DenseKernels kAvx2Kernels{fill_avx2, fill2_avx2, 10, "avx2"};
+constexpr DenseKernels kAvx512Kernels{fill_avx512, fill2_avx512, 6, "avx512f"};
+#endif
+
+}  // namespace
+
+const DenseKernels& dense_kernels() {
+  static const DenseKernels kernels = [] {
+#if OCLP_LANE_X86_DISPATCH
+    if (__builtin_cpu_supports("avx512f")) return kAvx512Kernels;
+    if (__builtin_cpu_supports("avx2")) return kAvx2Kernels;
+#endif
+    return kScalarKernels;
+  }();
+  return kernels;
+}
+
+int all_dense_kernels(DenseKernels out[3]) {
+  int n = 0;
+  out[n++] = kScalarKernels;
+#if OCLP_LANE_X86_DISPATCH
+  if (__builtin_cpu_supports("avx2")) out[n++] = kAvx2Kernels;
+  if (__builtin_cpu_supports("avx512f")) out[n++] = kAvx512Kernels;
+#endif
+  return n;
+}
+
+}  // namespace oclp::lane

@@ -6,55 +6,6 @@
 
 namespace oclp {
 
-namespace {
-
-// Dense edges hand the whole 64-lane row to the branch-free fill below;
-// sparser ones walk the set toggle bits one at a time. The cutoff is where
-// the vectorised unconditional fill overtakes popcount scalar iterations.
-constexpr int kDenseToggleCutoff = 16;
-
-// Dense-edge row fill of the integer settle kernel: compute every lane of
-// the cell's tick row unconditionally as masked max-plus. Untoggled slots
-// get a garbage launch, but stale slots are never read (see the invariant
-// at the call site), so the loop carries no data-dependent branches and
-// auto-vectorises — twice as densely as the 8-byte double rows, which is
-// where the integer kernel earns its keep. The toggle words are split into
-// 32-bit halves so the per-lane bit extraction stays a 32-bit variable
-// shift (vpsrlvd). Multi-versioned where supported: the binary stays
-// runnable on baseline x86-64 while the ifunc resolver picks an
-// AVX2/AVX-512 clone on devices that have them — the device-specific
-// optimisation applied to our own simulation substrate.
-#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
-    !defined(__clang__) && !defined(__SANITIZE_THREAD__) &&         \
-    !defined(__SANITIZE_ADDRESS__)
-__attribute__((target_clones("default", "avx2", "avx512f")))
-#endif
-void fill_row_dense_ticks(std::uint32_t* row, const std::uint32_t* r0,
-                          const std::uint32_t* r1, const std::uint32_t* r2,
-                          std::uint64_t t0, std::uint64_t t1, std::uint64_t t2,
-                          std::uint32_t d) {
-  for (int h = 0; h < 2; ++h) {
-    const auto s0 = static_cast<std::uint32_t>(t0 >> (32 * h));
-    const auto s1 = static_cast<std::uint32_t>(t1 >> (32 * h));
-    const auto s2 = static_cast<std::uint32_t>(t2 >> (32 * h));
-    const std::uint32_t* q0 = r0 + 32 * h;
-    const std::uint32_t* q1 = r1 + 32 * h;
-    const std::uint32_t* q2 = r2 + 32 * h;
-    std::uint32_t* qrow = row + 32 * h;
-    for (std::size_t l = 0; l < 32; ++l) {
-      const std::uint32_t m0 = 0 - ((s0 >> l) & 1u);
-      const std::uint32_t m1 = 0 - ((s1 >> l) & 1u);
-      const std::uint32_t m2 = 0 - ((s2 >> l) & 1u);
-      std::uint32_t launch = q0[l] & m0;
-      launch = std::max(launch, q1[l] & m1);
-      launch = std::max(launch, q2[l] & m2);
-      qrow[l] = launch + d;
-    }
-  }
-}
-
-}  // namespace
-
 OverclockSim::OverclockSim(Netlist nl, std::vector<double> cell_delay_ns,
                            TimingMode mode)
     : nl_(std::move(nl)),
@@ -267,6 +218,7 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
   out.toggle_bit.clear();
   out.toggle_settle.clear();
   out.toggle_settle_ticks.clear();
+  out.has_ticks = kIntKernel;
   out.toggle_begin[0] = 0;
   if (n == 0) return;
 
@@ -300,6 +252,13 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
   // The carry into lane 0 of each chunk is the settled value of the
   // previous sample — initially the settled reset state of `st`.
   std::memcpy(out.carry.data(), st.prev.data(), nn);
+
+  // The device-resolved dense row fills and their sparsity crossover (see
+  // lane_kernels.hpp): toggle-word popcount at/above the cutoff hands the
+  // whole 64-lane row to the explicit-SIMD fill, below it the sparse
+  // per-lane walk touches only the toggled slots.
+  [[maybe_unused]] const lane::DenseKernels& lk = dense_;
+  [[maybe_unused]] const int dense_cutoff = dense_.dense_cutoff;
 
   const std::int32_t* fanin = cnl_.fanins().data();
   [[maybe_unused]] const double* delay = delay_.data();
@@ -360,10 +319,10 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
       const std::int32_t* f = fanin + 3 * ci;
       const std::uint64_t t0 = tog[f[0]], t1 = tog[f[1]], t2 = tog[f[2]];
       if constexpr (kRegs) {
-        // Two-track propagation (local L rows plus carried M rows) with a
-        // register branch — always the sparse walk: pipelined cones would
-        // need a second dense fill per row and the reg test inside it, so
-        // the unconditional AVX fill stops paying for itself.
+        // Two-track propagation (local L rows plus carried M rows). The
+        // register branch is per-cell, so the dense fill hoists it out of
+        // the lane loop entirely — dense pipelined edges vectorise exactly
+        // like single-track ones, just over two row pairs.
         const bool reg = is_reg[ci] != 0;
         if constexpr (kIntKernel) {
           const std::uint32_t* r0 = lanes_ticks + static_cast<std::size_t>(f[0]) * 64;
@@ -375,6 +334,10 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
           std::uint32_t* row = lanes_ticks + (base + ci) * 64;
           std::uint32_t* crow = lanes_c_ticks + (base + ci) * 64;
           const std::uint32_t d = delay_ticks[ci];
+          if (std::popcount(t) >= dense_cutoff) {
+            lk.fill2(row, crow, r0, r1, r2, cr0, cr1, cr2, t0, t1, t2, d, reg);
+            continue;
+          }
           do {
             const auto l = static_cast<std::size_t>(std::countr_zero(t));
             const auto m0 = static_cast<std::uint32_t>(0 - ((t0 >> l) & 1ull));
@@ -440,8 +403,8 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
         const std::uint32_t* r2 = lanes_ticks + static_cast<std::size_t>(f[2]) * 64;
         std::uint32_t* row = lanes_ticks + (base + ci) * 64;
         const std::uint32_t d = delay_ticks[ci];
-        if (std::popcount(t) >= kDenseToggleCutoff) {
-          fill_row_dense_ticks(row, r0, r1, r2, t0, t1, t2, d);
+        if (std::popcount(t) >= dense_cutoff) {
+          lk.fill(row, r0, r1, r2, t0, t1, t2, d);
         } else {
           do {
             const auto l = static_cast<std::size_t>(std::countr_zero(t));
@@ -478,34 +441,69 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
       }
     }
 
-    // Per-lane output snapshot: settled word + (bit, settle) toggle pairs.
-    // The integer kernel records both the tick count and its exact ns
-    // equivalent, so double-period consumers keep working bitwise.
-    for (std::size_t l = 0; l < cn; ++l) {
-      const std::size_t s = c0 + l;
-      std::uint64_t w = 0;
-      out.toggle_begin[s] = static_cast<std::uint32_t>(out.toggle_bit.size());
-      for (std::size_t k = 0; k < no; ++k) {
-        const auto o = cnl_.out_net(k);
-        w |= ((words[o] >> l) & 1u) << k;
-        if ((tog[o] >> l) & 1u) {
-          out.toggle_bit.push_back(static_cast<std::uint8_t>(k));
-          // Pipelined cones record the effective settle max(L, M).
-          if constexpr (kIntKernel) {
-            std::uint32_t ticks = lanes_ticks[static_cast<std::size_t>(o) * 64 + l];
-            if constexpr (kRegs)
-              ticks = std::max(ticks, lanes_c_ticks[static_cast<std::size_t>(o) * 64 + l]);
-            out.toggle_settle_ticks.push_back(ticks);
-            out.toggle_settle.push_back(PsGrid::to_ns(ticks));
-          } else {
-            double sns = lanes[static_cast<std::size_t>(o) * 64 + l];
-            if constexpr (kRegs)
-              sns = std::max(sns, lanes_c[static_cast<std::size_t>(o) * 64 + l]);
-            out.toggle_settle.push_back(sns);
-          }
-        }
+    // Output snapshot as a per-chunk counting sort. The natural per-lane
+    // loop tests a ~coin-flip toggle bit per (lane, output) — one branch
+    // misprediction per toggled pair dominated the whole kernel. Instead:
+    // count each lane's pairs by walking the per-output toggle words (pass
+    // 1), prefix-sum into toggle_begin, resize the pair arrays once, then
+    // scatter (pass 2). Outputs are visited in ascending k, so within a
+    // lane the pairs land in exactly the order the per-lane loop produced.
+    // Integer streams record ticks only (has_ticks): consumers capture
+    // through the exact tick threshold instead of dequantised doubles.
+    std::uint32_t cnt[64] = {0};
+    std::size_t pairs = 0;
+    for (std::size_t k = 0; k < no; ++k) {
+      std::uint64_t t = tog[cnl_.out_net(k)];
+      pairs += static_cast<std::size_t>(std::popcount(t));
+      while (t) {
+        ++cnt[std::countr_zero(t)];
+        t &= t - 1;
       }
-      out.settled[s] = w;
+    }
+    const std::size_t tbase = out.toggle_bit.size();
+    out.toggle_bit.resize(tbase + pairs);
+    if constexpr (kIntKernel)
+      out.toggle_settle_ticks.resize(tbase + pairs);
+    else
+      out.toggle_settle.resize(tbase + pairs);
+    std::uint32_t pos[64];
+    {
+      auto off = static_cast<std::uint32_t>(tbase);
+      for (std::size_t l = 0; l < cn; ++l) {
+        out.toggle_begin[c0 + l] = off;
+        pos[l] = off;
+        off += cnt[l];
+      }
+    }
+    for (std::size_t k = 0; k < no; ++k) {
+      const auto o = static_cast<std::size_t>(cnl_.out_net(k));
+      std::uint64_t t = tog[o];
+      while (t) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(t));
+        const std::uint32_t idx = pos[l]++;
+        out.toggle_bit[idx] = static_cast<std::uint8_t>(k);
+        // Pipelined cones record the effective settle max(L, M).
+        if constexpr (kIntKernel) {
+          std::uint32_t ticks = lanes_ticks[o * 64 + l];
+          if constexpr (kRegs)
+            ticks = std::max(ticks, lanes_c_ticks[o * 64 + l]);
+          out.toggle_settle_ticks[idx] = ticks;
+        } else {
+          double sns = lanes[o * 64 + l];
+          if constexpr (kRegs) sns = std::max(sns, lanes_c[o * 64 + l]);
+          out.toggle_settle[idx] = sns;
+        }
+        t &= t - 1;
+      }
+    }
+
+    // Settled output words: transpose the output-net lane words into
+    // per-sample words, k-major so each source word is read once.
+    std::fill_n(out.settled.data() + c0, cn, 0);
+    for (std::size_t k = 0; k < no; ++k) {
+      const std::uint64_t w = words[cnl_.out_net(k)];
+      std::uint64_t* s = out.settled.data() + c0;
+      for (std::size_t l = 0; l < cn; ++l) s[l] |= ((w >> l) & 1u) << k;
     }
   }
   out.toggle_begin[n] = static_cast<std::uint32_t>(out.toggle_bit.size());
@@ -525,8 +523,12 @@ void OverclockSim::run_stream_impl(State& st, const std::uint8_t* inputs,
   for (std::uint32_t t = out.toggle_begin[last]; t < out.toggle_begin[n]; ++t) {
     const auto k = out.toggle_bit[t];
     st.out_prev[k] ^= 1u;
-    st.out_settle[k] = out.toggle_settle[t];
-    worst = std::max(worst, out.toggle_settle[t]);
+    // Integer streams carry ticks only; the dequantisation is exact, so
+    // the advance()/capture() interop stays bitwise (see PsGrid).
+    const double sns = kIntKernel ? PsGrid::to_ns(out.toggle_settle_ticks[t])
+                                  : out.toggle_settle[t];
+    st.out_settle[k] = sns;
+    worst = std::max(worst, sns);
   }
   st.last_output_settle_ns = worst;
   st.stepped = true;

@@ -57,6 +57,7 @@
 
 #include "netlist/compiled.hpp"
 #include "netlist/netlist.hpp"
+#include "timing/lane_kernels.hpp"
 
 namespace oclp {
 
@@ -120,6 +121,16 @@ class OverclockSim {
   /// Worst-case settle path in ticks (integer kernel only; 0 otherwise).
   std::uint64_t critical_path_ticks() const { return critical_path_ticks_; }
 
+  /// The dense row fills (and dense/sparse crossover) run_stream uses —
+  /// resolved per device at construction (lane::dense_kernels()).
+  const lane::DenseKernels& lane_kernels() const { return dense_; }
+
+  /// Override the kernel selection — the hook the property tests and
+  /// benches use to force a specific ISA clone or pin the crossover at an
+  /// extreme (cutoff 0: every toggled cell dense; cutoff 65: never dense).
+  /// Results are identical for any choice; only the speed moves.
+  void set_lane_kernels(const lane::DenseKernels& k) { dense_ = k; }
+
   // --- Shared-circuit API (thread-safe: only touches the given State) ---
 
   /// Settle every net of `st` for `inputs` (a register flush).
@@ -152,12 +163,23 @@ class OverclockSim {
     std::vector<std::uint64_t> settled;     ///< [n] settled output words
     std::vector<std::uint32_t> toggle_begin;  ///< [n+1] offsets into the pair arrays
     std::vector<std::uint8_t> toggle_bit;
+    /// Settle times in ns — filled by the double (reference) kernel only;
+    /// empty after an integer-kernel run (see has_ticks).
     std::vector<double> toggle_settle;
-    /// Settle times as PsGrid ticks — filled (parallel to toggle_settle,
-    /// with toggle_settle[t] == PsGrid::to_ns(toggle_settle_ticks[t])
-    /// exactly) when the producing sim runs the integer kernel; empty
-    /// after a double-kernel run.
+    /// Settle times as PsGrid ticks — filled by the integer kernel only.
+    /// Exactly one of the two value arrays is populated per run; ns values
+    /// of an integer stream are recovered exactly via toggle_settle_ns()
+    /// (the dequantisation is a power-of-two scale — see PsGrid).
     std::vector<std::uint32_t> toggle_settle_ticks;
+    /// True iff the last run_stream filled toggle_settle_ticks (integer
+    /// kernel); false after a reference run. capture_word dispatches on it.
+    bool has_ticks = false;
+
+    /// Settle time of pair `t` in ns, whichever kernel produced it.
+    double toggle_settle_ns(std::size_t t) const {
+      return has_ticks ? PsGrid::to_ns(toggle_settle_ticks[t])
+                       : toggle_settle[t];
+    }
 
     /// Output word of sample `s` captured at `period_ns` — the sampling
     /// rule above as a helper. Each sample may use its own period (the
@@ -165,7 +187,11 @@ class OverclockSim {
     /// because settle times are frequency-independent: the period only
     /// selects which toggled bits are captured fresh vs stale. Bitwise
     /// identical to capture() on every bit, O(toggled at this edge).
+    /// Integer streams dispatch to the tick compare through the exact
+    /// threshold conversion — same bits, no doubles on the hot path.
     std::uint64_t capture_word(std::size_t s, double period_ns) const {
+      if (has_ticks)
+        return capture_word_ticks(s, PsGrid::period_ticks(period_ns));
       std::uint64_t w = settled[s];
       for (std::uint32_t t = toggle_begin[s]; t < toggle_begin[s + 1]; ++t)
         w ^= static_cast<std::uint64_t>(toggle_settle[t] > period_ns)
@@ -266,6 +292,7 @@ class OverclockSim {
   std::vector<double> delay_;
   std::vector<std::uint32_t> delay_ticks_;  ///< empty on the double kernel
   std::uint64_t critical_path_ticks_ = 0;
+  lane::DenseKernels dense_ = lane::dense_kernels();
   State state_;                      // backs the convenience API
   std::vector<std::uint8_t> captured_;  // reusable step() output buffer
 };

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/topology.hpp"
 
 namespace oclp {
 namespace {
@@ -200,6 +201,55 @@ TEST(ThreadPool, ManyMoreChunksThanThreads) {
   const std::size_t n = 100000;
   pool.parallel_for(0, n, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
   EXPECT_EQ(sum.load(), static_cast<long>(n * (n - 1) / 2));
+}
+
+TEST(ThreadPool, SubmitOnRunsOnTheDesignatedWorker) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::future<void>> futures;
+    std::vector<int> ran_on(pool.size() * 5, -1);
+    for (std::size_t t = 0; t < ran_on.size(); ++t)
+      futures.push_back(pool.submit_on(t % pool.size(), [&pool, &ran_on, t] {
+        ran_on[t] = pool.current_worker_index();
+      }));
+    for (auto& f : futures) f.get();
+    for (std::size_t t = 0; t < ran_on.size(); ++t)
+      EXPECT_EQ(ran_on[t], static_cast<int>(t % pool.size())) << "task " << t;
+  }
+}
+
+TEST(ThreadPool, SubmitOnRejectsOutOfRangeWorker) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.submit_on(2, [] {}), CheckError);
+}
+
+TEST(ThreadPool, SubmitOnPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit_on(1, [] { throw std::runtime_error("directed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives and keeps draining its directed queue.
+  auto g = pool.submit_on(1, [] {});
+  g.get();
+}
+
+TEST(ThreadPool, PinnedPoolReportsWorkerPlacement) {
+  ThreadPool pool(2, /*pin_workers=*/true);
+  EXPECT_TRUE(pool.pinned());
+  EXPECT_FALSE(ThreadPool::global().pinned());
+  const Topology& topo = topology();
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    EXPECT_EQ(pool.worker_cpu(w), topo.cpu_for_worker(w));
+    EXPECT_EQ(pool.worker_node(w), topo.node_of_cpu(pool.worker_cpu(w)));
+  }
+  // Pinning never changes what runs, only where: the pool still executes
+  // everything it accepts.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+
+  ThreadPool& pg = ThreadPool::pinned_global();
+  EXPECT_TRUE(pg.pinned());
+  EXPECT_EQ(&pg, &ThreadPool::pinned_global());
 }
 
 }  // namespace

@@ -349,13 +349,18 @@ TEST(OverclockSim, IntegerKernelMatchesDoubleReferenceBitwise) {
     ASSERT_EQ(istream.settled, dstream.settled) << "n=" << n;
     ASSERT_EQ(istream.toggle_begin, dstream.toggle_begin) << "n=" << n;
     ASSERT_EQ(istream.toggle_bit, dstream.toggle_bit) << "n=" << n;
-    ASSERT_EQ(istream.toggle_settle, dstream.toggle_settle) << "n=" << n;
-    // Only the integer kernel fills ticks; each dequantises exactly.
-    ASSERT_EQ(istream.toggle_settle_ticks.size(), istream.toggle_settle.size());
+    // Integer streams carry ticks only, reference streams ns only; each
+    // tick dequantises exactly onto the reference double.
+    EXPECT_TRUE(istream.has_ticks);
+    EXPECT_FALSE(dstream.has_ticks);
+    EXPECT_TRUE(istream.toggle_settle.empty());
     EXPECT_TRUE(dstream.toggle_settle_ticks.empty());
-    for (std::size_t t = 0; t < istream.toggle_settle.size(); ++t)
+    ASSERT_EQ(istream.toggle_settle_ticks.size(), dstream.toggle_settle.size());
+    for (std::size_t t = 0; t < dstream.toggle_settle.size(); ++t) {
       ASSERT_EQ(PsGrid::to_ns(istream.toggle_settle_ticks[t]),
-                istream.toggle_settle[t]);
+                dstream.toggle_settle[t]);
+      ASSERT_EQ(istream.toggle_settle_ns(t), dstream.toggle_settle_ns(t));
+    }
 
     // Post-stream observable state is identical (advance/capture interop).
     ASSERT_EQ(ist.out_settle, dst.out_settle) << "n=" << n;
@@ -369,7 +374,7 @@ TEST(OverclockSim, IntegerKernelMatchesDoubleReferenceBitwise) {
       for (int trial = 0; trial < 8; ++trial) {
         double period = rng.uniform(0.1, 8.0);
         if (trial == 0 && istream.toggle_begin[s] < istream.toggle_begin[s + 1])
-          period = istream.toggle_settle[istream.toggle_begin[s]];  // tie
+          period = istream.toggle_settle_ns(istream.toggle_begin[s]);  // tie
         const auto want = dstream.capture_word(s, period);
         ASSERT_EQ(istream.capture_word(s, period), want);
         ASSERT_EQ(istream.capture_word_ticks(s, PsGrid::period_ticks(period)),
